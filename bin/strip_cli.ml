@@ -1,0 +1,229 @@
+(* strip-cli — drive the STRIP reproduction from the command line.
+
+   Subcommands:
+     experiment   run one PTA experiment configuration and print its metrics
+     trace        generate a TAQ-style quote file
+     rules        print the paper's rule definitions (Figures 3/6/7/8)
+     repl         interactive SQL + rule-DDL shell on a fresh database *)
+
+open Cmdliner
+open Strip_pta
+open Strip_market
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                           *)
+
+let view_arg =
+  let doc = "View to maintain: comps | options." in
+  Arg.(value & opt string "comps" & info [ "view" ] ~docv:"VIEW" ~doc)
+
+let variant_arg =
+  let doc =
+    "Batching variant: none | unique | symbol | comp (comps) / option \
+     (options)."
+  in
+  Arg.(value & opt string "none" & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let delay_arg =
+  let doc = "Delay window in seconds." in
+  Arg.(value & opt float 1.0 & info [ "delay" ] ~docv:"SECONDS" ~doc)
+
+let scale_arg =
+  let doc =
+    "Workload scale factor (1.0 = the paper's 30-minute, 60k-update run)."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let verify_arg =
+  let doc = "Verify the maintained view against full recomputation." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let seed_arg =
+  let doc = "Trace random seed." in
+  Arg.(value & opt int 1994 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let rule_of_strings view variant =
+  match (view, variant) with
+  | "comps", "none" -> Ok (Experiment.Comp_view Comp_rules.Non_unique)
+  | "comps", "unique" -> Ok (Experiment.Comp_view Comp_rules.Unique_coarse)
+  | "comps", "symbol" -> Ok (Experiment.Comp_view Comp_rules.Unique_on_symbol)
+  | "comps", "comp" -> Ok (Experiment.Comp_view Comp_rules.Unique_on_comp)
+  | "options", "none" -> Ok (Experiment.Option_view Option_rules.Non_unique)
+  | "options", "unique" -> Ok (Experiment.Option_view Option_rules.Unique_coarse)
+  | "options", "symbol" ->
+    Ok (Experiment.Option_view Option_rules.Unique_on_symbol)
+  | "options", "option" ->
+    Ok (Experiment.Option_view Option_rules.Unique_on_option)
+  | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
+
+let run_experiment view variant delay scale verify seed =
+  match rule_of_strings view variant with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok rule ->
+    let cfg = Experiment.default_config rule ~delay in
+    let cfg =
+      { cfg with Experiment.feed = { cfg.Experiment.feed with Feed.seed } }
+    in
+    let cfg = if scale <> 1.0 then Experiment.quick cfg scale else cfg in
+    let cfg = { cfg with Experiment.verify } in
+    let m = Experiment.run cfg in
+    Report.print_metrics_header ();
+    Report.print_metrics m;
+    Printf.printf
+      "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
+       update/recompute: %.1fs/%.1fs\n"
+      m.Experiment.n_updates m.Experiment.n_firings
+      m.Experiment.expected_fanout m.Experiment.busy_update_s
+      m.Experiment.busy_recompute_s;
+    (match m.Experiment.verified with
+    | Some false -> 1
+    | _ -> 0)
+
+let experiment_cmd =
+  let term =
+    Term.(
+      const run_experiment $ view_arg $ variant_arg $ delay_arg $ scale_arg
+      $ verify_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Run one program-trading experiment (a Figure 9-14 curve point).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+
+let out_arg =
+  let doc = "Output file." in
+  Arg.(value & opt string "trace.taq" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let run_trace out scale seed =
+  let cfg = { (Feed.scaled Feed.default_config scale) with Feed.seed } in
+  let quotes = Feed.generate cfg in
+  Taq.save out quotes;
+  Printf.printf "wrote %d quotes (%.0f simulated seconds) to %s\n"
+    (Array.length quotes) cfg.Feed.duration out;
+  0
+
+let trace_cmd =
+  let term = Term.(const run_trace $ out_arg $ scale_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a TAQ-style consolidated quote file.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* rules                                                                *)
+
+let run_rules () =
+  print_endline "-- comp_prices maintenance (Figures 3, 6, 7):";
+  List.iter
+    (fun v ->
+      Printf.printf "\n%s\n" (Comp_rules.rule_text v ~delay:1.0))
+    Comp_rules.all_variants;
+  print_endline "\n-- option_prices maintenance (Figure 8 and variants):";
+  List.iter
+    (fun v ->
+      Printf.printf "\n%s\n" (Option_rules.rule_text v ~delay:1.0))
+    Option_rules.all_variants;
+  0
+
+let rules_cmd =
+  let term = Term.(const run_rules $ const ()) in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"Print the paper's rule definitions as STRIP DDL.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* repl                                                                 *)
+
+let run_repl () =
+  let open Strip_core in
+  let db = Strip_db.create () in
+  print_endline
+    "STRIP repl — SQL statements and `create rule ...` DDL; empty line or \
+     \\q quits; \\run drains pending rule tasks; \\dt lists tables; \\rules \
+     lists rules.";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "strip> " else "   ... ");
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> 0
+    | "" | "\\q" when Buffer.length buffer = 0 -> 0
+    | "\\run" ->
+      Strip_db.run db;
+      Printf.printf "drained; now = %.2fs\n" (Strip_db.now db);
+      loop ()
+    | "\\dt" ->
+      let open Strip_relational in
+      List.iter
+        (fun tb ->
+          Printf.printf "%-20s %6d rows  %s  indexes: %s\n" (Table.name tb)
+            (Table.cardinal tb)
+            (Format.asprintf "%a" Schema.pp (Table.schema tb))
+            (String.concat ", "
+               (List.map
+                  (fun i ->
+                    Printf.sprintf "%s(%s)" (Index.name i)
+                      (match Index.kind i with
+                      | Index.Hash -> "hash"
+                      | Index.Ordered -> "tree"))
+                  (Table.indexes tb))))
+        (Catalog.tables (Strip_db.catalog db));
+      loop ()
+    | "\\rules" ->
+      List.iter
+        (fun r -> Format.printf "%a@." Rule_ast.pp r)
+        (Rule_manager.rules (Strip_db.rules db));
+      loop ()
+    | line ->
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n';
+      if String.contains line ';' then begin
+        let text = Buffer.contents buffer in
+        Buffer.clear buffer;
+        (try
+           match Strip_db.exec db (String.trim text) with
+           | Strip_relational.Sql_exec.Rows r ->
+             let open Strip_relational in
+             let names = Schema.names (Query.result_schema r) in
+             print_endline (String.concat " | " names);
+             List.iter
+               (fun row ->
+                 print_endline
+                   (String.concat " | "
+                      (Array.to_list (Array.map Value.to_string row))))
+               (Query.rows r)
+           | Strip_relational.Sql_exec.Count n -> Printf.printf "%d row(s)\n" n
+           | Strip_relational.Sql_exec.Unit -> print_endline "ok"
+         with
+        | Strip_relational.Sql_parser.Parse_error msg ->
+          Printf.printf "parse error: %s\n" msg
+        | Strip_relational.Query.Plan_error msg ->
+          Printf.printf "plan error: %s\n" msg
+        | Rule_manager.Rule_error msg -> Printf.printf "rule error: %s\n" msg
+        | Strip_relational.Value.Type_error msg ->
+          Printf.printf "type error: %s\n" msg
+        | Invalid_argument msg -> Printf.printf "error: %s\n" msg);
+        loop ()
+      end
+      else loop ()
+  in
+  loop ()
+
+let repl_cmd =
+  let term = Term.(const run_repl $ const ()) in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL and rule-DDL shell.") term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "strip-cli" ~version:"1.0.0"
+      ~doc:
+        "STRIP rule system reproduction (Adelberg, Garcia-Molina, Widom, \
+         SIGMOD 1997)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; trace_cmd; rules_cmd; repl_cmd ]))

@@ -1,0 +1,38 @@
+open Strip_relational
+
+let default_rate = 0.05
+
+let call ~stock_price ~strike ~rate ~volatility ~expiry_years =
+  Meter.tick "bs_eval";
+  if stock_price <= 0.0 then
+    invalid_arg "Black_scholes.call: non-positive stock price";
+  if strike <= 0.0 then invalid_arg "Black_scholes.call: non-positive strike";
+  let discounted_strike = strike *. Float.exp (-.rate *. expiry_years) in
+  if expiry_years <= 0.0 || volatility <= 0.0 then
+    Float.max (stock_price -. discounted_strike) 0.0
+  else begin
+    let sqrt_t = Float.sqrt expiry_years in
+    let d1 =
+      (Float.log (stock_price /. strike)
+      +. ((rate +. (0.5 *. volatility *. volatility)) *. expiry_years))
+      /. (volatility *. sqrt_t)
+    in
+    let d2 = d1 -. (volatility *. sqrt_t) in
+    (stock_price *. Normal.cdf d1) -. (discounted_strike *. Normal.cdf d2)
+  end
+
+let register_sql_function () =
+  Expr.register_fun "f_bs" ~ret:Value.TFloat (fun args ->
+      match args with
+      | [ price; strike; expiry; stdev ] ->
+        if List.exists Value.is_null args then Value.Null
+        else
+          Value.Float
+            (call ~stock_price:(Value.to_float price)
+               ~strike:(Value.to_float strike) ~rate:default_rate
+               ~volatility:(Value.to_float stdev)
+               ~expiry_years:(Value.to_float expiry))
+      | _ ->
+        raise
+          (Value.Type_error
+             "f_bs expects (price, strike, expiry_years, stdev)"))

@@ -1,0 +1,34 @@
+(** Black-Scholes call-option pricing (paper Appendix B).
+
+    {[
+      p = ps * Φ(d1) - pe * e^(-rt) * Φ(d2)
+      d1 = (ln(ps/pe) + (r + σ²/2) t) / (σ √t)
+      d2 = d1 - σ √t
+    ]}
+
+    where [ps] is the stock price, [pe] the exercise (strike) price, [r]
+    the risk-free rate, [σ] the annualized volatility and [t] the time to
+    expiration in years.
+
+    Every call ticks the ["bs_eval"] meter — this is the dominant CPU cost
+    of maintaining [option_prices] in the paper's experiments. *)
+
+val call :
+  stock_price:float ->
+  strike:float ->
+  rate:float ->
+  volatility:float ->
+  expiry_years:float ->
+  float
+(** Theoretical call price.  Degenerate inputs follow the model's limits:
+    at [expiry_years <= 0] or [volatility <= 0] the price is the intrinsic
+    value [max (ps - pe*e^-rt) 0].
+    @raise Invalid_argument on non-positive stock or strike price. *)
+
+val default_rate : float
+(** 5% continuously-compounded risk-free rate used by the PTA. *)
+
+val register_sql_function : unit -> unit
+(** Register [f_bs(price, strike, expiry_years, stdev)] as a SQL scalar
+    function (rate fixed at {!default_rate}), the [f_BS] of the paper's
+    [option_prices] view definition. *)

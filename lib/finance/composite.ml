@@ -1,0 +1,16 @@
+let price ~weights ~prices =
+  if Array.length weights <> Array.length prices then
+    invalid_arg "Composite.price: weights/prices length mismatch";
+  let total = ref 0.0 in
+  for i = 0 to Array.length weights - 1 do
+    total := !total +. (weights.(i) *. prices.(i))
+  done;
+  !total
+
+let delta ~weight ~old_price ~new_price = weight *. (new_price -. old_price)
+
+let apply_deltas current changes =
+  List.fold_left
+    (fun acc (weight, old_price, new_price) ->
+      acc +. delta ~weight ~old_price ~new_price)
+    current changes

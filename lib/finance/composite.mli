@@ -1,0 +1,17 @@
+(** Weighted composite indexes (paper Appendix B).
+
+    A composite's price is [Σ wᵢ pᵢ] over its member stocks.  Because the
+    function is linear, it supports the incremental maintenance the
+    [comp_prices] rules rely on: a member price change Δp contributes
+    exactly [w · Δp] to the composite. *)
+
+val price : weights:float array -> prices:float array -> float
+(** Full recomputation.  @raise Invalid_argument on length mismatch. *)
+
+val delta : weight:float -> old_price:float -> new_price:float -> float
+(** Incremental contribution of one member change. *)
+
+val apply_deltas : float -> (float * float * float) list -> float
+(** [apply_deltas current changes] folds [(weight, old, new)] changes into
+    a composite price — the aggregation [compute_comps2] performs in user
+    code (paper Figure 6). *)

@@ -1,0 +1,15 @@
+(** Standard normal distribution.
+
+    The paper computes Φ "using the error function in the C math library";
+    OCaml's stdlib has no [erf], so we implement the Abramowitz & Stegun
+    7.1.26 rational approximation (|error| < 1.5e-7), which matches C
+    library precision for this purpose. *)
+
+val erf : float -> float
+(** Error function, |absolute error| < 1.5e-7. *)
+
+val cdf : float -> float
+(** Φ(x): cumulative distribution function of N(0,1). *)
+
+val pdf : float -> float
+(** φ(x): density of N(0,1). *)

@@ -1,0 +1,119 @@
+open Strip_relational
+open Strip_core
+
+type event = On_insert | On_update | On_delete
+
+type subscription = {
+  mutable rule_names : string list;
+  mutable active : bool;
+  mutable count : int;
+}
+
+let next_id = ref 0
+
+let subscribe db ~table ?(events = [ On_insert; On_update; On_delete ])
+    ?batch ?columns callback =
+  incr next_id;
+  let id = !next_id in
+  let cat = Strip_db.catalog db in
+  let tb =
+    match Catalog.find_table cat table with
+    | Some tb -> tb
+    | None ->
+      raise
+        (Rule_manager.Rule_error
+           (Printf.sprintf "export: unknown table %s" table))
+  in
+  let cols =
+    match columns with
+    | Some cols ->
+      List.iter
+        (fun c ->
+          if not (Schema.mem (Table.schema tb) c) then
+            raise
+              (Rule_manager.Rule_error
+                 (Printf.sprintf "export: unknown column %s in %s" c table)))
+        cols;
+      cols
+    | None -> Schema.names (Table.schema tb)
+  in
+  let sub = { rule_names = []; active = true; count = 0 } in
+  let mgr = Strip_db.rules db in
+  let uniqueness, delay =
+    match batch with
+    | Some d -> (Rule_ast.Unique, d)
+    | None -> (Rule_ast.Not_unique, 0.0)
+  in
+  (* One rule per event kind: their bound layouts are identical, so in
+     batched mode they share one user function and merge into one queued
+     delivery. *)
+  let select_from src =
+    {
+      Sql_parser.distinct = false;
+      items =
+        List.map
+          (fun c -> Sql_parser.Item (Query.item (Expr.Col (Some src, c))))
+          cols;
+      from = [ { Sql_parser.rel = src; alias = src } ];
+      where = None;
+      group_by = [];
+      having = None;
+      order_by = [];
+      limit = None;
+    }
+  in
+  let func = Printf.sprintf "export_%s_%d" table id in
+  Rule_manager.register_function mgr func (fun ctx ->
+      if sub.active then begin
+        sub.count <- sub.count + 1;
+        let rows =
+          Query.rows
+            (Strip_txn.Transaction.query ctx.Rule_manager.txn
+               (Printf.sprintf "select %s from changes" (String.concat ", " cols)))
+        in
+        callback ~time:(Strip_txn.Clock.now ctx.Rule_manager.clock) ~rows
+      end);
+  let rules =
+    List.filter_map
+      (fun ev ->
+        let rname, revents, src =
+          match ev with
+          | On_insert ->
+            (Printf.sprintf "export_%s_%d_ins" table id, [ Rule_ast.On_insert ], "inserted")
+          | On_update ->
+            (Printf.sprintf "export_%s_%d_upd" table id, [ Rule_ast.On_update [] ], "new")
+          | On_delete ->
+            (Printf.sprintf "export_%s_%d_del" table id, [ Rule_ast.On_delete ], "deleted")
+        in
+        if List.mem ev events then begin
+          Rule_manager.create_rule mgr
+            {
+              Rule_ast.rname;
+              rtable = table;
+              events = revents;
+              condition =
+                [ { Rule_ast.query = select_from src; bind_as = Some "changes" } ];
+              evaluate = [];
+              func;
+              uniqueness;
+              delay;
+            };
+          Some rname
+        end
+        else None)
+      [ On_insert; On_update; On_delete ]
+  in
+  sub.rule_names <- rules;
+  sub
+
+let unsubscribe db sub =
+  if sub.active then begin
+    sub.active <- false;
+    List.iter
+      (fun name ->
+        try Rule_manager.drop_rule (Strip_db.rules db) name
+        with Rule_manager.Rule_error _ -> ())
+      sub.rule_names
+  end
+
+let deliveries sub = sub.count

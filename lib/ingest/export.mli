@@ -1,0 +1,41 @@
+(** Change export — subscriptions on table changes (the export half of the
+    paper's import/export system, §6.2 / [AKGM96b]).
+
+    A subscription watches a table and delivers its changes to an OCaml
+    callback.  It is implemented {e with the rule system itself}: each
+    subscription installs a rule whose condition binds the relevant
+    transition table and whose user function invokes the callback — so
+    exports get, for free, exactly the batching story of the paper:
+
+    - immediate mode (no batching): one delivery per triggering transaction;
+    - batched mode ([~batch:delay]): a unique transaction collects changes
+      for [delay] seconds and delivers them in one call — the natural
+      design for feeding a downstream ticker plant or GUI that prefers
+      conflated updates.
+
+    Deliveries carry the simulated time and the change rows (new images for
+    inserts/updates, old images for deletes). *)
+
+type event = On_insert | On_update | On_delete
+
+type subscription
+
+val subscribe :
+  Strip_core.Strip_db.t ->
+  table:string ->
+  ?events:event list ->
+  ?batch:float ->
+  ?columns:string list ->
+  (time:float -> rows:Strip_relational.Value.t array list -> unit) ->
+  subscription
+(** Install a subscription.  [events] defaults to all three; [columns]
+    restricts the delivered projection (default: all of the table's
+    columns); [batch] switches to a unique transaction with that delay.
+    @raise Strip_core.Rule_manager.Rule_error on an unknown table or
+    column. *)
+
+val unsubscribe : Strip_core.Strip_db.t -> subscription -> unit
+(** Drop the subscription's rules.  Idempotent. *)
+
+val deliveries : subscription -> int
+(** Number of callback invocations so far. *)

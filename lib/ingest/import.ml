@@ -1,0 +1,25 @@
+open Strip_relational
+open Strip_core
+open Strip_market
+
+type target = {
+  stocks : Table.t;
+  by_symbol : Index.t;
+}
+
+let replay db target quotes =
+  Array.iter
+    (fun (q : Feed.quote) ->
+      let symbol = Taq.symbol q.Feed.stock in
+      let price = q.Feed.price in
+      Strip_db.submit_update db ~at:q.Feed.time ~label:"quote" (fun txn ->
+          Db_ops.update_stock_price txn ~stocks:target.stocks
+            ~by_symbol:target.by_symbol ~symbol ~price))
+    quotes;
+  Strip_sim.Engine.set_arrival_profile (Strip_db.engine db)
+    (Feed.arrival_times quotes);
+  Array.length quotes
+
+let replay_file db target path = replay db target (Taq.load path)
+
+let generate_and_replay db target cfg = replay db target (Feed.generate cfg)

@@ -1,0 +1,96 @@
+open Strip_relational
+open Strip_core
+
+type stats = {
+  update_rate : float;
+  fanout_per_update : float;
+  n_groups : int;
+  staleness_bound : float;
+}
+
+type advice = {
+  uniqueness : Rule_ast.uniqueness;
+  delay : float;
+  reason : string;
+}
+
+let advise (v : View_def.t) stats =
+  if stats.update_rate <= 0.0 then
+    {
+      uniqueness = Rule_ast.Not_unique;
+      delay = 0.0;
+      reason = "no update traffic: batching buys nothing";
+    }
+  else begin
+    (* Expected changes landing on one group per second. *)
+    let group_rate =
+      stats.update_rate *. stats.fanout_per_update
+      /. float_of_int (max 1 stats.n_groups)
+    in
+    (* Size the window so a group batch collects ~3 changes, within the
+       staleness bound and the paper's diminishing-returns knee (~3 s). *)
+    let window target_rate =
+      Float.min stats.staleness_bound
+        (Float.max 0.5 (Float.min 3.0 (3.0 /. Float.max 1e-6 target_rate)))
+    in
+    if stats.fanout_per_update >= 4.0 && group_rate >= 0.2 then
+      {
+        uniqueness = Rule_ast.Unique_on (List.map fst v.View_def.key_cols);
+        delay = window group_rate;
+        reason =
+          Printf.sprintf
+            "high sharing (%.1f derived rows/change, %.2f changes/group/s): \
+             batch per group key — just enough to exploit the redundancy"
+            stats.fanout_per_update group_rate;
+      }
+    else if stats.update_rate >= 5.0 then
+      {
+        uniqueness = Rule_ast.Unique;
+        delay = window stats.update_rate;
+        reason =
+          Printf.sprintf
+            "low per-group sharing but a hot driver (%.1f changes/s): \
+             coarse batching amortizes task overhead"
+            stats.update_rate;
+      }
+    else
+      {
+        uniqueness = Rule_ast.Not_unique;
+        delay = 0.0;
+        reason =
+          Printf.sprintf
+            "cold driver (%.2f changes/s) and little sharing: immediate \
+             maintenance keeps the view fresh for free"
+            stats.update_rate;
+      }
+  end
+
+let measure_stats db (v : View_def.t) ~update_rate ~staleness_bound =
+  let was = !Meter.enabled in
+  Meter.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Meter.enabled := was)
+    (fun () ->
+      let cat = Strip_db.catalog db in
+      let view_tb = Catalog.table_exn cat v.View_def.view in
+      let driver_tb = Catalog.table_exn cat v.View_def.driver in
+      let n_groups = Table.cardinal view_tb in
+      (* Fan-out per driver change ~ derived rows per driver row: the join
+         of driver with the dimension tables has one row per (driver row,
+         matching dim rows); approximate with |dims join| / |driver| using
+         the largest dimension table linked to the driver. *)
+      let dim_rows =
+        List.fold_left
+          (fun acc (r : Sql_parser.table_ref) ->
+            match Catalog.find_table cat r.rel with
+            | Some tb -> max acc (Table.cardinal tb)
+            | None -> acc)
+          0 v.View_def.others
+      in
+      let fanout =
+        if v.View_def.others = [] then 1.0
+        else
+          float_of_int (max 1 dim_rows)
+          /. float_of_int (max 1 (Table.cardinal driver_tb))
+      in
+      { update_rate; fanout_per_update = fanout; n_groups; staleness_bound })

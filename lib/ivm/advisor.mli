@@ -1,0 +1,42 @@
+(** Batching advice — the paper's closing proposal made executable.
+
+    "By maintaining statistics such as join selectivities and how often
+    tables are updated, it should be possible for a materialized view
+    manager to derive not just the rules to maintain a view but the unit
+    of batching and delay window size as well." (§8)
+
+    The advice encodes the paper's two experimental rules of thumb (§8):
+
+    + the unit of batching should be just large enough to exploit the
+      redundancy in the recomputation but no larger — high fan-in views
+      (many driver rows per group) batch per group key; high fan-out
+      views (each driver row feeding many derived rows) batch per driver
+      key; views with little sharing stay unbatched;
+    + the delay window starts small and is sized so an expected handful of
+      changes share a window, capped by the staleness bound the
+      application tolerates. *)
+
+type stats = {
+  update_rate : float;  (** driver changes per second *)
+  fanout_per_update : float;  (** derived rows touched per driver change *)
+  n_groups : int;  (** distinct group keys in the view *)
+  staleness_bound : float;  (** max acceptable seconds of view staleness *)
+}
+
+type advice = {
+  uniqueness : Strip_core.Rule_ast.uniqueness;
+  delay : float;
+  reason : string;  (** human-readable justification *)
+}
+
+val advise : View_def.t -> stats -> advice
+
+val measure_stats :
+  Strip_core.Strip_db.t ->
+  View_def.t ->
+  update_rate:float ->
+  staleness_bound:float ->
+  stats
+(** Compute [fanout_per_update] and [n_groups] from the current table
+    contents (unmetered); the update rate and staleness bound come from
+    the application. *)

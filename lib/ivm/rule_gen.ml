@@ -1,0 +1,272 @@
+open Strip_relational
+open Strip_core
+
+let rule_names ~view =
+  [ "ivm_" ^ view ^ "_upd"; "ivm_" ^ view ^ "_ins"; "ivm_" ^ view ^ "_del" ]
+
+(* Delta column name for an aggregate. *)
+let delta_name (a : View_def.agg_col) = "d_" ^ a.View_def.a_name
+
+(* Build the condition query that binds per-row deltas. *)
+let delta_query (v : View_def.t) ~mode : Rule_ast.bound_query =
+  let requal = View_def.requalify_driver v in
+  let key_items =
+    List.map
+      (fun (name, e) ->
+        Sql_parser.Item
+          (Query.item ~alias:name
+             (requal ~as_:(match mode with `Upd -> "new" | `Ins -> "inserted" | `Del -> "deleted") e)))
+      v.View_def.key_cols
+  in
+  let agg_items =
+    List.filter_map
+      (fun (a : View_def.agg_col) ->
+        match (a.View_def.a_kind, a.View_def.a_expr, mode) with
+        | View_def.Agg_sum, Some e, `Upd ->
+          Some
+            (Sql_parser.Item
+               (Query.item ~alias:(delta_name a)
+                  (Expr.Binop
+                     ( Expr.Sub,
+                       requal ~as_:"new" e,
+                       requal ~as_:"old" e ))))
+        | View_def.Agg_sum, Some e, `Ins ->
+          Some
+            (Sql_parser.Item
+               (Query.item ~alias:(delta_name a) (requal ~as_:"inserted" e)))
+        | View_def.Agg_sum, Some e, `Del ->
+          Some
+            (Sql_parser.Item
+               (Query.item ~alias:(delta_name a) (requal ~as_:"deleted" e)))
+        | (View_def.Agg_count | View_def.Agg_count_star), _, `Upd ->
+          (* counts are unchanged by updates (non-null assumption) *)
+          None
+        | (View_def.Agg_count | View_def.Agg_count_star), _, (`Ins | `Del) ->
+          Some
+            (Sql_parser.Item
+               (Query.item ~alias:(delta_name a) (Expr.int 1)))
+        | View_def.Agg_sum, None, _ -> assert false)
+      v.View_def.aggs
+  in
+  let trans_ref name = { Sql_parser.rel = name; alias = name } in
+  let from =
+    v.View_def.others
+    @
+    match mode with
+    | `Upd -> [ trans_ref "new"; trans_ref "old" ]
+    | `Ins -> [ trans_ref "inserted" ]
+    | `Del -> [ trans_ref "deleted" ]
+  in
+  let base_where =
+    Option.map
+      (fun w ->
+        requal
+          ~as_:(match mode with `Upd -> "new" | `Ins -> "inserted" | `Del -> "deleted")
+          w)
+      v.View_def.where
+  in
+  let where =
+    match mode with
+    | `Upd ->
+      let order_eq =
+        Expr.(
+          Binop
+            ( Eq,
+              Col (Some "new", "execute_order"),
+              Col (Some "old", "execute_order") ))
+      in
+      Some
+        (match base_where with
+        | Some w -> Expr.Binop (Expr.And, w, order_eq)
+        | None -> order_eq)
+    | `Ins | `Del -> base_where
+  in
+  {
+    Rule_ast.query =
+      {
+        Sql_parser.distinct = false;
+        items = key_items @ agg_items;
+        from;
+        where;
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+      };
+    bind_as = Some "deltas";
+  }
+
+(* The generated user functions fold the bound deltas per group key and
+   apply them to the view through its key index. *)
+
+let install db ~view ~driver ?(uniqueness = Rule_ast.Not_unique) ?(delay = 0.0)
+    () =
+  let cat = Strip_db.catalog db in
+  let view_tb = Catalog.table_exn cat view in
+  let driver_tb = Catalog.table_exn cat driver in
+  let ast =
+    match List.assoc_opt view (Strip_db.view_definitions db) with
+    | Some ast -> ast
+    | None -> raise Not_found
+  in
+  let v =
+    View_def.analyze ast ~view ~driver
+      ~driver_columns:(Schema.names (Table.schema driver_tb))
+  in
+  let key_names = List.map fst v.View_def.key_cols in
+  let vschema = Table.schema view_tb in
+  let key_positions =
+    List.map (fun k -> Schema.find_exn vschema k) key_names
+  in
+  let view_index =
+    match Table.index_on view_tb key_names with
+    | Some idx -> idx
+    | None ->
+      Table.create_index view_tb
+        ~name:(view ^ "_ivm_key")
+        ~kind:Index.Hash ~cols:key_names
+  in
+  (* positions of aggregate columns in the view, and of their deltas in the
+     bound table, per mode *)
+  let agg_pos =
+    List.map
+      (fun (a : View_def.agg_col) ->
+        (a, Schema.find_exn vschema a.View_def.a_name))
+      v.View_def.aggs
+  in
+  let nkeys = List.length key_names in
+  let is_count (a : View_def.agg_col) =
+    match a.View_def.a_kind with
+    | View_def.Agg_count | View_def.Agg_count_star -> true
+    | View_def.Agg_sum -> false
+  in
+  let count_col =
+    List.find_opt (fun (a, _) -> is_count a) agg_pos
+    |> Option.map (fun (_, pos) -> pos)
+  in
+  (* Which aggregates have a delta column in this mode, in order. *)
+  let deltas_for mode =
+    List.filter
+      (fun (a, _) ->
+        match mode with `Upd -> not (is_count a) | `Ins | `Del -> true)
+      agg_pos
+  in
+  (* Fold the bound rows into (key values -> delta array), preserving
+     first-seen group order. *)
+  let fold_groups mode (ctx : Rule_manager.action_ctx) =
+    let specs = deltas_for mode in
+    let nd = List.length specs in
+    let groups : (Value.t list, float array * int ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let order = ref [] in
+    (match List.assoc_opt "deltas" ctx.Rule_manager.task.Strip_txn.Task.bound with
+    | None -> ()
+    | Some tmp ->
+      Meter.tick "open_cursor";
+      Temp_table.iter tmp (fun row ->
+          Meter.tick "fetch_cursor";
+          Meter.tick "ugroup_row";
+          let values = Temp_table.row_values tmp row in
+          let key = List.init nkeys (fun i -> values.(i)) in
+          let sums, n =
+            match Hashtbl.find_opt groups key with
+            | Some g -> g
+            | None ->
+              let g = (Array.make nd 0.0, ref 0) in
+              Hashtbl.add groups key g;
+              order := key :: !order;
+              g
+          in
+          incr n;
+          List.iteri
+            (fun i _ ->
+              let v = values.(nkeys + i) in
+              if not (Value.is_null v) then
+                sums.(i) <- sums.(i) +. Value.to_float v)
+            specs);
+      Meter.tick "close_cursor");
+    (specs, groups, List.rev !order)
+  in
+  let apply_group txn ~mode key (sums : float array) n specs =
+    let sign = match mode with `Del -> -1.0 | `Upd | `Ins -> 1.0 in
+    let matched =
+      Db_ops.update_by_key txn view_tb view_index key (fun values ->
+          List.iteri
+            (fun i ((a : View_def.agg_col), pos) ->
+              let d =
+                if is_count a then
+                  Value.Int (int_of_float sign * n)
+                else Value.Float (sums.(i) *. sign)
+              in
+              values.(pos) <- Value.add values.(pos) d)
+            specs;
+          values)
+    in
+    (match mode with
+    | `Ins when matched = 0 ->
+      (* new group: insert a fresh view row *)
+      let row = Array.make (Schema.arity vschema) Value.Null in
+      List.iteri (fun i pos -> row.(pos) <- List.nth key i) key_positions;
+      List.iteri
+        (fun i ((a : View_def.agg_col), pos) ->
+          row.(pos) <-
+            (if is_count a then Value.Int n else Value.Float sums.(i)))
+        specs;
+      let hooks = Strip_txn.Transaction.hooks txn in
+      hooks.Sql_exec.lock_table view_tb Sql_exec.Exclusive;
+      let r = Table.insert view_tb row in
+      hooks.Sql_exec.on_insert view_tb r
+    | `Del -> (
+      (* drop groups whose membership count reached zero *)
+      match count_col with
+      | Some cpos ->
+        let hooks = Strip_txn.Transaction.hooks txn in
+        let cursor = Table.open_index_cursor view_tb view_index key in
+        let rec loop () =
+          match Table.fetch cursor with
+          | None -> ()
+          | Some r ->
+            if Value.to_int (Record.value r cpos) <= 0 then begin
+              hooks.Sql_exec.lock_record view_tb r Sql_exec.Exclusive;
+              Table.cursor_delete cursor;
+              hooks.Sql_exec.on_delete view_tb r
+            end;
+            loop ()
+        in
+        loop ();
+        Table.close_cursor cursor
+      | None -> ())
+    | _ -> ())
+  in
+  let make_fun mode (ctx : Rule_manager.action_ctx) =
+    match (mode, deltas_for mode) with
+    | `Upd, [] -> ()  (* pure COUNT views are unaffected by value updates *)
+    | _ ->
+      let specs, groups, order = fold_groups mode ctx in
+      List.iter
+        (fun key ->
+          let sums, n = Hashtbl.find groups key in
+          apply_group ctx.Rule_manager.txn ~mode key sums !n specs)
+        order
+  in
+  let mgr = Strip_db.rules db in
+  let mk_rule suffix mode events =
+    let func = "ivm_" ^ view ^ "_" ^ suffix in
+    Rule_manager.register_function mgr func (make_fun mode);
+    Rule_manager.create_rule mgr
+      {
+        Rule_ast.rname = func;
+        rtable = driver;
+        events;
+        condition = [ delta_query v ~mode ];
+        evaluate = [];
+        func;
+        uniqueness;
+        delay;
+      }
+  in
+  mk_rule "upd" `Upd [ Rule_ast.On_update v.View_def.driver_cols_used ];
+  mk_rule "ins" `Ins [ Rule_ast.On_insert ];
+  mk_rule "del" `Del [ Rule_ast.On_delete ];
+  v

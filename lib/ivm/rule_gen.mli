@@ -1,0 +1,41 @@
+(** Automatic generation of maintenance rules from view definitions.
+
+    Given a materialized view in the {!View_def} class, installs STRIP
+    rules (and their user functions) that maintain it incrementally under
+    inserts, deletes, and updates of the driver table — the [CW91]
+    derivation extended with unique transactions exactly as the paper's
+    conclusion proposes.
+
+    Three rules are generated (sharing one machinery but distinct user
+    functions, since their delta layouts differ):
+
+    - {b update}: condition joins [new]/[old] with the dimension tables
+      and binds per-row aggregate deltas [(e(new) − e(old))]; the action
+      folds them per group and applies [agg += δ];
+    - {b insert}: binds [e(inserted)] deltas; the action upserts groups
+      (a COUNT column, when present, tracks group cardinality);
+    - {b delete}: binds [e(deleted)] deltas; the action decrements and
+      removes groups whose COUNT reaches zero.
+
+    [COUNT(e)] is treated as [COUNT( * )] for update deltas (i.e. the
+    aggregate argument is assumed non-null), matching the common
+    self-maintainability restriction. *)
+
+val install :
+  Strip_core.Strip_db.t ->
+  view:string ->
+  driver:string ->
+  ?uniqueness:Strip_core.Rule_ast.uniqueness ->
+  ?delay:float ->
+  unit ->
+  View_def.t
+(** Analyze the view (its definition must have been captured by a
+    [CREATE VIEW] through {!Strip_core.Strip_db.exec}), ensure an index on
+    the view's group keys, register the user functions and create the
+    rules [ivm_<view>_upd/ins/del].  Default: no uniqueness, no delay —
+    pass the {!Advisor}'s advice for batched maintenance.
+    @raise View_def.Unsupported on views outside the class
+    @raise Not_found if the view or driver is unknown *)
+
+val rule_names : view:string -> string list
+(** The names of the generated rules, for [drop_rule]. *)

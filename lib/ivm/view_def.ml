@@ -1,0 +1,123 @@
+open Strip_relational
+
+type agg_kind = Agg_sum | Agg_count | Agg_count_star
+
+type agg_col = {
+  a_name : string;
+  a_kind : agg_kind;
+  a_expr : Expr.t option;
+}
+
+type t = {
+  view : string;
+  driver : string;
+  driver_alias : string;
+  key_cols : (string * Expr.t) list;
+  aggs : agg_col list;
+  others : Sql_parser.table_ref list;
+  where : Expr.t option;
+  driver_cols_used : string list;
+}
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let analyze (ast : Sql_parser.select_ast) ~view ~driver ~driver_columns =
+  let driver_ref =
+    match
+      List.find_opt (fun (r : Sql_parser.table_ref) -> r.rel = driver) ast.from
+    with
+    | Some r -> r
+    | None -> unsupported "driver table %s does not appear in the view's FROM" driver
+  in
+  let others =
+    List.filter (fun (r : Sql_parser.table_ref) -> r.rel <> driver) ast.from
+  in
+  if ast.having <> None then unsupported "HAVING is not maintainable";
+  if ast.order_by <> [] || ast.limit <> None then
+    unsupported "ORDER BY / LIMIT do not define a maintainable view";
+  (* Classify the select list. *)
+  let keys = ref [] and aggs = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Sql_parser.Star | Sql_parser.Qual_star _ ->
+        unsupported "SELECT * is not supported in maintainable views"
+      | Sql_parser.Item it -> (
+        let name i =
+          match it.Query.alias with
+          | Some a -> a
+          | None -> (
+            match it.Query.expr with
+            | Expr.Col (_, n) -> n
+            | _ -> Printf.sprintf "col%d" i)
+        in
+        match it.Query.expr with
+        | Expr.Call ("sum", [ e ]) ->
+          aggs :=
+            { a_name = name 0; a_kind = Agg_sum; a_expr = Some e } :: !aggs
+        | Expr.Call ("count", [ e ]) ->
+          aggs :=
+            { a_name = name 0; a_kind = Agg_count; a_expr = Some e } :: !aggs
+        | Expr.Call ("count_star", []) ->
+          aggs :=
+            { a_name = name 0; a_kind = Agg_count_star; a_expr = None } :: !aggs
+        | Expr.Call (f, _) when List.mem f [ "avg"; "min"; "max" ] ->
+          unsupported
+            "%s is not self-maintainable under updates (store SUM and COUNT \
+             instead)"
+            f
+        | Expr.Col _ as e -> keys := (name 0, e) :: !keys
+        | _ ->
+          unsupported "group keys must be plain columns in maintainable views"))
+    ast.items;
+  let keys = List.rev !keys and aggs = List.rev !aggs in
+  if aggs = [] then unsupported "view has no aggregate column";
+  if keys = [] && ast.group_by <> [] then
+    unsupported "GROUP BY keys must appear in the select list";
+  (* Driver columns referenced anywhere in the view. *)
+  let used = ref [] in
+  let note (qual, col) =
+    let is_driver =
+      match qual with
+      | Some q -> q = driver_ref.alias || q = driver
+      | None -> List.mem col driver_columns
+    in
+    if is_driver && not (List.mem col !used) then used := col :: !used
+  in
+  let scan_expr e = List.iter note (Expr.columns_used e) in
+  List.iter (fun (_, e) -> scan_expr e) keys;
+  List.iter
+    (fun a -> match a.a_expr with Some e -> scan_expr e | None -> ())
+    aggs;
+  (match ast.where with Some w -> scan_expr w | None -> ());
+  {
+    view;
+    driver;
+    driver_alias = driver_ref.alias;
+    key_cols = keys;
+    aggs;
+    others;
+    where = ast.where;
+    driver_cols_used = List.rev !used;
+  }
+
+let requalify_driver t ~as_ e =
+  let driver_cols =
+    (* columns we know belong to the driver (from the analysis) plus any
+       qualified reference *)
+    t.driver_cols_used
+  in
+  let rec go e =
+    match e with
+    | Expr.Col (Some q, col) when q = t.driver_alias || q = t.driver ->
+      Expr.Col (Some as_, col)
+    | Expr.Col (None, col) when List.mem col driver_cols ->
+      Expr.Col (Some as_, col)
+    | Expr.Col _ | Expr.Const _ | Expr.Bound _ -> e
+    | Expr.Unop (op, a) -> Expr.Unop (op, go a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+    | Expr.Call (f, args) -> Expr.Call (f, List.map go args)
+  in
+  go e

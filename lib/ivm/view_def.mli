@@ -1,0 +1,59 @@
+(** Analysis of materialized-view definitions for rule generation.
+
+    Implements the paper's §8 future-work direction: "in [CW91], the authors
+    show how rules can be automatically derived to maintain a certain class
+    of relational views ... we are confident that this work can be extended
+    to take advantage of unique transactions as well."
+
+    Supported class: aggregate views of the shape
+
+    {[ SELECT k1, ..., kn, AGG1(e1) AS a1, ...
+       FROM driver, dim1, ..., dimm
+       WHERE <conjunctive equi-joins and filters>
+       GROUP BY k1, ..., kn ]}
+
+    with [AGG] one of SUM, COUNT, COUNT-star (AVG can be stored as SUM+COUNT),
+    maintained with respect to changes of one {e driver} table; the
+    dimension tables are assumed static (the PTA's [comps_list] pattern).
+    Group keys must be plain columns; aggregate arguments may be arbitrary
+    scalar expressions over the joined row. *)
+
+type agg_kind = Agg_sum | Agg_count | Agg_count_star
+
+type agg_col = {
+  a_name : string;  (** output column in the view *)
+  a_kind : agg_kind;
+  a_expr : Strip_relational.Expr.t option;  (** [None] for COUNT star *)
+}
+
+type t = {
+  view : string;
+  driver : string;  (** the table whose changes the rules react to *)
+  driver_alias : string;  (** how the FROM clause names it *)
+  key_cols : (string * Strip_relational.Expr.t) list;
+      (** (output name, source column expr) for each group key *)
+  aggs : agg_col list;
+  others : Strip_relational.Sql_parser.table_ref list;  (** dimension tables *)
+  where : Strip_relational.Expr.t option;
+  driver_cols_used : string list;
+      (** driver columns the view reads — the [when updated ...] list *)
+}
+
+exception Unsupported of string
+
+val analyze :
+  Strip_relational.Sql_parser.select_ast ->
+  view:string ->
+  driver:string ->
+  driver_columns:string list ->
+  t
+(** [driver_columns] is the driver table's column list, used to attribute
+    unqualified references.
+    @raise Unsupported when the view is outside the maintainable class
+    (missing driver in FROM, non-column group keys, disallowed
+    aggregates, ...). *)
+
+val requalify_driver : t -> as_:string -> Strip_relational.Expr.t -> Strip_relational.Expr.t
+(** Rewrite references to the driver table (by alias or unqualified driver
+    columns) to qualifier [as_] ("new"/"old"/"inserted"/"deleted") — used
+    when splicing view expressions into rule condition queries. *)

@@ -1,0 +1,135 @@
+type quote = {
+  time : float;
+  stock : int;
+  price : float;
+}
+
+type config = {
+  n_stocks : int;
+  duration : float;
+  target_updates : int;
+  zipf_s : float;
+  burst_mean_quotes : float;
+  burst_gap_min : float;
+  burst_gap_mean : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_stocks = 6600;
+    duration = 1800.0;
+    target_updates = 60000;
+    zipf_s = 0.6;
+    burst_mean_quotes = 1.4;
+    burst_gap_min = 1.1;
+    burst_gap_mean = 1.8;
+    seed = 1994;
+  }
+
+let scaled cfg f =
+  {
+    cfg with
+    duration = cfg.duration *. f;
+    target_updates =
+      max 1 (int_of_float (Float.round (float_of_int cfg.target_updates *. f)));
+  }
+
+let activity_weights cfg = Zipf.weights ~n:cfg.n_stocks ~s:cfg.zipf_s
+
+let eighth = 0.125
+
+let round_to_eighth p = Float.round (p /. eighth) *. eighth
+
+let initial_prices cfg =
+  let rng = Random.State.make [| cfg.seed; 17 |] in
+  Array.init cfg.n_stocks (fun _ ->
+      let p = 8.0 +. Random.State.float rng 112.0 in
+      Float.max eighth (round_to_eighth p))
+
+(* Knuth's Poisson sampler; adequate for the per-stock burst counts. *)
+let poisson rng lambda =
+  if lambda <= 0.0 then 0
+  else if lambda > 700.0 then
+    (* normal approximation for very active stocks *)
+    let u1 = Random.State.float rng 1.0 and u2 = Random.State.float rng 1.0 in
+    let z =
+      Float.sqrt (-2.0 *. Float.log (Float.max 1e-12 u1))
+      *. Float.cos (2.0 *. Float.pi *. u2)
+    in
+    max 0 (int_of_float (Float.round (lambda +. (z *. Float.sqrt lambda))))
+  else begin
+    let l = Float.exp (-.lambda) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue_ = ref true in
+    while !continue_ do
+      p := !p *. Random.State.float rng 1.0;
+      if !p <= l then continue_ := false else incr k
+    done;
+    !k
+  end
+
+let generate cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let weights = activity_weights cfg in
+  let prices = initial_prices cfg in
+  let stop_p = 1.0 /. Float.max 1.0 cfg.burst_mean_quotes in
+  let quotes = ref [] in
+  for s = 0 to cfg.n_stocks - 1 do
+    let expected = float_of_int cfg.target_updates *. weights.(s) in
+    let expected_bursts = expected /. Float.max 1.0 cfg.burst_mean_quotes in
+    let n_bursts = poisson rng expected_bursts in
+    (* Quote instants for all bursts of this stock. *)
+    let times = ref [] in
+    for _b = 1 to n_bursts do
+      let start = Random.State.float rng cfg.duration in
+      (* burst length: 1 + Geometric(stop_p) *)
+      let k = ref 1 in
+      while Random.State.float rng 1.0 > stop_p do
+        incr k
+      done;
+      (* quotes separated by a floor gap plus an exponential tail *)
+      let tail = Float.max 1e-6 (cfg.burst_gap_mean -. cfg.burst_gap_min) in
+      let t = ref start in
+      times := start :: !times;
+      for _q = 2 to !k do
+        let gap =
+          cfg.burst_gap_min
+          -. (tail *. Float.log (Float.max 1e-12 (Random.State.float rng 1.0)))
+        in
+        t := !t +. gap;
+        times := !t :: !times
+      done
+    done;
+    (* Strictly increasing per-stock times (overlapping bursts are nudged
+       apart), so the price walk is well ordered in time and every quote
+       really changes the price. *)
+    let times = List.sort Float.compare !times in
+    let price = ref prices.(s) in
+    let last = ref neg_infinity in
+    List.iter
+      (fun time ->
+        let time = if time <= !last +. 1e-3 then !last +. 1e-3 else time in
+        last := time;
+        if time < cfg.duration then begin
+          (* random walk in eighths; every quote moves the price *)
+          let steps = float_of_int (1 + Random.State.int rng 3) in
+          let dir =
+            if !price <= 1.0 then 1.0
+            else if Random.State.bool rng then 1.0
+            else -1.0
+          in
+          price := Float.max eighth (!price +. (dir *. steps *. eighth));
+          quotes := { time; stock = s; price = !price } :: !quotes
+        end)
+      times
+  done;
+  let arr = Array.of_list !quotes in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare a.time b.time in
+      if c <> 0 then c else Int.compare a.stock b.stock)
+    arr;
+  arr
+
+let arrival_times quotes = Array.map (fun q -> q.time) quotes

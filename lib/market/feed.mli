@@ -1,0 +1,61 @@
+(** Synthetic TAQ-like quote stream.
+
+    Stands in for the NYSE TAQ consolidated quote file the paper replays
+    (§4.1): ~6,600 stocks, ~60,000 price changes over a 30-minute window.
+    The generator reproduces the two statistical properties the paper's
+    results depend on:
+
+    - {b activity skew} — per-stock quote counts follow a Zipf-like law, so
+      a few stocks dominate the stream (this drives the fan-in/fan-out
+      batching asymmetry of §5);
+    - {b burstiness} — "a small price change in a stock may trigger a burst
+      of quotes ... followed by minutes of inactivity" (§1): each stock
+      alternates long quiet gaps with bursts of quotes whose intra-burst
+      gaps are a floor plus an exponential tail (market makers settling on
+      a new price re-quote every second or two).  This is the temporal
+      locality that [unique on symbol] batching exploits — and because the
+      gaps rarely dip below a second, delay windows shorter than ~1 s catch
+      almost none of it, reproducing the paper's Figure-12 crossover.
+
+    Prices follow a per-stock random walk in 1994-style eighths, and every
+    quote changes the price (a no-op quote would not trigger the rules). *)
+
+type quote = {
+  time : float;  (** seconds from experiment start *)
+  stock : int;  (** stock index, 0 = most active *)
+  price : float;  (** new price, a positive multiple of 1/8 *)
+}
+
+type config = {
+  n_stocks : int;
+  duration : float;  (** seconds *)
+  target_updates : int;  (** expected total quote count *)
+  zipf_s : float;  (** activity skew exponent *)
+  burst_mean_quotes : float;  (** mean quotes per burst (≥ 1) *)
+  burst_gap_min : float;  (** minimum seconds between quotes of a burst *)
+  burst_gap_mean : float;
+      (** mean intra-burst gap (exponential tail above the minimum) *)
+  seed : int;
+}
+
+val default_config : config
+(** The paper's scenario: 6,600 stocks, 1,800 s, 60,000 updates,
+    [zipf_s = 0.6], bursts of ~1.4 quotes with gaps of 0.9 s plus an
+    exponential tail (mean 1.6 s), seed 1994. *)
+
+val scaled : config -> float -> config
+(** [scaled cfg f] shrinks duration and update count by factor [f] (for
+    quick runs); everything else is untouched. *)
+
+val activity_weights : config -> float array
+(** Normalized expected share of the stream per stock (the paper's "trading
+    activity as measured by the number of price changes"). *)
+
+val generate : config -> quote array
+(** The trace, sorted by time; deterministic for a given config. *)
+
+val initial_prices : config -> float array
+(** Per-stock price at experiment start (the walk's origin), in eighths. *)
+
+val arrival_times : quote array -> float array
+(** Just the (sorted) times — the engine's context-switch profile. *)

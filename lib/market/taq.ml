@@ -1,0 +1,98 @@
+let symbol i =
+  if i < 0 then invalid_arg "Taq.symbol: negative index";
+  let rec go i acc =
+    let letter = Char.chr (Char.code 'A' + (i mod 26)) in
+    let acc = String.make 1 letter ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
+
+let stock_of_symbol s =
+  if s = "" then invalid_arg "Taq.stock_of_symbol: empty symbol";
+  let n = String.length s in
+  let value = ref 0 in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if c < 'A' || c > 'Z' then
+      invalid_arg (Printf.sprintf "Taq.stock_of_symbol: bad symbol %s" s);
+    value := (!value * 26) + (Char.code c - Char.code 'A' + 1)
+  done;
+  !value - 1
+
+let half_spread = 0.125
+
+let to_lines quotes =
+  Array.to_list quotes
+  |> List.map (fun (q : Feed.quote) ->
+         Printf.sprintf "%s,%d,%.3f,%.3f" (symbol q.stock)
+           (int_of_float q.time)
+           (q.price -. half_spread)
+           (q.price +. half_spread))
+
+let of_lines lines =
+  let parse line =
+    match String.split_on_char ',' (String.trim line) with
+    | [ sym; sec; bid; ask ] -> (
+      try
+        let stock = stock_of_symbol sym in
+        let second = int_of_string sec in
+        let bid = float_of_string bid and ask = float_of_string ask in
+        (stock, second, (bid +. ask) /. 2.0)
+      with _ -> failwith (Printf.sprintf "Taq.of_lines: malformed line %S" line))
+    | _ -> failwith (Printf.sprintf "Taq.of_lines: malformed line %S" line)
+  in
+  let parsed =
+    List.filter_map
+      (fun line -> if String.trim line = "" then None else Some (parse line))
+      lines
+  in
+  (* Count quotes per integer second, then spread each second's quotes
+     evenly: quote k of n at t + k/n (k = 0..n-1). *)
+  let per_second = Hashtbl.create 256 in
+  List.iter
+    (fun (_, sec, _) ->
+      let n = match Hashtbl.find_opt per_second sec with Some n -> n | None -> 0 in
+      Hashtbl.replace per_second sec (n + 1))
+    parsed;
+  let seen = Hashtbl.create 256 in
+  let quotes =
+    List.map
+      (fun (stock, sec, price) ->
+        let n = Hashtbl.find per_second sec in
+        let k = match Hashtbl.find_opt seen sec with Some k -> k | None -> 0 in
+        Hashtbl.replace seen sec (k + 1);
+        let time = float_of_int sec +. (float_of_int k /. float_of_int n) in
+        { Feed.time; stock; price })
+      parsed
+  in
+  let arr = Array.of_list quotes in
+  Array.sort
+    (fun (a : Feed.quote) b ->
+      let c = Float.compare a.time b.time in
+      if c <> 0 then c else Int.compare a.stock b.stock)
+    arr;
+  arr
+
+let save path quotes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines quotes))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines (List.rev !lines))

@@ -1,0 +1,31 @@
+(** TAQ-style consolidated quote files (paper §4.1).
+
+    The NYSE TAQ quote file records, per quote: the stock symbol, bid and
+    ask prices, and the time {e to the nearest second}.  This module
+    serializes traces in that shape and, on load, re-applies the paper's
+    timestamp treatment: "if more than one quote occurs within a given
+    second we spread them evenly over the 1 second interval" (quote [k] of
+    [n] within second [t] lands at [t + k/n]).
+
+    Line format: [SYMBOL,SECOND,BID,ASK] with bid/ask an eighth below/above
+    the quote midpoint. *)
+
+val symbol : int -> string
+(** Ticker for a stock index: base-26 letters ("A", "B", ..., "AA", ...),
+    stable across the whole system. *)
+
+val stock_of_symbol : string -> int
+(** Inverse of {!symbol}.  @raise Invalid_argument on a malformed ticker. *)
+
+val to_lines : Feed.quote array -> string list
+(** Serialize (timestamps truncated to whole seconds, as in TAQ). *)
+
+val of_lines : string list -> Feed.quote array
+(** Parse and spread same-second quotes evenly.
+    @raise Failure on a malformed line. *)
+
+val save : string -> Feed.quote array -> unit
+(** Write a trace file. *)
+
+val load : string -> Feed.quote array
+(** Read a trace file (applying the even-spreading rule). *)

@@ -1,0 +1,70 @@
+let weights ~n ~s =
+  let w = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let power w b =
+  let biased = Array.map (fun x -> Float.pow x b) w in
+  let total = Array.fold_left ( +. ) 0.0 biased in
+  Array.map (fun x -> x /. total) biased
+
+(* Vose's alias method. *)
+type sampler = {
+  prob : float array;
+  alias : int array;
+}
+
+let sampler w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Zipf.sampler: empty weights";
+  let scaled = Array.map (fun x -> x *. float_of_int n) w in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let scaled = Array.map (fun x -> x /. total) scaled in
+  let prob = Array.make n 0.0 and alias = Array.make n 0 in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i x -> if x < 1.0 then Stack.push i small else Stack.push i large)
+    scaled;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+  done;
+  Stack.iter (fun i -> prob.(i) <- 1.0) small;
+  Stack.iter (fun i -> prob.(i) <- 1.0) large;
+  { prob; alias }
+
+let sample t rng =
+  let n = Array.length t.prob in
+  let i = Random.State.int rng n in
+  if Random.State.float rng 1.0 < t.prob.(i) then i else t.alias.(i)
+
+let sample_distinct t rng ~k ~n =
+  if k > n then invalid_arg "Zipf.sample_distinct: k > n";
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let filled = ref 0 in
+  (* Rejection sampling; falls back to scanning when k approaches n. *)
+  let attempts = ref 0 in
+  while !filled < k && !attempts < 50 * k do
+    incr attempts;
+    let i = sample t rng in
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.add seen i ();
+      out.(!filled) <- i;
+      incr filled
+    end
+  done;
+  (* Complete deterministically if rejection stalled. *)
+  let next = ref 0 in
+  while !filled < k do
+    if not (Hashtbl.mem seen !next) then begin
+      Hashtbl.add seen !next ();
+      out.(!filled) <- !next;
+      incr filled
+    end;
+    incr next
+  done;
+  out

@@ -1,0 +1,27 @@
+(** Zipf-like weights and weighted sampling.
+
+    Trading activity across stocks is famously heavy-tailed; the paper's
+    TAQ trace has a few stocks quoting thousands of times a day and a long
+    tail quoting a handful.  We model per-stock activity as
+    [wₖ ∝ 1/k^s] and expose weighted sampling for populating the
+    activity-proportional composite memberships and option listings of
+    paper §4.2. *)
+
+val weights : n:int -> s:float -> float array
+(** Normalized weights (sum = 1); index 0 is the most active. *)
+
+val power : float array -> float -> float array
+(** [power w b] renormalizes [wᵢ^b] — a bias knob: [b = 1] keeps the
+    distribution, [b = 0] flattens it to uniform. *)
+
+type sampler
+
+val sampler : float array -> sampler
+(** O(1) weighted sampling via the alias method. *)
+
+val sample : sampler -> Random.State.t -> int
+
+val sample_distinct : sampler -> Random.State.t -> k:int -> n:int -> int array
+(** [k] distinct indexes drawn from the weighted distribution (rejection on
+    duplicates; [k] must be ≤ [n], the index space size).
+    @raise Invalid_argument otherwise. *)

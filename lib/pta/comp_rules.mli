@@ -1,0 +1,36 @@
+(** Rules maintaining [comp_prices] (paper Figures 3, 6, 7).
+
+    Four variants, one per curve of Figures 9-11:
+
+    - {!Non_unique} — [do_comps1]: one action transaction per triggering
+      transaction; [compute_comps1] walks [matches] row by row;
+    - {!Unique_coarse} — [do_comps2]: one queued transaction for the whole
+      view; [compute_comps2] groups the batched changes by composite in
+      user code before applying them;
+    - {!Unique_on_symbol} — batches per changed stock symbol; the user
+      function still groups by composite in user code;
+    - {!Unique_on_comp} — [do_comps3]: batches per composite;
+      [compute_comps3] folds its single composite's changes in one pass.
+
+    All variants share the condition query of Figure 3 (binding [matches])
+    and are installed with their user function registered. *)
+
+type variant = Non_unique | Unique_coarse | Unique_on_symbol | Unique_on_comp
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+val rule_text : variant -> delay:float -> string
+(** The Figure-2-syntax source of the rule (delay ignored for
+    {!Non_unique}, which releases at commit). *)
+
+val install :
+  Strip_core.Strip_db.t -> Pta_tables.handles -> variant -> delay:float -> unit
+(** Register the user function and create the rule. *)
+
+val recompute_from_scratch : Pta_tables.handles -> (string * float) list
+(** Ground truth: every composite's price recomputed from current stock
+    prices (unmetered), for correctness checks. *)
+
+val maintained : Pta_tables.handles -> (string * float) list
+(** Current contents of the materialized [comp_prices]. *)

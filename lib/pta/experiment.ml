@@ -1,0 +1,132 @@
+open Strip_relational
+open Strip_core
+open Strip_market
+
+type rule_choice =
+  | Comp_view of Comp_rules.variant
+  | Option_view of Option_rules.variant
+
+type config = {
+  rule : rule_choice;
+  delay : float;
+  feed : Feed.config;
+  sizes : Pta_tables.sizes;
+  cost : Strip_sim.Cost_model.t;
+  verify : bool;
+}
+
+let default_config rule ~delay =
+  {
+    rule;
+    delay;
+    feed = Feed.default_config;
+    sizes = Pta_tables.default_sizes;
+    cost = Strip_sim.Cost_model.default;
+    verify = true;
+  }
+
+let quick cfg f =
+  {
+    cfg with
+    feed = Feed.scaled cfg.feed f;
+    sizes = Pta_tables.scaled_sizes cfg.sizes f;
+  }
+
+type metrics = {
+  label : string;
+  delay : float;
+  duration_s : float;
+  utilization : float;
+  n_updates : int;
+  n_recompute : int;
+  mean_recompute_us : float;
+  max_recompute_us : float;
+  busy_update_s : float;
+  busy_recompute_s : float;
+  n_firings : int;
+  n_merges : int;
+  context_switches : int;
+  expected_fanout : float;
+  verified : bool option;
+  max_abs_error : float;
+}
+
+let label_of = function
+  | Comp_view v -> "comp_prices/" ^ Comp_rules.variant_name v
+  | Option_view v -> "option_prices/" ^ Option_rules.variant_name v
+
+let verify_tolerance = function
+  | Comp_view _ -> 1e-6
+  | Option_view _ -> 1e-9
+
+(* Compare two sorted (name, value) association lists. *)
+let max_error expected actual =
+  let tbl = Hashtbl.create (List.length expected * 2) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) expected;
+  List.fold_left
+    (fun worst (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some e -> Float.max worst (Float.abs (v -. e))
+      | None -> infinity)
+    (if List.length expected = List.length actual then 0.0 else infinity)
+    actual
+
+let run cfg =
+  let db = Strip_db.create ~cost:cfg.cost () in
+  let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
+  let weights = Feed.activity_weights cfg.feed in
+  let expected_fanout =
+    match cfg.rule with
+    | Comp_view _ -> Pta_tables.expected_comps_per_update h ~weights
+    | Option_view _ -> Pta_tables.expected_options_per_update h ~weights
+  in
+  (match cfg.rule with
+  | Comp_view v -> Comp_rules.install db h v ~delay:cfg.delay
+  | Option_view v -> Option_rules.install db h v ~delay:cfg.delay);
+  let n_submitted =
+    Strip_ingest.Import.generate_and_replay db
+      {
+        Strip_ingest.Import.stocks = h.Pta_tables.stocks;
+        by_symbol = h.Pta_tables.stocks_by_symbol;
+      }
+      cfg.feed
+  in
+  ignore n_submitted;
+  Meter.reset ();
+  Rule_manager.reset_stats (Strip_db.rules db);
+  Strip_db.run db;
+  let stats = Strip_db.stats db in
+  let duration_s = cfg.feed.Feed.duration in
+  let verified, max_abs_error =
+    if cfg.verify then begin
+      let expected, actual =
+        match cfg.rule with
+        | Comp_view _ ->
+          (Comp_rules.recompute_from_scratch h, Comp_rules.maintained h)
+        | Option_view _ ->
+          (Option_rules.recompute_from_scratch h, Option_rules.maintained h)
+      in
+      let err = max_error expected actual in
+      (Some (err <= verify_tolerance cfg.rule), err)
+    end
+    else (None, nan)
+  in
+  let open Strip_txn in
+  {
+    label = label_of cfg.rule;
+    delay = cfg.delay;
+    duration_s;
+    utilization = Strip_sim.Stats.utilization stats ~duration_s;
+    n_updates = Strip_sim.Stats.tasks_run stats Task.Update;
+    n_recompute = Strip_sim.Stats.n_recompute stats;
+    mean_recompute_us = Strip_sim.Stats.mean_service_us stats Task.Recompute;
+    max_recompute_us = Strip_sim.Stats.max_service_us stats Task.Recompute;
+    busy_update_s = Strip_sim.Stats.busy_us_of stats Task.Update *. 1e-6;
+    busy_recompute_s = Strip_sim.Stats.busy_us_of stats Task.Recompute *. 1e-6;
+    n_firings = Rule_manager.n_rule_firings (Strip_db.rules db);
+    n_merges = Rule_manager.n_merges (Strip_db.rules db);
+    context_switches = Strip_sim.Stats.context_switches stats;
+    expected_fanout;
+    verified;
+    max_abs_error;
+  }

@@ -1,0 +1,55 @@
+(** One experiment = one curve point of Figures 9-14.
+
+    Builds a fresh STRIP instance, populates the PTA tables, installs one
+    maintenance rule variant, replays a quote trace through the simulator,
+    and reports the paper's metrics: CPU utilization, the number of
+    recomputation transactions N_r, and recompute transaction lengths.
+    Optionally verifies that the maintained views match a from-scratch
+    recomputation — every run is a correctness test as well as a
+    measurement. *)
+
+type rule_choice =
+  | Comp_view of Comp_rules.variant
+  | Option_view of Option_rules.variant
+
+type config = {
+  rule : rule_choice;
+  delay : float;
+  feed : Strip_market.Feed.config;
+  sizes : Pta_tables.sizes;
+  cost : Strip_sim.Cost_model.t;
+  verify : bool;
+}
+
+val default_config : rule_choice -> delay:float -> config
+(** Paper-scale feed and sizes, default cost model, verification on. *)
+
+val quick : config -> float -> config
+(** Scale the workload (duration, update count, composites, options) by a
+    factor for fast runs. *)
+
+type metrics = {
+  label : string;
+  delay : float;
+  duration_s : float;
+  utilization : float;  (** fraction of the simulated CPU consumed *)
+  n_updates : int;
+  n_recompute : int;  (** the paper's N_r *)
+  mean_recompute_us : float;
+  max_recompute_us : float;
+  busy_update_s : float;
+  busy_recompute_s : float;
+  n_firings : int;
+  n_merges : int;
+  context_switches : int;
+  expected_fanout : float;
+      (** E[derived rows touched per update] for the chosen view *)
+  verified : bool option;  (** [None] when verification was off *)
+  max_abs_error : float;
+}
+
+val run : config -> metrics
+
+val verify_tolerance : rule_choice -> float
+(** Comparison tolerance: composites accumulate float increments;
+    options are recomputed exactly. *)

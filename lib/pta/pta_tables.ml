@@ -1,0 +1,191 @@
+open Strip_relational
+open Strip_core
+open Strip_market
+
+type sizes = {
+  n_comps : int;
+  comp_members : int;
+  n_options : int;
+  membership_bias : float;
+  option_bias : float;
+  seed : int;
+}
+
+let default_sizes =
+  {
+    n_comps = 400;
+    comp_members = 200;
+    n_options = 50000;
+    membership_bias = 0.5;
+    option_bias = 0.8;
+    seed = 42;
+  }
+
+let scaled_sizes s f =
+  {
+    s with
+    n_comps = max 1 (int_of_float (Float.round (float_of_int s.n_comps *. f)));
+    n_options = max 1 (int_of_float (Float.round (float_of_int s.n_options *. f)));
+  }
+
+type handles = {
+  stocks : Table.t;
+  stocks_by_symbol : Index.t;
+  stock_stdev : Table.t;
+  stdev_by_symbol : Index.t;
+  comps_list : Table.t;
+  comps_by_symbol : Index.t;
+  comp_prices : Table.t;
+  comp_by_name : Index.t;
+  options_list : Table.t;
+  options_by_stock : Index.t;
+  option_prices : Table.t;
+  option_by_symbol : Index.t;
+}
+
+let comp_name i = Printf.sprintf "COMP%03d" i
+
+let populate db ~feed sizes =
+  Strip_finance.Black_scholes.register_sql_function ();
+  let cat = Strip_db.catalog db in
+  let mk name cols = Catalog.create_table cat ~name ~schema:(Schema.of_list cols) in
+  let stocks =
+    mk "stocks" [ ("symbol", Value.TStr); ("price", Value.TFloat) ]
+  in
+  let stock_stdev =
+    mk "stock_stdev" [ ("symbol", Value.TStr); ("stdev", Value.TFloat) ]
+  in
+  let comps_list =
+    mk "comps_list"
+      [ ("comp", Value.TStr); ("symbol", Value.TStr); ("weight", Value.TFloat) ]
+  in
+  let options_list =
+    mk "options_list"
+      [
+        ("option_symbol", Value.TStr);
+        ("stock_symbol", Value.TStr);
+        ("strike", Value.TFloat);
+        ("expiration", Value.TFloat);
+      ]
+  in
+  let rng = Random.State.make [| sizes.seed |] in
+  let weights = Feed.activity_weights feed in
+  let prices = Feed.initial_prices feed in
+  (* stocks + stock_stdev *)
+  for s = 0 to feed.Feed.n_stocks - 1 do
+    let sym = Value.Str (Taq.symbol s) in
+    ignore (Table.insert stocks [| sym; Value.Float prices.(s) |]);
+    let stdev = 0.15 +. Random.State.float rng 0.45 in
+    ignore (Table.insert stock_stdev [| sym; Value.Float stdev |])
+  done;
+  (* composite membership: members drawn in proportion to activity^bias *)
+  let member_sampler =
+    Zipf.sampler (Zipf.power weights sizes.membership_bias)
+  in
+  for cnum = 0 to sizes.n_comps - 1 do
+    let members =
+      Zipf.sample_distinct member_sampler rng ~k:sizes.comp_members
+        ~n:feed.Feed.n_stocks
+    in
+    let base_weight = 1.0 /. float_of_int sizes.comp_members in
+    Array.iter
+      (fun s ->
+        let w = base_weight *. (0.5 +. Random.State.float rng 1.0) in
+        ignore
+          (Table.insert comps_list
+             [|
+               Value.Str (comp_name cnum);
+               Value.Str (Taq.symbol s);
+               Value.Float w;
+             |]))
+      members
+  done;
+  (* listed options: stocks drawn in proportion to activity^bias *)
+  let option_sampler = Zipf.sampler (Zipf.power weights sizes.option_bias) in
+  for onum = 0 to sizes.n_options - 1 do
+    let s = Zipf.sample option_sampler rng in
+    let sym = Taq.symbol s in
+    let strike =
+      Float.max 0.125
+        (Float.round (prices.(s) *. (0.8 +. Random.State.float rng 0.4) *. 8.0)
+        /. 8.0)
+    in
+    let expiration = 0.05 +. Random.State.float rng 0.70 in
+    ignore
+      (Table.insert options_list
+         [|
+           Value.Str (Printf.sprintf "%s_O%d" sym onum);
+           Value.Str sym;
+           Value.Float strike;
+           Value.Float expiration;
+         |])
+  done;
+  (* indexes the rules' access paths need *)
+  let idx tb name cols = Table.create_index tb ~name ~kind:Index.Hash ~cols in
+  let stocks_by_symbol = idx stocks "stocks_by_symbol" [ "symbol" ] in
+  let stdev_by_symbol = idx stock_stdev "stdev_by_symbol" [ "symbol" ] in
+  let comps_by_symbol = idx comps_list "comps_by_symbol" [ "symbol" ] in
+  let options_by_stock = idx options_list "options_by_stock" [ "stock_symbol" ] in
+  (* materialized views, built through their paper definitions *)
+  (match
+     Sql_exec.exec_string cat ~env:[]
+       "create view comp_prices as select comp, sum(price * weight) as price \
+        from stocks, comps_list where stocks.symbol = comps_list.symbol \
+        group by comp"
+   with
+  | Sql_exec.Unit -> ()
+  | _ -> assert false);
+  (match
+     Sql_exec.exec_string cat ~env:[]
+       "create view option_prices as select option_symbol, \
+        f_bs(price, strike, expiration, stdev) as price \
+        from stocks, stock_stdev, options_list \
+        where stocks.symbol = options_list.stock_symbol \
+        and stocks.symbol = stock_stdev.symbol"
+   with
+  | Sql_exec.Unit -> ()
+  | _ -> assert false);
+  let comp_prices = Catalog.table_exn cat "comp_prices" in
+  let option_prices = Catalog.table_exn cat "option_prices" in
+  let comp_by_name = idx comp_prices "comp_by_name" [ "comp" ] in
+  let option_by_symbol = idx option_prices "option_by_symbol" [ "option_symbol" ] in
+  {
+    stocks;
+    stocks_by_symbol;
+    stock_stdev;
+    stdev_by_symbol;
+    comps_list;
+    comps_by_symbol;
+    comp_prices;
+    comp_by_name;
+    options_list;
+    options_by_stock;
+    option_prices;
+    option_by_symbol;
+  }
+
+(* E[rows touched per price change] = Σ_s w_s · fanout_s. *)
+let fanout_per_update table ~key_col ~weights =
+  let counts = Hashtbl.create 4096 in
+  Table.iter table (fun r ->
+      let sym =
+        match Record.value r key_col with
+        | Value.Str s -> s
+        | v -> Value.to_string v
+      in
+      let c = match Hashtbl.find_opt counts sym with Some c -> c | None -> 0 in
+      Hashtbl.replace counts sym (c + 1));
+  let total = ref 0.0 in
+  Array.iteri
+    (fun s w ->
+      match Hashtbl.find_opt counts (Taq.symbol s) with
+      | Some c -> total := !total +. (w *. float_of_int c)
+      | None -> ())
+    weights;
+  !total
+
+let expected_comps_per_update h ~weights =
+  fanout_per_update h.comps_list ~key_col:1 ~weights
+
+let expected_options_per_update h ~weights =
+  fanout_per_update h.options_list ~key_col:1 ~weights

@@ -1,0 +1,69 @@
+(** Program-trading-application schema and population (paper §3, §4.2).
+
+    Six tables:
+    - [stocks(symbol, price)] — base data, driven by the quote stream;
+    - [stock_stdev(symbol, stdev)] — annualized volatility (base data);
+    - [comps_list(comp, symbol, weight)] — composite membership
+      ("other data"; 400 composites × 200 stocks = 80,000 rows);
+    - [comp_prices(comp, price)] — derived, materialized as a view;
+    - [options_list(option_symbol, stock_symbol, strike, expiration)] —
+      50,000 listed call options (base data);
+    - [option_prices(option_symbol, price)] — derived via Black-Scholes.
+
+    Composite members and option listings are drawn in proportion to
+    trading activity ("the stocks of large companies which trade frequently
+    are most often used in composites"), with a bias exponent because the
+    paper simultaneously reports ≈12 recomputations per price change —
+    see DESIGN.md.  All tables get the indexes the rules' access paths
+    need. *)
+
+type sizes = {
+  n_comps : int;
+  comp_members : int;
+  n_options : int;
+  membership_bias : float;
+      (** exponent applied to activity weights when sampling composite
+          members (1 = fully proportional, 0 = uniform) *)
+  option_bias : float;  (** same, for assigning options to stocks *)
+  seed : int;
+}
+
+val default_sizes : sizes
+(** The paper's scenario: 400 composites × 200 members, 50,000 options. *)
+
+val scaled_sizes : sizes -> float -> sizes
+(** Shrink composite count and option count by a factor (members per
+    composite unchanged), for quick runs. *)
+
+type handles = {
+  stocks : Strip_relational.Table.t;
+  stocks_by_symbol : Strip_relational.Index.t;
+  stock_stdev : Strip_relational.Table.t;
+  stdev_by_symbol : Strip_relational.Index.t;
+  comps_list : Strip_relational.Table.t;
+  comps_by_symbol : Strip_relational.Index.t;
+  comp_prices : Strip_relational.Table.t;
+  comp_by_name : Strip_relational.Index.t;
+  options_list : Strip_relational.Table.t;
+  options_by_stock : Strip_relational.Index.t;
+  option_prices : Strip_relational.Table.t;
+  option_by_symbol : Strip_relational.Index.t;
+}
+
+val populate :
+  Strip_core.Strip_db.t -> feed:Strip_market.Feed.config -> sizes -> handles
+(** Create, index and fill all six tables.  [comp_prices] and
+    [option_prices] are materialized through their paper view definitions
+    (the [option_prices] view uses the registered [f_bs] function).
+    Metering performed during population is the caller's to reset. *)
+
+(** {1 Workload statistics} *)
+
+val expected_comps_per_update :
+  handles -> weights:float array -> float
+(** E[composite memberships touched per price change] — the fan-in figure
+    the paper quotes as ≈12. *)
+
+val expected_options_per_update :
+  handles -> weights:float array -> float
+(** E[options recomputed per price change] — the fan-out driver of §5.2. *)

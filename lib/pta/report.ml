@@ -1,0 +1,49 @@
+let print_metrics_header () =
+  Printf.printf "%-36s %6s %8s %9s %12s %12s %8s %8s %6s\n%!" "configuration"
+    "delay" "cpu%" "N_r" "mean_rc_us" "max_rc_us" "merges" "ctxsw" "ok"
+
+let print_metrics (m : Experiment.metrics) =
+  Printf.printf "%-36s %6.2f %7.1f%% %9d %12.1f %12.0f %8d %8d %6s\n%!" m.label
+    m.delay
+    (100.0 *. m.utilization)
+    m.n_recompute m.mean_recompute_us m.max_recompute_us m.n_merges
+    m.context_switches
+    (match m.verified with
+    | Some true -> "yes"
+    | Some false -> "NO"
+    | None -> "-")
+
+let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let fmt_count v =
+  if v >= 1_000_000.0 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 10_000.0 then Printf.sprintf "%.0fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let fmt_us v =
+  if v >= 1e6 then Printf.sprintf "%.2fs" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fms" (v /. 1e3)
+  else Printf.sprintf "%.0fus" v
+
+let print_series ~title ~ylabel ~delays ~series ~value_fmt =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-');
+  Printf.printf "%-26s" (ylabel ^ " \\ delay");
+  List.iter (fun d -> Printf.printf "%10s" (Printf.sprintf "%.1fs" d)) delays;
+  print_newline ();
+  List.iter
+    (fun (name, points) ->
+      Printf.printf "%-26s" name;
+      List.iter
+        (fun d ->
+          let v =
+            match points with
+            | [ (_, only) ] -> Some only  (* horizontal baseline *)
+            | points -> List.assoc_opt d points
+          in
+          match v with
+          | Some v -> Printf.printf "%10s" (value_fmt v)
+          | None -> Printf.printf "%10s" "-")
+        delays;
+      print_newline ())
+    series;
+  flush stdout

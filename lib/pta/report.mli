@@ -1,0 +1,20 @@
+(** Tabular output for the figure-reproduction harness. *)
+
+val print_metrics_header : unit -> unit
+val print_metrics : Experiment.metrics -> unit
+
+val print_series :
+  title:string ->
+  ylabel:string ->
+  delays:float list ->
+  series:(string * (float * float) list) list ->
+  value_fmt:(float -> string) ->
+  unit
+(** Print one figure as a delay × variant table.  [series] maps a variant
+    label to (delay, value) points; a series with a single point (the
+    non-unique baseline) prints the same value in every column, mirroring
+    the horizontal line in the paper's plots. *)
+
+val fmt_pct : float -> string
+val fmt_count : float -> string
+val fmt_us : float -> string

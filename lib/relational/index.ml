@@ -1,0 +1,121 @@
+type kind = Hash | Ordered
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+
+  let hash k = Hashtbl.hash (List.map Value.hash k)
+
+  let compare a b =
+    let rec loop a b =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | x :: a', y :: b' ->
+        let c = Value.compare x y in
+        if c <> 0 then c else loop a' b'
+    in
+    loop a b
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+type store =
+  | SHash of Record.t list KeyTbl.t
+  | STree of (Key.t, Record.t list) Rbtree.t ref
+
+type t = {
+  iname : string;
+  icols : int array;
+  store : store;
+  mutable count : int;
+}
+
+let create ~name ~kind ~cols =
+  let store =
+    match kind with
+    | Hash -> SHash (KeyTbl.create 256)
+    | Ordered -> STree (ref Rbtree.empty)
+  in
+  { iname = name; icols = cols; store; count = 0 }
+
+let name t = t.iname
+
+let kind t = match t.store with SHash _ -> Hash | STree _ -> Ordered
+
+let key_cols t = t.icols
+
+let key_of_record t (r : Record.t) =
+  Array.to_list (Array.map (fun i -> Record.value r i) t.icols)
+
+let cmp = Key.compare
+
+let add t r =
+  Meter.tick "index_update";
+  let key = key_of_record t r in
+  (match t.store with
+  | SHash h ->
+    let cur = match KeyTbl.find_opt h key with Some l -> l | None -> [] in
+    KeyTbl.replace h key (r :: cur)
+  | STree tr ->
+    let cur = match Rbtree.find ~cmp key !tr with Some l -> l | None -> [] in
+    tr := Rbtree.insert ~cmp key (r :: cur) !tr);
+  t.count <- t.count + 1
+
+let remove t r =
+  Meter.tick "index_update";
+  let key = key_of_record t r in
+  let drop l =
+    let found = ref false in
+    let l' =
+      List.filter
+        (fun (x : Record.t) ->
+          if (not !found) && x.rid = r.rid then begin
+            found := true;
+            false
+          end
+          else true)
+        l
+    in
+    (!found, l')
+  in
+  match t.store with
+  | SHash h -> (
+    match KeyTbl.find_opt h key with
+    | None -> ()
+    | Some l ->
+      let found, l' = drop l in
+      if found then t.count <- t.count - 1;
+      if l' = [] then KeyTbl.remove h key else KeyTbl.replace h key l')
+  | STree tr -> (
+    match Rbtree.find ~cmp key !tr with
+    | None -> ()
+    | Some l ->
+      let found, l' = drop l in
+      if found then t.count <- t.count - 1;
+      tr :=
+        (if l' = [] then Rbtree.remove ~cmp key !tr
+         else Rbtree.insert ~cmp key l' !tr))
+
+let lookup t key =
+  Meter.tick "index_probe";
+  match t.store with
+  | SHash h -> ( match KeyTbl.find_opt h key with Some l -> l | None -> [])
+  | STree tr -> (
+    match Rbtree.find ~cmp key !tr with Some l -> l | None -> [])
+
+let range t ?lo ?hi f =
+  match t.store with
+  | SHash _ -> invalid_arg "Index.range: not an ordered index"
+  | STree tr ->
+    Meter.tick "index_probe";
+    Rbtree.range ~cmp ?lo ?hi (fun _ l -> List.iter f (List.rev l)) !tr
+
+let cardinal t = t.count
+
+let distinct_keys t =
+  match t.store with
+  | SHash h -> KeyTbl.length h
+  | STree tr -> Rbtree.cardinal !tr

@@ -1,0 +1,41 @@
+(** Secondary indexes over standard tables.
+
+    Per paper §6.1, tables can be indexed with either a hash structure or a
+    red-black tree.  Keys are tuples of column values; several records may
+    share a key (multi-map).  Index maintenance is driven by {!Table}: every
+    record link/unlink is reflected here.
+
+    Probes tick the ["index_probe"] meter; maintenance ticks
+    ["index_update"]. *)
+
+type kind = Hash | Ordered
+
+type t
+
+val create : name:string -> kind:kind -> cols:int array -> t
+(** [cols] are the key column positions within the table schema, in key
+    order. *)
+
+val name : t -> string
+val kind : t -> kind
+val key_cols : t -> int array
+
+val key_of_record : t -> Record.t -> Value.t list
+(** Extract a record's key for this index. *)
+
+val add : t -> Record.t -> unit
+
+val remove : t -> Record.t -> unit
+(** Removes this exact record (by rid) from its key's posting list. *)
+
+val lookup : t -> Value.t list -> Record.t list
+(** All records with exactly this key, unordered. *)
+
+val range : t -> ?lo:Value.t list -> ?hi:Value.t list -> (Record.t -> unit) -> unit
+(** Ordered-index range scan, inclusive bounds; ascending key order.
+    @raise Invalid_argument on a hash index. *)
+
+val cardinal : t -> int
+(** Number of indexed records. *)
+
+val distinct_keys : t -> int

@@ -1,0 +1,43 @@
+type snapshot = (string * int) list
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let enabled = ref true
+
+let cell name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add counters name r;
+    r
+
+let tick name = if !enabled then incr (cell name)
+
+let tick_n name n =
+  if !enabled && n <> 0 then begin
+    assert (n > 0);
+    let r = cell name in
+    r := !r + n
+  end
+
+let get name = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let reset () = Hashtbl.iter (fun _ r -> r := 0) counters
+
+let snapshot () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+
+let diff before after =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (name, v) -> Hashtbl.replace tbl name v) before;
+  let deltas =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 = match Hashtbl.find_opt tbl name with Some x -> x | None -> 0 in
+        if v <> v0 then Some (name, v - v0) else None)
+      after
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) deltas
+
+let fold f init = Hashtbl.fold (fun name r acc -> f name !r acc) counters init

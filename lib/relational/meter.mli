@@ -1,0 +1,40 @@
+(** Operation metering.
+
+    Every layer of the engine ticks named counters as it performs primitive
+    operations (lock acquisitions, cursor fetches, index probes, Black-Scholes
+    evaluations, ...).  The discrete-event simulator converts counter deltas
+    into simulated CPU time through {!Strip_sim.Cost_model}, and the benchmark
+    harness reports them directly.
+
+    Counters are global and intentionally cheap: one hashtable increment per
+    tick.  They carry no semantics of their own — the set of counter names in
+    use is documented by {!Strip_sim.Cost_model.default}. *)
+
+type snapshot
+(** Immutable snapshot of all counters at a point in time. *)
+
+val tick : string -> unit
+(** [tick name] increments counter [name] by one. *)
+
+val tick_n : string -> int -> unit
+(** [tick_n name n] increments counter [name] by [n] ([n >= 0]). *)
+
+val get : string -> int
+(** Current value of a counter (0 if never ticked). *)
+
+val reset : unit -> unit
+(** Reset every counter to zero. *)
+
+val snapshot : unit -> snapshot
+(** Capture the current value of every counter. *)
+
+val diff : snapshot -> snapshot -> (string * int) list
+(** [diff before after] lists counters whose value changed between the two
+    snapshots, with the (positive) delta, sorted by counter name. *)
+
+val fold : (string -> int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all live counters. *)
+
+val enabled : bool ref
+(** Master switch; metering is on by default.  Turning it off makes [tick]
+    a no-op, which the micro-benchmarks use to measure raw engine speed. *)

@@ -1,0 +1,678 @@
+type order = Asc | Desc
+
+type agg =
+  | Count_star
+  | Count of Expr.t
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type select_item = {
+  expr : Expr.t;
+  alias : string option;
+}
+
+type plan =
+  | Scan of { rel : string; alias : string option }
+  | Filter of Expr.t * plan
+  | Join of plan * plan * Expr.t option
+  | Project of select_item list * plan
+  | Group of {
+      keys : select_item list;
+      aggs : (agg * string) list;
+      having : Expr.t option;
+      input : plan;
+    }
+  | Order of (Expr.t * order) list * plan
+  | Limit of int * plan
+  | Distinct of plan
+
+let item ?alias expr = { expr; alias }
+
+exception Plan_error of string
+
+let plan_error fmt = Printf.ksprintf (fun s -> raise (Plan_error s)) fmt
+
+(* Column provenance within an executing result: a verbatim copy of a
+   standard-record attribute ([Slot]) or a computed value ([Mat]). *)
+type colprov = Slot of int * int | Mat
+
+type xdesc = {
+  schema : Schema.t;
+  nslots : int;
+  colprov : colprov array;
+}
+
+type xrow = {
+  vals : Value.t array;
+  srcs : Record.t array;
+}
+
+type result = {
+  desc : xdesc;
+  xrows : xrow list;  (* result order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor computation (shared by [run] and [schema_of]).           *)
+
+let item_name i (it : select_item) =
+  match it.alias with
+  | Some a -> a
+  | None -> (
+    match it.expr with
+    | Expr.Col (_, n) -> n
+    | _ -> Printf.sprintf "col%d" i)
+
+let item_type schema (it : select_item) =
+  match Expr.infer_type schema it.expr with
+  | Some ty -> ty
+  | None -> Value.TFloat  (* unregistered functions default to float *)
+
+let agg_type schema = function
+  | Count_star | Count _ -> Value.TInt
+  | Avg _ -> Value.TFloat
+  | Sum e | Min e | Max e -> (
+    match Expr.infer_type schema e with Some ty -> ty | None -> Value.TFloat)
+
+let scan_desc relation alias =
+  let base = Catalog.relation_schema relation in
+  let name = Option.value alias ~default:(Catalog.relation_name relation) in
+  let schema = Schema.requalify name base in
+  match relation with
+  | Catalog.Std _ ->
+    {
+      schema;
+      nslots = 1;
+      colprov = Array.init (Schema.arity schema) (fun i -> Slot (0, i));
+    }
+  | Catalog.Tmp tmp ->
+    let prov = Temp_table.static_map tmp in
+    {
+      schema;
+      nslots = Temp_table.slots tmp;
+      colprov =
+        Array.map
+          (function
+            | Temp_table.From_record (s, o) -> Slot (s, o)
+            | Temp_table.Computed _ -> Mat)
+          prov;
+    }
+
+let join_desc dl dr =
+  let schema =
+    try Schema.append dl.schema dr.schema
+    with Invalid_argument msg -> plan_error "join: %s" msg
+  in
+  let shift = function Slot (s, o) -> Slot (s + dl.nslots, o) | Mat -> Mat in
+  {
+    schema;
+    nslots = dl.nslots + dr.nslots;
+    colprov = Array.append dl.colprov (Array.map shift dr.colprov);
+  }
+
+let project_desc d items =
+  let cols =
+    List.mapi
+      (fun i it -> Schema.column (item_name i it) (item_type d.schema it))
+      items
+  in
+  let schema =
+    try Schema.make cols
+    with Invalid_argument msg ->
+      plan_error "projection has duplicate output columns (%s); use AS aliases"
+        msg
+  in
+  let colprov =
+    items
+    |> List.map (fun it ->
+           match Expr.resolve d.schema it.expr with
+           | Expr.Bound i -> d.colprov.(i)
+           | _ -> Mat
+           | exception Expr.Unknown_column c ->
+             plan_error "unknown column %s" c)
+    |> Array.of_list
+  in
+  { schema; nslots = d.nslots; colprov }
+
+let group_desc d keys aggs =
+  let key_cols =
+    List.mapi
+      (fun i it -> Schema.column (item_name i it) (item_type d.schema it))
+      keys
+  in
+  let agg_cols =
+    List.map (fun (a, name) -> Schema.column name (agg_type d.schema a)) aggs
+  in
+  let schema =
+    try Schema.make (key_cols @ agg_cols)
+    with Invalid_argument msg -> plan_error "group by: %s" msg
+  in
+  {
+    schema;
+    nslots = 0;
+    colprov = Array.make (Schema.arity schema) Mat;
+  }
+
+let rec desc_of cat ~env = function
+  | Scan { rel; alias } -> (
+    match Catalog.resolve cat ~env rel with
+    | Some relation -> scan_desc relation alias
+    | None -> plan_error "unknown relation %s" rel)
+  | Filter (_, p) -> desc_of cat ~env p
+  | Join (l, r, _) -> join_desc (desc_of cat ~env l) (desc_of cat ~env r)
+  | Project (items, p) -> project_desc (desc_of cat ~env p) items
+  | Group { keys; aggs; input; _ } -> group_desc (desc_of cat ~env input) keys aggs
+  | Order (_, p) -> desc_of cat ~env p
+  | Limit (_, p) -> desc_of cat ~env p
+  | Distinct p -> desc_of cat ~env p
+
+(* ------------------------------------------------------------------ *)
+(* Predicate analysis for join strategies.                              *)
+
+let rec conjuncts = function
+  | Expr.Binop (Expr.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* Split a resolved join predicate into equi pairs (left position, right
+   position relative to the right input) and residual conjuncts. *)
+let split_equi ~left_arity pred =
+  let equi = ref [] and residual = ref [] in
+  List.iter
+    (fun c ->
+      match c with
+      | Expr.Binop (Expr.Eq, Expr.Bound i, Expr.Bound j)
+        when i < left_arity && j >= left_arity ->
+        equi := (i, j - left_arity) :: !equi
+      | Expr.Binop (Expr.Eq, Expr.Bound j, Expr.Bound i)
+        when i < left_arity && j >= left_arity ->
+        equi := (i, j - left_arity) :: !equi
+      | c -> residual := c :: !residual)
+    (conjuncts pred);
+  (List.rev !equi, List.rev !residual)
+
+module VKey = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash k = Hashtbl.hash (List.map Value.hash k)
+end
+
+module VTbl = Hashtbl.Make (VKey)
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                           *)
+
+let scan_rows relation desc =
+  match relation with
+  | Catalog.Std tb ->
+    let acc = ref [] in
+    Table.iter tb (fun r ->
+        Meter.tick "seq_row";
+        acc := { vals = r.Record.values; srcs = [| r |] } :: !acc);
+    ignore desc;
+    List.rev !acc
+  | Catalog.Tmp tmp ->
+    let nslots = Temp_table.slots tmp in
+    let acc = ref [] in
+    Temp_table.iter tmp (fun row ->
+        Meter.tick "seq_row";
+        acc :=
+          {
+            vals = Temp_table.row_values tmp row;
+            srcs = Array.init nslots (fun s -> Temp_table.row_source row s);
+          }
+          :: !acc);
+    List.rev !acc
+
+let combine_rows lrow rrow =
+  Meter.tick "join_row";
+  {
+    vals = Array.append lrow.vals rrow.vals;
+    srcs = Array.append lrow.srcs rrow.srcs;
+  }
+
+let rec exec cat ~env plan : result =
+  match plan with
+  | Scan { rel; alias } -> (
+    match Catalog.resolve cat ~env rel with
+    | None -> plan_error "unknown relation %s" rel
+    | Some relation ->
+      let desc = scan_desc relation alias in
+      { desc; xrows = scan_rows relation desc })
+  | Filter (pred, p) ->
+    let r = exec cat ~env p in
+    let pred =
+      try Expr.resolve r.desc.schema pred
+      with Expr.Unknown_column c -> plan_error "unknown column %s" c
+    in
+    { r with xrows = List.filter (fun x -> Expr.eval_pred pred x.vals) r.xrows }
+  | Join (lp, rp, pred) -> exec_join cat ~env lp rp pred
+  | Project (items, p) ->
+    let r = exec cat ~env p in
+    let desc = project_desc r.desc items in
+    let resolved =
+      List.map
+        (fun it ->
+          try Expr.resolve r.desc.schema it.expr
+          with Expr.Unknown_column c -> plan_error "unknown column %s" c)
+        items
+    in
+    let project x =
+      Meter.tick "row_construct";
+      {
+        vals = Array.of_list (List.map (fun e -> Expr.eval e x.vals) resolved);
+        srcs = x.srcs;
+      }
+    in
+    { desc; xrows = List.map project r.xrows }
+  | Group { keys; aggs; having; input } -> exec_group cat ~env keys aggs having input
+  | Order (specs, p) ->
+    let r = exec cat ~env p in
+    let specs =
+      List.map
+        (fun (e, o) ->
+          ( (try Expr.resolve r.desc.schema e
+             with Expr.Unknown_column c -> plan_error "unknown column %s" c),
+            o ))
+        specs
+    in
+    let keyed =
+      List.map
+        (fun x ->
+          Meter.tick "sort_row";
+          (List.map (fun (e, o) -> (Expr.eval e x.vals, o)) specs, x))
+        r.xrows
+    in
+    let compare_keys (ka, _) (kb, _) =
+      let rec loop a b =
+        match (a, b) with
+        | [], [] -> 0
+        | (va, o) :: a', (vb, _) :: b' ->
+          let c = Value.compare va vb in
+          let c = match o with Asc -> c | Desc -> -c in
+          if c <> 0 then c else loop a' b'
+        | _ -> 0
+      in
+      loop ka kb
+    in
+    { r with xrows = List.map snd (List.stable_sort compare_keys keyed) }
+  | Limit (n, p) ->
+    let r = exec cat ~env p in
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    { r with xrows = take n r.xrows }
+  | Distinct p ->
+    let r = exec cat ~env p in
+    let seen = VTbl.create 64 in
+    let xrows =
+      List.filter
+        (fun x ->
+          Meter.tick "hash_probe";
+          let key = Array.to_list x.vals in
+          if VTbl.mem seen key then false
+          else begin
+            VTbl.add seen key ();
+            true
+          end)
+        r.xrows
+    in
+    { r with xrows }
+
+and exec_join cat ~env lp rp pred =
+  let lres = exec cat ~env lp in
+  let ldesc = lres.desc in
+  let rdesc = desc_of cat ~env rp in
+  let desc = join_desc ldesc rdesc in
+  let la = Schema.arity ldesc.schema in
+  let resolved_pred =
+    Option.map
+      (fun p ->
+        try Expr.resolve desc.schema p
+        with Expr.Unknown_column c -> plan_error "unknown column %s" c)
+      pred
+  in
+  let equi, residual =
+    match resolved_pred with
+    | None -> ([], [])
+    | Some p -> split_equi ~left_arity:la p
+  in
+  let residual_pred =
+    match residual with
+    | [] -> None
+    | c :: cs ->
+      Some (List.fold_left (fun acc c -> Expr.Binop (Expr.And, acc, c)) c cs)
+  in
+  let keep combined =
+    match residual_pred with
+    | None -> true
+    | Some p -> Expr.eval_pred p combined.vals
+  in
+  (* Index nested loop: right side is a standard-table scan with an index
+     exactly covering the right equi columns. *)
+  let index_path =
+    match (rp, equi) with
+    | Scan { rel; alias = _ }, _ :: _ -> (
+      match Catalog.resolve cat ~env rel with
+      | Some (Catalog.Std tb) -> (
+        let rcols =
+          List.map
+            (fun (_, j) -> (Schema.col (Table.schema tb) j).Schema.cname)
+            equi
+        in
+        match Table.index_on tb rcols with
+        | Some idx -> Some (tb, idx)
+        | None -> None)
+      | _ -> None)
+    | _ -> None
+  in
+  let xrows =
+    match index_path with
+    | Some (_tb, idx) ->
+      List.concat_map
+        (fun lrow ->
+          let key = List.map (fun (i, _) -> lrow.vals.(i)) equi in
+          Index.lookup idx key
+          |> List.filter_map (fun (rec_ : Record.t) ->
+                 let rrow = { vals = rec_.Record.values; srcs = [| rec_ |] } in
+                 let combined = combine_rows lrow rrow in
+                 if keep combined then Some combined else None))
+        lres.xrows
+    | None -> (
+      let rres = exec cat ~env rp in
+      match equi with
+      | [] ->
+        (* Nested loop over the cross product. *)
+        List.concat_map
+          (fun lrow ->
+            List.filter_map
+              (fun rrow ->
+                let combined = combine_rows lrow rrow in
+                if keep combined then Some combined else None)
+              rres.xrows)
+          lres.xrows
+      | _ ->
+        (* Hash join. *)
+        let tbl = VTbl.create 256 in
+        List.iter
+          (fun rrow ->
+            Meter.tick "hash_build";
+            let key = List.map (fun (_, j) -> rrow.vals.(j)) equi in
+            let cur = match VTbl.find_opt tbl key with Some l -> l | None -> [] in
+            VTbl.replace tbl key (rrow :: cur))
+          rres.xrows;
+        List.concat_map
+          (fun lrow ->
+            Meter.tick "hash_probe";
+            let key = List.map (fun (i, _) -> lrow.vals.(i)) equi in
+            match VTbl.find_opt tbl key with
+            | None -> []
+            | Some rrows ->
+              List.rev rrows
+              |> List.filter_map (fun rrow ->
+                     let combined = combine_rows lrow rrow in
+                     if keep combined then Some combined else None))
+          lres.xrows)
+  in
+  { desc; xrows }
+
+and exec_group cat ~env keys aggs having input =
+  let r = exec cat ~env input in
+  let in_schema = r.desc.schema in
+  let desc = group_desc r.desc keys aggs in
+  let resolve e =
+    try Expr.resolve in_schema e
+    with Expr.Unknown_column c -> plan_error "unknown column %s" c
+  in
+  let key_exprs = List.map (fun it -> resolve it.expr) keys in
+  let agg_specs =
+    List.map
+      (fun (a, _) ->
+        match a with
+        | Count_star -> (`Count_star, Expr.Const Value.Null)
+        | Count e -> (`Count, resolve e)
+        | Sum e -> (`Sum, resolve e)
+        | Avg e -> (`Avg, resolve e)
+        | Min e -> (`Min, resolve e)
+        | Max e -> (`Max, resolve e))
+      aggs
+  in
+  (* Accumulator per aggregate: (count, sum as float, current value). *)
+  let module Acc = struct
+    type t = {
+      mutable n : int;
+      mutable fsum : float;
+      mutable v : Value.t;  (* running sum / min / max *)
+    }
+
+    let make () = { n = 0; fsum = 0.0; v = Value.Null }
+  end in
+  let groups = VTbl.create 64 in
+  let group_order = ref [] in
+  List.iter
+    (fun x ->
+      Meter.tick "agg_row";
+      let key = List.map (fun e -> Expr.eval e x.vals) key_exprs in
+      let accs =
+        match VTbl.find_opt groups key with
+        | Some a -> a
+        | None ->
+          Meter.tick "group_init";
+          let a = Array.init (List.length agg_specs) (fun _ -> Acc.make ()) in
+          VTbl.add groups key a;
+          group_order := key :: !group_order;
+          a
+      in
+      List.iteri
+        (fun i (kind, e) ->
+          let acc = accs.(i) in
+          match kind with
+          | `Count_star -> acc.Acc.n <- acc.Acc.n + 1
+          | `Count ->
+            let v = Expr.eval e x.vals in
+            if not (Value.is_null v) then acc.Acc.n <- acc.Acc.n + 1
+          | `Sum ->
+            let v = Expr.eval e x.vals in
+            if not (Value.is_null v) then begin
+              acc.Acc.n <- acc.Acc.n + 1;
+              acc.Acc.v <-
+                (if Value.is_null acc.Acc.v then v else Value.add acc.Acc.v v)
+            end
+          | `Avg ->
+            let v = Expr.eval e x.vals in
+            if not (Value.is_null v) then begin
+              acc.Acc.n <- acc.Acc.n + 1;
+              acc.Acc.fsum <- acc.Acc.fsum +. Value.to_float v
+            end
+          | `Min ->
+            let v = Expr.eval e x.vals in
+            if not (Value.is_null v) then
+              if Value.is_null acc.Acc.v || Value.compare v acc.Acc.v < 0 then
+                acc.Acc.v <- v
+          | `Max ->
+            let v = Expr.eval e x.vals in
+            if not (Value.is_null v) then
+              if Value.is_null acc.Acc.v || Value.compare v acc.Acc.v > 0 then
+                acc.Acc.v <- v)
+        agg_specs)
+    r.xrows;
+  (* A grand aggregate (no keys) over an empty input still yields one row. *)
+  if key_exprs = [] && VTbl.length groups = 0 then begin
+    VTbl.add groups [] (Array.init (List.length agg_specs) (fun _ -> Acc.make ()));
+    group_order := [ [] ]
+  end;
+  let finish key accs =
+    let agg_vals =
+      List.mapi
+        (fun i (kind, _) ->
+          let acc = accs.(i) in
+          match kind with
+          | `Count_star | `Count -> Value.Int acc.Acc.n
+          | `Sum | `Min | `Max -> acc.Acc.v
+          | `Avg ->
+            if acc.Acc.n = 0 then Value.Null
+            else Value.Float (acc.Acc.fsum /. float_of_int acc.Acc.n))
+        agg_specs
+    in
+    Meter.tick "row_construct";
+    { vals = Array.of_list (key @ agg_vals); srcs = [||] }
+  in
+  let xrows =
+    List.rev_map (fun key -> finish key (VTbl.find groups key)) !group_order
+  in
+  let xrows =
+    match having with
+    | None -> xrows
+    | Some h ->
+      let h =
+        try Expr.resolve desc.schema h
+        with Expr.Unknown_column c -> plan_error "unknown column %s" c
+      in
+      List.filter (fun x -> Expr.eval_pred h x.vals) xrows
+  in
+  { desc; xrows }
+
+let run cat ~env plan = exec cat ~env plan
+
+let schema_of cat ~env plan = (desc_of cat ~env plan).schema
+
+let result_schema r = r.desc.schema
+let row_count r = List.length r.xrows
+let rows r = List.map (fun x -> Array.copy x.vals) r.xrows
+
+let partition r ~cols =
+  let positions =
+    List.map
+      (fun c ->
+        match Schema.find r.desc.schema c with
+        | Some i -> i
+        | None -> plan_error "partition: unknown column %s" c
+        | exception Schema.Ambiguous c -> plan_error "partition: ambiguous column %s" c)
+      cols
+  in
+  let tbl = VTbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      Meter.tick "partition_row";
+      let key = List.map (fun i -> x.vals.(i)) positions in
+      match VTbl.find_opt tbl key with
+      | Some l -> l := x :: !l
+      | None ->
+        VTbl.add tbl key (ref [ x ]);
+        order := key :: !order)
+    r.xrows;
+  List.rev_map
+    (fun key ->
+      let rows = List.rev !(VTbl.find tbl key) in
+      (key, { desc = r.desc; xrows = rows }))
+    !order
+
+(* ------------------------------------------------------------------ *)
+(* Binding results as temporary tables (§6.1).                          *)
+
+let bind ?(overrides = []) ~name r =
+  let schema = Schema.unqualify r.desc.schema in
+  let arity = Schema.arity schema in
+  let override_for col =
+    List.assoc_opt (Schema.col schema col).Schema.cname overrides
+  in
+  (* Keep only pointer slots actually referenced by a non-overridden output
+     column (the §6.1 optimization; STRIP v2.0's footnote says it stored all
+     slots — we implement the described design). *)
+  let used = Array.make (max r.desc.nslots 1) false in
+  Array.iteri
+    (fun col prov ->
+      match (prov, override_for col) with
+      | Slot (s, _), None -> used.(s) <- true
+      | _ -> ())
+    r.desc.colprov;
+  let slot_map = Array.make (max r.desc.nslots 1) (-1) in
+  let nslots = ref 0 in
+  Array.iteri
+    (fun s u ->
+      if u then begin
+        slot_map.(s) <- !nslots;
+        incr nslots
+      end)
+    used;
+  let nmat = ref 0 in
+  let prov =
+    Array.init arity (fun col ->
+        match (r.desc.colprov.(col), override_for col) with
+        | Slot (s, o), None -> Temp_table.From_record (slot_map.(s), o)
+        | _ ->
+          let m = !nmat in
+          incr nmat;
+          Temp_table.Computed m)
+  in
+  let tmp = Temp_table.create ~name ~schema ~nslots:!nslots ~prov in
+  List.iter
+    (fun x ->
+      let srcs =
+        Array.of_list
+          (List.filteri
+             (fun s _ -> s < r.desc.nslots && used.(s))
+             (Array.to_list x.srcs))
+      in
+      let mats = Array.make !nmat Value.Null in
+      Array.iteri
+        (fun col p ->
+          match p with
+          | Temp_table.Computed m -> (
+            match override_for col with
+            | Some v -> mats.(m) <- v
+            | None -> mats.(m) <- x.vals.(col))
+          | Temp_table.From_record _ -> ())
+        prov;
+      Temp_table.append tmp ~srcs ~mats)
+    r.xrows;
+  tmp
+
+(* ------------------------------------------------------------------ *)
+
+let rec explain_at depth plan =
+  let pad = String.make (depth * 2) ' ' in
+  let line = Printf.sprintf in
+  match plan with
+  | Scan { rel; alias } ->
+    line "%sscan %s%s" pad rel
+      (match alias with Some a when a <> rel -> " as " ^ a | _ -> "")
+  | Filter (p, q) ->
+    line "%sfilter %s\n%s" pad
+      (Format.asprintf "%a" Expr.pp p)
+      (explain_at (depth + 1) q)
+  | Join (l, r, p) ->
+    line "%sjoin%s\n%s\n%s" pad
+      (match p with
+      | Some p -> " on " ^ Format.asprintf "%a" Expr.pp p
+      | None -> " (cross)")
+      (explain_at (depth + 1) l)
+      (explain_at (depth + 1) r)
+  | Project (items, q) ->
+    line "%sproject %s\n%s" pad
+      (String.concat ", "
+         (List.mapi
+            (fun i it ->
+              Format.asprintf "%a as %s" Expr.pp it.expr (item_name i it))
+            items))
+      (explain_at (depth + 1) q)
+  | Group { keys; aggs; input; _ } ->
+    line "%sgroup by %s aggs %s\n%s" pad
+      (String.concat ", "
+         (List.mapi
+            (fun i it -> item_name i it)
+            keys))
+      (String.concat ", " (List.map snd aggs))
+      (explain_at (depth + 1) input)
+  | Order (specs, q) ->
+    line "%sorder by %d key(s)\n%s" pad (List.length specs)
+      (explain_at (depth + 1) q)
+  | Limit (n, q) -> line "%slimit %d\n%s" pad n (explain_at (depth + 1) q)
+  | Distinct q -> line "%sdistinct\n%s" pad (explain_at (depth + 1) q)
+
+let explain plan = explain_at 0 plan

@@ -1,0 +1,83 @@
+(** Logical query plans and their executor.
+
+    The planner side of the SQL subset STRIP v2.0 supports: scans,
+    selections, theta-joins (executed as index-nested-loop when an index on
+    the join key exists, hash join when the predicate has an equi-conjunct,
+    nested loop otherwise), projections, grouped aggregation, ordering and
+    limits.
+
+    Execution tracks provenance: a result column that is a verbatim copy of
+    a standard-table attribute remembers which pointer slot and offset it
+    came from, so {!bind} can build bound tables with the paper's §6.1
+    pointer representation instead of copying values.  Aggregates, computed
+    expressions and values that flow through grouping are materialized, as
+    in the paper.
+
+    Work is metered: ["seq_row"] per scanned row, ["index_probe"] per index
+    probe, ["hash_probe"] per hash-join probe, ["join_row"] per joined row,
+    ["row_construct"] per output row, ["agg_row"] per aggregated input row,
+    ["group_init"] per group, ["sort_row"] per sorted row. *)
+
+type order = Asc | Desc
+
+type agg =
+  | Count_star
+  | Count of Expr.t
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type select_item = {
+  expr : Expr.t;
+  alias : string option;  (** output column name; derived if absent *)
+}
+
+type plan =
+  | Scan of { rel : string; alias : string option }
+  | Filter of Expr.t * plan
+  | Join of plan * plan * Expr.t option
+  | Project of select_item list * plan
+  | Group of {
+      keys : select_item list;
+      aggs : (agg * string) list;
+      having : Expr.t option;
+      input : plan;
+    }
+  | Order of (Expr.t * order) list * plan
+  | Limit of int * plan
+  | Distinct of plan
+      (** duplicate elimination over whole rows (first occurrence kept,
+          with its provenance); ticks ["hash_probe"] per input row *)
+
+val item : ?alias:string -> Expr.t -> select_item
+
+type result
+(** Materialized query result with provenance. *)
+
+exception Plan_error of string
+(** Planning/typing failures: unknown relation, unresolvable column, ... *)
+
+val run : Catalog.t -> env:Catalog.env -> plan -> result
+
+val schema_of : Catalog.t -> env:Catalog.env -> plan -> Schema.t
+(** Output schema without executing (used by the rule compiler). *)
+
+val result_schema : result -> Schema.t
+val row_count : result -> int
+val rows : result -> Value.t array list
+(** Fully-materialized rows, in result order. *)
+
+val partition : result -> cols:string list -> (Value.t list * result) list
+(** Split the result by the values of the named (unqualified) columns,
+    preserving provenance; keys appear in first-seen order.  This is the
+    Appendix-A partitioning step behind [unique on].
+    @raise Plan_error on an unknown column. *)
+
+val bind : ?overrides:(string * Value.t) list -> name:string -> result -> Temp_table.t
+(** Materialize a result as a named bound table using pointer provenance
+    where possible (§6.1).  [overrides] force named columns to a constant —
+    the rule system uses this to stamp [commit_time] at bind time. *)
+
+val explain : plan -> string
+(** Multi-line plan rendering. *)

@@ -1,0 +1,185 @@
+(* Persistent red-black tree.  Insertion follows Okasaki (1999); deletion
+   follows Kahrs ("Red-black trees with types", JFP 2001).  The deletion
+   helpers [balleft]/[balright]/[app] temporarily build trees whose root is
+   red-red unbalanced; [balance] repairs them. *)
+
+type color = R | B
+
+type ('k, 'v) t =
+  | E
+  | T of color * ('k, 'v) t * ('k * 'v) * ('k, 'v) t
+
+let empty = E
+
+let is_empty = function E -> true | T _ -> false
+
+let balance l kv r =
+  match (l, kv, r) with
+  | T (R, a, x, b), y, T (R, c, z, d) ->
+    T (R, T (B, a, x, b), y, T (B, c, z, d))
+  | T (R, T (R, a, x, b), y, c), z, d ->
+    T (R, T (B, a, x, b), y, T (B, c, z, d))
+  | T (R, a, x, T (R, b, y, c)), z, d ->
+    T (R, T (B, a, x, b), y, T (B, c, z, d))
+  | a, x, T (R, b, y, T (R, c, z, d)) ->
+    T (R, T (B, a, x, b), y, T (B, c, z, d))
+  | a, x, T (R, T (R, b, y, c), z, d) ->
+    T (R, T (B, a, x, b), y, T (B, c, z, d))
+  | a, x, b -> T (B, a, x, b)
+
+let blacken = function T (R, a, x, b) -> T (B, a, x, b) | t -> t
+
+let insert ~cmp k v t =
+  let rec ins = function
+    | E -> T (R, E, (k, v), E)
+    | T (B, a, ((ky, _) as y), b) ->
+      let c = cmp k ky in
+      if c < 0 then balance (ins a) y b
+      else if c > 0 then balance a y (ins b)
+      else T (B, a, (k, v), b)
+    | T (R, a, ((ky, _) as y), b) ->
+      let c = cmp k ky in
+      if c < 0 then T (R, ins a, y, b)
+      else if c > 0 then T (R, a, y, ins b)
+      else T (R, a, (k, v), b)
+  in
+  blacken (ins t)
+
+(* Deletion machinery (Kahrs). *)
+
+let sub1 = function
+  | T (B, a, x, b) -> T (R, a, x, b)
+  | _ -> invalid_arg "Rbtree: internal invariant violation (sub1)"
+
+let balleft l x r =
+  match (l, x, r) with
+  | T (R, a, y, b), z, c -> T (R, T (B, a, y, b), z, c)
+  | bl, y, T (B, a, z, b) -> balance bl y (T (R, a, z, b))
+  | bl, y, T (R, T (B, a, z, b), w, c) ->
+    T (R, T (B, bl, y, a), z, balance b w (sub1 c))
+  | _ -> invalid_arg "Rbtree: internal invariant violation (balleft)"
+
+let balright l x r =
+  match (l, x, r) with
+  | a, y, T (R, b, z, c) -> T (R, a, y, T (B, b, z, c))
+  | T (B, a, y, b), z, bl -> balance (T (R, a, y, b)) z bl
+  | T (R, a, y, T (B, b, z, c)), w, bl ->
+    T (R, balance (sub1 a) y b, z, T (B, c, w, bl))
+  | _ -> invalid_arg "Rbtree: internal invariant violation (balright)"
+
+let rec app l r =
+  match (l, r) with
+  | E, x -> x
+  | x, E -> x
+  | T (R, a, x, b), T (R, c, y, d) -> (
+    match app b c with
+    | T (R, b', z, c') -> T (R, T (R, a, x, b'), z, T (R, c', y, d))
+    | bc -> T (R, a, x, T (R, bc, y, d)))
+  | T (B, a, x, b), T (B, c, y, d) -> (
+    match app b c with
+    | T (R, b', z, c') -> T (R, T (B, a, x, b'), z, T (B, c', y, d))
+    | bc -> balleft a x (T (B, bc, y, d)))
+  | a, T (R, b, x, c) -> T (R, app a b, x, c)
+  | T (R, a, x, b), c -> T (R, a, x, app b c)
+
+let remove ~cmp k t =
+  let rec del = function
+    | E -> E
+    | T (_, a, ((ky, _) as y), b) ->
+      let c = cmp k ky in
+      if c < 0 then del_from_left a y b
+      else if c > 0 then del_from_right a y b
+      else app a b
+  and del_from_left a y b =
+    match a with
+    | T (B, _, _, _) -> balleft (del a) y b
+    | _ -> T (R, del a, y, b)
+  and del_from_right a y b =
+    match b with
+    | T (B, _, _, _) -> balright a y (del b)
+    | _ -> T (R, a, y, del b)
+  in
+  blacken (del t)
+
+let rec find ~cmp k = function
+  | E -> None
+  | T (_, a, (ky, v), b) ->
+    let c = cmp k ky in
+    if c < 0 then find ~cmp k a else if c > 0 then find ~cmp k b else Some v
+
+let update ~cmp k f t =
+  match (find ~cmp k t, f (find ~cmp k t)) with
+  | _, Some v -> insert ~cmp k v t
+  | None, None -> t
+  | Some _, None -> remove ~cmp k t
+
+let rec cardinal = function
+  | E -> 0
+  | T (_, a, _, b) -> 1 + cardinal a + cardinal b
+
+let rec iter f = function
+  | E -> ()
+  | T (_, a, (k, v), b) ->
+    iter f a;
+    f k v;
+    iter f b
+
+let rec fold f t acc =
+  match t with
+  | E -> acc
+  | T (_, a, (k, v), b) -> fold f b (f k v (fold f a acc))
+
+let range ~cmp ?lo ?hi f t =
+  let above_lo k = match lo with None -> true | Some l -> cmp k l >= 0 in
+  let below_hi k = match hi with None -> true | Some h -> cmp k h <= 0 in
+  let rec visit = function
+    | E -> ()
+    | T (_, a, (k, v), b) ->
+      if above_lo k then visit a;
+      if above_lo k && below_hi k then f k v;
+      if below_hi k then visit b
+  in
+  visit t
+
+let rec min_binding = function
+  | E -> None
+  | T (_, E, kv, _) -> Some kv
+  | T (_, a, _, _) -> min_binding a
+
+let rec max_binding = function
+  | E -> None
+  | T (_, _, kv, E) -> Some kv
+  | T (_, _, _, b) -> max_binding b
+
+let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+let check_invariants ~cmp t =
+  let exception Bad of string in
+  try
+    (match t with
+    | T (R, _, _, _) -> raise (Bad "root is red")
+    | _ -> ());
+    (* Black height and red-red checks; returns black height. *)
+    let rec bh = function
+      | E -> 1
+      | T (c, a, _, b) ->
+        (match (c, a, b) with
+        | R, T (R, _, _, _), _ | R, _, T (R, _, _, _) ->
+          raise (Bad "red node with red child")
+        | _ -> ());
+        let ha = bh a and hb = bh b in
+        if ha <> hb then raise (Bad "unequal black heights");
+        ha + if c = B then 1 else 0
+    in
+    ignore (bh t);
+    (* Strictly increasing in-order keys. *)
+    let prev = ref None in
+    iter
+      (fun k _ ->
+        (match !prev with
+        | Some p when cmp p k >= 0 -> raise (Bad "keys not strictly increasing")
+        | _ -> ());
+        prev := Some k)
+      t;
+    Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,61 @@
+(** Persistent red-black tree (Okasaki insertion, Kahrs deletion).
+
+    STRIP indexes standard tables "using either a hash or red-black tree
+    structure" (paper §6.1); this is the ordered half.  The tree maps keys
+    to values and rejects duplicate keys — multi-map behaviour (several
+    records with one key) is layered on top by {!Index} with list payloads.
+
+    All operations are purely functional; [insert]/[remove] return the new
+    tree.  Complexities are the usual O(log n). *)
+
+type ('k, 'v) t
+
+val empty : ('k, 'v) t
+
+val is_empty : ('k, 'v) t -> bool
+
+val insert : cmp:('k -> 'k -> int) -> 'k -> 'v -> ('k, 'v) t -> ('k, 'v) t
+(** Insert or replace the binding for a key. *)
+
+val remove : cmp:('k -> 'k -> int) -> 'k -> ('k, 'v) t -> ('k, 'v) t
+(** Remove the binding for a key; identity (up to balancing) if absent. *)
+
+val find : cmp:('k -> 'k -> int) -> 'k -> ('k, 'v) t -> 'v option
+
+val update :
+  cmp:('k -> 'k -> int) ->
+  'k ->
+  ('v option -> 'v option) ->
+  ('k, 'v) t ->
+  ('k, 'v) t
+(** [update ~cmp k f t] applies [f] to the current binding: [f None]
+    inserts (or not), [f (Some v) = None] deletes, [Some v'] replaces. *)
+
+val cardinal : ('k, 'v) t -> int
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** In-order (ascending key) traversal. *)
+
+val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a
+(** In-order fold. *)
+
+val range :
+  cmp:('k -> 'k -> int) ->
+  ?lo:'k ->
+  ?hi:'k ->
+  ('k -> 'v -> unit) ->
+  ('k, 'v) t ->
+  unit
+(** Visit bindings with [lo <= k <= hi] (inclusive bounds, either optional)
+    in ascending order, skipping subtrees outside the range. *)
+
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Ascending association list. *)
+
+val check_invariants : cmp:('k -> 'k -> int) -> ('k, 'v) t -> (unit, string) result
+(** Verify the red-black invariants: root is black, no red node has a red
+    child, every root-leaf path has the same black height, and keys are
+    strictly increasing in-order.  Used by the property-test suite. *)

@@ -1,0 +1,45 @@
+type t = {
+  rid : int;
+  values : Value.t array;
+  mutable refcount : int;
+  mutable live : bool;
+}
+
+let next_rid = ref 0
+
+let reclaimed = ref 0
+
+let create values =
+  incr next_rid;
+  { rid = !next_rid; values; refcount = 0; live = true }
+
+let pin r = r.refcount <- r.refcount + 1
+
+let reclaim r = if (not r.live) && r.refcount = 0 then incr reclaimed
+
+let unpin r =
+  if r.refcount <= 0 then
+    invalid_arg (Printf.sprintf "Record.unpin: record %d not pinned" r.rid);
+  r.refcount <- r.refcount - 1;
+  reclaim r
+
+let retire r =
+  if r.live then begin
+    r.live <- false;
+    reclaim r
+  end
+
+let value r i =
+  if i < 0 || i >= Array.length r.values then
+    invalid_arg (Printf.sprintf "Record.value: index %d out of range" i);
+  r.values.(i)
+
+let reclaimed_count () = !reclaimed
+
+let reset_reclaimed () = reclaimed := 0
+
+let pp ppf r =
+  Format.fprintf ppf "#%d[%s]%s" r.rid
+    (String.concat "; "
+       (Array.to_list (Array.map Value.to_string r.values)))
+    (if r.live then "" else "(retired)")

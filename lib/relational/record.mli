@@ -1,0 +1,42 @@
+(** Versioned standard-table records (paper §6.1).
+
+    STRIP never changes a standard record in place: an [UPDATE] creates a new
+    record and unlinks the old one, which is "kept in the system until the
+    last bound table that references it is retired, as determined by a
+    reference counting scheme".  A record's [values] are therefore immutable;
+    mutability lives in its bookkeeping fields.
+
+    The global [reclaimed] counter lets tests observe that retired records
+    are reclaimed exactly when their last pin is dropped. *)
+
+type t = private {
+  rid : int;  (** unique id, assigned at creation, database-wide *)
+  values : Value.t array;  (** immutable attribute values *)
+  mutable refcount : int;  (** pins held by temporary tables *)
+  mutable live : bool;  (** still linked into its standard table? *)
+}
+
+val create : Value.t array -> t
+(** Fresh live record with refcount 0. *)
+
+val pin : t -> unit
+(** Take a reference (called when a temporary tuple stores a pointer). *)
+
+val unpin : t -> unit
+(** Drop a reference.  When the count reaches zero on a record that is no
+    longer live, the record counts as reclaimed.
+    @raise Invalid_argument if the count is already zero. *)
+
+val retire : t -> unit
+(** Mark the record as unlinked from its table.  If nothing pins it, it is
+    reclaimed immediately. *)
+
+val value : t -> int -> Value.t
+(** [value r i] is attribute [i].  @raise Invalid_argument if out of range. *)
+
+val reclaimed_count : unit -> int
+(** Number of records reclaimed since the last {!reset_reclaimed}. *)
+
+val reset_reclaimed : unit -> unit
+
+val pp : Format.formatter -> t -> unit

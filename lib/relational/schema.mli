@@ -1,0 +1,67 @@
+(** Relation schemas.
+
+    A schema is an ordered list of columns, each with a name, a type, and an
+    optional qualifier (the table name or alias the column came from).
+    Qualifiers matter during query processing — ["new.price"] and
+    ["old.price"] are distinct columns of a join result — and are dropped
+    when a result is materialized under explicit output names. *)
+
+type column = {
+  cname : string;  (** unqualified column name *)
+  cqual : string option;  (** qualifying table name or alias, if any *)
+  cty : Value.ty;
+}
+
+type t
+
+val column : ?qual:string -> string -> Value.ty -> column
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate (qualifier, name) pairs. *)
+
+val of_list : (string * Value.ty) list -> t
+(** Unqualified schema from (name, type) pairs. *)
+
+val columns : t -> column list
+
+val arity : t -> int
+
+val names : t -> string list
+(** Unqualified column names, in order. *)
+
+val col : t -> int -> column
+(** @raise Invalid_argument if out of range. *)
+
+val find : t -> ?qual:string -> string -> int option
+(** [find s ~qual name] resolves a column reference to its position.
+    Without [qual], matches on the unqualified name; ambiguous references
+    (same name from two qualifiers) raise [Ambiguous]. *)
+
+exception Ambiguous of string
+(** Raised by {!find} when an unqualified name matches several columns. *)
+
+val find_exn : t -> ?qual:string -> string -> int
+(** @raise Not_found when the column does not exist. *)
+
+val mem : t -> string -> bool
+(** Does an unqualified column with this name exist? *)
+
+val requalify : string -> t -> t
+(** [requalify alias s] replaces every column's qualifier with [alias] —
+    used when a table is scanned under an alias. *)
+
+val unqualify : t -> t
+(** Drop all qualifiers (used when materializing named results). *)
+
+val append : t -> t -> t
+(** Schema of a join result; duplicate qualified names are allowed only if
+    their qualifiers differ.  @raise Invalid_argument otherwise. *)
+
+val equal_layout : t -> t -> bool
+(** Same arity, unqualified names and types, in order.  This is the
+    compatibility check for appending bound tables of two rule firings. *)
+
+val validate_row : t -> Value.t array -> (unit, string) result
+(** Check arity and per-column type conformance of a candidate row. *)
+
+val pp : Format.formatter -> t -> unit

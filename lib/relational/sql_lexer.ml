@@ -1,0 +1,159 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen | Rparen
+  | Comma | Dot | Semi | Star
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Plus | Minus | Slash | Percent
+  | Plus_eq
+  | Concat
+  | Eof
+
+exception Lex_error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (Ident (String.sub input start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      let is_float = ref false in
+      if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1]
+      then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+        let save = !i in
+        incr i;
+        if !i < n && (input.[!i] = '+' || input.[!i] = '-') then incr i;
+        if !i < n && is_digit input.[!i] then begin
+          is_float := true;
+          while !i < n && is_digit input.[!i] do
+            incr i
+          done
+        end
+        else i := save
+      end;
+      let text = String.sub input start (!i - start) in
+      if !is_float then emit (Float_lit (float_of_string text))
+      else emit (Int_lit (int_of_string text))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string literal", start));
+      emit (Str_lit (Buffer.contents buf))
+    end
+    else begin
+      let two a b t =
+        if c = a && peek 1 = Some b then begin
+          emit t;
+          i := !i + 2;
+          true
+        end
+        else false
+      in
+      if
+        two '<' '>' Neq || two '!' '=' Neq || two '<' '=' Le || two '>' '=' Ge
+        || two '+' '=' Plus_eq || two '|' '|' Concat
+      then ()
+      else begin
+        (match c with
+        | '(' -> emit Lparen
+        | ')' -> emit Rparen
+        | ',' -> emit Comma
+        | '.' -> emit Dot
+        | ';' -> emit Semi
+        | '*' -> emit Star
+        | '=' -> emit Eq
+        | '<' -> emit Lt
+        | '>' -> emit Gt
+        | '+' -> emit Plus
+        | '-' -> emit Minus
+        | '/' -> emit Slash
+        | '%' -> emit Percent
+        | c ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i
+      end
+    end
+  done;
+  emit Eof;
+  Array.of_list (List.rev !toks)
+
+let token_to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Semi -> ";"
+  | Star -> "*"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Plus_eq -> "+="
+  | Concat -> "||"
+  | Eof -> "<eof>"

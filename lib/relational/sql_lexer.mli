@@ -1,0 +1,30 @@
+(** Tokenizer for the STRIP SQL subset and rule DDL.
+
+    Keywords are not distinguished from identifiers at this level — the
+    parser matches identifiers case-insensitively, because STRIP's rule
+    grammar uses many context-sensitive words ([unique], [after], [bind],
+    [seconds], ...) that remain valid column names elsewhere. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen | Rparen
+  | Comma | Dot | Semi | Star
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Plus | Minus | Slash | Percent
+  | Plus_eq  (** the [+=] update extension of paper Figure 3 *)
+  | Concat  (** [||] *)
+  | Eof
+
+exception Lex_error of string * int
+(** (message, character offset) *)
+
+val tokenize : string -> token array
+(** Whole-input tokenization; comments ([-- ...] to end of line) and
+    whitespace are skipped; the result always ends with [Eof].
+    @raise Lex_error on an unrecognizable character or unterminated
+    string. *)
+
+val token_to_string : token -> string

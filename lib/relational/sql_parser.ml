@@ -1,0 +1,836 @@
+open Sql_lexer
+
+type set_op = Assign | Increment
+
+type sel_item =
+  | Star
+  | Qual_star of string
+  | Item of Query.select_item
+
+type table_ref = { rel : string; alias : string }
+
+type select_ast = {
+  distinct : bool;
+  items : sel_item list;
+  from : table_ref list;
+  where : Expr.t option;
+  group_by : Expr.t list;
+  having : Expr.t option;
+  order_by : (Expr.t * Query.order) list;
+  limit : int option;
+}
+
+type statement =
+  | Create_table of { name : string; cols : (string * Value.ty) list }
+  | Create_index of {
+      iname : string;
+      table : string;
+      cols : string list;
+      kind : Index.kind;
+    }
+  | Create_view of { name : string; select : select_ast }
+  | Insert of { table : string; columns : string list option; values : Expr.t list list }
+  | Update of {
+      table : string;
+      sets : (string * set_op * Expr.t) list;
+      where : Expr.t option;
+    }
+  | Delete of { table : string; where : Expr.t option }
+  | Drop_table of string
+  | Drop_index of { table : string; iname : string }
+  | Select of select_ast
+  | Explain of select_ast
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Token cursor.                                                        *)
+
+type cursor = { toks : token array; mutable pos : int }
+
+let cursor_of_string s =
+  match tokenize s with
+  | toks -> { toks; pos = 0 }
+  | exception Lex_error (msg, off) ->
+    parse_error "lexical error at offset %d: %s" off msg
+
+let peek c = c.toks.(c.pos)
+
+let peek2 c =
+  if c.pos + 1 < Array.length c.toks then c.toks.(c.pos + 1) else Eof
+
+let advance c = if c.pos < Array.length c.toks - 1 then c.pos <- c.pos + 1
+
+let at_eof c = peek c = Eof
+
+let is_kw tok kw =
+  match tok with
+  | Ident s -> String.lowercase_ascii s = kw
+  | _ -> false
+
+let accept_kw c kw =
+  if is_kw (peek c) kw then begin
+    advance c;
+    true
+  end
+  else false
+
+let expect_kw c kw =
+  if not (accept_kw c kw) then
+    parse_error "expected %s, found %s" kw (token_to_string (peek c))
+
+let expect_tok c t =
+  if peek c = t then advance c
+  else
+    parse_error "expected %s, found %s" (token_to_string t)
+      (token_to_string (peek c))
+
+let save c = c.pos
+
+let restore c pos = c.pos <- pos
+
+let expect_ident c =
+  match peek c with
+  | Ident s ->
+    advance c;
+    s
+  | t -> parse_error "expected identifier, found %s" (token_to_string t)
+
+(* Words that terminate an expression or select-list item. *)
+let reserved =
+  [
+    "from"; "where"; "group"; "groupby"; "having"; "order"; "limit"; "as";
+    "and"; "or"; "between"; "in"; "join"; "inner"; "distinct"; "explain";
+    "not"; "is"; "null"; "asc"; "desc"; "bind"; "by"; "then"; "when"; "if";
+    "execute"; "evaluate"; "unique"; "after"; "on"; "set"; "values"; "into";
+    "select"; "insert"; "update"; "delete"; "create"; "drop";
+  ]
+
+let is_reserved s = List.mem (String.lowercase_ascii s) reserved
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                         *)
+
+let rec parse_expr c = parse_or c
+
+and parse_or c =
+  let lhs = ref (parse_and c) in
+  while is_kw (peek c) "or" do
+    advance c;
+    let rhs = parse_and c in
+    lhs := Expr.Binop (Expr.Or, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_and c =
+  let lhs = ref (parse_not c) in
+  while is_kw (peek c) "and" do
+    advance c;
+    let rhs = parse_not c in
+    lhs := Expr.Binop (Expr.And, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_not c =
+  if is_kw (peek c) "not" then begin
+    advance c;
+    Expr.Unop (Expr.Not, parse_not c)
+  end
+  else parse_cmp c
+
+and parse_cmp c =
+  let lhs = parse_add c in
+  match peek c with
+  | Ident _ when is_kw (peek c) "between" ->
+    advance c;
+    let lo = parse_add c in
+    expect_kw c "and";
+    let hi = parse_add c in
+    Expr.(Binop (And, Binop (Ge, lhs, lo), Binop (Le, lhs, hi)))
+  | Ident _ when is_kw (peek c) "in" ->
+    advance c;
+    expect_tok c Lparen;
+    let alts = ref [ parse_expr c ] in
+    while peek c = Comma do
+      advance c;
+      alts := parse_expr c :: !alts
+    done;
+    expect_tok c Rparen;
+    (match List.rev_map (fun e -> Expr.Binop (Expr.Eq, lhs, e)) !alts with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left (fun acc e -> Expr.Binop (Expr.Or, acc, e)) first rest)
+  | Eq ->
+    advance c;
+    Expr.Binop (Expr.Eq, lhs, parse_add c)
+  | Neq ->
+    advance c;
+    Expr.Binop (Expr.Neq, lhs, parse_add c)
+  | Lt ->
+    advance c;
+    Expr.Binop (Expr.Lt, lhs, parse_add c)
+  | Le ->
+    advance c;
+    Expr.Binop (Expr.Le, lhs, parse_add c)
+  | Gt ->
+    advance c;
+    Expr.Binop (Expr.Gt, lhs, parse_add c)
+  | Ge ->
+    advance c;
+    Expr.Binop (Expr.Ge, lhs, parse_add c)
+  | Ident _ when is_kw (peek c) "is" ->
+    advance c;
+    let negated = accept_kw c "not" in
+    expect_kw c "null";
+    if negated then Expr.Unop (Expr.Is_not_null, lhs)
+    else Expr.Unop (Expr.Is_null, lhs)
+  | _ -> lhs
+
+and parse_add c =
+  let lhs = ref (parse_mul c) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek c with
+    | Plus ->
+      advance c;
+      lhs := Expr.Binop (Expr.Add, !lhs, parse_mul c)
+    | Minus ->
+      advance c;
+      lhs := Expr.Binop (Expr.Sub, !lhs, parse_mul c)
+    | Concat ->
+      advance c;
+      lhs := Expr.Binop (Expr.Concat, !lhs, parse_mul c)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_mul c =
+  let lhs = ref (parse_unary c) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek c with
+    | Star ->
+      advance c;
+      lhs := Expr.Binop (Expr.Mul, !lhs, parse_unary c)
+    | Slash ->
+      advance c;
+      lhs := Expr.Binop (Expr.Div, !lhs, parse_unary c)
+    | Percent ->
+      advance c;
+      lhs := Expr.Binop (Expr.Mod, !lhs, parse_unary c)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary c =
+  match peek c with
+  | Minus ->
+    advance c;
+    Expr.Unop (Expr.Neg, parse_unary c)
+  | _ -> parse_primary c
+
+and parse_primary c =
+  match peek c with
+  | Int_lit i ->
+    advance c;
+    Expr.Const (Value.Int i)
+  | Float_lit f ->
+    advance c;
+    Expr.Const (Value.Float f)
+  | Str_lit s ->
+    advance c;
+    Expr.Const (Value.Str s)
+  | Lparen ->
+    advance c;
+    let e = parse_expr c in
+    expect_tok c Rparen;
+    e
+  | Ident name -> (
+    let lower = String.lowercase_ascii name in
+    match lower with
+    | "null" ->
+      advance c;
+      Expr.Const Value.Null
+    | "true" ->
+      advance c;
+      Expr.Const (Value.Bool true)
+    | "false" ->
+      advance c;
+      Expr.Const (Value.Bool false)
+    | _ ->
+      advance c;
+      if peek c = Lparen then begin
+        (* function call; count( * ) becomes count_star *)
+        advance c;
+        if peek c = Star then begin
+          advance c;
+          expect_tok c Rparen;
+          Expr.Call (lower ^ "_star", [])
+        end
+        else begin
+          let args = ref [] in
+          if peek c <> Rparen then begin
+            args := [ parse_expr c ];
+            while peek c = Comma do
+              advance c;
+              args := parse_expr c :: !args
+            done
+          end;
+          expect_tok c Rparen;
+          Expr.Call (lower, List.rev !args)
+        end
+      end
+      else if peek c = Dot then begin
+        advance c;
+        let col = expect_ident c in
+        Expr.Col (Some name, col)
+      end
+      else Expr.Col (None, name))
+  | t -> parse_error "unexpected token %s in expression" (token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT.                                                              *)
+
+let parse_select_items c =
+  let parse_one () =
+    match peek c with
+    | Star ->
+      advance c;
+      Star
+    | Ident name when peek2 c = Dot && not (is_reserved name) -> (
+      (* could be qual.* or qual.col ... *)
+      match c.toks.(c.pos + 2) with
+      | Sql_lexer.Star ->
+        advance c;
+        advance c;
+        advance c;
+        Qual_star name
+      | _ ->
+        let e = parse_expr c in
+        let alias =
+          if accept_kw c "as" then Some (expect_ident c)
+          else
+            match peek c with
+            | Ident a when not (is_reserved a) ->
+              advance c;
+              Some a
+            | _ -> None
+        in
+        Item (Query.item ?alias e))
+    | _ ->
+      let e = parse_expr c in
+      let alias =
+        if accept_kw c "as" then Some (expect_ident c)
+        else
+          match peek c with
+          | Ident a when not (is_reserved a) ->
+            advance c;
+            Some a
+          | _ -> None
+      in
+      Item (Query.item ?alias e)
+  in
+  let items = ref [ parse_one () ] in
+  while peek c = Comma do
+    advance c;
+    items := parse_one () :: !items
+  done;
+  List.rev !items
+
+let parse_table_ref c =
+  let rel = expect_ident c in
+  let alias =
+    if accept_kw c "as" then expect_ident c
+    else
+      match peek c with
+      | Ident a when not (is_reserved a) ->
+        advance c;
+        a
+      | _ -> rel
+  in
+  { rel; alias }
+
+let parse_select_at c =
+  expect_kw c "select";
+  ignore (accept_kw c "all");
+  let distinct = accept_kw c "distinct" in
+  let items = parse_select_items c in
+  expect_kw c "from";
+  let from = ref [ parse_table_ref c ] in
+  let join_preds = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    if peek c = Comma then begin
+      advance c;
+      from := parse_table_ref c :: !from
+    end
+    else if accept_kw c "inner" || is_kw (peek c) "join" then begin
+      expect_kw c "join";
+      from := parse_table_ref c :: !from;
+      expect_kw c "on";
+      join_preds := parse_expr c :: !join_preds
+    end
+    else continue_ := false
+  done;
+  let where = if accept_kw c "where" then Some (parse_expr c) else None in
+  let where =
+    List.fold_left
+      (fun acc p ->
+        match acc with
+        | None -> Some p
+        | Some w -> Some (Expr.Binop (Expr.And, w, p)))
+      where !join_preds
+  in
+  let group_by =
+    if accept_kw c "group" then begin
+      (* accept both "group by" and the paper's "groupby" via kw group+by *)
+      expect_kw c "by";
+      let keys = ref [ parse_expr c ] in
+      while peek c = Comma do
+        advance c;
+        keys := parse_expr c :: !keys
+      done;
+      List.rev !keys
+    end
+    else if accept_kw c "groupby" then begin
+      let keys = ref [ parse_expr c ] in
+      while peek c = Comma do
+        advance c;
+        keys := parse_expr c :: !keys
+      done;
+      List.rev !keys
+    end
+    else []
+  in
+  let having = if accept_kw c "having" then Some (parse_expr c) else None in
+  let order_by =
+    if accept_kw c "order" then begin
+      expect_kw c "by";
+      let one () =
+        let e = parse_expr c in
+        let dir =
+          if accept_kw c "desc" then Query.Desc
+          else begin
+            ignore (accept_kw c "asc");
+            Query.Asc
+          end
+        in
+        (e, dir)
+      in
+      let specs = ref [ one () ] in
+      while peek c = Comma do
+        advance c;
+        specs := one () :: !specs
+      done;
+      List.rev !specs
+    end
+    else []
+  in
+  let limit =
+    if accept_kw c "limit" then begin
+      match peek c with
+      | Int_lit n ->
+        advance c;
+        Some n
+      | t -> parse_error "expected integer after LIMIT, found %s" (token_to_string t)
+    end
+    else None
+  in
+  {
+    distinct;
+    items;
+    from = List.rev !from;
+    where;
+    group_by;
+    having;
+    order_by;
+    limit;
+  }
+
+let parse_expr_at = parse_expr
+
+(* Fix the "groupby" after-where ordering: the paper writes
+   [... from matches groupby comp]; handled above. *)
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                          *)
+
+let parse_column_defs c =
+  expect_tok c Lparen;
+  let one () =
+    let name = expect_ident c in
+    let tyname = expect_ident c in
+    match Value.ty_of_string tyname with
+    | Some ty -> (name, ty)
+    | None -> parse_error "unknown column type %s" tyname
+  in
+  let cols = ref [ one () ] in
+  while peek c = Comma do
+    advance c;
+    cols := one () :: !cols
+  done;
+  expect_tok c Rparen;
+  List.rev !cols
+
+let parse_name_list c =
+  expect_tok c Lparen;
+  let names = ref [ expect_ident c ] in
+  while peek c = Comma do
+    advance c;
+    names := expect_ident c :: !names
+  done;
+  expect_tok c Rparen;
+  List.rev !names
+
+let parse_statement_at c =
+  if accept_kw c "create" then begin
+    if accept_kw c "table" then begin
+      let name = expect_ident c in
+      let cols = parse_column_defs c in
+      Create_table { name; cols }
+    end
+    else if accept_kw c "index" then begin
+      let iname = expect_ident c in
+      expect_kw c "on";
+      let table = expect_ident c in
+      let cols = parse_name_list c in
+      let kind =
+        if accept_kw c "using" then
+          if accept_kw c "hash" then Index.Hash
+          else begin
+            ignore (accept_kw c "tree");
+            Index.Ordered
+          end
+        else Index.Hash
+      in
+      Create_index { iname; table; cols; kind }
+    end
+    else if
+      accept_kw c "view"
+      ||
+      (accept_kw c "materialized"
+      &&
+      (expect_kw c "view";
+       true))
+    then begin
+      let name = expect_ident c in
+      expect_kw c "as";
+      let select = parse_select_at c in
+      Create_view { name; select }
+    end
+    else parse_error "expected TABLE, INDEX or VIEW after CREATE"
+  end
+  else if accept_kw c "drop" then begin
+    if accept_kw c "table" then Drop_table (expect_ident c)
+    else if accept_kw c "index" then begin
+      let iname = expect_ident c in
+      expect_kw c "on";
+      let table = expect_ident c in
+      Drop_index { table; iname }
+    end
+    else parse_error "expected TABLE or INDEX after DROP"
+  end
+  else if accept_kw c "explain" then Explain (parse_select_at c)
+  else if accept_kw c "insert" then begin
+    expect_kw c "into";
+    let table = expect_ident c in
+    let columns = if peek c = Lparen then Some (parse_name_list c) else None in
+    expect_kw c "values";
+    let row () =
+      expect_tok c Lparen;
+      let vals = ref [ parse_expr c ] in
+      while peek c = Comma do
+        advance c;
+        vals := parse_expr c :: !vals
+      done;
+      expect_tok c Rparen;
+      List.rev !vals
+    in
+    let rows = ref [ row () ] in
+    while peek c = Comma do
+      advance c;
+      rows := row () :: !rows
+    done;
+    Insert { table; columns; values = List.rev !rows }
+  end
+  else if accept_kw c "update" then begin
+    let table = expect_ident c in
+    expect_kw c "set";
+    let one () =
+      let col = expect_ident c in
+      match peek c with
+      | Eq ->
+        advance c;
+        (col, Assign, parse_expr c)
+      | Plus_eq ->
+        advance c;
+        (col, Increment, parse_expr c)
+      | t ->
+        parse_error "expected = or += in SET, found %s" (token_to_string t)
+    in
+    let sets = ref [ one () ] in
+    while peek c = Comma do
+      advance c;
+      sets := one () :: !sets
+    done;
+    let where = if accept_kw c "where" then Some (parse_expr c) else None in
+    Update { table; sets = List.rev !sets; where }
+  end
+  else if accept_kw c "delete" then begin
+    expect_kw c "from";
+    let table = expect_ident c in
+    let where = if accept_kw c "where" then Some (parse_expr c) else None in
+    Delete { table; where }
+  end
+  else if is_kw (peek c) "select" then Select (parse_select_at c)
+  else
+    parse_error "expected a statement, found %s" (token_to_string (peek c))
+
+let parse_statement s =
+  let c = cursor_of_string s in
+  let st = parse_statement_at c in
+  if peek c = Semi then advance c;
+  if not (at_eof c) then
+    parse_error "trailing input after statement: %s" (token_to_string (peek c));
+  st
+
+let parse_statements s =
+  let c = cursor_of_string s in
+  let acc = ref [] in
+  while not (at_eof c) do
+    acc := parse_statement_at c :: !acc;
+    while peek c = Semi do
+      advance c
+    done
+  done;
+  List.rev !acc
+
+let parse_select_string s =
+  let c = cursor_of_string s in
+  let sel = parse_select_at c in
+  if peek c = Semi then advance c;
+  if not (at_eof c) then
+    parse_error "trailing input after query: %s" (token_to_string (peek c));
+  sel
+
+(* ------------------------------------------------------------------ *)
+(* Planning.                                                            *)
+
+let aggregate_of (e : Expr.t) : Query.agg option =
+  match e with
+  | Expr.Call ("count_star", []) -> Some Query.Count_star
+  | Expr.Call ("count", [ a ]) -> Some (Query.Count a)
+  | Expr.Call ("sum", [ a ]) -> Some (Query.Sum a)
+  | Expr.Call ("avg", [ a ]) -> Some (Query.Avg a)
+  | Expr.Call ("min", [ a ]) -> Some (Query.Min a)
+  | Expr.Call ("max", [ a ]) -> Some (Query.Max a)
+  | _ -> None
+
+let rec contains_aggregate (e : Expr.t) =
+  match aggregate_of e with
+  | Some _ -> true
+  | None -> (
+    match e with
+    | Expr.Const _ | Expr.Col _ | Expr.Bound _ -> false
+    | Expr.Unop (_, a) -> contains_aggregate a
+    | Expr.Binop (_, a, b) -> contains_aggregate a || contains_aggregate b
+    | Expr.Call (_, args) -> List.exists contains_aggregate args)
+
+(* Aliases mentioned by an expression, given per-alias schemas for
+   unqualified resolution.  Unresolvable or ambiguous unqualified columns
+   yield None (meaning: only safe to place at the top). *)
+let aliases_of_expr schemas e =
+  let ok = ref true in
+  let acc = ref [] in
+  List.iter
+    (fun (qual, name) ->
+      match qual with
+      | Some q -> if not (List.mem q !acc) then acc := q :: !acc
+      | None -> (
+        let owners =
+          List.filter (fun (_, sch) -> Schema.mem sch name) schemas
+        in
+        match owners with
+        | [ (a, _) ] -> if not (List.mem a !acc) then acc := a :: !acc
+        | _ -> ok := false))
+    (Expr.columns_used e);
+  if !ok then Some !acc else None
+
+let conj_and l =
+  match l with
+  | [] -> None
+  | c :: cs ->
+    Some (List.fold_left (fun acc c -> Expr.Binop (Expr.And, acc, c)) c cs)
+
+let plan_select ~resolve_rel (ast : select_ast) : Query.plan =
+  (* Resolve every FROM relation. *)
+  let refs =
+    List.map
+      (fun (r : table_ref) ->
+        match resolve_rel r.rel with
+        | Some (schema, kind) -> (r, Schema.requalify r.alias schema, kind)
+        | None -> parse_error "unknown relation %s" r.rel)
+      ast.from
+  in
+  let schemas = List.map (fun (r, sch, _) -> (r.alias, sch)) refs in
+  (* Join order: temporaries first (small), standard tables last; within a
+     class keep the original order; prefer relations connected to what is
+     already placed. *)
+  let priority =
+    List.stable_sort
+      (fun (_, _, k1) (_, _, k2) ->
+        match (k1, k2) with
+        | `Tmp, `Std -> -1
+        | `Std, `Tmp -> 1
+        | _ -> 0)
+      refs
+  in
+  let conjs =
+    match ast.where with None -> [] | Some w ->
+      let rec split = function
+        | Expr.Binop (Expr.And, a, b) -> split a @ split b
+        | e -> [ e ]
+      in
+      split w
+  in
+  let conj_info =
+    List.map (fun cnj -> (cnj, aliases_of_expr schemas cnj)) conjs
+  in
+  let placed = ref [] in
+  let pending = ref conj_info in
+  let plan = ref None in
+  let remaining = ref priority in
+  let connected alias =
+    List.exists
+      (fun (_, als) ->
+        match als with
+        | Some als ->
+          List.mem alias als
+          && List.for_all (fun a -> a = alias || List.mem a !placed) als
+        | None -> false)
+      !pending
+  in
+  let take_ref () =
+    match !remaining with
+    | [] -> None
+    | l -> (
+      match
+        List.find_opt (fun (r, _, _) -> connected r.alias) l
+      with
+      | Some r -> Some r
+      | None -> Some (List.hd l))
+  in
+  let scan_of (r : table_ref) =
+    Query.Scan { rel = r.rel; alias = Some r.alias }
+  in
+  let rec build () =
+    match take_ref () with
+    | None -> ()
+    | Some ((r, _, _) as chosen) ->
+      remaining := List.filter (fun (r', _, _) -> r'.alias <> r.alias) !remaining;
+      let new_placed = r.alias :: !placed in
+      (* Conjuncts that become fully resolvable now. *)
+      let here, later =
+        List.partition
+          (fun (_, als) ->
+            match als with
+            | Some als -> List.for_all (fun a -> List.mem a new_placed) als
+            | None -> false)
+          !pending
+      in
+      pending := later;
+      let pred = conj_and (List.map fst here) in
+      (plan :=
+         match !plan with
+         | None -> (
+           let base = scan_of r in
+           match pred with
+           | None -> Some base
+           | Some p -> Some (Query.Filter (p, base)))
+         | Some lhs -> Some (Query.Join (lhs, scan_of r, pred)));
+      placed := new_placed;
+      ignore chosen;
+      build ()
+  in
+  build ();
+  let plan =
+    match !plan with
+    | Some p -> p
+    | None -> parse_error "empty FROM clause"
+  in
+  (* Any conjunct that could not be placed (ambiguous unqualified columns)
+     goes in a top-level filter; executor-side resolution will complain if
+     it is genuinely ambiguous. *)
+  let plan =
+    match conj_and (List.map fst !pending) with
+    | None -> plan
+    | Some p -> Query.Filter (p, plan)
+  in
+  (* Expand stars. *)
+  let expand_star qual =
+    let expand_one (alias, sch) =
+      List.map
+        (fun (col : Schema.column) ->
+          Item (Query.item (Expr.Col (Some alias, col.Schema.cname))))
+        (Schema.columns sch)
+    in
+    match qual with
+    | None -> List.concat_map expand_one schemas
+    | Some q -> (
+      match List.assoc_opt q schemas with
+      | Some sch -> expand_one (q, sch)
+      | None -> parse_error "unknown alias %s in %s.*" q q)
+  in
+  let items =
+    List.concat_map
+      (function
+        | Star -> expand_star None
+        | Qual_star q -> expand_star (Some q)
+        | Item it -> [ Item it ])
+      ast.items
+    |> List.map (function Item it -> it | _ -> assert false)
+  in
+  (* Aggregation? *)
+  let has_agg =
+    List.exists (fun (it : Query.select_item) -> contains_aggregate it.expr) items
+  in
+  let plan =
+    if (not has_agg) && ast.group_by = [] then
+      Query.Project (items, plan)
+    else begin
+      let keys, aggs =
+        List.fold_left
+          (fun (keys, aggs) (it : Query.select_item) ->
+            match aggregate_of it.expr with
+            | Some a ->
+              let name =
+                match it.alias with
+                | Some n -> n
+                | None -> Printf.sprintf "agg%d" (List.length aggs)
+              in
+              (keys, aggs @ [ (a, name) ])
+            | None ->
+              if contains_aggregate it.expr then
+                parse_error
+                  "aggregates must be top-level select items (e.g. SUM(x) AS s)"
+              else (keys @ [ it ], aggs))
+          ([], []) items
+      in
+      (* Group keys: the explicit GROUP BY list wins; bare non-aggregate
+         select items must correspond to it. *)
+      let keys =
+        if ast.group_by = [] then keys
+        else if keys = [] then
+          List.map (fun e -> Query.item e) ast.group_by
+        else keys
+      in
+      Query.Group { keys; aggs; having = ast.having; input = plan }
+    end
+  in
+  let plan = if ast.distinct then Query.Distinct plan else plan in
+  let plan =
+    match ast.order_by with [] -> plan | specs -> Query.Order (specs, plan)
+  in
+  match ast.limit with None -> plan | Some n -> Query.Limit (n, plan)

@@ -1,0 +1,113 @@
+(** Parser and planner for the STRIP SQL subset.
+
+    Covers what STRIP v2.0's evaluation needs (paper §3-§4): CREATE TABLE /
+    INDEX / VIEW, INSERT, UPDATE (including the [+=] increment form of
+    Figure 3), DELETE, and SELECT with comma joins, WHERE, GROUP BY /
+    HAVING, ORDER BY and LIMIT.  The rule DDL of Figure 2 is layered on top
+    in {!Strip_core.Rule_parser}, which drives the exposed token cursor so
+    the [select ... bind as t] form can be parsed in place.
+
+    Parsing yields an AST; {!plan_select} lowers a select AST to a
+    {!Query.plan}, choosing join order with a small heuristic: temporary
+    relations (transition/bound tables — always small) are joined first and
+    standard tables later, so that equi-joins against indexed standard
+    tables run as index nested loops; WHERE conjuncts are attached to the
+    join level where they first resolve. *)
+
+type set_op = Assign | Increment
+
+type sel_item =
+  | Star
+  | Qual_star of string
+  | Item of Query.select_item
+
+type table_ref = { rel : string; alias : string }
+
+type select_ast = {
+  distinct : bool;
+  items : sel_item list;
+  from : table_ref list;
+  where : Expr.t option;
+  group_by : Expr.t list;
+  having : Expr.t option;
+  order_by : (Expr.t * Query.order) list;
+  limit : int option;
+}
+
+type statement =
+  | Create_table of { name : string; cols : (string * Value.ty) list }
+  | Create_index of {
+      iname : string;
+      table : string;
+      cols : string list;
+      kind : Index.kind;
+    }
+  | Create_view of { name : string; select : select_ast }
+  | Insert of { table : string; columns : string list option; values : Expr.t list list }
+  | Update of {
+      table : string;
+      sets : (string * set_op * Expr.t) list;
+      where : Expr.t option;
+    }
+  | Delete of { table : string; where : Expr.t option }
+  | Drop_table of string
+  | Drop_index of { table : string; iname : string }
+  | Select of select_ast
+  | Explain of select_ast
+
+exception Parse_error of string
+
+val parse_statement : string -> statement
+(** Parse exactly one statement (an optional trailing [;] is allowed). *)
+
+val parse_statements : string -> statement list
+(** Parse a [;]-separated script. *)
+
+val parse_select_string : string -> select_ast
+
+val plan_select :
+  resolve_rel:(string -> (Schema.t * [ `Std | `Tmp ]) option) ->
+  select_ast ->
+  Query.plan
+(** Lower a select AST to an executable plan.  [resolve_rel] supplies the
+    schema and kind of every referenced relation (catalog tables plus the
+    transition/bound tables in scope); it drives [*] expansion and join
+    ordering.  @raise Parse_error on unknown relations, [*] ambiguity or
+    unresolvable conjuncts. *)
+
+(** {1 Token cursor}
+
+    Exposed for the rule-DDL parser, which embeds SELECT queries. *)
+
+type cursor
+
+val cursor_of_string : string -> cursor
+val at_eof : cursor -> bool
+val peek : cursor -> Sql_lexer.token
+val advance : cursor -> unit
+val accept_kw : cursor -> string -> bool
+(** Consume the given case-insensitive keyword if it is next. *)
+
+val expect_kw : cursor -> string -> unit
+(** @raise Parse_error if the keyword is not next. *)
+
+val expect_ident : cursor -> string
+(** Consume and return an identifier. *)
+
+val save : cursor -> int
+(** Current position, for backtracking probes. *)
+
+val restore : cursor -> int -> unit
+
+val parse_error : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Parse_error} with a formatted message. *)
+
+val parse_statement_at : cursor -> statement
+(** Parse one statement starting at the cursor (used by script runners that
+    interleave SQL statements with rule DDL). *)
+
+val parse_select_at : cursor -> select_ast
+(** Parse a SELECT starting at the cursor (the [select] keyword included);
+    stops at the first token that cannot continue the query. *)
+
+val parse_expr_at : cursor -> Expr.t

@@ -1,0 +1,227 @@
+type node = {
+  record : Record.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  tname : string;
+  tschema : Schema.t;
+  mutable first : node option;
+  mutable last : node option;
+  nodes : (int, node) Hashtbl.t;  (* rid -> node, for O(1) unlink *)
+  mutable tindexes : Index.t list;
+  mutable count : int;
+}
+
+type cursor = {
+  table : t;
+  mutable pending : [ `List of node option | `Recs of Record.t list ];
+  mutable current : Record.t option;
+  mutable closed : bool;
+}
+
+let create ~name ~schema =
+  {
+    tname = name;
+    tschema = schema;
+    first = None;
+    last = None;
+    nodes = Hashtbl.create 64;
+    tindexes = [];
+    count = 0;
+  }
+
+let name t = t.tname
+let schema t = t.tschema
+let cardinal t = t.count
+
+let iter t f =
+  let rec loop = function
+    | None -> ()
+    | Some n ->
+      let next = n.next in
+      f n.record;
+      loop next
+  in
+  loop t.first
+
+let create_index t ~name ~kind ~cols =
+  if List.exists (fun i -> Index.name i = name) t.tindexes then
+    invalid_arg (Printf.sprintf "Table.create_index: duplicate index %s" name);
+  let positions =
+    List.map (fun c -> Schema.find_exn t.tschema c) cols |> Array.of_list
+  in
+  let idx = Index.create ~name ~kind ~cols:positions in
+  iter t (fun r -> Index.add idx r);
+  t.tindexes <- t.tindexes @ [ idx ];
+  idx
+
+let find_index t name =
+  List.find_opt (fun i -> Index.name i = name) t.tindexes
+
+let index_on t cols =
+  let want =
+    List.map (fun c -> Schema.find_exn t.tschema c) cols |> Array.of_list
+  in
+  List.find_opt (fun i -> Index.key_cols i = want) t.tindexes
+
+let indexes t = t.tindexes
+
+let check_row t values =
+  match Schema.validate_row t.tschema values with
+  | Ok () -> ()
+  | Error msg ->
+    invalid_arg (Printf.sprintf "table %s: %s" t.tname msg)
+
+let link_last t node =
+  (match t.last with
+  | None ->
+    t.first <- Some node;
+    t.last <- Some node
+  | Some l ->
+    l.next <- Some node;
+    node.prev <- Some l;
+    t.last <- Some node);
+  Hashtbl.replace t.nodes node.record.Record.rid node;
+  t.count <- t.count + 1
+
+(* Splice [node] into [old_node]'s list position; [old_node] is detached.
+   Must run before anything clears [old_node]'s links. *)
+let replace_node t ~old_node node =
+  node.prev <- old_node.prev;
+  node.next <- old_node.next;
+  (match old_node.prev with
+  | None -> t.first <- Some node
+  | Some p -> p.next <- Some node);
+  (match old_node.next with
+  | None -> t.last <- Some node
+  | Some nx -> nx.prev <- Some node);
+  old_node.prev <- None;
+  old_node.next <- None;
+  Hashtbl.remove t.nodes old_node.record.Record.rid;
+  Hashtbl.replace t.nodes node.record.Record.rid node
+
+let unlink t node =
+  (match node.prev with
+  | None -> t.first <- node.next
+  | Some p -> p.next <- node.next);
+  (match node.next with
+  | None -> t.last <- node.prev
+  | Some nx -> nx.prev <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  Hashtbl.remove t.nodes node.record.Record.rid;
+  t.count <- t.count - 1
+
+let node_of t (r : Record.t) =
+  match Hashtbl.find_opt t.nodes r.Record.rid with
+  | Some n -> n
+  | None ->
+    invalid_arg
+      (Printf.sprintf "table %s: record %d is not live here" t.tname
+         r.Record.rid)
+
+let insert t values =
+  check_row t values;
+  Meter.tick "insert_record";
+  let r = Record.create values in
+  let node = { record = r; prev = None; next = None } in
+  link_last t node;
+  List.iter (fun idx -> Index.add idx r) t.tindexes;
+  r
+
+let update t old values =
+  check_row t values;
+  Meter.tick "update_record";
+  let old_node = node_of t old in
+  let r = Record.create values in
+  let node = { record = r; prev = None; next = None } in
+  replace_node t ~old_node node;
+  List.iter
+    (fun idx ->
+      Index.remove idx old;
+      Index.add idx r)
+    t.tindexes;
+  Record.retire old;
+  r
+
+let delete t r =
+  Meter.tick "delete_record";
+  let node = node_of t r in
+  unlink t node;
+  List.iter (fun idx -> Index.remove idx r) t.tindexes;
+  Record.retire r
+
+let open_cursor t =
+  Meter.tick "open_cursor";
+  { table = t; pending = `List t.first; current = None; closed = false }
+
+let open_index_cursor t idx key =
+  Meter.tick "open_cursor";
+  let recs = Index.lookup idx key in
+  { table = t; pending = `Recs recs; current = None; closed = false }
+
+let open_range_cursor t idx ?lo ?hi () =
+  Meter.tick "open_cursor";
+  let acc = ref [] in
+  Index.range idx ?lo ?hi (fun r -> acc := r :: !acc);
+  { table = t; pending = `Recs (List.rev !acc); current = None; closed = false }
+
+let fetch c =
+  if c.closed then invalid_arg "Table.fetch: cursor is closed";
+  (* end-of-scan detection is free; only delivered records are metered *)
+  match c.pending with
+  | `List None ->
+    c.current <- None;
+    None
+  | `List (Some n) ->
+    Meter.tick "fetch_cursor";
+    c.pending <- `List n.next;
+    c.current <- Some n.record;
+    Some n.record
+  | `Recs [] ->
+    c.current <- None;
+    None
+  | `Recs (r :: rest) ->
+    Meter.tick "fetch_cursor";
+    c.pending <- `Recs rest;
+    c.current <- Some r;
+    Some r
+
+let cursor_update c values =
+  if c.closed then invalid_arg "Table.cursor_update: cursor is closed";
+  match c.current with
+  | None -> invalid_arg "Table.cursor_update: no current record"
+  | Some r ->
+    Meter.tick "update_cursor";
+    let r' = update c.table r values in
+    c.current <- Some r';
+    r'
+
+let cursor_delete c =
+  if c.closed then invalid_arg "Table.cursor_delete: cursor is closed";
+  match c.current with
+  | None -> invalid_arg "Table.cursor_delete: no current record"
+  | Some r ->
+    Meter.tick "delete_cursor";
+    delete c.table r;
+    c.current <- None
+
+let close_cursor c =
+  if not c.closed then begin
+    Meter.tick "close_cursor";
+    c.closed <- true;
+    c.current <- None;
+    c.pending <- `Recs []
+  end
+
+let clear t =
+  let recs = ref [] in
+  iter t (fun r -> recs := r :: !recs);
+  List.iter (fun r -> delete t r) !recs
+
+let to_rows t =
+  let acc = ref [] in
+  iter t (fun r -> acc := Array.copy r.Record.values :: !acc);
+  List.rev !acc

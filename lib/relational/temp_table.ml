@@ -1,0 +1,129 @@
+type provenance =
+  | From_record of int * int
+  | Computed of int
+
+type row = {
+  srcs : Record.t array;
+  mats : Value.t array;
+}
+
+type t = {
+  tname : string;
+  tschema : Schema.t;
+  nslots : int;
+  nmats : int;
+  prov : provenance array;
+  mutable rows_rev : row list;  (* newest first *)
+  mutable nrows : int;
+  mutable is_retired : bool;
+}
+
+let create ~name ~schema ~nslots ~prov =
+  if Array.length prov <> Schema.arity schema then
+    invalid_arg "Temp_table.create: static map arity mismatch";
+  let nmats =
+    Array.fold_left
+      (fun acc p -> match p with Computed _ -> acc + 1 | From_record _ -> acc)
+      0 prov
+  in
+  let seen = Array.make (max nmats 1) false in
+  Array.iter
+    (fun p ->
+      match p with
+      | Computed i ->
+        if i < 0 || i >= nmats || seen.(i) then
+          invalid_arg "Temp_table.create: materialized cells not dense";
+        seen.(i) <- true
+      | From_record (s, _) ->
+        if s < 0 || s >= nslots then
+          invalid_arg "Temp_table.create: pointer slot out of range")
+    prov;
+  {
+    tname = name;
+    tschema = schema;
+    nslots;
+    nmats;
+    prov;
+    rows_rev = [];
+    nrows = 0;
+    is_retired = false;
+  }
+
+let create_materialized ~name ~schema =
+  let prov = Array.init (Schema.arity schema) (fun i -> Computed i) in
+  create ~name ~schema ~nslots:0 ~prov
+
+let name t = t.tname
+let schema t = t.tschema
+let cardinal t = t.nrows
+let slots t = t.nslots
+let static_map t = Array.copy t.prov
+
+let append t ~srcs ~mats =
+  if t.is_retired then invalid_arg "Temp_table.append: table is retired";
+  if Array.length srcs <> t.nslots || Array.length mats <> t.nmats then
+    invalid_arg "Temp_table.append: slot/materialized arity mismatch";
+  Array.iter Record.pin srcs;
+  Meter.tick "bound_append";
+  t.rows_rev <- { srcs; mats } :: t.rows_rev;
+  t.nrows <- t.nrows + 1
+
+let append_values t values =
+  if t.nslots <> 0 then
+    invalid_arg "Temp_table.append_values: table has pointer slots";
+  (* Reorder the values into materialized-cell order. *)
+  let mats = Array.make t.nmats Value.Null in
+  Array.iteri
+    (fun col p ->
+      match p with
+      | Computed m -> mats.(m) <- values.(col)
+      | From_record _ -> assert false)
+    t.prov;
+  append t ~srcs:[||] ~mats
+
+let get t row col =
+  match t.prov.(col) with
+  | From_record (slot, off) -> Record.value row.srcs.(slot) off
+  | Computed m -> row.mats.(m)
+
+let row_values t row =
+  Array.init (Schema.arity t.tschema) (fun c -> get t row c)
+
+let row_source row slot = row.srcs.(slot)
+
+let iter t f = List.iter f (List.rev t.rows_rev)
+
+let fold t ~init ~f =
+  List.fold_left f init (List.rev t.rows_rev)
+
+let same_layout a b =
+  Schema.equal_layout a.tschema b.tschema
+  && a.nslots = b.nslots && a.prov = b.prov
+
+let absorb dst src =
+  if dst.is_retired then invalid_arg "Temp_table.absorb: destination retired";
+  if not (same_layout dst src) then
+    invalid_arg
+      (Printf.sprintf "Temp_table.absorb: layout mismatch between %s and %s"
+         dst.tname src.tname);
+  (* Move rows (pins move with them, so no repin/unpin). *)
+  Meter.tick_n "bound_append" src.nrows;
+  dst.rows_rev <- src.rows_rev @ dst.rows_rev;
+  dst.nrows <- dst.nrows + src.nrows;
+  src.rows_rev <- [];
+  src.nrows <- 0
+
+let retire t =
+  if not t.is_retired then begin
+    t.is_retired <- true;
+    List.iter (fun r -> Array.iter Record.unpin r.srcs) t.rows_rev;
+    t.rows_rev <- [];
+    t.nrows <- 0
+  end
+
+let retired t = t.is_retired
+
+let to_rows t =
+  (* [rows_rev] is newest-first, so a single rev_map restores insertion
+     order. *)
+  List.rev_map (fun r -> row_values t r) t.rows_rev

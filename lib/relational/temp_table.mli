@@ -1,0 +1,75 @@
+(** Temporary tables: intermediate results, transition tables, bound tables
+    (paper §6.1).
+
+    A temporary tuple does not copy attribute values.  It stores one pointer
+    per standard record that contributes at least one attribute, plus the
+    materialized values of aggregate/computed/timestamp columns, which exist
+    nowhere else.  A per-table static map records, for every column, whether
+    to follow pointer slot [s] at offset [o] or to read materialized cell
+    [m].
+
+    Every stored pointer pins its record ({!Record.pin}), so records retired
+    by later updates remain readable until the temporary table is itself
+    retired — this is exactly the mechanism that lets a rule action see the
+    database state of condition-evaluation time. *)
+
+type provenance =
+  | From_record of int * int
+      (** [(slot, offset)]: follow source pointer [slot], read attribute
+          [offset] of that record *)
+  | Computed of int  (** read materialized cell [idx] *)
+
+type t
+
+val create : name:string -> schema:Schema.t -> nslots:int -> prov:provenance array -> t
+(** [prov] must have one entry per schema column; materialized cells must be
+    numbered densely from 0.  @raise Invalid_argument otherwise. *)
+
+val create_materialized : name:string -> schema:Schema.t -> t
+(** Convenience: no pointer slots, every column materialized. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinal : t -> int
+val slots : t -> int
+val static_map : t -> provenance array
+
+type row
+(** One temporary tuple. *)
+
+val append : t -> srcs:Record.t array -> mats:Value.t array -> unit
+(** Add a tuple; pins each source record.
+    @raise Invalid_argument on arity mismatch with the static map. *)
+
+val append_values : t -> Value.t array -> unit
+(** Add a fully-materialized tuple (table must have zero slots). *)
+
+val get : t -> row -> int -> Value.t
+(** Column value, through the static map. *)
+
+val row_values : t -> row -> Value.t array
+(** All column values of a tuple, materialized into a fresh array. *)
+
+val row_source : row -> int -> Record.t
+(** The record in pointer slot [slot] of this tuple. *)
+
+val iter : t -> (row -> unit) -> unit
+(** Iterate tuples in insertion order. *)
+
+val fold : t -> init:'a -> f:('a -> row -> 'a) -> 'a
+
+val absorb : t -> t -> unit
+(** [absorb dst src] moves every tuple of [src] to the end of [dst] — the
+    unique-transaction merge of paper §2.  Pins transfer with the tuples and
+    [src] is emptied (but not retired).
+    @raise Invalid_argument unless the layouts (schema and static map)
+    match. *)
+
+val retire : t -> unit
+(** Drop the table's contents, unpinning every source record.  Idempotent.
+    Called when the task owning a bound table finishes (§6.3). *)
+
+val retired : t -> bool
+
+val to_rows : t -> Value.t array list
+(** Materialized snapshot, insertion order. *)

@@ -1,0 +1,63 @@
+open Strip_relational
+open Strip_txn
+
+type event =
+  | On_insert
+  | On_delete
+  | On_update of string list
+
+type bound_query = {
+  query : Sql_parser.select_ast;
+  bind_as : string option;
+}
+
+type uniqueness =
+  | Not_unique
+  | Unique
+  | Unique_on of string list
+
+type t = {
+  rname : string;
+  rtable : string;
+  events : event list;
+  condition : bound_query list;
+  evaluate : bound_query list;
+  func : string;
+  uniqueness : uniqueness;
+  delay : float;
+}
+
+let event_matches ~schema event (change : Tlog.change) =
+  match (event, change) with
+  | On_insert, Tlog.Inserted _ -> true
+  | On_delete, Tlog.Deleted _ -> true
+  | On_update [], Tlog.Updated _ -> true
+  | On_update cols, Tlog.Updated { old_rec; new_rec } ->
+    List.exists
+      (fun col ->
+        match Schema.find schema col with
+        | Some i ->
+          not
+            (Value.equal (Record.value old_rec i) (Record.value new_rec i))
+        | None -> false)
+      cols
+  | (On_insert | On_delete | On_update _), _ -> false
+
+let pp_event ppf = function
+  | On_insert -> Format.pp_print_string ppf "inserted"
+  | On_delete -> Format.pp_print_string ppf "deleted"
+  | On_update [] -> Format.pp_print_string ppf "updated"
+  | On_update cols ->
+    Format.fprintf ppf "updated %s" (String.concat ", " cols)
+
+let pp ppf r =
+  Format.fprintf ppf "rule %s on %s when %a -> %s%s%s" r.rname r.rtable
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       pp_event)
+    r.events r.func
+    (match r.uniqueness with
+    | Not_unique -> ""
+    | Unique -> " unique"
+    | Unique_on cols -> " unique on " ^ String.concat ", " cols)
+    (if r.delay > 0.0 then Printf.sprintf " after %gs" r.delay else "")

@@ -1,0 +1,395 @@
+open Strip_relational
+open Strip_txn
+
+type action_ctx = {
+  txn : Transaction.t;
+  task : Task.t;
+  cat : Catalog.t;
+  clock : Clock.t;
+}
+
+type user_fun = action_ctx -> unit
+
+exception Rule_error of string
+
+let rule_error fmt = Printf.ksprintf (fun s -> raise (Rule_error s)) fmt
+
+type compiled = {
+  rule : Rule_ast.t;
+  cond : (Query.plan * string option) list;
+  eval : (Query.plan * string option) list;
+  (* declared layout of every named bound table, for merge compatibility *)
+  bound_schemas : (string * Schema.t) list;
+}
+
+type t = {
+  cat : Catalog.t;
+  locks : Lock.t;
+  clock : Clock.t;
+  funcs : (string, user_fun) Hashtbl.t;
+  by_table : (string, compiled list ref) Hashtbl.t;
+  mutable all_rules : compiled list;  (* creation order *)
+  reg : Unique.t;
+  mutable submit : (Task.t -> unit) option;
+  mutable firings : int;
+  mutable created : int;
+  mutable merges : int;
+}
+
+let create ~cat ~locks ~clock () =
+  {
+    cat;
+    locks;
+    clock;
+    funcs = Hashtbl.create 16;
+    by_table = Hashtbl.create 16;
+    all_rules = [];
+    reg = Unique.create ();
+    submit = None;
+    firings = 0;
+    created = 0;
+    merges = 0;
+  }
+
+let set_submitter t f = t.submit <- Some f
+
+let submit t task =
+  match t.submit with
+  | Some f -> f task
+  | None -> rule_error "no task submitter installed (call set_submitter)"
+
+let register_function t name fn =
+  Hashtbl.replace t.funcs (String.lowercase_ascii name) fn
+
+let find_function t name =
+  Hashtbl.find_opt t.funcs (String.lowercase_ascii name)
+
+let registry t = t.reg
+
+let n_rule_firings t = t.firings
+let n_tasks_created t = t.created
+let n_merges t = t.merges
+
+let reset_stats t =
+  t.firings <- 0;
+  t.created <- 0;
+  t.merges <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Rule compilation.                                                    *)
+
+let transition_names = [ "inserted"; "deleted"; "new"; "old" ]
+
+let compile_rule t (rule : Rule_ast.t) =
+  let base =
+    match Catalog.find_table t.cat rule.Rule_ast.rtable with
+    | Some tb -> Table.schema tb
+    | None -> rule_error "rule %s: unknown table %s" rule.rname rule.rtable
+  in
+  let tschema =
+    Schema.make
+      (Schema.columns (Schema.unqualify base)
+      @ [ Schema.column Transition.execute_order_column Value.TInt ])
+  in
+  let resolve_rel name =
+    if List.mem name transition_names then Some (tschema, `Tmp)
+    else
+      match Catalog.find_table t.cat name with
+      | Some tb -> Some (Table.schema tb, `Std)
+      | None -> None
+  in
+  let plan_bound (bq : Rule_ast.bound_query) =
+    let plan =
+      try Sql_parser.plan_select ~resolve_rel bq.query
+      with Sql_parser.Parse_error msg ->
+        rule_error "rule %s: %s" rule.rname msg
+    in
+    (plan, bq.bind_as)
+  in
+  let cond = List.map plan_bound rule.condition in
+  let eval = List.map plan_bound rule.evaluate in
+  (* Output schemas of the bound queries (for layout validation) — computed
+     against empty transition tables. *)
+  let dummy = Transition.build ~schema:base ~table:rule.rtable [] in
+  let env = Transition.env dummy in
+  let bound_schemas =
+    List.filter_map
+      (fun (plan, name) ->
+        match name with
+        | None -> None
+        | Some n -> (
+          match Query.schema_of t.cat ~env plan with
+          | sch -> Some (n, Schema.unqualify sch)
+          | exception Query.Plan_error msg ->
+            rule_error "rule %s, bound table %s: %s" rule.rname n msg))
+      (cond @ eval)
+  in
+  Transition.retire dummy;
+  (* Unique columns must come from the bound tables. *)
+  (match rule.uniqueness with
+  | Rule_ast.Unique_on cols ->
+    List.iter
+      (fun col ->
+        if
+          not
+            (List.exists (fun (_, sch) -> Schema.mem sch col) bound_schemas)
+        then
+          rule_error
+            "rule %s: unique column %s does not appear in any bound table"
+            rule.rname col)
+      cols
+  | Rule_ast.Not_unique | Rule_ast.Unique -> ());
+  (* Bound tables of rules executing the same function must be defined
+     identically (§2), so batches can merge. *)
+  List.iter
+    (fun other ->
+      if String.lowercase_ascii other.rule.Rule_ast.func
+         = String.lowercase_ascii rule.func
+      then
+        List.iter
+          (fun (n, sch) ->
+            match List.assoc_opt n other.bound_schemas with
+            | Some osch when not (Schema.equal_layout sch osch) ->
+              rule_error
+                "rule %s: bound table %s differs in layout from rule %s's \
+                 definition (same function %s)"
+                rule.rname n other.rule.Rule_ast.rname rule.func
+            | _ -> ())
+          bound_schemas)
+    t.all_rules;
+  { rule; cond; eval; bound_schemas }
+
+let create_rule t rule =
+  if
+    List.exists
+      (fun c -> c.rule.Rule_ast.rname = rule.Rule_ast.rname)
+      t.all_rules
+  then rule_error "duplicate rule name %s" rule.Rule_ast.rname;
+  let compiled = compile_rule t rule in
+  t.all_rules <- t.all_rules @ [ compiled ];
+  let slot =
+    match Hashtbl.find_opt t.by_table rule.Rule_ast.rtable with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add t.by_table rule.Rule_ast.rtable l;
+      l
+  in
+  slot := !slot @ [ compiled ]
+
+let create_rule_text t s = create_rule t (Rule_parser.parse s)
+
+let drop_rule t name =
+  if not (List.exists (fun c -> c.rule.Rule_ast.rname = name) t.all_rules)
+  then rule_error "no such rule %s" name;
+  t.all_rules <-
+    List.filter (fun c -> c.rule.Rule_ast.rname <> name) t.all_rules;
+  Hashtbl.iter
+    (fun _ slot ->
+      slot := List.filter (fun c -> c.rule.Rule_ast.rname <> name) !slot)
+    t.by_table
+
+let rules t = List.map (fun c -> c.rule) t.all_rules
+
+(* ------------------------------------------------------------------ *)
+(* Action execution.                                                    *)
+
+let rec run_action t task =
+  let func = task.Task.func_name in
+  match find_function t func with
+  | None -> rule_error "user function %s is not registered" func
+  | Some fn ->
+    (* A fresh firing must now start a new transaction (§2). *)
+    (match task.Task.unique_key with
+    | Some key -> Unique.remove t.reg ~func ~key
+    | None -> ());
+    let txn =
+      Transaction.begin_ ~cat:t.cat ~locks:t.locks ~clock:t.clock
+        ~env:task.Task.bound ()
+    in
+    (try fn { txn; task; cat = t.cat; clock = t.clock }
+     with e ->
+       if Transaction.status txn = Transaction.Active then
+         Transaction.abort txn;
+       raise e);
+    if Transaction.status txn = Transaction.Active then commit_txn t txn
+
+(* ------------------------------------------------------------------ *)
+(* Firing: bind results, partition, merge-or-create tasks.              *)
+
+and fire t compiled (named_results : (string * Query.result) list) =
+  let rule = compiled.rule in
+  let now = Clock.now t.clock in
+  let release = now +. rule.Rule_ast.delay in
+  t.firings <- t.firings + 1;
+  let overrides_for result =
+    if Schema.mem (Query.result_schema result) "commit_time" then
+      [ ("commit_time", Value.Float now) ]
+    else []
+  in
+  let bind_all parts =
+    List.map
+      (fun (name, result) ->
+        (name, Query.bind ~overrides:(overrides_for result) ~name result))
+      parts
+  in
+  let merge_or_create ~key named =
+    match Unique.find t.reg ~func:rule.Rule_ast.func ~key with
+    | Some queued ->
+      (* Append this firing's rows to the queued TCB's bound tables. *)
+      t.merges <- t.merges + 1;
+      let fresh = bind_all named in
+      List.iter
+        (fun (name, tmp) ->
+          match List.assoc_opt name queued.Task.bound with
+          | Some dst -> Temp_table.absorb dst tmp
+          | None ->
+            Temp_table.retire tmp;
+            rule_error
+              "rule %s: queued transaction for %s lacks bound table %s"
+              rule.Rule_ast.rname rule.Rule_ast.func name)
+        fresh
+    | None ->
+      t.created <- t.created + 1;
+      let task =
+        Task.create ~klass:Task.Recompute ~func_name:rule.Rule_ast.func
+          ~unique_key:key ~bound:(bind_all named) ~release_time:release
+          ~created_at:now
+          (fun task -> run_action t task)
+      in
+      Unique.register t.reg ~func:rule.Rule_ast.func ~key task;
+      submit t task
+  in
+  match rule.Rule_ast.uniqueness with
+  | Rule_ast.Not_unique ->
+    t.created <- t.created + 1;
+    let task =
+      Task.create ~klass:Task.Recompute ~func_name:rule.Rule_ast.func
+        ~bound:(bind_all named_results) ~release_time:release ~created_at:now
+        (fun task -> run_action t task)
+    in
+    submit t task
+  | Rule_ast.Unique -> merge_or_create ~key:[] named_results
+  | Rule_ast.Unique_on cols ->
+    (* Appendix A: partition the bound tables that contain unique columns;
+       pass the others whole.  The unique key ranges over the cartesian
+       product of the per-table distinct sub-keys (column names are unique
+       across bound tables). *)
+    let with_cols, without_cols =
+      List.partition
+        (fun (_, result) ->
+          List.exists
+            (fun col -> Schema.mem (Query.result_schema result) col)
+            cols)
+        named_results
+    in
+    let parted =
+      List.map
+        (fun (name, result) ->
+          let owned =
+            List.filter
+              (fun col -> Schema.mem (Query.result_schema result) col)
+              cols
+          in
+          (name, owned, Query.partition result ~cols:owned))
+        with_cols
+    in
+    (* Cartesian product across the partitioned tables. *)
+    let rec combos acc = function
+      | [] -> [ List.rev acc ]
+      | (name, owned, parts) :: rest ->
+        List.concat_map
+          (fun (key, sub) -> combos ((name, owned, key, sub) :: acc) rest)
+          parts
+    in
+    let all = combos [] parted in
+    List.iter
+      (fun combo ->
+        (* Key ordered by the rule's unique column list. *)
+        let key =
+          List.map
+            (fun col ->
+              let rec find = function
+                | [] -> assert false
+                | (_, owned, key, _) :: rest -> (
+                  match
+                    List.find_opt (fun (c, _) -> c = col)
+                      (List.combine owned key)
+                  with
+                  | Some (_, v) -> v
+                  | None -> find rest)
+              in
+              find combo)
+            cols
+        in
+        let named =
+          List.map (fun (name, _, _, sub) -> (name, sub)) combo
+          @ without_cols
+        in
+        merge_or_create ~key named)
+      all
+
+(* ------------------------------------------------------------------ *)
+(* Commit-time processing (§6.3).                                       *)
+
+and process_commit t txn =
+  let log = Transaction.log txn in
+  if Tlog.length log > 0 then begin
+    let tables = Tlog.tables_touched log in
+    List.iter
+      (fun table ->
+        match Hashtbl.find_opt t.by_table table with
+        | None | Some { contents = [] } -> ()
+        | Some { contents = rules } ->
+          let tb = Catalog.table_exn t.cat table in
+          let schema = Table.schema tb in
+          let entries =
+            List.filter
+              (fun (e : Tlog.entry) -> e.table = table)
+              (Tlog.entries log)
+          in
+          let trans = Transition.build ~schema ~table entries in
+          let env = Transition.env trans in
+          List.iter
+            (fun compiled ->
+              Meter.tick "rule_check";
+              let triggered =
+                List.exists
+                  (fun (e : Tlog.entry) ->
+                    List.exists
+                      (fun ev -> Rule_ast.event_matches ~schema ev e.change)
+                      compiled.rule.Rule_ast.events)
+                  entries
+              in
+              if triggered then begin
+                let run_plans plans =
+                  List.map
+                    (fun (plan, name) -> (Query.run t.cat ~env plan, name))
+                    plans
+                in
+                let cond_results = run_plans compiled.cond in
+                let ok =
+                  List.for_all
+                    (fun (r, _) -> Query.row_count r > 0)
+                    cond_results
+                in
+                if ok then begin
+                  let eval_results = run_plans compiled.eval in
+                  let named =
+                    List.filter_map
+                      (fun (r, name) ->
+                        match name with Some n -> Some (n, r) | None -> None)
+                      (cond_results @ eval_results)
+                  in
+                  fire t compiled named
+                end
+              end)
+            rules;
+          Transition.retire trans)
+      tables
+  end
+
+and commit_txn t txn =
+  process_commit t txn;
+  Transaction.commit txn;
+  Transaction.cleanup txn

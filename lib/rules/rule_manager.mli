@@ -1,0 +1,87 @@
+(** The rule system proper (paper §2, §6.3, Appendix A).
+
+    Responsibilities, in the order they play out for one transaction:
+
+    + {b Event checking} — at commit, one pass over the transaction log
+      finds the rules triggered per table and builds the transition
+      tables.
+    + {b Condition evaluation} — each triggered rule's [if] queries run in
+      the triggering transaction's scope; the condition holds when every
+      query returns at least one row (or there are none).  Query results
+      marked [bind as] become bound tables with the §6.1 pointer layout;
+      a declared [commit_time] column is stamped with the clock.
+    + {b Action creation} — a task is created to run the rule's user
+      function in a new transaction ("sequentially causally dependent"),
+      released after the rule's delay.  For [unique] rules, the
+      (function × unique-column values) hash is consulted first: if a
+      not-yet-started task exists, the fresh bound-table rows are appended
+      to its TCB instead (the unique-transaction merge).  [unique on]
+      partitions the bound tables by the Appendix-A scheme — tables
+      containing unique columns are split by key, the others are passed
+      whole to every partition.
+    + {b Action execution} — when the simulated CPU dispatches the task,
+      the manager wraps the user function in a transaction whose
+      environment is the TCB's bound-table list, removes the task's hash
+      entry (new firings start a fresh batch), and commits through this
+      module again, so actions can cascade. *)
+
+type action_ctx = {
+  txn : Strip_txn.Transaction.t;  (** the action transaction *)
+  task : Strip_txn.Task.t;  (** the TCB (bound tables live in [txn]'s env) *)
+  cat : Strip_relational.Catalog.t;
+  clock : Strip_txn.Clock.t;
+}
+
+type user_fun = action_ctx -> unit
+(** An application function "linked into the database" (paper §2).  Bound
+    tables are readable inside [txn] under their declared names. *)
+
+type t
+
+exception Rule_error of string
+
+val create :
+  cat:Strip_relational.Catalog.t ->
+  locks:Strip_txn.Lock.t ->
+  clock:Strip_txn.Clock.t ->
+  unit ->
+  t
+
+val set_submitter : t -> (Strip_txn.Task.t -> unit) -> unit
+(** Where created action tasks go — normally {!Strip_sim.Engine.submit}. *)
+
+val register_function : t -> string -> user_fun -> unit
+(** Names are case-insensitive, matching the SQL side. *)
+
+val create_rule : t -> Rule_ast.t -> unit
+(** Compile and install a rule.  Validates that the table exists, that
+    unique columns appear in the rule's bound tables, and that bound tables
+    agree in layout with other rules executing the same function (the §2
+    requirement that lets their batches merge).
+    @raise Rule_error on any violation. *)
+
+val create_rule_text : t -> string -> unit
+(** Parse (Figure 2 syntax) and install. *)
+
+val drop_rule : t -> string -> unit
+(** @raise Rule_error if no such rule. *)
+
+val rules : t -> Rule_ast.t list
+
+val commit_txn : t -> Strip_txn.Transaction.t -> unit
+(** End-of-transaction protocol: event checking and rule processing, then
+    commit, then release of the pre-image pins. *)
+
+val registry : t -> Unique.t
+(** The unique-transaction hash (exposed for tests and stats). *)
+
+(** {1 Statistics} *)
+
+val n_rule_firings : t -> int
+(** Rule activations whose condition evaluated to true. *)
+
+val n_tasks_created : t -> int
+val n_merges : t -> int
+(** Firings absorbed into an already-queued unique transaction. *)
+
+val reset_stats : t -> unit

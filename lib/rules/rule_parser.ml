@@ -1,0 +1,153 @@
+open Strip_relational
+module P = Sql_parser
+
+let event_stoppers = [ "inserted"; "deleted"; "updated"; "if"; "then" ]
+
+let is_one_of c kws = List.exists (fun kw -> P.accept_kw c kw) kws
+
+let parse_events c =
+  let events = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    (match P.peek c with
+    | Sql_lexer.Comma -> P.advance c
+    | _ -> ());
+    if P.accept_kw c "inserted" then events := Rule_ast.On_insert :: !events
+    else if P.accept_kw c "deleted" then events := Rule_ast.On_delete :: !events
+    else if P.accept_kw c "updated" then begin
+      (* optional column list: idents (comma-separated or juxtaposed) up to
+         the next event keyword or clause keyword *)
+      let cols = ref [] in
+      let more = ref true in
+      while !more do
+        (match P.peek c with
+        | Sql_lexer.Comma ->
+          P.advance c
+        | _ -> ());
+        match P.peek c with
+        | Sql_lexer.Ident name
+          when not (List.mem (String.lowercase_ascii name) event_stoppers) ->
+          P.advance c;
+          cols := name :: !cols
+        | _ -> more := false
+      done;
+      events := Rule_ast.On_update (List.rev !cols) :: !events
+    end
+    else continue_ := false
+  done;
+  match List.rev !events with
+  | [] -> P.parse_error "expected at least one event (inserted/deleted/updated)"
+  | evs -> evs
+
+let parse_bound_query c =
+  let query = P.parse_select_at c in
+  let bind_as =
+    if P.accept_kw c "bind" then begin
+      P.expect_kw c "as";
+      Some (P.expect_ident c)
+    end
+    else None
+  in
+  { Rule_ast.query; bind_as }
+
+let parse_bound_queries c =
+  let qs = ref [ parse_bound_query c ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match P.peek c with
+    | Sql_lexer.Comma ->
+      P.advance c;
+      qs := parse_bound_query c :: !qs
+    | Sql_lexer.Ident name when String.lowercase_ascii name = "select" ->
+      qs := parse_bound_query c :: !qs
+    | _ -> continue_ := false
+  done;
+  List.rev !qs
+
+let parse_at c =
+  P.expect_kw c "create";
+  P.expect_kw c "rule";
+  let rname = P.expect_ident c in
+  P.expect_kw c "on";
+  let rtable = P.expect_ident c in
+  P.expect_kw c "when";
+  let events = parse_events c in
+  let condition =
+    if P.accept_kw c "if" then parse_bound_queries c else []
+  in
+  P.expect_kw c "then";
+  let evaluate =
+    if P.accept_kw c "evaluate" then parse_bound_queries c else []
+  in
+  P.expect_kw c "execute";
+  let func = P.expect_ident c in
+  let uniqueness =
+    if P.accept_kw c "unique" then
+      if P.accept_kw c "on" then begin
+        let cols = ref [ P.expect_ident c ] in
+        while P.peek c = Sql_lexer.Comma do
+          P.advance c;
+          cols := P.expect_ident c :: !cols
+        done;
+        Rule_ast.Unique_on (List.rev !cols)
+      end
+      else Rule_ast.Unique
+    else Rule_ast.Not_unique
+  in
+  let delay =
+    if P.accept_kw c "after" then begin
+      let v =
+        match P.peek c with
+        | Sql_lexer.Float_lit f ->
+          P.advance c;
+          f
+        | Sql_lexer.Int_lit i ->
+          P.advance c;
+          float_of_int i
+        | t ->
+          P.parse_error "expected a time value after AFTER, found %s"
+            (Sql_lexer.token_to_string t)
+      in
+      let v =
+        if P.accept_kw c "seconds" || P.accept_kw c "second" then v
+        else if P.accept_kw c "milliseconds" || P.accept_kw c "ms" then
+          v /. 1000.0
+        else v
+      in
+      if v < 0.0 then P.parse_error "negative delay";
+      v
+    end
+    else 0.0
+  in
+  (* tolerate trailing [end rule] / [end function] *)
+  if P.accept_kw c "end" then ignore (is_one_of c [ "rule"; "function" ]);
+  {
+    Rule_ast.rname;
+    rtable;
+    events;
+    condition;
+    evaluate;
+    func;
+    uniqueness;
+    delay;
+  }
+
+let parse s =
+  let c = P.cursor_of_string s in
+  let r = parse_at c in
+  (match P.peek c with
+  | Sql_lexer.Semi -> P.advance c
+  | _ -> ());
+  if not (P.at_eof c) then
+    P.parse_error "trailing input after rule definition";
+  r
+
+let is_rule_ddl s =
+  match Sql_lexer.tokenize s with
+  | [||] | [| Sql_lexer.Eof |] -> false
+  | toks -> (
+    match (toks.(0), if Array.length toks > 1 then toks.(1) else Sql_lexer.Eof) with
+    | Sql_lexer.Ident a, Sql_lexer.Ident b ->
+      String.lowercase_ascii a = "create" && String.lowercase_ascii b = "rule"
+    | _ -> false)
+  | exception Sql_lexer.Lex_error _ -> false

@@ -1,0 +1,38 @@
+(** Parser for the rule DDL of paper Figure 2.
+
+    Accepts the paper's concrete syntax, including the examples of Figures
+    3, 6, 7 and 8 verbatim:
+
+    {[
+      create rule do_comps3 on stocks
+      when updated price
+      if
+          select comp, comps_list.symbol as symbol, weight,
+                 old.price as old_price, new.price as new_price
+          from comps_list, new, old
+          where comps_list.symbol = new.symbol
+            and new.execute_order = old.execute_order
+          bind as matches
+      then
+          execute compute_comps3
+          unique on comp
+          after 1.0 seconds
+      end rule
+    ]}
+
+    Event lists are juxtaposed or comma-separated; [updated] takes an
+    optional column list; [after] accepts a bare number (seconds) or
+    [<number> seconds]; a trailing [end rule] / [end function] is
+    tolerated.  Queries inside [if]/[evaluate] reuse the SQL parser and may
+    carry a [bind as] suffix. *)
+
+val parse : string -> Rule_ast.t
+(** @raise Strip_relational.Sql_parser.Parse_error on malformed input. *)
+
+val parse_at : Strip_relational.Sql_parser.cursor -> Rule_ast.t
+(** Parse starting at [create]; leaves the cursor after the rule (and any
+    trailing [end rule]). *)
+
+val is_rule_ddl : string -> bool
+(** Does the statement text start with [create rule]?  Used by the facade
+    to route statements. *)

@@ -1,0 +1,123 @@
+open Strip_relational
+open Strip_txn
+open Strip_sim
+
+type t = {
+  cat : Catalog.t;
+  lcks : Lock.t;
+  clk : Clock.t;
+  mgr : Rule_manager.t;
+  eng : Engine.t;
+  mutable views : (string * Sql_parser.select_ast) list;  (* newest first *)
+}
+
+let create ?policy ?cost ?now () =
+  let cat = Catalog.create () in
+  let lcks = Lock.create () in
+  let clk = Clock.create ?now () in
+  let mgr = Rule_manager.create ~cat ~locks:lcks ~clock:clk () in
+  let eng = Engine.create ~clock:clk ?policy ?cost () in
+  Rule_manager.set_submitter mgr (Engine.submit eng);
+  { cat; lcks; clk; mgr; eng; views = [] }
+
+let catalog t = t.cat
+let clock t = t.clk
+let locks t = t.lcks
+let rules t = t.mgr
+let engine t = t.eng
+let now t = Clock.now t.clk
+
+let with_txn t f =
+  let txn = Transaction.begin_ ~cat:t.cat ~locks:t.lcks ~clock:t.clk () in
+  match f txn with
+  | v ->
+    if Transaction.status txn = Transaction.Active then
+      Rule_manager.commit_txn t.mgr txn;
+    v
+  | exception e ->
+    if Transaction.status txn = Transaction.Active then Transaction.abort txn;
+    raise e
+
+let on_view t name ast = t.views <- (name, ast) :: t.views
+
+let view_definitions t = List.rev t.views
+
+let exec_parsed t stmt =
+  with_txn t (fun txn ->
+      match stmt with
+      | Sql_parser.Create_view _ ->
+        (* run unhooked-for-views path through Sql_exec to capture the
+           definition, but inside the transaction for locking/logging *)
+        Sql_exec.exec ~hooks:(Transaction.hooks txn) ~on_view:(on_view t)
+          t.cat ~env:[] stmt
+      | stmt -> Transaction.exec_stmt txn stmt)
+
+let is_drop_rule s =
+  match Sql_lexer.tokenize s with
+  | toks when Array.length toks > 2 -> (
+    match (toks.(0), toks.(1)) with
+    | Sql_lexer.Ident a, Sql_lexer.Ident b ->
+      String.lowercase_ascii a = "drop" && String.lowercase_ascii b = "rule"
+    | _ -> false)
+  | _ | (exception Sql_lexer.Lex_error _) -> false
+
+let exec t s =
+  if Rule_parser.is_rule_ddl s then begin
+    Rule_manager.create_rule_text t.mgr s;
+    Sql_exec.Unit
+  end
+  else if is_drop_rule s then begin
+    let c = Sql_parser.cursor_of_string s in
+    Sql_parser.expect_kw c "drop";
+    Sql_parser.expect_kw c "rule";
+    Rule_manager.drop_rule t.mgr (Sql_parser.expect_ident c);
+    Sql_exec.Unit
+  end
+  else exec_parsed t (Sql_parser.parse_statement s)
+
+let exec_script t s =
+  let c = Sql_parser.cursor_of_string s in
+  while not (Sql_parser.at_eof c) do
+    (* route on the leading tokens: [create rule ...] vs plain SQL *)
+    let pos = Sql_parser.save c in
+    let is_rule =
+      Sql_parser.accept_kw c "create" && Sql_parser.accept_kw c "rule"
+    in
+    Sql_parser.restore c pos;
+    if is_rule then Rule_manager.create_rule t.mgr (Rule_parser.parse_at c)
+    else ignore (exec_parsed t (Sql_parser.parse_statement_at c));
+    while Sql_parser.peek c = Sql_lexer.Semi do
+      Sql_parser.advance c
+    done
+  done
+
+let query t s = with_txn t (fun txn -> Transaction.query txn s)
+
+let query_rows t s = Query.rows (query t s)
+
+let register_function t name fn = Rule_manager.register_function t.mgr name fn
+
+let create_rule t s = Rule_manager.create_rule_text t.mgr s
+
+let submit_update t ~at ?(label = "update") f =
+  let task =
+    Task.create ~klass:Task.Update ~func_name:label ~release_time:at
+      ~created_at:at (fun _task -> with_txn t f)
+  in
+  Engine.submit t.eng task
+
+let schedule_periodic t ~every ?start ?(until = infinity) ?(label = "periodic") f =
+  if every <= 0.0 then invalid_arg "Strip_db.schedule_periodic: period <= 0";
+  let first = match start with Some s -> s | None -> Clock.now t.clk +. every in
+  let rec make at =
+    Task.create ~klass:Task.Background ~func_name:label ~release_time:at
+      ~created_at:(Clock.now t.clk) (fun _task ->
+        with_txn t f;
+        let next = at +. every in
+        if next <= until then Engine.submit t.eng (make next))
+  in
+  if first <= until then Engine.submit t.eng (make first)
+
+let run ?until t = Engine.run ?until t.eng
+
+let stats t = Engine.stats t.eng

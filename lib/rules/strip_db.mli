@@ -1,0 +1,85 @@
+(** The STRIP database facade.
+
+    Bundles the whole system — catalog, lock manager, virtual clock, rule
+    manager, and the discrete-event engine — behind the interface an
+    application sees: execute statements, define rules, register user
+    functions, submit update transactions, and run the system.
+
+    Statements executed through {!exec} run in their own transaction and go
+    through the full end-of-transaction rule protocol, so an [UPDATE] here
+    triggers rules exactly like one inside an experiment.  Tasks created by
+    rules (and by {!submit_update}) wait in the engine; {!run} drains
+    them. *)
+
+type t
+
+val create :
+  ?policy:Strip_txn.Queues.policy ->
+  ?cost:Strip_sim.Cost_model.t ->
+  ?now:float ->
+  unit ->
+  t
+
+(** {1 Component access} *)
+
+val catalog : t -> Strip_relational.Catalog.t
+val clock : t -> Strip_txn.Clock.t
+val locks : t -> Strip_txn.Lock.t
+val rules : t -> Rule_manager.t
+val engine : t -> Strip_sim.Engine.t
+val now : t -> float
+
+(** {1 Statements} *)
+
+val exec : t -> string -> Strip_relational.Sql_exec.exec_result
+(** Execute one statement (SQL or [create rule ...]) in its own
+    transaction, with rule processing at commit. *)
+
+val exec_script : t -> string -> unit
+(** Execute a [;]-separated script that may interleave SQL and rule DDL.
+    Each statement runs in its own transaction. *)
+
+val query : t -> string -> Strip_relational.Query.result
+(** Run a SELECT in its own (read-only) transaction. *)
+
+val query_rows : t -> string -> Strip_relational.Value.t array list
+
+val with_txn : t -> (Strip_txn.Transaction.t -> 'a) -> 'a
+(** Run several statements in one transaction; commits through the rule
+    manager on normal return, aborts if the callback raises. *)
+
+(** {1 Rules and user functions} *)
+
+val register_function : t -> string -> Rule_manager.user_fun -> unit
+
+val create_rule : t -> string -> unit
+(** Parse and install a Figure-2 rule definition. *)
+
+(** {1 Tasks and simulated execution} *)
+
+val submit_update : t -> at:float -> ?label:string -> (Strip_txn.Transaction.t -> unit) -> unit
+(** Enqueue an update-class task that runs [f] in a transaction (committed
+    through the rule manager) when the simulated clock reaches [at]. *)
+
+val schedule_periodic :
+  t ->
+  every:float ->
+  ?start:float ->
+  ?until:float ->
+  ?label:string ->
+  (Strip_txn.Transaction.t -> unit) ->
+  unit
+(** Periodic recomputation (paper §3: "periodic recomputation is supported
+    by STRIP" — e.g. refreshing [stock_stdev] nightly).  Runs [f] in its own
+    background-class transaction at [start] (default [every]) and then every
+    [every] seconds while the release time stays ≤ [until].
+    @raise Invalid_argument if [every <= 0]. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the engine: release delayed tasks and execute everything. *)
+
+val stats : t -> Strip_sim.Stats.t
+
+val view_definitions : t -> (string * Strip_relational.Sql_parser.select_ast) list
+(** Definitions captured from [CREATE VIEW] statements, newest last (used
+    by the {!Strip_ivm} rule generator). *)

@@ -1,0 +1,60 @@
+open Strip_relational
+open Strip_txn
+
+type t = {
+  inserted : Temp_table.t;
+  deleted : Temp_table.t;
+  new_ : Temp_table.t;
+  old : Temp_table.t;
+}
+
+let execute_order_column = "execute_order"
+
+let transition_schema base =
+  Schema.make
+    (Schema.columns (Schema.unqualify base)
+    @ [ Schema.column execute_order_column Value.TInt ])
+
+let make_table ~schema ~base_arity name =
+  (* base columns point into the source record; execute_order is
+     materialized *)
+  let prov =
+    Array.init (base_arity + 1) (fun i ->
+        if i < base_arity then Temp_table.From_record (0, i)
+        else Temp_table.Computed 0)
+  in
+  Temp_table.create ~name ~schema ~nslots:1 ~prov
+
+let build ~schema ~table entries =
+  ignore table;
+  let base_arity = Schema.arity schema in
+  let tschema = transition_schema schema in
+  let inserted = make_table ~schema:tschema ~base_arity "inserted" in
+  let deleted = make_table ~schema:tschema ~base_arity "deleted" in
+  let new_ = make_table ~schema:tschema ~base_arity "new" in
+  let old = make_table ~schema:tschema ~base_arity "old" in
+  List.iter
+    (fun (e : Tlog.entry) ->
+      let seq = [| Value.Int e.execute_order |] in
+      match e.change with
+      | Tlog.Inserted r -> Temp_table.append inserted ~srcs:[| r |] ~mats:seq
+      | Tlog.Deleted r -> Temp_table.append deleted ~srcs:[| r |] ~mats:seq
+      | Tlog.Updated { old_rec; new_rec } ->
+        Temp_table.append old ~srcs:[| old_rec |] ~mats:(Array.copy seq);
+        Temp_table.append new_ ~srcs:[| new_rec |] ~mats:seq)
+    entries;
+  { inserted; deleted; new_; old }
+
+let env t =
+  [
+    ("inserted", t.inserted);
+    ("deleted", t.deleted);
+    ("new", t.new_);
+    ("old", t.old);
+  ]
+
+let retire t =
+  Temp_table.retire t.inserted;
+  Temp_table.retire t.deleted;
+  Temp_table.retire t.new_;
+  Temp_table.retire t.old

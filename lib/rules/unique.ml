@@ -1,0 +1,40 @@
+open Strip_relational
+open Strip_txn
+
+module Key = struct
+  type t = string * Value.t list
+
+  let equal (f1, k1) (f2, k2) =
+    String.equal f1 f2
+    && List.length k1 = List.length k2
+    && List.for_all2 Value.equal k1 k2
+
+  let hash (f, k) = Hashtbl.hash (f, List.map Value.hash k)
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = { tbl : Task.t Tbl.t }
+
+let create () = { tbl = Tbl.create 1024 }
+
+let find t ~func ~key =
+  Meter.tick "unique_hash";
+  match Tbl.find_opt t.tbl (func, key) with
+  | None -> None
+  | Some task ->
+    if Task.started task || task.Task.state = Task.Cancelled then begin
+      Tbl.remove t.tbl (func, key);
+      None
+    end
+    else Some task
+
+let register t ~func ~key task =
+  Meter.tick "unique_hash";
+  Tbl.replace t.tbl (func, key) task
+
+let remove t ~func ~key =
+  Meter.tick "unique_hash";
+  Tbl.remove t.tbl (func, key)
+
+let queued t = Tbl.length t.tbl

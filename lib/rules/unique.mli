@@ -1,0 +1,25 @@
+(** Registry of queued unique transactions (paper §6.3).
+
+    "To support this lookup, a hash table is built for each type of unique
+    transaction.  The hash table is used to hash the unique column values
+    of a task to a pointer to its TCB."  Keys here are (user function name,
+    unique-column values); the empty value list is coarse uniqueness.
+
+    Entries are removed when the task begins to run (the rule manager wraps
+    task bodies to do so) — from that point new firings start a fresh
+    task.  Every operation ticks ["unique_hash"]. *)
+
+type t
+
+val create : unit -> t
+
+val find : t -> func:string -> key:Strip_relational.Value.t list -> Strip_txn.Task.t option
+(** The queued, not-yet-started task for this key, if any.  An entry whose
+    task has already started or finished is dropped and [None] returned. *)
+
+val register : t -> func:string -> key:Strip_relational.Value.t list -> Strip_txn.Task.t -> unit
+
+val remove : t -> func:string -> key:Strip_relational.Value.t list -> unit
+
+val queued : t -> int
+(** Live entries (queued unique transactions). *)

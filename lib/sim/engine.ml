@@ -1,0 +1,142 @@
+open Strip_relational
+open Strip_txn
+
+type t = {
+  eclock : Clock.t;
+  events : Task.t Event_queue.t;  (* the delay queue *)
+  ready : Queues.t;
+  cost : Cost_model.t;
+  estats : Stats.t;
+  mutable cpu_free : float;
+  mutable arrivals : float array;
+  recent_dispatches : float Queue.t;
+      (* dispatch instants within the trailing second, for the congestion
+         surcharge *)
+}
+
+let create ~clock ?policy ?(cost = Cost_model.default) () =
+  {
+    eclock = clock;
+    events = Event_queue.create ();
+    ready = Queues.create ?policy ();
+    cost;
+    estats = Stats.create ();
+    cpu_free = 0.0;
+    arrivals = [||];
+    recent_dispatches = Queue.create ();
+  }
+
+let clock t = t.eclock
+let cost_model t = t.cost
+let stats t = t.estats
+
+let submit t task =
+  if task.Task.release_time <= Clock.now t.eclock then
+    Queues.enqueue t.ready task
+  else Event_queue.add t.events ~time:task.Task.release_time task
+
+let set_arrival_profile t arrivals = t.arrivals <- arrivals
+
+let pending t = Event_queue.length t.events + Queues.length t.ready
+
+(* Number of update arrivals in the open-closed interval (t0, t1]. *)
+let arrivals_between t t0 t1 =
+  let a = t.arrivals in
+  let n = Array.length a in
+  (* first index with a.(i) > t0 *)
+  let lower bound =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) <= bound then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  max 0 (lower t1 - lower t0)
+
+let release_due t =
+  match Event_queue.pop t.events with
+  | None -> ()
+  | Some (time, task) ->
+    Clock.advance_to t.eclock time;
+    (match task.Task.state with
+    | Task.Pending -> Queues.enqueue t.ready task
+    | Task.Ready | Task.Running | Task.Done | Task.Cancelled -> ())
+
+(* Scheduling congestion (paper §5.1): "more recompute transactions means
+   more tasks in the system at the same time which increases the scheduling
+   time ... a critical region when transaction management costs become
+   comparable to query costs".  We charge a surcharge quadratic in the
+   dispatch rate over the trailing second; it is negligible below ~100
+   tasks/s and dominant around the paper's critical region (~280 tasks/s,
+   i.e. 500k recomputations per 30-minute run). *)
+let congestion_us t now =
+  let unit = Cost_model.cost_us t.cost "sched_congestion" in
+  if unit <= 0.0 then 0.0
+  else begin
+    while
+      (not (Queue.is_empty t.recent_dispatches))
+      && Queue.peek t.recent_dispatches < now -. 1.0
+    do
+      ignore (Queue.pop t.recent_dispatches)
+    done;
+    Queue.push now t.recent_dispatches;
+    let n = Queue.length t.recent_dispatches in
+    let surcharge = unit *. float_of_int (n * n) in
+    if surcharge > 0.0 then Meter.tick_n "sched_congestion" (n * n);
+    surcharge
+  end
+
+let dispatch t task =
+  let start = Float.max (Clock.now t.eclock) t.cpu_free in
+  Clock.advance_to t.eclock start;
+  task.Task.dispatched_at <- start;
+  let queue_us = Float.max 0.0 (start -. task.Task.release_time) *. 1e6 in
+  let before = Meter.snapshot () in
+  Meter.tick "task_dispatch";
+  Task.run task;
+  let deltas = Meter.diff before (Meter.snapshot ()) in
+  let us = ref (Cost_model.charge t.cost deltas) in
+  (* Only rule-triggered tasks contend on the task-management structures
+     (updates bypass the delay queue and unique hash). *)
+  (match task.Task.klass with
+  | Task.Update -> ()
+  | Task.Recompute | Task.Background -> us := !us +. congestion_us t start);
+  (* Charge preemption overhead: one context switch per update arriving
+     while this (non-update) task occupies the CPU. *)
+  (match task.Task.klass with
+  | Task.Update -> ()
+  | Task.Recompute | Task.Background ->
+    let span = !us *. 1e-6 in
+    let ctx = arrivals_between t start (start +. span) in
+    if ctx > 0 then begin
+      Meter.tick_n "context_switch" ctx;
+      us := !us +. (Cost_model.cost_us t.cost "context_switch" *. float_of_int ctx);
+      Stats.record_context_switches t.estats ctx
+    end);
+  task.Task.service_us <- !us;
+  t.cpu_free <- start +. (!us *. 1e-6);
+  Stats.record_task t.estats ~klass:task.Task.klass ~service_us:!us ~queue_us
+
+let run ?(until = infinity) t =
+  let continue_ = ref true in
+  while !continue_ do
+    match (Event_queue.peek_time t.events, Queues.peek t.ready) with
+    | None, None -> continue_ := false
+    | Some te, None -> if te <= until then release_due t else continue_ := false
+    | None, Some _ -> (
+      match Queues.dequeue t.ready with
+      | Some task -> dispatch t task
+      | None -> ())
+    | Some te, Some _ ->
+      (* Serve the CPU unless an earlier release must be processed first. *)
+      let start = Float.max (Clock.now t.eclock) t.cpu_free in
+      if te <= start then begin
+        if te <= until then release_due t else continue_ := false
+      end
+      else begin
+        match Queues.dequeue t.ready with
+        | Some task -> dispatch t task
+        | None -> ()
+      end
+  done

@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    Mirrors STRIP's task flow (paper Figure 15) on a single simulated CPU:
+    tasks with future release times wait in the delay queue (the event
+    heap), released tasks enter the ready queue, and the CPU serves ready
+    tasks — updates before recomputes, the scheduling policy ordering each
+    class.
+
+    Every task body is {e really executed} against the database when
+    dispatched; the engine converts the {!Strip_relational.Meter} counter
+    delta of that execution into simulated service time through the
+    {!Cost_model}.  The only approximation versus a preemptive system is
+    that preemption is charged, not interleaved: a recompute transaction
+    pays one context switch per update that arrives during its service
+    window (the §5.2 observation that "longer running transactions ... seem
+    to be preempted more often").
+
+    Virtual time during a body's execution is the dispatch instant; service
+    time is added when the body finishes.  Update transactions are 2-3
+    orders of magnitude shorter than rule delay windows, so the error this
+    introduces in commit timestamps is negligible (see DESIGN.md). *)
+
+type t
+
+val create :
+  clock:Strip_txn.Clock.t ->
+  ?policy:Strip_txn.Queues.policy ->
+  ?cost:Cost_model.t ->
+  unit ->
+  t
+
+val clock : t -> Strip_txn.Clock.t
+val cost_model : t -> Cost_model.t
+val stats : t -> Stats.t
+
+val submit : t -> Strip_txn.Task.t -> unit
+(** Enter a task into the system at its [release_time]: future releases go
+    to the delay queue, due ones to the ready queue. *)
+
+val set_arrival_profile : t -> float array -> unit
+(** Sorted times of all update arrivals, used to charge context switches to
+    long recompute transactions. *)
+
+val pending : t -> int
+(** Tasks in the delay queue plus the ready queue. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the system: process releases and serve tasks until both queues
+    are empty (or the next event lies beyond [until]). *)

@@ -1,0 +1,18 @@
+(** Time-ordered event queue (binary min-heap).
+
+    Ties are broken by insertion order, so simultaneous events are handled
+    first-scheduled-first — this keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+
+val peek_time : 'a t -> float option
+
+val pop : 'a t -> (float * 'a) option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,70 @@
+open Strip_txn
+
+type per_class = {
+  mutable n : int;
+  mutable busy : float;  (* µs *)
+  mutable queue : float;  (* µs *)
+  mutable max_service : float;
+}
+
+type t = {
+  update : per_class;
+  recompute : per_class;
+  background : per_class;
+  mutable ctx : int;
+}
+
+let fresh () = { n = 0; busy = 0.0; queue = 0.0; max_service = 0.0 }
+
+let create () =
+  { update = fresh (); recompute = fresh (); background = fresh (); ctx = 0 }
+
+let slot t (klass : Task.klass) =
+  match klass with
+  | Task.Update -> t.update
+  | Task.Recompute -> t.recompute
+  | Task.Background -> t.background
+
+let record_task t ~klass ~service_us ~queue_us =
+  let s = slot t klass in
+  s.n <- s.n + 1;
+  s.busy <- s.busy +. service_us;
+  s.queue <- s.queue +. queue_us;
+  if service_us > s.max_service then s.max_service <- service_us
+
+let record_context_switches t n = t.ctx <- t.ctx + n
+
+let busy_us t = t.update.busy +. t.recompute.busy +. t.background.busy
+
+let busy_us_of t klass = (slot t klass).busy
+
+let tasks_run t klass = (slot t klass).n
+
+let n_recompute t = t.recompute.n
+
+let mean_service_us t klass =
+  let s = slot t klass in
+  if s.n = 0 then 0.0 else s.busy /. float_of_int s.n
+
+let max_service_us t klass = (slot t klass).max_service
+
+let mean_queue_us t klass =
+  let s = slot t klass in
+  if s.n = 0 then 0.0 else s.queue /. float_of_int s.n
+
+let context_switches t = t.ctx
+
+let utilization t ~duration_s =
+  if duration_s <= 0.0 then 0.0 else busy_us t *. 1e-6 /. duration_s
+
+let pp_summary ~duration_s ppf t =
+  Format.fprintf ppf
+    "@[<v>cpu utilization: %.1f%%@,\
+     updates: %d tasks, %.1f s busy@,\
+     recomputes: %d tasks, %.1f s busy, mean %.1f us, max %.1f us@,\
+     context switches: %d@]"
+    (100.0 *. utilization t ~duration_s)
+    t.update.n (t.update.busy *. 1e-6) t.recompute.n
+    (t.recompute.busy *. 1e-6)
+    (mean_service_us t Task.Recompute)
+    t.recompute.max_service t.ctx

@@ -1,0 +1,38 @@
+(** Run statistics collected by the simulation engine.
+
+    Everything the paper's figures need: CPU busy time split by task class
+    (utilization, Figures 9/12), recomputation counts (Figures 10/13) and
+    recompute service-time moments (Figures 11/14). *)
+
+type t
+
+val create : unit -> t
+
+val record_task :
+  t -> klass:Strip_txn.Task.klass -> service_us:float -> queue_us:float -> unit
+
+val record_context_switches : t -> int -> unit
+
+val busy_us : t -> float
+(** Total simulated CPU time consumed. *)
+
+val busy_us_of : t -> Strip_txn.Task.klass -> float
+
+val tasks_run : t -> Strip_txn.Task.klass -> int
+
+val n_recompute : t -> int
+(** Recompute transactions executed — the paper's N_r. *)
+
+val mean_service_us : t -> Strip_txn.Task.klass -> float
+(** Mean service time (queueing excluded, as in Figure 11). *)
+
+val max_service_us : t -> Strip_txn.Task.klass -> float
+
+val mean_queue_us : t -> Strip_txn.Task.klass -> float
+
+val context_switches : t -> int
+
+val utilization : t -> duration_s:float -> float
+(** busy / duration. *)
+
+val pp_summary : duration_s:float -> Format.formatter -> t -> unit

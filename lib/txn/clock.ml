@@ -1,0 +1,13 @@
+type t = { mutable now : float }
+
+let create ?(now = 0.0) () = { now }
+
+let now t = t.now
+
+let advance_to t time =
+  if time < t.now -. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: %.9f is before now (%.9f)" time t.now);
+  if time > t.now then t.now <- time
+
+let advance_by t dt = advance_to t (t.now +. dt)

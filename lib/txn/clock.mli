@@ -1,0 +1,18 @@
+(** Virtual clock.
+
+    The reproduction runs the paper's 30-minute experiments in simulated
+    time: the discrete-event engine advances this clock, and everything that
+    needs "now" (transaction commit times, task release times, the
+    [commit_time] bound-table column) reads it.  Units are seconds. *)
+
+type t
+
+val create : ?now:float -> unit -> t
+
+val now : t -> float
+
+val advance_to : t -> float -> unit
+(** Move time forward.  @raise Invalid_argument on an attempt to go
+    backwards by more than 1e-9 (events at equal times are fine). *)
+
+val advance_by : t -> float -> unit

@@ -1,0 +1,152 @@
+open Strip_relational
+
+type mode = S | X
+
+type resource =
+  | Rel of string
+  | Rec of string * int
+
+type outcome =
+  | Granted
+  | Blocked of int list
+  | Deadlock of int list
+
+type entry = {
+  mutable lholders : (int * mode) list;
+  mutable lwaiters : (int * mode) list;  (* FIFO order *)
+}
+
+type t = {
+  entries : (resource, entry) Hashtbl.t;
+  owned : (int, resource list ref) Hashtbl.t;
+}
+
+let create () = { entries = Hashtbl.create 256; owned = Hashtbl.create 32 }
+
+let entry_of t res =
+  match Hashtbl.find_opt t.entries res with
+  | Some e -> e
+  | None ->
+    let e = { lholders = []; lwaiters = [] } in
+    Hashtbl.add t.entries res e;
+    e
+
+let owned_of t owner =
+  match Hashtbl.find_opt t.owned owner with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.owned owner l;
+    l
+
+let mode_leq a b =
+  match (a, b) with S, _ -> true | X, X -> true | X, S -> false
+
+(* Wait-for edges: waiter -> every conflicting holder. *)
+let wait_for_edges t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      List.fold_left
+        (fun acc (w, wm) ->
+          List.fold_left
+            (fun acc (h, hm) ->
+              if h <> w && (wm = X || hm = X) then (w, h) :: acc else acc)
+            acc e.lholders)
+        acc e.lwaiters)
+    t.entries []
+
+(* Would adding edge (from, to_) close a cycle?  DFS from [to_]. *)
+let creates_cycle edges from to_ =
+  let rec reachable seen node =
+    if node = from then true
+    else if List.mem node seen then false
+    else
+      List.exists
+        (fun (a, b) -> a = node && reachable (node :: seen) b)
+        edges
+  in
+  reachable [] to_
+
+let holds t ~owner res =
+  match Hashtbl.find_opt t.entries res with
+  | None -> None
+  | Some e -> (
+    let modes = List.filter_map (fun (o, m) -> if o = owner then Some m else None) e.lholders in
+    match modes with
+    | [] -> None
+    | l -> if List.mem X l then Some X else Some S)
+
+let acquire t ~owner res mode =
+  let e = entry_of t res in
+  match holds t ~owner res with
+  | Some held when mode_leq mode held -> Granted
+  | held_opt ->
+    let conflicting =
+      List.filter
+        (fun (o, m) -> o <> owner && (mode = X || m = X))
+        e.lholders
+    in
+    if conflicting = [] then begin
+      (* Grant, possibly an upgrade. *)
+      Meter.tick "get_lock";
+      (match held_opt with
+      | Some _ ->
+        e.lholders <-
+          List.map (fun (o, m) -> if o = owner then (o, mode) else (o, m)) e.lholders
+      | None ->
+        e.lholders <- (owner, mode) :: e.lholders;
+        let l = owned_of t owner in
+        l := res :: !l);
+      Granted
+    end
+    else begin
+      let blockers = List.map fst conflicting in
+      let edges = wait_for_edges t in
+      let cycle =
+        List.exists (fun b -> creates_cycle edges owner b) blockers
+      in
+      if cycle then Deadlock blockers
+      else begin
+        if
+          not
+            (List.exists (fun (o, m) -> o = owner && m = mode) e.lwaiters)
+        then e.lwaiters <- e.lwaiters @ [ (owner, mode) ];
+        Blocked blockers
+      end
+    end
+
+let release_all t ~owner =
+  (match Hashtbl.find_opt t.owned owner with
+  | None -> ()
+  | Some l ->
+    List.iter
+      (fun res ->
+        match Hashtbl.find_opt t.entries res with
+        | None -> ()
+        | Some e ->
+          let before = List.length e.lholders in
+          e.lholders <- List.filter (fun (o, _) -> o <> owner) e.lholders;
+          if List.length e.lholders < before then Meter.tick "release_lock";
+          if e.lholders = [] && e.lwaiters = [] then
+            Hashtbl.remove t.entries res)
+      !l;
+    Hashtbl.remove t.owned owner);
+  (* Clear the owner's waiter entries everywhere. *)
+  Hashtbl.iter
+    (fun _ e -> e.lwaiters <- List.filter (fun (o, _) -> o <> owner) e.lwaiters)
+    t.entries
+
+let holders t res =
+  match Hashtbl.find_opt t.entries res with
+  | None -> []
+  | Some e -> e.lholders
+
+let waiters t res =
+  match Hashtbl.find_opt t.entries res with
+  | None -> []
+  | Some e -> e.lwaiters
+
+let locks_held t ~owner =
+  match Hashtbl.find_opt t.owned owner with
+  | None -> 0
+  | Some l -> List.length !l

@@ -1,0 +1,49 @@
+(** Two-phase lock manager.
+
+    Shared/exclusive locks at table and record granularity, with upgrade
+    (S to X by the sole shared holder) and wait-for-graph deadlock
+    detection.  The discrete-event simulator executes one transaction at a
+    time, so at runtime [acquire] always grants; the waiting and deadlock
+    machinery exists because it is part of the substrate the paper assumes
+    (lock conflicts are its argument for short recompute transactions) and
+    is exercised directly by the test suite.
+
+    Successful acquisitions tick ["get_lock"]; releases tick
+    ["release_lock"] — the two Table-1 costs around every cursor update. *)
+
+type mode = S | X
+
+type resource =
+  | Rel of string  (** whole table *)
+  | Rec of string * int  (** (table, record id) *)
+
+type outcome =
+  | Granted
+  | Blocked of int list
+      (** conflicting owners; the request was queued as a waiter *)
+  | Deadlock of int list
+      (** granting would close a wait-for cycle through these owners;
+          the request was not queued *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> owner:int -> resource -> mode -> outcome
+(** Re-acquiring a held lock (same or weaker mode) is a no-op granting
+    immediately and ticking nothing. *)
+
+val release_all : t -> owner:int -> unit
+(** Release every lock held by [owner] and drop its waiter entries, then
+    promote any waiters that can now run (their next [acquire] will be
+    granted; promotion here just clears the queue slot). *)
+
+val holds : t -> owner:int -> resource -> mode option
+(** Strongest mode held, if any. *)
+
+val holders : t -> resource -> (int * mode) list
+
+val waiters : t -> resource -> (int * mode) list
+
+val locks_held : t -> owner:int -> int
+(** Number of distinct resources the owner holds. *)

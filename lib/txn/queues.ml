@@ -1,0 +1,107 @@
+open Strip_relational
+
+type policy = Fifo | Edf | Vdf
+
+(* Heap keys: lexicographic (class priority, policy key, arrival seq). *)
+type keyed = {
+  kpri : int;
+  kpol : float;
+  kseq : int;
+  task : Task.t;
+}
+
+type t = {
+  pol : policy;
+  mutable heap : keyed array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(policy = Fifo) () =
+  { pol = policy; heap = [||]; size = 0; next_seq = 0 }
+
+let policy t = t.pol
+
+let less a b =
+  if a.kpri <> b.kpri then a.kpri < b.kpri
+  else if a.kpol <> b.kpol then a.kpol < b.kpol
+  else a.kseq < b.kseq
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let pol_key t (task : Task.t) =
+  match t.pol with
+  | Fifo -> 0.0
+  | Edf -> ( match task.Task.deadline with Some d -> d | None -> infinity)
+  | Vdf -> -.task.Task.value
+
+let enqueue t task =
+  Meter.tick "sched_op";
+  let keyed =
+    { kpri = Task.priority task; kpol = pol_key t task; kseq = t.next_seq; task }
+  in
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (max 64 (2 * t.size)) keyed in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  task.Task.state <- Task.Ready;
+  t.heap.(t.size) <- keyed;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let rec dequeue t =
+  if t.size = 0 then None
+  else begin
+    Meter.tick "sched_op";
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    match top.task.Task.state with
+    | Task.Cancelled -> dequeue t
+    | _ -> Some top.task
+  end
+
+let rec peek t =
+  if t.size = 0 then None
+  else
+    match t.heap.(0).task.Task.state with
+    | Task.Cancelled ->
+      (* Drop cancelled tasks lazily. *)
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.heap.(0) <- t.heap.(t.size);
+        sift_down t 0
+      end;
+      peek t
+    | _ -> Some t.heap.(0).task
+
+let length t = t.size
+
+let is_empty t = t.size = 0

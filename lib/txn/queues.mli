@@ -1,0 +1,36 @@
+(** Ready queue with real-time scheduling policies (paper §6.2).
+
+    STRIP serves ready tasks from a pool of processes using "standard
+    real-time scheduling algorithms ... such as earliest-deadline and
+    value-density first".  Within the simulator a single CPU drains this
+    queue; updates always dispatch before recomputes (class priority), and
+    the policy orders tasks within a class:
+
+    - [Fifo]: release order;
+    - [Edf]: earliest deadline first (no deadline sorts last);
+    - [Vdf]: highest value first.
+
+    Each enqueue/dequeue ticks ["sched_op"] — the scheduling overhead the
+    paper blames for the "critical region" once recomputation counts reach
+    hundreds of thousands. *)
+
+type policy = Fifo | Edf | Vdf
+
+type t
+
+val create : ?policy:policy -> unit -> t
+
+val policy : t -> policy
+
+val enqueue : t -> Task.t -> unit
+(** Marks the task [Ready]. *)
+
+val dequeue : t -> Task.t option
+(** Highest-priority task, or [None] when empty.  Cancelled tasks are
+    skipped and dropped. *)
+
+val peek : t -> Task.t option
+
+val length : t -> int
+
+val is_empty : t -> bool

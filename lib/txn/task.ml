@@ -1,0 +1,76 @@
+open Strip_relational
+
+type klass =
+  | Update
+  | Recompute
+  | Background
+
+type state = Pending | Ready | Running | Done | Cancelled
+
+type t = {
+  task_id : int;
+  klass : klass;
+  func_name : string;
+  unique_key : Value.t list option;
+  mutable release_time : float;
+  deadline : float option;
+  value : float;
+  mutable bound : (string * Temp_table.t) list;
+  mutable state : state;
+  body : t -> unit;
+  mutable created_at : float;
+  mutable dispatched_at : float;
+  mutable service_us : float;
+}
+
+let next_id = ref 0
+
+let create ~klass ~func_name ?unique_key ?deadline ?(value = 1.0) ?(bound = [])
+    ~release_time ~created_at body =
+  incr next_id;
+  {
+    task_id = !next_id;
+    klass;
+    func_name;
+    unique_key;
+    release_time;
+    deadline;
+    value;
+    bound;
+    state = Pending;
+    body;
+    created_at;
+    dispatched_at = nan;
+    service_us = 0.0;
+  }
+
+let priority t =
+  match t.klass with Update -> 0 | Recompute -> 1 | Background -> 2
+
+let retire_bound t =
+  List.iter (fun (_, tmp) -> Temp_table.retire tmp) t.bound
+
+let run t =
+  (match t.state with
+  | Pending | Ready -> ()
+  | Running | Done | Cancelled ->
+    invalid_arg
+      (Printf.sprintf "Task.run: task %d already started" t.task_id));
+  t.state <- Running;
+  Meter.tick "begin_task";
+  Fun.protect
+    ~finally:(fun () ->
+      Meter.tick "end_task";
+      retire_bound t;
+      t.state <- Done)
+    (fun () -> t.body t)
+
+let cancel t =
+  (match t.state with
+  | Pending | Ready ->
+    retire_bound t;
+    t.state <- Cancelled
+  | Running | Done | Cancelled -> ())
+
+let started t =
+  match t.state with Running | Done -> true | Pending | Ready | Cancelled -> false

@@ -1,0 +1,66 @@
+(** Tasks — STRIP's unit of scheduling (paper §6.2).
+
+    "Transactions must be executed within a task ... a task can contain
+    zero or more transactions."  Update transactions arrive as immediate
+    tasks; rule actions arrive as tasks whose release may be delayed and
+    whose task control block (TCB) carries the bound tables, the user
+    function name, and — for unique transactions — the unique-column key
+    that the rule system's hash table maps to this TCB (paper §6.3).
+
+    A task's [body] runs the actual work against the engine when the
+    simulated CPU dispatches it. *)
+
+type klass =
+  | Update  (** base-data update transaction: high priority *)
+  | Recompute  (** rule-triggered derived-data maintenance *)
+  | Background  (** anything else *)
+
+type state = Pending | Ready | Running | Done | Cancelled
+
+type t = {
+  task_id : int;
+  klass : klass;
+  func_name : string;
+      (** user function to run; doubles as a description for update tasks *)
+  unique_key : Strip_relational.Value.t list option;
+      (** [Some key] iff created by a [unique] rule; the key is the tuple of
+          unique-column values ([[]] for coarse uniqueness) *)
+  mutable release_time : float;
+  deadline : float option;
+  value : float;  (** for value-density-first scheduling *)
+  mutable bound : (string * Strip_relational.Temp_table.t) list;
+      (** the TCB's bound-table list; unique-transaction merges append here *)
+  mutable state : state;
+  body : t -> unit;
+  mutable created_at : float;
+  mutable dispatched_at : float;
+  mutable service_us : float;  (** simulated service time, set by the engine *)
+}
+
+val create :
+  klass:klass ->
+  func_name:string ->
+  ?unique_key:Strip_relational.Value.t list ->
+  ?deadline:float ->
+  ?value:float ->
+  ?bound:(string * Strip_relational.Temp_table.t) list ->
+  release_time:float ->
+  created_at:float ->
+  (t -> unit) ->
+  t
+
+val priority : t -> int
+(** Dispatch priority class: updates before recomputes before background. *)
+
+val run : t -> unit
+(** Execute the body (ticks ["begin_task"]/["end_task"]), mark [Done], and
+    retire the bound tables (§6.3: "when a triggered task finishes, its
+    bound tables are no longer needed and are reclaimed").
+    @raise Invalid_argument if the task already ran. *)
+
+val cancel : t -> unit
+(** Mark cancelled and retire bound tables without running. *)
+
+val started : t -> bool
+(** Running or finished — a unique transaction stops accepting merges at
+    this point (paper §2). *)

@@ -1,0 +1,45 @@
+type change =
+  | Inserted of Strip_relational.Record.t
+  | Deleted of Strip_relational.Record.t
+  | Updated of {
+      old_rec : Strip_relational.Record.t;
+      new_rec : Strip_relational.Record.t;
+    }
+
+type entry = {
+  table : string;
+  change : change;
+  execute_order : int;
+}
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable next : int;
+}
+
+let create () = { rev_entries = []; next = 1 }
+
+let push t table change =
+  t.rev_entries <- { table; change; execute_order = t.next } :: t.rev_entries;
+  t.next <- t.next + 1
+
+let log_insert t ~table r = push t table (Inserted r)
+let log_delete t ~table r = push t table (Deleted r)
+
+let log_update t ~table ~old_rec ~new_rec =
+  push t table (Updated { old_rec; new_rec })
+
+let entries t = List.rev t.rev_entries
+let entries_rev t = t.rev_entries
+let length t = List.length t.rev_entries
+
+let tables_touched t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+      if Hashtbl.mem seen e.table then None
+      else begin
+        Hashtbl.add seen e.table ();
+        Some e.table
+      end)
+    (entries t)

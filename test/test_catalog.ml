@@ -1,0 +1,70 @@
+open Strip_relational
+
+let test_create_find_drop () =
+  let cat = Catalog.create () in
+  let tb =
+    Catalog.create_table cat ~name:"t"
+      ~schema:(Schema.of_list [ ("a", Value.TInt) ])
+  in
+  Alcotest.(check bool) "found" true (Catalog.find_table cat "t" = Some tb);
+  (match Catalog.create_table cat ~name:"t" ~schema:(Schema.of_list []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate table accepted");
+  Catalog.drop_table cat "t";
+  Alcotest.(check bool) "gone" true (Catalog.find_table cat "t" = None);
+  (match Catalog.drop_table cat "t" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "double drop accepted");
+  match Catalog.table_exn cat "t" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "table_exn on missing table"
+
+let test_creation_order () =
+  let cat = Catalog.create () in
+  List.iter
+    (fun n ->
+      ignore (Catalog.create_table cat ~name:n ~schema:(Schema.of_list [])))
+    [ "alpha"; "beta"; "gamma" ];
+  Catalog.drop_table cat "beta";
+  Alcotest.(check (list string)) "order preserved" [ "alpha"; "gamma" ]
+    (List.map Table.name (Catalog.tables cat))
+
+let test_env_shadows_catalog () =
+  let cat = Catalog.create () in
+  ignore
+    (Catalog.create_table cat ~name:"t" ~schema:(Schema.of_list [ ("a", Value.TInt) ]));
+  let tmp =
+    Temp_table.create_materialized ~name:"t"
+      ~schema:(Schema.of_list [ ("b", Value.TStr) ])
+  in
+  (* the paper: the task's bound-table list is checked before the catalog *)
+  (match Catalog.resolve cat ~env:[ ("t", tmp) ] "t" with
+  | Some (Catalog.Tmp x) -> Alcotest.(check string) "temp wins" "t" (Temp_table.name x)
+  | _ -> Alcotest.fail "bound table should shadow the catalog");
+  match Catalog.resolve cat ~env:[] "t" with
+  | Some (Catalog.Std _) -> ()
+  | _ -> Alcotest.fail "catalog resolution broken"
+
+let test_relation_accessors () =
+  let cat = Catalog.create () in
+  let tb =
+    Catalog.create_table cat ~name:"t" ~schema:(Schema.of_list [ ("a", Value.TInt) ])
+  in
+  Alcotest.(check string) "name" "t" (Catalog.relation_name (Catalog.Std tb));
+  Alcotest.(check int) "schema" 1
+    (Schema.arity (Catalog.relation_schema (Catalog.Std tb)));
+  match Catalog.resolve_exn cat ~env:[] "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "resolve_exn on missing relation"
+
+let suite =
+  [
+    ( "catalog",
+      [
+        Alcotest.test_case "create/find/drop" `Quick test_create_find_drop;
+        Alcotest.test_case "creation order" `Quick test_creation_order;
+        Alcotest.test_case "bound tables shadow the catalog (§6.3)" `Quick
+          test_env_shadows_catalog;
+        Alcotest.test_case "relation accessors" `Quick test_relation_accessors;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+open Strip_relational
+open Expr
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let schema =
+  Schema.make
+    [
+      Schema.column ~qual:"t" "x" Value.TInt;
+      Schema.column ~qual:"t" "y" Value.TFloat;
+      Schema.column ~qual:"u" "s" Value.TStr;
+    ]
+
+let row = [| Value.Int 4; Value.Float 2.5; Value.Str "hi" |]
+
+let ev e = eval (resolve schema e) row
+
+let test_arith () =
+  Alcotest.check v "x*2+y" (Value.Float 10.5) (ev ((col "x" *: int 2) +: col "y"));
+  Alcotest.check v "neg" (Value.Int (-4)) (ev (Unop (Neg, col "x")));
+  Alcotest.check v "mod" (Value.Int 1) (ev (Binop (Mod, col "x", int 3)));
+  Alcotest.check v "concat" (Value.Str "hi!") (ev (Binop (Concat, col "s", str "!")))
+
+let test_comparisons () =
+  Alcotest.check v "lt" (Value.Bool true) (ev (col "y" <: col "x"));
+  Alcotest.check v "ge" (Value.Bool true) (ev (col "x" >=: int 4));
+  Alcotest.check v "neq" (Value.Bool false) (ev (col "x" <>: float 4.0));
+  Alcotest.check v "null cmp is null" Value.Null (ev (Const Value.Null =: int 1))
+
+let test_three_valued_logic () =
+  let t = bool true and f = bool false and n = Const Value.Null in
+  (* Kleene tables *)
+  Alcotest.check v "T and N" Value.Null (ev (t &&: n));
+  Alcotest.check v "F and N" (Value.Bool false) (ev (f &&: n));
+  Alcotest.check v "N and F" (Value.Bool false) (ev (n &&: f));
+  Alcotest.check v "T or N" (Value.Bool true) (ev (t ||: n));
+  Alcotest.check v "N or T" (Value.Bool true) (ev (n ||: t));
+  Alcotest.check v "N or F" Value.Null (ev (n ||: f));
+  Alcotest.check v "not N" Value.Null (ev (Unop (Not, n)));
+  (* eval_pred treats unknown as false *)
+  Alcotest.(check bool) "pred null -> false" false
+    (eval_pred (resolve schema (n &&: t)) row)
+
+let test_is_null () =
+  Alcotest.check v "is null" (Value.Bool false) (ev (Unop (Is_null, col "x")));
+  Alcotest.check v "is not null on null" (Value.Bool false)
+    (ev (Unop (Is_not_null, Const Value.Null)))
+
+let test_functions () =
+  Alcotest.check v "sqrt" (Value.Float 2.0) (ev (Call ("sqrt", [ col "x" ])));
+  Alcotest.check v "case-insensitive" (Value.Float 2.0)
+    (ev (Call ("SQRT", [ col "x" ])));
+  register_fun "twice" ~ret:Value.TInt (fun args ->
+      match args with
+      | [ Value.Int i ] -> Value.Int (2 * i)
+      | _ -> Value.Null);
+  Alcotest.check v "custom" (Value.Int 8) (ev (Call ("twice", [ col "x" ])));
+  match ev (Call ("nope", [])) with
+  | exception Unknown_function "nope" -> ()
+  | _ -> Alcotest.fail "unknown function accepted"
+
+let test_resolution () =
+  (match resolve schema (col "zz") with
+  | exception Unknown_column "zz" -> ()
+  | _ -> Alcotest.fail "unknown column resolved");
+  (match eval (col "x") row with
+  | exception Unknown_column _ -> ()
+  | _ -> Alcotest.fail "unresolved eval accepted");
+  let e = resolve schema (col ~qual:"t" "x") in
+  Alcotest.check v "qualified" (Value.Int 4) (eval e row)
+
+let test_columns_used () =
+  let e = (col "a" +: col ~qual:"q" "b") *: col "a" in
+  Alcotest.(check (list (pair (option string) string)))
+    "dedup, order" [ (None, "a"); (Some "q", "b") ] (columns_used e)
+
+let test_infer_type () =
+  let ity = Alcotest.(option string) in
+  let inf e = Option.map Value.ty_name (infer_type schema e) in
+  Alcotest.check ity "int+int" (Some "int") (inf (col "x" +: col "x"));
+  Alcotest.check ity "int+float" (Some "float") (inf (col "x" +: col "y"));
+  Alcotest.check ity "cmp" (Some "bool") (inf (col "x" <: col "y"));
+  Alcotest.check ity "registered fun" (Some "float") (inf (Call ("sqrt", [ col "x" ])));
+  Alcotest.check ity "unknown fun" None (inf (Call ("mystery9", [])))
+
+let test_pp_round_trip_through_parser () =
+  (* Rendering an expression and reparsing it yields the same value. *)
+  let e = (col "x" +: int 2) *: col "y" in
+  let rendered = Format.asprintf "%a" Expr.pp e in
+  let c = Sql_parser.cursor_of_string rendered in
+  let e' = Sql_parser.parse_expr_at c in
+  Alcotest.check v "same value" (ev e) (ev e')
+
+let suite =
+  [
+    ( "expr",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_arith;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "three-valued logic" `Quick test_three_valued_logic;
+        Alcotest.test_case "is null" `Quick test_is_null;
+        Alcotest.test_case "scalar functions" `Quick test_functions;
+        Alcotest.test_case "resolution" `Quick test_resolution;
+        Alcotest.test_case "columns_used" `Quick test_columns_used;
+        Alcotest.test_case "type inference" `Quick test_infer_type;
+        Alcotest.test_case "pp/parse round trip" `Quick test_pp_round_trip_through_parser;
+      ] );
+  ]

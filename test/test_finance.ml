@@ -1,0 +1,160 @@
+open Strip_finance
+open Strip_relational
+
+let feq tol = Alcotest.(check (float tol))
+
+(* Reference erf values (Abramowitz & Stegun tables). *)
+let test_erf () =
+  feq 2e-7 "erf 0" 0.0 (Normal.erf 0.0);
+  feq 2e-7 "erf 0.5" 0.5204999 (Normal.erf 0.5);
+  feq 2e-7 "erf 1" 0.8427008 (Normal.erf 1.0);
+  feq 2e-7 "erf 2" 0.9953223 (Normal.erf 2.0);
+  feq 2e-7 "odd symmetry" (-.Normal.erf 0.7) (Normal.erf (-0.7))
+
+let test_cdf () =
+  feq 1e-7 "phi 0" 0.5 (Normal.cdf 0.0);
+  feq 2e-7 "phi 1.96" 0.9750021 (Normal.cdf 1.96);
+  feq 2e-7 "phi -1.96" 0.0249979 (Normal.cdf (-1.96));
+  feq 1e-7 "pdf 0" 0.3989423 (Normal.pdf 0.0)
+
+(* Black-Scholes reference: S=100, K=100, r=5%, sigma=20%, t=1y -> 10.4506. *)
+let test_bs_reference_values () =
+  feq 2e-3 "at the money"
+    10.4506
+    (Black_scholes.call ~stock_price:100.0 ~strike:100.0 ~rate:0.05
+       ~volatility:0.2 ~expiry_years:1.0);
+  (* S=42, K=40, r=10%, sigma=20%, t=0.5 -> 4.7594 (Hull's textbook example) *)
+  feq 2e-3 "hull example"
+    4.7594
+    (Black_scholes.call ~stock_price:42.0 ~strike:40.0 ~rate:0.1
+       ~volatility:0.2 ~expiry_years:0.5)
+
+let test_bs_limits () =
+  (* expired or zero-vol option = discounted intrinsic value *)
+  feq 1e-12 "expired OTM" 0.0
+    (Black_scholes.call ~stock_price:90.0 ~strike:100.0 ~rate:0.05
+       ~volatility:0.3 ~expiry_years:0.0);
+  feq 1e-9 "zero vol ITM"
+    (100.0 -. (90.0 *. Float.exp (-0.05)))
+    (Black_scholes.call ~stock_price:100.0 ~strike:90.0 ~rate:0.05
+       ~volatility:0.0 ~expiry_years:1.0);
+  (* deep in the money approaches S - K e^-rt *)
+  feq 1e-3 "deep ITM"
+    (1000.0 -. (10.0 *. Float.exp (-0.05)))
+    (Black_scholes.call ~stock_price:1000.0 ~strike:10.0 ~rate:0.05
+       ~volatility:0.2 ~expiry_years:1.0);
+  match
+    Black_scholes.call ~stock_price:(-1.0) ~strike:10.0 ~rate:0.0
+      ~volatility:0.1 ~expiry_years:1.0
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative price accepted"
+
+let prop_bs_monotone_in_price =
+  QCheck2.Test.make ~name:"call price increases with stock price" ~count:200
+    QCheck2.Gen.(
+      quad (float_range 10.0 200.0) (float_range 10.0 200.0)
+        (float_range 0.05 0.6) (float_range 0.05 2.0))
+    (fun (s, k, vol, t) ->
+      let p1 =
+        Black_scholes.call ~stock_price:s ~strike:k ~rate:0.05 ~volatility:vol
+          ~expiry_years:t
+      and p2 =
+        Black_scholes.call ~stock_price:(s +. 1.0) ~strike:k ~rate:0.05
+          ~volatility:vol ~expiry_years:t
+      in
+      p2 >= p1 -. 1e-9)
+
+let prop_bs_bounds =
+  QCheck2.Test.make ~name:"intrinsic <= call <= stock price" ~count:200
+    QCheck2.Gen.(
+      quad (float_range 10.0 200.0) (float_range 10.0 200.0)
+        (float_range 0.05 0.6) (float_range 0.05 2.0))
+    (fun (s, k, vol, t) ->
+      let p =
+        Black_scholes.call ~stock_price:s ~strike:k ~rate:0.05 ~volatility:vol
+          ~expiry_years:t
+      in
+      let intrinsic = Float.max 0.0 (s -. (k *. Float.exp (-0.05 *. t))) in
+      p >= intrinsic -. 1e-6 && p <= s +. 1e-6)
+
+let test_bs_meters () =
+  Meter.reset ();
+  ignore
+    (Black_scholes.call ~stock_price:100.0 ~strike:100.0 ~rate:0.05
+       ~volatility:0.2 ~expiry_years:1.0);
+  Alcotest.(check int) "bs_eval ticked" 1 (Meter.get "bs_eval")
+
+let test_sql_function () =
+  Black_scholes.register_sql_function ();
+  let direct =
+    Black_scholes.call ~stock_price:50.0 ~strike:55.0
+      ~rate:Black_scholes.default_rate ~volatility:0.3 ~expiry_years:0.25
+  in
+  let via_sql =
+    Expr.eval
+      (Expr.Call
+         ( "f_bs",
+           [ Expr.float 50.0; Expr.float 55.0; Expr.float 0.25; Expr.float 0.3 ] ))
+      [||]
+  in
+  feq 1e-12 "f_bs agrees" direct (Value.to_float via_sql);
+  Alcotest.(check bool) "null propagates" true
+    (Value.is_null
+       (Expr.eval
+          (Expr.Call
+             ( "f_bs",
+               [ Expr.Const Value.Null; Expr.float 55.0; Expr.float 0.25;
+                 Expr.float 0.3 ] ))
+          [||]))
+
+let test_composite () =
+  feq 1e-12 "price" 65.0
+    (Composite.price ~weights:[| 0.5; 0.5 |] ~prices:[| 100.0; 30.0 |]);
+  feq 1e-12 "delta" (-0.7)
+    (Composite.delta ~weight:0.7 ~old_price:40.0 ~new_price:39.0);
+  feq 1e-12 "fold deltas" 41.0
+    (Composite.apply_deltas 40.0 [ (0.5, 30.0, 31.0); (0.5, 50.0, 51.0) ]);
+  match Composite.price ~weights:[| 1.0 |] ~prices:[||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+let prop_composite_incremental_equals_full =
+  QCheck2.Test.make
+    ~name:"incremental composite maintenance = full recomputation" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 10) (float_range 0.1 2.0))
+        (list_size (int_range 0 20) (pair (int_range 0 9) (float_range 1.0 100.0))))
+    (fun (weights, changes) ->
+      let n = Array.length weights in
+      let prices = Array.make n 50.0 in
+      let current = ref (Composite.price ~weights ~prices) in
+      List.iter
+        (fun (i, p) ->
+          let i = i mod n in
+          current :=
+            !current
+            +. Composite.delta ~weight:weights.(i) ~old_price:prices.(i)
+                 ~new_price:p;
+          prices.(i) <- p)
+        changes;
+      Float.abs (!current -. Composite.price ~weights ~prices) < 1e-9)
+
+let suite =
+  [
+    ( "finance",
+      [
+        Alcotest.test_case "erf reference values" `Quick test_erf;
+        Alcotest.test_case "normal cdf/pdf" `Quick test_cdf;
+        Alcotest.test_case "Black-Scholes reference values" `Quick
+          test_bs_reference_values;
+        Alcotest.test_case "Black-Scholes limits" `Quick test_bs_limits;
+        QCheck_alcotest.to_alcotest prop_bs_monotone_in_price;
+        QCheck_alcotest.to_alcotest prop_bs_bounds;
+        Alcotest.test_case "metering" `Quick test_bs_meters;
+        Alcotest.test_case "f_bs SQL function" `Quick test_sql_function;
+        Alcotest.test_case "composite math" `Quick test_composite;
+        QCheck_alcotest.to_alcotest prop_composite_incremental_equals_full;
+      ] );
+  ]

@@ -1,0 +1,83 @@
+open Strip_relational
+
+let rec_ vals = Record.create vals
+
+let test_hash_multi () =
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  let r1 = rec_ [| Value.Str "a"; Value.Int 1 |] in
+  let r2 = rec_ [| Value.Str "a"; Value.Int 2 |] in
+  let r3 = rec_ [| Value.Str "b"; Value.Int 3 |] in
+  Index.add idx r1;
+  Index.add idx r2;
+  Index.add idx r3;
+  Alcotest.(check int) "cardinal" 3 (Index.cardinal idx);
+  Alcotest.(check int) "distinct" 2 (Index.distinct_keys idx);
+  Alcotest.(check int) "postings for a" 2
+    (List.length (Index.lookup idx [ Value.Str "a" ]));
+  Index.remove idx r1;
+  Alcotest.(check int) "after remove" 1
+    (List.length (Index.lookup idx [ Value.Str "a" ]));
+  Alcotest.(check bool) "right record stays" true
+    (List.exists (fun (r : Record.t) -> r.Record.rid = r2.Record.rid)
+       (Index.lookup idx [ Value.Str "a" ]));
+  Index.remove idx r2;
+  Alcotest.(check (list Alcotest.reject)) "empty postings" []
+    (Index.lookup idx [ Value.Str "a" ])
+
+let test_composite_key () =
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 1; 0 |] in
+  let r = rec_ [| Value.Str "x"; Value.Int 5 |] in
+  Index.add idx r;
+  Alcotest.(check int) "composite lookup" 1
+    (List.length (Index.lookup idx [ Value.Int 5; Value.Str "x" ]));
+  Alcotest.(check int) "wrong order misses" 0
+    (List.length (Index.lookup idx [ Value.Str "x"; Value.Int 5 ]))
+
+let test_ordered_range () =
+  let idx = Index.create ~name:"i" ~kind:Index.Ordered ~cols:[| 0 |] in
+  List.iter
+    (fun i -> Index.add idx (rec_ [| Value.Int i |]))
+    [ 5; 3; 9; 1; 7; 3 ];
+  let keys = ref [] in
+  Index.range idx
+    ~lo:[ Value.Int 3 ] ~hi:[ Value.Int 7 ]
+    (fun r -> keys := Value.to_int (Record.value r 0) :: !keys);
+  Alcotest.(check (list int)) "ascending, dup keys kept" [ 3; 3; 5; 7 ]
+    (List.rev !keys);
+  Alcotest.(check int) "distinct" 5 (Index.distinct_keys idx)
+
+let test_range_on_hash_rejected () =
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  match Index.range idx (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "range over hash index should be rejected"
+
+let test_numeric_coercion_in_keys () =
+  (* Int and Float keys that are numerically equal must collide, matching
+     Value.equal/hash. *)
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  Index.add idx (rec_ [| Value.Int 2 |]);
+  Alcotest.(check int) "float probe finds int key" 1
+    (List.length (Index.lookup idx [ Value.Float 2.0 ]))
+
+let test_meter_ticks () =
+  Meter.reset ();
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  let r = rec_ [| Value.Int 1 |] in
+  Index.add idx r;
+  ignore (Index.lookup idx [ Value.Int 1 ]);
+  Alcotest.(check int) "index_update ticked" 1 (Meter.get "index_update");
+  Alcotest.(check int) "index_probe ticked" 1 (Meter.get "index_probe")
+
+let suite =
+  [
+    ( "index",
+      [
+        Alcotest.test_case "hash multimap" `Quick test_hash_multi;
+        Alcotest.test_case "composite keys" `Quick test_composite_key;
+        Alcotest.test_case "ordered range" `Quick test_ordered_range;
+        Alcotest.test_case "range on hash rejected" `Quick test_range_on_hash_rejected;
+        Alcotest.test_case "numeric key coercion" `Quick test_numeric_coercion_in_keys;
+        Alcotest.test_case "metering" `Quick test_meter_ticks;
+      ] );
+  ]

@@ -1,0 +1,160 @@
+open Strip_relational
+open Strip_txn
+open Strip_core
+open Strip_market
+open Strip_ingest
+
+let mkdb () =
+  let db = Strip_db.create () in
+  Strip_db.exec_script db
+    {|create table stocks (symbol string, price float);
+      create index stocks_sym on stocks (symbol)|};
+  let cat = Strip_db.catalog db in
+  let stocks = Catalog.table_exn cat "stocks" in
+  let by_symbol = Option.get (Table.find_index stocks "stocks_sym") in
+  (db, { Import.stocks; by_symbol })
+
+let tiny_feed =
+  {
+    Feed.default_config with
+    Feed.n_stocks = 30;
+    duration = 60.0;
+    target_updates = 150;
+    seed = 11;
+  }
+
+let populate_stocks (db, target) cfg =
+  let prices = Feed.initial_prices cfg in
+  for s = 0 to cfg.Feed.n_stocks - 1 do
+    ignore
+      (Table.insert target.Import.stocks
+         [| Value.Str (Taq.symbol s); Value.Float prices.(s) |])
+  done;
+  ignore db
+
+let test_import_replays_trace () =
+  let ((db, target) as h) = mkdb () in
+  populate_stocks h tiny_feed;
+  let quotes = Feed.generate tiny_feed in
+  let n = Import.replay db target quotes in
+  Alcotest.(check int) "all submitted" (Array.length quotes) n;
+  Strip_db.run db;
+  (* final table prices = last quote per stock *)
+  let last = Hashtbl.create 32 in
+  Array.iter
+    (fun (q : Feed.quote) -> Hashtbl.replace last q.Feed.stock q.Feed.price)
+    quotes;
+  Hashtbl.iter
+    (fun stock price ->
+      let rows =
+        Strip_db.query_rows db
+          (Printf.sprintf "select price from stocks where symbol = '%s'"
+             (Taq.symbol stock))
+      in
+      Alcotest.(check (float 1e-9))
+        (Taq.symbol stock ^ " final price")
+        price
+        (Value.to_float (List.hd rows).(0)))
+    last
+
+let test_import_file_round_trip () =
+  let ((db, target) as h) = mkdb () in
+  populate_stocks h tiny_feed;
+  let quotes = Feed.generate tiny_feed in
+  let path = Filename.temp_file "strip_import" ".taq" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Taq.save path quotes;
+      let n = Import.replay_file db target path in
+      Alcotest.(check int) "count" (Array.length quotes) n;
+      Strip_db.run db)
+
+let test_export_immediate () =
+  let (db, _) = mkdb () in
+  ignore (Strip_db.exec db "insert into stocks values ('A', 1.0)");
+  let got = ref [] in
+  let sub =
+    Export.subscribe db ~table:"stocks" ~columns:[ "symbol"; "price" ]
+      (fun ~time ~rows ->
+        List.iter
+          (fun r ->
+            got := (time, Value.to_string r.(0), Value.to_float r.(1)) :: !got)
+          rows)
+  in
+  Strip_db.submit_update db ~at:1.0 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 2.0 where symbol = 'A'"));
+  Strip_db.submit_update db ~at:2.0 (fun txn ->
+      ignore (Transaction.exec txn "insert into stocks values ('B', 5.0)"));
+  Strip_db.submit_update db ~at:3.0 (fun txn ->
+      ignore (Transaction.exec txn "delete from stocks where symbol = 'B'"));
+  Strip_db.run db;
+  Alcotest.(check int) "three deliveries" 3 (Export.deliveries sub);
+  (* updates deliver new images, deletes deliver old images *)
+  (* delivery time = the action's dispatch instant, a task-service length
+     after the triggering update *)
+  Alcotest.(check (list (triple (float 0.01) string (float 1e-9))))
+    "stream"
+    [ (1.0, "A", 2.0); (2.0, "B", 5.0); (3.0, "B", 5.0) ]
+    (List.rev !got)
+
+let test_export_batched () =
+  let (db, _) = mkdb () in
+  ignore (Strip_db.exec db "insert into stocks values ('A', 1.0)");
+  let batches = ref [] in
+  let sub =
+    Export.subscribe db ~table:"stocks" ~batch:1.0 ~columns:[ "price" ]
+      (fun ~time:_ ~rows -> batches := List.length rows :: !batches)
+  in
+  List.iter
+    (fun (at, p) ->
+      Strip_db.submit_update db ~at (fun txn ->
+          ignore
+            (Transaction.exec txn
+               (Printf.sprintf "update stocks set price = %f where symbol = 'A'" p))))
+    [ (0.1, 2.0); (0.3, 3.0); (0.5, 4.0) ];
+  Strip_db.run db;
+  Alcotest.(check int) "one conflated delivery" 1 (Export.deliveries sub);
+  Alcotest.(check (list int)) "all three changes in it" [ 3 ] !batches
+
+let test_export_event_filter_and_unsubscribe () =
+  let (db, _) = mkdb () in
+  ignore (Strip_db.exec db "insert into stocks values ('A', 1.0)");
+  let n = ref 0 in
+  let sub =
+    Export.subscribe db ~table:"stocks" ~events:[ Export.On_delete ]
+      (fun ~time:_ ~rows:_ -> incr n)
+  in
+  ignore (Strip_db.exec db "update stocks set price = 9.0 where symbol = 'A'");
+  Strip_db.run db;
+  Alcotest.(check int) "update filtered out" 0 !n;
+  ignore (Strip_db.exec db "delete from stocks where symbol = 'A'");
+  Strip_db.run db;
+  Alcotest.(check int) "delete delivered" 1 !n;
+  Export.unsubscribe db sub;
+  ignore (Strip_db.exec db "insert into stocks values ('C', 1.0)");
+  ignore (Strip_db.exec db "delete from stocks where symbol = 'C'");
+  Strip_db.run db;
+  Alcotest.(check int) "silent after unsubscribe" 1 !n;
+  Export.unsubscribe db sub (* idempotent *)
+
+let test_export_unknown_table () =
+  let (db, _) = mkdb () in
+  match Export.subscribe db ~table:"ghost" (fun ~time:_ ~rows:_ -> ()) with
+  | exception Rule_manager.Rule_error _ -> ()
+  | _ -> Alcotest.fail "unknown table accepted"
+
+let suite =
+  [
+    ( "ingest",
+      [
+        Alcotest.test_case "import replays a trace" `Quick test_import_replays_trace;
+        Alcotest.test_case "import from TAQ file" `Quick test_import_file_round_trip;
+        Alcotest.test_case "export: immediate deliveries" `Quick test_export_immediate;
+        Alcotest.test_case "export: batched (conflated) deliveries" `Quick
+          test_export_batched;
+        Alcotest.test_case "export: event filter + unsubscribe" `Quick
+          test_export_event_filter_and_unsubscribe;
+        Alcotest.test_case "export: unknown table" `Quick test_export_unknown_table;
+      ] );
+  ]

@@ -1,0 +1,200 @@
+open Strip_relational
+open Strip_txn
+open Strip_core
+open Strip_ivm
+
+let setup () =
+  let db = Strip_db.create () in
+  Strip_db.exec_script db
+    {|create table sales (region string, product string, amount float, qty int);
+      create index sales_region on sales (region);
+      insert into sales values
+        ('east', 'w', 100.0, 1), ('east', 'g', 50.0, 2),
+        ('west', 'w', 200.0, 3);
+      create view revenue as
+        select region, sum(amount) as total, count(*) as n
+        from sales group by region|};
+  db
+
+let driver_columns = [ "region"; "product"; "amount"; "qty" ]
+
+let analyze db =
+  View_def.analyze
+    (List.assoc "revenue" (Strip_db.view_definitions db))
+    ~view:"revenue" ~driver:"sales" ~driver_columns
+
+let view_rows db =
+  List.map
+    (fun r -> (Value.to_string r.(0), Value.to_float r.(1), Value.to_int r.(2)))
+    (Strip_db.query_rows db "select region, total, n from revenue order by region")
+
+let recomputed db =
+  List.map
+    (fun r -> (Value.to_string r.(0), Value.to_float r.(1), Value.to_int r.(2)))
+    (Strip_db.query_rows db
+       "select region, sum(amount) as total, count(*) as n from sales group \
+        by region order by region")
+
+let consistent db =
+  let a = view_rows db and b = recomputed db in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (k1, t1, n1) (k2, t2, n2) ->
+         k1 = k2 && Float.abs (t1 -. t2) < 1e-9 && n1 = n2)
+       a b
+
+let submit db at sql =
+  Strip_db.submit_update db ~at (fun txn -> ignore (Transaction.exec txn sql))
+
+let test_analyze () =
+  let v = analyze (setup ()) in
+  Alcotest.(check string) "driver" "sales" v.View_def.driver;
+  Alcotest.(check (list string)) "keys" [ "region" ]
+    (List.map fst v.View_def.key_cols);
+  Alcotest.(check int) "two aggregates" 2 (List.length v.View_def.aggs);
+  Alcotest.(check (list string)) "driver cols used" [ "region"; "amount" ]
+    v.View_def.driver_cols_used
+
+let test_analyze_rejections () =
+  let db = setup () in
+  let parse s = Sql_parser.parse_select_string s in
+  let expect_unsupported s =
+    match
+      View_def.analyze (parse s) ~view:"v" ~driver:"sales" ~driver_columns
+    with
+    | exception View_def.Unsupported _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" s
+  in
+  ignore db;
+  expect_unsupported "select region, avg(amount) as a from sales group by region";
+  expect_unsupported "select region, sum(amount) as s from other group by region";
+  expect_unsupported
+    "select region + region as k, sum(amount) as s from sales group by region";
+  expect_unsupported "select region, product from sales";
+  expect_unsupported
+    "select region, sum(amount) as s from sales group by region having s > 1";
+  expect_unsupported "select * from sales"
+
+let test_maintains_updates () =
+  let db = setup () in
+  ignore (Rule_gen.install db ~view:"revenue" ~driver:"sales" ());
+  submit db 0.1 "update sales set amount += 25.0 where product = 'w'";
+  submit db 0.2 "update sales set amount = 10.0 where region = 'east'";
+  Strip_db.run db;
+  Alcotest.(check bool) "consistent after updates" true (consistent db)
+
+let test_maintains_insert_new_and_existing_groups () =
+  let db = setup () in
+  ignore (Rule_gen.install db ~view:"revenue" ~driver:"sales" ());
+  submit db 0.1 "insert into sales values ('east', 'x', 5.0, 1)";
+  submit db 0.2 "insert into sales values ('north', 'x', 7.0, 1)";
+  Strip_db.run db;
+  Alcotest.(check bool) "consistent after inserts" true (consistent db);
+  Alcotest.(check int) "new group exists" 3
+    (List.length
+       (List.filter (fun (k, _, _) -> k = "north" || k = "east" || k = "west")
+          (view_rows db)))
+
+let test_delete_drops_empty_group () =
+  let db = setup () in
+  ignore (Rule_gen.install db ~view:"revenue" ~driver:"sales" ());
+  submit db 0.1 "delete from sales where region = 'west'";
+  Strip_db.run db;
+  Alcotest.(check bool) "consistent after delete" true (consistent db);
+  Alcotest.(check bool) "west group dropped" true
+    (not (List.exists (fun (k, _, _) -> k = "west") (view_rows db)))
+
+let test_mixed_workload_batched () =
+  let db = setup () in
+  ignore
+    (Rule_gen.install db ~view:"revenue" ~driver:"sales"
+       ~uniqueness:(Rule_ast.Unique_on [ "region" ]) ~delay:1.0 ());
+  submit db 0.1 "update sales set amount += 1.0 where region = 'east'";
+  submit db 0.2 "update sales set amount += 1.0 where region = 'east'";
+  submit db 0.3 "insert into sales values ('east', 'y', 3.0, 1)";
+  submit db 0.4 "delete from sales where product = 'g'";
+  submit db 0.5 "insert into sales values ('south', 'z', 9.0, 2)";
+  Strip_db.run db;
+  Alcotest.(check bool) "consistent under batched mixed workload" true
+    (consistent db);
+  Alcotest.(check bool) "updates batched" true
+    (Rule_manager.n_merges (Strip_db.rules db) >= 1)
+
+let test_generated_rules_listed_and_droppable () =
+  let db = setup () in
+  ignore (Rule_gen.install db ~view:"revenue" ~driver:"sales" ());
+  let names =
+    List.map (fun r -> r.Rule_ast.rname) (Rule_manager.rules (Strip_db.rules db))
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " installed") true (List.mem n names))
+    (Rule_gen.rule_names ~view:"revenue");
+  List.iter
+    (fun n -> Rule_manager.drop_rule (Strip_db.rules db) n)
+    (Rule_gen.rule_names ~view:"revenue");
+  submit db 0.1 "update sales set amount = 0.0 where region = 'east'";
+  Strip_db.run db;
+  Alcotest.(check bool) "view now stale (rules dropped)" true
+    (not (consistent db))
+
+let test_advisor_regimes () =
+  let v = analyze (setup ()) in
+  let base =
+    {
+      Advisor.update_rate = 100.0;
+      fanout_per_update = 12.0;
+      n_groups = 400;
+      staleness_bound = 3.0;
+    }
+  in
+  (match (Advisor.advise v base).Advisor.uniqueness with
+  | Rule_ast.Unique_on [ "region" ] -> ()
+  | _ -> Alcotest.fail "high sharing should batch per group key");
+  (match
+     (Advisor.advise v { base with Advisor.fanout_per_update = 1.0 }).Advisor.uniqueness
+   with
+  | Rule_ast.Unique -> ()
+  | _ -> Alcotest.fail "hot driver with low sharing should batch coarsely");
+  (match
+     (Advisor.advise v
+        { base with Advisor.update_rate = 0.5; fanout_per_update = 1.0 })
+       .Advisor.uniqueness
+   with
+  | Rule_ast.Not_unique -> ()
+  | _ -> Alcotest.fail "cold driver should not batch");
+  let a = Advisor.advise v { base with Advisor.staleness_bound = 0.7 } in
+  Alcotest.(check bool) "staleness bound caps the delay" true
+    (a.Advisor.delay <= 0.7 +. 1e-9)
+
+let test_measure_stats () =
+  let db = setup () in
+  let v = analyze db in
+  let s = Advisor.measure_stats db v ~update_rate:10.0 ~staleness_bound:2.0 in
+  Alcotest.(check int) "groups counted" 2 s.Advisor.n_groups;
+  Alcotest.(check (float 1e-9)) "rate passthrough" 10.0 s.Advisor.update_rate
+
+let test_install_unknown_view () =
+  let db = setup () in
+  match Rule_gen.install db ~view:"ghost" ~driver:"sales" () with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown view accepted"
+
+let suite =
+  [
+    ( "ivm",
+      [
+        Alcotest.test_case "analysis" `Quick test_analyze;
+        Alcotest.test_case "unsupported views rejected" `Quick test_analyze_rejections;
+        Alcotest.test_case "maintains updates" `Quick test_maintains_updates;
+        Alcotest.test_case "insert: new and existing groups" `Quick
+          test_maintains_insert_new_and_existing_groups;
+        Alcotest.test_case "delete drops empty groups" `Quick
+          test_delete_drops_empty_group;
+        Alcotest.test_case "batched mixed workload" `Quick test_mixed_workload_batched;
+        Alcotest.test_case "generated rules listed and droppable" `Quick
+          test_generated_rules_listed_and_droppable;
+        Alcotest.test_case "advisor regimes" `Quick test_advisor_regimes;
+        Alcotest.test_case "measured stats" `Quick test_measure_stats;
+        Alcotest.test_case "unknown view" `Quick test_install_unknown_view;
+      ] );
+  ]

@@ -1,0 +1,203 @@
+open Strip_market
+
+let small_cfg =
+  {
+    Feed.default_config with
+    Feed.n_stocks = 200;
+    duration = 300.0;
+    target_updates = 3000;
+    seed = 7;
+  }
+
+let test_zipf_weights () =
+  let w = Zipf.weights ~n:100 ~s:0.8 in
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 w);
+  Alcotest.(check bool) "decreasing" true
+    (Array.for_all (fun ok -> ok)
+       (Array.init 99 (fun i -> w.(i) >= w.(i + 1))));
+  let flat = Zipf.power w 0.0 in
+  Alcotest.(check (float 1e-9)) "power 0 flattens" (1.0 /. 100.0) flat.(0)
+
+let test_zipf_sampler_bias () =
+  let w = Zipf.weights ~n:50 ~s:1.0 in
+  let sampler = Zipf.sampler w in
+  let rng = Random.State.make [| 3 |] in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20000 do
+    let i = Zipf.sample sampler rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "head dominates tail" true (counts.(0) > 4 * counts.(40));
+  (* rough agreement with the weights for the head element *)
+  let f0 = float_of_int counts.(0) /. 20000.0 in
+  Alcotest.(check bool) "head frequency ~ weight" true
+    (Float.abs (f0 -. w.(0)) < 0.05)
+
+let test_sample_distinct () =
+  let w = Zipf.weights ~n:20 ~s:0.9 in
+  let sampler = Zipf.sampler w in
+  let rng = Random.State.make [| 5 |] in
+  let picks = Zipf.sample_distinct sampler rng ~k:20 ~n:20 in
+  let sorted = Array.copy picks in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "exhaustive distinct" (Array.init 20 (fun i -> i)) sorted;
+  match Zipf.sample_distinct sampler rng ~k:21 ~n:20 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k > n accepted"
+
+let test_feed_determinism_and_volume () =
+  let q1 = Feed.generate small_cfg and q2 = Feed.generate small_cfg in
+  Alcotest.(check int) "deterministic" (Array.length q1) (Array.length q2);
+  Alcotest.(check bool) "identical" true (q1 = q2);
+  let n = Array.length q1 in
+  Alcotest.(check bool) "close to target volume" true
+    (float_of_int (abs (n - small_cfg.Feed.target_updates))
+    < 0.2 *. float_of_int small_cfg.Feed.target_updates);
+  let other = Feed.generate { small_cfg with Feed.seed = 8 } in
+  Alcotest.(check bool) "seed matters" true (q1 <> other)
+
+let test_feed_well_formed () =
+  let quotes = Feed.generate small_cfg in
+  let sorted = ref true and in_range = ref true and on_grid = ref true in
+  let prev = ref neg_infinity in
+  Array.iter
+    (fun (q : Feed.quote) ->
+      if q.Feed.time < !prev then sorted := false;
+      prev := q.Feed.time;
+      if q.Feed.time < 0.0 || q.Feed.time >= small_cfg.Feed.duration then
+        in_range := false;
+      if q.Feed.stock < 0 || q.Feed.stock >= small_cfg.Feed.n_stocks then
+        in_range := false;
+      if q.Feed.price <= 0.0 then in_range := false;
+      let eighths = q.Feed.price /. 0.125 in
+      if Float.abs (eighths -. Float.round eighths) > 1e-9 then on_grid := false)
+    quotes;
+  Alcotest.(check bool) "sorted by time" true !sorted;
+  Alcotest.(check bool) "ranges" true !in_range;
+  Alcotest.(check bool) "prices in eighths" true !on_grid
+
+let test_feed_every_quote_changes_price () =
+  let quotes = Feed.generate small_cfg in
+  let last = Hashtbl.create 256 in
+  let all_change = ref true in
+  Array.iter
+    (fun (q : Feed.quote) ->
+      (match Hashtbl.find_opt last q.Feed.stock with
+      | Some p when p = q.Feed.price -> all_change := false
+      | _ -> ());
+      Hashtbl.replace last q.Feed.stock q.Feed.price)
+    quotes;
+  Alcotest.(check bool) "no no-op quotes" true !all_change
+
+let test_feed_activity_skew () =
+  let quotes = Feed.generate small_cfg in
+  let counts = Array.make small_cfg.Feed.n_stocks 0 in
+  Array.iter (fun (q : Feed.quote) -> counts.(q.Feed.stock) <- counts.(q.Feed.stock) + 1) quotes;
+  Alcotest.(check bool) "stock 0 beats the median stock" true
+    (counts.(0) > 3 * counts.(small_cfg.Feed.n_stocks / 2))
+
+let test_feed_intra_burst_gap_floor () =
+  (* Same-stock gaps are dominated by the gap floor: sub-half-second
+     re-quotes (what a 0.5 s delay window could batch) are rare, and the
+     median same-stock gap sits well above the floor.  This is the temporal
+     structure behind the Figure-12 crossover. *)
+  let quotes = Feed.generate small_cfg in
+  let last = Hashtbl.create 256 in
+  let close = ref 0 and total = ref 0 and gaps = ref [] in
+  Array.iter
+    (fun (q : Feed.quote) ->
+      (match Hashtbl.find_opt last q.Feed.stock with
+      | Some t ->
+        incr total;
+        gaps := (q.Feed.time -. t) :: !gaps;
+        if q.Feed.time -. t < 0.5 then incr close
+      | None -> ());
+      Hashtbl.replace last q.Feed.stock q.Feed.time)
+    quotes;
+  Alcotest.(check bool) "sub-0.5s re-quotes rare" true
+    (float_of_int !close < 0.15 *. float_of_int (max 1 !total));
+  let sorted = List.sort Float.compare !gaps in
+  let median = List.nth sorted (List.length sorted / 2) in
+  Alcotest.(check bool) "median gap above the floor" true
+    (median > small_cfg.Feed.burst_gap_min)
+
+let test_scaled () =
+  let s = Feed.scaled small_cfg 0.1 in
+  Alcotest.(check (float 1e-9)) "duration" 30.0 s.Feed.duration;
+  Alcotest.(check int) "updates" 300 s.Feed.target_updates;
+  Alcotest.(check int) "stocks untouched" 200 s.Feed.n_stocks
+
+let test_symbols () =
+  Alcotest.(check string) "0" "A" (Taq.symbol 0);
+  Alcotest.(check string) "25" "Z" (Taq.symbol 25);
+  Alcotest.(check string) "26" "AA" (Taq.symbol 26);
+  Alcotest.(check string) "701" "ZZ" (Taq.symbol 701);
+  Alcotest.(check string) "702" "AAA" (Taq.symbol 702)
+
+let prop_symbol_round_trip =
+  QCheck2.Test.make ~name:"symbol <-> index round trip" ~count:500
+    QCheck2.Gen.(int_range 0 100000)
+    (fun i -> Taq.stock_of_symbol (Taq.symbol i) = i)
+
+let test_taq_round_trip () =
+  let quotes = Feed.generate { small_cfg with Feed.target_updates = 500 } in
+  let reloaded = Taq.of_lines (Taq.to_lines quotes) in
+  Alcotest.(check int) "count preserved" (Array.length quotes) (Array.length reloaded);
+  (* timestamps are second-truncated then spread evenly within the second *)
+  let ok = ref true in
+  Array.iteri
+    (fun i (q : Feed.quote) ->
+      let orig = quotes.(i) in
+      if Float.abs (q.Feed.time -. orig.Feed.time) >= 1.0 then ok := false;
+      if Float.abs (q.Feed.price -. orig.Feed.price) > 1e-9 then ok := false)
+    reloaded;
+  Alcotest.(check bool) "times within 1s, prices exact" true !ok
+
+let test_taq_spreading () =
+  (* the paper's example: 3 quotes in second 54 land at 54.0, 54.33, 54.67 *)
+  let lines = [ "A,54,9.875,10.125"; "B,54,19.875,20.125"; "C,54,29.875,30.125" ] in
+  let quotes = Taq.of_lines lines in
+  Alcotest.(check (list (float 0.01)))
+    "evenly spread"
+    [ 54.0; 54.333; 54.667 ]
+    (Array.to_list (Array.map (fun (q : Feed.quote) -> q.Feed.time) quotes));
+  Alcotest.(check (float 1e-9)) "midpoint price" 10.0 quotes.(0).Feed.price
+
+let test_taq_save_load_file () =
+  let quotes = Feed.generate { small_cfg with Feed.target_updates = 200 } in
+  let path = Filename.temp_file "strip_taq" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Taq.save path quotes;
+      let reloaded = Taq.load path in
+      Alcotest.(check int) "count" (Array.length quotes) (Array.length reloaded))
+
+let test_taq_malformed () =
+  match Taq.of_lines [ "NOT A LINE" ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed line accepted"
+
+let suite =
+  [
+    ( "market",
+      [
+        Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+        Alcotest.test_case "alias sampler bias" `Quick test_zipf_sampler_bias;
+        Alcotest.test_case "distinct sampling" `Quick test_sample_distinct;
+        Alcotest.test_case "feed determinism & volume" `Quick
+          test_feed_determinism_and_volume;
+        Alcotest.test_case "feed well-formedness" `Quick test_feed_well_formed;
+        Alcotest.test_case "every quote changes the price" `Quick
+          test_feed_every_quote_changes_price;
+        Alcotest.test_case "activity skew" `Quick test_feed_activity_skew;
+        Alcotest.test_case "intra-burst gap floor" `Quick test_feed_intra_burst_gap_floor;
+        Alcotest.test_case "scaling" `Quick test_scaled;
+        Alcotest.test_case "ticker symbols" `Quick test_symbols;
+        QCheck_alcotest.to_alcotest prop_symbol_round_trip;
+        Alcotest.test_case "TAQ round trip" `Quick test_taq_round_trip;
+        Alcotest.test_case "TAQ same-second spreading (§4.1)" `Quick test_taq_spreading;
+        Alcotest.test_case "TAQ file save/load" `Quick test_taq_save_load_file;
+        Alcotest.test_case "TAQ malformed input" `Quick test_taq_malformed;
+      ] );
+  ]

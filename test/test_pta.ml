@@ -1,0 +1,158 @@
+open Strip_core
+open Strip_market
+open Strip_pta
+
+(* Small but non-trivial scale: ~3k updates over 90 s, 20 composites of 200
+   stocks, 2.5k options. *)
+let scale = 0.05
+
+let quick rule delay = Experiment.quick (Experiment.default_config rule ~delay) scale
+
+let run rule delay = Experiment.run (quick rule delay)
+
+let test_populate_shapes () =
+  let db = Strip_db.create () in
+  let feed = Feed.scaled Feed.default_config scale in
+  let sizes = Pta_tables.scaled_sizes Pta_tables.default_sizes scale in
+  let h = Pta_tables.populate db ~feed sizes in
+  Alcotest.(check int) "stocks" 6600 (Strip_relational.Table.cardinal h.Pta_tables.stocks);
+  Alcotest.(check int) "stdev rows" 6600
+    (Strip_relational.Table.cardinal h.Pta_tables.stock_stdev);
+  Alcotest.(check int) "memberships" (20 * 200)
+    (Strip_relational.Table.cardinal h.Pta_tables.comps_list);
+  Alcotest.(check int) "composites" 20
+    (Strip_relational.Table.cardinal h.Pta_tables.comp_prices);
+  Alcotest.(check int) "options" 2500
+    (Strip_relational.Table.cardinal h.Pta_tables.options_list);
+  Alcotest.(check int) "option prices" 2500
+    (Strip_relational.Table.cardinal h.Pta_tables.option_prices);
+  (* the views start out consistent with their definitions *)
+  let worst =
+    List.fold_left2
+      (fun w (_, a) (_, b) -> Float.max w (Float.abs (a -. b)))
+      0.0
+      (Comp_rules.recompute_from_scratch h)
+      (Comp_rules.maintained h)
+  in
+  Alcotest.(check bool) "comp view initialized correctly" true (worst < 1e-6);
+  let worst =
+    List.fold_left2
+      (fun w (_, a) (_, b) -> Float.max w (Float.abs (a -. b)))
+      0.0
+      (Option_rules.recompute_from_scratch h)
+      (Option_rules.maintained h)
+  in
+  Alcotest.(check bool) "option view initialized correctly" true (worst < 1e-9)
+
+let check_verified (m : Experiment.metrics) =
+  Alcotest.(check (option bool))
+    (Printf.sprintf "%s@%.1f verified" m.Experiment.label m.Experiment.delay)
+    (Some true) m.Experiment.verified
+
+(* Every batching variant must leave the views exactly consistent. *)
+let test_comp_variants_correct () =
+  List.iter
+    (fun v -> check_verified (run (Experiment.Comp_view v) 1.0))
+    Comp_rules.all_variants
+
+let test_option_variants_correct () =
+  List.iter
+    (fun v -> check_verified (run (Experiment.Option_view v) 1.0))
+    Option_rules.all_variants
+
+let test_option_per_option_batching_correct () =
+  (* the variant the paper dropped from its graphs still has to be right *)
+  check_verified (run (Experiment.Option_view Option_rules.Unique_on_option) 1.0)
+
+let test_batching_relationships () =
+  let nu = run (Experiment.Comp_view Comp_rules.Non_unique) 0.0 in
+  let coarse = run (Experiment.Comp_view Comp_rules.Unique_coarse) 2.0 in
+  let on_comp = run (Experiment.Comp_view Comp_rules.Unique_on_comp) 2.0 in
+  (* one recompute per update transaction without batching *)
+  Alcotest.(check int) "N_r = firings (non-unique)" nu.Experiment.n_firings
+    nu.Experiment.n_recompute;
+  Alcotest.(check int) "no merges without unique" 0 nu.Experiment.n_merges;
+  (* coarse runs the fewest transactions *)
+  Alcotest.(check bool) "coarse N_r smallest" true
+    (coarse.Experiment.n_recompute < on_comp.Experiment.n_recompute
+    && coarse.Experiment.n_recompute < nu.Experiment.n_recompute);
+  Alcotest.(check bool) "coarse merges heavily" true
+    (coarse.Experiment.n_merges > nu.Experiment.n_updates / 2);
+  (* batching on composite yields far shorter transactions than coarse *)
+  Alcotest.(check bool) "on-comp transactions much shorter" true
+    (on_comp.Experiment.mean_recompute_us *. 10.0
+    < coarse.Experiment.mean_recompute_us);
+  (* every update transaction ran *)
+  Alcotest.(check bool) "updates all executed" true
+    (nu.Experiment.n_updates > 2000)
+
+let test_delay_reduces_recomputations () =
+  let short = run (Experiment.Comp_view Comp_rules.Unique_on_comp) 0.5 in
+  let long = run (Experiment.Comp_view Comp_rules.Unique_on_comp) 3.0 in
+  Alcotest.(check bool) "longer window, fewer recomputations" true
+    (long.Experiment.n_recompute < short.Experiment.n_recompute);
+  Alcotest.(check bool) "longer window, more merges" true
+    (long.Experiment.n_merges > short.Experiment.n_merges)
+
+let test_rule_texts_parse () =
+  (* the texts we install are valid Figure-2 DDL *)
+  List.iter
+    (fun v ->
+      ignore (Rule_parser.parse (Comp_rules.rule_text v ~delay:1.0)))
+    Comp_rules.all_variants;
+  List.iter
+    (fun v ->
+      ignore (Rule_parser.parse (Option_rules.rule_text v ~delay:1.0)))
+    (Option_rules.all_variants @ [ Option_rules.Unique_on_option ])
+
+let test_experiment_determinism () =
+  (* identical configs yield identical simulated metrics, bit for bit *)
+  let cfg =
+    Experiment.quick
+      (Experiment.default_config (Experiment.Comp_view Comp_rules.Unique_on_comp)
+         ~delay:1.0)
+      0.02
+  in
+  let a = Experiment.run cfg and b = Experiment.run cfg in
+  Alcotest.(check int) "N_r" a.Experiment.n_recompute b.Experiment.n_recompute;
+  Alcotest.(check int) "merges" a.Experiment.n_merges b.Experiment.n_merges;
+  Alcotest.(check (float 0.0)) "utilization" a.Experiment.utilization
+    b.Experiment.utilization;
+  Alcotest.(check (float 0.0)) "mean length" a.Experiment.mean_recompute_us
+    b.Experiment.mean_recompute_us
+
+let test_fanout_measures () =
+  let db = Strip_db.create () in
+  let feed = Feed.scaled Feed.default_config scale in
+  let sizes = Pta_tables.scaled_sizes Pta_tables.default_sizes scale in
+  let h = Pta_tables.populate db ~feed sizes in
+  let weights = Feed.activity_weights feed in
+  let comps = Pta_tables.expected_comps_per_update h ~weights in
+  let opts = Pta_tables.expected_options_per_update h ~weights in
+  (* activity-weighted membership means E[fanout/update] exceeds the
+     uniform expectation *)
+  Alcotest.(check bool) "comps fanout positive" true (comps > 0.2);
+  Alcotest.(check bool) "options fanout exceeds uniform" true
+    (opts > float_of_int 2500 /. 6600.0)
+
+let suite =
+  [
+    ( "pta",
+      [
+        Alcotest.test_case "population shapes + initial views" `Slow test_populate_shapes;
+        Alcotest.test_case "comp variants maintain correctly" `Slow
+          test_comp_variants_correct;
+        Alcotest.test_case "option variants maintain correctly" `Slow
+          test_option_variants_correct;
+        Alcotest.test_case "per-option batching correct" `Slow
+          test_option_per_option_batching_correct;
+        Alcotest.test_case "batching relationships" `Slow test_batching_relationships;
+        Alcotest.test_case "delay reduces recomputations" `Slow
+          test_delay_reduces_recomputations;
+        Alcotest.test_case "installed rule texts are valid DDL" `Quick
+          test_rule_texts_parse;
+        Alcotest.test_case "experiments are deterministic" `Slow
+          test_experiment_determinism;
+        Alcotest.test_case "fanout statistics" `Slow test_fanout_measures;
+      ] );
+  ]

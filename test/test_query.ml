@@ -1,0 +1,272 @@
+open Strip_relational
+
+(* A small catalog: emp(name, dept, salary), dept(dname, budget). *)
+let setup () =
+  let cat = Catalog.create () in
+  let emp =
+    Catalog.create_table cat ~name:"emp"
+      ~schema:
+        (Schema.of_list
+           [ ("name", Value.TStr); ("dept", Value.TStr); ("salary", Value.TFloat) ])
+  in
+  ignore (Table.create_index emp ~name:"emp_dept" ~kind:Index.Hash ~cols:[ "dept" ]);
+  let dept =
+    Catalog.create_table cat ~name:"dept"
+      ~schema:(Schema.of_list [ ("dname", Value.TStr); ("budget", Value.TFloat) ])
+  in
+  List.iter
+    (fun (n, d, s) ->
+      ignore (Table.insert emp [| Value.Str n; Value.Str d; Value.Float s |]))
+    [ ("ann", "eng", 100.0); ("bob", "eng", 80.0); ("cat", "ops", 60.0);
+      ("dan", "ops", 70.0); ("eve", "hr", 50.0) ];
+  List.iter
+    (fun (d, b) ->
+      ignore (Table.insert dept [| Value.Str d; Value.Float b |]))
+    [ ("eng", 1000.0); ("ops", 500.0) ];
+  cat
+
+let run cat plan = Query.run cat ~env:[] plan
+
+let rows_s cat plan =
+  List.map
+    (fun r -> Array.to_list (Array.map Value.to_string r))
+    (Query.rows (run cat plan))
+
+let scan rel = Query.Scan { rel; alias = None }
+
+let test_scan_filter_project () =
+  let cat = setup () in
+  let plan =
+    Query.Project
+      ( [ Query.item (Expr.col "name") ],
+        Query.Filter (Expr.(col "salary" >: float 65.0), scan "emp") )
+  in
+  Alcotest.(check (list (list string)))
+    "filtered" [ [ "ann" ]; [ "bob" ]; [ "dan" ] ] (rows_s cat plan)
+
+let test_join_hash () =
+  let cat = setup () in
+  (* dept has no index on dname: hash join path *)
+  let plan =
+    Query.Project
+      ( [ Query.item (Expr.col "name"); Query.item (Expr.col "budget") ],
+        Query.Join
+          ( scan "emp",
+            scan "dept",
+            Some Expr.(col ~qual:"emp" "dept" =: col ~qual:"dept" "dname") ) )
+  in
+  Alcotest.(check int) "join cardinality" 4 (Query.row_count (run cat plan));
+  Alcotest.(check bool) "hr dropped (inner join)" true
+    (not (List.exists (fun r -> List.hd r = "eve") (rows_s cat plan)))
+
+let test_join_index_path () =
+  let cat = setup () in
+  Meter.reset ();
+  (* emp is indexed on dept: putting it on the right triggers the index
+     nested loop *)
+  let plan =
+    Query.Join
+      ( scan "dept",
+        scan "emp",
+        Some Expr.(col ~qual:"dept" "dname" =: col ~qual:"emp" "dept") )
+  in
+  Alcotest.(check int) "cardinality" 4 (Query.row_count (run cat plan));
+  Alcotest.(check bool) "used the index" true (Meter.get "index_probe" >= 2);
+  Alcotest.(check int) "no hash build" 0 (Meter.get "hash_build")
+
+let test_join_residual_predicate () =
+  let cat = setup () in
+  let plan =
+    Query.Join
+      ( scan "dept",
+        scan "emp",
+        Some
+          Expr.(
+            (col "dname" =: col "dept") &&: (col "salary" >: float 75.0)) )
+  in
+  Alcotest.(check int) "equi + residual" 2 (Query.row_count (run cat plan))
+
+let test_cross_join () =
+  let cat = setup () in
+  let plan = Query.Join (scan "emp", scan "dept", None) in
+  Alcotest.(check int) "cartesian" 10 (Query.row_count (run cat plan))
+
+let test_group_by () =
+  let cat = setup () in
+  let plan =
+    Query.Group
+      {
+        keys = [ Query.item (Expr.col "dept") ];
+        aggs =
+          [
+            (Query.Sum (Expr.col "salary"), "total");
+            (Query.Count_star, "n");
+            (Query.Avg (Expr.col "salary"), "avg_s");
+            (Query.Min (Expr.col "salary"), "lo");
+            (Query.Max (Expr.col "salary"), "hi");
+          ];
+        having = None;
+        input = scan "emp";
+      }
+  in
+  let rows = rows_s cat plan in
+  Alcotest.(check (list (list string)))
+    "aggregates"
+    [
+      [ "eng"; "180.0"; "2"; "90.0"; "80.0"; "100.0" ];
+      [ "ops"; "130.0"; "2"; "65.0"; "60.0"; "70.0" ];
+      [ "hr"; "50.0"; "1"; "50.0"; "50.0"; "50.0" ];
+    ]
+    rows
+
+let test_having () =
+  let cat = setup () in
+  let plan =
+    Query.Group
+      {
+        keys = [ Query.item (Expr.col "dept") ];
+        aggs = [ (Query.Count_star, "n") ];
+        having = Some Expr.(col "n" >=: int 2);
+        input = scan "emp";
+      }
+  in
+  Alcotest.(check int) "having filters groups" 2 (Query.row_count (run cat plan))
+
+let test_global_aggregate_on_empty () =
+  let cat = setup () in
+  let plan =
+    Query.Group
+      {
+        keys = [];
+        aggs = [ (Query.Count_star, "n"); (Query.Sum (Expr.col "salary"), "s") ];
+        having = None;
+        input = Query.Filter (Expr.(col "salary" >: float 1e9), scan "emp");
+      }
+  in
+  Alcotest.(check (list (list string)))
+    "count 0, sum NULL" [ [ "0"; "NULL" ] ] (rows_s cat plan)
+
+let test_order_limit () =
+  let cat = setup () in
+  let plan =
+    Query.Limit
+      ( 2,
+        Query.Order
+          ( [ (Expr.col "salary", Query.Desc) ],
+            Query.Project ([ Query.item (Expr.col "name") ], scan "emp") ) )
+  in
+  (* order refers to a projected-away column? it must be projected; use a
+     plan that orders before projecting *)
+  ignore plan;
+  let plan =
+    Query.Project
+      ( [ Query.item (Expr.col "name") ],
+        Query.Limit
+          (2, Query.Order ([ (Expr.col "salary", Query.Desc) ], scan "emp")) )
+  in
+  Alcotest.(check (list (list string))) "top-2" [ [ "ann" ]; [ "bob" ] ]
+    (rows_s cat plan)
+
+let test_bind_pointer_provenance () =
+  let cat = setup () in
+  (* Direct column outputs keep pointers; computed outputs materialize. *)
+  let plan =
+    Query.Project
+      ( [
+          Query.item (Expr.col "name");
+          Query.item ~alias:"double_pay" Expr.(col "salary" *: float 2.0);
+        ],
+        scan "emp" )
+  in
+  let result = run cat plan in
+  let tmp = Query.bind ~name:"b" result in
+  Alcotest.(check int) "one pointer slot" 1 (Temp_table.slots tmp);
+  (match Temp_table.static_map tmp with
+  | [| Temp_table.From_record (0, 0); Temp_table.Computed 0 |] -> ()
+  | _ -> Alcotest.fail "unexpected static map");
+  (* Bound values reflect bind-time state even after an update. *)
+  let emp = Catalog.table_exn cat "emp" in
+  let ann = ref None in
+  Table.iter emp (fun r ->
+      if Value.to_string (Record.value r 0) = "ann" then ann := Some r);
+  let ann = Option.get !ann in
+  ignore (Table.update emp ann [| Value.Str "ANN2"; Value.Str "eng"; Value.Float 1.0 |]);
+  Alcotest.(check bool) "pre-image read through bound table" true
+    (List.exists
+       (fun row -> Value.to_string row.(0) = "ann")
+       (Temp_table.to_rows tmp));
+  Temp_table.retire tmp
+
+let test_bind_overrides () =
+  let cat = setup () in
+  let plan =
+    Query.Project
+      ( [
+          Query.item (Expr.col "name");
+          Query.item ~alias:"commit_time" (Expr.float 0.0);
+        ],
+        scan "emp" )
+  in
+  let tmp = Query.bind ~overrides:[ ("commit_time", Value.Float 42.5) ] ~name:"b"
+      (run cat plan)
+  in
+  List.iter
+    (fun row ->
+      Alcotest.(check (float 0.0)) "stamped" 42.5 (Value.to_float row.(1)))
+    (Temp_table.to_rows tmp)
+
+let test_partition () =
+  let cat = setup () in
+  let result = run cat (scan "emp") in
+  let parts = Query.partition result ~cols:[ "dept" ] in
+  Alcotest.(check int) "three groups" 3 (List.length parts);
+  let sizes = List.map (fun (_, r) -> Query.row_count r) parts in
+  Alcotest.(check (list int)) "sizes in first-seen order" [ 2; 2; 1 ] sizes;
+  match Query.partition result ~cols:[ "nope" ] with
+  | exception Query.Plan_error _ -> ()
+  | _ -> Alcotest.fail "unknown partition column accepted"
+
+let test_unknown_relation () =
+  let cat = setup () in
+  match run cat (scan "ghost") with
+  | exception Query.Plan_error _ -> ()
+  | _ -> Alcotest.fail "unknown relation accepted"
+
+let test_schema_of_matches_execution () =
+  let cat = setup () in
+  let plan =
+    Query.Group
+      {
+        keys = [ Query.item (Expr.col "dept") ];
+        aggs = [ (Query.Sum (Expr.col "salary"), "total") ];
+        having = None;
+        input = scan "emp";
+      }
+  in
+  let static = Query.schema_of cat ~env:[] plan in
+  let dynamic = Query.result_schema (run cat plan) in
+  Alcotest.(check bool) "layouts agree" true (Schema.equal_layout static dynamic)
+
+let suite =
+  [
+    ( "query",
+      [
+        Alcotest.test_case "scan/filter/project" `Quick test_scan_filter_project;
+        Alcotest.test_case "hash join" `Quick test_join_hash;
+        Alcotest.test_case "index nested-loop join" `Quick test_join_index_path;
+        Alcotest.test_case "equi + residual predicate" `Quick test_join_residual_predicate;
+        Alcotest.test_case "cross join" `Quick test_cross_join;
+        Alcotest.test_case "group by with all aggregates" `Quick test_group_by;
+        Alcotest.test_case "having" `Quick test_having;
+        Alcotest.test_case "global aggregate over empty input" `Quick
+          test_global_aggregate_on_empty;
+        Alcotest.test_case "order by / limit" `Quick test_order_limit;
+        Alcotest.test_case "bind keeps pointer provenance (§6.1)" `Quick
+          test_bind_pointer_provenance;
+        Alcotest.test_case "bind overrides stamp columns" `Quick test_bind_overrides;
+        Alcotest.test_case "partition by columns" `Quick test_partition;
+        Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
+        Alcotest.test_case "schema_of agrees with execution" `Quick
+          test_schema_of_matches_execution;
+      ] );
+  ]

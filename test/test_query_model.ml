@@ -1,0 +1,184 @@
+(* Model-based fuzzing of the query executor: random select-project-join-
+   aggregate queries run both through the engine and through a naive
+   reference evaluator over plain row lists; results must agree. *)
+
+open Strip_relational
+
+type db_model = {
+  emp_rows : (string * string * int) list;  (* name, dept, salary *)
+  dept_rows : (string * int) list;  (* dname, budget *)
+}
+
+let gen_db =
+  QCheck2.Gen.(
+    let name = map (fun i -> Printf.sprintf "e%d" i) (int_range 0 15) in
+    let dept = map (fun i -> Printf.sprintf "d%d" i) (int_range 0 4) in
+    let emp = triple name dept (int_range 0 100) in
+    let dept_row = pair dept (int_range 0 1000) in
+    map
+      (fun (emps, depts) ->
+        (* dedup department names; employee duplicates are fine *)
+        let seen = Hashtbl.create 8 in
+        let depts =
+          List.filter
+            (fun (d, _) ->
+              if Hashtbl.mem seen d then false
+              else begin
+                Hashtbl.add seen d ();
+                true
+              end)
+            depts
+        in
+        { emp_rows = emps; dept_rows = depts })
+      (pair (list_size (int_range 0 25) emp) (list_size (int_range 0 6) dept_row)))
+
+let build { emp_rows; dept_rows } =
+  let cat = Catalog.create () in
+  let emp =
+    Catalog.create_table cat ~name:"emp"
+      ~schema:
+        (Schema.of_list
+           [ ("name", Value.TStr); ("dept", Value.TStr); ("salary", Value.TInt) ])
+  in
+  ignore (Table.create_index emp ~name:"emp_dept" ~kind:Index.Hash ~cols:[ "dept" ]);
+  let dept =
+    Catalog.create_table cat ~name:"dept"
+      ~schema:(Schema.of_list [ ("dname", Value.TStr); ("budget", Value.TInt) ])
+  in
+  List.iter
+    (fun (n, d, s) ->
+      ignore (Table.insert emp [| Value.Str n; Value.Str d; Value.Int s |]))
+    emp_rows;
+  List.iter
+    (fun (d, b) -> ignore (Table.insert dept [| Value.Str d; Value.Int b |]))
+    dept_rows;
+  cat
+
+let sorted_rows result =
+  Query.rows result
+  |> List.map (fun r -> Array.to_list (Array.map Value.to_string r))
+  |> List.sort compare
+
+(* Property 1: filter over a threshold = reference List.filter. *)
+let prop_filter =
+  QCheck2.Test.make ~name:"filter agrees with reference" ~count:150
+    QCheck2.Gen.(pair gen_db (int_range 0 100))
+    (fun (model, threshold) ->
+      let cat = build model in
+      let got =
+        sorted_rows
+          (Sql_exec.query cat ~env:[]
+             (Printf.sprintf "select name, salary from emp where salary >= %d"
+                threshold))
+      in
+      let expected =
+        model.emp_rows
+        |> List.filter (fun (_, _, s) -> s >= threshold)
+        |> List.map (fun (n, _, s) -> [ n; string_of_int s ])
+        |> List.sort compare
+      in
+      got = expected)
+
+(* Property 2: equi-join (exercising the index path) = reference nested
+   loop. *)
+let prop_join =
+  QCheck2.Test.make ~name:"equi-join agrees with reference" ~count:150 gen_db
+    (fun model ->
+      let cat = build model in
+      let got =
+        sorted_rows
+          (Sql_exec.query cat ~env:[]
+             "select name, budget from dept, emp where emp.dept = dept.dname")
+      in
+      let expected =
+        List.concat_map
+          (fun (n, d, _) ->
+            List.filter_map
+              (fun (dn, b) ->
+                if d = dn then Some [ n; string_of_int b ] else None)
+              model.dept_rows)
+          model.emp_rows
+        |> List.sort compare
+      in
+      got = expected)
+
+(* Property 3: group-by sum/count = reference fold. *)
+let prop_group =
+  QCheck2.Test.make ~name:"group-by agrees with reference" ~count:150 gen_db
+    (fun model ->
+      let cat = build model in
+      let got =
+        sorted_rows
+          (Sql_exec.query cat ~env:[]
+             "select dept, sum(salary) as s, count(*) as n from emp group by \
+              dept")
+      in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (_, d, s) ->
+          let sum, n =
+            match Hashtbl.find_opt tbl d with Some x -> x | None -> (0, 0)
+          in
+          Hashtbl.replace tbl d (sum + s, n + 1))
+        model.emp_rows;
+      let expected =
+        Hashtbl.fold
+          (fun d (s, n) acc -> [ d; string_of_int s; string_of_int n ] :: acc)
+          tbl []
+        |> List.sort compare
+      in
+      got = expected)
+
+(* Property 4: ORDER BY k LIMIT n = reference sort + take. *)
+let prop_order_limit =
+  QCheck2.Test.make ~name:"order/limit agrees with reference" ~count:150
+    QCheck2.Gen.(pair gen_db (int_range 0 10))
+    (fun (model, n) ->
+      let cat = build model in
+      let got =
+        Query.rows
+          (Sql_exec.query cat ~env:[]
+             (Printf.sprintf
+                "select salary from emp order by salary desc limit %d" n))
+        |> List.map (fun r -> Value.to_int r.(0))
+      in
+      let expected =
+        model.emp_rows
+        |> List.map (fun (_, _, s) -> s)
+        |> List.sort (fun a b -> compare b a)
+        |> List.filteri (fun i _ -> i < n)
+      in
+      got = expected)
+
+(* Property 5: updates through SQL agree with a reference mutation. *)
+let prop_update =
+  QCheck2.Test.make ~name:"update agrees with reference" ~count:150
+    QCheck2.Gen.(triple gen_db (int_range 0 100) (int_range (-20) 20))
+    (fun (model, threshold, bump) ->
+      let cat = build model in
+      ignore
+        (Sql_exec.exec_string cat ~env:[]
+           (Printf.sprintf "update emp set salary += %d where salary < %d" bump
+              threshold));
+      let got =
+        sorted_rows (Sql_exec.query cat ~env:[] "select name, salary from emp")
+      in
+      let expected =
+        model.emp_rows
+        |> List.map (fun (n, _, s) ->
+               [ n; string_of_int (if s < threshold then s + bump else s) ])
+        |> List.sort compare
+      in
+      got = expected)
+
+let suite =
+  [
+    ( "query-model",
+      [
+        QCheck_alcotest.to_alcotest prop_filter;
+        QCheck_alcotest.to_alcotest prop_join;
+        QCheck_alcotest.to_alcotest prop_group;
+        QCheck_alcotest.to_alcotest prop_order_limit;
+        QCheck_alcotest.to_alcotest prop_update;
+      ] );
+  ]

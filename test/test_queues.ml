@@ -1,0 +1,147 @@
+open Strip_txn
+
+let mk_task ?(klass = Task.Recompute) ?deadline ?(value = 1.0) name =
+  Task.create ~klass ~func_name:name ?deadline ~value ~release_time:0.0
+    ~created_at:0.0 (fun _ -> ())
+
+let drain q =
+  let rec loop acc =
+    match Queues.dequeue q with
+    | Some t -> loop (t.Task.func_name :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let test_fifo () =
+  let q = Queues.create () in
+  List.iter (fun n -> Queues.enqueue q (mk_task n)) [ "a"; "b"; "c" ];
+  Alcotest.(check (list string)) "fifo order" [ "a"; "b"; "c" ] (drain q)
+
+let test_priority_classes () =
+  let q = Queues.create () in
+  Queues.enqueue q (mk_task ~klass:Task.Recompute "rc1");
+  Queues.enqueue q (mk_task ~klass:Task.Background "bg");
+  Queues.enqueue q (mk_task ~klass:Task.Update "upd");
+  Queues.enqueue q (mk_task ~klass:Task.Recompute "rc2");
+  Alcotest.(check (list string))
+    "updates first, background last" [ "upd"; "rc1"; "rc2"; "bg" ] (drain q)
+
+let test_edf () =
+  let q = Queues.create ~policy:Queues.Edf () in
+  Queues.enqueue q (mk_task ~deadline:5.0 "late");
+  Queues.enqueue q (mk_task ~deadline:1.0 "soon");
+  Queues.enqueue q (mk_task "never");
+  (* no deadline sorts last *)
+  Alcotest.(check (list string)) "deadline order" [ "soon"; "late"; "never" ]
+    (drain q)
+
+let test_vdf () =
+  let q = Queues.create ~policy:Queues.Vdf () in
+  Queues.enqueue q (mk_task ~value:1.0 "cheap");
+  Queues.enqueue q (mk_task ~value:9.0 "valuable");
+  Queues.enqueue q (mk_task ~value:3.0 "mid");
+  Alcotest.(check (list string)) "value order" [ "valuable"; "mid"; "cheap" ]
+    (drain q)
+
+let test_cancelled_skipped () =
+  let q = Queues.create () in
+  let a = mk_task "a" and b = mk_task "b" in
+  Queues.enqueue q a;
+  Queues.enqueue q b;
+  Task.cancel a;
+  Alcotest.(check (list string)) "cancelled dropped" [ "b" ] (drain q);
+  Alcotest.(check bool) "empty" true (Queues.is_empty q)
+
+let test_peek_does_not_remove () =
+  let q = Queues.create () in
+  Queues.enqueue q (mk_task "a");
+  Alcotest.(check (option string)) "peek" (Some "a")
+    (Option.map (fun t -> t.Task.func_name) (Queues.peek q));
+  Alcotest.(check int) "still there" 1 (Queues.length q)
+
+(* Event queue *)
+
+let test_event_queue_order () =
+  let q = Strip_sim.Event_queue.create () in
+  Strip_sim.Event_queue.add q ~time:3.0 "c";
+  Strip_sim.Event_queue.add q ~time:1.0 "a";
+  Strip_sim.Event_queue.add q ~time:2.0 "b1";
+  Strip_sim.Event_queue.add q ~time:2.0 "b2";
+  let rec drain acc =
+    match Strip_sim.Event_queue.pop q with
+    | Some (_, x) -> drain (x :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list string))
+    "time order, FIFO ties" [ "a"; "b1"; "b2"; "c" ] (drain [])
+
+let prop_event_queue_sorts =
+  QCheck2.Test.make ~name:"event queue = stable sort by time" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 20))
+    (fun times ->
+      let q = Strip_sim.Event_queue.create () in
+      List.iteri
+        (fun i t -> Strip_sim.Event_queue.add q ~time:(float_of_int t) (t, i))
+        times;
+      let rec drain acc =
+        match Strip_sim.Event_queue.pop q with
+        | Some (_, x) -> drain (x :: acc)
+        | None -> List.rev acc
+      in
+      let got = drain [] in
+      let expected =
+        List.stable_sort
+          (fun (t1, i1) (t2, i2) ->
+            if t1 <> t2 then compare t1 t2 else compare i1 i2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      got = expected)
+
+(* Task lifecycle *)
+
+let test_task_lifecycle () =
+  let ran = ref false in
+  let t =
+    Task.create ~klass:Task.Recompute ~func_name:"f" ~release_time:0.0
+      ~created_at:0.0 (fun _ -> ran := true)
+  in
+  Alcotest.(check bool) "not started" false (Task.started t);
+  Task.run t;
+  Alcotest.(check bool) "ran" true !ran;
+  Alcotest.(check bool) "done" true (t.Task.state = Task.Done);
+  match Task.run t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double run accepted"
+
+let test_task_run_retires_bound_tables () =
+  let open Strip_relational in
+  let tmp =
+    Temp_table.create_materialized ~name:"b"
+      ~schema:(Schema.of_list [ ("x", Value.TInt) ])
+  in
+  let t =
+    Task.create ~klass:Task.Recompute ~func_name:"f" ~bound:[ ("b", tmp) ]
+      ~release_time:0.0 ~created_at:0.0 (fun task ->
+        Alcotest.(check bool) "bound visible during run" true
+          (List.mem_assoc "b" task.Task.bound))
+  in
+  Task.run t;
+  Alcotest.(check bool) "retired after run" true (Temp_table.retired tmp)
+
+let suite =
+  [
+    ( "queues",
+      [
+        Alcotest.test_case "fifo" `Quick test_fifo;
+        Alcotest.test_case "priority classes" `Quick test_priority_classes;
+        Alcotest.test_case "earliest deadline first" `Quick test_edf;
+        Alcotest.test_case "value density first" `Quick test_vdf;
+        Alcotest.test_case "cancelled tasks skipped" `Quick test_cancelled_skipped;
+        Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+        Alcotest.test_case "event queue ordering" `Quick test_event_queue_order;
+        QCheck_alcotest.to_alcotest prop_event_queue_sorts;
+        Alcotest.test_case "task lifecycle" `Quick test_task_lifecycle;
+        Alcotest.test_case "task run retires bound tables" `Quick
+          test_task_run_retires_bound_tables;
+      ] );
+  ]

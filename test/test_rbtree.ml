@@ -1,0 +1,121 @@
+open Strip_relational
+
+let cmp = Int.compare
+
+module IMap = Map.Make (Int)
+
+let check_inv t =
+  match Rbtree.check_invariants ~cmp t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "red-black invariant broken: %s" msg
+
+let test_basics () =
+  let t = Rbtree.empty in
+  Alcotest.(check bool) "empty" true (Rbtree.is_empty t);
+  let t = Rbtree.insert ~cmp 2 "two" t in
+  let t = Rbtree.insert ~cmp 1 "one" t in
+  let t = Rbtree.insert ~cmp 3 "three" t in
+  check_inv t;
+  Alcotest.(check (option string)) "find" (Some "two") (Rbtree.find ~cmp 2 t);
+  Alcotest.(check int) "cardinal" 3 (Rbtree.cardinal t);
+  let t = Rbtree.insert ~cmp 2 "TWO" t in
+  Alcotest.(check (option string)) "replace" (Some "TWO") (Rbtree.find ~cmp 2 t);
+  Alcotest.(check int) "no dup" 3 (Rbtree.cardinal t);
+  let t = Rbtree.remove ~cmp 2 t in
+  check_inv t;
+  Alcotest.(check (option string)) "removed" None (Rbtree.find ~cmp 2 t);
+  Alcotest.(check int) "cardinal after remove" 2 (Rbtree.cardinal t)
+
+let test_remove_absent () =
+  let t = Rbtree.insert ~cmp 1 "x" Rbtree.empty in
+  let t' = Rbtree.remove ~cmp 99 t in
+  check_inv t';
+  Alcotest.(check int) "unchanged" 1 (Rbtree.cardinal t')
+
+let test_inorder_and_minmax () =
+  let t =
+    List.fold_left
+      (fun t k -> Rbtree.insert ~cmp k (k * 10) t)
+      Rbtree.empty [ 5; 1; 9; 3; 7 ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "sorted assoc"
+    [ (1, 10); (3, 30); (5, 50); (7, 70); (9, 90) ]
+    (Rbtree.to_list t);
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 10)) (Rbtree.min_binding t);
+  Alcotest.(check (option (pair int int))) "max" (Some (9, 90)) (Rbtree.max_binding t)
+
+let test_range () =
+  let t =
+    List.fold_left
+      (fun t k -> Rbtree.insert ~cmp k k t)
+      Rbtree.empty
+      (List.init 20 (fun i -> i))
+  in
+  let collect ?lo ?hi () =
+    let acc = ref [] in
+    Rbtree.range ~cmp ?lo ?hi (fun k _ -> acc := k :: !acc) t;
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "inclusive bounds" [ 5; 6; 7 ] (collect ~lo:5 ~hi:7 ());
+  Alcotest.(check (list int)) "open low" [ 0; 1; 2 ] (collect ~hi:2 ());
+  Alcotest.(check (list int)) "open high" [ 18; 19 ] (collect ~lo:18 ());
+  Alcotest.(check (list int)) "empty range" [] (collect ~lo:7 ~hi:5 ())
+
+let test_update () =
+  let t = Rbtree.insert ~cmp 1 10 Rbtree.empty in
+  let t = Rbtree.update ~cmp 1 (Option.map (fun v -> v + 1)) t in
+  Alcotest.(check (option int)) "bump" (Some 11) (Rbtree.find ~cmp 1 t);
+  let t = Rbtree.update ~cmp 1 (fun _ -> None) t in
+  Alcotest.(check (option int)) "delete via update" None (Rbtree.find ~cmp 1 t);
+  let t = Rbtree.update ~cmp 9 (fun _ -> Some 99) t in
+  Alcotest.(check (option int)) "insert via update" (Some 99) (Rbtree.find ~cmp 9 t)
+
+(* Model-based property: a random op sequence agrees with Map, and the
+   red-black invariants hold after every operation. *)
+let prop_model =
+  let gen_ops =
+    QCheck2.Gen.(list_size (int_range 1 200) (pair bool (int_range 0 50)))
+  in
+  QCheck2.Test.make ~name:"model-based vs Map + invariants" ~count:200 gen_ops
+    (fun ops ->
+      let t = ref Rbtree.empty and m = ref IMap.empty in
+      List.for_all
+        (fun (ins, k) ->
+          if ins then begin
+            t := Rbtree.insert ~cmp k k !t;
+            m := IMap.add k k !m
+          end
+          else begin
+            t := Rbtree.remove ~cmp k !t;
+            m := IMap.remove k !m
+          end;
+          Result.is_ok (Rbtree.check_invariants ~cmp !t)
+          && Rbtree.to_list !t = IMap.bindings !m)
+        ops)
+
+let prop_fold_matches_iter =
+  QCheck2.Test.make ~name:"fold and iter agree" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range 0 100))
+    (fun keys ->
+      let t =
+        List.fold_left (fun t k -> Rbtree.insert ~cmp k k t) Rbtree.empty keys
+      in
+      let via_iter = ref [] in
+      Rbtree.iter (fun k _ -> via_iter := k :: !via_iter) t;
+      let via_fold = Rbtree.fold (fun k _ acc -> k :: acc) t [] in
+      !via_iter = via_fold)
+
+let suite =
+  [
+    ( "rbtree",
+      [
+        Alcotest.test_case "insert/find/remove" `Quick test_basics;
+        Alcotest.test_case "remove absent key" `Quick test_remove_absent;
+        Alcotest.test_case "in-order traversal, min/max" `Quick test_inorder_and_minmax;
+        Alcotest.test_case "range scans" `Quick test_range;
+        Alcotest.test_case "update" `Quick test_update;
+        QCheck_alcotest.to_alcotest prop_model;
+        QCheck_alcotest.to_alcotest prop_fold_matches_iter;
+      ] );
+  ]

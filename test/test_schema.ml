@@ -1,0 +1,89 @@
+open Strip_relational
+
+let mk () =
+  Schema.make
+    [
+      Schema.column ~qual:"t" "a" Value.TInt;
+      Schema.column ~qual:"t" "b" Value.TStr;
+      Schema.column ~qual:"u" "a" Value.TFloat;
+    ]
+
+let test_duplicate_detection () =
+  (match
+     Schema.make [ Schema.column "x" Value.TInt; Schema.column "x" Value.TInt ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate unqualified columns accepted");
+  (* same name under different qualifiers is fine *)
+  ignore (mk ())
+
+let test_find_qualified () =
+  let s = mk () in
+  Alcotest.(check (option int)) "t.a" (Some 0) (Schema.find s ~qual:"t" "a");
+  Alcotest.(check (option int)) "u.a" (Some 2) (Schema.find s ~qual:"u" "a");
+  Alcotest.(check (option int)) "v.a" None (Schema.find s ~qual:"v" "a");
+  Alcotest.(check (option int)) "unqualified b" (Some 1) (Schema.find s "b")
+
+let test_ambiguous () =
+  let s = mk () in
+  match Schema.find s "a" with
+  | exception Schema.Ambiguous "a" -> ()
+  | _ -> Alcotest.fail "ambiguous reference not detected"
+
+let test_requalify_unqualify () =
+  let s = Schema.requalify "x" (mk ()) in
+  Alcotest.(check (option int)) "x.b" (Some 1) (Schema.find s ~qual:"x" "b");
+  Alcotest.(check (option int)) "t.b gone" None (Schema.find s ~qual:"t" "b");
+  let u = Schema.unqualify (Schema.of_list [ ("c", Value.TInt) ]) in
+  Alcotest.(check (list string)) "names" [ "c" ] (Schema.names u)
+
+let test_append_conflicts () =
+  let a = Schema.requalify "l" (Schema.of_list [ ("k", Value.TInt) ]) in
+  let b = Schema.requalify "r" (Schema.of_list [ ("k", Value.TInt) ]) in
+  let joined = Schema.append a b in
+  Alcotest.(check int) "arity" 2 (Schema.arity joined);
+  match Schema.append a a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "append with duplicate qualified names accepted"
+
+let test_equal_layout () =
+  let a = Schema.of_list [ ("x", Value.TInt); ("y", Value.TStr) ] in
+  let b = Schema.requalify "q" a in
+  Alcotest.(check bool) "qualifier-insensitive" true (Schema.equal_layout a b);
+  let c = Schema.of_list [ ("x", Value.TFloat); ("y", Value.TStr) ] in
+  Alcotest.(check bool) "type-sensitive" false (Schema.equal_layout a c);
+  let d = Schema.of_list [ ("y", Value.TStr); ("x", Value.TInt) ] in
+  Alcotest.(check bool) "order-sensitive" false (Schema.equal_layout a d)
+
+let test_validate_row () =
+  let s = Schema.of_list [ ("x", Value.TInt); ("y", Value.TFloat) ] in
+  Alcotest.(check bool) "ok row" true
+    (Result.is_ok (Schema.validate_row s [| Value.Int 1; Value.Int 2 |]));
+  Alcotest.(check bool) "null ok" true
+    (Result.is_ok (Schema.validate_row s [| Value.Null; Value.Null |]));
+  Alcotest.(check bool) "wrong arity" true
+    (Result.is_error (Schema.validate_row s [| Value.Int 1 |]));
+  Alcotest.(check bool) "wrong type" true
+    (Result.is_error (Schema.validate_row s [| Value.Str "a"; Value.Int 2 |]))
+
+let test_col_bounds () =
+  let s = mk () in
+  Alcotest.(check string) "col 1" "b" (Schema.col s 1).Schema.cname;
+  match Schema.col s 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range column accepted"
+
+let suite =
+  [
+    ( "schema",
+      [
+        Alcotest.test_case "duplicate detection" `Quick test_duplicate_detection;
+        Alcotest.test_case "qualified resolution" `Quick test_find_qualified;
+        Alcotest.test_case "ambiguity" `Quick test_ambiguous;
+        Alcotest.test_case "requalify/unqualify" `Quick test_requalify_unqualify;
+        Alcotest.test_case "append" `Quick test_append_conflicts;
+        Alcotest.test_case "layout equality" `Quick test_equal_layout;
+        Alcotest.test_case "row validation" `Quick test_validate_row;
+        Alcotest.test_case "column bounds" `Quick test_col_bounds;
+      ] );
+  ]

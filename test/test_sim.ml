@@ -1,0 +1,167 @@
+open Strip_relational
+open Strip_txn
+open Strip_sim
+
+let test_cost_model_simple_update () =
+  Alcotest.(check (float 1e-9)) "the paper's 172 us" 172.0
+    (Cost_model.simple_update_us Cost_model.default);
+  Alcotest.(check int) "table-1 has ten rows" 10
+    (List.length (Cost_model.table1_entries Cost_model.default))
+
+let test_cost_model_charge_and_override () =
+  let m = Cost_model.default in
+  Alcotest.(check (float 1e-9)) "charge"
+    ((2.0 *. Cost_model.cost_us m "get_lock") +. Cost_model.cost_us m "bs_eval")
+    (Cost_model.charge m [ ("get_lock", 2); ("bs_eval", 1) ]);
+  let m' = Cost_model.override m [ ("bs_eval", 1.0) ] in
+  Alcotest.(check (float 1e-9)) "override" 1.0 (Cost_model.cost_us m' "bs_eval");
+  Alcotest.(check (float 1e-9)) "original untouched"
+    (Cost_model.cost_us m "bs_eval")
+    (Cost_model.cost_us Cost_model.default "bs_eval");
+  ignore (Cost_model.cost_us m "definitely_not_a_counter_xyz");
+  Alcotest.(check bool) "unknown counter remembered" true
+    (List.mem "definitely_not_a_counter_xyz" (Cost_model.unknown_counters ()))
+
+let mk_engine () =
+  let clock = Clock.create () in
+  (clock, Engine.create ~clock ())
+
+let task ?(klass = Task.Recompute) ~at body =
+  Task.create ~klass ~func_name:"t" ~release_time:at ~created_at:at body
+
+let test_release_and_virtual_time () =
+  let clock, eng = mk_engine () in
+  let seen = ref [] in
+  Engine.submit eng (task ~at:2.0 (fun _ -> seen := Clock.now clock :: !seen));
+  Engine.submit eng (task ~at:1.0 (fun _ -> seen := Clock.now clock :: !seen));
+  Alcotest.(check int) "pending" 2 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-6))) "released in time order" [ 1.0; 2.0 ]
+    (List.rev !seen);
+  Alcotest.(check int) "drained" 0 (Engine.pending eng)
+
+let test_service_time_from_meter () =
+  let _, eng = mk_engine () in
+  let t =
+    task ~at:0.0 (fun _ ->
+        Meter.tick "bs_eval";
+        Meter.tick_n "fetch_cursor" 3)
+  in
+  Engine.submit eng t;
+  Engine.run eng;
+  let m = Cost_model.default in
+  let expected =
+    Cost_model.cost_us m "bs_eval"
+    +. (3.0 *. Cost_model.cost_us m "fetch_cursor")
+    +. Cost_model.cost_us m "begin_task"
+    +. Cost_model.cost_us m "end_task"
+    +. Cost_model.cost_us m "task_dispatch"
+  in
+  (* allow the tiny congestion surcharge of a single dispatch *)
+  Alcotest.(check (float 0.01)) "charged" expected t.Task.service_us
+
+let test_priority_dispatch () =
+  let _, eng = mk_engine () in
+  let order = ref [] in
+  let log name = fun _ -> order := name :: !order in
+  Engine.submit eng
+    (Task.create ~klass:Task.Recompute ~func_name:"rc" ~release_time:1.0
+       ~created_at:0.0 (log "rc"));
+  Engine.submit eng
+    (Task.create ~klass:Task.Update ~func_name:"up" ~release_time:1.0
+       ~created_at:0.0 (log "up"));
+  Engine.run eng;
+  Alcotest.(check (list string)) "update first at equal release" [ "up"; "rc" ]
+    (List.rev !order)
+
+let test_cpu_serialization () =
+  (* Two tasks released together: the second starts after the first's
+     service time (single CPU). *)
+  let _, eng = mk_engine () in
+  let heavy _ = Meter.tick_n "bs_eval" 1000 in
+  let t1 = task ~at:0.0 heavy in
+  let t2 = task ~at:0.0 (fun _ -> ()) in
+  Engine.submit eng t1;
+  Engine.submit eng t2;
+  Engine.run eng;
+  Alcotest.(check bool) "t2 queued behind t1" true
+    (t2.Task.dispatched_at >= t1.Task.service_us *. 1e-6 -. 1e-9);
+  let stats = Engine.stats eng in
+  Alcotest.(check int) "two recomputes" 2 (Stats.n_recompute stats);
+  Alcotest.(check bool) "busy accumulated" true
+    (Stats.busy_us stats >= t1.Task.service_us)
+
+let test_context_switch_charge () =
+  let _, eng = mk_engine () in
+  Engine.set_arrival_profile eng [| 0.0; 0.05; 0.1; 0.9 |];
+  (* a recompute long enough (~0.5 s) to span the arrivals at 0.05 and 0.1 *)
+  let t = task ~at:0.0 (fun _ -> Meter.tick_n "bs_eval" 2000) in
+  Engine.submit eng t;
+  Engine.run eng;
+  Alcotest.(check int) "two preemptions charged" 2
+    (Stats.context_switches (Engine.stats eng));
+  (* updates are never charged context switches *)
+  let _, eng2 = mk_engine () in
+  Engine.set_arrival_profile eng2 [| 0.05 |];
+  Engine.submit eng2 (task ~klass:Task.Update ~at:0.0 (fun _ -> Meter.tick_n "bs_eval" 2000));
+  Engine.run eng2;
+  Alcotest.(check int) "no charge for updates" 0
+    (Stats.context_switches (Engine.stats eng2))
+
+let test_congestion_surcharge () =
+  (* 200 tiny recomputes released in one second: later dispatches carry a
+     quadratic congestion surcharge, so the mean exceeds an uncongested
+     task's cost. *)
+  let _, eng = mk_engine () in
+  for i = 0 to 199 do
+    Engine.submit eng (task ~at:(0.005 *. float_of_int i) (fun _ -> ()))
+  done;
+  Engine.run eng;
+  let mean = Stats.mean_service_us (Engine.stats eng) Task.Recompute in
+  let base =
+    Cost_model.(
+      cost_us default "begin_task" +. cost_us default "end_task"
+      +. cost_us default "task_dispatch")
+  in
+  Alcotest.(check bool) "surcharge visible" true (mean > base +. 10.0)
+
+let test_until_stops_releases () =
+  let _, eng = mk_engine () in
+  let ran = ref 0 in
+  Engine.submit eng (task ~at:1.0 (fun _ -> incr ran));
+  Engine.submit eng (task ~at:100.0 (fun _ -> incr ran));
+  Engine.run ~until:10.0 eng;
+  Alcotest.(check int) "only the due task ran" 1 !ran;
+  Alcotest.(check int) "late task still pending" 1 (Engine.pending eng)
+
+let test_stats_utilization () =
+  let s = Stats.create () in
+  Stats.record_task s ~klass:Task.Update ~service_us:2e6 ~queue_us:0.0;
+  Stats.record_task s ~klass:Task.Recompute ~service_us:1e6 ~queue_us:5e5;
+  Alcotest.(check (float 1e-9)) "utilization" 0.3 (Stats.utilization s ~duration_s:10.0);
+  Alcotest.(check (float 1e-9)) "mean recompute" 1e6
+    (Stats.mean_service_us s Task.Recompute);
+  Alcotest.(check (float 1e-9)) "mean queue" 5e5 (Stats.mean_queue_us s Task.Recompute);
+  Alcotest.(check int) "n_r" 1 (Stats.n_recompute s)
+
+let suite =
+  [
+    ( "sim",
+      [
+        Alcotest.test_case "cost model: 172 us canonical update" `Quick
+          test_cost_model_simple_update;
+        Alcotest.test_case "cost model: charge/override/unknown" `Quick
+          test_cost_model_charge_and_override;
+        Alcotest.test_case "delayed release + virtual time" `Quick
+          test_release_and_virtual_time;
+        Alcotest.test_case "service time from meter deltas" `Quick
+          test_service_time_from_meter;
+        Alcotest.test_case "updates dispatch before recomputes" `Quick
+          test_priority_dispatch;
+        Alcotest.test_case "single-CPU serialization" `Quick test_cpu_serialization;
+        Alcotest.test_case "context-switch surcharge" `Quick test_context_switch_charge;
+        Alcotest.test_case "congestion surcharge" `Quick test_congestion_surcharge;
+        Alcotest.test_case "run ~until" `Quick test_until_stops_releases;
+        Alcotest.test_case "stats" `Quick test_stats_utilization;
+      ] );
+  ]

@@ -1,0 +1,142 @@
+open Strip_relational
+
+(* A temp table over one source record slot, with a materialized extra
+   column — the transition-table shape. *)
+let schema2 =
+  Schema.of_list [ ("k", Value.TStr); ("v", Value.TInt); ("seq", Value.TInt) ]
+
+let prov2 =
+  [| Temp_table.From_record (0, 0); Temp_table.From_record (0, 1);
+     Temp_table.Computed 0 |]
+
+let mk name = Temp_table.create ~name ~schema:schema2 ~nslots:1 ~prov:prov2
+
+let rec_ k v = Record.create [| Value.Str k; Value.Int v |]
+
+let test_static_map_validation () =
+  (match
+     Temp_table.create ~name:"bad" ~schema:schema2 ~nslots:1
+       ~prov:[| Temp_table.From_record (0, 0); Temp_table.Computed 1;
+                Temp_table.Computed 1 |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-dense materialized cells accepted");
+  match
+    Temp_table.create ~name:"bad" ~schema:schema2 ~nslots:1
+      ~prov:[| Temp_table.From_record (3, 0); Temp_table.Computed 0;
+               Temp_table.Computed 1 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "slot out of range accepted"
+
+let test_pointer_reads () =
+  let t = mk "t" in
+  let r = rec_ "a" 7 in
+  Temp_table.append t ~srcs:[| r |] ~mats:[| Value.Int 1 |];
+  Alcotest.(check int) "pin taken" 1 r.Record.refcount;
+  let rows = Temp_table.to_rows t in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check string) "col through pointer" "a" (Value.to_string row.(0));
+  Alcotest.(check int) "materialized col" 1 (Value.to_int row.(2))
+
+let test_reads_survive_source_retirement () =
+  let t = mk "t" in
+  let r = rec_ "a" 7 in
+  Temp_table.append t ~srcs:[| r |] ~mats:[| Value.Int 1 |];
+  Record.retire r;
+  (* still pinned: values remain readable, not reclaimed *)
+  Record.reset_reclaimed ();
+  Alcotest.(check int) "readable" 7
+    (Value.to_int (List.hd (Temp_table.to_rows t)).(1));
+  Alcotest.(check int) "not reclaimed" 0 (Record.reclaimed_count ());
+  Temp_table.retire t;
+  Alcotest.(check int) "reclaimed at retire" 1 (Record.reclaimed_count ());
+  Alcotest.(check bool) "marked" true (Temp_table.retired t)
+
+let test_retire_idempotent () =
+  let t = mk "t" in
+  let r = rec_ "a" 1 in
+  Temp_table.append t ~srcs:[| r |] ~mats:[| Value.Int 1 |];
+  Temp_table.retire t;
+  Temp_table.retire t;
+  Alcotest.(check int) "refcount zero once" 0 r.Record.refcount;
+  match Temp_table.append t ~srcs:[| r |] ~mats:[| Value.Int 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "append after retire accepted"
+
+let test_absorb_moves_rows_and_pins () =
+  let a = mk "a" and b = mk "b" in
+  let r1 = rec_ "x" 1 and r2 = rec_ "y" 2 in
+  Temp_table.append a ~srcs:[| r1 |] ~mats:[| Value.Int 1 |];
+  Temp_table.append b ~srcs:[| r2 |] ~mats:[| Value.Int 2 |];
+  Temp_table.absorb a b;
+  Alcotest.(check int) "a grew" 2 (Temp_table.cardinal a);
+  Alcotest.(check int) "b emptied" 0 (Temp_table.cardinal b);
+  Alcotest.(check int) "pins moved, not doubled" 1 r2.Record.refcount;
+  (* order: original rows first, absorbed after *)
+  Alcotest.(check (list string)) "order" [ "x"; "y" ]
+    (List.map (fun row -> Value.to_string row.(0)) (Temp_table.to_rows a));
+  (* retiring the source of a merged row is still safe *)
+  Temp_table.retire a;
+  Alcotest.(check int) "all unpinned" 0 r2.Record.refcount
+
+let test_absorb_layout_mismatch () =
+  let a = mk "a" in
+  let other =
+    Temp_table.create_materialized ~name:"o"
+      ~schema:(Schema.of_list [ ("k", Value.TStr) ])
+  in
+  match Temp_table.absorb a other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "layout mismatch accepted"
+
+let test_materialized_convenience () =
+  let t =
+    Temp_table.create_materialized ~name:"m"
+      ~schema:(Schema.of_list [ ("a", Value.TInt); ("b", Value.TStr) ])
+  in
+  Temp_table.append_values t [| Value.Int 1; Value.Str "x" |];
+  Temp_table.append_values t [| Value.Int 2; Value.Str "y" |];
+  Alcotest.(check int) "slots" 0 (Temp_table.slots t);
+  Alcotest.(check (list string)) "contents" [ "x"; "y" ]
+    (List.map (fun r -> Value.to_string r.(1)) (Temp_table.to_rows t))
+
+let test_arity_checks () =
+  let t = mk "t" in
+  (match Temp_table.append t ~srcs:[||] ~mats:[| Value.Int 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing source slot accepted");
+  match Temp_table.append t ~srcs:[| rec_ "a" 1 |] ~mats:[||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing materialized cell accepted"
+
+let test_iteration_order_and_fold () =
+  let t = mk "t" in
+  List.iter
+    (fun i ->
+      Temp_table.append t ~srcs:[| rec_ (string_of_int i) i |]
+        ~mats:[| Value.Int i |])
+    [ 1; 2; 3 ];
+  let seen = Temp_table.fold t ~init:[] ~f:(fun acc row ->
+      Value.to_int (Temp_table.get t row 2) :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3 ] (List.rev seen)
+
+let suite =
+  [
+    ( "temp_table",
+      [
+        Alcotest.test_case "static map validation" `Quick test_static_map_validation;
+        Alcotest.test_case "pointer reads" `Quick test_pointer_reads;
+        Alcotest.test_case "reads survive retirement (§6.1)" `Quick
+          test_reads_survive_source_retirement;
+        Alcotest.test_case "retire is idempotent" `Quick test_retire_idempotent;
+        Alcotest.test_case "absorb moves rows and pins" `Quick
+          test_absorb_moves_rows_and_pins;
+        Alcotest.test_case "absorb layout check" `Quick test_absorb_layout_mismatch;
+        Alcotest.test_case "materialized tables" `Quick test_materialized_convenience;
+        Alcotest.test_case "arity checks" `Quick test_arity_checks;
+        Alcotest.test_case "iteration order" `Quick test_iteration_order_and_fold;
+      ] );
+  ]

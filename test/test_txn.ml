@@ -1,0 +1,206 @@
+open Strip_relational
+open Strip_txn
+
+let setup () =
+  let cat = Catalog.create () in
+  let tb =
+    Catalog.create_table cat ~name:"t"
+      ~schema:(Schema.of_list [ ("k", Value.TStr); ("v", Value.TInt) ])
+  in
+  ignore (Table.create_index tb ~name:"t_k" ~kind:Index.Hash ~cols:[ "k" ]);
+  let locks = Lock.create () in
+  let clock = Clock.create () in
+  (cat, tb, locks, clock)
+
+let begin_ (cat, _, locks, clock) = Transaction.begin_ ~cat ~locks ~clock ()
+
+let contents tb =
+  List.map
+    (fun r -> (Value.to_string r.(0), Value.to_int r.(1)))
+    (Table.to_rows tb)
+
+let test_commit_time () =
+  let ((_, _, _, clock) as env) = setup () in
+  let txn = begin_ env in
+  Clock.advance_to clock 5.5;
+  ignore (Transaction.exec txn "insert into t values ('a', 1)");
+  Transaction.commit txn;
+  Alcotest.(check (float 1e-9)) "stamped at commit" 5.5 (Transaction.commit_time txn);
+  Alcotest.(check bool) "status" true (Transaction.status txn = Transaction.Committed)
+
+let test_abort_undoes_everything () =
+  let ((_, tb, _, _) as env) = setup () in
+  let t0 = begin_ env in
+  ignore (Transaction.exec t0 "insert into t values ('a',1),('b',2),('c',3)");
+  Transaction.commit t0;
+  Transaction.cleanup t0;
+  let txn = begin_ env in
+  ignore (Transaction.exec txn "update t set v = 10 where k = 'a'");
+  ignore (Transaction.exec txn "delete from t where k = 'b'");
+  ignore (Transaction.exec txn "insert into t values ('d', 4)");
+  ignore (Transaction.exec txn "update t set v += 5 where k = 'd'");
+  Alcotest.(check int) "changes applied" 4 (Tlog.length (Transaction.log txn));
+  Transaction.abort txn;
+  Alcotest.(check (list (pair string int)))
+    "state restored"
+    [ ("a", 1); ("c", 3); ("b", 2) ]
+    (* note: the undo of a delete re-appends, so 'b' moves to the end *)
+    (contents tb);
+  Alcotest.(check bool) "status" true (Transaction.status txn = Transaction.Aborted)
+
+let test_log_execute_order () =
+  let env = setup () in
+  let txn = begin_ env in
+  ignore (Transaction.exec txn "insert into t values ('a', 1)");
+  ignore (Transaction.exec txn "update t set v = 2 where k = 'a'");
+  ignore (Transaction.exec txn "update t set v = 3 where k = 'a'");
+  let entries = Tlog.entries (Transaction.log txn) in
+  Alcotest.(check (list int)) "sequence" [ 1; 2; 3 ]
+    (List.map (fun (e : Tlog.entry) -> e.execute_order) entries);
+  (match entries with
+  | [ { change = Tlog.Inserted _; _ };
+      { change = Tlog.Updated { old_rec = o1; new_rec = n1 }; _ };
+      { change = Tlog.Updated { old_rec = o2; new_rec = n2 }; _ } ] ->
+    Alcotest.(check int) "chain old1" 1 (Value.to_int (Record.value o1 1));
+    Alcotest.(check int) "chain new1" 2 (Value.to_int (Record.value n1 1));
+    Alcotest.(check int) "chain old2" 2 (Value.to_int (Record.value o2 1));
+    Alcotest.(check int) "chain new2" 3 (Value.to_int (Record.value n2 1))
+  | _ -> Alcotest.fail "unexpected log shape");
+  Transaction.commit txn;
+  Transaction.cleanup txn
+
+let test_pre_images_pinned_until_cleanup () =
+  let env = setup () in
+  let t0 = begin_ env in
+  ignore (Transaction.exec t0 "insert into t values ('a', 1)");
+  Transaction.commit t0;
+  Transaction.cleanup t0;
+  let txn = begin_ env in
+  ignore (Transaction.exec txn "update t set v = 2 where k = 'a'");
+  let old_rec =
+    match Tlog.entries (Transaction.log txn) with
+    | [ { change = Tlog.Updated { old_rec; _ }; _ } ] -> old_rec
+    | _ -> Alcotest.fail "expected one update"
+  in
+  Transaction.commit txn;
+  Record.reset_reclaimed ();
+  Alcotest.(check int) "still pinned after commit" 0 (Record.reclaimed_count ());
+  Alcotest.(check bool) "pin held" true (old_rec.Record.refcount > 0);
+  Transaction.cleanup txn;
+  Alcotest.(check int) "reclaimed at cleanup" 1 (Record.reclaimed_count ())
+
+let test_locks_block_and_upgrade () =
+  let locks = Lock.create () in
+  let r = Lock.Rec ("t", 1) in
+  Alcotest.(check bool) "t1 S" true (Lock.acquire locks ~owner:1 r Lock.S = Lock.Granted);
+  Alcotest.(check bool) "t2 S shares" true
+    (Lock.acquire locks ~owner:2 r Lock.S = Lock.Granted);
+  (match Lock.acquire locks ~owner:1 r Lock.X with
+  | Lock.Blocked [ 2 ] -> ()
+  | _ -> Alcotest.fail "upgrade should block on the other holder");
+  Lock.release_all locks ~owner:2;
+  Alcotest.(check bool) "upgrade after release" true
+    (Lock.acquire locks ~owner:1 r Lock.X = Lock.Granted);
+  (match Lock.acquire locks ~owner:3 r Lock.S with
+  | Lock.Blocked [ 1 ] -> ()
+  | _ -> Alcotest.fail "S behind X should block");
+  Alcotest.(check (option Alcotest.bool)) "holds X" (Some true)
+    (Option.map (fun m -> m = Lock.X) (Lock.holds locks ~owner:1 r))
+
+let test_lock_reentrant () =
+  let locks = Lock.create () in
+  let r = Lock.Rel "t" in
+  Meter.reset ();
+  ignore (Lock.acquire locks ~owner:1 r Lock.X);
+  ignore (Lock.acquire locks ~owner:1 r Lock.X);
+  ignore (Lock.acquire locks ~owner:1 r Lock.S);
+  Alcotest.(check int) "one metered acquisition" 1 (Meter.get "get_lock");
+  Lock.release_all locks ~owner:1;
+  Alcotest.(check int) "one release" 1 (Meter.get "release_lock")
+
+let test_deadlock_detection () =
+  let locks = Lock.create () in
+  let ra = Lock.Rec ("t", 1) and rb = Lock.Rec ("t", 2) in
+  ignore (Lock.acquire locks ~owner:1 ra Lock.X);
+  ignore (Lock.acquire locks ~owner:2 rb Lock.X);
+  (match Lock.acquire locks ~owner:1 rb Lock.X with
+  | Lock.Blocked [ 2 ] -> ()
+  | _ -> Alcotest.fail "expected block");
+  match Lock.acquire locks ~owner:2 ra Lock.X with
+  | Lock.Deadlock _ -> ()
+  | _ -> Alcotest.fail "cycle not detected"
+
+let test_lock_conflict_surfaces () =
+  let ((_, _, _, _) as env) = setup () in
+  let t1 = begin_ env in
+  let t2 = begin_ env in
+  ignore (Transaction.exec t1 "insert into t values ('a', 1)");
+  ignore (Transaction.exec t1 "update t set v = 2 where k = 'a'");
+  (match Transaction.exec t2 "update t set v = 3 where k = 'a'" with
+  | exception Transaction.Lock_conflict { blockers; deadlock = false; _ } ->
+    Alcotest.(check (list int)) "blocked by t1" [ Transaction.txid t1 ] blockers
+  | _ -> Alcotest.fail "conflicting update should raise");
+  Transaction.commit t1;
+  Transaction.cleanup t1;
+  Transaction.abort t2
+
+let test_query_inside_txn_takes_shared_lock () =
+  let ((_, _, locks, _) as env) = setup () in
+  let txn = begin_ env in
+  ignore (Transaction.exec txn "insert into t values ('a', 1)");
+  ignore (Transaction.query txn "select k from t");
+  Alcotest.(check bool) "table S lock held" true
+    (List.mem_assoc (Transaction.txid txn) (Lock.holders locks (Lock.Rel "t")));
+  Transaction.commit txn;
+  Transaction.cleanup txn;
+  Alcotest.(check (list (pair int Alcotest.reject))) "released" []
+    (Lock.holders locks (Lock.Rel "t"))
+
+let test_double_commit_rejected () =
+  let env = setup () in
+  let txn = begin_ env in
+  Transaction.commit txn;
+  match Transaction.commit txn with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double commit accepted"
+
+let test_meter_canonical_counters () =
+  let env = setup () in
+  let t0 = begin_ env in
+  ignore (Transaction.exec t0 "insert into t values ('a', 1)");
+  Transaction.commit t0;
+  Transaction.cleanup t0;
+  Meter.reset ();
+  let txn = begin_ env in
+  ignore (Transaction.exec txn "update t set v = 2 where k = 'a'");
+  Transaction.commit txn;
+  Transaction.cleanup txn;
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int) name expected (Meter.get name))
+    [
+      ("begin_transaction", 1); ("commit_transaction", 1); ("open_cursor", 1);
+      ("fetch_cursor", 1); ("update_cursor", 1); ("close_cursor", 1);
+      ("release_lock", 2) (* record X + table lock *);
+    ]
+
+let suite =
+  [
+    ( "txn",
+      [
+        Alcotest.test_case "commit time" `Quick test_commit_time;
+        Alcotest.test_case "abort undoes all changes" `Quick test_abort_undoes_everything;
+        Alcotest.test_case "log execute_order + image chains" `Quick test_log_execute_order;
+        Alcotest.test_case "pre-images pinned until cleanup" `Quick
+          test_pre_images_pinned_until_cleanup;
+        Alcotest.test_case "lock sharing, blocking, upgrade" `Quick
+          test_locks_block_and_upgrade;
+        Alcotest.test_case "reentrant locks unmetered" `Quick test_lock_reentrant;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "Lock_conflict surfaces" `Quick test_lock_conflict_surfaces;
+        Alcotest.test_case "queries take shared locks" `Quick
+          test_query_inside_txn_takes_shared_lock;
+        Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
+        Alcotest.test_case "canonical counters" `Quick test_meter_canonical_counters;
+      ] );
+  ]

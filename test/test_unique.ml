@@ -1,0 +1,293 @@
+open Strip_relational
+open Strip_txn
+open Strip_core
+
+(* The paper's running example (Figures 4 and 5): stocks S1..S3, composites
+   C1 = 0.5*S1 + 0.5*S3 and C2 = 0.3*S1 + 0.7*S2; transaction T1 changes S1
+   30->31 and S2 40->39, T2 changes S2 39->38 and S3 50->51. *)
+let setup () =
+  let db = Strip_db.create () in
+  Strip_db.exec_script db
+    {|create table stocks (symbol string, price float);
+      create index stocks_sym on stocks (symbol);
+      create table comps_list (comp string, symbol string, weight float);
+      create index cl_sym on comps_list (symbol);
+      create table comp_prices (comp string, price float);
+      create index cp_comp on comp_prices (comp);
+      insert into stocks values ('S1', 30.0), ('S2', 40.0), ('S3', 50.0);
+      insert into comps_list values
+        ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7);
+      insert into comp_prices values ('C1', 40.0), ('C2', 37.0)|};
+  db
+
+let condition =
+  {|select comp, comps_list.symbol as symbol, weight,
+           old.price as old_price, new.price as new_price
+    from comps_list, new, old
+    where comps_list.symbol = new.symbol
+      and new.execute_order = old.execute_order
+    bind as matches|}
+
+let apply_batches db = (* the standard grouped-apply user function *)
+  fun ctx ->
+    let r =
+      Transaction.query ctx.Rule_manager.txn
+        "select comp, sum((new_price - old_price) * weight) as diff from \
+         matches group by comp"
+    in
+    List.iter
+      (fun row ->
+        ignore
+          (Transaction.exec ctx.Rule_manager.txn
+             (Printf.sprintf "update comp_prices set price += %.17g where comp = '%s'"
+                (Value.to_float row.(1))
+                (Value.to_string row.(0)))))
+      (Query.rows r);
+    ignore db
+
+let t1_t2 db =
+  Strip_db.submit_update db ~at:0.0 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 31.0 where symbol = 'S1'");
+      ignore (Transaction.exec txn "update stocks set price = 39.0 where symbol = 'S2'"));
+  Strip_db.submit_update db ~at:0.3 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 38.0 where symbol = 'S2'");
+      ignore (Transaction.exec txn "update stocks set price = 51.0 where symbol = 'S3'"))
+
+let comp_prices db =
+  List.map
+    (fun row -> (Value.to_string row.(0), Value.to_float row.(1)))
+    (Strip_db.query_rows db "select comp, price from comp_prices order by comp")
+
+let expected = [ ("C1", 41.0); ("C2", 35.9) ]
+(* C1 = 40 + 0.5*(31-30) + 0.5*(51-50); C2 = 37 + 0.3*1 + 0.7*(-1) + 0.7*(-1) *)
+
+let check_prices db =
+  Alcotest.(check (list (pair string (float 1e-9)))) "view correct" expected
+    (comp_prices db)
+
+let test_coarse_unique_merges () =
+  let db = setup () in
+  Strip_db.register_function db "f" (apply_batches db);
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r on stocks when updated price if %s then execute f \
+        unique after 1.0 seconds"
+       condition);
+  t1_t2 db;
+  Strip_db.run db;
+  let mgr = Strip_db.rules db in
+  Alcotest.(check int) "two firings" 2 (Rule_manager.n_rule_firings mgr);
+  Alcotest.(check int) "one transaction (Figure 5b)" 1
+    (Rule_manager.n_tasks_created mgr);
+  Alcotest.(check int) "one merge" 1 (Rule_manager.n_merges mgr);
+  check_prices db
+
+let test_unique_on_comp_partitions () =
+  let db = setup () in
+  Strip_db.register_function db "f" (apply_batches db);
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r on stocks when updated price if %s then execute f \
+        unique on comp after 1.0 seconds"
+       condition);
+  t1_t2 db;
+  Strip_db.run db;
+  let mgr = Strip_db.rules db in
+  (* Figure 5(c): one transaction per composite; T2's rows merge into them. *)
+  Alcotest.(check int) "two transactions" 2 (Rule_manager.n_tasks_created mgr);
+  Alcotest.(check int) "both partitions of T2 merged" 2 (Rule_manager.n_merges mgr);
+  check_prices db
+
+let test_non_unique_figure5a () =
+  let db = setup () in
+  Strip_db.register_function db "f" (apply_batches db);
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r on stocks when updated price if %s then execute f"
+       condition);
+  t1_t2 db;
+  Strip_db.run db;
+  Alcotest.(check int) "two distinct transactions (Figure 5a)" 2
+    (Rule_manager.n_tasks_created (Strip_db.rules db));
+  check_prices db
+
+let test_merge_stops_once_started () =
+  let db = setup () in
+  let batch_sizes = ref [] in
+  Strip_db.register_function db "f" (fun ctx ->
+      batch_sizes :=
+        Query.row_count
+          (Transaction.query ctx.Rule_manager.txn "select comp from matches")
+        :: !batch_sizes);
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r on stocks when updated price if %s then execute f \
+        unique after 1.0 seconds"
+       condition);
+  (* first batch: t=0 and t=0.5 merge (release at 1.0); the update at t=5
+     arrives after the task ran and must start a new transaction *)
+  Strip_db.submit_update db ~at:0.0 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 31.0 where symbol = 'S1'"));
+  Strip_db.submit_update db ~at:0.5 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 32.0 where symbol = 'S1'"));
+  Strip_db.submit_update db ~at:5.0 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 33.0 where symbol = 'S1'"));
+  Strip_db.run db;
+  Alcotest.(check (list int)) "batch sizes" [ 4; 2 ] (List.rev !batch_sizes);
+  Alcotest.(check int) "two transactions" 2
+    (Rule_manager.n_tasks_created (Strip_db.rules db))
+
+let test_two_rules_one_function_merge () =
+  (* Bound tables of all rules executing the same function are combined
+     (§2) — here an insert rule and an update rule feed one function. *)
+  let db = setup () in
+  let total_rows = ref 0 in
+  Strip_db.register_function db "f" (fun ctx ->
+      total_rows :=
+        Query.row_count
+          (Transaction.query ctx.Rule_manager.txn "select sym from batch"));
+  let q_upd =
+    {|select new.symbol as sym from new, old
+      where new.execute_order = old.execute_order bind as batch|}
+  in
+  let q_ins = {|select inserted.symbol as sym from inserted bind as batch|} in
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r_upd on stocks when updated price if %s then execute f \
+        unique after 1.0 seconds"
+       q_upd);
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r_ins on stocks when inserted if %s then execute f \
+        unique after 1.0 seconds"
+       q_ins);
+  Strip_db.submit_update db ~at:0.0 (fun txn ->
+      ignore (Transaction.exec txn "update stocks set price = 31.0 where symbol = 'S1'"));
+  Strip_db.submit_update db ~at:0.2 (fun txn ->
+      ignore (Transaction.exec txn "insert into stocks values ('S9', 9.0)"));
+  Strip_db.run db;
+  Alcotest.(check int) "one merged transaction" 1
+    (Rule_manager.n_tasks_created (Strip_db.rules db));
+  Alcotest.(check int) "rows from both rules" 2 !total_rows
+
+let test_mismatched_layout_rejected () =
+  let db = setup () in
+  Strip_db.register_function db "f" (fun _ -> ());
+  Strip_db.create_rule db
+    {|create rule r1 on stocks when updated price
+      if select new.symbol as sym from new bind as batch
+      then execute f unique|};
+  match
+    Strip_db.create_rule db
+      {|create rule r2 on stocks when inserted
+        if select inserted.symbol as sym, inserted.price as p from inserted
+           bind as batch
+        then execute f unique|}
+  with
+  | exception Rule_manager.Rule_error _ -> ()
+  | _ -> Alcotest.fail "incompatible bound layouts for one function accepted"
+
+let test_registry_cleared_after_run () =
+  let db = setup () in
+  Strip_db.register_function db "f" (fun _ -> ());
+  Strip_db.create_rule db
+    {|create rule r on stocks when updated price
+      if select new.symbol as sym from new bind as batch
+      then execute f unique after 1.0 seconds|};
+  ignore (Strip_db.exec db "update stocks set price = 31.0 where symbol = 'S1'");
+  let reg = Rule_manager.registry (Strip_db.rules db) in
+  Alcotest.(check int) "queued" 1 (Unique.queued reg);
+  Strip_db.run db;
+  Alcotest.(check bool) "entry dropped when the task starts" true
+    (Unique.find reg ~func:"f" ~key:[] = None)
+
+(* Appendix A, general case: unique columns drawn from two different bound
+   tables.  The key space is the cartesian product of the per-table
+   distinct sub-keys; tables containing unique columns are partitioned,
+   tables without are passed whole to every partition. *)
+let test_appendix_a_multi_table_partitioning () =
+  let db = Strip_db.create () in
+  Strip_db.exec_script db
+    {|create table events (kind string, region string, amount float);
+      create table audit_kinds (kind string);
+      insert into audit_kinds values ('buy'), ('sell')|};
+  let seen = ref [] in
+  Strip_db.register_function db "f" (fun ctx ->
+      let q name = Transaction.query ctx.Rule_manager.txn ("select * from " ^ name) in
+      let kinds =
+        List.map (fun r -> Value.to_string r.(0)) (Query.rows (q "by_kind"))
+      in
+      let regions =
+        List.map (fun r -> Value.to_string r.(0)) (Query.rows (q "by_region"))
+      in
+      let whole = Query.row_count (q "all_kinds") in
+      seen :=
+        (List.sort_uniq compare kinds, List.sort_uniq compare regions, whole)
+        :: !seen);
+  Strip_db.create_rule db
+    {|create rule r on events when inserted
+      if
+        select inserted.kind as kind from inserted bind as by_kind,
+        select inserted.region as region from inserted bind as by_region,
+        select kind from audit_kinds bind as all_kinds
+      then execute f unique on kind, region after 1.0 seconds|};
+  (* one transaction inserting 2 kinds x 2 regions (3 combos present) *)
+  Strip_db.submit_update db ~at:0.0 (fun txn ->
+      ignore
+        (Transaction.exec txn
+           "insert into events values ('buy','us',1.0), ('buy','eu',2.0), \
+            ('sell','us',3.0)"));
+  Strip_db.run db;
+  (* distinct kinds {buy, sell} x distinct regions {us, eu} = 4 tasks, even
+     though only 3 combinations co-occur in a row (Appendix A partitions
+     each table independently) *)
+  Alcotest.(check int) "cartesian key space" 4
+    (Rule_manager.n_tasks_created (Strip_db.rules db));
+  List.iter
+    (fun (kinds, regions, whole) ->
+      Alcotest.(check int) "single kind per task" 1 (List.length kinds);
+      Alcotest.(check int) "single region per task" 1 (List.length regions);
+      Alcotest.(check int) "unpartitioned table passed whole" 2 whole)
+    !seen
+
+let test_unique_registry_api () =
+  let reg = Unique.create () in
+  let t =
+    Task.create ~klass:Task.Recompute ~func_name:"f" ~unique_key:[ Value.Str "k" ]
+      ~release_time:0.0 ~created_at:0.0 (fun _ -> ())
+  in
+  Unique.register reg ~func:"f" ~key:[ Value.Str "k" ] t;
+  Alcotest.(check bool) "found" true
+    (Unique.find reg ~func:"f" ~key:[ Value.Str "k" ] <> None);
+  Alcotest.(check bool) "other key absent" true
+    (Unique.find reg ~func:"f" ~key:[ Value.Str "z" ] = None);
+  Alcotest.(check bool) "other function absent" true
+    (Unique.find reg ~func:"g" ~key:[ Value.Str "k" ] = None);
+  Task.run t;
+  Alcotest.(check bool) "started tasks invisible" true
+    (Unique.find reg ~func:"f" ~key:[ Value.Str "k" ] = None);
+  Alcotest.(check int) "lazy removal" 0 (Unique.queued reg)
+
+let suite =
+  [
+    ( "unique",
+      [
+        Alcotest.test_case "coarse unique merges (Figure 5b)" `Quick
+          test_coarse_unique_merges;
+        Alcotest.test_case "unique on comp partitions (Figure 5c)" `Quick
+          test_unique_on_comp_partitions;
+        Alcotest.test_case "non-unique keeps firings apart (Figure 5a)" `Quick
+          test_non_unique_figure5a;
+        Alcotest.test_case "merging stops once started" `Quick
+          test_merge_stops_once_started;
+        Alcotest.test_case "two rules, one function: batches combine" `Quick
+          test_two_rules_one_function_merge;
+        Alcotest.test_case "mismatched bound layouts rejected" `Quick
+          test_mismatched_layout_rejected;
+        Alcotest.test_case "registry entry dropped at start" `Quick
+          test_registry_cleared_after_run;
+        Alcotest.test_case "Appendix A: multi-table key partitioning" `Quick
+          test_appendix_a_multi_table_partitioning;
+        Alcotest.test_case "registry api" `Quick test_unique_registry_api;
+      ] );
+  ]

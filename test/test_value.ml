@@ -1,0 +1,147 @@
+open Strip_relational
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_arith_promotion () =
+  Alcotest.check v "int+int" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3));
+  Alcotest.check v "int+float" (Value.Float 5.5)
+    (Value.add (Value.Int 2) (Value.Float 3.5));
+  Alcotest.check v "float*int" (Value.Float 7.0)
+    (Value.mul (Value.Float 3.5) (Value.Int 2));
+  Alcotest.check v "int div stays int" (Value.Int 2)
+    (Value.div (Value.Int 5) (Value.Int 2));
+  Alcotest.check v "float div" (Value.Float 2.5)
+    (Value.div (Value.Float 5.0) (Value.Int 2))
+
+let test_null_propagation () =
+  Alcotest.check v "null+int" Value.Null (Value.add Value.Null (Value.Int 1));
+  Alcotest.check v "int-null" Value.Null (Value.sub (Value.Int 1) Value.Null);
+  Alcotest.check v "null concat" Value.Null
+    (Value.concat Value.Null (Value.Str "x"))
+
+let test_arith_type_errors () =
+  Alcotest.check_raises "str+int"
+    (Value.Type_error "add: incompatible operands a and 1") (fun () ->
+      ignore (Value.add (Value.Str "a") (Value.Int 1)));
+  (match Value.neg (Value.Str "a") with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "neg of string should raise")
+
+let test_division_edge_cases () =
+  (match Value.div (Value.Int 1) (Value.Int 0) with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "integer division by zero should raise");
+  Alcotest.check v "float/0 = inf" (Value.Float infinity)
+    (Value.div (Value.Float 1.0) (Value.Int 0));
+  match
+    Expr.eval (Expr.Binop (Expr.Mod, Expr.int 5, Expr.int 0)) [||]
+  with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "mod by zero should raise"
+
+let test_equality_coercion () =
+  Alcotest.check Alcotest.bool "1 = 1.0" true
+    (Value.equal (Value.Int 1) (Value.Float 1.0));
+  Alcotest.check Alcotest.bool "hash agrees" true
+    (Value.hash (Value.Int 7) = Value.hash (Value.Float 7.0));
+  Alcotest.check Alcotest.bool "null=null (storage equality)" true
+    (Value.equal Value.Null Value.Null)
+
+let test_total_order () =
+  (* Null < booleans < numbers < strings; numbers compared numerically. *)
+  let sorted =
+    List.sort Value.compare
+      [ Value.Str "a"; Value.Int 2; Value.Null; Value.Bool true;
+        Value.Float 1.5; Value.Bool false ]
+  in
+  Alcotest.(check (list string))
+    "order"
+    [ "NULL"; "false"; "true"; "1.5"; "2"; "a" ]
+    (List.map Value.to_string sorted)
+
+let test_cmp_sql_three_valued () =
+  Alcotest.(check (option int)) "null vs 1" None (Value.cmp_sql Value.Null (Value.Int 1));
+  Alcotest.(check (option int)) "1 vs null" None (Value.cmp_sql (Value.Int 1) Value.Null);
+  Alcotest.(check (option int))
+    "str vs int incomparable" None
+    (Value.cmp_sql (Value.Str "a") (Value.Int 1));
+  Alcotest.check Alcotest.bool "1 < 2" true
+    (match Value.cmp_sql (Value.Int 1) (Value.Float 2.0) with
+    | Some c -> c < 0
+    | None -> false)
+
+let test_conforms () =
+  Alcotest.check Alcotest.bool "null conforms anywhere" true
+    (Value.conforms Value.Null Value.TStr);
+  Alcotest.check Alcotest.bool "int conforms to float" true
+    (Value.conforms (Value.Int 1) Value.TFloat);
+  Alcotest.check Alcotest.bool "float does not conform to int" false
+    (Value.conforms (Value.Float 1.0) Value.TInt)
+
+let test_ty_names () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check (option Alcotest.bool))
+        "round trip" (Some true)
+        (Option.map (fun t -> t = ty) (Value.ty_of_string (Value.ty_name ty))))
+    [ Value.TBool; Value.TInt; Value.TFloat; Value.TStr ];
+  Alcotest.(check bool) "synonyms" true
+    (Value.ty_of_string "VARCHAR" = Some Value.TStr
+    && Value.ty_of_string "Integer" = Some Value.TInt
+    && Value.ty_of_string "double" = Some Value.TFloat)
+
+let test_to_string () =
+  Alcotest.(check string) "float integral" "2.0" (Value.to_string (Value.Float 2.0));
+  Alcotest.(check string) "float frac" "2.25" (Value.to_string (Value.Float 2.25));
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null)
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 8));
+      ])
+
+let prop_compare_total =
+  QCheck2.Test.make ~name:"Value.compare is a total order (antisym + trans spot)"
+    ~count:500
+    QCheck2.Gen.(triple gen_value gen_value gen_value)
+    (fun (a, b, c) ->
+      let ab = Value.compare a b and ba = Value.compare b a in
+      (compare ab 0 = compare 0 ba)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+let prop_equal_hash =
+  QCheck2.Test.make ~name:"equal values hash equally" ~count:500
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_compare_equal_agree =
+  QCheck2.Test.make ~name:"compare = 0 iff equal" ~count:500
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) -> Value.equal a b = (Value.compare a b = 0))
+
+let suite =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "arithmetic promotion" `Quick test_arith_promotion;
+        Alcotest.test_case "null propagation" `Quick test_null_propagation;
+        Alcotest.test_case "type errors" `Quick test_arith_type_errors;
+        Alcotest.test_case "division edge cases" `Quick test_division_edge_cases;
+        Alcotest.test_case "numeric equality coercion" `Quick test_equality_coercion;
+        Alcotest.test_case "total order by rank" `Quick test_total_order;
+        Alcotest.test_case "three-valued comparison" `Quick test_cmp_sql_three_valued;
+        Alcotest.test_case "type conformance" `Quick test_conforms;
+        Alcotest.test_case "type-name round trips" `Quick test_ty_names;
+        Alcotest.test_case "display form" `Quick test_to_string;
+        QCheck_alcotest.to_alcotest prop_compare_total;
+        QCheck_alcotest.to_alcotest prop_equal_hash;
+        QCheck_alcotest.to_alcotest prop_compare_equal_agree;
+      ] );
+  ]
