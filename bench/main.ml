@@ -16,7 +16,9 @@
                           30-minute, 60k-update, 400x200-composite, 50k-option
                           scenario)
      STRIP_BENCH_DELAYS   comma-separated delay windows (default 0.5,1,1.5,2,3)
-     STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES  set to skip a part *)
+     STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
+     STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_ROBUSTNESS
+                          set to skip a part *)
 
 open Strip_relational
 open Strip_txn
@@ -363,10 +365,91 @@ let ablations () =
     [ Comp_rules.Unique_coarse; Comp_rules.Unique_on_symbol;
       Comp_rules.Unique_on_comp ]
 
+(* ================================================================== *)
+(* Robustness: fault injection, retry convergence, overload shedding.   *)
+
+let robustness () =
+  section "Robustness (fault injection / retry / overload shedding)";
+  let rb_scale = Float.min scale 0.25 in
+  let base rule delay =
+    let cfg = Experiment.default_config rule ~delay in
+    Experiment.quick cfg rb_scale
+  in
+
+  (* 1. Convergence under injected aborts: 10% of task transactions abort
+     just before commit; every failure must be retried (or, at worst,
+     dead-lettered — never silently lost) and the maintained views must
+     still match full recomputation. *)
+  Printf.printf
+    "\n1. convergence under 10%% injected transaction aborts (seed 42)\n%!";
+  List.iter
+    (fun rule ->
+      (* 8 attempts: at a 10% abort rate the per-task dead-letter
+         probability is 1e-8, so across the run's ~30k tasks no batch may
+         be lost and the views must converge exactly.  (The default 5
+         attempts leave ~1e-5 per task — a streak long enough to
+         dead-letter one batch shows up every few seeds.) *)
+      let cfg =
+        Experiment.with_faults ~seed:42
+          ~retry:{ Strip_sim.Engine.default_retry with max_attempts = 8 }
+          ~abort_rate:0.1 (base rule 1.0)
+      in
+      let m = Experiment.run cfg in
+      Report.print_metrics_header ();
+      Report.print_metrics m;
+      Report.print_failures m;
+      let accounted = m.Experiment.n_retries + m.Experiment.n_dead_letters in
+      if m.Experiment.n_aborts > accounted then begin
+        Printf.printf
+          "ROBUSTNESS FAILED: %d aborts but only %d retried+dead-lettered\n"
+          m.Experiment.n_aborts accounted;
+        exit 1
+      end;
+      if m.Experiment.verified <> Some true then begin
+        Printf.printf
+          "ROBUSTNESS FAILED: %s did not converge under faults (max error %g)\n"
+          m.Experiment.label m.Experiment.max_abs_error;
+        exit 1
+      end)
+    [
+      Experiment.Comp_view Comp_rules.Unique_on_symbol;
+      Experiment.Option_view Option_rules.Unique_on_symbol;
+    ];
+  Printf.printf "   every abort retried or dead-lettered; views converged\n%!";
+
+  (* 2. Forced overload: a tiny watermark makes the engine shed delayed
+     recompute batches.  The run must still drain (the engine stays live)
+     and every shed must be counted.  Shedding rule work necessarily
+     sacrifices view freshness, so verification is off here — the point is
+     graceful degradation, not correctness. *)
+  Printf.printf "\n2. forced overload (watermark 4, drop policy)\n%!";
+  let cfg = base (Experiment.Comp_view Comp_rules.Unique_on_comp) 2.0 in
+  let cfg =
+    {
+      cfg with
+      Experiment.verify = false;
+      overload =
+        Some
+          {
+            Strip_sim.Engine.high_watermark = 4;
+            shed_policy = Strip_sim.Engine.Drop;
+          };
+    }
+  in
+  let m = Experiment.run cfg in
+  Report.print_failures m;
+  if m.Experiment.n_sheds = 0 then begin
+    Printf.printf "ROBUSTNESS FAILED: overload run shed nothing\n";
+    exit 1
+  end;
+  Printf.printf "   engine stayed live: %d updates served, %d batches shed\n%!"
+    m.Experiment.n_updates m.Experiment.n_sheds
+
 let () =
   Printf.printf
     "STRIP reproduction benchmarks (paper: Adelberg, Garcia-Molina, Widom, \
      SIGMOD 1997)\n";
   if Sys.getenv_opt "STRIP_BENCH_SKIP_TABLE1" = None then bench_table1 ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_FIGURES" = None then figures ();
-  if Sys.getenv_opt "STRIP_BENCH_SKIP_ABLATIONS" = None then ablations ()
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_ABLATIONS" = None then ablations ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ()

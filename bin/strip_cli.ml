@@ -42,6 +42,21 @@ let seed_arg =
   let doc = "Trace random seed." in
   Arg.(value & opt int 1994 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let abort_rate_arg =
+  let doc =
+    "Inject transaction aborts at this per-commit probability (0 disables \
+     injection).  Failed tasks are retried with exponential backoff."
+  in
+  Arg.(value & opt float 0.0 & info [ "abort-rate" ] ~docv:"RATE" ~doc)
+
+let fault_seed_arg =
+  let doc = "Fault-injector random seed (injection is deterministic)." in
+  Arg.(value & opt int 2025 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let retries_arg =
+  let doc = "Retry budget: total attempts per failed task." in
+  Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N" ~doc)
+
 let rule_of_strings view variant =
   match (view, variant) with
   | "comps", "none" -> Ok (Experiment.Comp_view Comp_rules.Non_unique)
@@ -56,7 +71,8 @@ let rule_of_strings view variant =
     Ok (Experiment.Option_view Option_rules.Unique_on_option)
   | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
 
-let run_experiment view variant delay scale verify seed =
+let run_experiment view variant delay scale verify seed abort_rate fault_seed
+    retries =
   match rule_of_strings view variant with
   | Error msg ->
     prerr_endline msg;
@@ -68,9 +84,18 @@ let run_experiment view variant delay scale verify seed =
     in
     let cfg = if scale <> 1.0 then Experiment.quick cfg scale else cfg in
     let cfg = { cfg with Experiment.verify } in
+    let cfg =
+      if abort_rate > 0.0 then
+        Experiment.with_faults ~seed:fault_seed
+          ~retry:
+            { Strip_sim.Engine.default_retry with max_attempts = retries }
+          ~abort_rate cfg
+      else cfg
+    in
     let m = Experiment.run cfg in
     Report.print_metrics_header ();
     Report.print_metrics m;
+    Report.print_failures m;
     Printf.printf
       "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
        update/recompute: %.1fs/%.1fs\n"
@@ -85,7 +110,7 @@ let experiment_cmd =
   let term =
     Term.(
       const run_experiment $ view_arg $ variant_arg $ delay_arg $ scale_arg
-      $ verify_arg $ seed_arg)
+      $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg)
   in
   Cmd.v
     (Cmd.info "experiment"

@@ -13,6 +13,9 @@ type config = {
   sizes : Pta_tables.sizes;
   cost : Strip_sim.Cost_model.t;
   verify : bool;
+  fault : Strip_txn.Fault.config option;
+  retry : Strip_sim.Engine.retry option;
+  overload : Strip_sim.Engine.overload option;
 }
 
 let default_config rule ~delay =
@@ -23,7 +26,13 @@ let default_config rule ~delay =
     sizes = Pta_tables.default_sizes;
     cost = Strip_sim.Cost_model.default;
     verify = true;
+    fault = None;
+    retry = None;
+    overload = None;
   }
+
+let with_faults ?seed ?(retry = Strip_sim.Engine.default_retry) ~abort_rate cfg =
+  { cfg with fault = Some (Strip_txn.Fault.abort_only ?seed abort_rate); retry = Some retry }
 
 let quick cfg f =
   {
@@ -49,6 +58,12 @@ type metrics = {
   expected_fanout : float;
   verified : bool option;
   max_abs_error : float;
+  n_injected : int;
+  n_aborts : int;
+  n_retries : int;
+  n_sheds : int;
+  n_dead_letters : int;
+  mean_recovery_s : float;
 }
 
 let label_of = function
@@ -72,7 +87,10 @@ let max_error expected actual =
     actual
 
 let run cfg =
-  let db = Strip_db.create ~cost:cfg.cost () in
+  let db =
+    Strip_db.create ~cost:cfg.cost ?fault:cfg.fault ?retry:cfg.retry
+      ?overload:cfg.overload ()
+  in
   let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
   let weights = Feed.activity_weights cfg.feed in
   let expected_fanout =
@@ -129,4 +147,13 @@ let run cfg =
     expected_fanout;
     verified;
     max_abs_error;
+    n_injected =
+      (match Strip_db.fault_injector db with
+      | Some fi -> Fault.total_injected fi
+      | None -> 0);
+    n_aborts = Strip_sim.Stats.n_aborts stats;
+    n_retries = Strip_sim.Stats.n_retries stats;
+    n_sheds = Strip_sim.Stats.n_sheds stats;
+    n_dead_letters = Strip_sim.Stats.n_dead_letters stats;
+    mean_recovery_s = Strip_sim.Stats.mean_recovery_s stats;
   }

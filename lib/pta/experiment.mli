@@ -19,10 +19,23 @@ type config = {
   sizes : Pta_tables.sizes;
   cost : Strip_sim.Cost_model.t;
   verify : bool;
+  fault : Strip_txn.Fault.config option;
+      (** inject transaction failures at the configured rates *)
+  retry : Strip_sim.Engine.retry option;
+      (** recover failed tasks with bounded exponential backoff *)
+  overload : Strip_sim.Engine.overload option;
+      (** shed delayed rule tasks past the watermark *)
 }
 
 val default_config : rule_choice -> delay:float -> config
-(** Paper-scale feed and sizes, default cost model, verification on. *)
+(** Paper-scale feed and sizes, default cost model, verification on, no
+    fault injection / retry / overload control. *)
+
+val with_faults :
+  ?seed:int -> ?retry:Strip_sim.Engine.retry -> abort_rate:float -> config -> config
+(** Enable pre-commit abort injection at [abort_rate] on every task
+    transaction, with retry (default {!Strip_sim.Engine.default_retry})
+    so the run still converges. *)
 
 val quick : config -> float -> config
 (** Scale the workload (duration, update count, composites, options) by a
@@ -46,6 +59,13 @@ type metrics = {
       (** E[derived rows touched per update] for the chosen view *)
   verified : bool option;  (** [None] when verification was off *)
   max_abs_error : float;
+  n_injected : int;  (** faults fired by the injector *)
+  n_aborts : int;  (** task transactions that failed *)
+  n_retries : int;  (** failed tasks re-enqueued with backoff *)
+  n_sheds : int;  (** tasks shed by overload control *)
+  n_dead_letters : int;  (** tasks whose retry budget ran out *)
+  mean_recovery_s : float;
+      (** mean first-failure → eventual-success latency (nan if none) *)
 }
 
 val run : config -> metrics

@@ -13,6 +13,15 @@ let print_metrics (m : Experiment.metrics) =
     | Some false -> "NO"
     | None -> "-")
 
+let print_failures (m : Experiment.metrics) =
+  if m.n_injected + m.n_aborts + m.n_retries + m.n_sheds + m.n_dead_letters > 0
+  then
+    Printf.printf
+      "  failures: %d injected, %d aborts, %d retries, %d sheds, %d dead%s\n%!"
+      m.n_injected m.n_aborts m.n_retries m.n_sheds m.n_dead_letters
+      (if Float.is_nan m.mean_recovery_s then ""
+       else Printf.sprintf ", mean recovery %.3fs" m.mean_recovery_s)
+
 let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
 
 let fmt_count v =

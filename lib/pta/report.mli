@@ -3,6 +3,11 @@
 val print_metrics_header : unit -> unit
 val print_metrics : Experiment.metrics -> unit
 
+val print_failures : Experiment.metrics -> unit
+(** One indented line of failure counters (injected faults, aborts,
+    retries, sheds, dead letters, mean recovery latency); silent when the
+    run saw no failures. *)
+
 val print_series :
   title:string ->
   ylabel:string ->

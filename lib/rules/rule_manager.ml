@@ -26,6 +26,7 @@ type t = {
   cat : Catalog.t;
   locks : Lock.t;
   clock : Clock.t;
+  fault : Fault.t option;
   funcs : (string, user_fun) Hashtbl.t;
   by_table : (string, compiled list ref) Hashtbl.t;
   mutable all_rules : compiled list;  (* creation order *)
@@ -36,11 +37,12 @@ type t = {
   mutable merges : int;
 }
 
-let create ~cat ~locks ~clock () =
+let create ~cat ~locks ~clock ?fault () =
   {
     cat;
     locks;
     clock;
+    fault;
     funcs = Hashtbl.create 16;
     by_table = Hashtbl.create 16;
     all_rules = [];
@@ -50,6 +52,13 @@ let create ~cat ~locks ~clock () =
     created = 0;
     merges = 0;
   }
+
+let fault t = t.fault
+
+let inject t ~txn ~site ~detail =
+  match t.fault with
+  | None -> ()
+  | Some f -> Fault.fire f ~site ~txid:(Transaction.txid txn) ~detail
 
 let set_submitter t f = t.submit <- Some f
 
@@ -65,6 +74,14 @@ let find_function t name =
   Hashtbl.find_opt t.funcs (String.lowercase_ascii name)
 
 let registry t = t.reg
+
+(* Installed as the engine's requeue hook: a failed unique transaction
+   re-enters the registry while it waits out its retry backoff, so new
+   firings keep merging into its (still intact) bound tables. *)
+let reregister_task t (task : Task.t) =
+  match task.Task.unique_key with
+  | Some key -> Unique.register t.reg ~func:task.Task.func_name ~key task
+  | None -> ()
 
 let n_rule_firings t = t.firings
 let n_tasks_created t = t.created
@@ -207,7 +224,17 @@ let rec run_action t task =
       Transaction.begin_ ~cat:t.cat ~locks:t.locks ~clock:t.clock
         ~env:task.Task.bound ()
     in
-    (try fn { txn; task; cat = t.cat; clock = t.clock }
+    (try
+       (* Injection sites for the fault harness: the user function raising
+          on entry; then — after the real work, but before commit-time rule
+          processing so no phantom cascade firings escape an aborted
+          transaction — a lock conflict, a deadlock victimization, or a
+          plain abort. *)
+       inject t ~txn ~site:Fault.User_fun ~detail:func;
+       fn { txn; task; cat = t.cat; clock = t.clock };
+       inject t ~txn ~site:Fault.Lock_conflict ~detail:func;
+       inject t ~txn ~site:Fault.Deadlock ~detail:func;
+       inject t ~txn ~site:Fault.Txn_abort ~detail:func
      with e ->
        if Transaction.status txn = Transaction.Active then
          Transaction.abort txn;

@@ -44,8 +44,14 @@ val create :
   cat:Strip_relational.Catalog.t ->
   locks:Strip_txn.Lock.t ->
   clock:Strip_txn.Clock.t ->
+  ?fault:Strip_txn.Fault.t ->
   unit ->
   t
+(** [fault] installs a fault injector consulted around every rule-action
+    transaction (user-function entry, then pre-commit lock-conflict /
+    deadlock / abort sites). *)
+
+val fault : t -> Strip_txn.Fault.t option
 
 val set_submitter : t -> (Strip_txn.Task.t -> unit) -> unit
 (** Where created action tasks go — normally {!Strip_sim.Engine.submit}. *)
@@ -74,6 +80,12 @@ val commit_txn : t -> Strip_txn.Transaction.t -> unit
 
 val registry : t -> Unique.t
 (** The unique-transaction hash (exposed for tests and stats). *)
+
+val reregister_task : t -> Strip_txn.Task.t -> unit
+(** Put a retried unique transaction back in the registry (no-op for
+    non-unique tasks).  {!Strip_core.Strip_db} installs this as the
+    engine's requeue hook so batching survives failure: firings that occur
+    during the task's backoff merge into its preserved bound tables. *)
 
 (** {1 Statistics} *)
 

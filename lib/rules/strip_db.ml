@@ -8,23 +8,33 @@ type t = {
   clk : Clock.t;
   mgr : Rule_manager.t;
   eng : Engine.t;
+  fi : Fault.t option;
   mutable views : (string * Sql_parser.select_ast) list;  (* newest first *)
 }
 
-let create ?policy ?cost ?now () =
+let create ?policy ?cost ?now ?fault ?retry ?overload () =
   let cat = Catalog.create () in
   let lcks = Lock.create () in
   let clk = Clock.create ?now () in
-  let mgr = Rule_manager.create ~cat ~locks:lcks ~clock:clk () in
-  let eng = Engine.create ~clock:clk ?policy ?cost () in
+  let fi = Option.map Fault.create fault in
+  let mgr = Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi () in
+  let eng = Engine.create ~clock:clk ?policy ?cost ?retry ?overload () in
   Rule_manager.set_submitter mgr (Engine.submit eng);
-  { cat; lcks; clk; mgr; eng; views = [] }
+  (* Failure wiring: retried unique transactions re-enter the registry so
+     merges continue through their backoff; rule-definition errors are
+     programming errors, not transient faults, and must not be retried. *)
+  Engine.set_requeue_hook eng (Rule_manager.reregister_task mgr);
+  Engine.set_fatal_filter eng (function
+    | Rule_manager.Rule_error _ -> true
+    | _ -> false);
+  { cat; lcks; clk; mgr; eng; fi; views = [] }
 
 let catalog t = t.cat
 let clock t = t.clk
 let locks t = t.lcks
 let rules t = t.mgr
 let engine t = t.eng
+let fault_injector t = t.fi
 let now t = Clock.now t.clk
 
 let with_txn t f =
@@ -37,6 +47,23 @@ let with_txn t f =
   | exception e ->
     if Transaction.status txn = Transaction.Active then Transaction.abort txn;
     raise e
+
+(* Task-body variant of [with_txn]: consults the fault injector between the
+   work and the commit, so update tasks see the same abort / lock-conflict
+   failure modes as rule actions (and the engine's retry policy recovers
+   both).  Direct [exec]/[query] calls are not injected — they have no
+   retry layer above them. *)
+let with_txn_injected t ~detail f =
+  with_txn t (fun txn ->
+      let v = f txn in
+      (match t.fi with
+      | None -> ()
+      | Some fi ->
+        let txid = Transaction.txid txn in
+        Fault.fire fi ~site:Fault.Lock_conflict ~txid ~detail;
+        Fault.fire fi ~site:Fault.Deadlock ~txid ~detail;
+        Fault.fire fi ~site:Fault.Txn_abort ~txid ~detail);
+      v)
 
 let on_view t name ast = t.views <- (name, ast) :: t.views
 
@@ -75,17 +102,47 @@ let exec t s =
   end
   else exec_parsed t (Sql_parser.parse_statement s)
 
+exception Script_error of { index : int; source : string; cause : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Script_error { index; source; cause } ->
+      Some
+        (Printf.sprintf "Strip_db.Script_error(statement %d: `%s`: %s)" index
+           source (Printexc.to_string cause))
+    | _ -> None)
+
+(* The offending statement's tokens, from [start] to the next [;] or EOF. *)
+let statement_source c start =
+  Sql_parser.restore c start;
+  let buf = Buffer.create 64 in
+  while
+    (not (Sql_parser.at_eof c)) && Sql_parser.peek c <> Sql_lexer.Semi
+  do
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Sql_lexer.token_to_string (Sql_parser.peek c));
+    Sql_parser.advance c
+  done;
+  Buffer.contents buf
+
 let exec_script t s =
   let c = Sql_parser.cursor_of_string s in
+  let index = ref 0 in
   while not (Sql_parser.at_eof c) do
+    incr index;
     (* route on the leading tokens: [create rule ...] vs plain SQL *)
     let pos = Sql_parser.save c in
-    let is_rule =
-      Sql_parser.accept_kw c "create" && Sql_parser.accept_kw c "rule"
-    in
-    Sql_parser.restore c pos;
-    if is_rule then Rule_manager.create_rule t.mgr (Rule_parser.parse_at c)
-    else ignore (exec_parsed t (Sql_parser.parse_statement_at c));
+    (try
+       let is_rule =
+         Sql_parser.accept_kw c "create" && Sql_parser.accept_kw c "rule"
+       in
+       Sql_parser.restore c pos;
+       if is_rule then Rule_manager.create_rule t.mgr (Rule_parser.parse_at c)
+       else ignore (exec_parsed t (Sql_parser.parse_statement_at c))
+     with e ->
+       (* the statement's transaction was already aborted by [with_txn];
+          report which statement failed and with what *)
+       raise (Script_error { index = !index; source = statement_source c pos; cause = e }));
     while Sql_parser.peek c = Sql_lexer.Semi do
       Sql_parser.advance c
     done
@@ -102,7 +159,7 @@ let create_rule t s = Rule_manager.create_rule_text t.mgr s
 let submit_update t ~at ?(label = "update") f =
   let task =
     Task.create ~klass:Task.Update ~func_name:label ~release_time:at
-      ~created_at:at (fun _task -> with_txn t f)
+      ~created_at:at (fun _task -> with_txn_injected t ~detail:label f)
   in
   Engine.submit t.eng task
 
@@ -112,7 +169,9 @@ let schedule_periodic t ~every ?start ?(until = infinity) ?(label = "periodic") 
   let rec make at =
     Task.create ~klass:Task.Background ~func_name:label ~release_time:at
       ~created_at:(Clock.now t.clk) (fun _task ->
-        with_txn t f;
+        with_txn_injected t ~detail:label f;
+        (* the next occurrence is scheduled only on success, so a retried
+           tick cannot double-schedule *)
         let next = at +. every in
         if next <= until then Engine.submit t.eng (make next))
   in

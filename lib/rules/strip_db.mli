@@ -17,8 +17,16 @@ val create :
   ?policy:Strip_txn.Queues.policy ->
   ?cost:Strip_sim.Cost_model.t ->
   ?now:float ->
+  ?fault:Strip_txn.Fault.config ->
+  ?retry:Strip_sim.Engine.retry ->
+  ?overload:Strip_sim.Engine.overload ->
   unit ->
   t
+(** [fault] installs a deterministic fault injector on every task
+    transaction (rule actions and update tasks); [retry] enables the
+    engine's bounded-exponential-backoff recovery for failed tasks;
+    [overload] enables watermark-based shedding of delayed rule tasks.
+    All three default to off, preserving fail-fast semantics. *)
 
 (** {1 Component access} *)
 
@@ -27,6 +35,10 @@ val clock : t -> Strip_txn.Clock.t
 val locks : t -> Strip_txn.Lock.t
 val rules : t -> Rule_manager.t
 val engine : t -> Strip_sim.Engine.t
+
+val fault_injector : t -> Strip_txn.Fault.t option
+(** The live injector (for injection counts), when [create] got [fault]. *)
+
 val now : t -> float
 
 (** {1 Statements} *)
@@ -35,9 +47,16 @@ val exec : t -> string -> Strip_relational.Sql_exec.exec_result
 (** Execute one statement (SQL or [create rule ...]) in its own
     transaction, with rule processing at commit. *)
 
+exception Script_error of { index : int; source : string; cause : exn }
+(** Raised by {!exec_script} when a statement fails: [index] is its
+    1-based position in the script, [source] the reconstructed statement
+    text, [cause] the underlying exception.  The failing statement's
+    transaction is already aborted; earlier statements stay committed. *)
+
 val exec_script : t -> string -> unit
 (** Execute a [;]-separated script that may interleave SQL and rule DDL.
-    Each statement runs in its own transaction. *)
+    Each statement runs in its own transaction.
+    @raise Script_error if a statement fails to parse or execute. *)
 
 val query : t -> string -> Strip_relational.Query.result
 (** Run a SELECT in its own (read-only) transaction. *)

@@ -66,6 +66,12 @@ let other_costs =
     ("task_dispatch", 30.0);
     ("context_switch", 180.0);
     ("abort_transaction", 50.0);
+    (* failure subsystem: re-enqueue of a failed task, dead-letter
+       bookkeeping, overload shedding, and the injector's own draw *)
+    ("task_retry", 25.0);
+    ("task_dead_letter", 20.0);
+    ("task_shed", 25.0);
+    ("fault_injected", 0.0);
     (* per (tasks dispatched in the trailing second)², charged per
        recompute dispatch — the §5.1 critical-region congestion *)
     ("sched_congestion", 0.005);

@@ -1,39 +1,166 @@
 open Strip_relational
 open Strip_txn
 
+type retry = {
+  max_attempts : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+}
+
+let default_retry = { max_attempts = 5; base_backoff_s = 0.05; max_backoff_s = 2.0 }
+
+type shed_policy = Drop | Coalesce
+
+type overload = {
+  high_watermark : int;
+  shed_policy : shed_policy;
+}
+
 type t = {
   eclock : Clock.t;
   events : Task.t Event_queue.t;  (* the delay queue *)
   ready : Queues.t;
   cost : Cost_model.t;
   estats : Stats.t;
+  retry : retry option;
+  overload : overload option;
   mutable cpu_free : float;
   mutable arrivals : float array;
   recent_dispatches : float Queue.t;
       (* dispatch instants within the trailing second, for the congestion
          surcharge *)
+  mutable dead : Task.t list;  (* newest first *)
+  mutable on_requeue : (Task.t -> unit) option;
+  mutable fatal : exn -> bool;
+  mutable backlog_hint : int;
+      (* optimistic count of live pending non-update tasks; may overcount
+         externally-cancelled entries, resynced on every overload check *)
 }
 
-let create ~clock ?policy ?(cost = Cost_model.default) () =
+let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload () =
   {
     eclock = clock;
     events = Event_queue.create ();
     ready = Queues.create ?policy ();
     cost;
     estats = Stats.create ();
+    retry;
+    overload;
     cpu_free = 0.0;
     arrivals = [||];
     recent_dispatches = Queue.create ();
+    dead = [];
+    on_requeue = None;
+    fatal = (fun _ -> false);
+    backlog_hint = 0;
   }
 
 let clock t = t.eclock
 let cost_model t = t.cost
 let stats t = t.estats
+let dead_letters t = List.rev t.dead
+let set_requeue_hook t f = t.on_requeue <- Some f
+let set_fatal_filter t f = t.fatal <- f
+
+(* ------------------------------------------------------------------ *)
+(* Overload control: when the live backlog of rule-triggered tasks
+   exceeds the high watermark, shed delayed tasks — preferring expired
+   deadlines, then low value, then staleness — so the engine keeps
+   serving updates instead of drowning in recomputations. *)
+
+let live_non_update acc (task : Task.t) =
+  match (task.Task.klass, task.Task.state) with
+  | Task.Update, _ -> acc
+  | _, (Task.Pending | Task.Ready) -> acc + 1
+  | _ -> acc
+
+let backlog t =
+  Queues.fold
+    (fun acc task -> live_non_update acc task)
+    (Event_queue.fold (fun acc _time task -> live_non_update acc task) 0 t.events)
+    t.ready
+
+(* [a] is a better shed victim than [b]: expired deadline first, then the
+   lowest value, then the stalest (oldest) task. *)
+let better_victim now (a : Task.t) (b : Task.t) =
+  let expired (x : Task.t) =
+    match x.Task.deadline with Some d -> d < now | None -> false
+  in
+  match (expired a, expired b) with
+  | true, false -> true
+  | false, true -> false
+  | _ ->
+    if a.Task.value <> b.Task.value then a.Task.value < b.Task.value
+    else a.Task.created_at < b.Task.created_at
+
+let pick_victim t ~exclude =
+  let now = Clock.now t.eclock in
+  Event_queue.fold
+    (fun best _time (task : Task.t) ->
+      match (task.Task.klass, task.Task.state) with
+      | Task.Update, _ -> best
+      | _, (Task.Ready | Task.Running | Task.Done | Task.Cancelled) -> best
+      | _, Task.Pending ->
+        if task == exclude then best
+        else (
+          match best with
+          | None -> Some task
+          | Some b -> if better_victim now task b then Some task else best))
+    None t.events
+
+(* Move the victim's bound rows into [into]'s TCB when the two tasks run
+   the same user function with the same bound-table names — degraded
+   batching (the rows lose their per-key transaction) but no lost data. *)
+let try_coalesce ~into:(dst : Task.t) (victim : Task.t) =
+  if
+    dst != victim
+    && String.equal dst.Task.func_name victim.Task.func_name
+    && victim.Task.bound <> []
+    && List.for_all
+         (fun (name, _) -> List.mem_assoc name dst.Task.bound)
+         victim.Task.bound
+  then begin
+    List.iter
+      (fun (name, tmp) ->
+        Temp_table.absorb (List.assoc name dst.Task.bound) tmp)
+      victim.Task.bound;
+    true
+  end
+  else false
+
+let shed t ~incoming ov =
+  if t.backlog_hint > ov.high_watermark then begin
+    let exact = backlog t in
+    t.backlog_hint <- exact;
+    let excess = ref (exact - ov.high_watermark) in
+    while !excess > 0 do
+      match pick_victim t ~exclude:incoming with
+      | None -> excess := 0
+      | Some victim ->
+        let coalesced =
+          ov.shed_policy = Coalesce && try_coalesce ~into:incoming victim
+        in
+        Task.cancel victim;
+        Meter.tick "task_shed";
+        Stats.record_shed t.estats ~coalesced;
+        t.backlog_hint <- t.backlog_hint - 1;
+        decr excess
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let submit t task =
+  (match task.Task.klass with
+  | Task.Update -> ()
+  | Task.Recompute | Task.Background ->
+    t.backlog_hint <- t.backlog_hint + 1);
   if task.Task.release_time <= Clock.now t.eclock then
     Queues.enqueue t.ready task
-  else Event_queue.add t.events ~time:task.Task.release_time task
+  else Event_queue.add t.events ~time:task.Task.release_time task;
+  match (task.Task.klass, t.overload) with
+  | Task.Update, _ | _, None -> ()
+  | (Task.Recompute | Task.Background), Some ov -> shed t ~incoming:task ov
 
 let set_arrival_profile t arrivals = t.arrivals <- arrivals
 
@@ -87,14 +214,52 @@ let congestion_us t now =
     surcharge
   end
 
+(* A failed attempt: re-enqueue with bounded exponential backoff while the
+   retry budget lasts, dead-letter once it is exhausted, and fall back to
+   the fail-fast contract (discard + propagate) when retry is off or the
+   error is classified fatal. *)
+let handle_failure t task e =
+  Stats.record_abort t.estats;
+  if Float.is_nan task.Task.first_failed_at then
+    task.Task.first_failed_at <- t.cpu_free;
+  match t.retry with
+  | Some r when not (t.fatal e) ->
+    if task.Task.attempts < r.max_attempts then begin
+      let backoff =
+        Float.min r.max_backoff_s
+          (r.base_backoff_s
+          *. (2.0 ** float_of_int (task.Task.attempts - 1)))
+      in
+      task.Task.release_time <- t.cpu_free +. backoff;
+      Meter.tick "task_retry";
+      Stats.record_retry t.estats;
+      (match t.on_requeue with Some f -> f task | None -> ());
+      submit t task
+    end
+    else begin
+      Task.discard task;
+      t.dead <- task :: t.dead;
+      Meter.tick "task_dead_letter";
+      Stats.record_dead_letter t.estats
+    end
+  | Some _ | None ->
+    Task.discard task;
+    raise e
+
 let dispatch t task =
   let start = Float.max (Clock.now t.eclock) t.cpu_free in
   Clock.advance_to t.eclock start;
+  (match task.Task.klass with
+  | Task.Update -> ()
+  | Task.Recompute | Task.Background ->
+    t.backlog_hint <- t.backlog_hint - 1);
   task.Task.dispatched_at <- start;
   let queue_us = Float.max 0.0 (start -. task.Task.release_time) *. 1e6 in
   let before = Meter.snapshot () in
   Meter.tick "task_dispatch";
-  Task.run task;
+  let failure =
+    match Task.run task with () -> None | exception e -> Some e
+  in
   let deltas = Meter.diff before (Meter.snapshot ()) in
   let us = ref (Cost_model.charge t.cost deltas) in
   (* Only rule-triggered tasks contend on the task-management structures
@@ -116,7 +281,14 @@ let dispatch t task =
     end);
   task.Task.service_us <- !us;
   t.cpu_free <- start +. (!us *. 1e-6);
-  Stats.record_task t.estats ~klass:task.Task.klass ~service_us:!us ~queue_us
+  Stats.record_task t.estats ~klass:task.Task.klass ~service_us:!us ~queue_us;
+  match failure with
+  | None ->
+    if task.Task.attempts > 1 && not (Float.is_nan task.Task.first_failed_at)
+    then
+      Stats.record_recovery t.estats
+        ~latency_s:(Float.max 0.0 (t.cpu_free -. task.Task.first_failed_at))
+  | Some e -> handle_failure t task e
 
 let run ?(until = infinity) t =
   let continue_ = ref true in

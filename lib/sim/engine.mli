@@ -20,18 +20,73 @@
     orders of magnitude shorter than rule delay windows, so the error this
     introduces in commit timestamps is negligible (see DESIGN.md). *)
 
+type retry = {
+  max_attempts : int;  (** total attempts (first run + retries) per task *)
+  base_backoff_s : float;  (** backoff after the first failure *)
+  max_backoff_s : float;  (** exponential backoff cap *)
+}
+(** Retry policy for failed tasks.  A task whose body raises is re-enqueued
+    with its bound tables intact after [min(max, base * 2^(attempt-1))]
+    seconds of backoff; once [max_attempts] attempts have failed it is
+    moved to the dead-letter list instead. *)
+
+val default_retry : retry
+(** 5 attempts, 50 ms base backoff, 2 s cap. *)
+
+type shed_policy =
+  | Drop  (** cancel the victim, retiring its bound tables *)
+  | Coalesce
+      (** first try to fold the victim's bound rows into the task being
+          submitted (same user function and bound-table names); drop
+          otherwise *)
+
+type overload = {
+  high_watermark : int;
+      (** max live pending rule-triggered (non-update) tasks *)
+  shed_policy : shed_policy;
+}
+(** Overload control: when a submitted rule task pushes the backlog past
+    the watermark, delayed tasks are shed — expired deadlines first, then
+    lowest value, then stalest — so the engine keeps serving updates
+    (the paper's soft-real-time degradation).  Every shed is recorded in
+    {!Stats} and ticks ["task_shed"]. *)
+
 type t
 
 val create :
   clock:Strip_txn.Clock.t ->
   ?policy:Strip_txn.Queues.policy ->
   ?cost:Cost_model.t ->
+  ?retry:retry ->
+  ?overload:overload ->
   unit ->
   t
+(** Without [retry], a task failure discards the task and re-raises (the
+    historical fail-fast contract); without [overload], nothing is shed. *)
 
 val clock : t -> Strip_txn.Clock.t
 val cost_model : t -> Cost_model.t
 val stats : t -> Stats.t
+
+val dead_letters : t -> Strip_txn.Task.t list
+(** Tasks whose retry budget was exhausted, oldest first.  Their bound
+    tables are retired but the TCBs remain inspectable (id, function,
+    unique key, attempts). *)
+
+val set_requeue_hook : t -> (Strip_txn.Task.t -> unit) -> unit
+(** Called just before a failed task is re-enqueued for retry — the rule
+    manager uses it to re-register unique transactions so merges continue
+    while the task waits out its backoff. *)
+
+val set_fatal_filter : t -> (exn -> bool) -> unit
+(** Exceptions matching the filter are never retried: the task is
+    discarded and the exception propagates (used for programming errors
+    such as unregistered user functions). *)
+
+val backlog : t -> int
+(** Live pending rule-triggered (non-update) tasks across the delay and
+    ready queues — the quantity compared against the overload
+    watermark. *)
 
 val submit : t -> Strip_txn.Task.t -> unit
 (** Enter a task into the system at its [release_time]: future releases go

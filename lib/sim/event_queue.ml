@@ -63,3 +63,10 @@ let pop t =
 let length t = t.size
 
 let is_empty t = t.size = 0
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.heap.(i).time t.heap.(i).payload
+  done;
+  !acc

@@ -16,3 +16,8 @@ val pop : 'a t -> (float * 'a) option
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool
+
+val fold : ('b -> float -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** Fold over every queued [(time, payload)], in arbitrary (heap) order —
+    used by the overload controller to scan delayed tasks for shed
+    victims. *)

@@ -12,12 +12,34 @@ type t = {
   recompute : per_class;
   background : per_class;
   mutable ctx : int;
+  (* failure subsystem *)
+  mutable aborts : int;
+  mutable retries : int;
+  mutable sheds : int;
+  mutable coalesced : int;
+  mutable dead_letters : int;
+  mutable recoveries : int;
+  mutable recovery_s : float;  (* total *)
+  mutable max_recovery_s : float;
 }
 
 let fresh () = { n = 0; busy = 0.0; queue = 0.0; max_service = 0.0 }
 
 let create () =
-  { update = fresh (); recompute = fresh (); background = fresh (); ctx = 0 }
+  {
+    update = fresh ();
+    recompute = fresh ();
+    background = fresh ();
+    ctx = 0;
+    aborts = 0;
+    retries = 0;
+    sheds = 0;
+    coalesced = 0;
+    dead_letters = 0;
+    recoveries = 0;
+    recovery_s = 0.0;
+    max_recovery_s = 0.0;
+  }
 
 let slot t (klass : Task.klass) =
   match klass with
@@ -33,6 +55,32 @@ let record_task t ~klass ~service_us ~queue_us =
   if service_us > s.max_service then s.max_service <- service_us
 
 let record_context_switches t n = t.ctx <- t.ctx + n
+
+let record_abort t = t.aborts <- t.aborts + 1
+let record_retry t = t.retries <- t.retries + 1
+
+let record_shed t ~coalesced =
+  t.sheds <- t.sheds + 1;
+  if coalesced then t.coalesced <- t.coalesced + 1
+
+let record_dead_letter t = t.dead_letters <- t.dead_letters + 1
+
+let record_recovery t ~latency_s =
+  t.recoveries <- t.recoveries + 1;
+  t.recovery_s <- t.recovery_s +. latency_s;
+  if latency_s > t.max_recovery_s then t.max_recovery_s <- latency_s
+
+let n_aborts t = t.aborts
+let n_retries t = t.retries
+let n_sheds t = t.sheds
+let n_coalesced t = t.coalesced
+let n_dead_letters t = t.dead_letters
+let n_recoveries t = t.recoveries
+
+let mean_recovery_s t =
+  if t.recoveries = 0 then 0.0 else t.recovery_s /. float_of_int t.recoveries
+
+let max_recovery_s t = t.max_recovery_s
 
 let busy_us t = t.update.busy +. t.recompute.busy +. t.background.busy
 
@@ -58,13 +106,23 @@ let utilization t ~duration_s =
   if duration_s <= 0.0 then 0.0 else busy_us t *. 1e-6 /. duration_s
 
 let pp_summary ~duration_s ppf t =
+  let failure_suffix =
+    if t.aborts + t.retries + t.sheds + t.dead_letters = 0 then ""
+    else
+      Printf.sprintf
+        "\naborts: %d, retries: %d, sheds: %d (%d coalesced), dead letters: \
+         %d\nrecoveries: %d, mean %.1f ms, max %.1f ms"
+        t.aborts t.retries t.sheds t.coalesced t.dead_letters t.recoveries
+        (1e3 *. mean_recovery_s t)
+        (1e3 *. t.max_recovery_s)
+  in
   Format.fprintf ppf
     "@[<v>cpu utilization: %.1f%%@,\
      updates: %d tasks, %.1f s busy@,\
      recomputes: %d tasks, %.1f s busy, mean %.1f us, max %.1f us@,\
-     context switches: %d@]"
+     context switches: %d%s@]"
     (100.0 *. utilization t ~duration_s)
     t.update.n (t.update.busy *. 1e-6) t.recompute.n
     (t.recompute.busy *. 1e-6)
     (mean_service_us t Task.Recompute)
-    t.recompute.max_service t.ctx
+    t.recompute.max_service t.ctx failure_suffix

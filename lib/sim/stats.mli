@@ -13,6 +13,35 @@ val record_task :
 
 val record_context_switches : t -> int -> unit
 
+(** {1 Failure accounting}
+
+    Populated by the engine's retry/overload machinery and by the bench's
+    fault-injection scenarios: failed attempts (aborts), re-enqueues
+    (retries), overload sheds, exhausted tasks (dead letters), and the
+    latency from a task's first failure to its eventual success. *)
+
+val record_abort : t -> unit
+val record_retry : t -> unit
+
+val record_shed : t -> coalesced:bool -> unit
+(** A task shed by overload control; [coalesced] when its bound rows were
+    merged into a surviving task rather than dropped. *)
+
+val record_dead_letter : t -> unit
+val record_recovery : t -> latency_s:float -> unit
+
+val n_aborts : t -> int
+val n_retries : t -> int
+val n_sheds : t -> int
+val n_coalesced : t -> int
+val n_dead_letters : t -> int
+val n_recoveries : t -> int
+
+val mean_recovery_s : t -> float
+(** Mean first-failure→success latency (0 if no recoveries). *)
+
+val max_recovery_s : t -> float
+
 val busy_us : t -> float
 (** Total simulated CPU time consumed. *)
 

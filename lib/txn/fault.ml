@@ -1,0 +1,98 @@
+open Strip_relational
+
+type site = Txn_abort | Lock_conflict | Deadlock | User_fun
+
+let site_name = function
+  | Txn_abort -> "txn_abort"
+  | Lock_conflict -> "lock_conflict"
+  | Deadlock -> "deadlock"
+  | User_fun -> "user_fun"
+
+exception Injected of { site : site; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; detail } ->
+      Some (Printf.sprintf "Fault.Injected(%s, %s)" (site_name site) detail)
+    | _ -> None)
+
+type rates = {
+  txn_abort : float;
+  lock_conflict : float;
+  deadlock : float;
+  user_fun : float;
+}
+
+let no_faults =
+  { txn_abort = 0.0; lock_conflict = 0.0; deadlock = 0.0; user_fun = 0.0 }
+
+type config = {
+  seed : int;
+  rates : rates;
+}
+
+let default_config = { seed = 2025; rates = no_faults }
+
+let abort_only ?(seed = 2025) rate =
+  { seed; rates = { no_faults with txn_abort = rate } }
+
+type t = {
+  cfg : config;
+  rng : Random.State.t;
+  mutable n_abort : int;
+  mutable n_conflict : int;
+  mutable n_deadlock : int;
+  mutable n_user : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    rng = Random.State.make [| cfg.seed; 0x5741; 0x9e37 |];
+    n_abort = 0;
+    n_conflict = 0;
+    n_deadlock = 0;
+    n_user = 0;
+  }
+
+let config t = t.cfg
+
+let rate_of t = function
+  | Txn_abort -> t.cfg.rates.txn_abort
+  | Lock_conflict -> t.cfg.rates.lock_conflict
+  | Deadlock -> t.cfg.rates.deadlock
+  | User_fun -> t.cfg.rates.user_fun
+
+let active t =
+  let r = t.cfg.rates in
+  r.txn_abort > 0.0 || r.lock_conflict > 0.0 || r.deadlock > 0.0
+  || r.user_fun > 0.0
+
+let count t = function
+  | Txn_abort -> t.n_abort <- t.n_abort + 1
+  | Lock_conflict -> t.n_conflict <- t.n_conflict + 1
+  | Deadlock -> t.n_deadlock <- t.n_deadlock + 1
+  | User_fun -> t.n_user <- t.n_user + 1
+
+let injected t = function
+  | Txn_abort -> t.n_abort
+  | Lock_conflict -> t.n_conflict
+  | Deadlock -> t.n_deadlock
+  | User_fun -> t.n_user
+
+let total_injected t = t.n_abort + t.n_conflict + t.n_deadlock + t.n_user
+
+let fire t ~site ~txid ~detail =
+  let rate = rate_of t site in
+  (* Sites with a zero rate consume no randomness, so enabling one site
+     never perturbs another's decision stream. *)
+  if rate > 0.0 && Random.State.float t.rng 1.0 < rate then begin
+    count t site;
+    Meter.tick "fault_injected";
+    match site with
+    | Lock_conflict ->
+      raise (Transaction.Lock_conflict { txid; blockers = []; deadlock = false })
+    | Deadlock ->
+      raise (Transaction.Lock_conflict { txid; blockers = []; deadlock = true })
+    | Txn_abort | User_fun -> raise (Injected { site; detail })
+  end

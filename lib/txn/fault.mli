@@ -1,0 +1,67 @@
+(** Deterministic, seedable fault injection.
+
+    STRIP is a soft real-time system: the paper's claim is that derived-data
+    maintenance keeps up under a bursty feed, which is only meaningful if the
+    system survives the failures such feeds provoke — aborted transactions,
+    lock conflicts, deadlock victims, and user functions that raise.  The
+    simulated system serializes execution so none of these occur naturally;
+    this module injects them on purpose, at configurable per-site rates,
+    from a private seeded PRNG stream so every run is reproducible.
+
+    An injector is consulted at well-defined sites (see {!site}) by the rule
+    manager and the database facade.  A hit either raises {!Injected} (for
+    [Txn_abort] and [User_fun]) or {!Transaction.Lock_conflict} (for
+    [Lock_conflict] and [Deadlock]), so recovery code exercises the same
+    exception paths a real concurrent system would. *)
+
+type site =
+  | Txn_abort  (** the transaction aborts just before commit *)
+  | Lock_conflict  (** a lock acquisition fails (blocked) *)
+  | Deadlock  (** the transaction is chosen as a deadlock victim *)
+  | User_fun  (** the rule action's user function raises *)
+
+val site_name : site -> string
+
+exception Injected of { site : site; detail : string }
+(** Raised for [Txn_abort]/[User_fun] hits.  [detail] names the task or
+    function at the injection point. *)
+
+type rates = {
+  txn_abort : float;
+  lock_conflict : float;
+  deadlock : float;
+  user_fun : float;
+}
+(** Per-site firing probabilities in [0, 1]. *)
+
+val no_faults : rates
+
+type config = {
+  seed : int;  (** PRNG seed; fixed seed => identical injection decisions *)
+  rates : rates;
+}
+
+val default_config : config
+(** Seed 2025, all rates zero. *)
+
+val abort_only : ?seed:int -> float -> config
+(** [abort_only rate] injects transaction aborts at [rate] and nothing
+    else — the ISSUE's 10%-abort scenario is [abort_only 0.1]. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val active : t -> bool
+(** True when any rate is positive. *)
+
+val fire : t -> site:site -> txid:int -> detail:string -> unit
+(** Draw from the injector's PRNG stream for [site] (no draw is consumed
+    when the site's rate is zero).  On a hit, tick ["fault_injected"],
+    record the site, and raise the site's exception. *)
+
+val injected : t -> site -> int
+(** Faults injected so far at a site. *)
+
+val total_injected : t -> int

@@ -102,6 +102,27 @@ let rec peek t =
       peek t
     | _ -> Some t.heap.(0).task
 
-let length t = t.size
+(* Cancellation is lazy (cancelled entries stay in the heap until a
+   dequeue/peek reaches them), so the live count must skip them — otherwise
+   [is_empty] can be false while [dequeue] returns [None]. *)
+let length t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).task.Task.state <> Task.Cancelled then incr n
+  done;
+  !n
 
-let is_empty t = t.size = 0
+let is_empty t =
+  let rec live i =
+    i < t.size
+    && (t.heap.(i).task.Task.state <> Task.Cancelled || live (i + 1))
+  in
+  not (live 0)
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).task.Task.state <> Task.Cancelled then
+      acc := f !acc t.heap.(i).task
+  done;
+  !acc

@@ -32,5 +32,12 @@ val dequeue : t -> Task.t option
 val peek : t -> Task.t option
 
 val length : t -> int
+(** Number of live (non-cancelled) queued tasks.  Cancellation is lazy, so
+    this scans the heap: O(queued). *)
 
 val is_empty : t -> bool
+(** No live queued task ([length t = 0]); consistent with {!dequeue}
+    returning [None]. *)
+
+val fold : ('a -> Task.t -> 'a) -> 'a -> t -> 'a
+(** Fold over the live queued tasks, in arbitrary (heap) order. *)

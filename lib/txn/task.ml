@@ -21,6 +21,8 @@ type t = {
   mutable created_at : float;
   mutable dispatched_at : float;
   mutable service_us : float;
+  mutable attempts : int;
+  mutable first_failed_at : float;
 }
 
 let next_id = ref 0
@@ -42,6 +44,8 @@ let create ~klass ~func_name ?unique_key ?deadline ?(value = 1.0) ?(bound = [])
     created_at;
     dispatched_at = nan;
     service_us = 0.0;
+    attempts = 0;
+    first_failed_at = nan;
   }
 
 let priority t =
@@ -57,13 +61,21 @@ let run t =
     invalid_arg
       (Printf.sprintf "Task.run: task %d already started" t.task_id));
   t.state <- Running;
+  t.attempts <- t.attempts + 1;
   Meter.tick "begin_task";
-  Fun.protect
-    ~finally:(fun () ->
-      Meter.tick "end_task";
-      retire_bound t;
-      t.state <- Done)
-    (fun () -> t.body t)
+  match t.body t with
+  | () ->
+    Meter.tick "end_task";
+    retire_bound t;
+    t.state <- Done
+  | exception e ->
+    Meter.tick "end_task";
+    (* The attempt failed: keep the bound tables and return to [Pending] so
+       the scheduler can retry with the accumulated TCB intact (and unique
+       merges can keep appending while the task waits out its backoff).  The
+       caller either re-enqueues or discards. *)
+    t.state <- Pending;
+    raise e
 
 let cancel t =
   (match t.state with
@@ -71,6 +83,13 @@ let cancel t =
     retire_bound t;
     t.state <- Cancelled
   | Running | Done | Cancelled -> ())
+
+let discard t =
+  match t.state with
+  | Done | Cancelled -> ()
+  | Pending | Ready | Running ->
+    retire_bound t;
+    t.state <- Cancelled
 
 let started t =
   match t.state with Running | Done -> true | Pending | Ready | Cancelled -> false

@@ -35,6 +35,10 @@ type t = {
   mutable created_at : float;
   mutable dispatched_at : float;
   mutable service_us : float;  (** simulated service time, set by the engine *)
+  mutable attempts : int;  (** times {!run} was entered (includes failures) *)
+  mutable first_failed_at : float;
+      (** virtual time of the first failed attempt ([nan] if none); the
+          engine stamps it to measure recovery latency *)
 }
 
 val create :
@@ -55,11 +59,20 @@ val priority : t -> int
 val run : t -> unit
 (** Execute the body (ticks ["begin_task"]/["end_task"]), mark [Done], and
     retire the bound tables (§6.3: "when a triggered task finishes, its
-    bound tables are no longer needed and are reclaimed").
+    bound tables are no longer needed and are reclaimed").  If the body
+    raises, the task returns to [Pending] with its bound tables {e kept}
+    (the TCB survives the failure so a retry re-runs the whole batch) and
+    the exception propagates; the scheduler must then either re-enqueue or
+    {!discard} the task.
     @raise Invalid_argument if the task already ran. *)
 
 val cancel : t -> unit
 (** Mark cancelled and retire bound tables without running. *)
+
+val discard : t -> unit
+(** Unconditionally retire the bound tables and mark [Cancelled] (no-op on
+    [Done]/[Cancelled] tasks).  Used for dead-lettered tasks, whose failed
+    attempts already ran. *)
 
 val started : t -> bool
 (** Running or finished — a unique transaction stops accepting merges at

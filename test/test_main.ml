@@ -6,7 +6,8 @@ let () =
    @ Test_index.suite @ Test_table.suite @ Test_temp_table.suite
    @ Test_expr.suite @ Test_query.suite @ Test_query_model.suite
    @ Test_catalog.suite @ Test_sql.suite @ Test_txn.suite
-   @ Test_queues.suite @ Test_sim.suite @ Test_rules.suite
+   @ Test_queues.suite @ Test_sim.suite @ Test_robustness.suite
+   @ Test_rules.suite
    @ Test_unique.suite @ Test_rule_properties.suite @ Test_finance.suite @ Test_market.suite
    @ Test_pta.suite @ Test_ivm.suite @ Test_ingest.suite
    @ Test_integration.suite)

@@ -52,6 +52,22 @@ let test_cancelled_skipped () =
   Alcotest.(check (list string)) "cancelled dropped" [ "b" ] (drain q);
   Alcotest.(check bool) "empty" true (Queues.is_empty q)
 
+(* Regression: [length]/[is_empty] used to count lazily-cancelled entries
+   still sitting in the heap, disagreeing with what [dequeue] would serve. *)
+let test_cancelled_not_counted () =
+  let q = Queues.create () in
+  let a = mk_task "a" and b = mk_task "b" and c = mk_task "c" in
+  List.iter (Queues.enqueue q) [ a; b; c ];
+  Task.cancel b;
+  Alcotest.(check int) "length skips cancelled" 2 (Queues.length q);
+  Alcotest.(check bool) "not empty yet" false (Queues.is_empty q);
+  Task.cancel a;
+  Task.cancel c;
+  Alcotest.(check int) "all cancelled -> 0" 0 (Queues.length q);
+  Alcotest.(check bool) "all cancelled -> empty" true (Queues.is_empty q);
+  Alcotest.(check (option string)) "dequeue agrees" None
+    (Option.map (fun t -> t.Task.func_name) (Queues.dequeue q))
+
 let test_peek_does_not_remove () =
   let q = Queues.create () in
   Queues.enqueue q (mk_task "a");
@@ -137,6 +153,8 @@ let suite =
         Alcotest.test_case "earliest deadline first" `Quick test_edf;
         Alcotest.test_case "value density first" `Quick test_vdf;
         Alcotest.test_case "cancelled tasks skipped" `Quick test_cancelled_skipped;
+        Alcotest.test_case "cancelled tasks not counted" `Quick
+          test_cancelled_not_counted;
         Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
         Alcotest.test_case "event queue ordering" `Quick test_event_queue_order;
         QCheck_alcotest.to_alcotest prop_event_queue_sorts;

@@ -130,6 +130,66 @@ let test_deadlock_detection () =
   | Lock.Deadlock _ -> ()
   | _ -> Alcotest.fail "cycle not detected"
 
+(* Abort replay over a nastier change mix than [test_abort_undoes_everything]:
+   chained updates to one row, a delete of a row inserted in the same
+   transaction, and an update followed by delete of a pre-existing row.  The
+   undo must walk the log backwards through every image chain. *)
+let test_abort_replays_mixed_log () =
+  let ((_, tb, _, _) as env) = setup () in
+  let t0 = begin_ env in
+  ignore (Transaction.exec t0 "insert into t values ('a',1),('b',2)");
+  Transaction.commit t0;
+  Transaction.cleanup t0;
+  let before = contents tb in
+  let txn = begin_ env in
+  ignore (Transaction.exec txn "update t set v = 10 where k = 'a'");
+  ignore (Transaction.exec txn "update t set v = 11 where k = 'a'");
+  ignore (Transaction.exec txn "update t set v = 12 where k = 'a'");
+  ignore (Transaction.exec txn "insert into t values ('c', 3)");
+  ignore (Transaction.exec txn "update t set v = 30 where k = 'c'");
+  ignore (Transaction.exec txn "delete from t where k = 'c'");
+  ignore (Transaction.exec txn "update t set v = 20 where k = 'b'");
+  ignore (Transaction.exec txn "delete from t where k = 'b'");
+  Transaction.abort txn;
+  Alcotest.(check (list (pair string int)))
+    "mixed log fully undone"
+    (List.sort compare before)
+    (List.sort compare (contents tb));
+  (* the table must stay usable: the undone rows are live, not ghosts *)
+  let t2 = begin_ env in
+  ignore (Transaction.exec t2 "update t set v = 100 where k = 'b'");
+  Transaction.commit t2;
+  Transaction.cleanup t2;
+  Alcotest.(check (list (pair string int)))
+    "post-abort update lands"
+    [ ("a", 1); ("b", 100) ]
+    (List.sort compare (contents tb))
+
+(* The victim set returned with [Deadlock] names exactly the owners on the
+   would-be cycle — the scheduler needs it to pick whom to abort. *)
+let test_deadlock_victim_set () =
+  let locks = Lock.create () in
+  let ra = Lock.Rec ("t", 1)
+  and rb = Lock.Rec ("t", 2)
+  and rc = Lock.Rec ("t", 3) in
+  (* three-party cycle: 1 waits on 2 waits on 3 waits on 1 *)
+  ignore (Lock.acquire locks ~owner:1 ra Lock.X);
+  ignore (Lock.acquire locks ~owner:2 rb Lock.X);
+  ignore (Lock.acquire locks ~owner:3 rc Lock.X);
+  (match Lock.acquire locks ~owner:1 rb Lock.X with
+  | Lock.Blocked [ 2 ] -> ()
+  | _ -> Alcotest.fail "1 should block on 2");
+  (match Lock.acquire locks ~owner:2 rc Lock.X with
+  | Lock.Blocked [ 3 ] -> ()
+  | _ -> Alcotest.fail "2 should block on 3");
+  (match Lock.acquire locks ~owner:3 ra Lock.X with
+  | Lock.Deadlock victims ->
+    Alcotest.(check (list int)) "victims are the cycle's blockers" [ 1 ] victims
+  | _ -> Alcotest.fail "three-party cycle not detected");
+  (* an independent owner is untouched by the refusal *)
+  Alcotest.(check bool) "bystander still granted" true
+    (Lock.acquire locks ~owner:4 (Lock.Rec ("t", 9)) Lock.X = Lock.Granted)
+
 let test_lock_conflict_surfaces () =
   let ((_, _, _, _) as env) = setup () in
   let t1 = begin_ env in
@@ -197,6 +257,9 @@ let suite =
           test_locks_block_and_upgrade;
         Alcotest.test_case "reentrant locks unmetered" `Quick test_lock_reentrant;
         Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "abort replays mixed log" `Quick
+          test_abort_replays_mixed_log;
+        Alcotest.test_case "deadlock victim set" `Quick test_deadlock_victim_set;
         Alcotest.test_case "Lock_conflict surfaces" `Quick test_lock_conflict_surfaces;
         Alcotest.test_case "queries take shared locks" `Quick
           test_query_inside_txn_takes_shared_lock;
