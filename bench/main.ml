@@ -18,7 +18,15 @@
      STRIP_BENCH_DELAYS   comma-separated delay windows (default 0.5,1,1.5,2,3)
      STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
      STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_ROBUSTNESS
-                          set to skip a part *)
+                          set to skip a part
+
+   Flags:
+     --trace FILE         merge every figure-sweep experiment's lifecycle
+                          trace into one Chrome trace_event file (open at
+                          chrome://tracing or ui.perfetto.dev)
+     --metrics FILE       write every experiment's metrics-registry
+                          snapshot (latency percentiles per task class,
+                          per-table staleness, failure counters) as JSON *)
 
 open Strip_relational
 open Strip_txn
@@ -38,6 +46,78 @@ let env_delays () =
     |> List.filter_map (fun x -> float_of_string_opt (String.trim x))
 
 let scale = env_float "STRIP_BENCH_SCALE" 1.0
+
+(* Observability exports.  Each experiment records into its own ring
+   buffer; traces merge into one Chrome file (one pid per experiment) and
+   registry snapshots into one JSON document, so a single bench run yields
+   one artifact per kind. *)
+let trace_file = ref None
+let metrics_file = ref None
+
+let () =
+  let rec parse = function
+    | "--trace" :: f :: rest ->
+      trace_file := Some f;
+      parse rest
+    | "--metrics" :: f :: rest ->
+      metrics_file := Some f;
+      parse rest
+    | _ :: rest -> parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let observing () = !trace_file <> None || !metrics_file <> None
+
+let collected_traces : (string * Strip_obs.Trace.t) list ref = ref []
+let collected_metrics : Strip_obs.Json.t list ref = ref []
+
+let collect (m : Experiment.metrics) tr =
+  let open Strip_obs in
+  let tag = Printf.sprintf "%s@%gs" m.Experiment.label m.Experiment.delay in
+  (match tr with
+  | Some tr -> collected_traces := (tag, tr) :: !collected_traces
+  | None -> ());
+  collected_metrics :=
+    Json.Obj
+      [
+        ("label", Json.Str m.Experiment.label);
+        ("delay_s", Json.Float m.Experiment.delay);
+        ("report", Report.metrics_json m);
+        ("metrics", Metrics.json_of_rows ~buckets:false m.Experiment.registry);
+      ]
+    :: !collected_metrics
+
+let write_exports () =
+  let open Strip_obs in
+  (match !trace_file with
+  | None -> ()
+  | Some path ->
+    let events =
+      List.concat
+        (List.mapi
+           (fun i (tag, tr) ->
+             Trace.chrome_events ~pid:(i + 1) ~process_name:tag tr)
+           (List.rev !collected_traces))
+    in
+    let oc = open_out path in
+    Json.to_channel oc
+      (Json.Obj
+         [
+           ("traceEvents", Json.List events);
+           ("displayTimeUnit", Json.Str "ms");
+         ]);
+    close_out oc;
+    Printf.printf "wrote Chrome trace (%d events) to %s\n%!"
+      (List.length events) path);
+  match !metrics_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Json.to_channel oc
+      (Json.Obj [ ("experiments", Json.List (List.rev !collected_metrics)) ]);
+    close_out oc;
+    Printf.printf "wrote metrics snapshot to %s\n%!" path
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -165,8 +245,13 @@ let run_sweep rules delays =
         (fun delay ->
           let cfg = Experiment.default_config rule ~delay in
           let cfg = if scale <> 1.0 then Experiment.quick cfg scale else cfg in
+          let tr =
+            if observing () then Some (Strip_obs.Trace.create ()) else None
+          in
+          let cfg = { cfg with Experiment.trace = tr } in
           let m = Experiment.run cfg in
           Report.print_metrics m;
+          if observing () then collect m tr;
           m)
         deltas)
     rules
@@ -452,4 +537,5 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_TABLE1" = None then bench_table1 ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_FIGURES" = None then figures ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ABLATIONS" = None then ablations ();
-  if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ()
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ();
+  if observing () then write_exports ()

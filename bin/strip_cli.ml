@@ -57,6 +57,26 @@ let retries_arg =
   let doc = "Retry budget: total attempts per failed task." in
   Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N" ~doc)
 
+let trace_file_arg =
+  let doc =
+    "Record task/transaction lifecycle events and write them to $(docv) in \
+     the Chrome trace_event format (open at chrome://tracing or \
+     ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file_arg =
+  let doc =
+    "Write the post-run metrics-registry snapshot (latency percentiles per \
+     task class, per-table staleness, failure counters) to $(docv); a .csv \
+     suffix selects CSV, anything else JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc = "Print the experiment metrics as JSON instead of a table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let rule_of_strings view variant =
   match (view, variant) with
   | "comps", "none" -> Ok (Experiment.Comp_view Comp_rules.Non_unique)
@@ -72,7 +92,7 @@ let rule_of_strings view variant =
   | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
 
 let run_experiment view variant delay scale verify seed abort_rate fault_seed
-    retries =
+    retries trace_file metrics_file json =
   match rule_of_strings view variant with
   | Error msg ->
     prerr_endline msg;
@@ -92,16 +112,42 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
           ~abort_rate cfg
       else cfg
     in
+    let tr = Option.map (fun _ -> Strip_obs.Trace.create ()) trace_file in
+    let cfg = { cfg with Experiment.trace = tr } in
     let m = Experiment.run cfg in
-    Report.print_metrics_header ();
-    Report.print_metrics m;
-    Report.print_failures m;
-    Printf.printf
-      "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
-       update/recompute: %.1fs/%.1fs\n"
-      m.Experiment.n_updates m.Experiment.n_firings
-      m.Experiment.expected_fanout m.Experiment.busy_update_s
-      m.Experiment.busy_recompute_s;
+    if json then Report.print_metrics_json [ m ]
+    else begin
+      Report.print_metrics_header ();
+      Report.print_metrics m;
+      Report.print_failures m;
+      Report.print_staleness m;
+      Printf.printf
+        "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
+         update/recompute: %.1fs/%.1fs\n"
+        m.Experiment.n_updates m.Experiment.n_firings
+        m.Experiment.expected_fanout m.Experiment.busy_update_s
+        m.Experiment.busy_recompute_s
+    end;
+    (match (trace_file, tr) with
+    | Some path, Some tr ->
+      let oc = open_out path in
+      Strip_obs.Json.to_channel oc (Strip_obs.Trace.chrome_json tr);
+      close_out oc;
+      if not json then
+        Printf.printf "wrote Chrome trace (%d events) to %s\n"
+          (Strip_obs.Trace.length tr) path
+    | _ -> ());
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      if Filename.check_suffix path ".csv" then
+        output_string oc (Strip_obs.Metrics.csv_of_rows m.Experiment.registry)
+      else
+        Strip_obs.Json.to_channel oc
+          (Strip_obs.Metrics.json_of_rows m.Experiment.registry);
+      close_out oc;
+      if not json then Printf.printf "wrote metrics snapshot to %s\n" path);
     (match m.Experiment.verified with
     | Some false -> 1
     | _ -> 0)
@@ -110,7 +156,8 @@ let experiment_cmd =
   let term =
     Term.(
       const run_experiment $ view_arg $ variant_arg $ delay_arg $ scale_arg
-      $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg)
+      $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg
+      $ trace_file_arg $ metrics_file_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "experiment"

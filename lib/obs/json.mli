@@ -1,0 +1,23 @@
+(** A minimal JSON tree and deterministic printer.
+
+    The observability exporters (metrics snapshots, Chrome traces) must
+    produce byte-identical output for identical runs, so the printer uses a
+    fixed float format ([%.12g], which round-trips every value the
+    simulator produces) and preserves object-key order exactly as built.
+    Non-finite floats have no JSON representation and are emitted as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+(** Compact (single-line) output, trailing newline included. *)

@@ -1,0 +1,127 @@
+type arg = Int of int | Float of float | Str of string
+
+type phase =
+  | Instant
+  | Complete of float
+  | Counter of float
+
+type event = {
+  seq : int;
+  ts : float;
+  tid : int;
+  cat : string;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable total : int;  (* events ever emitted *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; ring = Array.make capacity None; total = 0 }
+
+let tid_engine = 0
+let tid_update = 1
+let tid_recompute = 2
+let tid_background = 3
+
+let emit t ~ts ~tid ~cat ~name ~phase ~args =
+  let ev = { seq = t.total; ts; tid; cat; name; phase; args } in
+  t.ring.(t.total mod t.capacity) <- Some ev;
+  t.total <- t.total + 1
+
+let instant t ~ts ?(tid = tid_engine) ?(cat = "task") ?(args = []) name =
+  emit t ~ts ~tid ~cat ~name ~phase:Instant ~args
+
+let complete t ~ts ~dur_us ?(tid = tid_engine) ?(cat = "task") ?(args = []) name
+    =
+  emit t ~ts ~tid ~cat ~name ~phase:(Complete dur_us) ~args
+
+let counter t ~ts name value =
+  emit t ~ts ~tid:tid_engine ~cat:"counter" ~name ~phase:(Counter value)
+    ~args:[]
+
+let length t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+let events t =
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.total <- 0
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float v -> Json.Float v
+  | Str s -> Json.Str s
+
+(* trace_event timestamps are microseconds *)
+let ts_us s = s *. 1e6
+
+let chrome_of_event ~pid ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ts", Json.Float (ts_us ev.ts));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int ev.tid);
+    ]
+  in
+  match ev.phase with
+  | Instant ->
+    Json.Obj
+      (base
+      @ [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+      @
+      if ev.args = [] then []
+      else
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) ev.args)) ])
+  | Complete dur ->
+    Json.Obj
+      (base
+      @ [ ("ph", Json.Str "X"); ("dur", Json.Float dur) ]
+      @
+      if ev.args = [] then []
+      else
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) ev.args)) ])
+  | Counter v ->
+    Json.Obj
+      (base
+      @ [ ("ph", Json.Str "C"); ("args", Json.Obj [ (ev.name, Json.Float v) ]) ])
+
+let metadata ~pid ~name ~tid what =
+  Json.Obj
+    [
+      ("name", Json.Str what);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let chrome_events ?(pid = 1) ?(process_name = "strip") t =
+  metadata ~pid ~name:process_name ~tid:0 "process_name"
+  :: metadata ~pid ~name:"engine" ~tid:tid_engine "thread_name"
+  :: metadata ~pid ~name:"updates" ~tid:tid_update "thread_name"
+  :: metadata ~pid ~name:"recomputes" ~tid:tid_recompute "thread_name"
+  :: metadata ~pid ~name:"background" ~tid:tid_background "thread_name"
+  :: List.map (chrome_of_event ~pid) (events t)
+
+let chrome_json ?pid ?process_name t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (chrome_events ?pid ?process_name t));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

@@ -1,0 +1,79 @@
+(** Structured lifecycle tracing with a bounded ring buffer and a Chrome
+    [trace_event] exporter.
+
+    The engine and rule manager emit one event per task/transaction
+    lifecycle step — [enqueue], [release], task execution (a complete span
+    covering start to end of service), [commit], [abort], [retry], [merge]
+    (unique-batch merge), [shed], [dead_letter] — stamped with simulated
+    time.  Events live in a fixed-capacity ring buffer: when it overflows,
+    the oldest events are dropped (and counted) so tracing a long run has
+    bounded memory.
+
+    [chrome_json] renders the buffer in the Chrome [trace_event] JSON
+    format; load the file at [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}.  Simulated seconds map to trace microseconds.  All output is
+    deterministic: two identical runs export byte-identical traces. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type phase =
+  | Instant
+  | Complete of float  (** duration in simulated microseconds *)
+  | Counter of float
+
+type event = {
+  seq : int;  (** global emission order, 0-based *)
+  ts : float;  (** simulated seconds *)
+  tid : int;
+  cat : string;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 events.  @raise Invalid_argument if < 1. *)
+
+(** Thread ids used by the engine's emitters (one lane per task class in
+    the viewer). *)
+
+val tid_engine : int
+
+val tid_update : int
+
+val tid_recompute : int
+
+val tid_background : int
+
+val instant :
+  t -> ts:float -> ?tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  string -> unit
+
+val complete :
+  t -> ts:float -> dur_us:float -> ?tid:int -> ?cat:string ->
+  ?args:(string * arg) list -> string -> unit
+(** A span starting at [ts] (seconds) lasting [dur_us] microseconds. *)
+
+val counter : t -> ts:float -> string -> float -> unit
+
+val length : t -> int
+(** Events currently buffered. *)
+
+val dropped : t -> int
+(** Events lost to ring overflow. *)
+
+val events : t -> event list
+(** Buffered events, oldest first. *)
+
+val clear : t -> unit
+
+val chrome_events : ?pid:int -> ?process_name:string -> t -> Json.t list
+(** The buffer as a list of Chrome [trace_event] objects (metadata events
+    naming the process and per-class threads included), for embedding
+    several traces into one file under distinct [pid]s. *)
+
+val chrome_json : ?pid:int -> ?process_name:string -> t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}] — a complete Chrome
+    trace file. *)

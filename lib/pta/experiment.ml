@@ -16,6 +16,7 @@ type config = {
   fault : Strip_txn.Fault.config option;
   retry : Strip_sim.Engine.retry option;
   overload : Strip_sim.Engine.overload option;
+  trace : Strip_obs.Trace.t option;
 }
 
 let default_config rule ~delay =
@@ -29,6 +30,7 @@ let default_config rule ~delay =
     fault = None;
     retry = None;
     overload = None;
+    trace = None;
   }
 
 let with_faults ?seed ?(retry = Strip_sim.Engine.default_retry) ~abort_rate cfg =
@@ -49,6 +51,9 @@ type metrics = {
   n_updates : int;
   n_recompute : int;
   mean_recompute_us : float;
+  p50_recompute_us : float;
+  p90_recompute_us : float;
+  p99_recompute_us : float;
   max_recompute_us : float;
   busy_update_s : float;
   busy_recompute_s : float;
@@ -64,6 +69,8 @@ type metrics = {
   n_sheds : int;
   n_dead_letters : int;
   mean_recovery_s : float;
+  staleness : (string * Strip_obs.Histogram.summary) list;
+  registry : Strip_obs.Metrics.row list;
 }
 
 let label_of = function
@@ -89,7 +96,7 @@ let max_error expected actual =
 let run cfg =
   let db =
     Strip_db.create ~cost:cfg.cost ?fault:cfg.fault ?retry:cfg.retry
-      ?overload:cfg.overload ()
+      ?overload:cfg.overload ?trace:cfg.trace ()
   in
   let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
   let weights = Feed.activity_weights cfg.feed in
@@ -138,6 +145,9 @@ let run cfg =
     n_updates = Strip_sim.Stats.tasks_run stats Task.Update;
     n_recompute = Strip_sim.Stats.n_recompute stats;
     mean_recompute_us = Strip_sim.Stats.mean_service_us stats Task.Recompute;
+    p50_recompute_us = Strip_sim.Stats.service_percentile_us stats Task.Recompute 50.0;
+    p90_recompute_us = Strip_sim.Stats.service_percentile_us stats Task.Recompute 90.0;
+    p99_recompute_us = Strip_sim.Stats.service_percentile_us stats Task.Recompute 99.0;
     max_recompute_us = Strip_sim.Stats.max_service_us stats Task.Recompute;
     busy_update_s = Strip_sim.Stats.busy_us_of stats Task.Update *. 1e-6;
     busy_recompute_s = Strip_sim.Stats.busy_us_of stats Task.Recompute *. 1e-6;
@@ -156,4 +166,10 @@ let run cfg =
     n_sheds = Strip_sim.Stats.n_sheds stats;
     n_dead_letters = Strip_sim.Stats.n_dead_letters stats;
     mean_recovery_s = Strip_sim.Stats.mean_recovery_s stats;
+    staleness =
+      List.map
+        (fun table ->
+          (table, Strip_obs.Histogram.summary (Strip_sim.Stats.staleness_hist stats table)))
+        (Strip_sim.Stats.staleness_tables stats);
+    registry = Strip_obs.Metrics.snapshot (Strip_db.metrics db);
   }

@@ -25,11 +25,13 @@ type config = {
       (** recover failed tasks with bounded exponential backoff *)
   overload : Strip_sim.Engine.overload option;
       (** shed delayed rule tasks past the watermark *)
+  trace : Strip_obs.Trace.t option;
+      (** record task/transaction lifecycle events into this ring buffer *)
 }
 
 val default_config : rule_choice -> delay:float -> config
 (** Paper-scale feed and sizes, default cost model, verification on, no
-    fault injection / retry / overload control. *)
+    fault injection / retry / overload control, no tracing. *)
 
 val with_faults :
   ?seed:int -> ?retry:Strip_sim.Engine.retry -> abort_rate:float -> config -> config
@@ -49,6 +51,9 @@ type metrics = {
   n_updates : int;
   n_recompute : int;  (** the paper's N_r *)
   mean_recompute_us : float;
+  p50_recompute_us : float;
+  p90_recompute_us : float;
+  p99_recompute_us : float;
   max_recompute_us : float;
   busy_update_s : float;
   busy_recompute_s : float;
@@ -65,7 +70,12 @@ type metrics = {
   n_sheds : int;  (** tasks shed by overload control *)
   n_dead_letters : int;  (** tasks whose retry budget ran out *)
   mean_recovery_s : float;
-      (** mean first-failure → eventual-success latency (nan if none) *)
+      (** mean first-failure → eventual-success latency (0 if none) *)
+  staleness : (string * Strip_obs.Histogram.summary) list;
+      (** per-derived-table staleness distribution (seconds), sampled at
+          the commit of each maintenance transaction; sorted by table *)
+  registry : Strip_obs.Metrics.row list;
+      (** full metrics-registry snapshot taken after the run drained *)
 }
 
 val run : config -> metrics

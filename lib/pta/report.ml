@@ -1,13 +1,17 @@
+module Json = Strip_obs.Json
+
 let print_metrics_header () =
-  Printf.printf "%-36s %6s %8s %9s %12s %12s %8s %8s %6s\n%!" "configuration"
-    "delay" "cpu%" "N_r" "mean_rc_us" "max_rc_us" "merges" "ctxsw" "ok"
+  Printf.printf "%-36s %6s %8s %9s %12s %10s %10s %12s %8s %8s %6s\n%!"
+    "configuration" "delay" "cpu%" "N_r" "mean_rc_us" "p50_rc_us" "p99_rc_us"
+    "max_rc_us" "merges" "ctxsw" "ok"
 
 let print_metrics (m : Experiment.metrics) =
-  Printf.printf "%-36s %6.2f %7.1f%% %9d %12.1f %12.0f %8d %8d %6s\n%!" m.label
-    m.delay
+  Printf.printf
+    "%-36s %6.2f %7.1f%% %9d %12.1f %10.1f %10.1f %12.0f %8d %8d %6s\n%!"
+    m.label m.delay
     (100.0 *. m.utilization)
-    m.n_recompute m.mean_recompute_us m.max_recompute_us m.n_merges
-    m.context_switches
+    m.n_recompute m.mean_recompute_us m.p50_recompute_us m.p99_recompute_us
+    m.max_recompute_us m.n_merges m.context_switches
     (match m.verified with
     | Some true -> "yes"
     | Some false -> "NO"
@@ -19,8 +23,71 @@ let print_failures (m : Experiment.metrics) =
     Printf.printf
       "  failures: %d injected, %d aborts, %d retries, %d sheds, %d dead%s\n%!"
       m.n_injected m.n_aborts m.n_retries m.n_sheds m.n_dead_letters
-      (if Float.is_nan m.mean_recovery_s then ""
-       else Printf.sprintf ", mean recovery %.3fs" m.mean_recovery_s)
+      (if m.mean_recovery_s > 0.0 then
+         Printf.sprintf ", mean recovery %.3fs" m.mean_recovery_s
+       else "")
+  else Printf.printf "  failures: (none)\n%!"
+
+let print_staleness (m : Experiment.metrics) =
+  List.iter
+    (fun (table, (s : Strip_obs.Histogram.summary)) ->
+      Printf.printf
+        "  staleness %-16s n=%-6d mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n%!"
+        table s.n s.mean s.p50 s.p90 s.p99 s.max)
+    m.staleness
+
+let summary_to_json (s : Strip_obs.Histogram.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.n);
+      ("sum", Json.Float s.sum);
+      ("mean", Json.Float s.mean);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
+
+let metrics_json (m : Experiment.metrics) =
+  Json.Obj
+    [
+      ("label", Json.Str m.label);
+      ("delay_s", Json.Float m.delay);
+      ("duration_s", Json.Float m.duration_s);
+      ("utilization", Json.Float m.utilization);
+      ("n_updates", Json.Int m.n_updates);
+      ("n_recompute", Json.Int m.n_recompute);
+      ("mean_recompute_us", Json.Float m.mean_recompute_us);
+      ("p50_recompute_us", Json.Float m.p50_recompute_us);
+      ("p90_recompute_us", Json.Float m.p90_recompute_us);
+      ("p99_recompute_us", Json.Float m.p99_recompute_us);
+      ("max_recompute_us", Json.Float m.max_recompute_us);
+      ("busy_update_s", Json.Float m.busy_update_s);
+      ("busy_recompute_s", Json.Float m.busy_recompute_s);
+      ("n_firings", Json.Int m.n_firings);
+      ("n_merges", Json.Int m.n_merges);
+      ("context_switches", Json.Int m.context_switches);
+      ("expected_fanout", Json.Float m.expected_fanout);
+      ( "verified",
+        match m.verified with None -> Json.Null | Some b -> Json.Bool b );
+      ("max_abs_error", Json.Float m.max_abs_error);
+      ("n_injected", Json.Int m.n_injected);
+      ("n_aborts", Json.Int m.n_aborts);
+      ("n_retries", Json.Int m.n_retries);
+      ("n_sheds", Json.Int m.n_sheds);
+      ("n_dead_letters", Json.Int m.n_dead_letters);
+      ("mean_recovery_s", Json.Float m.mean_recovery_s);
+      ( "staleness_s",
+        Json.Obj (List.map (fun (t, s) -> (t, summary_to_json s)) m.staleness)
+      );
+    ]
+
+let print_metrics_json ms =
+  print_string
+    (Json.to_string (Json.Obj [ ("experiments", Json.List (List.map metrics_json ms)) ]));
+  print_newline ();
+  flush stdout
 
 let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
 

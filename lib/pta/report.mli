@@ -1,12 +1,30 @@
-(** Tabular output for the figure-reproduction harness. *)
+(** Tabular and JSON output for the figure-reproduction harness. *)
 
 val print_metrics_header : unit -> unit
+(** Column legend: [mean_rc_us] / [p50_rc_us] / [p99_rc_us] / [max_rc_us]
+    are recompute-transaction service times in simulated microseconds. *)
+
 val print_metrics : Experiment.metrics -> unit
 
 val print_failures : Experiment.metrics -> unit
 (** One indented line of failure counters (injected faults, aborts,
-    retries, sheds, dead letters, mean recovery latency); silent when the
-    run saw no failures. *)
+    retries, sheds, dead letters, mean recovery latency); prints
+    ["failures: (none)"] when the run saw no failures, so a clean run is
+    distinguishable from a missing report. *)
+
+val print_staleness : Experiment.metrics -> unit
+(** One indented line per derived table: count, mean, p50/p90/p99 and max
+    staleness in seconds (paper §7); silent when no maintenance
+    transaction committed. *)
+
+val metrics_json : Experiment.metrics -> Strip_obs.Json.t
+(** The full metrics record as a JSON object, including recompute-latency
+    percentiles and per-table staleness summaries.  NaN (e.g.
+    [max_abs_error] with verification off) serialises as [null]. *)
+
+val print_metrics_json : Experiment.metrics list -> unit
+(** [{"experiments": [...]}] on stdout — the machine-readable counterpart
+    of {!print_metrics_header}/{!print_metrics}. *)
 
 val print_series :
   title:string ->

@@ -1,5 +1,6 @@
 open Strip_relational
 open Strip_txn
+module Trace = Strip_obs.Trace
 
 type action_ctx = {
   txn : Transaction.t;
@@ -35,9 +36,12 @@ type t = {
   mutable firings : int;
   mutable created : int;
   mutable merges : int;
+  trace : Trace.t option;
+  mutable on_commit :
+    (task:Task.t -> tables:string list -> now:float -> unit) option;
 }
 
-let create ~cat ~locks ~clock ?fault () =
+let create ~cat ~locks ~clock ?fault ?trace () =
   {
     cat;
     locks;
@@ -51,7 +55,11 @@ let create ~cat ~locks ~clock ?fault () =
     firings = 0;
     created = 0;
     merges = 0;
+    trace;
+    on_commit = None;
   }
+
+let set_commit_hook t f = t.on_commit <- Some f
 
 let fault t = t.fault
 
@@ -239,7 +247,26 @@ let rec run_action t task =
        if Transaction.status txn = Transaction.Active then
          Transaction.abort txn;
        raise e);
-    if Transaction.status txn = Transaction.Active then commit_txn t txn
+    if Transaction.status txn = Transaction.Active then begin
+      (* the written-table set, captured before cleanup clears the log *)
+      let tables = Tlog.tables_touched (Transaction.log txn) in
+      commit_txn t txn;
+      let now = Clock.now t.clock in
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        Trace.instant tr ~ts:now ~tid:Trace.tid_recompute
+          ~args:
+            [
+              ("task", Trace.Int task.Task.task_id);
+              ("func", Trace.Str func);
+              ("tables", Trace.Str (String.concat "," tables));
+            ]
+          "commit");
+      match t.on_commit with
+      | Some f -> f ~task ~tables ~now
+      | None -> ()
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Firing: bind results, partition, merge-or-create tasks.              *)
@@ -265,6 +292,19 @@ and fire t compiled (named_results : (string * Query.result) list) =
     | Some queued ->
       (* Append this firing's rows to the queued TCB's bound tables. *)
       t.merges <- t.merges + 1;
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        Trace.instant tr ~ts:now ~tid:Trace.tid_recompute
+          ~args:
+            [
+              ("task", Trace.Int queued.Task.task_id);
+              ("func", Trace.Str rule.Rule_ast.func);
+              ( "key",
+                Trace.Str
+                  (String.concat "," (List.map Value.to_string key)) );
+            ]
+          "merge");
       let fresh = bind_all named in
       List.iter
         (fun (name, tmp) ->

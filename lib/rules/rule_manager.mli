@@ -45,11 +45,20 @@ val create :
   locks:Strip_txn.Lock.t ->
   clock:Strip_txn.Clock.t ->
   ?fault:Strip_txn.Fault.t ->
+  ?trace:Strip_obs.Trace.t ->
   unit ->
   t
 (** [fault] installs a fault injector consulted around every rule-action
     transaction (user-function entry, then pre-commit lock-conflict /
-    deadlock / abort sites). *)
+    deadlock / abort sites).  [trace] records unique-batch [merge] events
+    and action-transaction [commit] events (with the tables written). *)
+
+val set_commit_hook :
+  t -> (task:Strip_txn.Task.t -> tables:string list -> now:float -> unit) -> unit
+(** Called after every successfully committed rule-action transaction with
+    the tables it wrote and the commit's virtual time.  {!Strip_core.Strip_db}
+    installs the staleness sampler here: each written (derived) table gets
+    a [now - task.created_at] staleness sample. *)
 
 val fault : t -> Strip_txn.Fault.t option
 

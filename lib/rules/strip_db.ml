@@ -1,6 +1,7 @@
 open Strip_relational
 open Strip_txn
 open Strip_sim
+module Metrics = Strip_obs.Metrics
 
 type t = {
   cat : Catalog.t;
@@ -9,16 +10,85 @@ type t = {
   mgr : Rule_manager.t;
   eng : Engine.t;
   fi : Fault.t option;
+  reg : Metrics.t;
+  tracer : Strip_obs.Trace.t option;
   mutable views : (string * Sql_parser.select_ast) list;  (* newest first *)
 }
 
-let create ?policy ?cost ?now ?fault ?retry ?overload () =
+(* Register every component's counters, gauges and distributions into one
+   registry — the single snapshot surface for the CLI/bench exporters.
+   Sources that already maintain their own state are wired as probes
+   (polled at snapshot time), so nothing is double-counted. *)
+let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi =
+  let open Strip_sim in
+  List.iter
+    (fun (label, klass) ->
+      let labels = [ ("class", label) ] in
+      Metrics.probe_int reg "tasks_total" ~labels (fun () ->
+          Stats.tasks_run stats klass);
+      Metrics.probe_float reg "busy_us_total" ~labels (fun () ->
+          Stats.busy_us_of stats klass);
+      Metrics.probe_hist reg "service_us" ~labels (fun () ->
+          Stats.service_hist stats klass);
+      Metrics.probe_hist reg "queue_wait_us" ~labels (fun () ->
+          Stats.queue_hist stats klass))
+    [
+      ("update", Task.Update);
+      ("recompute", Task.Recompute);
+      ("background", Task.Background);
+    ];
+  Metrics.probe_int reg "context_switches_total" (fun () ->
+      Stats.context_switches stats);
+  Metrics.probe_int reg "aborts_total" (fun () -> Stats.n_aborts stats);
+  Metrics.probe_int reg "retries_total" (fun () -> Stats.n_retries stats);
+  Metrics.probe_int reg "sheds_total" (fun () -> Stats.n_sheds stats);
+  Metrics.probe_int reg "coalesced_total" (fun () -> Stats.n_coalesced stats);
+  Metrics.probe_int reg "dead_letters_total" (fun () ->
+      Stats.n_dead_letters stats);
+  Metrics.probe_int reg "recoveries_total" (fun () -> Stats.n_recoveries stats);
+  Metrics.probe_hist reg "recovery_latency_s" (fun () ->
+      Stats.recovery_hist stats);
+  Metrics.probe_family reg "staleness_s" (fun () ->
+      List.map
+        (fun table ->
+          ( [ ("table", table) ],
+            Metrics.Sample_hist (Stats.staleness_hist stats table) ))
+        (Stats.staleness_tables stats));
+  Metrics.probe_int reg "rule_firings_total" (fun () ->
+      Rule_manager.n_rule_firings mgr);
+  Metrics.probe_int reg "rule_tasks_created_total" (fun () ->
+      Rule_manager.n_tasks_created mgr);
+  Metrics.probe_int reg "rule_merges_total" (fun () ->
+      Rule_manager.n_merges mgr);
+  Metrics.probe_int reg "unique_queued" (fun () ->
+      Unique.queued (Rule_manager.registry mgr));
+  Metrics.probe_int reg "ready_queue_length" (fun () -> Engine.ready_length eng);
+  Metrics.probe_int reg "delay_queue_length" (fun () ->
+      Engine.delayed_length eng);
+  Metrics.probe_int reg "engine_backlog" (fun () -> Engine.backlog eng);
+  Metrics.probe_float reg "sim_now_s" (fun () -> Clock.now clk);
+  (match fi with
+  | None -> ()
+  | Some fi ->
+    Metrics.probe_int reg "faults_injected_total" (fun () ->
+        Fault.total_injected fi));
+  match tracer with
+  | None -> ()
+  | Some tr ->
+    Metrics.probe_int reg "trace_events_buffered" (fun () ->
+        Strip_obs.Trace.length tr);
+    Metrics.probe_int reg "trace_events_dropped_total" (fun () ->
+        Strip_obs.Trace.dropped tr)
+
+let create ?policy ?cost ?now ?fault ?retry ?overload ?trace () =
   let cat = Catalog.create () in
   let lcks = Lock.create () in
   let clk = Clock.create ?now () in
   let fi = Option.map Fault.create fault in
-  let mgr = Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi () in
-  let eng = Engine.create ~clock:clk ?policy ?cost ?retry ?overload () in
+  let mgr =
+    Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi ?trace ()
+  in
+  let eng = Engine.create ~clock:clk ?policy ?cost ?retry ?overload ?trace () in
   Rule_manager.set_submitter mgr (Engine.submit eng);
   (* Failure wiring: retried unique transactions re-enter the registry so
      merges continue through their backoff; rule-definition errors are
@@ -27,7 +97,22 @@ let create ?policy ?cost ?now ?fault ?retry ?overload () =
   Engine.set_fatal_filter eng (function
     | Rule_manager.Rule_error _ -> true
     | _ -> false);
-  { cat; lcks; clk; mgr; eng; fi; views = [] }
+  (* Staleness sampling (paper §7): when a rule action commits, every table
+     it wrote has just caught up with base changes first fired at the
+     task's creation; the age of that oldest change is the sample. *)
+  let stats = Engine.stats eng in
+  Rule_manager.set_commit_hook mgr (fun ~task ~tables ~now ->
+      match task.Task.klass with
+      | Task.Update -> ()
+      | Task.Recompute | Task.Background ->
+        List.iter
+          (fun table ->
+            Stats.record_staleness stats ~table
+              ~seconds:(Float.max 0.0 (now -. task.Task.created_at)))
+          tables);
+  let reg = Metrics.create () in
+  register_metrics reg ~stats ~mgr ~eng ~clk ~tracer:trace ~fi;
+  { cat; lcks; clk; mgr; eng; fi; reg; tracer = trace; views = [] }
 
 let catalog t = t.cat
 let clock t = t.clk
@@ -35,6 +120,8 @@ let locks t = t.lcks
 let rules t = t.mgr
 let engine t = t.eng
 let fault_injector t = t.fi
+let metrics t = t.reg
+let trace t = t.tracer
 let now t = Clock.now t.clk
 
 let with_txn t f =

@@ -20,13 +20,26 @@ val create :
   ?fault:Strip_txn.Fault.config ->
   ?retry:Strip_sim.Engine.retry ->
   ?overload:Strip_sim.Engine.overload ->
+  ?trace:Strip_obs.Trace.t ->
   unit ->
   t
 (** [fault] installs a deterministic fault injector on every task
     transaction (rule actions and update tasks); [retry] enables the
     engine's bounded-exponential-backoff recovery for failed tasks;
     [overload] enables watermark-based shedding of delayed rule tasks.
-    All three default to off, preserving fail-fast semantics. *)
+    All three default to off, preserving fail-fast semantics.
+
+    [trace] turns on lifecycle tracing: the engine and rule manager emit
+    enqueue/release/execution/commit/abort/retry/merge/shed/dead-letter
+    events into the given ring buffer (export with
+    {!Strip_obs.Trace.chrome_json}).
+
+    Every database also carries a {!Strip_obs.Metrics} registry (see
+    {!metrics}) into which the engine, rule manager, queues and fault
+    injector are wired: task counts, service/queue-wait histograms per
+    class, failure counters, rule firing/merge counts, queue depths, and
+    per-derived-table staleness distributions sampled at the commit of
+    each rule transaction. *)
 
 (** {1 Component access} *)
 
@@ -38,6 +51,14 @@ val engine : t -> Strip_sim.Engine.t
 
 val fault_injector : t -> Strip_txn.Fault.t option
 (** The live injector (for injection counts), when [create] got [fault]. *)
+
+val metrics : t -> Strip_obs.Metrics.t
+(** The metrics registry every component registers into; snapshot it with
+    {!Strip_obs.Metrics.snapshot} and export with
+    {!Strip_obs.Metrics.json_of_rows} / [csv_of_rows]. *)
+
+val trace : t -> Strip_obs.Trace.t option
+(** The lifecycle tracer passed to {!create}, if any. *)
 
 val now : t -> float
 

@@ -1,5 +1,6 @@
 open Strip_relational
 open Strip_txn
+module Trace = Strip_obs.Trace
 
 type retry = {
   max_attempts : int;
@@ -35,9 +36,11 @@ type t = {
   mutable backlog_hint : int;
       (* optimistic count of live pending non-update tasks; may overcount
          externally-cancelled entries, resynced on every overload check *)
+  trace : Trace.t option;
 }
 
-let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload () =
+let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload ?trace
+    () =
   {
     eclock = clock;
     events = Event_queue.create ();
@@ -53,11 +56,34 @@ let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload () =
     on_requeue = None;
     fatal = (fun _ -> false);
     backlog_hint = 0;
+    trace;
   }
+
+let tid_of (task : Task.t) =
+  match task.Task.klass with
+  | Task.Update -> Trace.tid_update
+  | Task.Recompute -> Trace.tid_recompute
+  | Task.Background -> Trace.tid_background
+
+(* Lifecycle instants share one argument vocabulary: the task id and its
+   user-function name, so any event can be joined back to its task. *)
+let trace_instant t ~ts ?(extra = []) name (task : Task.t) =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.instant tr ~ts ~tid:(tid_of task)
+      ~args:
+        ([
+           ("task", Trace.Int task.Task.task_id);
+           ("func", Trace.Str task.Task.func_name);
+         ]
+        @ extra)
+      name
 
 let clock t = t.eclock
 let cost_model t = t.cost
 let stats t = t.estats
+let trace t = t.trace
 let dead_letters t = List.rev t.dead
 let set_requeue_hook t f = t.on_requeue <- Some f
 let set_fatal_filter t f = t.fatal <- f
@@ -142,6 +168,9 @@ let shed t ~incoming ov =
         in
         Task.cancel victim;
         Meter.tick "task_shed";
+        trace_instant t ~ts:(Clock.now t.eclock)
+          ~extra:[ ("coalesced", Trace.Int (Bool.to_int coalesced)) ]
+          "shed" victim;
         Stats.record_shed t.estats ~coalesced;
         t.backlog_hint <- t.backlog_hint - 1;
         decr excess
@@ -155,6 +184,9 @@ let submit t task =
   | Task.Update -> ()
   | Task.Recompute | Task.Background ->
     t.backlog_hint <- t.backlog_hint + 1);
+  trace_instant t ~ts:(Clock.now t.eclock)
+    ~extra:[ ("release", Trace.Float task.Task.release_time) ]
+    "enqueue" task;
   if task.Task.release_time <= Clock.now t.eclock then
     Queues.enqueue t.ready task
   else Event_queue.add t.events ~time:task.Task.release_time task;
@@ -165,6 +197,10 @@ let submit t task =
 let set_arrival_profile t arrivals = t.arrivals <- arrivals
 
 let pending t = Event_queue.length t.events + Queues.length t.ready
+
+let ready_length t = Queues.length t.ready
+
+let delayed_length t = Event_queue.length t.events
 
 (* Number of update arrivals in the open-closed interval (t0, t1]. *)
 let arrivals_between t t0 t1 =
@@ -187,7 +223,9 @@ let release_due t =
   | Some (time, task) ->
     Clock.advance_to t.eclock time;
     (match task.Task.state with
-    | Task.Pending -> Queues.enqueue t.ready task
+    | Task.Pending ->
+      trace_instant t ~ts:time "release" task;
+      Queues.enqueue t.ready task
     | Task.Ready | Task.Running | Task.Done | Task.Cancelled -> ())
 
 (* Scheduling congestion (paper §5.1): "more recompute transactions means
@@ -220,6 +258,13 @@ let congestion_us t now =
    error is classified fatal. *)
 let handle_failure t task e =
   Stats.record_abort t.estats;
+  trace_instant t ~ts:t.cpu_free
+    ~extra:
+      [
+        ("attempt", Trace.Int task.Task.attempts);
+        ("error", Trace.Str (Printexc.to_string e));
+      ]
+    "abort" task;
   if Float.is_nan task.Task.first_failed_at then
     task.Task.first_failed_at <- t.cpu_free;
   match t.retry with
@@ -232,6 +277,9 @@ let handle_failure t task e =
       in
       task.Task.release_time <- t.cpu_free +. backoff;
       Meter.tick "task_retry";
+      trace_instant t ~ts:t.cpu_free
+        ~extra:[ ("backoff_s", Trace.Float backoff) ]
+        "retry" task;
       Stats.record_retry t.estats;
       (match t.on_requeue with Some f -> f task | None -> ());
       submit t task
@@ -240,6 +288,9 @@ let handle_failure t task e =
       Task.discard task;
       t.dead <- task :: t.dead;
       Meter.tick "task_dead_letter";
+      trace_instant t ~ts:t.cpu_free
+        ~extra:[ ("attempts", Trace.Int task.Task.attempts) ]
+        "dead_letter" task;
       Stats.record_dead_letter t.estats
     end
   | Some _ | None ->
@@ -282,6 +333,18 @@ let dispatch t task =
   task.Task.service_us <- !us;
   t.cpu_free <- start +. (!us *. 1e-6);
   Stats.record_task t.estats ~klass:task.Task.klass ~service_us:!us ~queue_us;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.complete tr ~ts:start ~dur_us:!us ~tid:(tid_of task)
+      ~args:
+        [
+          ("task", Trace.Int task.Task.task_id);
+          ("attempt", Trace.Int task.Task.attempts);
+          ("queue_us", Trace.Float queue_us);
+          ("ok", Trace.Int (Bool.to_int (Option.is_none failure)));
+        ]
+      task.Task.func_name);
   match failure with
   | None ->
     if task.Task.attempts > 1 && not (Float.is_nan task.Task.first_failed_at)

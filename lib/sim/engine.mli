@@ -59,14 +59,21 @@ val create :
   ?cost:Cost_model.t ->
   ?retry:retry ->
   ?overload:overload ->
+  ?trace:Strip_obs.Trace.t ->
   unit ->
   t
 (** Without [retry], a task failure discards the task and re-raises (the
-    historical fail-fast contract); without [overload], nothing is shed. *)
+    historical fail-fast contract); without [overload], nothing is shed.
+    With [trace], every task lifecycle step — [enqueue], [release], the
+    execution span, [abort], [retry], [shed], [dead_letter] — is emitted
+    into the ring buffer, stamped with simulated time. *)
 
 val clock : t -> Strip_txn.Clock.t
 val cost_model : t -> Cost_model.t
 val stats : t -> Stats.t
+
+val trace : t -> Strip_obs.Trace.t option
+(** The tracer passed to {!create}, if any. *)
 
 val dead_letters : t -> Strip_txn.Task.t list
 (** Tasks whose retry budget was exhausted, oldest first.  Their bound
@@ -98,6 +105,12 @@ val set_arrival_profile : t -> float array -> unit
 
 val pending : t -> int
 (** Tasks in the delay queue plus the ready queue. *)
+
+val ready_length : t -> int
+(** Live tasks in the ready queue (cancelled entries excluded). *)
+
+val delayed_length : t -> int
+(** Tasks in the delay queue awaiting release. *)
 
 val run : ?until:float -> t -> unit
 (** Drain the system: process releases and serve tasks until both queues

@@ -1,10 +1,13 @@
 open Strip_txn
+module Histogram = Strip_obs.Histogram
 
 type per_class = {
   mutable n : int;
   mutable busy : float;  (* µs *)
   mutable queue : float;  (* µs *)
   mutable max_service : float;
+  service_h : Histogram.t;  (* µs *)
+  queue_h : Histogram.t;  (* µs *)
 }
 
 type t = {
@@ -21,9 +24,20 @@ type t = {
   mutable recoveries : int;
   mutable recovery_s : float;  (* total *)
   mutable max_recovery_s : float;
+  recovery_h : Histogram.t;  (* s *)
+  (* per-derived-table staleness, sampled at recompute commit (s) *)
+  staleness : (string, Histogram.t) Hashtbl.t;
 }
 
-let fresh () = { n = 0; busy = 0.0; queue = 0.0; max_service = 0.0 }
+let fresh () =
+  {
+    n = 0;
+    busy = 0.0;
+    queue = 0.0;
+    max_service = 0.0;
+    service_h = Histogram.create ();
+    queue_h = Histogram.create ();
+  }
 
 let create () =
   {
@@ -39,6 +53,8 @@ let create () =
     recoveries = 0;
     recovery_s = 0.0;
     max_recovery_s = 0.0;
+    recovery_h = Histogram.create ();
+    staleness = Hashtbl.create 8;
   }
 
 let slot t (klass : Task.klass) =
@@ -52,6 +68,8 @@ let record_task t ~klass ~service_us ~queue_us =
   s.n <- s.n + 1;
   s.busy <- s.busy +. service_us;
   s.queue <- s.queue +. queue_us;
+  Histogram.add s.service_h service_us;
+  Histogram.add s.queue_h queue_us;
   if service_us > s.max_service then s.max_service <- service_us
 
 let record_context_switches t n = t.ctx <- t.ctx + n
@@ -68,7 +86,25 @@ let record_dead_letter t = t.dead_letters <- t.dead_letters + 1
 let record_recovery t ~latency_s =
   t.recoveries <- t.recoveries + 1;
   t.recovery_s <- t.recovery_s +. latency_s;
+  Histogram.add t.recovery_h latency_s;
   if latency_s > t.max_recovery_s then t.max_recovery_s <- latency_s
+
+let staleness_hist t table =
+  match Hashtbl.find_opt t.staleness table with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add t.staleness table h;
+    h
+
+let record_staleness t ~table ~seconds =
+  Histogram.add (staleness_hist t table) seconds
+
+let staleness_tables t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.staleness []
+  |> List.sort String.compare
+
+let staleness_of t table = Hashtbl.find_opt t.staleness table
 
 let n_aborts t = t.aborts
 let n_retries t = t.retries
@@ -81,6 +117,8 @@ let mean_recovery_s t =
   if t.recoveries = 0 then 0.0 else t.recovery_s /. float_of_int t.recoveries
 
 let max_recovery_s t = t.max_recovery_s
+
+let recovery_hist t = t.recovery_h
 
 let busy_us t = t.update.busy +. t.recompute.busy +. t.background.busy
 
@@ -100,6 +138,14 @@ let mean_queue_us t klass =
   let s = slot t klass in
   if s.n = 0 then 0.0 else s.queue /. float_of_int s.n
 
+let service_hist t klass = (slot t klass).service_h
+let queue_hist t klass = (slot t klass).queue_h
+
+let service_percentile_us t klass p =
+  Histogram.percentile (slot t klass).service_h p
+
+let queue_percentile_us t klass p = Histogram.percentile (slot t klass).queue_h p
+
 let context_switches t = t.ctx
 
 let utilization t ~duration_s =
@@ -116,13 +162,30 @@ let pp_summary ~duration_s ppf t =
         (1e3 *. mean_recovery_s t)
         (1e3 *. t.max_recovery_s)
   in
+  let staleness_suffix =
+    String.concat ""
+      (List.map
+         (fun table ->
+           let h = staleness_hist t table in
+           Printf.sprintf
+             "\nstaleness %s: %d samples, mean %.2f s, p50 %.2f s, p99 %.2f \
+              s, max %.2f s"
+             table (Histogram.count h) (Histogram.mean h)
+             (Histogram.percentile h 50.0)
+             (Histogram.percentile h 99.0)
+             (Histogram.max_value h))
+         (staleness_tables t))
+  in
   Format.fprintf ppf
     "@[<v>cpu utilization: %.1f%%@,\
      updates: %d tasks, %.1f s busy@,\
-     recomputes: %d tasks, %.1f s busy, mean %.1f us, max %.1f us@,\
-     context switches: %d%s@]"
+     recomputes: %d tasks, %.1f s busy, mean %.1f us, p50 %.1f us, p99 %.1f \
+     us, max %.1f us@,\
+     context switches: %d%s%s@]"
     (100.0 *. utilization t ~duration_s)
     t.update.n (t.update.busy *. 1e-6) t.recompute.n
     (t.recompute.busy *. 1e-6)
     (mean_service_us t Task.Recompute)
-    t.recompute.max_service t.ctx failure_suffix
+    (service_percentile_us t Task.Recompute 50.0)
+    (service_percentile_us t Task.Recompute 99.0)
+    t.recompute.max_service t.ctx failure_suffix staleness_suffix

@@ -2,7 +2,14 @@
 
     Everything the paper's figures need: CPU busy time split by task class
     (utilization, Figures 9/12), recomputation counts (Figures 10/13) and
-    recompute service-time moments (Figures 11/14). *)
+    recompute service-time moments (Figures 11/14) — plus, for the Section
+    7/8 curves, log-bucketed latency histograms (service time, queue wait,
+    recovery) and per-derived-table {e staleness} distributions sampled at
+    commit time of each rule transaction.
+
+    Every accessor is total: with no samples recorded (or a zero duration)
+    the means, percentiles and utilization return 0.0, never NaN or
+    infinity, so downstream report arithmetic stays finite. *)
 
 type t
 
@@ -42,6 +49,29 @@ val mean_recovery_s : t -> float
 
 val max_recovery_s : t -> float
 
+val recovery_hist : t -> Strip_obs.Histogram.t
+(** Recovery-latency distribution, in seconds. *)
+
+(** {1 Staleness}
+
+    The paper's Section 7 metric: how out of date a derived table is when
+    a maintenance transaction finally commits.  Each sample is [commit
+    time - first firing time] of the committing rule transaction — the age
+    of the oldest base-data change the commit folds in (merged firings are
+    younger).  Sampled by the rule layer at commit of every recompute /
+    background transaction, keyed by the table(s) the transaction wrote. *)
+
+val record_staleness : t -> table:string -> seconds:float -> unit
+
+val staleness_tables : t -> string list
+(** Tables with at least one staleness sample, sorted. *)
+
+val staleness_of : t -> string -> Strip_obs.Histogram.t option
+val staleness_hist : t -> string -> Strip_obs.Histogram.t
+(** Like {!staleness_of} but creates an empty histogram on first use. *)
+
+(** {1 Task-class statistics} *)
+
 val busy_us : t -> float
 (** Total simulated CPU time consumed. *)
 
@@ -59,9 +89,21 @@ val max_service_us : t -> Strip_txn.Task.klass -> float
 
 val mean_queue_us : t -> Strip_txn.Task.klass -> float
 
+val service_hist : t -> Strip_txn.Task.klass -> Strip_obs.Histogram.t
+(** Service-time distribution (µs). *)
+
+val queue_hist : t -> Strip_txn.Task.klass -> Strip_obs.Histogram.t
+(** Queue-wait distribution (µs, release to dispatch). *)
+
+val service_percentile_us : t -> Strip_txn.Task.klass -> float -> float
+(** [service_percentile_us t klass p] for [p] in [0,100]; 0.0 when no
+    samples. *)
+
+val queue_percentile_us : t -> Strip_txn.Task.klass -> float -> float
+
 val context_switches : t -> int
 
 val utilization : t -> duration_s:float -> float
-(** busy / duration. *)
+(** busy / duration; 0.0 when [duration_s <= 0]. *)
 
 val pp_summary : duration_s:float -> Format.formatter -> t -> unit

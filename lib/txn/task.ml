@@ -27,6 +27,8 @@ type t = {
 
 let next_id = ref 0
 
+let reset_ids () = next_id := 0
+
 let create ~klass ~func_name ?unique_key ?deadline ?(value = 1.0) ?(bound = [])
     ~release_time ~created_at body =
   incr next_id;

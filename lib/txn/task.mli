@@ -77,3 +77,9 @@ val discard : t -> unit
 val started : t -> bool
 (** Running or finished — a unique transaction stops accepting merges at
     this point (paper §2). *)
+
+val reset_ids : unit -> unit
+(** Reset the global task-id counter.  Task ids appear in trace exports,
+    so byte-identical re-runs inside one process must reset the counter
+    first; never call it while tasks are still queued (ids would collide).
+    Used by tests and the determinism harness only. *)

@@ -9,5 +9,6 @@ let () =
    @ Test_queues.suite @ Test_sim.suite @ Test_robustness.suite
    @ Test_rules.suite
    @ Test_unique.suite @ Test_rule_properties.suite @ Test_finance.suite @ Test_market.suite
+   @ Test_obs.suite
    @ Test_pta.suite @ Test_ivm.suite @ Test_ingest.suite
    @ Test_integration.suite)

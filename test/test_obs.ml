@@ -1,0 +1,323 @@
+(* Observability subsystem: histograms, trace ring buffer, metrics
+   registry, totality guards, staleness sampling, and export determinism. *)
+
+open Strip_obs
+
+let gamma = sqrt (sqrt 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_hist_bucket_boundaries () =
+  let h = Histogram.create () in
+  (* Samples on and around an exact bucket edge must land in a bucket
+     whose [lo, hi) really contains them. *)
+  let samples = [ 1.0; gamma; gamma ** 2.0; 0.999; 1.001; 123.456; 1e-9 ] in
+  List.iter (Histogram.add h) samples;
+  let buckets = Histogram.buckets h in
+  Alcotest.(check int) "every sample counted" (List.length samples)
+    (List.fold_left (fun a (_, _, c) -> a + c) 0 buckets);
+  List.iter
+    (fun v ->
+      let held =
+        List.exists (fun (lo, hi, _) -> lo <= v && v < hi) buckets
+      in
+      Alcotest.(check bool) (Printf.sprintf "%g inside its bucket" v) true held)
+    samples;
+  (* ascending and disjoint *)
+  let rec check_sorted = function
+    | (_, hi1, _) :: ((lo2, _, _) :: _ as rest) ->
+      Alcotest.(check bool) "buckets ascending and disjoint" true (hi1 <= lo2);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted buckets
+
+let test_hist_percentiles_known () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum exact" 500500.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "mean exact" 500.5 (Histogram.mean h);
+  Alcotest.(check (float 1e-6)) "min exact" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "max exact" 1000.0 (Histogram.max_value h);
+  (* Quantiles of U{1..1000}: bounded by the bucket width (gamma - 1 ~ 9%)
+     plus nearest-rank granularity. *)
+  let within p expected =
+    let v = Histogram.percentile h p in
+    let rel = Float.abs (v -. expected) /. expected in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f=%.1f within 10%% of %.0f" p v expected)
+      true (rel <= 0.10)
+  in
+  within 50.0 500.0;
+  within 90.0 900.0;
+  within 99.0 990.0;
+  let p100 = Histogram.percentile h 100.0 in
+  Alcotest.(check bool) "p100 inside the top bucket, never above max" true
+    (p100 >= Histogram.percentile h 99.0 && p100 <= Histogram.max_value h);
+  (* monotone in p *)
+  Alcotest.(check bool) "p50 <= p90 <= p99" true
+    (Histogram.percentile h 50.0 <= Histogram.percentile h 90.0
+    && Histogram.percentile h 90.0 <= Histogram.percentile h 99.0)
+
+let test_hist_empty_and_underflow () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Histogram.max_value h);
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Histogram.percentile h 99.0);
+  Histogram.add h 0.0;
+  Histogram.add h (-5.0);
+  Histogram.add h Float.nan;
+  Alcotest.(check int) "underflow counted" 3 (Histogram.count h);
+  (match Histogram.buckets h with
+  | [ (0.0, 0.0, 3) ] -> ()
+  | _ -> Alcotest.fail "expected a single underflow bucket (0, 0, 3)");
+  Alcotest.(check (float 0.0)) "all-underflow p50 is 0" 0.0
+    (Histogram.percentile h 50.0)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Histogram.add b) [ 100.0; 200.0 ];
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 4 (Histogram.count a);
+  Alcotest.(check (float 1e-6)) "merged max" 200.0 (Histogram.max_value a);
+  Alcotest.(check (float 1e-6)) "merged min" 1.0 (Histogram.min_value a);
+  let coarse = Histogram.create ~gamma:2.0 () in
+  Alcotest.check_raises "gamma mismatch"
+    (Invalid_argument "Histogram.merge_into: gamma mismatch") (fun () ->
+      Histogram.merge_into ~dst:coarse a)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer *)
+
+let test_trace_ring_overflow_and_order () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.instant t ~ts:(float_of_int i) (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.length t);
+  Alcotest.(check int) "dropped counted" 2 (Trace.dropped t);
+  let names = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events t) in
+  Alcotest.(check (list string)) "oldest dropped, order kept"
+    [ "e3"; "e4"; "e5"; "e6" ] names;
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) (Trace.events t) in
+  Alcotest.(check (list int)) "seq numbers global" [ 2; 3; 4; 5 ] seqs;
+  Trace.clear t;
+  Alcotest.(check int) "clear empties" 0 (Trace.length t)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_trace_chrome_export () =
+  let t = Trace.create () in
+  Trace.instant t ~ts:1.5 ~tid:Trace.tid_update ~args:[ ("k", Trace.Int 7) ] "ev";
+  Trace.complete t ~ts:2.0 ~dur_us:250.0 ~tid:Trace.tid_recompute "span";
+  let s = Json.to_string (Trace.chrome_json t) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "export contains %s" needle) true
+        (contains s needle))
+    [
+      "\"traceEvents\"";
+      "\"process_name\"";
+      "\"thread_name\"";
+      (* 1.5 simulated seconds -> 1.5e6 trace microseconds *)
+      "\"ts\":1500000";
+      "\"ph\":\"X\"";
+      "\"dur\":250";
+      "\"k\":7";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_duplicate_identity () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "c" ~labels:[ ("a", "1"); ("b", "2") ]);
+  (* same name, same labels in a different order: same identity *)
+  Alcotest.check_raises "label order canonicalised"
+    (Metrics.Duplicate "c{a=1,b=2}") (fun () ->
+      ignore (Metrics.counter reg "c" ~labels:[ ("b", "2"); ("a", "1") ]));
+  (* different labels: fine *)
+  ignore (Metrics.counter reg "c" ~labels:[ ("a", "2") ]);
+  ignore (Metrics.gauge reg "g");
+  Alcotest.check_raises "gauge name collides" (Metrics.Duplicate "g") (fun () ->
+      Metrics.probe_int reg "g" (fun () -> 0))
+
+let test_metrics_snapshot_and_find () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "requests" ~labels:[ ("class", "update") ] in
+  Metrics.inc c;
+  Metrics.inc ~n:2 c;
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 3.5;
+  let h = Metrics.histogram reg "lat" in
+  List.iter (Histogram.add h) [ 1.0; 10.0; 100.0 ];
+  Metrics.probe_int reg "polled" (fun () -> 42);
+  let rows = Metrics.snapshot reg in
+  (* sorted by (name, labels) *)
+  let names = List.map (fun (r : Metrics.row) -> r.Metrics.name) rows in
+  Alcotest.(check (list string)) "sorted"
+    [ "depth"; "lat"; "polled"; "requests" ] names;
+  (match Metrics.find rows "requests" ~labels:[ ("class", "update") ] with
+  | Some (Metrics.Int 3) -> ()
+  | _ -> Alcotest.fail "counter value");
+  (match Metrics.find rows "polled" with
+  | Some (Metrics.Int 42) -> ()
+  | _ -> Alcotest.fail "probe polled at snapshot");
+  (match Metrics.find rows "lat" with
+  | Some (Metrics.Histo (s, _)) -> Alcotest.(check int) "hist count" 3 s.Histogram.n
+  | _ -> Alcotest.fail "histogram row");
+  let csv = Metrics.csv_of_rows rows in
+  (match String.split_on_char '\n' csv with
+  | header :: _ ->
+    Alcotest.(check string) "csv header"
+      "name,labels,type,value,count,sum,mean,min,max,p50,p90,p99" header
+  | [] -> Alcotest.fail "empty csv");
+  (* families collide with fixed rows only at snapshot time *)
+  Metrics.probe_family reg "depth" (fun () -> [ ([], Metrics.Sample_int 1) ]);
+  Alcotest.check_raises "family collision detected" (Metrics.Duplicate "depth")
+    (fun () -> ignore (Metrics.snapshot reg))
+
+(* ------------------------------------------------------------------ *)
+(* Stats totality guards *)
+
+let test_stats_totality () =
+  let open Strip_sim in
+  let s = Stats.create () in
+  let finite v = Float.is_finite v in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " finite") true (finite v);
+      Alcotest.(check (float 0.0)) (name ^ " zero") 0.0 v)
+    [
+      ("utilization (zero duration)", Stats.utilization s ~duration_s:0.0);
+      ("utilization (negative duration)", Stats.utilization s ~duration_s:(-1.0));
+      ("mean service", Stats.mean_service_us s Strip_txn.Task.Recompute);
+      ("mean queue", Stats.mean_queue_us s Strip_txn.Task.Update);
+      ("max service", Stats.max_service_us s Strip_txn.Task.Background);
+      ("p99 service", Stats.service_percentile_us s Strip_txn.Task.Recompute 99.0);
+      ("p50 queue", Stats.queue_percentile_us s Strip_txn.Task.Update 50.0);
+      ("mean recovery", Stats.mean_recovery_s s);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Staleness sampling and export determinism (full pipeline) *)
+
+let small_cfg () =
+  let open Strip_pta in
+  let cfg =
+    Experiment.default_config
+      (Experiment.Comp_view Comp_rules.Unique_on_symbol) ~delay:1.0
+  in
+  Experiment.quick cfg 0.02
+
+let test_staleness_sampled () =
+  let open Strip_pta in
+  let m = Experiment.run (small_cfg ()) in
+  let tables = List.map fst m.Experiment.staleness in
+  Alcotest.(check (list string)) "derived table sampled" [ "comp_prices" ] tables;
+  let s = List.assoc "comp_prices" m.Experiment.staleness in
+  Alcotest.(check int) "one sample per maintenance commit"
+    m.Experiment.n_recompute s.Histogram.n;
+  (* With a 1 s delay window the oldest folded-in change is ~1 s old at
+     commit: the mean sits near the window, and nothing is negative. *)
+  Alcotest.(check bool) "mean near the delay window" true
+    (s.Histogram.mean >= 0.5 && s.Histogram.mean <= 2.0);
+  Alcotest.(check bool) "min non-negative" true (s.Histogram.min >= 0.0);
+  Alcotest.(check bool) "p50 <= p99 <= max" true
+    (s.Histogram.p50 <= s.Histogram.p99 && s.Histogram.p99 <= s.Histogram.max);
+  (* the registry carries the same distribution *)
+  match
+    Strip_obs.Metrics.find m.Experiment.registry "staleness_s"
+      ~labels:[ ("table", "comp_prices") ]
+  with
+  | Some (Metrics.Histo (rs, _)) ->
+    Alcotest.(check int) "registry row matches" s.Histogram.n rs.Histogram.n
+  | _ -> Alcotest.fail "staleness_s{table=comp_prices} missing from registry"
+
+let run_traced () =
+  let open Strip_pta in
+  (* Task ids appear in trace args; reset them so an in-process re-run is
+     byte-identical (safe here: no tasks are queued between experiments). *)
+  Strip_txn.Task.reset_ids ();
+  let tr = Trace.create () in
+  let cfg = { (small_cfg ()) with Experiment.trace = Some tr } in
+  let m = Experiment.run cfg in
+  let trace_str = Json.to_string (Trace.chrome_json tr) in
+  let metrics_str =
+    Json.to_string (Metrics.json_of_rows m.Experiment.registry)
+  in
+  let report_str = Json.to_string (Report.metrics_json m) in
+  (trace_str, metrics_str, report_str)
+
+let test_fixed_seed_determinism () =
+  let t1, m1, r1 = run_traced () in
+  let t2, m2, r2 = run_traced () in
+  Alcotest.(check bool) "trace export non-trivial" true
+    (String.length t1 > 1000);
+  Alcotest.(check string) "byte-identical traces" t1 t2;
+  Alcotest.(check string) "byte-identical metrics" m1 m2;
+  Alcotest.(check string) "byte-identical reports" r1 r2
+
+let test_trace_has_lifecycle_vocabulary () =
+  let open Strip_pta in
+  Strip_txn.Task.reset_ids ();
+  let tr = Trace.create () in
+  let cfg = { (small_cfg ()) with Experiment.trace = Some tr } in
+  ignore (Experiment.run cfg);
+  let names =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        if List.mem e.Trace.name acc then acc else e.Trace.name :: acc)
+      [] (Trace.events tr)
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " events present") true
+        (List.mem expected names))
+    [ "enqueue"; "release"; "commit"; "merge" ]
+
+let suite =
+  [
+    ( "obs/histogram",
+      [
+        Alcotest.test_case "bucket boundaries" `Quick test_hist_bucket_boundaries;
+        Alcotest.test_case "percentiles vs uniform 1..1000" `Quick
+          test_hist_percentiles_known;
+        Alcotest.test_case "empty and underflow" `Quick
+          test_hist_empty_and_underflow;
+        Alcotest.test_case "merge" `Quick test_hist_merge;
+      ] );
+    ( "obs/trace",
+      [
+        Alcotest.test_case "ring overflow and ordering" `Quick
+          test_trace_ring_overflow_and_order;
+        Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+      ] );
+    ( "obs/metrics",
+      [
+        Alcotest.test_case "duplicate identity" `Quick
+          test_metrics_duplicate_identity;
+        Alcotest.test_case "snapshot, find, csv" `Quick
+          test_metrics_snapshot_and_find;
+      ] );
+    ( "obs/integration",
+      [
+        Alcotest.test_case "stats accessors are total" `Quick
+          test_stats_totality;
+        Alcotest.test_case "staleness sampled at commit" `Quick
+          test_staleness_sampled;
+        Alcotest.test_case "fixed-seed export determinism" `Quick
+          test_fixed_seed_determinism;
+        Alcotest.test_case "lifecycle event vocabulary" `Quick
+          test_trace_has_lifecycle_vocabulary;
+      ] );
+  ]
