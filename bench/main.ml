@@ -17,7 +17,8 @@
                           scenario)
      STRIP_BENCH_DELAYS   comma-separated delay windows (default 0.5,1,1.5,2,3)
      STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
-     STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_ROBUSTNESS
+     STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_SWEEP /
+     STRIP_BENCH_SKIP_ROBUSTNESS
                           set to skip a part
 
    Flags:
@@ -451,6 +452,116 @@ let ablations () =
       Comp_rules.Unique_on_comp ]
 
 (* ================================================================== *)
+(* Server sweep: multi-server execution under overload (PR3).          *)
+
+let server_sweep () =
+  section "Server sweep (multi-server lock-arbitrated execution)";
+  (* Overload knob: de-rate the simulated CPU until one server cannot keep
+     up with the feed.  Total work is then fixed (the non-unique rule never
+     merges), so extra servers shrink the makespan and recompute throughput
+     climbs until the feed itself becomes the bottleneck.  Lock conflicts
+     are real: concurrent recomputes collide on shared composite rows and
+     park/wake through the 2PL manager. *)
+  let sw_scale = Float.min scale 0.05 in
+  let slowdown = 250.0 in
+  let slow =
+    Cost_model.create
+      (List.map
+         (fun (name, us) -> (name, us *. slowdown))
+         (Cost_model.entries Cost_model.default))
+  in
+  let run_at servers =
+    let cfg =
+      Experiment.default_config (Experiment.Comp_view Comp_rules.Non_unique)
+        ~delay:0.0
+    in
+    let cfg = Experiment.quick cfg sw_scale in
+    let cfg =
+      {
+        cfg with
+        Experiment.cost = slow;
+        verify = true;
+        servers;
+        (* With a de-rated CPU the queueing delay between a wake and the
+           re-run dwarfs the 5 s wait-timeout default, so a contended task
+           would be presumed deadlocked over and over and eventually
+           dead-letter — losing its recompute.  Scale the timeout with the
+           slowdown and give the retry path budget to spare. *)
+        lock_timeout_s = 120.0;
+        retry =
+          Some { Strip_sim.Engine.default_retry with max_attempts = 20 };
+      }
+    in
+    let m = Experiment.run cfg in
+    Report.print_metrics m;
+    Report.print_servers m;
+    if m.Experiment.verified <> Some true then begin
+      Printf.printf
+        "SWEEP FAILED: %d-server run did not converge (max error %g)\n"
+        servers m.Experiment.max_abs_error;
+      exit 1
+    end;
+    m
+  in
+  Report.print_metrics_header ();
+  let ms = List.map run_at [ 1; 2; 4; 8 ] in
+  let rec check_monotone = function
+    | (a : Experiment.metrics) :: (b : Experiment.metrics) :: rest ->
+      if
+        b.Experiment.recompute_throughput_per_s
+        <= a.Experiment.recompute_throughput_per_s
+      then begin
+        Printf.printf
+          "SWEEP FAILED: recompute throughput did not improve %d -> %d \
+           servers (%.2f/s -> %.2f/s)\n"
+          a.Experiment.servers b.Experiment.servers
+          a.Experiment.recompute_throughput_per_s
+          b.Experiment.recompute_throughput_per_s;
+        exit 1
+      end;
+      check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone ms;
+  (* BENCH_PR3.json at the repo root: the sweep's headline numbers, one
+     point per server count.  CI validates presence and well-formedness. *)
+  let open Strip_obs in
+  let point (m : Experiment.metrics) =
+    Json.Obj
+      [
+        ("servers", Json.Int m.Experiment.servers);
+        ("makespan_s", Json.Float m.Experiment.makespan_s);
+        ( "recompute_throughput_per_s",
+          Json.Float m.Experiment.recompute_throughput_per_s );
+        ("p99_recompute_latency_us", Json.Float m.Experiment.p99_recompute_us);
+        ( "staleness_p99_s",
+          match List.assoc_opt "comp_prices" m.Experiment.staleness with
+          | Some (s : Histogram.summary) -> Json.Float s.p99
+          | None -> Json.Null );
+        ( "per_server_utilization",
+          Json.List
+            (List.map (fun u -> Json.Float u) m.Experiment.per_server_utilization)
+        );
+        ("n_lock_waits", Json.Int m.Experiment.n_lock_waits);
+        ("n_lock_timeouts", Json.Int m.Experiment.n_lock_timeouts);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ( "benchmark",
+          Json.Str "multi-server sweep (comp_prices/non-unique, overloaded)" );
+        ("scale", Json.Float sw_scale);
+        ("cost_slowdown", Json.Float slowdown);
+        ("sweep", Json.List (List.map point ms));
+      ]
+  in
+  let oc = open_out "BENCH_PR3.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote server-sweep results to BENCH_PR3.json\n%!"
+
+(* ================================================================== *)
 (* Robustness: fault injection, retry convergence, overload shedding.   *)
 
 let robustness () =
@@ -537,5 +648,6 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_TABLE1" = None then bench_table1 ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_FIGURES" = None then figures ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ABLATIONS" = None then ablations ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_SWEEP" = None then server_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ();
   if observing () then write_exports ()

@@ -57,6 +57,22 @@ let retries_arg =
   let doc = "Retry budget: total attempts per failed task." in
   Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N" ~doc)
 
+let servers_arg =
+  let doc =
+    "Number of logical executor servers; overlapping task service windows \
+     are arbitrated by the 2PL lock manager (blocked tasks park and wake \
+     deterministically)."
+  in
+  Arg.(value & opt int 1 & info [ "servers" ] ~docv:"N" ~doc)
+
+let watermark_arg =
+  let doc =
+    "Overload high watermark: shed (coalescing when possible) delayed rule \
+     tasks once the live backlog exceeds $(docv).  0 disables overload \
+     control."
+  in
+  Arg.(value & opt int 0 & info [ "watermark" ] ~docv:"N" ~doc)
+
 let trace_file_arg =
   let doc =
     "Record task/transaction lifecycle events and write them to $(docv) in \
@@ -92,7 +108,7 @@ let rule_of_strings view variant =
   | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
 
 let run_experiment view variant delay scale verify seed abort_rate fault_seed
-    retries trace_file metrics_file json =
+    retries servers watermark trace_file metrics_file json =
   match rule_of_strings view variant with
   | Error msg ->
     prerr_endline msg;
@@ -103,7 +119,20 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       { cfg with Experiment.feed = { cfg.Experiment.feed with Feed.seed } }
     in
     let cfg = if scale <> 1.0 then Experiment.quick cfg scale else cfg in
-    let cfg = { cfg with Experiment.verify } in
+    let cfg = { cfg with Experiment.verify; servers = max 1 servers } in
+    let cfg =
+      if watermark > 0 then
+        {
+          cfg with
+          Experiment.overload =
+            Some
+              {
+                Strip_sim.Engine.high_watermark = watermark;
+                shed_policy = Strip_sim.Engine.Coalesce;
+              };
+        }
+      else cfg
+    in
     let cfg =
       if abort_rate > 0.0 then
         Experiment.with_faults ~seed:fault_seed
@@ -120,6 +149,7 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       Report.print_metrics_header ();
       Report.print_metrics m;
       Report.print_failures m;
+      Report.print_servers m;
       Report.print_staleness m;
       Printf.printf
         "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
@@ -157,7 +187,8 @@ let experiment_cmd =
     Term.(
       const run_experiment $ view_arg $ variant_arg $ delay_arg $ scale_arg
       $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg
-      $ trace_file_arg $ metrics_file_arg $ json_arg)
+      $ servers_arg $ watermark_arg $ trace_file_arg $ metrics_file_arg
+      $ json_arg)
   in
   Cmd.v
     (Cmd.info "experiment"

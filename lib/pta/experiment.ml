@@ -13,6 +13,8 @@ type config = {
   sizes : Pta_tables.sizes;
   cost : Strip_sim.Cost_model.t;
   verify : bool;
+  servers : int;
+  lock_timeout_s : float;
   fault : Strip_txn.Fault.config option;
   retry : Strip_sim.Engine.retry option;
   overload : Strip_sim.Engine.overload option;
@@ -27,6 +29,8 @@ let default_config rule ~delay =
     sizes = Pta_tables.default_sizes;
     cost = Strip_sim.Cost_model.default;
     verify = true;
+    servers = 1;
+    lock_timeout_s = 5.0;
     fault = None;
     retry = None;
     overload = None;
@@ -47,6 +51,13 @@ type metrics = {
   label : string;
   delay : float;
   duration_s : float;
+  servers : int;
+  makespan_s : float;
+  recompute_throughput_per_s : float;
+  per_server_utilization : float list;
+  n_lock_waits : int;
+  n_lock_timeouts : int;
+  lock_wait_s : Strip_obs.Histogram.summary option;
   utilization : float;
   n_updates : int;
   n_recompute : int;
@@ -96,7 +107,8 @@ let max_error expected actual =
 let run cfg =
   let db =
     Strip_db.create ~cost:cfg.cost ?fault:cfg.fault ?retry:cfg.retry
-      ?overload:cfg.overload ?trace:cfg.trace ()
+      ?overload:cfg.overload ~servers:cfg.servers
+      ~lock_timeout_s:cfg.lock_timeout_s ?trace:cfg.trace ()
   in
   let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
   let weights = Feed.activity_weights cfg.feed in
@@ -137,10 +149,33 @@ let run cfg =
     else (None, nan)
   in
   let open Strip_txn in
+  (* Makespan: the simulated instant the last dispatched task finished
+     (the clock ends on its completion event).  Recompute throughput over
+     the makespan is the quantity the server sweep improves: an overloaded
+     single server drains its backlog long after the feed ends, and extra
+     servers shrink that tail. *)
+  let makespan_s = Clock.now (Strip_db.clock db) in
+  let n_recompute = Strip_sim.Stats.n_recompute stats in
   {
     label = label_of cfg.rule;
     delay = cfg.delay;
     duration_s;
+    servers = cfg.servers;
+    makespan_s;
+    recompute_throughput_per_s =
+      (if makespan_s <= 0.0 then 0.0
+       else float_of_int n_recompute /. makespan_s);
+    per_server_utilization =
+      Strip_sim.Stats.per_server_utilization stats
+        ~duration_s:(Float.max duration_s makespan_s);
+    n_lock_waits = Strip_sim.Stats.n_lock_waits stats;
+    n_lock_timeouts = Strip_sim.Stats.n_lock_timeouts stats;
+    lock_wait_s =
+      (if Strip_sim.Stats.n_lock_waits stats = 0 then None
+       else
+         Some
+           (Strip_obs.Histogram.summary
+              (Strip_sim.Stats.lock_wait_hist stats)));
     utilization = Strip_sim.Stats.utilization stats ~duration_s;
     n_updates = Strip_sim.Stats.tasks_run stats Task.Update;
     n_recompute = Strip_sim.Stats.n_recompute stats;

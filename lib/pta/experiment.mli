@@ -19,6 +19,13 @@ type config = {
   sizes : Pta_tables.sizes;
   cost : Strip_sim.Cost_model.t;
   verify : bool;
+  servers : int;
+      (** engine executor count (default 1); overlapping service windows
+          are arbitrated by the lock manager *)
+  lock_timeout_s : float;
+      (** simulated seconds a task may spend blocked (measured from its
+          first blocked attempt) before the engine presumes deadlock and
+          routes it to the retry path (default 5.0) *)
   fault : Strip_txn.Fault.config option;
       (** inject transaction failures at the configured rates *)
   retry : Strip_sim.Engine.retry option;
@@ -47,6 +54,22 @@ type metrics = {
   label : string;
   delay : float;
   duration_s : float;
+  servers : int;
+  makespan_s : float;
+      (** simulated instant the last task finished (includes any backlog
+          drained after the feed ends) *)
+  recompute_throughput_per_s : float;
+      (** n_recompute / makespan — the quantity the server sweep improves *)
+  per_server_utilization : float list;
+      (** busy fraction of each executor over the makespan (unlike
+          [utilization], the paper's offered-load cpu%, which is
+          normalized by the feed duration and can exceed 100% under
+          overload) *)
+  n_lock_waits : int;  (** park → wake episodes on lock conflicts *)
+  n_lock_timeouts : int;  (** waits presumed deadlocked and retried *)
+  lock_wait_s : Strip_obs.Histogram.summary option;
+      (** park → wake wait distribution (seconds); [None] when no task
+          ever waited *)
   utilization : float;  (** fraction of the simulated CPU consumed *)
   n_updates : int;
   n_recompute : int;  (** the paper's N_r *)

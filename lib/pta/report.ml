@@ -28,6 +28,26 @@ let print_failures (m : Experiment.metrics) =
        else "")
   else Printf.printf "  failures: (none)\n%!"
 
+let print_servers (m : Experiment.metrics) =
+  if m.servers > 1 || m.n_lock_waits + m.n_lock_timeouts > 0 then begin
+    Printf.printf
+      "  servers: %d; makespan %.1fs; recompute throughput %.1f/s; \
+       utilization per server: %s\n%!"
+      m.servers m.makespan_s m.recompute_throughput_per_s
+      (String.concat ", "
+         (List.map (fun u -> Printf.sprintf "%.1f%%" (100.0 *. u))
+            m.per_server_utilization));
+    match m.lock_wait_s with
+    | None ->
+      Printf.printf "  lock waits: (none); timeouts: %d\n%!" m.n_lock_timeouts
+    | Some (s : Strip_obs.Histogram.summary) ->
+      Printf.printf
+        "  lock waits: %d (mean %.2fms p50 %.2fms p99 %.2fms max %.2fms); \
+         timeouts: %d\n%!"
+        m.n_lock_waits (1e3 *. s.mean) (1e3 *. s.p50) (1e3 *. s.p99)
+        (1e3 *. s.max) m.n_lock_timeouts
+  end
+
 let print_staleness (m : Experiment.metrics) =
   List.iter
     (fun (table, (s : Strip_obs.Histogram.summary)) ->
@@ -55,6 +75,18 @@ let metrics_json (m : Experiment.metrics) =
       ("label", Json.Str m.label);
       ("delay_s", Json.Float m.delay);
       ("duration_s", Json.Float m.duration_s);
+      ("servers", Json.Int m.servers);
+      ("makespan_s", Json.Float m.makespan_s);
+      ("recompute_throughput_per_s", Json.Float m.recompute_throughput_per_s);
+      ( "per_server_utilization",
+        Json.List (List.map (fun u -> Json.Float u) m.per_server_utilization)
+      );
+      ("n_lock_waits", Json.Int m.n_lock_waits);
+      ("n_lock_timeouts", Json.Int m.n_lock_timeouts);
+      ( "lock_wait_s",
+        match m.lock_wait_s with
+        | None -> Json.Null
+        | Some s -> summary_to_json s );
       ("utilization", Json.Float m.utilization);
       ("n_updates", Json.Int m.n_updates);
       ("n_recompute", Json.Int m.n_recompute);

@@ -12,6 +12,13 @@ val print_failures : Experiment.metrics -> unit
     ["failures: (none)"] when the run saw no failures, so a clean run is
     distinguishable from a missing report. *)
 
+val print_servers : Experiment.metrics -> unit
+(** Indented multi-server rows: server count, makespan, recompute
+    throughput, per-server utilization, and the lock-wait summary
+    (count, mean/p50/p99/max wait, timeouts).  Silent for a single-server
+    run that never waited on a lock, so historical reports are
+    unchanged. *)
+
 val print_staleness : Experiment.metrics -> unit
 (** One indented line per derived table: count, mean, p50/p90/p99 and max
     staleness in seconds (paper §7); silent when no maintenance

@@ -1,5 +1,6 @@
 type t = {
   rid : int;
+  base : int;
   values : Value.t array;
   mutable refcount : int;
   mutable live : bool;
@@ -11,7 +12,11 @@ let reclaimed = ref 0
 
 let create values =
   incr next_rid;
-  { rid = !next_rid; values; refcount = 0; live = true }
+  { rid = !next_rid; base = !next_rid; values; refcount = 0; live = true }
+
+let create_version ~base values =
+  incr next_rid;
+  { rid = !next_rid; base; values; refcount = 0; live = true }
 
 let pin r = r.refcount <- r.refcount + 1
 

@@ -11,13 +11,22 @@
 
 type t = private {
   rid : int;  (** unique id, assigned at creation, database-wide *)
+  base : int;
+      (** stable logical-row identity, preserved across update versions —
+          the resource record locks name, so two transactions writing
+          successive versions of the same row really conflict *)
   values : Value.t array;  (** immutable attribute values *)
   mutable refcount : int;  (** pins held by temporary tables *)
   mutable live : bool;  (** still linked into its standard table? *)
 }
 
 val create : Value.t array -> t
-(** Fresh live record with refcount 0. *)
+(** Fresh live record with refcount 0; [base] equals [rid]. *)
+
+val create_version : base:int -> Value.t array -> t
+(** Fresh record standing for a new version of the logical row [base]
+    (used by [Table.update], which carries the old record's [base]
+    through). *)
 
 val pin : t -> unit
 (** Take a reference (called when a temporary tuple stores a pointer). *)

@@ -141,8 +141,14 @@ let open_matching_cursor tb where =
       | None -> (Table.open_cursor tb, Some w)))
 
 let fold_matching ?(hooks = no_hooks) tb where ~mode f =
-  hooks.lock_table tb
-    (match mode with Shared -> Shared | Exclusive -> Exclusive);
+  (* Table-level lock: scans take S, and writers also take S — intention
+     style.  A writer's exclusive claims are the per-record X locks its
+     callback acquires on each matched row, so updates to disjoint records
+     can overlap under the multi-server engine instead of serializing on a
+     whole-table X lock.  INSERT keeps its table X lock (its appends have
+     no pre-existing records to lock). *)
+  ignore (mode : lock_mode);
+  hooks.lock_table tb Shared;
   let cursor, pred = open_matching_cursor tb where in
   let n = ref 0 in
   let rec loop () =

@@ -826,7 +826,57 @@ let plan_select ~resolve_rel (ast : select_ast) : Query.plan =
           List.map (fun e -> Query.item e) ast.group_by
         else keys
       in
-      Query.Group { keys; aggs; having = ast.having; input = plan }
+      (* HAVING scopes over the grouped input, but the Group operator
+         evaluates it against its own output schema — so [having sum(n) >
+         0] would die with "unknown column n".  Rewrite every aggregate in
+         the predicate into a reference to the matching aggregate output
+         column, appending hidden aggregates (dropped again by a Project
+         wrapper) for those not already in the select list. *)
+      let all_aggs = ref aggs in
+      let hidden = ref false in
+      let rec rewrite_having (e : Expr.t) =
+        match aggregate_of e with
+        | Some a ->
+          let name =
+            match List.find_opt (fun (a', _) -> a' = a) !all_aggs with
+            | Some (_, n) -> n
+            | None ->
+              let n = Printf.sprintf "having%d" (List.length !all_aggs) in
+              all_aggs := !all_aggs @ [ (a, n) ];
+              hidden := true;
+              n
+          in
+          Expr.Col (None, name)
+        | None -> (
+          match e with
+          | Expr.Const _ | Expr.Col _ | Expr.Bound _ -> e
+          | Expr.Unop (op, a) -> Expr.Unop (op, rewrite_having a)
+          | Expr.Binop (op, a, b) ->
+            Expr.Binop (op, rewrite_having a, rewrite_having b)
+          | Expr.Call (f, args) -> Expr.Call (f, List.map rewrite_having args))
+      in
+      let having = Option.map rewrite_having ast.having in
+      let grouped =
+        Query.Group { keys; aggs = !all_aggs; having; input = plan }
+      in
+      if not !hidden then grouped
+      else begin
+        let key_names =
+          List.mapi
+            (fun i (it : Query.select_item) ->
+              match it.alias with
+              | Some a -> a
+              | None -> (
+                match it.expr with
+                | Expr.Col (_, n) -> n
+                | _ -> Printf.sprintf "col%d" i))
+            keys
+        in
+        let visible = key_names @ List.map snd aggs in
+        Query.Project
+          ( List.map (fun n -> Query.item (Expr.Col (None, n))) visible,
+            grouped )
+      end
     end
   in
   let plan = if ast.distinct then Query.Distinct plan else plan in

@@ -135,7 +135,7 @@ let update t old values =
   check_row t values;
   Meter.tick "update_record";
   let old_node = node_of t old in
-  let r = Record.create values in
+  let r = Record.create_version ~base:old.Record.base values in
   let node = { record = r; prev = None; next = None } in
   replace_node t ~old_node node;
   List.iter

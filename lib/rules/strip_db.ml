@@ -66,6 +66,16 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi =
   Metrics.probe_int reg "delay_queue_length" (fun () ->
       Engine.delayed_length eng);
   Metrics.probe_int reg "engine_backlog" (fun () -> Engine.backlog eng);
+  Metrics.probe_int reg "servers" (fun () -> Engine.num_servers eng);
+  Metrics.probe_int reg "parked_tasks" (fun () -> Engine.parked_count eng);
+  Metrics.probe_int reg "lock_waits_total" (fun () -> Stats.n_lock_waits stats);
+  Metrics.probe_int reg "lock_timeouts_total" (fun () ->
+      Stats.n_lock_timeouts stats);
+  Metrics.probe_hist reg "lock_wait_s" (fun () -> Stats.lock_wait_hist stats);
+  Metrics.probe_family reg "server_busy_us" (fun () ->
+      List.init (Stats.num_servers stats) (fun i ->
+          ( [ ("server", string_of_int i) ],
+            Metrics.Sample_float (Stats.server_busy_us stats i) )));
   Metrics.probe_float reg "sim_now_s" (fun () -> Clock.now clk);
   (match fi with
   | None -> ()
@@ -80,7 +90,8 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi =
     Metrics.probe_int reg "trace_events_dropped_total" (fun () ->
         Strip_obs.Trace.dropped tr)
 
-let create ?policy ?cost ?now ?fault ?retry ?overload ?trace () =
+let create ?policy ?cost ?now ?fault ?retry ?overload ?servers ?lock_timeout_s
+    ?trace () =
   let cat = Catalog.create () in
   let lcks = Lock.create () in
   let clk = Clock.create ?now () in
@@ -88,7 +99,10 @@ let create ?policy ?cost ?now ?fault ?retry ?overload ?trace () =
   let mgr =
     Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi ?trace ()
   in
-  let eng = Engine.create ~clock:clk ?policy ?cost ?retry ?overload ?trace () in
+  let eng =
+    Engine.create ~clock:clk ?policy ?cost ?retry ?overload ~locks:lcks
+      ?servers ?lock_timeout_s ?trace ()
+  in
   Rule_manager.set_submitter mgr (Engine.submit eng);
   (* Failure wiring: retried unique transactions re-enter the registry so
      merges continue through their backoff; rule-definition errors are

@@ -20,6 +20,8 @@ val create :
   ?fault:Strip_txn.Fault.config ->
   ?retry:Strip_sim.Engine.retry ->
   ?overload:Strip_sim.Engine.overload ->
+  ?servers:int ->
+  ?lock_timeout_s:float ->
   ?trace:Strip_obs.Trace.t ->
   unit ->
   t
@@ -28,6 +30,11 @@ val create :
     engine's bounded-exponential-backoff recovery for failed tasks;
     [overload] enables watermark-based shedding of delayed rule tasks.
     All three default to off, preserving fail-fast semantics.
+
+    [servers] (default 1) sets the engine's executor count; the lock
+    manager arbitrates overlapping service windows for real (blocked tasks
+    park and wake FIFO by task id; waits past [lock_timeout_s] are
+    presumed deadlocked and retried).  See docs/CONCURRENCY.md.
 
     [trace] turns on lifecycle tracing: the engine and rule manager emit
     enqueue/release/execution/commit/abort/retry/merge/shed/dead-letter

@@ -37,4 +37,13 @@ let remove t ~func ~key =
   Meter.tick "unique_hash";
   Tbl.remove t.tbl (func, key)
 
-let queued t = Tbl.length t.tbl
+(* Entries whose task has started (or was cancelled) are purged only lazily
+   inside [find], so [Tbl.length] overcounts; report only live batch-queue
+   entries — the quantity the overload watermark and the [unique_queued]
+   metric mean. *)
+let queued t =
+  Tbl.fold
+    (fun _ task n ->
+      if Task.started task || task.Task.state = Task.Cancelled then n
+      else n + 1)
+    t.tbl 0

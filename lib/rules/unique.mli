@@ -22,4 +22,6 @@ val register : t -> func:string -> key:Strip_relational.Value.t list -> Strip_tx
 val remove : t -> func:string -> key:Strip_relational.Value.t list -> unit
 
 val queued : t -> int
-(** Live entries (queued unique transactions). *)
+(** Live entries (queued unique transactions).  Entries whose task already
+    started or was cancelled are excluded even though [find] has not yet
+    purged them — ticks nothing. *)

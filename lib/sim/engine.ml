@@ -25,7 +25,21 @@ type t = {
   estats : Stats.t;
   retry : retry option;
   overload : overload option;
-  mutable cpu_free : float;
+  locks : Lock.t option;
+      (* when wired, committing transactions release their locks deferred
+         (zombie holders) until the completion event at the task's
+         simulated finish instant — the contention source for overlapping
+         servers *)
+  lock_timeout_s : float;
+  servers : float array;  (* per-server next-free instants *)
+  completions : int list Event_queue.t;
+      (* finish instants of dispatched tasks; payload = the txids whose
+         lock release was deferred inside the task body *)
+  inflight : (int, float) Hashtbl.t;  (* deferred txid -> finish instant *)
+  parked : (int, (Task.t * float) list ref) Hashtbl.t;
+      (* blocker txid -> tasks parked on it, with their park instants;
+         woken FIFO by task id when the blocker's completion flushes *)
+  mutable n_parked : int;
   mutable arrivals : float array;
   recent_dispatches : float Queue.t;
       (* dispatch instants within the trailing second, for the congestion
@@ -39,17 +53,24 @@ type t = {
   trace : Trace.t option;
 }
 
-let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload ?trace
-    () =
+let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload ?locks
+    ?(servers = 1) ?(lock_timeout_s = 5.0) ?trace () =
+  if servers < 1 then invalid_arg "Engine.create: servers < 1";
   {
     eclock = clock;
     events = Event_queue.create ();
     ready = Queues.create ?policy ();
     cost;
-    estats = Stats.create ();
+    estats = Stats.create ~servers ();
     retry;
     overload;
-    cpu_free = 0.0;
+    locks;
+    lock_timeout_s;
+    servers = Array.make servers 0.0;
+    completions = Event_queue.create ();
+    inflight = Hashtbl.create 64;
+    parked = Hashtbl.create 16;
+    n_parked = 0;
     arrivals = [||];
     recent_dispatches = Queue.create ();
     dead = [];
@@ -87,6 +108,17 @@ let trace t = t.trace
 let dead_letters t = List.rev t.dead
 let set_requeue_hook t f = t.on_requeue <- Some f
 let set_fatal_filter t f = t.fatal <- f
+let num_servers t = Array.length t.servers
+let parked_count t = t.n_parked
+
+(* The server the next dispatch lands on: earliest free, lowest index on
+   ties — both deterministic. *)
+let min_server t =
+  let s = ref 0 in
+  for i = 1 to Array.length t.servers - 1 do
+    if t.servers.(i) < t.servers.(!s) then s := i
+  done;
+  !s
 
 (* ------------------------------------------------------------------ *)
 (* Overload control: when the live backlog of rule-triggered tasks
@@ -101,13 +133,24 @@ let live_non_update acc (task : Task.t) =
   | _ -> acc
 
 let backlog t =
+  let parked =
+    Hashtbl.fold
+      (fun _ lst acc ->
+        List.fold_left (fun acc (task, _) -> live_non_update acc task) acc !lst)
+      t.parked 0
+  in
   Queues.fold
     (fun acc task -> live_non_update acc task)
-    (Event_queue.fold (fun acc _time task -> live_non_update acc task) 0 t.events)
+    (Event_queue.fold
+       (fun acc _time task -> live_non_update acc task)
+       parked t.events)
     t.ready
 
 (* [a] is a better shed victim than [b]: expired deadline first, then the
-   lowest value, then the stalest (oldest) task. *)
+   lowest value, then the stalest (oldest) task, then the lowest task id.
+   The final tiebreak makes this a total order, so the victim chosen by
+   folding over the delay queue is independent of the heap's internal
+   layout (Event_queue.fold visits in arbitrary order). *)
 let better_victim now (a : Task.t) (b : Task.t) =
   let expired (x : Task.t) =
     match x.Task.deadline with Some d -> d < now | None -> false
@@ -117,7 +160,9 @@ let better_victim now (a : Task.t) (b : Task.t) =
   | false, true -> false
   | _ ->
     if a.Task.value <> b.Task.value then a.Task.value < b.Task.value
-    else a.Task.created_at < b.Task.created_at
+    else if a.Task.created_at <> b.Task.created_at then
+      a.Task.created_at < b.Task.created_at
+    else a.Task.task_id < b.Task.task_id
 
 let pick_victim t ~exclude =
   let now = Clock.now t.eclock in
@@ -196,7 +241,7 @@ let submit t task =
 
 let set_arrival_profile t arrivals = t.arrivals <- arrivals
 
-let pending t = Event_queue.length t.events + Queues.length t.ready
+let pending t = Event_queue.length t.events + Queues.length t.ready + t.n_parked
 
 let ready_length t = Queues.length t.ready
 
@@ -256,9 +301,9 @@ let congestion_us t now =
    retry budget lasts, dead-letter once it is exhausted, and fall back to
    the fail-fast contract (discard + propagate) when retry is off or the
    error is classified fatal. *)
-let handle_failure t task e =
+let handle_failure t ~now task e =
   Stats.record_abort t.estats;
-  trace_instant t ~ts:t.cpu_free
+  trace_instant t ~ts:now
     ~extra:
       [
         ("attempt", Trace.Int task.Task.attempts);
@@ -266,7 +311,8 @@ let handle_failure t task e =
       ]
     "abort" task;
   if Float.is_nan task.Task.first_failed_at then
-    task.Task.first_failed_at <- t.cpu_free;
+    task.Task.first_failed_at <- now;
+  task.Task.first_blocked_at <- nan;
   match t.retry with
   | Some r when not (t.fatal e) ->
     if task.Task.attempts < r.max_attempts then begin
@@ -275,9 +321,9 @@ let handle_failure t task e =
           (r.base_backoff_s
           *. (2.0 ** float_of_int (task.Task.attempts - 1)))
       in
-      task.Task.release_time <- t.cpu_free +. backoff;
+      task.Task.release_time <- now +. backoff;
       Meter.tick "task_retry";
-      trace_instant t ~ts:t.cpu_free
+      trace_instant t ~ts:now
         ~extra:[ ("backoff_s", Trace.Float backoff) ]
         "retry" task;
       Stats.record_retry t.estats;
@@ -288,7 +334,7 @@ let handle_failure t task e =
       Task.discard task;
       t.dead <- task :: t.dead;
       Meter.tick "task_dead_letter";
-      trace_instant t ~ts:t.cpu_free
+      trace_instant t ~ts:now
         ~extra:[ ("attempts", Trace.Int task.Task.attempts) ]
         "dead_letter" task;
       Stats.record_dead_letter t.estats
@@ -297,8 +343,75 @@ let handle_failure t task e =
     Task.discard task;
     raise e
 
+(* Wake the tasks parked on [owner], FIFO by task id, at completion
+   instant [time].  Tasks cancelled while parked (shed, discarded) are
+   silently dropped. *)
+let wake_parked t ~time owner =
+  match Hashtbl.find_opt t.parked owner with
+  | None -> ()
+  | Some lst ->
+    Hashtbl.remove t.parked owner;
+    let woken =
+      List.sort
+        (fun ((a : Task.t), _) ((b : Task.t), _) ->
+          compare a.Task.task_id b.Task.task_id)
+        !lst
+    in
+    List.iter
+      (fun ((task : Task.t), since) ->
+        t.n_parked <- t.n_parked - 1;
+        match task.Task.state with
+        | Task.Pending ->
+          Stats.record_lock_wait t.estats
+            ~seconds:(Float.max 0.0 (time -. since));
+          trace_instant t ~ts:time
+            ~extra:[ ("blocker", Trace.Int owner) ]
+            "wake" task;
+          Queues.enqueue t.ready task
+        | Task.Ready | Task.Running | Task.Done | Task.Cancelled -> ())
+      woken
+
+(* A completion event: the simulated instant a dispatched task finished.
+   Flush the zombie locks of every transaction that committed inside its
+   body, then wake their waiters. *)
+let complete t ~advance time owners =
+  if advance then Clock.advance_to t.eclock time;
+  (match t.locks with
+  | Some lk -> List.iter (fun owner -> Lock.flush lk ~owner) owners
+  | None -> ());
+  List.iter
+    (fun owner ->
+      Hashtbl.remove t.inflight owner;
+      wake_parked t ~time owner)
+    owners
+
+let park t task ~start ~blocker ~finish =
+  task.Task.attempts <- task.Task.attempts - 1;
+  if Float.is_nan task.Task.first_blocked_at then
+    task.Task.first_blocked_at <- start;
+  (match task.Task.klass with
+  | Task.Update -> ()
+  | Task.Recompute | Task.Background -> t.backlog_hint <- t.backlog_hint + 1);
+  t.n_parked <- t.n_parked + 1;
+  trace_instant t ~ts:start
+    ~extra:[ ("blocker", Trace.Int blocker); ("until", Trace.Float finish) ]
+    "lock_wait" task;
+  (* Re-register unique transactions, as on retry: merges keep appending
+     to the parked TCB while the task waits for the lock. *)
+  (match t.on_requeue with Some f -> f task | None -> ());
+  let lst =
+    match Hashtbl.find_opt t.parked blocker with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add t.parked blocker l;
+      l
+  in
+  lst := (task, start) :: !lst
+
 let dispatch t task =
-  let start = Float.max (Clock.now t.eclock) t.cpu_free in
+  let s = min_server t in
+  let start = Float.max (Clock.now t.eclock) t.servers.(s) in
   Clock.advance_to t.eclock start;
   (match task.Task.klass with
   | Task.Update -> ()
@@ -308,70 +421,159 @@ let dispatch t task =
   let queue_us = Float.max 0.0 (start -. task.Task.release_time) *. 1e6 in
   let before = Meter.snapshot () in
   Meter.tick "task_dispatch";
+  (match t.locks with Some lk -> Lock.begin_defer lk | None -> ());
   let failure =
     match Task.run task with () -> None | exception e -> Some e
   in
+  let owners = match t.locks with Some lk -> Lock.end_defer lk | None -> [] in
   let deltas = Meter.diff before (Meter.snapshot ()) in
-  let us = ref (Cost_model.charge t.cost deltas) in
-  (* Only rule-triggered tasks contend on the task-management structures
-     (updates bypass the delay queue and unique hash). *)
-  (match task.Task.klass with
-  | Task.Update -> ()
-  | Task.Recompute | Task.Background -> us := !us +. congestion_us t start);
-  (* Charge preemption overhead: one context switch per update arriving
-     while this (non-update) task occupies the CPU. *)
-  (match task.Task.klass with
-  | Task.Update -> ()
-  | Task.Recompute | Task.Background ->
-    let span = !us *. 1e-6 in
-    let ctx = arrivals_between t start (start +. span) in
-    if ctx > 0 then begin
-      Meter.tick_n "context_switch" ctx;
-      us := !us +. (Cost_model.cost_us t.cost "context_switch" *. float_of_int ctx);
-      Stats.record_context_switches t.estats ctx
-    end);
-  task.Task.service_us <- !us;
-  t.cpu_free <- start +. (!us *. 1e-6);
-  Stats.record_task t.estats ~klass:task.Task.klass ~service_us:!us ~queue_us;
-  (match t.trace with
-  | None -> ()
-  | Some tr ->
-    Trace.complete tr ~ts:start ~dur_us:!us ~tid:(tid_of task)
-      ~args:
-        [
-          ("task", Trace.Int task.Task.task_id);
-          ("attempt", Trace.Int task.Task.attempts);
-          ("queue_us", Trace.Float queue_us);
-          ("ok", Trace.Int (Bool.to_int (Option.is_none failure)));
-        ]
-      task.Task.func_name);
-  match failure with
-  | None ->
-    if task.Task.attempts > 1 && not (Float.is_nan task.Task.first_failed_at)
-    then
-      Stats.record_recovery t.estats
-        ~latency_s:(Float.max 0.0 (t.cpu_free -. task.Task.first_failed_at))
-  | Some e -> handle_failure t task e
+  (* A lock-blocked attempt parks on the conflicting holder instead of
+     charging: its partial work was undone by the abort, and the modeled
+     executor would have blocked in place rather than burned its server.
+     Parking requires a blocker still in flight — injected conflicts carry
+     no blockers and detected deadlocks must not wait, so both take the
+     ordinary failure path — and a wait that has exceeded the timeout is
+     presumed deadlocked and retried with backoff instead. *)
+  let park_target =
+    match (failure, t.locks) with
+    | ( Some (Transaction.Lock_conflict { blockers; deadlock = false; _ }),
+        Some _ )
+      when blockers <> [] -> (
+      let inflight =
+        List.filter_map
+          (fun b ->
+            Option.map (fun f -> (f, b)) (Hashtbl.find_opt t.inflight b))
+          blockers
+      in
+      (* wait on the holder that releases last, so one wake suffices *)
+      match List.sort (fun a b -> compare b a) inflight with
+      | [] -> None
+      | (finish, blocker) :: _ ->
+        if
+          (not (Float.is_nan task.Task.first_blocked_at))
+          && start -. task.Task.first_blocked_at > t.lock_timeout_s
+        then begin
+          Stats.record_lock_timeout t.estats;
+          trace_instant t ~ts:start
+            ~extra:[ ("blocker", Trace.Int blocker) ]
+            "lock_timeout" task;
+          None
+        end
+        else Some (blocker, finish))
+    | _ -> None
+  in
+  match park_target with
+  | Some (blocker, finish) ->
+    (* Single-transaction task bodies cannot both defer a commit and then
+       fail, but flush defensively if one did. *)
+    (match t.locks with
+    | Some lk -> List.iter (fun owner -> Lock.flush lk ~owner) owners
+    | None -> ());
+    park t task ~start ~blocker ~finish
+  | None -> (
+    let us = ref (Cost_model.charge t.cost deltas) in
+    (* Only rule-triggered tasks contend on the task-management structures
+       (updates bypass the delay queue and unique hash). *)
+    (match task.Task.klass with
+    | Task.Update -> ()
+    | Task.Recompute | Task.Background -> us := !us +. congestion_us t start);
+    (* Charge preemption overhead: one context switch per update arriving
+       while this (non-update) task occupies its server. *)
+    (match task.Task.klass with
+    | Task.Update -> ()
+    | Task.Recompute | Task.Background ->
+      let span = !us *. 1e-6 in
+      let ctx = arrivals_between t start (start +. span) in
+      if ctx > 0 then begin
+        Meter.tick_n "context_switch" ctx;
+        us :=
+          !us +. (Cost_model.cost_us t.cost "context_switch" *. float_of_int ctx);
+        Stats.record_context_switches t.estats ctx
+      end);
+    task.Task.service_us <- !us;
+    let finish = start +. (!us *. 1e-6) in
+    t.servers.(s) <- finish;
+    Stats.record_task ~server:s t.estats ~klass:task.Task.klass
+      ~service_us:!us ~queue_us;
+    if owners <> [] then begin
+      List.iter (fun owner -> Hashtbl.replace t.inflight owner finish) owners;
+      Event_queue.add t.completions ~time:finish owners
+    end;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Trace.complete tr ~ts:start ~dur_us:!us ~tid:(tid_of task)
+        ~args:
+          [
+            ("task", Trace.Int task.Task.task_id);
+            ("attempt", Trace.Int task.Task.attempts);
+            ("queue_us", Trace.Float queue_us);
+            ("server", Trace.Int s);
+            ("ok", Trace.Int (Bool.to_int (Option.is_none failure)));
+          ]
+        task.Task.func_name);
+    match failure with
+    | None ->
+      task.Task.first_blocked_at <- nan;
+      if
+        task.Task.attempts > 1
+        && not (Float.is_nan task.Task.first_failed_at)
+      then
+        Stats.record_recovery t.estats
+          ~latency_s:(Float.max 0.0 (finish -. task.Task.first_failed_at))
+    | Some e -> handle_failure t ~now:finish task e)
 
 let run ?(until = infinity) t =
   let continue_ = ref true in
   while !continue_ do
-    match (Event_queue.peek_time t.events, Queues.peek t.ready) with
-    | None, None -> continue_ := false
-    | Some te, None -> if te <= until then release_due t else continue_ := false
-    | None, Some _ -> (
-      match Queues.dequeue t.ready with
-      | Some task -> dispatch t task
-      | None -> ())
-    | Some te, Some _ ->
-      (* Serve the CPU unless an earlier release must be processed first. *)
-      let start = Float.max (Clock.now t.eclock) t.cpu_free in
-      if te <= start then begin
-        if te <= until then release_due t else continue_ := false
+    let tc = Event_queue.peek_time t.completions in
+    let te = Event_queue.peek_time t.events in
+    let has_ready = Queues.peek t.ready <> None in
+    if (not has_ready) && tc = None && te = None then continue_ := false
+    else begin
+      (* The three possible next steps, earliest first; at equal instants
+         completions run before releases run before dispatch, so a holder's
+         locks are flushed before any task that could collide with it
+         starts. *)
+      let ds =
+        if has_ready then
+          Some (Float.max (Clock.now t.eclock) t.servers.(min_server t))
+        else None
+      in
+      let le a b =
+        match (a, b) with
+        | Some x, Some y -> x <= y
+        | Some _, None -> true
+        | None, _ -> false
+      in
+      if (match tc with Some c -> le tc te && le (Some c) ds | None -> false)
+      then begin
+        if Option.get tc <= until then
+          match Event_queue.pop t.completions with
+          | Some (time, owners) -> complete t ~advance:true time owners
+          | None -> ()
+        else continue_ := false
       end
-      else begin
+      else if match te with Some _ -> le te ds | None -> false then begin
+        if Option.get te <= until then release_due t
+        else continue_ := false
+      end
+      else
         match Queues.dequeue t.ready with
         | Some task -> dispatch t task
         | None -> ()
-      end
-  done
+    end
+  done;
+  (* Exiting with completion events still queued (an [until] horizon cut
+     before some dispatched task's finish instant): flush the zombie locks
+     and wake their waiters without advancing the clock, so a caller
+     resuming with direct transactions — or a later [run] — never collides
+     with holders whose transactions are already over. *)
+  let rec drain () =
+    match Event_queue.pop t.completions with
+    | None -> ()
+    | Some (time, owners) ->
+      complete t ~advance:false time owners;
+      drain ()
+  in
+  drain ()

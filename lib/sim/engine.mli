@@ -1,10 +1,12 @@
 (** Discrete-event simulation engine.
 
-    Mirrors STRIP's task flow (paper Figure 15) on a single simulated CPU:
-    tasks with future release times wait in the delay queue (the event
-    heap), released tasks enter the ready queue, and the CPU serves ready
-    tasks — updates before recomputes, the scheduling policy ordering each
-    class.
+    Mirrors STRIP's task flow (paper Figure 15) across [servers] logical
+    executors (STRIP dispatched transactions to a pool of executor
+    processes): tasks with future release times wait in the delay queue
+    (the event heap), released tasks enter the ready queue, and each ready
+    task is dispatched to the earliest-free server — updates before
+    recomputes, the scheduling policy ordering each class — so service
+    windows overlap in simulated time.
 
     Every task body is {e really executed} against the database when
     dispatched; the engine converts the {!Strip_relational.Meter} counter
@@ -15,10 +17,23 @@
     window (the §5.2 observation that "longer running transactions ... seem
     to be preempted more often").
 
+    With a lock manager wired ([locks]), concurrency is arbitrated for
+    real: a committing transaction's locks are released {e deferred} —
+    held as zombies until the completion event at the task's simulated
+    finish instant — so a later-dispatched overlapping task that conflicts
+    observes [Blocked], aborts its partial attempt (undo for real), and
+    parks on the engine's wait queue without being charged.  Waiters wake
+    FIFO by task id when the blocking holder's completion flushes; a wait
+    exceeding [lock_timeout_s] is presumed deadlocked and routed to the
+    retry/backoff path instead.  With one server the completion of task
+    [k] is always processed before task [k+1] dispatches, so locks never
+    collide and behavior is identical to the historical serial engine.
+
     Virtual time during a body's execution is the dispatch instant; service
     time is added when the body finishes.  Update transactions are 2-3
     orders of magnitude shorter than rule delay windows, so the error this
-    introduces in commit timestamps is negligible (see DESIGN.md). *)
+    introduces in commit timestamps is negligible (see DESIGN.md and
+    docs/CONCURRENCY.md). *)
 
 type retry = {
   max_attempts : int;  (** total attempts (first run + retries) per task *)
@@ -59,18 +74,32 @@ val create :
   ?cost:Cost_model.t ->
   ?retry:retry ->
   ?overload:overload ->
+  ?locks:Strip_txn.Lock.t ->
+  ?servers:int ->
+  ?lock_timeout_s:float ->
   ?trace:Strip_obs.Trace.t ->
   unit ->
   t
 (** Without [retry], a task failure discards the task and re-raises (the
     historical fail-fast contract); without [overload], nothing is shed.
-    With [trace], every task lifecycle step — [enqueue], [release], the
-    execution span, [abort], [retry], [shed], [dead_letter] — is emitted
-    into the ring buffer, stamped with simulated time. *)
+    Without [locks], commits release immediately and nothing ever parks
+    (the standalone-engine contract).  [servers] (default 1) sets the
+    executor count; [lock_timeout_s] (default 5 s) bounds a task's total
+    lock wait before it is presumed deadlocked and retried.  With [trace],
+    every task lifecycle step — [enqueue], [release], the execution span,
+    [abort], [retry], [shed], [dead_letter], [lock_wait], [wake],
+    [lock_timeout] — is emitted into the ring buffer, stamped with
+    simulated time.
+    @raise Invalid_argument if [servers < 1]. *)
 
 val clock : t -> Strip_txn.Clock.t
 val cost_model : t -> Cost_model.t
 val stats : t -> Stats.t
+
+val num_servers : t -> int
+
+val parked_count : t -> int
+(** Tasks currently parked on a lock wait. *)
 
 val trace : t -> Strip_obs.Trace.t option
 (** The tracer passed to {!create}, if any. *)
@@ -91,9 +120,9 @@ val set_fatal_filter : t -> (exn -> bool) -> unit
     such as unregistered user functions). *)
 
 val backlog : t -> int
-(** Live pending rule-triggered (non-update) tasks across the delay and
-    ready queues — the quantity compared against the overload
-    watermark. *)
+(** Live pending rule-triggered (non-update) tasks across the delay queue,
+    the ready queue and the lock-wait parking lot — the quantity compared
+    against the overload watermark. *)
 
 val submit : t -> Strip_txn.Task.t -> unit
 (** Enter a task into the system at its [release_time]: future releases go
@@ -104,7 +133,7 @@ val set_arrival_profile : t -> float array -> unit
     long recompute transactions. *)
 
 val pending : t -> int
-(** Tasks in the delay queue plus the ready queue. *)
+(** Tasks in the delay queue, the ready queue, and parked on locks. *)
 
 val ready_length : t -> int
 (** Live tasks in the ready queue (cancelled entries excluded). *)
@@ -113,5 +142,8 @@ val delayed_length : t -> int
 (** Tasks in the delay queue awaiting release. *)
 
 val run : ?until:float -> t -> unit
-(** Drain the system: process releases and serve tasks until both queues
-    are empty (or the next event lies beyond [until]). *)
+(** Drain the system: process releases, completions and dispatches in
+    event order until everything is empty (or the next timed event lies
+    beyond [until]).  On exit any still-queued completion events are
+    flushed without advancing the clock, so no zombie lock outlives a
+    [run] call. *)

@@ -14,6 +14,13 @@ type t = {
   update : per_class;
   recompute : per_class;
   background : per_class;
+  (* per-server busy time / task counts (multi-server engine) *)
+  sbusy : float array;  (* µs *)
+  stasks : int array;
+  (* lock arbitration *)
+  lock_wait_h : Histogram.t;  (* s, park → wake *)
+  mutable lock_waits : int;
+  mutable lock_timeouts : int;
   mutable ctx : int;
   (* failure subsystem *)
   mutable aborts : int;
@@ -39,11 +46,16 @@ let fresh () =
     queue_h = Histogram.create ();
   }
 
-let create () =
+let create ?(servers = 1) () =
   {
     update = fresh ();
     recompute = fresh ();
     background = fresh ();
+    sbusy = Array.make (max 1 servers) 0.0;
+    stasks = Array.make (max 1 servers) 0;
+    lock_wait_h = Histogram.create ();
+    lock_waits = 0;
+    lock_timeouts = 0;
     ctx = 0;
     aborts = 0;
     retries = 0;
@@ -63,16 +75,41 @@ let slot t (klass : Task.klass) =
   | Task.Recompute -> t.recompute
   | Task.Background -> t.background
 
-let record_task t ~klass ~service_us ~queue_us =
+let record_task ?(server = 0) t ~klass ~service_us ~queue_us =
   let s = slot t klass in
   s.n <- s.n + 1;
   s.busy <- s.busy +. service_us;
   s.queue <- s.queue +. queue_us;
   Histogram.add s.service_h service_us;
   Histogram.add s.queue_h queue_us;
-  if service_us > s.max_service then s.max_service <- service_us
+  if service_us > s.max_service then s.max_service <- service_us;
+  if server >= 0 && server < Array.length t.sbusy then begin
+    t.sbusy.(server) <- t.sbusy.(server) +. service_us;
+    t.stasks.(server) <- t.stasks.(server) + 1
+  end
 
 let record_context_switches t n = t.ctx <- t.ctx + n
+
+let record_lock_wait t ~seconds =
+  t.lock_waits <- t.lock_waits + 1;
+  Histogram.add t.lock_wait_h seconds
+
+let record_lock_timeout t = t.lock_timeouts <- t.lock_timeouts + 1
+
+let n_lock_waits t = t.lock_waits
+let n_lock_timeouts t = t.lock_timeouts
+let lock_wait_hist t = t.lock_wait_h
+
+let num_servers t = Array.length t.sbusy
+let server_busy_us t i = t.sbusy.(i)
+let server_tasks t i = t.stasks.(i)
+
+let per_server_utilization t ~duration_s =
+  Array.to_list
+    (Array.map
+       (fun busy ->
+         if duration_s <= 0.0 then 0.0 else busy *. 1e-6 /. duration_s)
+       t.sbusy)
 
 let record_abort t = t.aborts <- t.aborts + 1
 let record_retry t = t.retries <- t.retries + 1
@@ -162,6 +199,30 @@ let pp_summary ~duration_s ppf t =
         (1e3 *. mean_recovery_s t)
         (1e3 *. t.max_recovery_s)
   in
+  let server_suffix =
+    if Array.length t.sbusy <= 1 then ""
+    else
+      String.concat ""
+        (List.mapi
+           (fun i busy ->
+             Printf.sprintf "\nserver %d: %d tasks, %.1f s busy (%.1f%%)" i
+               t.stasks.(i) (busy *. 1e-6)
+               (if duration_s <= 0.0 then 0.0
+                else 100.0 *. busy *. 1e-6 /. duration_s))
+           (Array.to_list t.sbusy))
+  in
+  let lock_suffix =
+    if t.lock_waits + t.lock_timeouts = 0 then ""
+    else
+      Printf.sprintf
+        "\nlock waits: %d (mean %.2f ms, p99 %.2f ms, max %.2f ms), timeouts: \
+         %d"
+        t.lock_waits
+        (1e3 *. Histogram.mean t.lock_wait_h)
+        (1e3 *. Histogram.percentile t.lock_wait_h 99.0)
+        (1e3 *. Histogram.max_value t.lock_wait_h)
+        t.lock_timeouts
+  in
   let staleness_suffix =
     String.concat ""
       (List.map
@@ -181,11 +242,12 @@ let pp_summary ~duration_s ppf t =
      updates: %d tasks, %.1f s busy@,\
      recomputes: %d tasks, %.1f s busy, mean %.1f us, p50 %.1f us, p99 %.1f \
      us, max %.1f us@,\
-     context switches: %d%s%s@]"
+     context switches: %d%s%s%s%s@]"
     (100.0 *. utilization t ~duration_s)
     t.update.n (t.update.busy *. 1e-6) t.recompute.n
     (t.recompute.busy *. 1e-6)
     (mean_service_us t Task.Recompute)
     (service_percentile_us t Task.Recompute 50.0)
     (service_percentile_us t Task.Recompute 99.0)
-    t.recompute.max_service t.ctx failure_suffix staleness_suffix
+    t.recompute.max_service t.ctx server_suffix lock_suffix failure_suffix
+    staleness_suffix

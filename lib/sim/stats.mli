@@ -13,12 +13,50 @@
 
 type t
 
-val create : unit -> t
+val create : ?servers:int -> unit -> t
+(** [servers] (default 1) sizes the per-server busy/task accounting the
+    multi-server engine fills in. *)
 
 val record_task :
-  t -> klass:Strip_txn.Task.klass -> service_us:float -> queue_us:float -> unit
+  ?server:int ->
+  t ->
+  klass:Strip_txn.Task.klass ->
+  service_us:float ->
+  queue_us:float ->
+  unit
+(** [server] (default 0) attributes the service time to that executor's
+    busy counter; out-of-range indices only skip the per-server
+    attribution. *)
 
 val record_context_switches : t -> int -> unit
+
+(** {1 Lock arbitration}
+
+    Filled in by the multi-server engine: a {e lock wait} is one
+    park → wake episode of a task blocked on a conflicting holder; a
+    {e lock timeout} is a wait that exceeded the presumed-deadlock
+    timeout and was routed to the retry path instead. *)
+
+val record_lock_wait : t -> seconds:float -> unit
+val record_lock_timeout : t -> unit
+val n_lock_waits : t -> int
+val n_lock_timeouts : t -> int
+
+val lock_wait_hist : t -> Strip_obs.Histogram.t
+(** Park → wake wait distribution, in seconds. *)
+
+(** {1 Per-server accounting} *)
+
+val num_servers : t -> int
+
+val server_busy_us : t -> int -> float
+(** Busy µs of server [i]; raises on out-of-range [i]. *)
+
+val server_tasks : t -> int -> int
+
+val per_server_utilization : t -> duration_s:float -> float list
+(** Busy fraction of each server over [duration_s]; all zeros when
+    [duration_s <= 0]. *)
 
 (** {1 Failure accounting}
 

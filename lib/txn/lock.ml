@@ -19,9 +19,33 @@ type entry = {
 type t = {
   entries : (resource, entry) Hashtbl.t;
   owned : (int, resource list ref) Hashtbl.t;
+  (* Deferred release (multi-server simulation): while [defer] is on, a
+     committing owner's locks are kept in place as "zombie" holders — the
+     transaction is over in real execution order but its simulated commit
+     instant lies in the future, so later-dispatched overlapping tasks must
+     still collide with it.  The engine flushes the zombies when the
+     holder's completion event fires. *)
+  mutable defer : bool;
+  mutable deferred : int list;  (* owners deferred in the current window, newest first *)
 }
 
-let create () = { entries = Hashtbl.create 256; owned = Hashtbl.create 32 }
+let create () =
+  {
+    entries = Hashtbl.create 256;
+    owned = Hashtbl.create 32;
+    defer = false;
+    deferred = [];
+  }
+
+let begin_defer t =
+  t.defer <- true;
+  t.deferred <- []
+
+let end_defer t =
+  t.defer <- false;
+  let owners = List.rev t.deferred in
+  t.deferred <- [];
+  owners
 
 let entry_of t res =
   match Hashtbl.find_opt t.entries res with
@@ -115,7 +139,16 @@ let acquire t ~owner res mode =
       end
     end
 
-let release_all t ~owner =
+let clear_waiters t ~owner =
+  Hashtbl.iter
+    (fun _ e -> e.lwaiters <- List.filter (fun (o, _) -> o <> owner) e.lwaiters)
+    t.entries
+
+(* Physically remove the owner's holder entries.  [tick] selects whether
+   each released resource charges a ["release_lock"]: true on the commit /
+   abort path (the Table-1 cost is paid then), false when flushing locks
+   whose release was already charged at the deferred commit. *)
+let release_physical ~tick t ~owner =
   (match Hashtbl.find_opt t.owned owner with
   | None -> ()
   | Some l ->
@@ -126,15 +159,32 @@ let release_all t ~owner =
         | Some e ->
           let before = List.length e.lholders in
           e.lholders <- List.filter (fun (o, _) -> o <> owner) e.lholders;
-          if List.length e.lholders < before then Meter.tick "release_lock";
+          if tick && List.length e.lholders < before then
+            Meter.tick "release_lock";
           if e.lholders = [] && e.lwaiters = [] then
             Hashtbl.remove t.entries res)
       !l;
     Hashtbl.remove t.owned owner);
   (* Clear the owner's waiter entries everywhere. *)
-  Hashtbl.iter
-    (fun _ e -> e.lwaiters <- List.filter (fun (o, _) -> o <> owner) e.lwaiters)
-    t.entries
+  clear_waiters t ~owner
+
+let release_now t ~owner = release_physical ~tick:true t ~owner
+
+let release_all t ~owner =
+  if t.defer then begin
+    (* Deferred commit: charge the releases now — they happen inside the
+       task body's metering window, exactly where an immediate release
+       would tick — but keep the holder entries as zombies until the
+       engine flushes them at the simulated completion instant. *)
+    (match Hashtbl.find_opt t.owned owner with
+    | None -> ()
+    | Some l -> List.iter (fun _ -> Meter.tick "release_lock") !l);
+    clear_waiters t ~owner;
+    t.deferred <- owner :: t.deferred
+  end
+  else release_physical ~tick:true t ~owner
+
+let flush t ~owner = release_physical ~tick:false t ~owner
 
 let holders t res =
   match Hashtbl.find_opt t.entries res with

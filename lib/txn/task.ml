@@ -23,6 +23,10 @@ type t = {
   mutable service_us : float;
   mutable attempts : int;
   mutable first_failed_at : float;
+  mutable first_blocked_at : float;
+      (* simulated instant of the first lock-blocked attempt of the current
+         wait episode; NaN when not waiting.  The engine uses it for the
+         presumed-deadlock wait timeout. *)
 }
 
 let next_id = ref 0
@@ -48,6 +52,7 @@ let create ~klass ~func_name ?unique_key ?deadline ?(value = 1.0) ?(bound = [])
     service_us = 0.0;
     attempts = 0;
     first_failed_at = nan;
+    first_blocked_at = nan;
   }
 
 let priority t =

@@ -39,6 +39,10 @@ type t = {
   mutable first_failed_at : float;
       (** virtual time of the first failed attempt ([nan] if none); the
           engine stamps it to measure recovery latency *)
+  mutable first_blocked_at : float;
+      (** virtual time of the first lock-blocked attempt of the current
+          wait episode ([nan] when not waiting); the engine's presumed-
+          deadlock timeout measures against it *)
 }
 
 val create :

@@ -73,7 +73,10 @@ let hooks t : Sql_exec.hooks =
       (fun tb mode -> acquire t (Lock.Rel (Table.name tb)) (lmode mode));
     lock_record =
       (fun tb r mode ->
-        let res = Lock.Rec (Table.name tb, r.Record.rid) in
+        (* Lock the stable logical-row identity: updates version records,
+           so locking the version rid would let a second writer slip past
+           the first one's still-held lock on the superseded version. *)
+        let res = Lock.Rec (Table.name tb, r.Record.base) in
         let already = Lock.holds t.locks ~owner:t.id res in
         acquire t res (lmode mode);
         (* Pin the pre-image on first exclusive acquisition so the rule pass
@@ -152,5 +155,8 @@ let abort t =
         end)
     (Tlog.entries_rev t.tlog);
   t.st <- Aborted;
-  Lock.release_all t.locks ~owner:t.id;
+  (* Aborts release physically even inside a defer window: the undo above
+     already took effect in real execution order, so no zombie holder must
+     outlive the transaction. *)
+  Lock.release_now t.locks ~owner:t.id;
   cleanup t

@@ -121,6 +121,39 @@ let test_experiment_determinism () =
   Alcotest.(check (float 0.0)) "mean length" a.Experiment.mean_recompute_us
     b.Experiment.mean_recompute_us
 
+let test_multi_server_determinism () =
+  (* satellite of PR 3: the determinism guarantee must survive both real
+     lock arbitration (4 servers) and overload shedding (tiny watermark),
+     where wake order and victim selection could otherwise depend on
+     hash-table iteration.  Compare the full JSON reports byte for byte. *)
+  let run cfg =
+    Strip_txn.Task.reset_ids ();
+    Strip_obs.Json.to_string (Report.metrics_json (Experiment.run cfg))
+  in
+  let base =
+    Experiment.quick
+      (Experiment.default_config (Experiment.Comp_view Comp_rules.Unique_on_comp)
+         ~delay:1.0)
+      0.02
+  in
+  let multi = { base with Experiment.servers = 4 } in
+  Alcotest.(check string) "4-server report byte-identical" (run multi)
+    (run multi);
+  let overloaded =
+    {
+      base with
+      Experiment.servers = 4;
+      overload =
+        Some
+          {
+            Strip_sim.Engine.high_watermark = 4;
+            shed_policy = Strip_sim.Engine.Coalesce;
+          };
+    }
+  in
+  Alcotest.(check string) "overloaded report byte-identical" (run overloaded)
+    (run overloaded)
+
 let test_fanout_measures () =
   let db = Strip_db.create () in
   let feed = Feed.scaled Feed.default_config scale in
@@ -153,6 +186,8 @@ let suite =
           test_rule_texts_parse;
         Alcotest.test_case "experiments are deterministic" `Slow
           test_experiment_determinism;
+        Alcotest.test_case "multi-server + overloaded runs deterministic" `Slow
+          test_multi_server_determinism;
         Alcotest.test_case "fanout statistics" `Slow test_fanout_measures;
       ] );
   ]

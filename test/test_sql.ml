@@ -295,6 +295,66 @@ let test_aggregate_rejects_nested () =
   | exception Sql_parser.Parse_error _ -> ()
   | _ -> Alcotest.fail "nested aggregate expression accepted"
 
+(* SQL NULL semantics for aggregates: COUNT yields 0 over an empty or
+   all-NULL group; SUM/AVG/MIN/MAX yield NULL (never 0/0 or a garbage
+   extremum).  NULL inputs are skipped, not counted. *)
+let test_aggregate_empty_and_null_groups () =
+  let cat = db () in
+  ignore (exec cat "create table g (k string, v int)");
+  Alcotest.(check (list (list string)))
+    "grand aggregate over empty table"
+    [ [ "0"; "0"; "NULL"; "NULL"; "NULL"; "NULL" ] ]
+    (rows cat
+       "select count(*) as c, count(v) as cv, sum(v) as s, avg(v) as a, \
+        min(v) as mn, max(v) as mx from g");
+  ignore
+    (exec cat
+       "insert into g values ('a', null), ('a', null), ('b', 3), ('b', null)");
+  Alcotest.(check (list (list string)))
+    "all-NULL group vs mixed group"
+    [
+      [ "a"; "2"; "0"; "NULL"; "NULL"; "NULL"; "NULL" ];
+      [ "b"; "2"; "1"; "3"; "3.0"; "3"; "3" ];
+    ]
+    (rows cat
+       "select k, count(*) as c, count(v) as cv, sum(v) as s, avg(v) as a, \
+        min(v) as mn, max(v) as mx from g group by k order by k")
+
+(* HAVING scopes over the grouped input rows, so its aggregates must be
+   rewritten onto the Group operator's output (hidden aggregate columns
+   when the select list doesn't carry them). *)
+let test_having_aggregate_scoping () =
+  let cat = db () in
+  ignore (exec cat "create table h (sym string, n int, p float)");
+  ignore
+    (exec cat
+       "insert into h values ('A', 1, 1.0), ('A', 2, 2.0), ('B', -1, 3.0), \
+        ('B', -2, 4.0), ('C', 5, 5.0)");
+  Alcotest.(check (list (list string)))
+    "aggregate repeated from select list"
+    [ [ "A"; "3" ]; [ "C"; "5" ] ]
+    (rows cat
+       "select sym, sum(n) as total from h group by sym having sum(n) > 0 \
+        order by sym");
+  (* aggregates absent from the select list become hidden columns and are
+     projected away again *)
+  Alcotest.(check (list (list string)))
+    "hidden aggregates"
+    [ [ "A" ] ]
+    (rows cat
+       "select sym from h group by sym having sum(n) > 0 and count(*) >= 2");
+  Alcotest.(check (list (list string)))
+    "alias reference"
+    [ [ "A"; "3" ]; [ "C"; "5" ] ]
+    (rows cat
+       "select sym, sum(n) as t from h group by sym having t > 0 order by sym");
+  Alcotest.(check (list (list string)))
+    "arithmetic over two hidden aggregates"
+    [ [ "A"; "1.5" ]; [ "B"; "3.5" ] ]
+    (rows cat
+       "select sym, avg(p) as ap from h group by sym having max(p) - min(p) \
+        > 0.5 order by sym")
+
 let suite =
   [
     ( "sql",
@@ -322,5 +382,9 @@ let suite =
         Alcotest.test_case "drop table" `Quick test_drop_table;
         Alcotest.test_case "nested aggregates rejected" `Quick
           test_aggregate_rejects_nested;
+        Alcotest.test_case "aggregates over empty / all-NULL groups" `Quick
+          test_aggregate_empty_and_null_groups;
+        Alcotest.test_case "HAVING aggregate scoping" `Quick
+          test_having_aggregate_scoping;
       ] );
   ]

@@ -244,6 +244,72 @@ let test_meter_canonical_counters () =
       ("release_lock", 2) (* record X + table lock *);
     ]
 
+(* Deferred release (multi-server commit): inside a defer window a commit's
+   release_all keeps the locks physically held (a "zombie holder" standing
+   for a transaction whose simulated service window is still open) while
+   metering the release at commit time; the later flush frees them without
+   metering anything. *)
+let test_deferred_release_zombie () =
+  let locks = Lock.create () in
+  let r = Lock.Rec ("t", 1) in
+  Meter.reset ();
+  Lock.begin_defer locks;
+  ignore (Lock.acquire locks ~owner:1 r Lock.X);
+  Lock.release_all locks ~owner:1;
+  Alcotest.(check int) "release metered at commit" 1 (Meter.get "release_lock");
+  (match Lock.acquire locks ~owner:2 r Lock.X with
+  | Lock.Blocked [ 1 ] -> ()
+  | _ -> Alcotest.fail "zombie holder must still block");
+  let owners = Lock.end_defer locks in
+  Alcotest.(check (list int)) "deferred owners" [ 1 ] owners;
+  List.iter (fun o -> Lock.flush locks ~owner:o) owners;
+  Alcotest.(check int) "flush unmetered" 1 (Meter.get "release_lock");
+  Alcotest.(check bool) "free after flush" true
+    (Lock.acquire locks ~owner:2 r Lock.X = Lock.Granted)
+
+(* An abort inside a defer window must release physically at once: its undo
+   already took effect in real execution order, so no zombie may outlive
+   it. *)
+let test_abort_releases_inside_defer () =
+  let locks = Lock.create () in
+  let r = Lock.Rec ("t", 1) in
+  Lock.begin_defer locks;
+  ignore (Lock.acquire locks ~owner:1 r Lock.X);
+  Lock.release_now locks ~owner:1;
+  Alcotest.(check bool) "released immediately" true
+    (Lock.acquire locks ~owner:2 r Lock.X = Lock.Granted);
+  Alcotest.(check (list int)) "not a deferred owner" []
+    (List.filter (fun o -> o = 1) (Lock.end_defer locks))
+
+(* Upgrade under contention: a reader upgrading to X waits for the other
+   reader (here a zombie holder) and is granted once it flushes; two
+   readers both upgrading form an upgrade cycle the second must lose. *)
+let test_upgrade_under_contention () =
+  let locks = Lock.create () in
+  let r = Lock.Rec ("t", 7) in
+  Lock.begin_defer locks;
+  ignore (Lock.acquire locks ~owner:1 r Lock.S);
+  Lock.release_all locks ~owner:1;
+  ignore (Lock.end_defer locks);
+  (* owner 2 shares with the zombie, then tries to upgrade *)
+  ignore (Lock.acquire locks ~owner:2 r Lock.S);
+  (match Lock.acquire locks ~owner:2 r Lock.X with
+  | Lock.Blocked [ 1 ] -> ()
+  | _ -> Alcotest.fail "upgrade must wait for the zombie reader");
+  Lock.flush locks ~owner:1;
+  Alcotest.(check bool) "upgrade granted after flush" true
+    (Lock.acquire locks ~owner:2 r Lock.X = Lock.Granted);
+  Lock.release_now locks ~owner:2;
+  (* dual-upgrade cycle: both hold S, both want X *)
+  ignore (Lock.acquire locks ~owner:3 r Lock.S);
+  ignore (Lock.acquire locks ~owner:4 r Lock.S);
+  (match Lock.acquire locks ~owner:3 r Lock.X with
+  | Lock.Blocked [ 4 ] -> ()
+  | _ -> Alcotest.fail "first upgrader should wait");
+  match Lock.acquire locks ~owner:4 r Lock.X with
+  | Lock.Deadlock _ -> ()
+  | _ -> Alcotest.fail "second upgrader must be refused (upgrade cycle)"
+
 let suite =
   [
     ( "txn",
@@ -265,5 +331,11 @@ let suite =
           test_query_inside_txn_takes_shared_lock;
         Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
         Alcotest.test_case "canonical counters" `Quick test_meter_canonical_counters;
+        Alcotest.test_case "deferred release keeps zombie holders" `Quick
+          test_deferred_release_zombie;
+        Alcotest.test_case "abort releases inside defer window" `Quick
+          test_abort_releases_inside_defer;
+        Alcotest.test_case "lock upgrade under contention" `Quick
+          test_upgrade_under_contention;
       ] );
   ]

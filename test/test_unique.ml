@@ -268,6 +268,28 @@ let test_unique_registry_api () =
     (Unique.find reg ~func:"f" ~key:[ Value.Str "k" ] = None);
   Alcotest.(check int) "lazy removal" 0 (Unique.queued reg)
 
+(* Regression: [queued] used to count raw hash-table entries, so a task
+   that had started (or been cancelled) but not yet been purged by a
+   [find] on its exact key still counted as queued — overload control saw
+   a phantom backlog.  The count must reflect only genuinely queued tasks,
+   with no intervening [find] to launder the registry. *)
+let test_queued_excludes_started_without_find () =
+  let reg = Unique.create () in
+  let mk key =
+    Task.create ~klass:Task.Recompute ~func_name:"f"
+      ~unique_key:[ Value.Str key ] ~release_time:0.0 ~created_at:0.0
+      (fun _ -> ())
+  in
+  let a = mk "a" and b = mk "b" and c = mk "c" in
+  Unique.register reg ~func:"f" ~key:[ Value.Str "a" ] a;
+  Unique.register reg ~func:"f" ~key:[ Value.Str "b" ] b;
+  Unique.register reg ~func:"f" ~key:[ Value.Str "c" ] c;
+  Alcotest.(check int) "all queued" 3 (Unique.queued reg);
+  Task.run a;
+  Alcotest.(check int) "started task not queued" 2 (Unique.queued reg);
+  Task.cancel b;
+  Alcotest.(check int) "cancelled task not queued" 1 (Unique.queued reg)
+
 let suite =
   [
     ( "unique",
@@ -289,5 +311,7 @@ let suite =
         Alcotest.test_case "Appendix A: multi-table key partitioning" `Quick
           test_appendix_a_multi_table_partitioning;
         Alcotest.test_case "registry api" `Quick test_unique_registry_api;
+        Alcotest.test_case "queued count ignores started tasks" `Quick
+          test_queued_excludes_started_without_find;
       ] );
   ]
