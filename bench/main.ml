@@ -18,7 +18,7 @@
      STRIP_BENCH_DELAYS   comma-separated delay windows (default 0.5,1,1.5,2,3)
      STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
      STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_SWEEP /
-     STRIP_BENCH_SKIP_ROBUSTNESS
+     STRIP_BENCH_SKIP_ROBUSTNESS / STRIP_BENCH_SKIP_RECOVERY
                           set to skip a part
 
    Flags:
@@ -641,6 +641,130 @@ let robustness () =
   Printf.printf "   engine stayed live: %d updates served, %d batches shed\n%!"
     m.Experiment.n_updates m.Experiment.n_sheds
 
+(* ================================================================== *)
+(* Crash recovery: WAL + fuzzy checkpoints (PR4).                      *)
+
+let recovery_sweep () =
+  section "Crash recovery (WAL + fuzzy checkpoints)";
+  let rc_scale = Float.min scale 0.05 in
+  let cfg0 =
+    Experiment.quick
+      (Experiment.default_config
+         (Experiment.Comp_view Comp_rules.Unique_on_symbol) ~delay:1.0)
+      rc_scale
+  in
+  let duration = cfg0.Experiment.feed.Strip_market.Feed.duration in
+  let crash_at = duration /. 2.0 in
+  Printf.printf
+    "\ncheckpoint-interval sweep: one crash at t=%.0fs of a %.0fs feed; \
+     denser checkpoints must shrink the redo work\n%!"
+    crash_at duration;
+  let run_at checkpoint_every =
+    let cfg =
+      {
+        cfg0 with
+        Experiment.recovery =
+          Some
+            {
+              Experiment.default_recovery with
+              Experiment.checkpoint_every;
+              crash_at = Some crash_at;
+            };
+      }
+    in
+    let m = Experiment.run cfg in
+    let r = Option.get m.Experiment.recovery in
+    Printf.printf
+      "   checkpoint %-5s %2d checkpoints; redo %5d commits / %5d ops; \
+       requeued %3d; recovery %.3fs; wal %.3fs cpu; checkpoint %.3fs cpu; \
+       audit %s\n%!"
+      (match checkpoint_every with
+      | Some s -> Printf.sprintf "%gs" s
+      | None -> "off")
+      r.Experiment.n_checkpoints r.Experiment.redo_commits
+      r.Experiment.redo_ops r.Experiment.requeued
+      r.Experiment.total_recovery_s r.Experiment.wal_overhead_s
+      r.Experiment.checkpoint_overhead_s
+      (if r.Experiment.audit_clean then "clean" else "DIVERGENT");
+    if m.Experiment.verified <> Some true then begin
+      Printf.printf
+        "RECOVERY FAILED: crashy run did not converge (max error %g)\n"
+        m.Experiment.max_abs_error;
+      exit 1
+    end;
+    if not r.Experiment.audit_clean then begin
+      Printf.printf "RECOVERY FAILED: final audit divergent (%d keys)\n"
+        r.Experiment.audit_divergences;
+      exit 1
+    end;
+    (checkpoint_every, r)
+  in
+  let intervals = [ Some 1.0; Some 5.0; Some 30.0; None ] in
+  let points = List.map run_at intervals in
+  (* Denser checkpoints must mean less log to redo: the replayed commit
+     count may not grow as the interval shrinks, and the densest setting
+     must replay strictly less than no checkpointing at all. *)
+  let redo (_, (r : Experiment.recovery_metrics)) =
+    r.Experiment.redo_commits
+  in
+  let rec check_monotone = function
+    | a :: b :: rest ->
+      if redo a > redo b then begin
+        Printf.printf
+          "RECOVERY FAILED: redo work grew as checkpoints densified (%d \
+           commits vs %d)\n"
+          (redo a) (redo b);
+        exit 1
+      end;
+      check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone points;
+  (match (points, List.rev points) with
+  | densest :: _, loosest :: _ when redo densest >= redo loosest ->
+    Printf.printf
+      "RECOVERY FAILED: 1s checkpoints redo as much as no checkpoints (%d \
+       vs %d commits)\n"
+      (redo densest) (redo loosest);
+    exit 1
+  | _ -> ());
+  (* BENCH_PR4.json at the repo root: recovery cost vs checkpoint
+     interval.  CI validates presence, shape, and the shrinking-redo
+     property. *)
+  let open Strip_obs in
+  let point (every, (r : Experiment.recovery_metrics)) =
+    Json.Obj
+      [
+        ( "checkpoint_every_s",
+          match every with Some s -> Json.Float s | None -> Json.Null );
+        ("n_checkpoints", Json.Int r.Experiment.n_checkpoints);
+        ("redo_commits", Json.Int r.Experiment.redo_commits);
+        ("redo_ops", Json.Int r.Experiment.redo_ops);
+        ("requeued", Json.Int r.Experiment.requeued);
+        ("restored_rows", Json.Int r.Experiment.restored_rows);
+        ("recovery_s", Json.Float r.Experiment.total_recovery_s);
+        ("wal_overhead_s", Json.Float r.Experiment.wal_overhead_s);
+        ("checkpoint_overhead_s", Json.Float r.Experiment.checkpoint_overhead_s);
+        ("audit_clean", Json.Bool r.Experiment.audit_clean);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ( "benchmark",
+          Json.Str
+            "crash recovery sweep (comp_prices/unique-on-symbol, one crash \
+             at half the feed)" );
+        ("scale", Json.Float rc_scale);
+        ("crash_at_s", Json.Float crash_at);
+        ("sweep", Json.List (List.map point points));
+      ]
+  in
+  let oc = open_out "BENCH_PR4.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote recovery-sweep results to BENCH_PR4.json\n%!"
+
 let () =
   Printf.printf
     "STRIP reproduction benchmarks (paper: Adelberg, Garcia-Molina, Widom, \
@@ -650,4 +774,5 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ABLATIONS" = None then ablations ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_SWEEP" = None then server_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_RECOVERY" = None then recovery_sweep ();
   if observing () then write_exports ()

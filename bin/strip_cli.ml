@@ -73,6 +73,33 @@ let watermark_arg =
   in
   Arg.(value & opt int 0 & info [ "watermark" ] ~docv:"N" ~doc)
 
+let crash_rate_arg =
+  let doc =
+    "Inject whole-engine crashes at this per-site probability (0 disables).  \
+     A crash kills all volatile state; the run restarts from the write-ahead \
+     log and last checkpoint, then resumes the remaining feed.  Implies \
+     durability."
+  in
+  Arg.(value & opt float 0.0 & info [ "crash-rate" ] ~docv:"RATE" ~doc)
+
+let crash_at_arg =
+  let doc =
+    "Schedule one deterministic crash at $(docv) simulated seconds.  Implies \
+     durability."
+  in
+  Arg.(value & opt (some float) None & info [ "crash-at" ] ~docv:"SECONDS" ~doc)
+
+let checkpoint_interval_arg =
+  let doc =
+    "Enable the durability layer and take fuzzy checkpoints every $(docv) \
+     simulated seconds (0 = only the initial checkpoint, so recovery redoes \
+     the whole log)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "checkpoint-interval" ] ~docv:"SECONDS" ~doc)
+
 let trace_file_arg =
   let doc =
     "Record task/transaction lifecycle events and write them to $(docv) in \
@@ -108,7 +135,8 @@ let rule_of_strings view variant =
   | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
 
 let run_experiment view variant delay scale verify seed abort_rate fault_seed
-    retries servers watermark trace_file metrics_file json =
+    retries servers watermark crash_rate crash_at checkpoint_interval
+    trace_file metrics_file json =
   match rule_of_strings view variant with
   | Error msg ->
     prerr_endline msg;
@@ -141,6 +169,46 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
           ~abort_rate cfg
       else cfg
     in
+    let cfg =
+      if crash_rate > 0.0 then begin
+        let open Strip_txn in
+        let base =
+          match cfg.Experiment.fault with
+          | Some f -> f
+          | None -> { Fault.default_config with Fault.seed = fault_seed }
+        in
+        {
+          cfg with
+          Experiment.fault =
+            Some
+              {
+                base with
+                Fault.rates = { base.Fault.rates with Fault.crash = crash_rate };
+              };
+        }
+      end
+      else cfg
+    in
+    let cfg =
+      if crash_rate > 0.0 || crash_at <> None || checkpoint_interval <> None
+      then
+        {
+          cfg with
+          Experiment.recovery =
+            Some
+              {
+                Experiment.default_recovery with
+                Experiment.checkpoint_every =
+                  (match checkpoint_interval with
+                  | Some i when i > 0.0 -> Some i
+                  | Some _ -> None
+                  | None ->
+                    Experiment.default_recovery.Experiment.checkpoint_every);
+                crash_at;
+              };
+        }
+      else cfg
+    in
     let tr = Option.map (fun _ -> Strip_obs.Trace.create ()) trace_file in
     let cfg = { cfg with Experiment.trace = tr } in
     let m = Experiment.run cfg in
@@ -150,6 +218,7 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       Report.print_metrics m;
       Report.print_failures m;
       Report.print_servers m;
+      Report.print_recovery m;
       Report.print_staleness m;
       Printf.printf
         "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
@@ -178,16 +247,22 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
           (Strip_obs.Metrics.json_of_rows m.Experiment.registry);
       close_out oc;
       if not json then Printf.printf "wrote metrics snapshot to %s\n" path);
+    let audit_failed =
+      match m.Experiment.recovery with
+      | Some r -> not r.Experiment.audit_clean
+      | None -> false
+    in
     (match m.Experiment.verified with
     | Some false -> 1
-    | _ -> 0)
+    | _ -> if audit_failed then 1 else 0)
 
 let experiment_cmd =
   let term =
     Term.(
       const run_experiment $ view_arg $ variant_arg $ delay_arg $ scale_arg
       $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg
-      $ servers_arg $ watermark_arg $ trace_file_arg $ metrics_file_arg
+      $ servers_arg $ watermark_arg $ crash_rate_arg $ crash_at_arg
+      $ checkpoint_interval_arg $ trace_file_arg $ metrics_file_arg
       $ json_arg)
   in
   Cmd.v

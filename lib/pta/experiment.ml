@@ -6,6 +6,16 @@ type rule_choice =
   | Comp_view of Comp_rules.variant
   | Option_view of Option_rules.variant
 
+type recovery_cfg = {
+  checkpoint_every : float option;
+      (* None = only the initial post-population checkpoint *)
+  crash_at : float option;
+  max_crashes : int;
+}
+
+let default_recovery =
+  { checkpoint_every = Some 5.0; crash_at = None; max_crashes = 8 }
+
 type config = {
   rule : rule_choice;
   delay : float;
@@ -19,6 +29,7 @@ type config = {
   retry : Strip_sim.Engine.retry option;
   overload : Strip_sim.Engine.overload option;
   trace : Strip_obs.Trace.t option;
+  recovery : recovery_cfg option;
 }
 
 let default_config rule ~delay =
@@ -35,6 +46,7 @@ let default_config rule ~delay =
     retry = None;
     overload = None;
     trace = None;
+    recovery = None;
   }
 
 let with_faults ?seed ?(retry = Strip_sim.Engine.default_retry) ~abort_rate cfg =
@@ -46,6 +58,25 @@ let quick cfg f =
     feed = Feed.scaled cfg.feed f;
     sizes = Pta_tables.scaled_sizes cfg.sizes f;
   }
+
+type recovery_metrics = {
+  n_crashes : int;
+  n_checkpoints : int;
+  checkpoint_bytes : int;
+  wal_appends : int;
+  wal_fsyncs : int;
+  wal_appended_bytes : int;
+  wal_overhead_s : float;
+  checkpoint_overhead_s : float;
+  redo_commits : int;
+  redo_ops : int;
+  requeued : int;
+  restored_rows : int;
+  total_recovery_s : float;
+  audit_clean : bool;
+  audit_divergences : int;
+  repairs : int;
+}
 
 type metrics = {
   label : string;
@@ -82,6 +113,7 @@ type metrics = {
   mean_recovery_s : float;
   staleness : (string * Strip_obs.Histogram.summary) list;
   registry : Strip_obs.Metrics.row list;
+  recovery : recovery_metrics option;
 }
 
 let label_of = function
@@ -104,12 +136,187 @@ let max_error expected actual =
     (if List.length expected = List.length actual then 0.0 else infinity)
     actual
 
-let run cfg =
-  let db =
-    Strip_db.create ~cost:cfg.cost ?fault:cfg.fault ?retry:cfg.retry
-      ?overload:cfg.overload ~servers:cfg.servers
-      ~lock_timeout_s:cfg.lock_timeout_s ?trace:cfg.trace ()
-  in
+let install_rules cfg db h =
+  match cfg.rule with
+  | Comp_view v -> Comp_rules.install db h v ~delay:cfg.delay
+  | Option_view v -> Option_rules.install db h v ~delay:cfg.delay
+
+let mk_db ?now ?durable ?fault cfg =
+  Strip_db.create ~cost:cfg.cost ?now ?durable ?fault ?retry:cfg.retry
+    ?overload:cfg.overload ~servers:cfg.servers
+    ~lock_timeout_s:cfg.lock_timeout_s ?trace:cfg.trace ()
+
+(* Counters accumulated from the instances a crashy run burns through —
+   the final instance's {!Strip_sim.Stats} only covers the last epoch.
+   (Histograms and percentiles are not mergeable and stay last-epoch.) *)
+type acc = {
+  mutable a_updates : int;
+  mutable a_recompute : int;
+  mutable a_firings : int;
+  mutable a_merges : int;
+  mutable a_injected : int;
+  mutable a_aborts : int;
+  mutable a_retries : int;
+  mutable a_sheds : int;
+  mutable a_dead : int;
+  mutable a_ctxsw : int;
+  mutable a_lock_waits : int;
+  mutable a_lock_timeouts : int;
+  mutable a_busy_update_us : float;
+  mutable a_busy_recompute_us : float;
+}
+
+let zero_acc () =
+  {
+    a_updates = 0;
+    a_recompute = 0;
+    a_firings = 0;
+    a_merges = 0;
+    a_injected = 0;
+    a_aborts = 0;
+    a_retries = 0;
+    a_sheds = 0;
+    a_dead = 0;
+    a_ctxsw = 0;
+    a_lock_waits = 0;
+    a_lock_timeouts = 0;
+    a_busy_update_us = 0.0;
+    a_busy_recompute_us = 0.0;
+  }
+
+let accumulate acc db =
+  let open Strip_txn in
+  let st = Strip_db.stats db in
+  let mgr = Strip_db.rules db in
+  acc.a_updates <- acc.a_updates + Strip_sim.Stats.tasks_run st Task.Update;
+  acc.a_recompute <- acc.a_recompute + Strip_sim.Stats.n_recompute st;
+  acc.a_firings <- acc.a_firings + Rule_manager.n_rule_firings mgr;
+  acc.a_merges <- acc.a_merges + Rule_manager.n_merges mgr;
+  acc.a_injected <-
+    (acc.a_injected
+    +
+    match Strip_db.fault_injector db with
+    | Some fi -> Fault.total_injected fi
+    | None -> 0);
+  acc.a_aborts <- acc.a_aborts + Strip_sim.Stats.n_aborts st;
+  acc.a_retries <- acc.a_retries + Strip_sim.Stats.n_retries st;
+  acc.a_sheds <- acc.a_sheds + Strip_sim.Stats.n_sheds st;
+  acc.a_dead <- acc.a_dead + Strip_sim.Stats.n_dead_letters st;
+  acc.a_ctxsw <- acc.a_ctxsw + Strip_sim.Stats.context_switches st;
+  acc.a_lock_waits <- acc.a_lock_waits + Strip_sim.Stats.n_lock_waits st;
+  acc.a_lock_timeouts <-
+    acc.a_lock_timeouts + Strip_sim.Stats.n_lock_timeouts st;
+  acc.a_busy_update_us <-
+    acc.a_busy_update_us +. Strip_sim.Stats.busy_us_of st Task.Update;
+  acc.a_busy_recompute_us <-
+    acc.a_busy_recompute_us +. Strip_sim.Stats.busy_us_of st Task.Recompute
+
+(* Running totals of recovery work across all crashes of one run. *)
+type rec_totals = {
+  mutable t_crashes : int;
+  mutable t_redo_commits : int;
+  mutable t_redo_ops : int;
+  mutable t_requeued : int;
+  mutable t_restored_rows : int;
+  mutable t_recovery_s : float;
+}
+
+(* Crash-restart loop: run the engine until it drains; on every
+   {!Strip_txn.Fault.Crashed} escape, condemn the volatile state, bring up
+   a fresh instance against the shared durable store, recover, charge the
+   modeled recovery latency as downtime, resubmit the quotes the crash did
+   not consume, and keep going.  After [max_crashes] the crash {e rate} is
+   zeroed (a scheduled [crash_at] fires once by construction) so a hostile
+   seed cannot loop forever. *)
+let drive cfg rcfg ~durable ~quotes ~acc ~totals db0 h0 =
+  let open Strip_txn in
+  Strip_db.checkpoint db0;
+  (* Bound the checkpoint schedule by the feed: an unbounded schedule would
+     keep the event queue non-empty forever and the engine would never
+     drain.  The tail of the run past the last periodic checkpoint is
+     covered by the WAL. *)
+  let cp_until = cfg.feed.Feed.duration in
+  (match rcfg.checkpoint_every with
+  | Some every -> Strip_db.schedule_checkpoints db0 ~every ~until:cp_until ()
+  | None -> ());
+  (match rcfg.crash_at with
+  | Some at -> Strip_db.schedule_crash db0 ~at
+  | None -> ());
+  let db = ref db0 and h = ref h0 in
+  let finished = ref false in
+  while not !finished do
+    match Strip_db.run !db with
+    | () -> finished := true
+    | exception Fault.Crashed _ ->
+      let t_crash = Strip_db.now !db in
+      accumulate acc !db;
+      Strip_db.crash !db;
+      let before = Meter.snapshot () in
+      (* A rate-based crash can also hit mid-recovery (the post-recovery
+         checkpoint is a crash site); retry on yet another fresh instance —
+         the durable state is untouched until that checkpoint installs. *)
+      let rec restart () =
+        totals.t_crashes <- totals.t_crashes + 1;
+        let fault =
+          if totals.t_crashes >= rcfg.max_crashes then
+            Option.map
+              (fun (c : Fault.config) ->
+                { c with Fault.rates = { c.Fault.rates with Fault.crash = 0.0 } })
+              cfg.fault
+          else cfg.fault
+        in
+        let ndb = mk_db ~now:t_crash ~durable ?fault cfg in
+        let nh = ref None in
+        match
+          Recovery.recover ndb ~reinstall:(fun () ->
+              let hh = Pta_tables.reattach ndb in
+              nh := Some hh;
+              install_rules cfg ndb hh)
+        with
+        | rs -> (ndb, Option.get !nh, rs)
+        | exception Fault.Crashed _ ->
+          Strip_db.crash ndb;
+          restart ()
+      in
+      let ndb, nh, rs = restart () in
+      let recovery_work = Meter.diff before (Meter.snapshot ()) in
+      let rec_s = 1e-6 *. Strip_sim.Cost_model.charge cfg.cost recovery_work in
+      Clock.advance_by (Strip_db.clock ndb) rec_s;
+      Strip_sim.Stats.record_crash (Strip_db.stats ndb) ~recovery_s:rec_s;
+      totals.t_redo_commits <- totals.t_redo_commits + rs.Recovery.redo_commits;
+      totals.t_redo_ops <- totals.t_redo_ops + rs.Recovery.redo_ops;
+      totals.t_requeued <- totals.t_requeued + rs.Recovery.requeued;
+      totals.t_restored_rows <-
+        totals.t_restored_rows + rs.Recovery.restored_rows;
+      totals.t_recovery_s <- totals.t_recovery_s +. rec_s;
+      (* Quotes at or before the crash are consumed or lost input; the rest
+         of the feed resumes against the recovered instance.  Re-running a
+         quote would be harmless (prices are absolute), so the conservative
+         cut is exact-time exclusive. *)
+      let rest =
+        Array.of_seq
+          (Seq.filter
+             (fun (q : Feed.quote) -> q.Feed.time > t_crash)
+             (Array.to_seq quotes))
+      in
+      ignore
+        (Strip_ingest.Import.replay ndb
+           {
+             Strip_ingest.Import.stocks = nh.Pta_tables.stocks;
+             by_symbol = nh.Pta_tables.stocks_by_symbol;
+           }
+           rest);
+      (match rcfg.checkpoint_every with
+      | Some every -> Strip_db.schedule_checkpoints ndb ~every ~until:cp_until ()
+      | None -> ());
+      db := ndb;
+      h := nh
+  done;
+  (!db, !h)
+
+let run (cfg : config) =
+  let durable = Option.map (fun _ -> Strip_txn.Durable.create ()) cfg.recovery in
+  let db = mk_db ?durable ?fault:cfg.fault cfg in
   let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
   let weights = Feed.activity_weights cfg.feed in
   let expected_fanout =
@@ -117,21 +324,68 @@ let run cfg =
     | Comp_view _ -> Pta_tables.expected_comps_per_update h ~weights
     | Option_view _ -> Pta_tables.expected_options_per_update h ~weights
   in
-  (match cfg.rule with
-  | Comp_view v -> Comp_rules.install db h v ~delay:cfg.delay
-  | Option_view v -> Option_rules.install db h v ~delay:cfg.delay);
+  install_rules cfg db h;
+  let quotes = Feed.generate cfg.feed in
   let n_submitted =
-    Strip_ingest.Import.generate_and_replay db
+    Strip_ingest.Import.replay db
       {
         Strip_ingest.Import.stocks = h.Pta_tables.stocks;
         by_symbol = h.Pta_tables.stocks_by_symbol;
       }
-      cfg.feed
+      quotes
   in
   ignore n_submitted;
   Meter.reset ();
   Rule_manager.reset_stats (Strip_db.rules db);
-  Strip_db.run db;
+  let acc = zero_acc () in
+  let totals =
+    {
+      t_crashes = 0;
+      t_redo_commits = 0;
+      t_redo_ops = 0;
+      t_requeued = 0;
+      t_restored_rows = 0;
+      t_recovery_s = 0.0;
+    }
+  in
+  let db, h =
+    match cfg.recovery with
+    | None ->
+      Strip_db.run db;
+      (db, h)
+    | Some rcfg ->
+      drive cfg rcfg ~durable:(Option.get durable) ~quotes ~acc ~totals db h
+  in
+  (* Consistency audit (recovery runs only): the recovered queue has
+     drained, so the views must now equal their recomputation; divergences
+     become repair transactions and the audit reruns. *)
+  let recovery_audit =
+    match cfg.recovery with
+    | None -> None
+    | Some _ ->
+      (* Incrementally-maintained composites accumulate float increments,
+         so audit with the same tolerance the end-to-end verification
+         uses; anything past it is a real divergence worth repairing. *)
+      (* Audit only the view this run maintains: the other registered view
+         has no installed rule, so it is stale by design. *)
+      let eps = verify_tolerance cfg.rule in
+      let views =
+        match cfg.rule with
+        | Comp_view _ -> [ "comp_prices" ]
+        | Option_view _ -> [ "option_prices" ]
+      in
+      let first = Auditor.audit ~eps ~views db in
+      let repairs =
+        if Auditor.clean first then 0
+        else begin
+          let n = Auditor.enqueue_repairs db first in
+          Strip_db.run db;
+          n
+        end
+      in
+      let final = if repairs = 0 then first else Auditor.audit ~eps ~views db in
+      Some (first, final, repairs)
+  in
   let stats = Strip_db.stats db in
   let duration_s = cfg.feed.Feed.duration in
   let verified, max_abs_error =
@@ -155,7 +409,41 @@ let run cfg =
      single server drains its backlog long after the feed ends, and extra
      servers shrink that tail. *)
   let makespan_s = Clock.now (Strip_db.clock db) in
-  let n_recompute = Strip_sim.Stats.n_recompute stats in
+  let n_recompute = acc.a_recompute + Strip_sim.Stats.n_recompute stats in
+  let recovery =
+    match (cfg.recovery, durable, recovery_audit) with
+    | Some _, Some d, Some (_first, final, repairs) ->
+      let w = Durable.wal d in
+      Some
+        {
+          n_crashes = totals.t_crashes;
+          n_checkpoints = Durable.n_checkpoints d;
+          checkpoint_bytes = Durable.last_checkpoint_bytes d;
+          wal_appends = Wal.n_appends w;
+          wal_fsyncs = Wal.n_fsyncs w;
+          wal_appended_bytes = Wal.appended_bytes w;
+          wal_overhead_s =
+            1e-6
+            *. Strip_sim.Cost_model.charge cfg.cost
+                 [
+                   ("wal_append", Meter.get "wal_append");
+                   ("wal_fsync", Meter.get "wal_fsync");
+                 ];
+          checkpoint_overhead_s =
+            1e-6
+            *. Strip_sim.Cost_model.charge cfg.cost
+                 [ ("checkpoint_row", Meter.get "checkpoint_row") ];
+          redo_commits = totals.t_redo_commits;
+          redo_ops = totals.t_redo_ops;
+          requeued = totals.t_requeued;
+          restored_rows = totals.t_restored_rows;
+          total_recovery_s = totals.t_recovery_s;
+          audit_clean = Auditor.clean final;
+          audit_divergences = List.length final.Auditor.divergences;
+          repairs;
+        }
+    | _ -> None
+  in
   {
     label = label_of cfg.rule;
     delay = cfg.delay;
@@ -168,8 +456,9 @@ let run cfg =
     per_server_utilization =
       Strip_sim.Stats.per_server_utilization stats
         ~duration_s:(Float.max duration_s makespan_s);
-    n_lock_waits = Strip_sim.Stats.n_lock_waits stats;
-    n_lock_timeouts = Strip_sim.Stats.n_lock_timeouts stats;
+    n_lock_waits = acc.a_lock_waits + Strip_sim.Stats.n_lock_waits stats;
+    n_lock_timeouts =
+      acc.a_lock_timeouts + Strip_sim.Stats.n_lock_timeouts stats;
     lock_wait_s =
       (if Strip_sim.Stats.n_lock_waits stats = 0 then None
        else
@@ -177,29 +466,36 @@ let run cfg =
            (Strip_obs.Histogram.summary
               (Strip_sim.Stats.lock_wait_hist stats)));
     utilization = Strip_sim.Stats.utilization stats ~duration_s;
-    n_updates = Strip_sim.Stats.tasks_run stats Task.Update;
-    n_recompute = Strip_sim.Stats.n_recompute stats;
+    n_updates = acc.a_updates + Strip_sim.Stats.tasks_run stats Task.Update;
+    n_recompute;
     mean_recompute_us = Strip_sim.Stats.mean_service_us stats Task.Recompute;
     p50_recompute_us = Strip_sim.Stats.service_percentile_us stats Task.Recompute 50.0;
     p90_recompute_us = Strip_sim.Stats.service_percentile_us stats Task.Recompute 90.0;
     p99_recompute_us = Strip_sim.Stats.service_percentile_us stats Task.Recompute 99.0;
     max_recompute_us = Strip_sim.Stats.max_service_us stats Task.Recompute;
-    busy_update_s = Strip_sim.Stats.busy_us_of stats Task.Update *. 1e-6;
-    busy_recompute_s = Strip_sim.Stats.busy_us_of stats Task.Recompute *. 1e-6;
-    n_firings = Rule_manager.n_rule_firings (Strip_db.rules db);
-    n_merges = Rule_manager.n_merges (Strip_db.rules db);
-    context_switches = Strip_sim.Stats.context_switches stats;
+    busy_update_s =
+      (acc.a_busy_update_us +. Strip_sim.Stats.busy_us_of stats Task.Update)
+      *. 1e-6;
+    busy_recompute_s =
+      (acc.a_busy_recompute_us
+      +. Strip_sim.Stats.busy_us_of stats Task.Recompute)
+      *. 1e-6;
+    n_firings = acc.a_firings + Rule_manager.n_rule_firings (Strip_db.rules db);
+    n_merges = acc.a_merges + Rule_manager.n_merges (Strip_db.rules db);
+    context_switches = acc.a_ctxsw + Strip_sim.Stats.context_switches stats;
     expected_fanout;
     verified;
     max_abs_error;
     n_injected =
-      (match Strip_db.fault_injector db with
+      (acc.a_injected
+      +
+      match Strip_db.fault_injector db with
       | Some fi -> Fault.total_injected fi
       | None -> 0);
-    n_aborts = Strip_sim.Stats.n_aborts stats;
-    n_retries = Strip_sim.Stats.n_retries stats;
-    n_sheds = Strip_sim.Stats.n_sheds stats;
-    n_dead_letters = Strip_sim.Stats.n_dead_letters stats;
+    n_aborts = acc.a_aborts + Strip_sim.Stats.n_aborts stats;
+    n_retries = acc.a_retries + Strip_sim.Stats.n_retries stats;
+    n_sheds = acc.a_sheds + Strip_sim.Stats.n_sheds stats;
+    n_dead_letters = acc.a_dead + Strip_sim.Stats.n_dead_letters stats;
     mean_recovery_s = Strip_sim.Stats.mean_recovery_s stats;
     staleness =
       List.map
@@ -207,4 +503,5 @@ let run cfg =
           (table, Strip_obs.Histogram.summary (Strip_sim.Stats.staleness_hist stats table)))
         (Strip_sim.Stats.staleness_tables stats);
     registry = Strip_obs.Metrics.snapshot (Strip_db.metrics db);
+    recovery;
   }

@@ -12,6 +12,21 @@ type rule_choice =
   | Comp_view of Comp_rules.variant
   | Option_view of Option_rules.variant
 
+type recovery_cfg = {
+  checkpoint_every : float option;
+      (** fuzzy-checkpoint period in simulated seconds; [None] takes only
+          the initial post-population checkpoint, so recovery redoes the
+          whole log *)
+  crash_at : float option;
+      (** schedule one deterministic crash at this simulated time *)
+  max_crashes : int;
+      (** after this many crashes the crash {e rate} is zeroed so a
+          hostile seed cannot prevent convergence *)
+}
+
+val default_recovery : recovery_cfg
+(** 5 s checkpoints, no scheduled crash, at most 8 crashes. *)
+
 type config = {
   rule : rule_choice;
   delay : float;
@@ -34,6 +49,12 @@ type config = {
       (** shed delayed rule tasks past the watermark *)
   trace : Strip_obs.Trace.t option;
       (** record task/transaction lifecycle events into this ring buffer *)
+  recovery : recovery_cfg option;
+      (** enable the durability layer (WAL + checkpoints), drive the run
+          through the crash-restart loop, and audit/repair derived data at
+          the end.  [None] (the default) performs no durability work at
+          all — output is byte-identical to builds without the
+          subsystem. *)
 }
 
 val default_config : rule_choice -> delay:float -> config
@@ -49,6 +70,27 @@ val with_faults :
 val quick : config -> float -> config
 (** Scale the workload (duration, update count, composites, options) by a
     factor for fast runs. *)
+
+type recovery_metrics = {
+  n_crashes : int;
+  n_checkpoints : int;  (** images installed (initial + periodic + post-recovery) *)
+  checkpoint_bytes : int;  (** size of the last installed image *)
+  wal_appends : int;
+  wal_fsyncs : int;
+  wal_appended_bytes : int;
+  wal_overhead_s : float;
+      (** simulated CPU charged to WAL appends and fsyncs — this cost is
+          inside the makespan, reported here rather than silently added *)
+  checkpoint_overhead_s : float;  (** same, for checkpoint row capture *)
+  redo_commits : int;  (** log records replayed, summed over crashes *)
+  redo_ops : int;
+  requeued : int;  (** unique transactions rebuilt into the queue *)
+  restored_rows : int;
+  total_recovery_s : float;  (** simulated downtime charged to recovery *)
+  audit_clean : bool;  (** final consistency audit (after any repairs) *)
+  audit_divergences : int;  (** divergent keys remaining at the end *)
+  repairs : int;  (** repair transactions the first audit enqueued *)
+}
 
 type metrics = {
   label : string;
@@ -99,6 +141,10 @@ type metrics = {
           the commit of each maintenance transaction; sorted by table *)
   registry : Strip_obs.Metrics.row list;
       (** full metrics-registry snapshot taken after the run drained *)
+  recovery : recovery_metrics option;
+      (** present iff the run had a [recovery] config.  Count-type fields
+          above accumulate across crash epochs; distributions (percentiles,
+          histograms, staleness, registry) cover the final epoch only. *)
 }
 
 val run : config -> metrics

@@ -126,25 +126,20 @@ let populate db ~feed sizes =
   let stdev_by_symbol = idx stock_stdev "stdev_by_symbol" [ "symbol" ] in
   let comps_by_symbol = idx comps_list "comps_by_symbol" [ "symbol" ] in
   let options_by_stock = idx options_list "options_by_stock" [ "stock_symbol" ] in
-  (* materialized views, built through their paper definitions *)
-  (match
-     Sql_exec.exec_string cat ~env:[]
-       "create view comp_prices as select comp, sum(price * weight) as price \
-        from stocks, comps_list where stocks.symbol = comps_list.symbol \
-        group by comp"
-   with
-  | Sql_exec.Unit -> ()
-  | _ -> assert false);
-  (match
-     Sql_exec.exec_string cat ~env:[]
-       "create view option_prices as select option_symbol, \
-        f_bs(price, strike, expiration, stdev) as price \
-        from stocks, stock_stdev, options_list \
-        where stocks.symbol = options_list.stock_symbol \
-        and stocks.symbol = stock_stdev.symbol"
-   with
-  | Sql_exec.Unit -> ()
-  | _ -> assert false);
+  (* materialized views, built through their paper definitions (declared
+     through the database so the auditor and checkpoints know them) *)
+  Strip_db.declare_view db
+    ~sql:
+      "create view comp_prices as select comp, sum(price * weight) as price \
+       from stocks, comps_list where stocks.symbol = comps_list.symbol \
+       group by comp";
+  Strip_db.declare_view db
+    ~sql:
+      "create view option_prices as select option_symbol, \
+       f_bs(price, strike, expiration, stdev) as price \
+       from stocks, stock_stdev, options_list \
+       where stocks.symbol = options_list.stock_symbol \
+       and stocks.symbol = stock_stdev.symbol";
   let comp_prices = Catalog.table_exn cat "comp_prices" in
   let option_prices = Catalog.table_exn cat "option_prices" in
   let comp_by_name = idx comp_prices "comp_by_name" [ "comp" ] in
@@ -162,6 +157,37 @@ let populate db ~feed sizes =
     options_by_stock;
     option_prices;
     option_by_symbol;
+  }
+
+(* Rebind handles against a recovered catalog: every table and index was
+   restored from the checkpoint image under its original name. *)
+let reattach db =
+  let cat = Strip_db.catalog db in
+  let tb = Catalog.table_exn cat in
+  let ix t name =
+    match Table.find_index t name with
+    | Some ix -> ix
+    | None -> invalid_arg (Printf.sprintf "Pta_tables.reattach: no index %s" name)
+  in
+  let stocks = tb "stocks" in
+  let stock_stdev = tb "stock_stdev" in
+  let comps_list = tb "comps_list" in
+  let options_list = tb "options_list" in
+  let comp_prices = tb "comp_prices" in
+  let option_prices = tb "option_prices" in
+  {
+    stocks;
+    stocks_by_symbol = ix stocks "stocks_by_symbol";
+    stock_stdev;
+    stdev_by_symbol = ix stock_stdev "stdev_by_symbol";
+    comps_list;
+    comps_by_symbol = ix comps_list "comps_by_symbol";
+    comp_prices;
+    comp_by_name = ix comp_prices "comp_by_name";
+    options_list;
+    options_by_stock = ix options_list "options_by_stock";
+    option_prices;
+    option_by_symbol = ix option_prices "option_by_symbol";
   }
 
 (* E[rows touched per price change] = Σ_s w_s · fanout_s. *)

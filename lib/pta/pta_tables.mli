@@ -57,6 +57,11 @@ val populate :
     (the [option_prices] view uses the registered [f_bs] function).
     Metering performed during population is the caller's to reset. *)
 
+val reattach : Strip_core.Strip_db.t -> handles
+(** Rebind handles against a recovered catalog (tables and indexes were
+    restored from a checkpoint image under their original names).
+    @raise Invalid_argument if an expected table or index is missing. *)
+
 (** {1 Workload statistics} *)
 
 val expected_comps_per_update :

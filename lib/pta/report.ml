@@ -48,6 +48,28 @@ let print_servers (m : Experiment.metrics) =
         (1e3 *. s.max) m.n_lock_timeouts
   end
 
+let print_recovery (m : Experiment.metrics) =
+  match m.recovery with
+  | None -> ()
+  | Some (r : Experiment.recovery_metrics) ->
+    Printf.printf
+      "  durability: %d wal appends / %d fsyncs (%d bytes, %.3fs cpu); %d \
+       checkpoints (last %d bytes, %.3fs cpu)\n%!"
+      r.wal_appends r.wal_fsyncs r.wal_appended_bytes r.wal_overhead_s
+      r.n_checkpoints r.checkpoint_bytes r.checkpoint_overhead_s;
+    if r.n_crashes > 0 then
+      Printf.printf
+        "  crashes: %d; recovery %.3fs total; restored %d rows; redo %d \
+         commits / %d ops; requeued %d\n%!"
+        r.n_crashes r.total_recovery_s r.restored_rows r.redo_commits
+        r.redo_ops r.requeued;
+    Printf.printf "  audit: %s%s\n%!"
+      (if r.audit_clean then "clean" else "DIVERGENT")
+      (if r.repairs > 0 || r.audit_divergences > 0 then
+         Printf.sprintf " (%d divergences, %d repairs)" r.audit_divergences
+           r.repairs
+       else "")
+
 let print_staleness (m : Experiment.metrics) =
   List.iter
     (fun (table, (s : Strip_obs.Histogram.summary)) ->
@@ -69,9 +91,37 @@ let summary_to_json (s : Strip_obs.Histogram.summary) =
       ("p99", Json.Float s.p99);
     ]
 
-let metrics_json (m : Experiment.metrics) =
+let recovery_json (r : Experiment.recovery_metrics) =
   Json.Obj
     [
+      ("n_crashes", Json.Int r.n_crashes);
+      ("n_checkpoints", Json.Int r.n_checkpoints);
+      ("checkpoint_bytes", Json.Int r.checkpoint_bytes);
+      ("wal_appends", Json.Int r.wal_appends);
+      ("wal_fsyncs", Json.Int r.wal_fsyncs);
+      ("wal_appended_bytes", Json.Int r.wal_appended_bytes);
+      ("wal_overhead_s", Json.Float r.wal_overhead_s);
+      ("checkpoint_overhead_s", Json.Float r.checkpoint_overhead_s);
+      ("redo_commits", Json.Int r.redo_commits);
+      ("redo_ops", Json.Int r.redo_ops);
+      ("requeued", Json.Int r.requeued);
+      ("restored_rows", Json.Int r.restored_rows);
+      ("total_recovery_s", Json.Float r.total_recovery_s);
+      ("audit_clean", Json.Bool r.audit_clean);
+      ("audit_divergences", Json.Int r.audit_divergences);
+      ("repairs", Json.Int r.repairs);
+    ]
+
+let metrics_json (m : Experiment.metrics) =
+  (* The "recovery" member appears only for durable runs, so crash-free
+     reports stay byte-identical to earlier versions. *)
+  let recovery_field =
+    match m.recovery with
+    | None -> []
+    | Some r -> [ ("recovery", recovery_json r) ]
+  in
+  Json.Obj
+    ([
       ("label", Json.Str m.label);
       ("delay_s", Json.Float m.delay);
       ("duration_s", Json.Float m.duration_s);
@@ -113,7 +163,8 @@ let metrics_json (m : Experiment.metrics) =
       ( "staleness_s",
         Json.Obj (List.map (fun (t, s) -> (t, summary_to_json s)) m.staleness)
       );
-    ]
+     ]
+    @ recovery_field)
 
 let print_metrics_json ms =
   print_string

@@ -19,6 +19,12 @@ val print_servers : Experiment.metrics -> unit
     run that never waited on a lock, so historical reports are
     unchanged. *)
 
+val print_recovery : Experiment.metrics -> unit
+(** Indented durability/recovery rows: WAL and checkpoint volume with
+    their simulated CPU overhead, crash/recovery totals, and the final
+    consistency-audit verdict.  Silent for runs without a [recovery]
+    config, so historical reports are unchanged. *)
+
 val print_staleness : Experiment.metrics -> unit
 (** One indented line per derived table: count, mean, p50/p90/p99 and max
     staleness in seconds (paper §7); silent when no maintenance

@@ -102,16 +102,30 @@ let same_layout a b =
 
 let absorb dst src =
   if dst.is_retired then invalid_arg "Temp_table.absorb: destination retired";
-  if not (same_layout dst src) then
+  if same_layout dst src then begin
+    (* Move rows (pins move with them, so no repin/unpin). *)
+    Meter.tick_n "bound_append" src.nrows;
+    dst.rows_rev <- src.rows_rev @ dst.rows_rev;
+    dst.nrows <- dst.nrows + src.nrows;
+    src.rows_rev <- [];
+    src.nrows <- 0
+  end
+  else if dst.nslots = 0 && Schema.equal_layout dst.tschema src.tschema then begin
+    (* Fully-materialized destination (a recovered TCB rebuilt from the
+       checkpoint/log, which carries no record pointers): copy the source
+       rows by value.  append_values ticks "bound_append" per row, matching
+       the fast path's metering. *)
+    List.iter
+      (fun r -> append_values dst (row_values src r))
+      (List.rev src.rows_rev);
+    List.iter (fun r -> Array.iter Record.unpin r.srcs) src.rows_rev;
+    src.rows_rev <- [];
+    src.nrows <- 0
+  end
+  else
     invalid_arg
       (Printf.sprintf "Temp_table.absorb: layout mismatch between %s and %s"
-         dst.tname src.tname);
-  (* Move rows (pins move with them, so no repin/unpin). *)
-  Meter.tick_n "bound_append" src.nrows;
-  dst.rows_rev <- src.rows_rev @ dst.rows_rev;
-  dst.nrows <- dst.nrows + src.nrows;
-  src.rows_rev <- [];
-  src.nrows <- 0
+         dst.tname src.tname)
 
 let retire t =
   if not t.is_retired then begin

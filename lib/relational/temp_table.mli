@@ -60,10 +60,13 @@ val fold : t -> init:'a -> f:('a -> row -> 'a) -> 'a
 
 val absorb : t -> t -> unit
 (** [absorb dst src] moves every tuple of [src] to the end of [dst] — the
-    unique-transaction merge of paper §2.  Pins transfer with the tuples and
-    [src] is emptied (but not retired).
-    @raise Invalid_argument unless the layouts (schema and static map)
-    match. *)
+    unique-transaction merge of paper §2.  When the layouts (schema and
+    static map) match, pins transfer with the tuples; when [dst] is fully
+    materialized (no pointer slots, as in a TCB rebuilt by crash recovery)
+    and only the column schemas match, the rows are copied by value and
+    [src]'s pins are released.  Either way [src] is emptied (but not
+    retired).
+    @raise Invalid_argument on any other layout mismatch. *)
 
 val retire : t -> unit
 (** Drop the table's contents, unpinning every source record.  Idempotent.

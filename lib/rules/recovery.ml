@@ -1,0 +1,227 @@
+open Strip_relational
+open Strip_txn
+
+type stats = {
+  had_checkpoint : bool;
+  restored_tables : int;
+  restored_rows : int;
+  redo_commits : int;
+  redo_ops : int;
+  requeued : int;
+  requeued_rows : int;
+  released : int;
+  torn_tail : bool;
+  corrupt_tail : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Redo.  The log carries full before/after images, so update and delete
+   targets are found by whole-row match.  A per-table hash map over the
+   live rows makes that O(1) per op; it is built lazily (insert-only
+   tables never pay for one) and maintained incrementally as redo
+   applies. *)
+
+module RowKey = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let ok = ref true in
+    Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
+    !ok
+
+  let hash a = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 a
+end
+
+module RT = Hashtbl.Make (RowKey)
+
+let row_map maps tname tb =
+  match Hashtbl.find_opt maps tname with
+  | Some m -> m
+  | None ->
+    let m = RT.create (max 64 (2 * Table.cardinal tb)) in
+    Table.iter tb (fun r -> RT.add m (Array.copy r.Record.values) r);
+    Hashtbl.replace maps tname m;
+    m
+
+let find_row m tname values =
+  match RT.find_opt m values with
+  | Some r -> r
+  | None ->
+    failwith (Printf.sprintf "Recovery: redo target row missing in %s" tname)
+
+let redo_op cat maps op =
+  Meter.tick "recovery_redo_op";
+  match op with
+  | Wal.Insert { table; values; _ } ->
+    let tb = Catalog.table_exn cat table in
+    let r = Table.insert tb (Array.copy values) in
+    (match Hashtbl.find_opt maps table with
+    | Some m -> RT.add m (Array.copy values) r
+    | None -> ())
+  | Wal.Delete { table; values; _ } ->
+    let tb = Catalog.table_exn cat table in
+    let m = row_map maps table tb in
+    let r = find_row m table values in
+    Table.delete tb r;
+    RT.remove m values
+  | Wal.Update { table; old_values; new_values; _ } ->
+    let tb = Catalog.table_exn cat table in
+    let m = row_map maps table tb in
+    let r = find_row m table old_values in
+    let r' = Table.update tb r (Array.copy new_values) in
+    RT.remove m old_values;
+    RT.add m (Array.copy new_values) r'
+
+(* ------------------------------------------------------------------ *)
+(* Unique-queue reconstruction: start from the checkpoint's queue image,
+   then replay the tail's enqueue/merge/release transitions in log
+   order. *)
+
+module QK = struct
+  type t = string * Value.t list
+
+  let equal (f1, k1) (f2, k2) =
+    String.equal f1 f2
+    && List.length k1 = List.length k2
+    && List.for_all2 Value.equal k1 k2
+
+  let hash (f, k) =
+    List.fold_left (fun h v -> (h * 31) + Value.hash v) (Hashtbl.hash f) k
+end
+
+module QT = Hashtbl.Make (QK)
+
+type qentry = {
+  q_release : float;
+  q_created : float;
+  mutable q_bound : (string * Value.t array list) list;
+}
+
+let merge_bound entry (name, rows) =
+  if List.mem_assoc name entry.q_bound then
+    entry.q_bound <-
+      List.map
+        (fun (n, old) -> if n = name then (n, old @ rows) else (n, old))
+        entry.q_bound
+  else entry.q_bound <- entry.q_bound @ [ (name, rows) ]
+
+let recover db ~reinstall =
+  let d =
+    match Strip_db.durable db with
+    | Some d -> d
+    | None -> invalid_arg "Recovery.recover: database has no durability layer"
+  in
+  let cp =
+    match Durable.snapshot d with
+    | Some s -> Checkpoint.decode s
+    | None -> invalid_arg "Recovery.recover: no checkpoint image installed"
+  in
+  let cat = Strip_db.catalog db in
+  (* 1. Restore every table (base and view) from the image. *)
+  Checkpoint.restore_tables cp cat;
+  let restored_rows =
+    List.fold_left
+      (fun a (ts : Checkpoint.table_snap) -> a + List.length ts.Checkpoint.rows)
+      0 cp.Checkpoint.tables
+  in
+  Meter.tick_n "recovery_restore_row" restored_rows;
+  (* 2. Re-register view definitions without executing them — the
+     materialized tables were just restored. *)
+  List.iter
+    (fun (_name, sql) -> Strip_db.register_view_def db ~sql)
+    cp.Checkpoint.views;
+  (* 3. Reattach the application: handles, user functions, rules. *)
+  reinstall ();
+  (* 4. Redo the log tail with raw table operations.  No rule fires here —
+     every maintenance action that committed left its own Commit record,
+     and every one that did not is represented in the rebuilt queue. *)
+  let rd = Wal.read (Durable.wal d) in
+  let maps = Hashtbl.create 8 in
+  let n_commits = ref 0 and n_ops = ref 0 and released = ref 0 in
+  let queue = QT.create 64 in
+  let order = ref [] in
+  let enqueue key entry =
+    if not (QT.mem queue key) then order := key :: !order;
+    QT.replace queue key entry
+  in
+  List.iter
+    (fun (qe : Checkpoint.queue_entry) ->
+      enqueue
+        (qe.Checkpoint.qfunc, qe.Checkpoint.qkey)
+        {
+          q_release = qe.Checkpoint.qrelease_time;
+          q_created = qe.Checkpoint.qcreated_at;
+          q_bound = qe.Checkpoint.qbound;
+        })
+    cp.Checkpoint.queue;
+  List.iter
+    (fun (lsn, record) ->
+      if lsn >= cp.Checkpoint.wal_lsn then
+        match record with
+        | Wal.Commit { ops; _ } ->
+          incr n_commits;
+          List.iter
+            (fun op ->
+              incr n_ops;
+              redo_op cat maps op)
+            ops
+        | Wal.Uq_enqueue { func; key; release_time; created_at; bound } ->
+          enqueue (func, key)
+            { q_release = release_time; q_created = created_at; q_bound = bound }
+        | Wal.Uq_merge { func; key; bound } -> (
+          match QT.find_opt queue (func, key) with
+          | Some e -> List.iter (merge_bound e) bound
+          | None ->
+            failwith
+              (Printf.sprintf "Recovery: merge into unknown queue entry %s"
+                 func))
+        | Wal.Uq_release { func; key } ->
+          incr released;
+          QT.remove queue (func, key)
+        | Wal.Checkpoint_mark _ -> ())
+    rd.Wal.records;
+  (* 5. Resubmit the surviving queue in original enqueue order.  The
+     resubmission is not re-logged — the post-recovery checkpoint below
+     captures the rebuilt queue durably instead. *)
+  let mgr = Strip_db.rules db in
+  let requeued = ref 0 and requeued_rows = ref 0 in
+  List.iter
+    (fun ((func, key) as k) ->
+      match QT.find_opt queue k with
+      | None -> ()
+      | Some e ->
+        QT.remove queue k;
+        Meter.tick "recovery_requeue";
+        incr requeued;
+        requeued_rows :=
+          !requeued_rows
+          + List.fold_left (fun a (_, rs) -> a + List.length rs) 0 e.q_bound;
+        Rule_manager.resubmit_recovered mgr ~func ~key
+          ~release_time:e.q_release ~created_at:e.q_created ~bound:e.q_bound)
+    (List.rev !order);
+  (* 6. A fresh checkpoint makes the recovered state the new durable
+     baseline and truncates the replayed log. *)
+  Strip_db.checkpoint db;
+  {
+    had_checkpoint = true;
+    restored_tables = List.length cp.Checkpoint.tables;
+    restored_rows;
+    redo_commits = !n_commits;
+    redo_ops = !n_ops;
+    requeued = !requeued;
+    requeued_rows = !requeued_rows;
+    released = !released;
+    torn_tail = rd.Wal.torn_at <> None;
+    corrupt_tail = rd.Wal.corrupt_at <> None;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "restored %d tables / %d rows; redo %d commits / %d ops; requeued %d \
+     (%d rows), released %d%s%s"
+    s.restored_tables s.restored_rows s.redo_commits s.redo_ops s.requeued
+    s.requeued_rows s.released
+    (if s.torn_tail then "; torn tail dropped" else "")
+    (if s.corrupt_tail then "; CORRUPT mid-log entry" else "")

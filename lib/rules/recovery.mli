@@ -1,0 +1,48 @@
+(** Restart recovery (redo from the last checkpoint).
+
+    Rebuilds a crashed database on a {e fresh} {!Strip_db.t} that shares
+    the crashed instance's {!Strip_txn.Durable.t}:
+
+    + restore every table from the last installed checkpoint image;
+    + re-register the image's view definitions without executing them;
+    + run the caller's [reinstall] hook (reattach handles, register user
+      functions, reinstall rules);
+    + redo the WAL tail past the image's LSN with raw table operations —
+      no rule fires during redo, because committed maintenance left its
+      own [Commit] records and uncommitted maintenance survives as queue
+      state;
+    + rebuild the unique-transaction queue (checkpoint image + logged
+      enqueue/merge/release transitions) and resubmit it through
+      {!Rule_manager.resubmit_recovered};
+    + take a fresh checkpoint, making the recovered state the durable
+      baseline and truncating the replayed log.
+
+    The caller then re-drives the remaining workload and runs the
+    {!Auditor} once the engine drains.  Recovery work is metered
+    (["recovery_restore_row"], ["recovery_redo_op"],
+    ["recovery_requeue"]) so its simulated latency can be charged.
+
+    A crash injected {e during} recovery (the post-recovery checkpoint
+    has a [Crash] site) leaves the old durable state untouched; the
+    driver simply retries on another fresh instance. *)
+
+type stats = {
+  had_checkpoint : bool;
+  restored_tables : int;
+  restored_rows : int;
+  redo_commits : int;
+  redo_ops : int;  (** individual insert/update/delete images re-applied *)
+  requeued : int;  (** unique transactions resubmitted *)
+  requeued_rows : int;  (** bound rows carried by the resubmissions *)
+  released : int;  (** queue slots retired by logged releases *)
+  torn_tail : bool;  (** an incomplete final entry was discarded *)
+  corrupt_tail : bool;  (** a damaged mid-log entry stopped replay *)
+}
+
+val recover : Strip_db.t -> reinstall:(unit -> unit) -> stats
+(** @raise Invalid_argument if [db] has no durability layer or no
+    checkpoint image is installed (take an initial checkpoint right after
+    population, before the feed starts).
+    @raise Failure if a redo image does not match the restored state. *)
+
+val pp_stats : Format.formatter -> stats -> unit

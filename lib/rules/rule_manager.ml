@@ -28,6 +28,7 @@ type t = {
   locks : Lock.t;
   clock : Clock.t;
   fault : Fault.t option;
+  dur : Durable.t option;
   funcs : (string, user_fun) Hashtbl.t;
   by_table : (string, compiled list ref) Hashtbl.t;
   mutable all_rules : compiled list;  (* creation order *)
@@ -41,12 +42,13 @@ type t = {
     (task:Task.t -> tables:string list -> now:float -> unit) option;
 }
 
-let create ~cat ~locks ~clock ?fault ?trace () =
+let create ~cat ~locks ~clock ?fault ?durable ?trace () =
   {
     cat;
     locks;
     clock;
     fault;
+    dur = durable;
     funcs = Hashtbl.create 16;
     by_table = Hashtbl.create 16;
     all_rules = [];
@@ -90,6 +92,42 @@ let reregister_task t (task : Task.t) =
   match task.Task.unique_key with
   | Some key -> Unique.register t.reg ~func:task.Task.func_name ~key task
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Durable queue logging.  With a durability layer wired, every unique
+   queue transition is appended to the WAL (pending until the enclosing
+   commit's fsync), so queued batches can be rebuilt after a crash. *)
+
+let log_uq t record =
+  match t.dur with
+  | None -> ()
+  | Some d -> ignore (Wal.append (Durable.wal d) record)
+
+let bound_rows_of (bound : (string * Temp_table.t) list) : Wal.bound_rows =
+  List.map (fun (name, tmp) -> (name, Temp_table.to_rows tmp)) bound
+
+(* Installed as the engine's shed hook.  A coalesced victim's rows change
+   hands before the victim is cancelled: log the merge (and the victim's
+   release) first, so the durable queue never loses the rows.  A plain
+   drop logs nothing — the victim's durable enqueue survives, and replay
+   after a crash conservatively restores the shed work. *)
+let log_shed t ~(victim : Task.t) ~(into : Task.t option) =
+  if t.dur <> None then
+    match (victim.Task.unique_key, into) with
+    | Some vkey, Some dst -> (
+      match dst.Task.unique_key with
+      | Some dkey ->
+        log_uq t
+          (Wal.Uq_merge
+             {
+               func = dst.Task.func_name;
+               key = dkey;
+               bound = bound_rows_of victim.Task.bound;
+             });
+        log_uq t
+          (Wal.Uq_release { func = victim.Task.func_name; key = vkey })
+      | None -> ())
+    | _ -> ()
 
 let n_rule_firings t = t.firings
 let n_tasks_created t = t.created
@@ -242,7 +280,8 @@ let rec run_action t task =
        fn { txn; task; cat = t.cat; clock = t.clock };
        inject t ~txn ~site:Fault.Lock_conflict ~detail:func;
        inject t ~txn ~site:Fault.Deadlock ~detail:func;
-       inject t ~txn ~site:Fault.Txn_abort ~detail:func
+       inject t ~txn ~site:Fault.Txn_abort ~detail:func;
+       inject t ~txn ~site:Fault.Crash ~detail:func
      with e ->
        if Transaction.status txn = Transaction.Active then
          Transaction.abort txn;
@@ -250,7 +289,13 @@ let rec run_action t task =
     if Transaction.status txn = Transaction.Active then begin
       (* the written-table set, captured before cleanup clears the log *)
       let tables = Tlog.tables_touched (Transaction.log txn) in
-      commit_txn t txn;
+      (* A committing unique transaction durably releases its queue slot. *)
+      let release =
+        match task.Task.unique_key with
+        | Some key -> Some (func, key)
+        | None -> None
+      in
+      commit_txn ?release t txn;
       let now = Clock.now t.clock in
       (match t.trace with
       | None -> ()
@@ -306,6 +351,10 @@ and fire t compiled (named_results : (string * Query.result) list) =
             ]
           "merge");
       let fresh = bind_all named in
+      if t.dur <> None then
+        log_uq t
+          (Wal.Uq_merge
+             { func = rule.Rule_ast.func; key; bound = bound_rows_of fresh });
       List.iter
         (fun (name, tmp) ->
           match List.assoc_opt name queued.Task.bound with
@@ -318,10 +367,20 @@ and fire t compiled (named_results : (string * Query.result) list) =
         fresh
     | None ->
       t.created <- t.created + 1;
+      let bound = bind_all named in
+      if t.dur <> None then
+        log_uq t
+          (Wal.Uq_enqueue
+             {
+               func = rule.Rule_ast.func;
+               key;
+               release_time = release;
+               created_at = now;
+               bound = bound_rows_of bound;
+             });
       let task =
         Task.create ~klass:Task.Recompute ~func_name:rule.Rule_ast.func
-          ~unique_key:key ~bound:(bind_all named) ~release_time:release
-          ~created_at:now
+          ~unique_key:key ~bound ~release_time:release ~created_at:now
           (fun task -> run_action t task)
       in
       Unique.register t.reg ~func:rule.Rule_ast.func ~key task;
@@ -456,7 +515,77 @@ and process_commit t txn =
       tables
   end
 
-and commit_txn t txn =
+and commit_txn ?release t txn =
   process_commit t txn;
+  (* Redo images must be captured before cleanup clears the log; rule
+     firings above have already appended their Uq records to the pending
+     WAL tail, so the Commit record lands after them in log order. *)
+  let ops =
+    match t.dur with
+    | None -> []
+    | Some _ -> Wal.ops_of_tlog (Transaction.log txn)
+  in
   Transaction.commit txn;
+  (match t.dur with
+  | None -> ()
+  | Some d ->
+    let w = Durable.wal d in
+    if ops <> [] then
+      ignore
+        (Wal.append w
+           (Wal.Commit
+              {
+                txid = Transaction.txid txn;
+                time = Clock.now t.clock;
+                ops;
+              }));
+    (match release with
+    | Some (func, key) -> ignore (Wal.append w (Wal.Uq_release { func; key }))
+    | None -> ());
+    if Wal.pending_bytes w > 0 then begin
+      (* The window between the in-memory commit and the log reaching
+         stable storage: a crash here loses this transaction. *)
+      inject t ~txn ~site:Fault.Crash ~detail:"wal_flush";
+      Wal.fsync w
+    end);
   Transaction.cleanup txn
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery support.                                              *)
+
+let bound_schemas_for t ~func =
+  let lf = String.lowercase_ascii func in
+  Option.map
+    (fun c -> c.bound_schemas)
+    (List.find_opt
+       (fun c -> String.lowercase_ascii c.rule.Rule_ast.func = lf)
+       t.all_rules)
+
+let resubmit_recovered t ~func ~key ~release_time ~created_at
+    ~(bound : Wal.bound_rows) =
+  match bound_schemas_for t ~func with
+  | None -> rule_error "recovery: no rule executes user function %s" func
+  | Some schemas ->
+    let bound_tbls =
+      List.map
+        (fun (name, rows) ->
+          match List.assoc_opt name schemas with
+          | None ->
+            rule_error "recovery: function %s has no bound table %s" func name
+          | Some schema ->
+            (* No record pointers survive a restart: the recovered TCB is
+               fully materialized, and later merges copy by value (the
+               absorb slow path). *)
+            let tmp = Temp_table.create_materialized ~name ~schema in
+            List.iter (Temp_table.append_values tmp) rows;
+            (name, tmp))
+        bound
+    in
+    t.created <- t.created + 1;
+    let task =
+      Task.create ~klass:Task.Recompute ~func_name:func ~unique_key:key
+        ~bound:bound_tbls ~release_time ~created_at
+        (fun task -> run_action t task)
+    in
+    Unique.register t.reg ~func ~key task;
+    submit t task

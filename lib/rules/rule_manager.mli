@@ -45,13 +45,18 @@ val create :
   locks:Strip_txn.Lock.t ->
   clock:Strip_txn.Clock.t ->
   ?fault:Strip_txn.Fault.t ->
+  ?durable:Strip_txn.Durable.t ->
   ?trace:Strip_obs.Trace.t ->
   unit ->
   t
 (** [fault] installs a fault injector consulted around every rule-action
     transaction (user-function entry, then pre-commit lock-conflict /
-    deadlock / abort sites).  [trace] records unique-batch [merge] events
-    and action-transaction [commit] events (with the tables written). *)
+    deadlock / abort / crash sites).  [durable] wires the write-ahead log:
+    every commit appends its redo images (plus unique-queue transitions)
+    and fsyncs; without it no durability work happens at all, keeping
+    crash-free runs byte-identical.  [trace] records unique-batch [merge]
+    events and action-transaction [commit] events (with the tables
+    written). *)
 
 val set_commit_hook :
   t -> (task:Strip_txn.Task.t -> tables:string list -> now:float -> unit) -> unit
@@ -83,9 +88,17 @@ val drop_rule : t -> string -> unit
 
 val rules : t -> Rule_ast.t list
 
-val commit_txn : t -> Strip_txn.Transaction.t -> unit
+val commit_txn :
+  ?release:string * Strip_relational.Value.t list ->
+  t ->
+  Strip_txn.Transaction.t ->
+  unit
 (** End-of-transaction protocol: event checking and rule processing, then
-    commit, then release of the pre-image pins. *)
+    commit, then — with a durability layer — WAL append of the redo images
+    and an fsync (the crash site ["wal_flush"] sits between the in-memory
+    commit and the flush), then release of the pre-image pins.  [release]
+    is the (func, unique key) whose durable queue slot this commit
+    retires; {!run_action} passes it for unique transactions. *)
 
 val registry : t -> Unique.t
 (** The unique-transaction hash (exposed for tests and stats). *)
@@ -95,6 +108,34 @@ val reregister_task : t -> Strip_txn.Task.t -> unit
     non-unique tasks).  {!Strip_core.Strip_db} installs this as the
     engine's requeue hook so batching survives failure: firings that occur
     during the task's backoff merge into its preserved bound tables. *)
+
+val log_shed :
+  t -> victim:Strip_txn.Task.t -> into:Strip_txn.Task.t option -> unit
+(** Engine shed hook: with a durability layer, log a coalesced victim's
+    rows as a merge into [into]'s queue slot (plus the victim's release)
+    {e before} the rows change hands.  Plain drops log nothing — the
+    victim's durable enqueue survives, so replay after a crash restores
+    the shed work instead of losing it. *)
+
+(** {1 Crash recovery} *)
+
+val bound_schemas_for :
+  t -> func:string -> (string * Strip_relational.Schema.t) list option
+(** Declared bound-table layouts of the rules executing [func]
+    (case-insensitive), if any rule does. *)
+
+val resubmit_recovered :
+  t ->
+  func:string ->
+  key:Strip_relational.Value.t list ->
+  release_time:float ->
+  created_at:float ->
+  bound:(string * Strip_relational.Value.t array list) list ->
+  unit
+(** Recreate a queued unique transaction from its logged image: rebuild
+    fully-materialized bound tables against the rule's declared schemas,
+    register the task in the unique hash and submit it.
+    @raise Rule_error if no installed rule executes [func]. *)
 
 (** {1 Statistics} *)
 

@@ -10,16 +10,18 @@ type t = {
   mgr : Rule_manager.t;
   eng : Engine.t;
   fi : Fault.t option;
+  dur : Durable.t option;
   reg : Metrics.t;
   tracer : Strip_obs.Trace.t option;
   mutable views : (string * Sql_parser.select_ast) list;  (* newest first *)
+  mutable view_sql : (string * string) list;  (* newest first *)
 }
 
 (* Register every component's counters, gauges and distributions into one
    registry — the single snapshot surface for the CLI/bench exporters.
    Sources that already maintain their own state are wired as probes
    (polled at snapshot time), so nothing is double-counted. *)
-let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi =
+let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi ~dur =
   let open Strip_sim in
   List.iter
     (fun (label, klass) ->
@@ -82,6 +84,26 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi =
   | Some fi ->
     Metrics.probe_int reg "faults_injected_total" (fun () ->
         Fault.total_injected fi));
+  (* Durability metrics exist only when the layer is wired, so crash-free
+     (non-durable) registry snapshots stay byte-identical to older runs. *)
+  (match dur with
+  | None -> ()
+  | Some d ->
+    let w = Durable.wal d in
+    Metrics.probe_int reg "wal_appends_total" (fun () -> Wal.n_appends w);
+    Metrics.probe_int reg "wal_fsyncs_total" (fun () -> Wal.n_fsyncs w);
+    Metrics.probe_int reg "wal_durable_bytes" (fun () -> Wal.durable_bytes w);
+    Metrics.probe_int reg "wal_appended_bytes_total" (fun () ->
+        Wal.appended_bytes w);
+    Metrics.probe_int reg "wal_truncations_total" (fun () ->
+        Wal.n_truncations w);
+    Metrics.probe_int reg "checkpoints_total" (fun () ->
+        Durable.n_checkpoints d);
+    Metrics.probe_int reg "checkpoint_bytes" (fun () ->
+        Durable.last_checkpoint_bytes d);
+    Metrics.probe_int reg "crashes_total" (fun () -> Stats.n_crashes stats);
+    Metrics.probe_hist reg "crash_recovery_s" (fun () ->
+        Stats.crash_recovery_hist stats));
   match tracer with
   | None -> ()
   | Some tr ->
@@ -90,14 +112,14 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi =
     Metrics.probe_int reg "trace_events_dropped_total" (fun () ->
         Strip_obs.Trace.dropped tr)
 
-let create ?policy ?cost ?now ?fault ?retry ?overload ?servers ?lock_timeout_s
-    ?trace () =
+let create ?policy ?cost ?now ?fault ?durable ?retry ?overload ?servers
+    ?lock_timeout_s ?trace () =
   let cat = Catalog.create () in
   let lcks = Lock.create () in
   let clk = Clock.create ?now () in
   let fi = Option.map Fault.create fault in
   let mgr =
-    Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi ?trace ()
+    Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi ?durable ?trace ()
   in
   let eng =
     Engine.create ~clock:clk ?policy ?cost ?retry ?overload ~locks:lcks
@@ -106,10 +128,13 @@ let create ?policy ?cost ?now ?fault ?retry ?overload ?servers ?lock_timeout_s
   Rule_manager.set_submitter mgr (Engine.submit eng);
   (* Failure wiring: retried unique transactions re-enter the registry so
      merges continue through their backoff; rule-definition errors are
-     programming errors, not transient faults, and must not be retried. *)
+     programming errors, not transient faults, and must not be retried.
+     A crash is not retryable either — it must propagate to the restart
+     driver with all volatile state condemned. *)
   Engine.set_requeue_hook eng (Rule_manager.reregister_task mgr);
+  Engine.set_shed_hook eng (Rule_manager.log_shed mgr);
   Engine.set_fatal_filter eng (function
-    | Rule_manager.Rule_error _ -> true
+    | Rule_manager.Rule_error _ | Fault.Crashed _ -> true
     | _ -> false);
   (* Staleness sampling (paper §7): when a rule action commits, every table
      it wrote has just caught up with base changes first fired at the
@@ -125,8 +150,20 @@ let create ?policy ?cost ?now ?fault ?retry ?overload ?servers ?lock_timeout_s
               ~seconds:(Float.max 0.0 (now -. task.Task.created_at)))
           tables);
   let reg = Metrics.create () in
-  register_metrics reg ~stats ~mgr ~eng ~clk ~tracer:trace ~fi;
-  { cat; lcks; clk; mgr; eng; fi; reg; tracer = trace; views = [] }
+  register_metrics reg ~stats ~mgr ~eng ~clk ~tracer:trace ~fi ~dur:durable;
+  {
+    cat;
+    lcks;
+    clk;
+    mgr;
+    eng;
+    fi;
+    dur = durable;
+    reg;
+    tracer = trace;
+    views = [];
+    view_sql = [];
+  }
 
 let catalog t = t.cat
 let clock t = t.clk
@@ -134,6 +171,7 @@ let locks t = t.lcks
 let rules t = t.mgr
 let engine t = t.eng
 let fault_injector t = t.fi
+let durable t = t.dur
 let metrics t = t.reg
 let trace t = t.tracer
 let now t = Clock.now t.clk
@@ -163,12 +201,35 @@ let with_txn_injected t ~detail f =
         let txid = Transaction.txid txn in
         Fault.fire fi ~site:Fault.Lock_conflict ~txid ~detail;
         Fault.fire fi ~site:Fault.Deadlock ~txid ~detail;
-        Fault.fire fi ~site:Fault.Txn_abort ~txid ~detail);
+        Fault.fire fi ~site:Fault.Txn_abort ~txid ~detail;
+        Fault.fire fi ~site:Fault.Crash ~txid ~detail);
       v)
 
 let on_view t name ast = t.views <- (name, ast) :: t.views
 
 let view_definitions t = List.rev t.views
+
+let view_sql t = List.rev t.view_sql
+
+(* Record a view's definition (AST for the auditor, SQL for checkpoints)
+   without touching the catalog — recovery uses this after restoring the
+   already-materialized view table from a checkpoint image. *)
+let register_view_def t ~sql =
+  match Sql_parser.parse_statement sql with
+  | Sql_parser.Create_view { name; select } ->
+    on_view t name select;
+    t.view_sql <- (name, sql) :: t.view_sql
+  | _ -> invalid_arg "Strip_db.register_view_def: not a CREATE VIEW"
+
+(* Populate-time view creation: execute the CREATE VIEW raw (outside any
+   transaction, exactly as the PTA schema setup always has) and remember
+   its definition for audits and checkpoints. *)
+let declare_view t ~sql =
+  match Sql_parser.parse_statement sql with
+  | Sql_parser.Create_view { name; _ } ->
+    ignore (Sql_exec.exec_string t.cat ~env:[] ~on_view:(on_view t) sql);
+    t.view_sql <- (name, sql) :: t.view_sql
+  | _ -> invalid_arg "Strip_db.declare_view: not a CREATE VIEW"
 
 let exec_parsed t stmt =
   with_txn t (fun txn ->
@@ -277,6 +338,69 @@ let schedule_periodic t ~every ?start ?(until = infinity) ?(label = "periodic") 
         if next <= until then Engine.submit t.eng (make next))
   in
   if first <= until then Engine.submit t.eng (make first)
+
+(* ------------------------------------------------------------------ *)
+(* Durability: checkpoints and crashes.                                 *)
+
+let checkpoint t =
+  match t.dur with
+  | None -> invalid_arg "Strip_db.checkpoint: no durability layer"
+  | Some d ->
+    let w = Durable.wal d in
+    (* The image's LSN is only meaningful over stable log, so flush any
+       riders first (there are none between transactions, but a direct
+       call may land anywhere). *)
+    if Wal.pending_bytes w > 0 then Wal.fsync w;
+    let lsn = Wal.durable_end w in
+    let snap =
+      Checkpoint.capture ~cat:t.cat ~views:(view_sql t)
+        ~reg:(Rule_manager.registry t.mgr) ~now:(Clock.now t.clk) ~wal_lsn:lsn
+    in
+    let encoded = Checkpoint.encode snap in
+    Meter.tick_n "checkpoint_row" (Checkpoint.total_rows snap);
+    (* Crash site: the image is built but not installed.  The previous
+       checkpoint and the untruncated log remain the recovery source. *)
+    (match t.fi with
+    | None -> ()
+    | Some fi -> Fault.fire fi ~site:Fault.Crash ~txid:0 ~detail:"checkpoint");
+    Durable.install_checkpoint d ~encoded ~lsn ~time:snap.Checkpoint.taken_at;
+    ignore
+      (Wal.append w (Wal.Checkpoint_mark { time = snap.Checkpoint.taken_at; lsn }));
+    Wal.fsync w;
+    Wal.truncate_to w ~lsn
+
+let schedule_checkpoints t ~every ?start ?(until = infinity) () =
+  if every <= 0.0 then invalid_arg "Strip_db.schedule_checkpoints: period <= 0";
+  if t.dur = None then
+    invalid_arg "Strip_db.schedule_checkpoints: no durability layer";
+  let first = match start with Some s -> s | None -> Clock.now t.clk +. every in
+  let rec make at =
+    (* Runs as a plain background task — no transaction, so the snapshot
+       sits between transactions by construction (action-consistency). *)
+    Task.create ~klass:Task.Background ~func_name:"checkpoint" ~release_time:at
+      ~created_at:(Clock.now t.clk) (fun _task ->
+        checkpoint t;
+        let next = at +. every in
+        if next <= until then Engine.submit t.eng (make next))
+  in
+  if first <= until then Engine.submit t.eng (make first)
+
+let schedule_crash t ~at =
+  let task =
+    Task.create ~klass:Task.Background ~func_name:"crash" ~release_time:at
+      ~created_at:(Clock.now t.clk) (fun _task ->
+        raise (Fault.Crashed { at = "scheduled" }))
+  in
+  Engine.submit t.eng task
+
+(* Condemn all volatile state: the engine's queues and in-flight work, and
+   any WAL bytes appended but not yet fsynced.  Durable state (stable log,
+   installed checkpoint) is untouched — it is all recovery gets. *)
+let crash t =
+  Engine.discard_all t.eng;
+  match t.dur with
+  | None -> ()
+  | Some d -> Wal.lose_tail (Durable.wal d)
 
 let run ?until t = Engine.run ?until t.eng
 

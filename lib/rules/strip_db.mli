@@ -18,6 +18,7 @@ val create :
   ?cost:Strip_sim.Cost_model.t ->
   ?now:float ->
   ?fault:Strip_txn.Fault.config ->
+  ?durable:Strip_txn.Durable.t ->
   ?retry:Strip_sim.Engine.retry ->
   ?overload:Strip_sim.Engine.overload ->
   ?servers:int ->
@@ -30,6 +31,14 @@ val create :
     engine's bounded-exponential-backoff recovery for failed tasks;
     [overload] enables watermark-based shedding of delayed rule tasks.
     All three default to off, preserving fail-fast semantics.
+
+    [durable] wires a write-ahead log and checkpoint store (see
+    docs/RECOVERY.md): every commit appends redo images and unique-queue
+    transitions and fsyncs, {!checkpoint} installs action-consistent
+    snapshots, and after a {!Strip_txn.Fault.Crashed} escape the pair is
+    what {!Recovery.recover} rebuilds from.  Without it, no durability
+    work happens at all — crash-free runs are byte-identical to a build
+    without this subsystem.
 
     [servers] (default 1) sets the engine's executor count; the lock
     manager arbitrates overlapping service windows for real (blocked tasks
@@ -58,6 +67,9 @@ val engine : t -> Strip_sim.Engine.t
 
 val fault_injector : t -> Strip_txn.Fault.t option
 (** The live injector (for injection counts), when [create] got [fault]. *)
+
+val durable : t -> Strip_txn.Durable.t option
+(** The durability layer, when [create] got [durable]. *)
 
 val metrics : t -> Strip_obs.Metrics.t
 (** The metrics registry every component registers into; snapshot it with
@@ -129,4 +141,50 @@ val stats : t -> Strip_sim.Stats.t
 
 val view_definitions : t -> (string * Strip_relational.Sql_parser.select_ast) list
 (** Definitions captured from [CREATE VIEW] statements, newest last (used
-    by the {!Strip_ivm} rule generator). *)
+    by the {!Strip_ivm} rule generator and the consistency {!Auditor}). *)
+
+(** {1 Views} *)
+
+val declare_view : t -> sql:string -> unit
+(** Execute a [CREATE VIEW] raw (outside any transaction, as schema
+    population always has) and record its definition for audits and
+    checkpoints.  @raise Invalid_argument on any other statement. *)
+
+val register_view_def : t -> sql:string -> unit
+(** Record a view definition {e without} executing it — for recovery,
+    where the materialized view table was already restored from the
+    checkpoint image and re-running the query would be wrong. *)
+
+val view_sql : t -> (string * string) list
+(** The recorded [(name, CREATE VIEW sql)] pairs, declaration order. *)
+
+(** {1 Durability: checkpoints and crashes} *)
+
+val checkpoint : t -> unit
+(** Take an action-consistent snapshot of all tables, view definitions and
+    the queued unique transactions; install it atomically in the durable
+    store; append a {!Strip_txn.Wal.Checkpoint_mark} and truncate the log
+    behind the image's LSN.  Charges ["checkpoint_row"] per captured row.
+    The mid-checkpoint [Crash] fault site fires between capture and
+    install, so a crash there recovers from the {e previous} image.
+    @raise Invalid_argument without a durability layer. *)
+
+val schedule_checkpoints :
+  t -> every:float -> ?start:float -> ?until:float -> unit -> unit
+(** Fuzzy checkpointing: run {!checkpoint} as a background task every
+    [every] simulated seconds (first at [start], default [every] from
+    now) without stopping the feed.  Each tick runs between transactions
+    by construction, giving action consistency.
+    @raise Invalid_argument if [every <= 0] or without a durability
+    layer. *)
+
+val schedule_crash : t -> at:float -> unit
+(** Arrange for {!Strip_txn.Fault.Crashed} to be raised out of {!run} when
+    the clock reaches [at] — a deterministic crash point for tests and
+    benchmarks (rate-based crashes come from the [fault] config). *)
+
+val crash : t -> unit
+(** Condemn all volatile state after a {!Strip_txn.Fault.Crashed} escape:
+    discard the engine's queued/parked/in-flight tasks and drop unfsynced
+    WAL bytes.  Durable state is untouched; pair with {!Recovery.recover}
+    on a fresh database. *)

@@ -47,3 +47,15 @@ let queued t =
       if Task.started task || task.Task.state = Task.Cancelled then n
       else n + 1)
     t.tbl 0
+
+(* Live entries in a deterministic order (by task id = creation order),
+   for checkpointing.  No meter tick: the checkpoint pays per-row costs
+   instead. *)
+let entries t =
+  Tbl.fold
+    (fun key task acc ->
+      if Task.started task || task.Task.state = Task.Cancelled then acc
+      else (key, task) :: acc)
+    t.tbl []
+  |> List.sort (fun (_, (a : Task.t)) (_, (b : Task.t)) ->
+         compare a.Task.task_id b.Task.task_id)

@@ -25,3 +25,8 @@ val queued : t -> int
 (** Live entries (queued unique transactions).  Entries whose task already
     started or was cancelled are excluded even though [find] has not yet
     purged them — ticks nothing. *)
+
+val entries :
+  t -> ((string * Strip_relational.Value.t list) * Strip_txn.Task.t) list
+(** Live entries as ((func, key), task), ordered by task id (creation
+    order) so checkpoints are deterministic — ticks nothing. *)

@@ -72,6 +72,15 @@ let other_costs =
     ("task_dead_letter", 20.0);
     ("task_shed", 25.0);
     ("fault_injected", 0.0);
+    (* durability: WAL serialization is cheap, the (simulated) fsync is
+       the stable-storage round trip; checkpoint/recovery costs are per
+       row / redo op / requeued task and drive the recovery-time model *)
+    ("wal_append", 15.0);
+    ("wal_fsync", 120.0);
+    ("checkpoint_row", 1.0);
+    ("recovery_restore_row", 2.0);
+    ("recovery_redo_op", 60.0);
+    ("recovery_requeue", 40.0);
     (* per (tasks dispatched in the trailing second)², charged per
        recompute dispatch — the §5.1 critical-region congestion *)
     ("sched_congestion", 0.005);

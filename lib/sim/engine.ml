@@ -46,6 +46,7 @@ type t = {
          surcharge *)
   mutable dead : Task.t list;  (* newest first *)
   mutable on_requeue : (Task.t -> unit) option;
+  mutable on_shed : (victim:Task.t -> into:Task.t option -> unit) option;
   mutable fatal : exn -> bool;
   mutable backlog_hint : int;
       (* optimistic count of live pending non-update tasks; may overcount
@@ -75,6 +76,7 @@ let create ~clock ?policy ?(cost = Cost_model.default) ?retry ?overload ?locks
     recent_dispatches = Queue.create ();
     dead = [];
     on_requeue = None;
+    on_shed = None;
     fatal = (fun _ -> false);
     backlog_hint = 0;
     trace;
@@ -107,6 +109,7 @@ let stats t = t.estats
 let trace t = t.trace
 let dead_letters t = List.rev t.dead
 let set_requeue_hook t f = t.on_requeue <- Some f
+let set_shed_hook t f = t.on_shed <- Some f
 let set_fatal_filter t f = t.fatal <- f
 let num_servers t = Array.length t.servers
 let parked_count t = t.n_parked
@@ -179,25 +182,21 @@ let pick_victim t ~exclude =
           | Some b -> if better_victim now task b then Some task else best))
     None t.events
 
-(* Move the victim's bound rows into [into]'s TCB when the two tasks run
-   the same user function with the same bound-table names — degraded
+(* The victim's bound rows can move into [into]'s TCB when the two tasks
+   run the same user function with the same bound-table names — degraded
    batching (the rows lose their per-key transaction) but no lost data. *)
-let try_coalesce ~into:(dst : Task.t) (victim : Task.t) =
-  if
-    dst != victim
-    && String.equal dst.Task.func_name victim.Task.func_name
-    && victim.Task.bound <> []
-    && List.for_all
-         (fun (name, _) -> List.mem_assoc name dst.Task.bound)
-         victim.Task.bound
-  then begin
-    List.iter
-      (fun (name, tmp) ->
-        Temp_table.absorb (List.assoc name dst.Task.bound) tmp)
-      victim.Task.bound;
-    true
-  end
-  else false
+let can_coalesce ~into:(dst : Task.t) (victim : Task.t) =
+  dst != victim
+  && String.equal dst.Task.func_name victim.Task.func_name
+  && victim.Task.bound <> []
+  && List.for_all
+       (fun (name, _) -> List.mem_assoc name dst.Task.bound)
+       victim.Task.bound
+
+let do_coalesce ~into:(dst : Task.t) (victim : Task.t) =
+  List.iter
+    (fun (name, tmp) -> Temp_table.absorb (List.assoc name dst.Task.bound) tmp)
+    victim.Task.bound
 
 let shed t ~incoming ov =
   if t.backlog_hint > ov.high_watermark then begin
@@ -208,8 +207,23 @@ let shed t ~incoming ov =
       match pick_victim t ~exclude:incoming with
       | None -> excess := 0
       | Some victim ->
+        let into =
+          if ov.shed_policy = Coalesce && can_coalesce ~into:incoming victim
+          then Some incoming
+          else None
+        in
+        (* The hook sees the victim with its bound rows still intact, and
+           learns where they are headed — the durability layer uses this to
+           log the merge before the rows change hands. *)
+        (match t.on_shed with
+        | Some f -> f ~victim ~into
+        | None -> ());
         let coalesced =
-          ov.shed_policy = Coalesce && try_coalesce ~into:incoming victim
+          match into with
+          | Some dst ->
+            do_coalesce ~into:dst victim;
+            true
+          | None -> false
         in
         Task.cancel victim;
         Meter.tick "task_shed";
@@ -266,6 +280,11 @@ let release_due t =
   match Event_queue.pop t.events with
   | None -> ()
   | Some (time, task) ->
+    (* Events dated before now exist only after crash recovery, when tasks
+       rebuilt from the log keep their original release times but the clock
+       has been advanced past them to charge the recovery downtime.  They
+       release immediately; the clock never moves backwards. *)
+    let time = Float.max time (Clock.now t.eclock) in
     Clock.advance_to t.eclock time;
     (match task.Task.state with
     | Task.Pending ->
@@ -577,3 +596,40 @@ let run ?(until = infinity) t =
       drain ()
   in
   drain ()
+
+(* Crash: every queued, delayed, parked or in-flight task dies with the
+   process.  Discarding (rather than cancelling) retires the tasks' bound
+   tables so the temp-table pool stays balanced across a restart; parked
+   waiters are explicitly drained so none leak as zombies — recovery
+   re-creates the work they carried from the durable queue log. *)
+let discard_all t =
+  let rec drain_events () =
+    match Event_queue.pop t.events with
+    | None -> ()
+    | Some (_, task) ->
+      Task.discard task;
+      drain_events ()
+  in
+  drain_events ();
+  let rec drain_ready () =
+    match Queues.dequeue t.ready with
+    | None -> ()
+    | Some task ->
+      Task.discard task;
+      drain_ready ()
+  in
+  drain_ready ();
+  Hashtbl.iter
+    (fun _ lst -> List.iter (fun (task, _) -> Task.discard task) !lst)
+    t.parked;
+  Hashtbl.reset t.parked;
+  t.n_parked <- 0;
+  let rec drain_completions () =
+    match Event_queue.pop t.completions with
+    | None -> ()
+    | Some _ -> drain_completions ()
+  in
+  drain_completions ();
+  Hashtbl.reset t.inflight;
+  t.backlog_hint <- 0;
+  Queue.clear t.recent_dispatches

@@ -119,6 +119,13 @@ val set_fatal_filter : t -> (exn -> bool) -> unit
     discarded and the exception propagates (used for programming errors
     such as unregistered user functions). *)
 
+val set_shed_hook :
+  t -> (victim:Strip_txn.Task.t -> into:Strip_txn.Task.t option -> unit) -> unit
+(** Called for every shed victim {e before} its bound rows are coalesced
+    or dropped; [into] is the task absorbing the rows under the [Coalesce]
+    policy (None for a plain drop).  The durability layer uses this to log
+    the queue transition while the victim's TCB is still intact. *)
+
 val backlog : t -> int
 (** Live pending rule-triggered (non-update) tasks across the delay queue,
     the ready queue and the lock-wait parking lot — the quantity compared
@@ -147,3 +154,11 @@ val run : ?until:float -> t -> unit
     beyond [until]).  On exit any still-queued completion events are
     flushed without advancing the clock, so no zombie lock outlives a
     [run] call. *)
+
+val discard_all : t -> unit
+(** Crash semantics: discard every delayed, ready, parked and in-flight
+    task, retiring their bound tables, and reset all volatile scheduling
+    state (parking lot, inflight map, backlog, dispatch history).  Parked
+    waiters are drained explicitly so none leak as zombies across a
+    restart; the dead-letter list and cumulative stats survive (they
+    describe the pre-crash epoch). *)

@@ -32,6 +32,10 @@ type t = {
   mutable recovery_s : float;  (* total *)
   mutable max_recovery_s : float;
   recovery_h : Histogram.t;  (* s *)
+  (* crash-restart subsystem *)
+  mutable crashes : int;
+  mutable crash_recovery_s : float;  (* total *)
+  crash_recovery_h : Histogram.t;  (* s, crash → engine back up *)
   (* per-derived-table staleness, sampled at recompute commit (s) *)
   staleness : (string, Histogram.t) Hashtbl.t;
 }
@@ -66,6 +70,9 @@ let create ?(servers = 1) () =
     recovery_s = 0.0;
     max_recovery_s = 0.0;
     recovery_h = Histogram.create ();
+    crashes = 0;
+    crash_recovery_s = 0.0;
+    crash_recovery_h = Histogram.create ();
     staleness = Hashtbl.create 8;
   }
 
@@ -125,6 +132,15 @@ let record_recovery t ~latency_s =
   t.recovery_s <- t.recovery_s +. latency_s;
   Histogram.add t.recovery_h latency_s;
   if latency_s > t.max_recovery_s then t.max_recovery_s <- latency_s
+
+let record_crash t ~recovery_s =
+  t.crashes <- t.crashes + 1;
+  t.crash_recovery_s <- t.crash_recovery_s +. recovery_s;
+  Histogram.add t.crash_recovery_h recovery_s
+
+let n_crashes t = t.crashes
+let total_crash_recovery_s t = t.crash_recovery_s
+let crash_recovery_hist t = t.crash_recovery_h
 
 let staleness_hist t table =
   match Hashtbl.find_opt t.staleness table with

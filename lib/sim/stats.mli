@@ -90,6 +90,19 @@ val max_recovery_s : t -> float
 val recovery_hist : t -> Strip_obs.Histogram.t
 (** Recovery-latency distribution, in seconds. *)
 
+(** {1 Crash restarts}
+
+    Filled in by the crash-recovery driver: one sample per hard crash
+    ({!Strip_txn.Fault.Crashed}), measuring the simulated time from the
+    crash instant to the restarted engine accepting work again. *)
+
+val record_crash : t -> recovery_s:float -> unit
+val n_crashes : t -> int
+val total_crash_recovery_s : t -> float
+
+val crash_recovery_hist : t -> Strip_obs.Histogram.t
+(** Crash → engine-back-up restart-latency distribution, in seconds. *)
+
 (** {1 Staleness}
 
     The paper's Section 7 metric: how out of date a derived table is when

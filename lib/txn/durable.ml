@@ -1,0 +1,31 @@
+type t = {
+  wal : Wal.t;
+  mutable snapshot : string option;
+  mutable snapshot_lsn : int;
+  mutable snapshot_time : float;
+  mutable checkpoints : int;
+}
+
+let create () =
+  {
+    wal = Wal.create ();
+    snapshot = None;
+    snapshot_lsn = 0;
+    snapshot_time = 0.0;
+    checkpoints = 0;
+  }
+
+let wal t = t.wal
+let snapshot t = t.snapshot
+let snapshot_lsn t = t.snapshot_lsn
+let snapshot_time t = t.snapshot_time
+let n_checkpoints t = t.checkpoints
+
+let install_checkpoint t ~encoded ~lsn ~time =
+  t.snapshot <- Some encoded;
+  t.snapshot_lsn <- lsn;
+  t.snapshot_time <- time;
+  t.checkpoints <- t.checkpoints + 1
+
+let last_checkpoint_bytes t =
+  match t.snapshot with None -> 0 | Some s -> String.length s

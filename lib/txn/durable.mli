@@ -1,0 +1,27 @@
+(** Stable storage surviving a crash: the WAL plus the latest checkpoint.
+
+    A [Durable.t] is the only state that outlives {!Fault.Crashed} — the
+    engine, catalog, queues and every other in-memory structure are
+    discarded and rebuilt from it by [Strip_core.Recovery].
+
+    Checkpoint installation is atomic: the encoded snapshot replaces the
+    previous one in a single step, so a crash during capture leaves the
+    old checkpoint (and the untruncated log) intact. *)
+
+type t
+
+val create : unit -> t
+val wal : t -> Wal.t
+
+val snapshot : t -> string option
+(** Latest installed checkpoint image (encoded), if any. *)
+
+val snapshot_lsn : t -> int
+(** WAL position the snapshot is consistent up to; redo starts here. *)
+
+val snapshot_time : t -> float
+val n_checkpoints : t -> int
+val last_checkpoint_bytes : t -> int
+
+val install_checkpoint : t -> encoded:string -> lsn:int -> time:float -> unit
+(** Atomically publish a new checkpoint image. *)

@@ -1,19 +1,22 @@
 open Strip_relational
 
-type site = Txn_abort | Lock_conflict | Deadlock | User_fun
+type site = Txn_abort | Lock_conflict | Deadlock | User_fun | Crash
 
 let site_name = function
   | Txn_abort -> "txn_abort"
   | Lock_conflict -> "lock_conflict"
   | Deadlock -> "deadlock"
   | User_fun -> "user_fun"
+  | Crash -> "crash"
 
 exception Injected of { site : site; detail : string }
+exception Crashed of { at : string }
 
 let () =
   Printexc.register_printer (function
     | Injected { site; detail } ->
       Some (Printf.sprintf "Fault.Injected(%s, %s)" (site_name site) detail)
+    | Crashed { at } -> Some (Printf.sprintf "Fault.Crashed(%s)" at)
     | _ -> None)
 
 type rates = {
@@ -21,10 +24,17 @@ type rates = {
   lock_conflict : float;
   deadlock : float;
   user_fun : float;
+  crash : float;
 }
 
 let no_faults =
-  { txn_abort = 0.0; lock_conflict = 0.0; deadlock = 0.0; user_fun = 0.0 }
+  {
+    txn_abort = 0.0;
+    lock_conflict = 0.0;
+    deadlock = 0.0;
+    user_fun = 0.0;
+    crash = 0.0;
+  }
 
 type config = {
   seed : int;
@@ -43,6 +53,7 @@ type t = {
   mutable n_conflict : int;
   mutable n_deadlock : int;
   mutable n_user : int;
+  mutable n_crash : int;
 }
 
 let create cfg =
@@ -53,6 +64,7 @@ let create cfg =
     n_conflict = 0;
     n_deadlock = 0;
     n_user = 0;
+    n_crash = 0;
   }
 
 let config t = t.cfg
@@ -62,25 +74,29 @@ let rate_of t = function
   | Lock_conflict -> t.cfg.rates.lock_conflict
   | Deadlock -> t.cfg.rates.deadlock
   | User_fun -> t.cfg.rates.user_fun
+  | Crash -> t.cfg.rates.crash
 
 let active t =
   let r = t.cfg.rates in
   r.txn_abort > 0.0 || r.lock_conflict > 0.0 || r.deadlock > 0.0
-  || r.user_fun > 0.0
+  || r.user_fun > 0.0 || r.crash > 0.0
 
 let count t = function
   | Txn_abort -> t.n_abort <- t.n_abort + 1
   | Lock_conflict -> t.n_conflict <- t.n_conflict + 1
   | Deadlock -> t.n_deadlock <- t.n_deadlock + 1
   | User_fun -> t.n_user <- t.n_user + 1
+  | Crash -> t.n_crash <- t.n_crash + 1
 
 let injected t = function
   | Txn_abort -> t.n_abort
   | Lock_conflict -> t.n_conflict
   | Deadlock -> t.n_deadlock
   | User_fun -> t.n_user
+  | Crash -> t.n_crash
 
-let total_injected t = t.n_abort + t.n_conflict + t.n_deadlock + t.n_user
+let total_injected t =
+  t.n_abort + t.n_conflict + t.n_deadlock + t.n_user + t.n_crash
 
 let fire t ~site ~txid ~detail =
   let rate = rate_of t site in
@@ -95,4 +111,5 @@ let fire t ~site ~txid ~detail =
     | Deadlock ->
       raise (Transaction.Lock_conflict { txid; blockers = []; deadlock = true })
     | Txn_abort | User_fun -> raise (Injected { site; detail })
+    | Crash -> raise (Crashed { at = detail })
   end

@@ -19,6 +19,7 @@ type site =
   | Lock_conflict  (** a lock acquisition fails (blocked) *)
   | Deadlock  (** the transaction is chosen as a deadlock victim *)
   | User_fun  (** the rule action's user function raises *)
+  | Crash  (** the whole engine dies, losing all volatile state *)
 
 val site_name : site -> string
 
@@ -26,11 +27,17 @@ exception Injected of { site : site; detail : string }
 (** Raised for [Txn_abort]/[User_fun] hits.  [detail] names the task or
     function at the injection point. *)
 
+exception Crashed of { at : string }
+(** Raised for [Crash] hits (and by scheduled crashes).  Unlike the soft
+    faults above this is not recoverable in-place: the catcher must discard
+    every volatile structure and restart from {!Durable.t}. *)
+
 type rates = {
   txn_abort : float;
   lock_conflict : float;
   deadlock : float;
   user_fun : float;
+  crash : float;
 }
 (** Per-site firing probabilities in [0, 1]. *)
 

@@ -1,0 +1,321 @@
+open Strip_relational
+
+(* ------------------------------------------------------------------ *)
+(* Record vocabulary.                                                   *)
+
+type op =
+  | Insert of { table : string; order : int; values : Value.t array }
+  | Delete of { table : string; order : int; values : Value.t array }
+  | Update of {
+      table : string;
+      order : int;
+      old_values : Value.t array;
+      new_values : Value.t array;
+    }
+
+type bound_rows = (string * Value.t array list) list
+
+type record =
+  | Commit of { txid : int; time : float; ops : op list }
+  | Uq_enqueue of {
+      func : string;
+      key : Value.t list;
+      release_time : float;
+      created_at : float;
+      bound : bound_rows;
+    }
+  | Uq_merge of { func : string; key : Value.t list; bound : bound_rows }
+  | Uq_release of { func : string; key : Value.t list }
+  | Checkpoint_mark of { time : float; lsn : int }
+
+let op_table = function
+  | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> table
+
+let op_order = function
+  | Insert { order; _ } | Delete { order; _ } | Update { order; _ } -> order
+
+let record_values (r : Record.t) = r.Record.values
+
+let ops_of_tlog log =
+  List.map
+    (fun (e : Tlog.entry) ->
+      match e.Tlog.change with
+      | Tlog.Inserted r ->
+        Insert
+          {
+            table = e.Tlog.table;
+            order = e.Tlog.execute_order;
+            values = record_values r;
+          }
+      | Tlog.Deleted r ->
+        Delete
+          {
+            table = e.Tlog.table;
+            order = e.Tlog.execute_order;
+            values = record_values r;
+          }
+      | Tlog.Updated { old_rec; new_rec } ->
+        Update
+          {
+            table = e.Tlog.table;
+            order = e.Tlog.execute_order;
+            old_values = record_values old_rec;
+            new_values = record_values new_rec;
+          })
+    (Tlog.entries log)
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding.                                                    *)
+
+let put_op b op =
+  match op with
+  | Insert { table; order; values } ->
+    Codec.put_u8 b 0;
+    Codec.put_string b table;
+    Codec.put_int b order;
+    Codec.put_values b values
+  | Delete { table; order; values } ->
+    Codec.put_u8 b 1;
+    Codec.put_string b table;
+    Codec.put_int b order;
+    Codec.put_values b values
+  | Update { table; order; old_values; new_values } ->
+    Codec.put_u8 b 2;
+    Codec.put_string b table;
+    Codec.put_int b order;
+    Codec.put_values b old_values;
+    Codec.put_values b new_values
+
+let get_op r =
+  match Codec.get_u8 r with
+  | 0 ->
+    let table = Codec.get_string r in
+    let order = Codec.get_int r in
+    let values = Codec.get_values r in
+    Insert { table; order; values }
+  | 1 ->
+    let table = Codec.get_string r in
+    let order = Codec.get_int r in
+    let values = Codec.get_values r in
+    Delete { table; order; values }
+  | 2 ->
+    let table = Codec.get_string r in
+    let order = Codec.get_int r in
+    let old_values = Codec.get_values r in
+    let new_values = Codec.get_values r in
+    Update { table; order; old_values; new_values }
+  | tag -> raise (Codec.Decode_error (Printf.sprintf "op tag %d" tag))
+
+let put_bound b (bound : bound_rows) =
+  Codec.put_list b
+    (fun b (name, rows) ->
+      Codec.put_string b name;
+      Codec.put_list b Codec.put_values rows)
+    bound
+
+let get_bound r : bound_rows =
+  Codec.get_list r (fun r ->
+      let name = Codec.get_string r in
+      let rows = Codec.get_list r Codec.get_values in
+      (name, rows))
+
+let encode_record rec_ =
+  let b = Buffer.create 128 in
+  (match rec_ with
+  | Commit { txid; time; ops } ->
+    Codec.put_u8 b 0;
+    Codec.put_int b txid;
+    Codec.put_float b time;
+    Codec.put_list b put_op ops
+  | Uq_enqueue { func; key; release_time; created_at; bound } ->
+    Codec.put_u8 b 1;
+    Codec.put_string b func;
+    Codec.put_list b Codec.put_value key;
+    Codec.put_float b release_time;
+    Codec.put_float b created_at;
+    put_bound b bound
+  | Uq_merge { func; key; bound } ->
+    Codec.put_u8 b 2;
+    Codec.put_string b func;
+    Codec.put_list b Codec.put_value key;
+    put_bound b bound
+  | Uq_release { func; key } ->
+    Codec.put_u8 b 3;
+    Codec.put_string b func;
+    Codec.put_list b Codec.put_value key
+  | Checkpoint_mark { time; lsn } ->
+    Codec.put_u8 b 4;
+    Codec.put_float b time;
+    Codec.put_int b lsn);
+  Buffer.contents b
+
+let decode_record r =
+  let rec_ =
+    match Codec.get_u8 r with
+    | 0 ->
+      let txid = Codec.get_int r in
+      let time = Codec.get_float r in
+      let ops = Codec.get_list r get_op in
+      Commit { txid; time; ops }
+    | 1 ->
+      let func = Codec.get_string r in
+      let key = Codec.get_list r Codec.get_value in
+      let release_time = Codec.get_float r in
+      let created_at = Codec.get_float r in
+      let bound = get_bound r in
+      Uq_enqueue { func; key; release_time; created_at; bound }
+    | 2 ->
+      let func = Codec.get_string r in
+      let key = Codec.get_list r Codec.get_value in
+      let bound = get_bound r in
+      Uq_merge { func; key; bound }
+    | 3 ->
+      let func = Codec.get_string r in
+      let key = Codec.get_list r Codec.get_value in
+      Uq_release { func; key }
+    | 4 ->
+      let time = Codec.get_float r in
+      let lsn = Codec.get_int r in
+      Checkpoint_mark { time; lsn }
+    | tag -> raise (Codec.Decode_error (Printf.sprintf "record tag %d" tag))
+  in
+  if Codec.remaining r > 0 then
+    raise (Codec.Decode_error "trailing bytes in record payload");
+  rec_
+
+(* ------------------------------------------------------------------ *)
+(* The log: a durable byte sequence plus a pending (unsynced) tail.
+   Entries are framed [u32 len][u32 crc][payload]; an entry's LSN is the
+   byte offset of its frame start since log creation.  [truncate_to]
+   drops durable bytes behind a checkpoint without renumbering. *)
+
+type t = {
+  mutable base_lsn : int;  (* LSN of the first byte still retained *)
+  durable : Buffer.t;
+  pending : Buffer.t;
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable truncations : int;
+  mutable appended_bytes : int;
+}
+
+let create () =
+  {
+    base_lsn = 0;
+    durable = Buffer.create 4096;
+    pending = Buffer.create 512;
+    appends = 0;
+    fsyncs = 0;
+    truncations = 0;
+    appended_bytes = 0;
+  }
+
+let base_lsn t = t.base_lsn
+let durable_end t = t.base_lsn + Buffer.length t.durable
+let end_lsn t = durable_end t + Buffer.length t.pending
+let pending_bytes t = Buffer.length t.pending
+let durable_bytes t = Buffer.length t.durable
+let n_appends t = t.appends
+let n_fsyncs t = t.fsyncs
+let n_truncations t = t.truncations
+let appended_bytes t = t.appended_bytes
+
+let append t rec_ =
+  let lsn = end_lsn t in
+  let payload = encode_record rec_ in
+  Codec.put_u32 t.pending (String.length payload);
+  Codec.put_u32 t.pending (Codec.crc32 payload);
+  Buffer.add_string t.pending payload;
+  t.appends <- t.appends + 1;
+  t.appended_bytes <- t.appended_bytes + String.length payload + 8;
+  Meter.tick "wal_append";
+  lsn
+
+let fsync t =
+  if Buffer.length t.pending > 0 then begin
+    Buffer.add_buffer t.durable t.pending;
+    Buffer.clear t.pending
+  end;
+  t.fsyncs <- t.fsyncs + 1;
+  Meter.tick "wal_fsync"
+
+let lose_tail t = Buffer.clear t.pending
+
+let truncate_to t ~lsn =
+  if lsn < t.base_lsn || lsn > durable_end t then
+    invalid_arg "Wal.truncate_to: lsn outside the durable log";
+  if lsn > t.base_lsn then begin
+    let drop = lsn - t.base_lsn in
+    let keep = Buffer.sub t.durable drop (Buffer.length t.durable - drop) in
+    Buffer.clear t.durable;
+    Buffer.add_string t.durable keep;
+    t.base_lsn <- lsn;
+    t.truncations <- t.truncations + 1
+  end
+
+type read_result = {
+  records : (int * record) list;
+  torn_at : int option;
+  corrupt_at : int option;
+}
+
+let read t =
+  let data = Buffer.contents t.durable in
+  let n = String.length data in
+  let rec go pos acc =
+    if pos >= n then
+      { records = List.rev acc; torn_at = None; corrupt_at = None }
+    else if n - pos < 8 then
+      (* a header that never finished writing: torn tail *)
+      {
+        records = List.rev acc;
+        torn_at = Some (t.base_lsn + pos);
+        corrupt_at = None;
+      }
+    else begin
+      let r = Codec.reader ~pos data in
+      let len = Codec.get_u32 r in
+      let crc = Codec.get_u32 r in
+      if n - pos - 8 < len then
+        (* payload cut short: torn tail *)
+        {
+          records = List.rev acc;
+          torn_at = Some (t.base_lsn + pos);
+          corrupt_at = None;
+        }
+      else begin
+        let fin = pos + 8 + len in
+        let bad verdict =
+          if verdict then
+            (* the final entry failing its checksum is a torn write;
+               anything earlier is real corruption *)
+            {
+              records = List.rev acc;
+              torn_at = Some (t.base_lsn + pos);
+              corrupt_at = None;
+            }
+          else
+            {
+              records = List.rev acc;
+              torn_at = None;
+              corrupt_at = Some (t.base_lsn + pos);
+            }
+        in
+        if Codec.crc32 ~pos:(pos + 8) ~len data <> crc then bad (fin >= n)
+        else
+          let payload = String.sub data (pos + 8) len in
+          match decode_record (Codec.reader payload) with
+          | rec_ -> go fin ((t.base_lsn + pos, rec_) :: acc)
+          | exception Codec.Decode_error _ -> bad (fin >= n)
+      end
+    end
+  in
+  go 0 []
+
+(* Test hooks: the recovery tests simulate torn writes and media
+   corruption by mangling the durable bytes directly. *)
+let durable_contents t = Buffer.contents t.durable
+
+let set_durable_for_test t s =
+  Buffer.clear t.durable;
+  Buffer.add_string t.durable s

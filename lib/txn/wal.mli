@@ -1,0 +1,100 @@
+(** Redo write-ahead log.
+
+    The log is fed from the per-transaction {!Tlog} at commit: each commit
+    appends one {!record} carrying the after-images of every change, in
+    [execute_order].  Unique-transaction queue maintenance (enqueue, merge,
+    release) is logged alongside so queued batches survive a crash.
+
+    Entries are framed [[u32 len][u32 crc][payload]] (little-endian); an
+    entry's LSN is the byte offset of its frame start since log creation.
+    Appends land in a volatile [pending] buffer and only become durable at
+    {!fsync} — a crash ({!lose_tail}) discards the pending tail, modelling
+    writes that never reached stable storage.  {!truncate_to} drops durable
+    bytes behind a checkpoint LSN without renumbering later entries. *)
+
+open Strip_relational
+
+type op =
+  | Insert of { table : string; order : int; values : Value.t array }
+  | Delete of { table : string; order : int; values : Value.t array }
+  | Update of {
+      table : string;
+      order : int;
+      old_values : Value.t array;
+      new_values : Value.t array;
+    }
+
+type bound_rows = (string * Value.t array list) list
+(** Bound temp-table contents of a queued unique transaction, keyed by the
+    (unqualified) bound-table name. *)
+
+type record =
+  | Commit of { txid : int; time : float; ops : op list }
+  | Uq_enqueue of {
+      func : string;
+      key : Value.t list;
+      release_time : float;
+      created_at : float;
+      bound : bound_rows;
+    }
+  | Uq_merge of { func : string; key : Value.t list; bound : bound_rows }
+  | Uq_release of { func : string; key : Value.t list }
+  | Checkpoint_mark of { time : float; lsn : int }
+
+val op_table : op -> string
+val op_order : op -> int
+
+val ops_of_tlog : Tlog.t -> op list
+(** Convert a committed transaction's log into redo ops, oldest first,
+    preserving [execute_order]. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> int
+(** Frame and append a record to the pending (unsynced) tail; returns its
+    LSN.  Ticks the ["wal_append"] meter. *)
+
+val fsync : t -> unit
+(** Make all pending bytes durable.  Ticks the ["wal_fsync"] meter. *)
+
+val lose_tail : t -> unit
+(** Crash: discard everything appended since the last {!fsync}. *)
+
+val truncate_to : t -> lsn:int -> unit
+(** Drop durable bytes strictly before [lsn] (a checkpoint boundary).
+    @raise Invalid_argument if [lsn] is outside the durable log. *)
+
+(** {1 Positions and volume} *)
+
+val base_lsn : t -> int
+val durable_end : t -> int
+val end_lsn : t -> int
+val pending_bytes : t -> int
+val durable_bytes : t -> int
+val n_appends : t -> int
+val n_fsyncs : t -> int
+val n_truncations : t -> int
+val appended_bytes : t -> int
+
+(** {1 Reading (recovery)} *)
+
+type read_result = {
+  records : (int * record) list;  (** (lsn, record), oldest first *)
+  torn_at : int option;
+      (** LSN of a torn final entry that was dropped, if any *)
+  corrupt_at : int option;
+      (** LSN of a mid-log corrupt entry; scanning stopped there *)
+}
+
+val read : t -> read_result
+(** Scan the durable log.  A final entry that is incomplete or fails its
+    CRC is treated as a torn write and dropped ([torn_at]); a bad entry
+    with valid entries after it is corruption ([corrupt_at]) and scanning
+    stops. *)
+
+(** {1 Test hooks} *)
+
+val durable_contents : t -> string
+val set_durable_for_test : t -> string -> unit
