@@ -18,7 +18,8 @@
      STRIP_BENCH_DELAYS   comma-separated delay windows (default 0.5,1,1.5,2,3)
      STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
      STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_SWEEP /
-     STRIP_BENCH_SKIP_ROBUSTNESS / STRIP_BENCH_SKIP_RECOVERY
+     STRIP_BENCH_SKIP_ROBUSTNESS / STRIP_BENCH_SKIP_RECOVERY /
+     STRIP_BENCH_SKIP_REPLICATION
                           set to skip a part
 
    Flags:
@@ -765,6 +766,116 @@ let recovery_sweep () =
   close_out oc;
   Printf.printf "wrote recovery-sweep results to BENCH_PR4.json\n%!"
 
+(* ================================================================== *)
+(* Replication: WAL log shipping + read replicas (PR5).                *)
+
+let replica_sweep () =
+  section "Replication (WAL shipping + read replicas)";
+  let rp_scale = Float.min scale 0.05 in
+  let cfg0 =
+    Experiment.quick
+      (Experiment.default_config
+         (Experiment.Comp_view Comp_rules.Unique_on_symbol) ~delay:1.0)
+      rp_scale
+  in
+  let duration = cfg0.Experiment.feed.Strip_market.Feed.duration in
+  (* An open-loop read pump whose offered load exceeds even the largest
+     cluster's service capacity: every configuration is saturated, so read
+     throughput must scale with the lane count (primary + replicas) and
+     queueing — hence p99 read latency — must shrink. *)
+  let read_rate = 200.0 in
+  let read_cost_s = 0.03 in
+  Printf.printf
+    "\nreplica sweep: %.0f reads/s offered for %.0fs (%.0fms/read service) \
+     against 0/1/2/4 replicas, policy any; read throughput must rise and \
+     p99 read latency fall as replicas are added\n%!"
+    read_rate duration (read_cost_s *. 1000.0);
+  let run_at replicas =
+    let cfg =
+      {
+        cfg0 with
+        Experiment.repl =
+          Some
+            {
+              Experiment.default_repl with
+              Experiment.replicas;
+              read_policy = Strip_repl.Cluster.Any;
+              read_rate;
+              read_cost_s;
+            };
+      }
+    in
+    let m = Experiment.run cfg in
+    let r = Option.get m.Experiment.repl in
+    let p99 =
+      match r.Experiment.read_latency with
+      | Some s -> s.Strip_obs.Histogram.p99
+      | None -> nan
+    in
+    Printf.printf
+      "   replicas %d: %5d reads (%5d primary / %5d replica); throughput \
+       %6.1f/s; p99 %8.1fms; %5d segments shipped (%d dropped)\n%!"
+      replicas r.Experiment.n_reads r.Experiment.reads_primary
+      r.Experiment.reads_replica r.Experiment.read_throughput_per_s
+      (p99 *. 1000.0) r.Experiment.segments_sent r.Experiment.segments_dropped;
+    if m.Experiment.verified <> Some true then begin
+      Printf.printf
+        "REPLICATION FAILED: replicated run did not converge (max error %g)\n"
+        m.Experiment.max_abs_error;
+      exit 1
+    end;
+    (replicas, r.Experiment.read_throughput_per_s, p99)
+  in
+  let points = List.map run_at [ 0; 1; 2; 4 ] in
+  let rec check = function
+    | (na, ta, pa) :: ((nb, tb, pb) :: _ as rest) ->
+      if tb <= ta then begin
+        Printf.printf
+          "REPLICATION FAILED: read throughput did not rise from %d to %d \
+           replicas (%.1f/s vs %.1f/s)\n"
+          na nb ta tb;
+        exit 1
+      end;
+      if pb >= pa then begin
+        Printf.printf
+          "REPLICATION FAILED: p99 read latency did not fall from %d to %d \
+           replicas (%.1fms vs %.1fms)\n"
+          na nb (pa *. 1000.0) (pb *. 1000.0);
+        exit 1
+      end;
+      check rest
+    | _ -> ()
+  in
+  check points;
+  (* BENCH_PR5.json at the repo root: read scaling vs replica count.  CI
+     validates presence, shape, and the monotone-throughput property. *)
+  let open Strip_obs in
+  let point (replicas, throughput, p99) =
+    Json.Obj
+      [
+        ("replicas", Json.Int replicas);
+        ("read_throughput_per_s", Json.Float throughput);
+        ("read_p99_latency_s", Json.Float p99);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ( "benchmark",
+          Json.Str
+            "replica sweep (comp_prices/unique-on-symbol, saturating \
+             open-loop read pump, policy any)" );
+        ("scale", Json.Float rp_scale);
+        ("read_rate_per_s", Json.Float read_rate);
+        ("read_cost_s", Json.Float read_cost_s);
+        ("sweep", Json.List (List.map point points));
+      ]
+  in
+  let oc = open_out "BENCH_PR5.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote replica-sweep results to BENCH_PR5.json\n%!"
+
 let () =
   Printf.printf
     "STRIP reproduction benchmarks (paper: Adelberg, Garcia-Molina, Widom, \
@@ -775,4 +886,5 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_SWEEP" = None then server_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_RECOVERY" = None then recovery_sweep ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_REPLICATION" = None then replica_sweep ();
   if observing () then write_exports ()

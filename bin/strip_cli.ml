@@ -120,6 +120,47 @@ let json_arg =
   let doc = "Print the experiment metrics as JSON instead of a table." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let replicas_arg =
+  let doc =
+    "Attach $(docv) read replicas fed by WAL log shipping.  Implies the \
+     durability layer; a primary crash is then resolved by failover \
+     promotion instead of restart-in-place.  0 (the default) creates no \
+     cluster and leaves the run identical to a non-replicated one."
+  in
+  Arg.(value & opt int 0 & info [ "replicas" ] ~docv:"N" ~doc)
+
+let read_policy_arg =
+  let doc =
+    "Routing policy for the read pump: $(b,any) (round-robin over primary \
+     and replicas), $(b,bounded:SECS) (any replica whose staleness is \
+     under SECS, falling through to the primary; $(b,bounded:0) always \
+     reads the primary), or $(b,primary) (primary only)."
+  in
+  Arg.(value & opt string "any" & info [ "read-policy" ] ~docv:"POLICY" ~doc)
+
+let read_rate_arg =
+  let doc =
+    "Issue $(docv) read-only point queries per simulated second, routed by \
+     $(b,--read-policy).  0 (the default) disables the read pump."
+  in
+  Arg.(value & opt float 0.0 & info [ "read-rate" ] ~docv:"RATE" ~doc)
+
+let parse_read_policy s =
+  let open Strip_repl.Cluster in
+  match s with
+  | "any" -> Ok Any
+  | "primary" -> Ok Primary_only
+  | _ ->
+    let prefix = "bounded:" in
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match float_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some b when b >= 0.0 -> Ok (Bounded_staleness b)
+      | _ -> Error (Printf.sprintf "bad staleness bound in %S" s)
+    else
+      Error
+        (Printf.sprintf "unknown read policy %S (any|bounded:SECS|primary)" s)
+
 let rule_of_strings view variant =
   match (view, variant) with
   | "comps", "none" -> Ok (Experiment.Comp_view Comp_rules.Non_unique)
@@ -135,13 +176,16 @@ let rule_of_strings view variant =
   | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
 
 let run_experiment view variant delay scale verify seed abort_rate fault_seed
-    retries servers watermark crash_rate crash_at checkpoint_interval
-    trace_file metrics_file json =
-  match rule_of_strings view variant with
+    retries servers watermark crash_rate crash_at checkpoint_interval replicas
+    read_policy read_rate trace_file metrics_file json =
+  match
+    Result.bind (rule_of_strings view variant) (fun rule ->
+        Result.map (fun p -> (rule, p)) (parse_read_policy read_policy))
+  with
   | Error msg ->
     prerr_endline msg;
     1
-  | Ok rule ->
+  | Ok (rule, policy) ->
     let cfg = Experiment.default_config rule ~delay in
     let cfg =
       { cfg with Experiment.feed = { cfg.Experiment.feed with Feed.seed } }
@@ -209,6 +253,21 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
         }
       else cfg
     in
+    let cfg =
+      if replicas > 0 || read_rate > 0.0 then
+        {
+          cfg with
+          Experiment.repl =
+            Some
+              {
+                Experiment.default_repl with
+                Experiment.replicas = max 0 replicas;
+                read_policy = policy;
+                read_rate = max 0.0 read_rate;
+              };
+        }
+      else cfg
+    in
     let tr = Option.map (fun _ -> Strip_obs.Trace.create ()) trace_file in
     let cfg = { cfg with Experiment.trace = tr } in
     let m = Experiment.run cfg in
@@ -219,6 +278,7 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       Report.print_failures m;
       Report.print_servers m;
       Report.print_recovery m;
+      Report.print_repl m;
       Report.print_staleness m;
       Printf.printf
         "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
@@ -262,8 +322,8 @@ let experiment_cmd =
       const run_experiment $ view_arg $ variant_arg $ delay_arg $ scale_arg
       $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg
       $ servers_arg $ watermark_arg $ crash_rate_arg $ crash_at_arg
-      $ checkpoint_interval_arg $ trace_file_arg $ metrics_file_arg
-      $ json_arg)
+      $ checkpoint_interval_arg $ replicas_arg $ read_policy_arg
+      $ read_rate_arg $ trace_file_arg $ metrics_file_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "experiment"

@@ -16,6 +16,25 @@ type recovery_cfg = {
 let default_recovery =
   { checkpoint_every = Some 5.0; crash_at = None; max_crashes = 8 }
 
+type repl_cfg = {
+  replicas : int;
+  read_policy : Strip_repl.Cluster.read_policy;
+  read_rate : float;
+  read_cost_s : float;
+  link : Strip_repl.Link.config;
+  ship_every : float;
+}
+
+let default_repl =
+  {
+    replicas = 1;
+    read_policy = Strip_repl.Cluster.Any;
+    read_rate = 0.0;
+    read_cost_s = 0.0;
+    link = Strip_repl.Link.default_config;
+    ship_every = 0.05;
+  }
+
 type config = {
   rule : rule_choice;
   delay : float;
@@ -30,6 +49,7 @@ type config = {
   overload : Strip_sim.Engine.overload option;
   trace : Strip_obs.Trace.t option;
   recovery : recovery_cfg option;
+  repl : repl_cfg option;
 }
 
 let default_config rule ~delay =
@@ -47,6 +67,7 @@ let default_config rule ~delay =
     overload = None;
     trace = None;
     recovery = None;
+    repl = None;
   }
 
 let with_faults ?seed ?(retry = Strip_sim.Engine.default_retry) ~abort_rate cfg =
@@ -76,6 +97,34 @@ type recovery_metrics = {
   audit_clean : bool;
   audit_divergences : int;
   repairs : int;
+}
+
+type replica_metrics = {
+  r_id : int;
+  r_applied_lsn : int;
+  r_segments : int;
+  r_duplicates : int;
+  r_reordered : int;
+  r_bootstraps : int;
+  r_reads : int;
+  r_lag : Strip_obs.Histogram.summary option;
+}
+
+type repl_metrics = {
+  n_replicas : int;
+  read_policy : string;
+  read_rate : float;
+  n_reads : int;
+  reads_primary : int;
+  reads_replica : int;
+  read_latency : Strip_obs.Histogram.summary option;
+  read_throughput_per_s : float;
+  n_failovers : int;
+  promotion_lost_bytes : int;
+  segments_sent : int;
+  segments_dropped : int;
+  bytes_shipped : int;
+  per_replica : replica_metrics list;
 }
 
 type metrics = {
@@ -114,6 +163,7 @@ type metrics = {
   staleness : (string * Strip_obs.Histogram.summary) list;
   registry : Strip_obs.Metrics.row list;
   recovery : recovery_metrics option;
+  repl : repl_metrics option;
 }
 
 let label_of = function
@@ -221,14 +271,34 @@ type rec_totals = {
   mutable t_recovery_s : float;
 }
 
+(* Interleave policy-routed read-only queries with the engine: run to the
+   next read's release time, serve it at that instant against whichever
+   node the router picks, repeat.  With no cluster this is exactly
+   [Strip_db.run] — the replication-free path is untouched. *)
+let run_with_reads ~cluster db =
+  match cluster with
+  | None -> Strip_db.run db
+  | Some c ->
+    let rec loop () =
+      match Strip_repl.Cluster.next_read_time c with
+      | Some tr ->
+        Strip_db.run ~until:tr db;
+        Strip_repl.Cluster.serve_read c ~now:tr;
+        loop ()
+      | None -> Strip_db.run db
+    in
+    loop ()
+
 (* Crash-restart loop: run the engine until it drains; on every
    {!Strip_txn.Fault.Crashed} escape, condemn the volatile state, bring up
    a fresh instance against the shared durable store, recover, charge the
    modeled recovery latency as downtime, resubmit the quotes the crash did
-   not consume, and keep going.  After [max_crashes] the crash {e rate} is
-   zeroed (a scheduled [crash_at] fires once by construction) so a hostile
-   seed cannot loop forever. *)
-let drive cfg rcfg ~durable ~quotes ~acc ~totals db0 h0 =
+   not consume, and keep going.  With replicas attached, the crash is
+   instead resolved by failover: the cluster promotes the replica with the
+   highest applied LSN and recovery replays {e its} durable copy.  After
+   [max_crashes] the crash {e rate} is zeroed (a scheduled [crash_at]
+   fires once by construction) so a hostile seed cannot loop forever. *)
+let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
   let open Strip_txn in
   Strip_db.checkpoint db0;
   (* Bound the checkpoint schedule by the feed: an unbounded schedule would
@@ -236,6 +306,13 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals db0 h0 =
      drain.  The tail of the run past the last periodic checkpoint is
      covered by the WAL. *)
   let cp_until = cfg.feed.Feed.duration in
+  (* The cluster bootstraps its replicas from the checkpoint just taken. *)
+  let cluster = mk_cluster db0 in
+  (match cluster with
+  | Some c ->
+    Strip_repl.Cluster.register_metrics c (Strip_db.metrics db0);
+    Strip_repl.Cluster.schedule_shipping c ~until:cp_until
+  | None -> ());
   (match rcfg.checkpoint_every with
   | Some every -> Strip_db.schedule_checkpoints db0 ~every ~until:cp_until ()
   | None -> ());
@@ -245,26 +322,27 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals db0 h0 =
   let db = ref db0 and h = ref h0 in
   let finished = ref false in
   while not !finished do
-    match Strip_db.run !db with
+    match run_with_reads ~cluster !db with
     | () -> finished := true
     | exception Fault.Crashed _ ->
       let t_crash = Strip_db.now !db in
       accumulate acc !db;
       Strip_db.crash !db;
       let before = Meter.snapshot () in
+      let next_fault () =
+        totals.t_crashes <- totals.t_crashes + 1;
+        if totals.t_crashes >= rcfg.max_crashes then
+          Option.map
+            (fun (c : Fault.config) ->
+              { c with Fault.rates = { c.Fault.rates with Fault.crash = 0.0 } })
+            cfg.fault
+        else cfg.fault
+      in
       (* A rate-based crash can also hit mid-recovery (the post-recovery
          checkpoint is a crash site); retry on yet another fresh instance —
          the durable state is untouched until that checkpoint installs. *)
       let rec restart () =
-        totals.t_crashes <- totals.t_crashes + 1;
-        let fault =
-          if totals.t_crashes >= rcfg.max_crashes then
-            Option.map
-              (fun (c : Fault.config) ->
-                { c with Fault.rates = { c.Fault.rates with Fault.crash = 0.0 } })
-              cfg.fault
-          else cfg.fault
-        in
+        let fault = next_fault () in
         let ndb = mk_db ~now:t_crash ~durable ?fault cfg in
         let nh = ref None in
         match
@@ -278,11 +356,46 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals db0 h0 =
           Strip_db.crash ndb;
           restart ()
       in
-      let ndb, nh, rs = restart () in
+      (* Failover: promotion recovers from the elected replica's durable
+         copy (bootstrap image + shipped tail) instead of the dead
+         primary's store. *)
+      let rec failover c =
+        let fault = next_fault () in
+        let nh = ref None in
+        match
+          Strip_repl.Cluster.promote c ~now:t_crash
+            ~mk_db:(fun dur -> mk_db ~now:t_crash ~durable:dur ?fault cfg)
+            ~reinstall:(fun ndb ->
+              let hh = Pta_tables.reattach ndb in
+              nh := Some hh;
+              install_rules cfg ndb hh)
+        with
+        | _ndb, rs, _info -> (Strip_repl.Cluster.primary c, Option.get !nh, rs)
+        | exception Fault.Crashed _ -> failover c
+      in
+      let failing_over =
+        match cluster with
+        | Some c when Strip_repl.Cluster.n_replicas c > 0 -> Some c
+        | _ -> None
+      in
+      let ndb, nh, rs =
+        match failing_over with Some c -> failover c | None -> restart ()
+      in
       let recovery_work = Meter.diff before (Meter.snapshot ()) in
       let rec_s = 1e-6 *. Strip_sim.Cost_model.charge cfg.cost recovery_work in
       Clock.advance_by (Strip_db.clock ndb) rec_s;
       Strip_sim.Stats.record_crash (Strip_db.stats ndb) ~recovery_s:rec_s;
+      (match failing_over with
+      | Some c ->
+        (* Re-seed the surviving nodes (and the demoted old primary's
+           slot) from the promoted node's fresh checkpoint, after the
+           downtime accounting — resynchronization proceeds in parallel
+           with resumed service. *)
+        Strip_repl.Cluster.resume c
+          ~now:(Clock.now (Strip_db.clock ndb))
+          ~ship_until:cp_until;
+        Strip_repl.Cluster.register_metrics c (Strip_db.metrics ndb)
+      | None -> ());
       totals.t_redo_commits <- totals.t_redo_commits + rs.Recovery.redo_commits;
       totals.t_redo_ops <- totals.t_redo_ops + rs.Recovery.redo_ops;
       totals.t_requeued <- totals.t_requeued + rs.Recovery.requeued;
@@ -312,9 +425,18 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals db0 h0 =
       db := ndb;
       h := nh
   done;
-  (!db, !h)
+  (!db, !h, cluster)
 
 let run (cfg : config) =
+  (* Replication rides on the durability substrate: replicas bootstrap
+     from checkpoints and apply shipped WAL bytes, so a replicated run
+     without an explicit recovery config gets the default one. *)
+  let cfg =
+    match (cfg.recovery, cfg.repl) with
+    | None, Some r when r.replicas > 0 ->
+      { cfg with recovery = Some default_recovery }
+    | _ -> cfg
+  in
   let durable = Option.map (fun _ -> Strip_txn.Durable.create ()) cfg.recovery in
   let db = mk_db ?durable ?fault:cfg.fault cfg in
   let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
@@ -348,14 +470,60 @@ let run (cfg : config) =
       t_recovery_s = 0.0;
     }
   in
-  let db, h =
-    match cfg.recovery with
-    | None ->
-      Strip_db.run db;
-      (db, h)
-    | Some rcfg ->
-      drive cfg rcfg ~durable:(Option.get durable) ~quotes ~acc ~totals db h
+  let mk_cluster db =
+    match cfg.repl with
+    | None -> None
+    | Some r ->
+      let read_table, read_key_col =
+        match cfg.rule with
+        | Comp_view _ -> ("comp_prices", "comp")
+        | Option_view _ -> ("option_prices", "option_symbol")
+      in
+      let read_keys =
+        Strip_db.query_rows db
+          (Printf.sprintf "select %s from %s" read_key_col read_table)
+        |> List.map (fun row -> Value.to_string row.(0))
+        |> Array.of_list
+      in
+      let ccfg =
+        {
+          Strip_repl.Cluster.n_replicas = r.replicas;
+          link = r.link;
+          ship_every = r.ship_every;
+          read_policy = r.read_policy;
+          read_rate = r.read_rate;
+          read_cost_s = r.read_cost_s;
+          seed = 11;
+        }
+      in
+      Some
+        (Strip_repl.Cluster.create ccfg ~primary:db ~read_table ~read_key_col
+           ~read_keys ~read_until:cfg.feed.Feed.duration)
   in
+  let db, h, cluster =
+    match cfg.recovery with
+    | None -> (
+      (* Only reachable with zero replicas: a read pump with no shipping
+         needs no durability layer. *)
+      match mk_cluster db with
+      | None ->
+        Strip_db.run db;
+        (db, h, None)
+      | Some c ->
+        Strip_repl.Cluster.register_metrics c (Strip_db.metrics db);
+        run_with_reads ~cluster:(Some c) db;
+        (db, h, Some c))
+    | Some rcfg ->
+      drive cfg rcfg ~durable:(Option.get durable) ~quotes ~acc ~totals
+        ~mk_cluster db h
+  in
+  (* Converge the replicas administratively so end-of-run lag/LSN metrics
+     (and the tests) compare equals against the final primary. *)
+  (match cluster with
+  | Some c ->
+    Strip_repl.Cluster.final_sync c
+      ~now:(Strip_txn.Clock.now (Strip_db.clock db))
+  | None -> ());
   (* Consistency audit (recovery runs only): the recovered queue has
      drained, so the views must now equal their recomputation; divergences
      become repair transactions and the audit reruns. *)
@@ -411,7 +579,9 @@ let run (cfg : config) =
   let makespan_s = Clock.now (Strip_db.clock db) in
   let n_recompute = acc.a_recompute + Strip_sim.Stats.n_recompute stats in
   let recovery =
-    match (cfg.recovery, durable, recovery_audit) with
+    (* After a failover the live durable store is the promoted replica's
+       copy, not the one the run started with. *)
+    match (cfg.recovery, Strip_db.durable db, recovery_audit) with
     | Some _, Some d, Some (_first, final, repairs) ->
       let w = Durable.wal d in
       Some
@@ -443,6 +613,54 @@ let run (cfg : config) =
           repairs;
         }
     | _ -> None
+  in
+  let repl =
+    match cluster with
+    | None -> None
+    | Some c ->
+      let module C = Strip_repl.Cluster in
+      let module R = Strip_repl.Replica in
+      let hist_summary h =
+        if Strip_obs.Histogram.count h = 0 then None
+        else Some (Strip_obs.Histogram.summary h)
+      in
+      let n_reads = C.reads_issued c in
+      let last_done = C.last_read_done c in
+      Some
+        {
+          n_replicas = C.n_replicas c;
+          read_policy =
+            (match cfg.repl with
+            | Some r -> C.policy_string r.read_policy
+            | None -> "any");
+          read_rate =
+            (match cfg.repl with Some r -> r.read_rate | None -> 0.0);
+          n_reads;
+          reads_primary = C.reads_primary c;
+          reads_replica = C.reads_replica c;
+          read_latency = hist_summary (C.read_latency c);
+          read_throughput_per_s =
+            (if last_done <= 0.0 then 0.0
+             else float_of_int n_reads /. last_done);
+          n_failovers = C.n_failovers c;
+          promotion_lost_bytes = C.lost_bytes_total c;
+          segments_sent = C.segments_sent c;
+          segments_dropped = C.segments_dropped c;
+          bytes_shipped = C.bytes_shipped c;
+          per_replica =
+            List.init (C.n_replicas c) (fun i ->
+                let r = C.replica c i in
+                {
+                  r_id = R.id r;
+                  r_applied_lsn = R.applied_lsn r;
+                  r_segments = R.n_segments r;
+                  r_duplicates = R.n_duplicates r;
+                  r_reordered = R.n_reordered r;
+                  r_bootstraps = R.n_bootstraps r;
+                  r_reads = R.n_reads r;
+                  r_lag = hist_summary (R.lag r);
+                });
+        }
   in
   {
     label = label_of cfg.rule;
@@ -504,4 +722,5 @@ let run (cfg : config) =
         (Strip_sim.Stats.staleness_tables stats);
     registry = Strip_obs.Metrics.snapshot (Strip_db.metrics db);
     recovery;
+    repl;
   }

@@ -27,6 +27,20 @@ type recovery_cfg = {
 val default_recovery : recovery_cfg
 (** 5 s checkpoints, no scheduled crash, at most 8 crashes. *)
 
+type repl_cfg = {
+  replicas : int;  (** read replicas fed by WAL log shipping *)
+  read_policy : Strip_repl.Cluster.read_policy;
+  read_rate : float;  (** read-only queries per simulated second *)
+  read_cost_s : float;
+      (** fixed per-read service overhead on top of the metered execution
+          cost *)
+  link : Strip_repl.Link.config;  (** shipping-link latency/bandwidth/drops *)
+  ship_every : float;  (** segment/heartbeat shipping period, seconds *)
+}
+
+val default_repl : repl_cfg
+(** 1 replica, default link, 50 ms shipping, policy [Any], no reads. *)
+
 type config = {
   rule : rule_choice;
   delay : float;
@@ -55,6 +69,14 @@ type config = {
           the end.  [None] (the default) performs no durability work at
           all — output is byte-identical to builds without the
           subsystem. *)
+  repl : repl_cfg option;
+      (** attach a replication cluster: WAL log shipping to [replicas]
+          read replicas plus a policy-routed read pump.  [None] (the
+          default) creates no cluster and leaves the run byte-identical
+          to non-replicated builds.  [replicas > 0] implies
+          {!default_recovery} when [recovery] is [None], and a primary
+          crash is resolved by deterministic failover promotion instead
+          of restart-in-place. *)
 }
 
 val default_config : rule_choice -> delay:float -> config
@@ -90,6 +112,39 @@ type recovery_metrics = {
   audit_clean : bool;  (** final consistency audit (after any repairs) *)
   audit_divergences : int;  (** divergent keys remaining at the end *)
   repairs : int;  (** repair transactions the first audit enqueued *)
+}
+
+type replica_metrics = {
+  r_id : int;
+  r_applied_lsn : int;  (** contiguous applied frontier at end of run *)
+  r_segments : int;  (** byte-carrying segments applied *)
+  r_duplicates : int;  (** messages fully below the applied frontier *)
+  r_reordered : int;  (** segments buffered for a gap ahead of them *)
+  r_bootstraps : int;  (** checkpoint re-seeds (truncation / failover) *)
+  r_reads : int;  (** reads this replica served *)
+  r_lag : Strip_obs.Histogram.summary option;
+      (** per-segment replication lag (arrival − send), seconds *)
+}
+
+type repl_metrics = {
+  n_replicas : int;
+  read_policy : string;
+  read_rate : float;
+  n_reads : int;
+  reads_primary : int;  (** reads routed to (or falling through to) the primary *)
+  reads_replica : int;
+  read_latency : Strip_obs.Histogram.summary option;
+      (** queueing + service per read, seconds *)
+  read_throughput_per_s : float;
+      (** reads over the span to the latest read completion — the
+          quantity the replica sweep improves *)
+  n_failovers : int;
+  promotion_lost_bytes : int;
+      (** durable primary bytes that never reached any elected replica *)
+  segments_sent : int;
+  segments_dropped : int;
+  bytes_shipped : int;
+  per_replica : replica_metrics list;
 }
 
 type metrics = {
@@ -145,6 +200,9 @@ type metrics = {
       (** present iff the run had a [recovery] config.  Count-type fields
           above accumulate across crash epochs; distributions (percentiles,
           histograms, staleness, registry) cover the final epoch only. *)
+  repl : repl_metrics option;
+      (** present iff the run had a [repl] config; cluster-owned counters
+          survive failover epochs. *)
 }
 
 val run : config -> metrics

@@ -70,6 +70,47 @@ let print_recovery (m : Experiment.metrics) =
            r.repairs
        else "")
 
+let print_repl (m : Experiment.metrics) =
+  match m.repl with
+  | None -> ()
+  | Some (r : Experiment.repl_metrics) ->
+    Printf.printf
+      "  replication: %d replicas, policy %s; %d segments shipped (%d \
+       bytes, %d dropped); %d failover(s)%s\n%!"
+      r.n_replicas r.read_policy r.segments_sent r.bytes_shipped
+      r.segments_dropped r.n_failovers
+      (if r.promotion_lost_bytes > 0 then
+         Printf.sprintf ", %d bytes lost" r.promotion_lost_bytes
+       else "");
+    List.iter
+      (fun (pr : Experiment.replica_metrics) ->
+        match pr.r_lag with
+        | None ->
+          Printf.printf
+            "  replica %d: applied_lsn %d; %d segments (%d dup, %d \
+             reordered, %d reseeds); %d reads\n%!"
+            pr.r_id pr.r_applied_lsn pr.r_segments pr.r_duplicates
+            pr.r_reordered pr.r_bootstraps pr.r_reads
+        | Some (s : Strip_obs.Histogram.summary) ->
+          Printf.printf
+            "  replica %d: applied_lsn %d; %d segments (%d dup, %d \
+             reordered, %d reseeds); %d reads; lag p50 %.1fms p99 %.1fms\n%!"
+            pr.r_id pr.r_applied_lsn pr.r_segments pr.r_duplicates
+            pr.r_reordered pr.r_bootstraps pr.r_reads (1e3 *. s.p50)
+            (1e3 *. s.p99))
+      r.per_replica;
+    if r.n_reads > 0 then
+      Printf.printf
+        "  reads: %d total (%d primary / %d replica), policy %s; %s \
+         throughput %.1f/s\n%!"
+        r.n_reads r.reads_primary r.reads_replica r.read_policy
+        (match r.read_latency with
+        | None -> "latency n/a;"
+        | Some s ->
+          Printf.sprintf "p50 %.2fms p99 %.2fms max %.2fms;" (1e3 *. s.p50)
+            (1e3 *. s.p99) (1e3 *. s.max))
+        r.read_throughput_per_s
+
 let print_staleness (m : Experiment.metrics) =
   List.iter
     (fun (table, (s : Strip_obs.Histogram.summary)) ->
@@ -112,13 +153,57 @@ let recovery_json (r : Experiment.recovery_metrics) =
       ("repairs", Json.Int r.repairs);
     ]
 
+let repl_json (r : Experiment.repl_metrics) =
+  let opt_summary = function
+    | None -> Json.Null
+    | Some s -> summary_to_json s
+  in
+  Json.Obj
+    [
+      ("n_replicas", Json.Int r.n_replicas);
+      ("read_policy", Json.Str r.read_policy);
+      ("read_rate", Json.Float r.read_rate);
+      ("n_reads", Json.Int r.n_reads);
+      ("reads_primary", Json.Int r.reads_primary);
+      ("reads_replica", Json.Int r.reads_replica);
+      ("read_latency_s", opt_summary r.read_latency);
+      ("read_throughput_per_s", Json.Float r.read_throughput_per_s);
+      ("n_failovers", Json.Int r.n_failovers);
+      ("promotion_lost_bytes", Json.Int r.promotion_lost_bytes);
+      ("segments_sent", Json.Int r.segments_sent);
+      ("segments_dropped", Json.Int r.segments_dropped);
+      ("bytes_shipped", Json.Int r.bytes_shipped);
+      ( "replicas",
+        Json.List
+          (List.map
+             (fun (pr : Experiment.replica_metrics) ->
+               Json.Obj
+                 [
+                   ("id", Json.Int pr.r_id);
+                   ("applied_lsn", Json.Int pr.r_applied_lsn);
+                   ("segments", Json.Int pr.r_segments);
+                   ("duplicates", Json.Int pr.r_duplicates);
+                   ("reordered", Json.Int pr.r_reordered);
+                   ("bootstraps", Json.Int pr.r_bootstraps);
+                   ("reads", Json.Int pr.r_reads);
+                   ("lag_s", opt_summary pr.r_lag);
+                 ])
+             r.per_replica) );
+    ]
+
 let metrics_json (m : Experiment.metrics) =
-  (* The "recovery" member appears only for durable runs, so crash-free
-     reports stay byte-identical to earlier versions. *)
+  (* The "recovery" member appears only for durable runs, and the
+     "replication" member only for replicated runs, so crash-free /
+     replica-free reports stay byte-identical to earlier versions. *)
   let recovery_field =
     match m.recovery with
     | None -> []
     | Some r -> [ ("recovery", recovery_json r) ]
+  in
+  let repl_field =
+    match m.repl with
+    | None -> []
+    | Some r -> [ ("replication", repl_json r) ]
   in
   Json.Obj
     ([
@@ -164,7 +249,7 @@ let metrics_json (m : Experiment.metrics) =
         Json.Obj (List.map (fun (t, s) -> (t, summary_to_json s)) m.staleness)
       );
      ]
-    @ recovery_field)
+    @ recovery_field @ repl_field)
 
 let print_metrics_json ms =
   print_string

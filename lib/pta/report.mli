@@ -25,6 +25,13 @@ val print_recovery : Experiment.metrics -> unit
     consistency-audit verdict.  Silent for runs without a [recovery]
     config, so historical reports are unchanged. *)
 
+val print_repl : Experiment.metrics -> unit
+(** Indented replication rows: cluster shape and shipping volume, one row
+    per replica (applied LSN, segment/duplicate/reorder/reseed counts,
+    lag p50/p99), and the read-routing summary with latency percentiles
+    and throughput.  Silent for runs without a [repl] config, so
+    historical reports are unchanged. *)
+
 val print_staleness : Experiment.metrics -> unit
 (** One indented line per derived table: count, mean, p50/p90/p99 and max
     staleness in seconds (paper §7); silent when no maintenance

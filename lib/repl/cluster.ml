@@ -1,0 +1,372 @@
+open Strip_relational
+open Strip_txn
+open Strip_sim
+open Strip_core
+
+type read_policy = Any | Bounded_staleness of float | Primary_only
+
+let policy_string = function
+  | Any -> "any"
+  | Bounded_staleness s -> Printf.sprintf "bounded:%g" s
+  | Primary_only -> "primary"
+
+type config = {
+  n_replicas : int;
+  link : Link.config;
+  ship_every : float;
+  read_policy : read_policy;
+  read_rate : float;
+  read_cost_s : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_replicas = 1;
+    link = Link.default_config;
+    ship_every = 0.05;
+    read_policy = Any;
+    read_rate = 0.0;
+    read_cost_s = 0.0;
+    seed = 11;
+  }
+
+type t = {
+  cfg : config;
+  mutable primary : Strip_db.t;
+  replicas : Replica.t array;
+  links : Link.t array;
+  sent_end : int array;  (* per replica: durable end covered by sends *)
+  read_table : string;
+  read_key_col : string;
+  read_keys : string array;
+  read_until : float;
+  rng : Random.State.t;
+  mutable rr : int;  (* round-robin cursor *)
+  mutable issued : int;
+  mutable rd_primary : int;
+  mutable rd_replica : int;
+  read_lat : Strip_obs.Histogram.t;
+  mutable primary_busy : float;
+  mutable last_done : float;
+  mutable failovers : int;
+  mutable lost : int;
+}
+
+let primary_durable t =
+  match Strip_db.durable t.primary with
+  | Some d -> d
+  | None -> invalid_arg "Cluster: primary has no durability layer"
+
+let create cfg ~primary ~read_table ~read_key_col ~read_keys ~read_until =
+  if cfg.n_replicas < 0 then invalid_arg "Cluster.create: n_replicas < 0";
+  let replicas =
+    if cfg.n_replicas = 0 then [||]
+    else begin
+      let d =
+        match Strip_db.durable primary with
+        | Some d -> d
+        | None ->
+          invalid_arg "Cluster.create: replicas need a durable primary"
+      in
+      let image =
+        match Durable.snapshot d with
+        | Some s -> s
+        | None -> invalid_arg "Cluster.create: no checkpoint to bootstrap from"
+      in
+      let lsn = Durable.snapshot_lsn d and time = Durable.snapshot_time d in
+      Array.init cfg.n_replicas (fun i ->
+          Replica.bootstrap ~id:i ~image ~lsn ~time)
+    end
+  in
+  let snap_lsn =
+    if cfg.n_replicas = 0 then 0
+    else Durable.snapshot_lsn (Option.get (Strip_db.durable primary))
+  in
+  {
+    cfg;
+    primary;
+    replicas;
+    links = Array.init cfg.n_replicas (fun i -> Link.create ~id:i cfg.link);
+    sent_end = Array.make (max 1 cfg.n_replicas) snap_lsn;
+    read_table;
+    read_key_col;
+    read_keys;
+    read_until;
+    rng = Random.State.make [| cfg.seed; 0x7ead |];
+    rr = 0;
+    issued = 0;
+    rd_primary = 0;
+    rd_replica = 0;
+    read_lat = Strip_obs.Histogram.create ();
+    primary_busy = 0.0;
+    last_done = 0.0;
+    failovers = 0;
+    lost = 0;
+  }
+
+let primary t = t.primary
+let n_replicas t = Array.length t.replicas
+let replica t i = t.replicas.(i)
+let link t i = t.links.(i)
+
+let drain_one t i ~now =
+  let rec go () =
+    match Link.pop_arrived t.links.(i) ~now with
+    | Some m ->
+      Replica.receive t.replicas.(i) m;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let drain_all t ~now =
+  Array.iteri (fun i _ -> drain_one t i ~now) t.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Shipping.                                                           *)
+
+let ship_tick t ~now =
+  let pwal = Durable.wal (primary_durable t) in
+  let base = Wal.base_lsn pwal and dend = Wal.durable_end pwal in
+  Array.iteri
+    (fun i r ->
+      drain_one t i ~now;
+      Meter.tick "repl_ship_segment";
+      let applied = Replica.applied_lsn r in
+      if applied < base then begin
+        (* The primary truncated past this replica: re-seed it with the
+           current checkpoint image over the same link. *)
+        let d = primary_durable t in
+        match Durable.snapshot d with
+        | Some image ->
+          Link.send t.links.(i) ~now
+            (Link.Bootstrap
+               {
+                 image;
+                 lsn = Durable.snapshot_lsn d;
+                 time = Durable.snapshot_time d;
+               });
+          t.sent_end.(i) <- Durable.snapshot_lsn d
+        | None -> ()
+      end
+      else begin
+        (* Resend from the replica's observed frontier if what we already
+           shipped has not landed after a full period (drop recovery);
+           otherwise ship only the new tail. *)
+        let from =
+          if applied < t.sent_end.(i) then applied else t.sent_end.(i)
+        in
+        let from = max from base in
+        if from < dend then begin
+          Link.send t.links.(i) ~now
+            (Link.Segment
+               { from_lsn = from; bytes = Wal.durable_slice pwal ~from_lsn:from });
+          t.sent_end.(i) <- dend
+        end
+        else
+          (* Nothing new: a heartbeat advances the freshness horizon. *)
+          Link.send t.links.(i) ~now (Link.Segment { from_lsn = dend; bytes = "" })
+      end)
+    t.replicas
+
+let schedule_shipping t ~until =
+  if Array.length t.replicas = 0 then ()
+  else begin
+    if t.cfg.ship_every <= 0.0 then
+      invalid_arg "Cluster.schedule_shipping: period <= 0";
+    let eng = Strip_db.engine t.primary in
+    let clk = Strip_db.clock t.primary in
+    let rec make at =
+      Task.create ~klass:Task.Background ~func_name:"repl_ship"
+        ~release_time:at ~created_at:(Clock.now clk) (fun _task ->
+          ship_tick t ~now:(Clock.now clk);
+          let next = at +. t.cfg.ship_every in
+          if next <= until then Engine.submit eng (make next))
+    in
+    let first = Clock.now clk +. t.cfg.ship_every in
+    if first <= until then Engine.submit eng (make first)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads.                                                              *)
+
+let next_read_time t =
+  if t.cfg.read_rate <= 0.0 then None
+  else
+    let tr = float_of_int (t.issued + 1) /. t.cfg.read_rate in
+    if tr <= t.read_until then Some tr else None
+
+let route t ~now =
+  let n = Array.length t.replicas in
+  match t.cfg.read_policy with
+  | Primary_only -> `Primary
+  | Any ->
+    if n = 0 then `Primary
+    else begin
+      let k = t.rr mod (n + 1) in
+      t.rr <- t.rr + 1;
+      if k = 0 then `Primary else `Replica t.replicas.(k - 1)
+    end
+  | Bounded_staleness bound ->
+    let eligible =
+      Array.to_list t.replicas
+      |> List.filter (fun r -> Replica.staleness r ~now < bound)
+    in
+    (match eligible with
+    | [] -> `Primary
+    | _ ->
+      let k = t.rr mod List.length eligible in
+      t.rr <- t.rr + 1;
+      `Replica (List.nth eligible k))
+
+let serve_read t ~now =
+  drain_all t ~now;
+  t.issued <- t.issued + 1;
+  let target = route t ~now in
+  let key = t.read_keys.(Random.State.int t.rng (Array.length t.read_keys)) in
+  let sql =
+    Printf.sprintf "select * from %s where %s = '%s'" t.read_table
+      t.read_key_col key
+  in
+  let cat =
+    match target with
+    | `Primary -> Strip_db.catalog t.primary
+    | `Replica r -> Replica.catalog r
+  in
+  let before = Meter.snapshot () in
+  ignore (Sql_exec.exec_string cat ~env:[] sql);
+  let work = Meter.diff before (Meter.snapshot ()) in
+  let cost = Engine.cost_model (Strip_db.engine t.primary) in
+  let service = (1e-6 *. Cost_model.charge cost work) +. t.cfg.read_cost_s in
+  let busy =
+    match target with
+    | `Primary -> t.primary_busy
+    | `Replica r -> Replica.busy_until r
+  in
+  let start = Float.max now busy in
+  let fin = start +. service in
+  (match target with
+  | `Primary ->
+    t.primary_busy <- fin;
+    t.rd_primary <- t.rd_primary + 1
+  | `Replica r ->
+    Replica.set_busy_until r fin;
+    Replica.incr_reads r;
+    t.rd_replica <- t.rd_replica + 1);
+  Strip_obs.Histogram.add t.read_lat (fin -. now);
+  t.last_done <- Float.max t.last_done fin
+
+(* ------------------------------------------------------------------ *)
+(* Failover.                                                           *)
+
+type promotion = { promoted : int; promoted_lsn : int; lost_bytes : int }
+
+let promote t ~now ~mk_db ~reinstall =
+  if Array.length t.replicas = 0 then
+    invalid_arg "Cluster.promote: no replicas";
+  (* Everything already delivered counts; bytes on the wire die with the
+     primary's connections. *)
+  drain_all t ~now;
+  Array.iter Link.clear_in_flight t.links;
+  let best = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if Replica.applied_lsn r > Replica.applied_lsn t.replicas.(!best) then
+        best := i)
+    t.replicas;
+  let winner = t.replicas.(!best) in
+  let promoted_lsn = Replica.applied_lsn winner in
+  let old_end = Wal.durable_end (Durable.wal (primary_durable t)) in
+  let lost_bytes = max 0 (old_end - promoted_lsn) in
+  let ndb = mk_db (Replica.durable winner) in
+  let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
+  t.primary <- ndb;
+  t.failovers <- t.failovers + 1;
+  t.lost <- t.lost + lost_bytes;
+  (ndb, rs, { promoted = Replica.id winner; promoted_lsn; lost_bytes })
+
+let resume t ~now ~ship_until =
+  let d = primary_durable t in
+  (match Durable.snapshot d with
+  | None -> ()
+  | Some image ->
+    let lsn = Durable.snapshot_lsn d and time = Durable.snapshot_time d in
+    Array.iteri
+      (fun i r ->
+        Replica.rebootstrap r ~image ~lsn ~time;
+        t.sent_end.(i) <- lsn)
+      t.replicas);
+  (* Reads routed to the primary during the outage queue behind it. *)
+  t.primary_busy <- Float.max t.primary_busy now;
+  Stats.record_failover (Strip_db.stats t.primary);
+  schedule_shipping t ~until:ship_until
+
+let final_sync t ~now =
+  if Array.length t.replicas > 0 then begin
+    let d = primary_durable t in
+    let pwal = Durable.wal d in
+    Array.iteri
+      (fun i r ->
+        let rec go () =
+          match Link.pop_arrived t.links.(i) ~now:infinity with
+          | Some m ->
+            Replica.receive r m;
+            go ()
+          | None -> ()
+        in
+        go ();
+        (if Replica.applied_lsn r < Wal.base_lsn pwal then
+           match Durable.snapshot d with
+           | Some image ->
+             Replica.rebootstrap r ~image ~lsn:(Durable.snapshot_lsn d)
+               ~time:(Durable.snapshot_time d)
+           | None -> ());
+        if Replica.applied_lsn r < Wal.durable_end pwal then
+          Replica.ingest r
+            (Wal.durable_slice pwal ~from_lsn:(Replica.applied_lsn r))
+            ~horizon:now)
+      t.replicas
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accounting.                                                         *)
+
+let n_failovers t = t.failovers
+let lost_bytes_total t = t.lost
+let reads_issued t = t.issued
+let reads_primary t = t.rd_primary
+let reads_replica t = t.rd_replica
+let read_latency t = t.read_lat
+let last_read_done t = t.last_done
+
+let sum f t = Array.fold_left (fun a l -> a + f l) 0 t.links
+let segments_sent t = sum Link.n_sent t
+let segments_dropped t = sum Link.n_dropped t
+let bytes_shipped t = sum Link.bytes_sent t
+
+let register_metrics t reg =
+  let module M = Strip_obs.Metrics in
+  M.probe_int reg "repl_replicas" (fun () -> Array.length t.replicas);
+  M.probe_int reg "repl_failovers_total" (fun () -> t.failovers);
+  M.probe_int reg "repl_lost_bytes_total" (fun () -> t.lost);
+  M.probe_int reg "repl_reads_primary_total" (fun () -> t.rd_primary);
+  M.probe_int reg "repl_reads_replica_total" (fun () -> t.rd_replica);
+  M.probe_hist reg "repl_read_latency_s" (fun () -> t.read_lat);
+  M.probe_int reg "repl_segments_sent_total" (fun () -> segments_sent t);
+  M.probe_int reg "repl_segments_dropped_total" (fun () -> segments_dropped t);
+  M.probe_int reg "repl_bytes_shipped_total" (fun () -> bytes_shipped t);
+  M.probe_family reg "repl_applied_lsn" (fun () ->
+      Array.to_list
+        (Array.map
+           (fun r ->
+             ( [ ("replica", string_of_int (Replica.id r)) ],
+               M.Sample_int (Replica.applied_lsn r) ))
+           t.replicas));
+  M.probe_family reg "repl_lag_s" (fun () ->
+      Array.to_list
+        (Array.map
+           (fun r ->
+             ( [ ("replica", string_of_int (Replica.id r)) ],
+               M.Sample_hist (Replica.lag r) ))
+           t.replicas))

@@ -1,0 +1,131 @@
+(** A primary plus N read replicas fed by WAL log shipping.
+
+    The shipper runs as a periodic background task on the primary's
+    engine: each tick it sends every replica the durable log bytes it has
+    not yet acknowledged seeing (optimistic resend — there are no acks,
+    so a dropped segment is simply covered again next tick and duplicate
+    delivery is handled idempotently by the replica), or a heartbeat when
+    there is nothing new, which advances the replica's freshness horizon.
+    A replica that has fallen behind the primary's truncation horizon is
+    re-seeded with a full checkpoint image through the same link.
+
+    Reads are routed by {!read_policy}; each node owns a single-lane
+    service queue, so read latency is queueing plus metered execution
+    cost and adding replicas adds lanes.
+
+    On a primary crash, {!promote} deterministically elects the replica
+    with the highest applied LSN (ties break toward the lowest replica
+    id), rebuilds a full primary from that replica's own durable state
+    through {!Strip_core.Recovery} — checkpoint image plus shipped log
+    tail, including the pending unique-transaction queue — and repoints
+    the cluster at it; {!resume} then re-seeds every other node (and the
+    demoted old primary's slot) from the promoted node's post-recovery
+    checkpoint. *)
+
+open Strip_core
+
+type read_policy = Any | Bounded_staleness of float | Primary_only
+
+val policy_string : read_policy -> string
+(** ["any"], ["bounded:S"], or ["primary"]. *)
+
+type config = {
+  n_replicas : int;
+  link : Link.config;
+  ship_every : float;  (** shipping / heartbeat period, seconds *)
+  read_policy : read_policy;
+  read_rate : float;  (** read-only queries per simulated second *)
+  read_cost_s : float;
+      (** fixed per-read service overhead added to the metered execution
+          cost (result marshalling / protocol) *)
+  seed : int;  (** read-key RNG seed *)
+}
+
+val default_config : config
+(** 1 replica, default link, 50 ms shipping, [Any], no reads. *)
+
+type t
+
+val create :
+  config ->
+  primary:Strip_db.t ->
+  read_table:string ->
+  read_key_col:string ->
+  read_keys:string array ->
+  read_until:float ->
+  t
+(** Bootstrap [n_replicas] replicas from the primary's installed
+    checkpoint.  @raise Invalid_argument if [n_replicas > 0] and the
+    primary has no durability layer or no checkpoint installed. *)
+
+val schedule_shipping : t -> until:float -> unit
+(** Schedule the periodic shipping task chain on the current primary's
+    engine, first tick one period from now. *)
+
+val primary : t -> Strip_db.t
+val n_replicas : t -> int
+val replica : t -> int -> Replica.t
+val link : t -> int -> Link.t
+
+(** {1 Reads} *)
+
+val next_read_time : t -> float option
+(** Release time of the next read, [None] when the configured rate is
+    zero or the feed window is exhausted. *)
+
+val serve_read : t -> now:float -> unit
+(** Drain arrivals up to [now], route one read by policy, execute it
+    raw (no locks — replicas are single-writer apply loops, and the
+    primary lane models a read endpoint), and account latency as
+    queueing-plus-service on the chosen node's lane. *)
+
+(** {1 Failover} *)
+
+type promotion = {
+  promoted : int;  (** elected replica id *)
+  promoted_lsn : int;  (** its applied LSN at election *)
+  lost_bytes : int;
+      (** durable-on-primary bytes that never reached the elected
+          replica — lost to the cluster *)
+}
+
+val promote :
+  t ->
+  now:float ->
+  mk_db:(Strip_txn.Durable.t -> Strip_db.t) ->
+  reinstall:(Strip_db.t -> unit) ->
+  Strip_db.t * Recovery.stats * promotion
+(** Elect, rebuild a primary from the winner's durable state via
+    {!Recovery.recover}, and repoint the cluster.  In-flight link
+    messages die with the old primary.  Re-raises
+    {!Strip_txn.Fault.Crashed} if the fault injector fells the new
+    primary mid-recovery; the call may simply be retried. *)
+
+val resume : t -> now:float -> ship_until:float -> unit
+(** After {!promote} (and after downtime accounting): re-seed every
+    replica slot from the promoted primary's fresh checkpoint, bump the
+    primary read lane past the outage, and restart shipping. *)
+
+val final_sync : t -> now:float -> unit
+(** End of run: deliver everything in flight and graft any remaining
+    durable tail so replicas converge to the primary (no lag samples are
+    recorded for this administrative catch-up). *)
+
+(** {1 Accounting} *)
+
+val n_failovers : t -> int
+val lost_bytes_total : t -> int
+val reads_issued : t -> int
+val reads_primary : t -> int
+val reads_replica : t -> int
+val read_latency : t -> Strip_obs.Histogram.t
+val last_read_done : t -> float
+(** Completion time of the latest-finishing read, 0 if none ran. *)
+
+val segments_sent : t -> int
+val segments_dropped : t -> int
+val bytes_shipped : t -> int
+
+val register_metrics : t -> Strip_obs.Metrics.t -> unit
+(** Probe lag/routing/shipping counters into a registry under [repl_*];
+    call again after {!promote} to wire the new primary's registry. *)

@@ -1,0 +1,90 @@
+type config = {
+  latency_s : float;
+  bandwidth_bps : float;
+  drop_rate : float;
+  seed : int;
+}
+
+let default_config =
+  { latency_s = 0.02; bandwidth_bps = 10e6; drop_rate = 0.0; seed = 7 }
+
+type payload =
+  | Segment of { from_lsn : int; bytes : string }
+  | Bootstrap of { image : string; lsn : int; time : float }
+
+type message = {
+  sent_at : float;
+  arrives_at : float;
+  seq : int;
+  payload : payload;
+}
+
+(* In-flight messages ordered by (arrives_at, seq). *)
+module Mq = Set.Make (struct
+  type t = float * int * message
+
+  let compare (a1, s1, _) (a2, s2, _) =
+    match Float.compare a1 a2 with 0 -> Int.compare s1 s2 | c -> c
+end)
+
+type t = {
+  cfg : config;
+  rng : Random.State.t;
+  mutable in_flight : Mq.t;
+  mutable seq : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable bytes : int;
+}
+
+let create ?(id = 0) cfg =
+  {
+    cfg;
+    rng = Random.State.make [| cfg.seed; id; 0x5ea |];
+    in_flight = Mq.empty;
+    seq = 0;
+    sent = 0;
+    dropped = 0;
+    delivered = 0;
+    bytes = 0;
+  }
+
+let payload_bytes = function
+  | Segment { bytes; _ } -> String.length bytes
+  | Bootstrap { image; _ } -> String.length image
+
+let send t ~now payload =
+  let size = payload_bytes payload in
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  (* Draw even for dropped messages so the RNG stream depends only on the
+     send sequence, keeping runs deterministic. *)
+  let u = Random.State.float t.rng 1.0 in
+  if u < t.cfg.drop_rate then t.dropped <- t.dropped + 1
+  else begin
+    let ser =
+      if t.cfg.bandwidth_bps = infinity then 0.0
+      else float_of_int size /. t.cfg.bandwidth_bps
+    in
+    let arrives_at = now +. t.cfg.latency_s +. ser in
+    let seq = t.seq in
+    t.seq <- t.seq + 1;
+    let msg = { sent_at = now; arrives_at; seq; payload } in
+    t.in_flight <- Mq.add (arrives_at, seq, msg) t.in_flight
+  end
+
+let pop_arrived t ~now =
+  match Mq.min_elt_opt t.in_flight with
+  | Some ((arrives_at, _, msg) as e) when arrives_at <= now +. 1e-12 ->
+    t.in_flight <- Mq.remove e t.in_flight;
+    t.delivered <- t.delivered + 1;
+    Some msg
+  | _ -> None
+
+let clear_in_flight t = t.in_flight <- Mq.empty
+let n_sent t = t.sent
+let n_dropped t = t.dropped
+let n_delivered t = t.delivered
+let bytes_sent t = t.bytes
+let in_flight t = Mq.cardinal t.in_flight

@@ -1,0 +1,57 @@
+(** Simulated primary→replica shipping link.
+
+    Messages experience a fixed one-way latency plus a serialization
+    delay proportional to their size, and are dropped independently with
+    a configurable probability from a seeded generator — the same
+    deterministic-fault philosophy as {!Strip_txn.Fault}.  Delivery is by
+    arrival time (ties broken by send order), so a large segment can be
+    overtaken by a later small one: receivers must tolerate reordering
+    and, because the shipper resends optimistically, duplication. *)
+
+type config = {
+  latency_s : float;  (** one-way propagation delay *)
+  bandwidth_bps : float;
+      (** serialization rate, bytes per simulated second
+          ([infinity] disables the size-dependent term) *)
+  drop_rate : float;  (** independent per-message loss probability *)
+  seed : int;  (** per-link RNG seed (combined with the replica id) *)
+}
+
+val default_config : config
+(** 20 ms latency, 10 MB/s, no drops, seed 7. *)
+
+type payload =
+  | Segment of { from_lsn : int; bytes : string }
+      (** Framed WAL bytes [[from_lsn, from_lsn + length bytes)].  Empty
+          [bytes] is a heartbeat: "the primary's durable log ended at
+          [from_lsn] when this was sent". *)
+  | Bootstrap of { image : string; lsn : int; time : float }
+      (** A full checkpoint image for a replica that fell behind the
+          primary's truncation horizon (or is joining mid-stream). *)
+
+type message = {
+  sent_at : float;
+  arrives_at : float;
+  seq : int;  (** send order, the arrival-time tie-break *)
+  payload : payload;
+}
+
+type t
+
+val create : ?id:int -> config -> t
+(** [id] perturbs the seed so each replica's link drops independently. *)
+
+val send : t -> now:float -> payload -> unit
+(** Enqueue a message; it may be dropped (never delivered). *)
+
+val pop_arrived : t -> now:float -> message option
+(** Earliest message with [arrives_at <= now], removed; [None] if none. *)
+
+val clear_in_flight : t -> unit
+(** Drop every undelivered message — the sender died mid-flight. *)
+
+val n_sent : t -> int
+val n_dropped : t -> int
+val n_delivered : t -> int
+val bytes_sent : t -> int
+val in_flight : t -> int

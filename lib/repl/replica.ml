@@ -1,0 +1,169 @@
+open Strip_relational
+open Strip_txn
+open Strip_core
+
+type t = {
+  rid : int;
+  mutable cat : Catalog.t;
+  mutable redo : Redo.t;
+  mutable wal : Wal.t;
+  mutable dur : Durable.t;
+  mutable applied : int;
+  mutable horizon_t : float;
+  mutable pending : Link.message list;  (* out-of-order segments, buffered *)
+  lag_h : Strip_obs.Histogram.t;
+  mutable segments : int;
+  mutable duplicates : int;
+  mutable reordered : int;
+  mutable bootstraps : int;
+  mutable commits : int;
+  mutable ops : int;
+  mutable busy : float;
+  mutable reads : int;
+}
+
+let restore_image ~image ~lsn ~time =
+  let cat = Catalog.create () in
+  let cp = Checkpoint.decode image in
+  Checkpoint.restore_tables cp cat;
+  Meter.tick_n "repl_bootstrap_row" (Checkpoint.total_rows cp);
+  let wal = Wal.create ~base_lsn:lsn () in
+  let dur = Durable.create ~wal () in
+  Durable.install_checkpoint dur ~encoded:image ~lsn ~time;
+  (cat, wal, dur, cp.Checkpoint.taken_at)
+
+let bootstrap ~id ~image ~lsn ~time =
+  let cat, wal, dur, taken_at = restore_image ~image ~lsn ~time in
+  {
+    rid = id;
+    cat;
+    redo = Redo.create ~meter:"repl_apply_op" cat;
+    wal;
+    dur;
+    applied = lsn;
+    horizon_t = taken_at;
+    pending = [];
+    lag_h = Strip_obs.Histogram.create ();
+    segments = 0;
+    duplicates = 0;
+    reordered = 0;
+    bootstraps = 0;
+    commits = 0;
+    ops = 0;
+    busy = 0.0;
+    reads = 0;
+  }
+
+let rebootstrap t ~image ~lsn ~time =
+  let cat, wal, dur, taken_at = restore_image ~image ~lsn ~time in
+  t.cat <- cat;
+  t.redo <- Redo.create ~meter:"repl_apply_op" cat;
+  t.wal <- wal;
+  t.dur <- dur;
+  t.applied <- lsn;
+  t.horizon_t <- max t.horizon_t taken_at;
+  t.pending <- [];
+  t.bootstraps <- t.bootstraps + 1
+
+(* Decode and apply everything newly grafted onto the local log copy. *)
+let apply_tail t =
+  let rd = Wal.read_from t.wal ~lsn:t.applied in
+  List.iter
+    (fun (_lsn, record) ->
+      match record with
+      | Wal.Commit { ops; _ } ->
+        t.commits <- t.commits + 1;
+        t.ops <- t.ops + List.length ops;
+        Redo.apply_commit t.redo ops
+      | Wal.Uq_enqueue _ | Wal.Uq_merge _ | Wal.Uq_release _
+      | Wal.Checkpoint_mark _ ->
+        (* Queue transitions matter only at promotion, when Recovery
+           rebuilds the pending queue from this same log copy. *)
+        ())
+    rd.Wal.records;
+  t.applied <- Wal.durable_end t.wal
+
+let ingest t bytes ~horizon =
+  Wal.install_bytes t.wal bytes;
+  apply_tail t;
+  t.horizon_t <- max t.horizon_t horizon
+
+let rec receive t (msg : Link.message) =
+  match msg.Link.payload with
+  | Link.Bootstrap { image; lsn; time } ->
+    if lsn > t.applied then rebootstrap t ~image ~lsn ~time
+    else t.duplicates <- t.duplicates + 1;
+    retry_pending t
+  | Link.Segment { from_lsn; bytes = "" } ->
+    (* Heartbeat: the primary's durable log ended at [from_lsn] when this
+       was sent.  If we have all of it, our state is fresh as of then. *)
+    if from_lsn <= t.applied then
+      t.horizon_t <- max t.horizon_t msg.Link.sent_at
+  | Link.Segment { from_lsn; bytes } ->
+    let end_ = from_lsn + String.length bytes in
+    if end_ <= t.applied then begin
+      (* Entirely old bytes — but still proof of freshness at send time. *)
+      t.duplicates <- t.duplicates + 1;
+      t.horizon_t <- max t.horizon_t msg.Link.sent_at
+    end
+    else if from_lsn > t.applied then begin
+      (* A gap: an earlier segment was dropped or is still in flight. *)
+      t.reordered <- t.reordered + 1;
+      t.pending <- msg :: t.pending
+    end
+    else begin
+      let skip = t.applied - from_lsn in
+      ingest t
+        (String.sub bytes skip (String.length bytes - skip))
+        ~horizon:msg.Link.sent_at;
+      t.segments <- t.segments + 1;
+      Strip_obs.Histogram.add t.lag_h (msg.Link.arrives_at -. msg.Link.sent_at);
+      retry_pending t
+    end
+
+and retry_pending t =
+  (* Oldest (lowest seq) first so contiguous runs drain in one pass. *)
+  let ready, still =
+    List.partition
+      (fun (m : Link.message) ->
+        match m.Link.payload with
+        | Link.Segment { from_lsn; bytes } ->
+          from_lsn <= t.applied && from_lsn + String.length bytes > t.applied
+        | Link.Bootstrap _ -> false)
+      t.pending
+  in
+  match ready with
+  | [] ->
+    (* Drop buffered segments made obsolete by a bootstrap or duplicate. *)
+    t.pending <-
+      List.filter
+        (fun (m : Link.message) ->
+          match m.Link.payload with
+          | Link.Segment { from_lsn; bytes } ->
+            from_lsn + String.length bytes > t.applied
+          | Link.Bootstrap _ -> false)
+        still
+  | _ ->
+    let ready =
+      List.sort (fun (a : Link.message) b -> Int.compare a.seq b.seq) ready
+    in
+    t.pending <- still;
+    List.iter (receive t) ready
+
+let id t = t.rid
+let catalog t = t.cat
+let durable t = t.dur
+let applied_lsn t = t.applied
+let horizon t = t.horizon_t
+let staleness t ~now = now -. t.horizon_t
+let lag t = t.lag_h
+let n_segments t = t.segments
+let n_duplicates t = t.duplicates
+let n_reordered t = t.reordered
+let n_bootstraps t = t.bootstraps
+let n_commits_applied t = t.commits
+let n_ops_applied t = t.ops
+let busy_until t = t.busy
+let set_busy_until t v = t.busy <- v
+let n_reads t = t.reads
+let incr_reads t = t.reads <- t.reads + 1

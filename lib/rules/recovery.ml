@@ -15,66 +15,6 @@ type stats = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Redo.  The log carries full before/after images, so update and delete
-   targets are found by whole-row match.  A per-table hash map over the
-   live rows makes that O(1) per op; it is built lazily (insert-only
-   tables never pay for one) and maintained incrementally as redo
-   applies. *)
-
-module RowKey = struct
-  type t = Value.t array
-
-  let equal a b =
-    Array.length a = Array.length b
-    &&
-    let ok = ref true in
-    Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
-    !ok
-
-  let hash a = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 a
-end
-
-module RT = Hashtbl.Make (RowKey)
-
-let row_map maps tname tb =
-  match Hashtbl.find_opt maps tname with
-  | Some m -> m
-  | None ->
-    let m = RT.create (max 64 (2 * Table.cardinal tb)) in
-    Table.iter tb (fun r -> RT.add m (Array.copy r.Record.values) r);
-    Hashtbl.replace maps tname m;
-    m
-
-let find_row m tname values =
-  match RT.find_opt m values with
-  | Some r -> r
-  | None ->
-    failwith (Printf.sprintf "Recovery: redo target row missing in %s" tname)
-
-let redo_op cat maps op =
-  Meter.tick "recovery_redo_op";
-  match op with
-  | Wal.Insert { table; values; _ } ->
-    let tb = Catalog.table_exn cat table in
-    let r = Table.insert tb (Array.copy values) in
-    (match Hashtbl.find_opt maps table with
-    | Some m -> RT.add m (Array.copy values) r
-    | None -> ())
-  | Wal.Delete { table; values; _ } ->
-    let tb = Catalog.table_exn cat table in
-    let m = row_map maps table tb in
-    let r = find_row m table values in
-    Table.delete tb r;
-    RT.remove m values
-  | Wal.Update { table; old_values; new_values; _ } ->
-    let tb = Catalog.table_exn cat table in
-    let m = row_map maps table tb in
-    let r = find_row m table old_values in
-    let r' = Table.update tb r (Array.copy new_values) in
-    RT.remove m old_values;
-    RT.add m (Array.copy new_values) r'
-
-(* ------------------------------------------------------------------ *)
 (* Unique-queue reconstruction: start from the checkpoint's queue image,
    then replay the tail's enqueue/merge/release transitions in log
    order. *)
@@ -136,10 +76,12 @@ let recover db ~reinstall =
   reinstall ();
   (* 4. Redo the log tail with raw table operations.  No rule fires here —
      every maintenance action that committed left its own Commit record,
-     and every one that did not is represented in the rebuilt queue. *)
-  let rd = Wal.read (Durable.wal d) in
-  let maps = Hashtbl.create 8 in
-  let n_commits = ref 0 and n_ops = ref 0 and released = ref 0 in
+     and every one that did not is represented in the rebuilt queue.  The
+     cursor read starts at the checkpoint LSN: truncation keeps
+     [base_lsn <= wal_lsn], so nothing before it is re-decoded. *)
+  let rd = Wal.read_from (Durable.wal d) ~lsn:cp.Checkpoint.wal_lsn in
+  let redo = Redo.create cat in
+  let n_commits = ref 0 and released = ref 0 in
   let queue = QT.create 64 in
   let order = ref [] in
   let enqueue key entry =
@@ -157,30 +99,24 @@ let recover db ~reinstall =
         })
     cp.Checkpoint.queue;
   List.iter
-    (fun (lsn, record) ->
-      if lsn >= cp.Checkpoint.wal_lsn then
-        match record with
-        | Wal.Commit { ops; _ } ->
-          incr n_commits;
-          List.iter
-            (fun op ->
-              incr n_ops;
-              redo_op cat maps op)
-            ops
-        | Wal.Uq_enqueue { func; key; release_time; created_at; bound } ->
-          enqueue (func, key)
-            { q_release = release_time; q_created = created_at; q_bound = bound }
-        | Wal.Uq_merge { func; key; bound } -> (
-          match QT.find_opt queue (func, key) with
-          | Some e -> List.iter (merge_bound e) bound
-          | None ->
-            failwith
-              (Printf.sprintf "Recovery: merge into unknown queue entry %s"
-                 func))
-        | Wal.Uq_release { func; key } ->
-          incr released;
-          QT.remove queue (func, key)
-        | Wal.Checkpoint_mark _ -> ())
+    (fun (_lsn, record) ->
+      match record with
+      | Wal.Commit { ops; _ } ->
+        incr n_commits;
+        Redo.apply_commit redo ops
+      | Wal.Uq_enqueue { func; key; release_time; created_at; bound } ->
+        enqueue (func, key)
+          { q_release = release_time; q_created = created_at; q_bound = bound }
+      | Wal.Uq_merge { func; key; bound } -> (
+        match QT.find_opt queue (func, key) with
+        | Some e -> List.iter (merge_bound e) bound
+        | None ->
+          failwith
+            (Printf.sprintf "Recovery: merge into unknown queue entry %s" func))
+      | Wal.Uq_release { func; key } ->
+        incr released;
+        QT.remove queue (func, key)
+      | Wal.Checkpoint_mark _ -> ())
     rd.Wal.records;
   (* 5. Resubmit the surviving queue in original enqueue order.  The
      resubmission is not re-logged — the post-recovery checkpoint below
@@ -209,7 +145,7 @@ let recover db ~reinstall =
     restored_tables = List.length cp.Checkpoint.tables;
     restored_rows;
     redo_commits = !n_commits;
-    redo_ops = !n_ops;
+    redo_ops = Redo.n_ops redo;
     requeued = !requeued;
     requeued_rows = !requeued_rows;
     released = !released;

@@ -1,0 +1,75 @@
+open Strip_relational
+open Strip_txn
+
+(* The log carries full before/after images, so update and delete targets
+   are found by whole-row match.  A per-table hash map over the live rows
+   makes that O(1) per op; it is built lazily (insert-only tables never
+   pay for one) and maintained incrementally as ops apply. *)
+
+module RowKey = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let ok = ref true in
+    Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
+    !ok
+
+  let hash a = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 a
+end
+
+module RT = Hashtbl.Make (RowKey)
+
+type t = {
+  cat : Catalog.t;
+  maps : (string, Record.t RT.t) Hashtbl.t;
+  meter : string;
+  mutable ops : int;
+}
+
+let create ?(meter = "recovery_redo_op") cat =
+  { cat; maps = Hashtbl.create 8; meter; ops = 0 }
+
+let n_ops t = t.ops
+
+let row_map t tname tb =
+  match Hashtbl.find_opt t.maps tname with
+  | Some m -> m
+  | None ->
+    let m = RT.create (max 64 (2 * Table.cardinal tb)) in
+    Table.iter tb (fun r -> RT.add m (Array.copy r.Record.values) r);
+    Hashtbl.replace t.maps tname m;
+    m
+
+let find_row m tname values =
+  match RT.find_opt m values with
+  | Some r -> r
+  | None ->
+    failwith (Printf.sprintf "Redo: target row missing in %s" tname)
+
+let apply t op =
+  Meter.tick t.meter;
+  t.ops <- t.ops + 1;
+  match op with
+  | Wal.Insert { table; values; _ } ->
+    let tb = Catalog.table_exn t.cat table in
+    let r = Table.insert tb (Array.copy values) in
+    (match Hashtbl.find_opt t.maps table with
+    | Some m -> RT.add m (Array.copy values) r
+    | None -> ())
+  | Wal.Delete { table; values; _ } ->
+    let tb = Catalog.table_exn t.cat table in
+    let m = row_map t table tb in
+    let r = find_row m table values in
+    Table.delete tb r;
+    RT.remove m values
+  | Wal.Update { table; old_values; new_values; _ } ->
+    let tb = Catalog.table_exn t.cat table in
+    let m = row_map t table tb in
+    let r = find_row m table old_values in
+    let r' = Table.update tb r (Array.copy new_values) in
+    RT.remove m old_values;
+    RT.add m (Array.copy new_values) r'
+
+let apply_commit t ops = List.iter (apply t) ops

@@ -1,0 +1,25 @@
+(** Redo application of logged WAL ops against a catalog.
+
+    Shared by crash recovery (replaying the log tail after a restart) and
+    replication (a replica's apply loop over shipped segments).  Ops carry
+    full before/after images; targets of updates and deletes are located
+    by whole-row match through lazily-built per-table row maps, maintained
+    incrementally so a long redo stream stays O(1) per op. *)
+
+open Strip_relational
+
+type t
+
+val create : ?meter:string -> Catalog.t -> t
+(** [meter] is the {!Strip_relational.Meter} counter ticked per applied op
+    (default ["recovery_redo_op"]; replicas use ["repl_apply_op"]). *)
+
+val apply : t -> Strip_txn.Wal.op -> unit
+(** Apply one op.  @raise Failure if a delete/update target row is
+    missing — the log and the catalog disagree. *)
+
+val apply_commit : t -> Strip_txn.Wal.op list -> unit
+(** Apply a commit record's ops in order. *)
+
+val n_ops : t -> int
+(** Total ops applied through this instance. *)

@@ -97,13 +97,18 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi ~dur =
         Wal.appended_bytes w);
     Metrics.probe_int reg "wal_truncations_total" (fun () ->
         Wal.n_truncations w);
+    Metrics.probe_int reg "wal_pending_bytes" (fun () -> Wal.pending_bytes w);
+    Metrics.probe_int reg "wal_base_lsn" (fun () -> Wal.base_lsn w);
+    Metrics.probe_int reg "wal_durable_end_lsn" (fun () -> Wal.durable_end w);
     Metrics.probe_int reg "checkpoints_total" (fun () ->
         Durable.n_checkpoints d);
     Metrics.probe_int reg "checkpoint_bytes" (fun () ->
         Durable.last_checkpoint_bytes d);
     Metrics.probe_int reg "crashes_total" (fun () -> Stats.n_crashes stats);
     Metrics.probe_hist reg "crash_recovery_s" (fun () ->
-        Stats.crash_recovery_hist stats));
+        Stats.crash_recovery_hist stats);
+    Metrics.probe_int reg "failovers_total" (fun () ->
+        Stats.n_failovers stats));
   match tracer with
   | None -> ()
   | Some tr ->

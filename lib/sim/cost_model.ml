@@ -81,6 +81,9 @@ let other_costs =
     ("recovery_restore_row", 2.0);
     ("recovery_redo_op", 60.0);
     ("recovery_requeue", 40.0);
+    ("repl_ship_segment", 25.0);
+    ("repl_apply_op", 40.0);
+    ("repl_bootstrap_row", 2.0);
     (* per (tasks dispatched in the trailing second)², charged per
        recompute dispatch — the §5.1 critical-region congestion *)
     ("sched_congestion", 0.005);

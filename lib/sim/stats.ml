@@ -36,6 +36,7 @@ type t = {
   mutable crashes : int;
   mutable crash_recovery_s : float;  (* total *)
   crash_recovery_h : Histogram.t;  (* s, crash → engine back up *)
+  mutable failovers : int;  (* crashes resolved by replica promotion *)
   (* per-derived-table staleness, sampled at recompute commit (s) *)
   staleness : (string, Histogram.t) Hashtbl.t;
 }
@@ -73,6 +74,7 @@ let create ?(servers = 1) () =
     crashes = 0;
     crash_recovery_s = 0.0;
     crash_recovery_h = Histogram.create ();
+    failovers = 0;
     staleness = Hashtbl.create 8;
   }
 
@@ -141,6 +143,8 @@ let record_crash t ~recovery_s =
 let n_crashes t = t.crashes
 let total_crash_recovery_s t = t.crash_recovery_s
 let crash_recovery_hist t = t.crash_recovery_h
+let record_failover t = t.failovers <- t.failovers + 1
+let n_failovers t = t.failovers
 
 let staleness_hist t table =
   match Hashtbl.find_opt t.staleness table with

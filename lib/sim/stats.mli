@@ -103,6 +103,12 @@ val total_crash_recovery_s : t -> float
 val crash_recovery_hist : t -> Strip_obs.Histogram.t
 (** Crash → engine-back-up restart-latency distribution, in seconds. *)
 
+val record_failover : t -> unit
+(** A crash resolved by promoting a replica rather than restarting in
+    place (replication subsystem). *)
+
+val n_failovers : t -> int
+
 (** {1 Staleness}
 
     The paper's Section 7 metric: how out of date a derived table is when

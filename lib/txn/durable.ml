@@ -6,9 +6,9 @@ type t = {
   mutable checkpoints : int;
 }
 
-let create () =
+let create ?wal () =
   {
-    wal = Wal.create ();
+    wal = (match wal with Some w -> w | None -> Wal.create ());
     snapshot = None;
     snapshot_lsn = 0;
     snapshot_time = 0.0;

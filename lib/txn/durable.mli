@@ -10,7 +10,10 @@
 
 type t
 
-val create : unit -> t
+(** [create ?wal ()] — [?wal] supplies a pre-existing log (a replica's
+    shipped copy, whose [base_lsn] is the bootstrap checkpoint's LSN);
+    default is a fresh empty log. *)
+val create : ?wal:Wal.t -> unit -> t
 val wal : t -> Wal.t
 
 val snapshot : t -> string option

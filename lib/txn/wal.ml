@@ -199,9 +199,9 @@ type t = {
   mutable appended_bytes : int;
 }
 
-let create () =
+let create ?(base_lsn = 0) () =
   {
-    base_lsn = 0;
+    base_lsn;
     durable = Buffer.create 4096;
     pending = Buffer.create 512;
     appends = 0;
@@ -259,8 +259,8 @@ type read_result = {
   corrupt_at : int option;
 }
 
-let read t =
-  let data = Buffer.contents t.durable in
+(* Scan framed entries in [data], whose first byte has LSN [base]. *)
+let scan ~base data =
   let n = String.length data in
   let rec go pos acc =
     if pos >= n then
@@ -269,7 +269,7 @@ let read t =
       (* a header that never finished writing: torn tail *)
       {
         records = List.rev acc;
-        torn_at = Some (t.base_lsn + pos);
+        torn_at = Some (base + pos);
         corrupt_at = None;
       }
     else begin
@@ -280,7 +280,7 @@ let read t =
         (* payload cut short: torn tail *)
         {
           records = List.rev acc;
-          torn_at = Some (t.base_lsn + pos);
+          torn_at = Some (base + pos);
           corrupt_at = None;
         }
       else begin
@@ -291,26 +291,42 @@ let read t =
                anything earlier is real corruption *)
             {
               records = List.rev acc;
-              torn_at = Some (t.base_lsn + pos);
+              torn_at = Some (base + pos);
               corrupt_at = None;
             }
           else
             {
               records = List.rev acc;
               torn_at = None;
-              corrupt_at = Some (t.base_lsn + pos);
+              corrupt_at = Some (base + pos);
             }
         in
         if Codec.crc32 ~pos:(pos + 8) ~len data <> crc then bad (fin >= n)
         else
           let payload = String.sub data (pos + 8) len in
           match decode_record (Codec.reader payload) with
-          | rec_ -> go fin ((t.base_lsn + pos, rec_) :: acc)
+          | rec_ -> go fin ((base + pos, rec_) :: acc)
           | exception Codec.Decode_error _ -> bad (fin >= n)
       end
     end
   in
   go 0 []
+
+let read t = scan ~base:t.base_lsn (Buffer.contents t.durable)
+
+let read_from t ~lsn =
+  if lsn < t.base_lsn || lsn > durable_end t then
+    invalid_arg "Wal.read_from: lsn outside the durable log";
+  let off = lsn - t.base_lsn in
+  scan ~base:lsn (Buffer.sub t.durable off (Buffer.length t.durable - off))
+
+let durable_slice t ~from_lsn =
+  if from_lsn < t.base_lsn || from_lsn > durable_end t then
+    invalid_arg "Wal.durable_slice: lsn outside the durable log";
+  let off = from_lsn - t.base_lsn in
+  Buffer.sub t.durable off (Buffer.length t.durable - off)
+
+let install_bytes t s = Buffer.add_string t.durable s
 
 (* Test hooks: the recovery tests simulate torn writes and media
    corruption by mangling the durable bytes directly. *)

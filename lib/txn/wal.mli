@@ -50,7 +50,9 @@ val ops_of_tlog : Tlog.t -> op list
 
 type t
 
-val create : unit -> t
+val create : ?base_lsn:int -> unit -> t
+(** [base_lsn] (default 0) is the LSN of the first byte this log will hold
+    — a replica's log copy starts at its bootstrap checkpoint's LSN. *)
 
 val append : t -> record -> int
 (** Frame and append a record to the pending (unsynced) tail; returns its
@@ -93,6 +95,26 @@ val read : t -> read_result
     CRC is treated as a torn write and dropped ([torn_at]); a bad entry
     with valid entries after it is corruption ([corrupt_at]) and scanning
     stops. *)
+
+val read_from : t -> lsn:int -> read_result
+(** Cursor-style tail read: scan durable entries starting at [lsn],
+    without re-decoding anything before it.  [lsn] must be an entry
+    boundary previously returned by {!append} (or {!base_lsn} /
+    {!durable_end}).  @raise Invalid_argument if [lsn] lies outside
+    [[base_lsn, durable_end]]. *)
+
+(** {1 Log shipping} *)
+
+val durable_slice : t -> from_lsn:int -> string
+(** Raw framed bytes of the durable log from [from_lsn] (an entry
+    boundary) to {!durable_end} — the segment a primary ships to a
+    replica.  @raise Invalid_argument if [from_lsn] lies outside
+    [[base_lsn, durable_end]]. *)
+
+val install_bytes : t -> string -> unit
+(** Append already-framed bytes directly to the durable buffer.  Used by
+    a replica to graft a shipped segment onto its local log copy; the
+    bytes must start exactly at {!durable_end}. *)
 
 (** {1 Test hooks} *)
 

@@ -1,0 +1,420 @@
+(* Replication: WAL cursor reads, the simulated shipping link, idempotent
+   replica apply under duplication/reordering/truncation, deterministic
+   failover promotion, and read routing policies. *)
+
+open Strip_relational
+open Strip_txn
+open Strip_core
+open Strip_pta
+open Strip_repl
+
+(* ------------------------------------------------------------------ *)
+(* Wal.read_from: the shipping/redo cursor *)
+
+let test_wal_read_from () =
+  let w = Wal.create () in
+  let lsns = List.map (Wal.append w) Test_recovery.sample_records in
+  Wal.fsync w;
+  let mid = List.nth lsns 2 in
+  let r = Wal.read_from w ~lsn:mid in
+  Alcotest.(check (option int)) "clean tail" None r.Wal.torn_at;
+  Alcotest.(check (list int)) "only records at or past the cursor"
+    (List.filter (fun l -> l >= mid) lsns)
+    (List.map fst r.Wal.records);
+  List.iter2
+    (fun expected (_, got) ->
+      Alcotest.(check bool) "suffix records round-trip" true (expected = got))
+    (List.filteri (fun i _ -> List.nth lsns i >= mid)
+       Test_recovery.sample_records)
+    r.Wal.records;
+  Alcotest.(check (list int)) "cursor at the base is a full read"
+    (List.map fst (Wal.read w).Wal.records)
+    (List.map fst (Wal.read_from w ~lsn:(Wal.base_lsn w)).Wal.records);
+  Alcotest.(check int) "cursor at the end reads nothing" 0
+    (List.length (Wal.read_from w ~lsn:(Wal.durable_end w)).Wal.records);
+  let rejected lsn =
+    match Wal.read_from w ~lsn with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "cursor before the base rejected" true (rejected (-1));
+  Alcotest.(check bool) "cursor past the end rejected" true
+    (rejected (Wal.durable_end w + 1));
+  (* truncation moves the validity window with the base *)
+  Wal.truncate_to w ~lsn:mid;
+  Alcotest.(check bool) "cursor below the new base rejected" true (rejected 0);
+  Alcotest.(check int) "suffix still readable after truncation"
+    (List.length (List.filter (fun l -> l >= mid) lsns))
+    (List.length (Wal.read_from w ~lsn:mid).Wal.records)
+
+let test_wal_slice_install_roundtrip () =
+  let w = Wal.create () in
+  let lsns = List.map (Wal.append w) Test_recovery.sample_records in
+  Wal.fsync w;
+  let mid = List.nth lsns 2 in
+  (* a replica's log is literally the primary's bytes from its bootstrap
+     LSN on: slice here, install into a fresh log based there *)
+  let w2 = Wal.create ~base_lsn:mid () in
+  Wal.install_bytes w2 (Wal.durable_slice w ~from_lsn:mid);
+  let a = Wal.read_from w ~lsn:mid and b = Wal.read w2 in
+  Alcotest.(check (list int)) "same LSNs" (List.map fst a.Wal.records)
+    (List.map fst b.Wal.records);
+  Alcotest.(check bool) "same records" true
+    (List.map snd a.Wal.records = List.map snd b.Wal.records);
+  Alcotest.(check int) "same end" (Wal.durable_end w) (Wal.durable_end w2)
+
+(* ------------------------------------------------------------------ *)
+(* Link: deterministic delivery, serialization reordering, drops *)
+
+let seg ~from_lsn bytes = Link.Segment { from_lsn; bytes }
+
+let test_link_delivery_order () =
+  let cfg =
+    {
+      Link.latency_s = 0.01;
+      bandwidth_bps = 100.0;
+      drop_rate = 0.0;
+      seed = 1;
+    }
+  in
+  let l = Link.create cfg in
+  (* 100 bytes at 100 B/s serializes for 1 s; a later 1-byte message
+     overtakes it *)
+  Link.send l ~now:0.0 (seg ~from_lsn:0 (String.make 100 'x'));
+  Link.send l ~now:0.5 (seg ~from_lsn:100 "y");
+  Alcotest.(check bool) "nothing before the first arrival" true
+    (Link.pop_arrived l ~now:0.4 = None);
+  (match Link.pop_arrived l ~now:2.0 with
+  | Some { payload = Link.Segment { from_lsn; _ }; seq; _ } ->
+    Alcotest.(check int) "small late message arrives first" 100 from_lsn;
+    Alcotest.(check int) "send order preserved in seq" 1 seq
+  | _ -> Alcotest.fail "expected the second segment first");
+  (match Link.pop_arrived l ~now:2.0 with
+  | Some { payload = Link.Segment { from_lsn; _ }; _ } ->
+    Alcotest.(check int) "large message arrives second" 0 from_lsn
+  | _ -> Alcotest.fail "expected the first segment second");
+  Alcotest.(check int) "queue drained" 0 (Link.in_flight l);
+  Alcotest.(check int) "both delivered" 2 (Link.n_delivered l)
+
+let test_link_drops_deterministic () =
+  let cfg = { Link.default_config with drop_rate = 0.3; seed = 42 } in
+  let run () =
+    let l = Link.create ~id:3 cfg in
+    for i = 0 to 99 do
+      Link.send l ~now:(float_of_int i) (seg ~from_lsn:i "z")
+    done;
+    (Link.n_sent l, Link.n_dropped l)
+  in
+  let s1, d1 = run () and s2, d2 = run () in
+  Alcotest.(check int) "all sends counted" 100 s1;
+  Alcotest.(check bool) "some messages dropped" true (d1 > 0 && d1 < 100);
+  Alcotest.(check (pair int int)) "same seed, same drops" (s1, d1) (s2, d2)
+
+(* ------------------------------------------------------------------ *)
+(* Replica: bootstrap + apply, idempotent under duplication/reordering *)
+
+let update_stock db ~at symbol price =
+  Strip_db.submit_update db ~at (fun txn ->
+      ignore
+        (Transaction.exec txn
+           (Printf.sprintf "update stocks set price = %g where symbol = '%s'"
+              price symbol)))
+
+let view_rows cat =
+  Query.rows
+    (Sql_exec.query cat ~env:[]
+       "select comp, price from comp_prices order by comp")
+
+let primary_with_tail () =
+  Task.reset_ids ();
+  let durable = Durable.create () in
+  let db = Test_recovery.setup_durable_db durable in
+  Strip_db.checkpoint db;
+  update_stock db ~at:0.0 "S1" 31.0;
+  update_stock db ~at:0.3 "S2" 38.0;
+  (* run past the 1 s unique delay so the maintenance commit is in the
+     log too *)
+  Strip_db.run db;
+  (db, durable)
+
+let bootstrap_replica durable =
+  let image =
+    match Durable.snapshot durable with
+    | Some s -> s
+    | None -> Alcotest.fail "no checkpoint installed"
+  in
+  Replica.bootstrap ~id:0 ~image ~lsn:(Durable.snapshot_lsn durable) ~time:0.0
+
+let deliver r ~seq ~sent_at payload =
+  Replica.receive r
+    { Link.sent_at; arrives_at = sent_at +. 0.02; seq; payload }
+
+let test_replica_joins_mid_stream () =
+  let db, durable = primary_with_tail () in
+  (* the replica joins from the checkpoint image, then receives the log
+     tail written after it *)
+  let r = bootstrap_replica durable in
+  let wal = Durable.wal durable in
+  Alcotest.(check bool) "there is a tail to ship" true
+    (Wal.durable_end wal > Replica.applied_lsn r);
+  let tail = Wal.durable_slice wal ~from_lsn:(Replica.applied_lsn r) in
+  deliver r ~seq:0 ~sent_at:1.5 (seg ~from_lsn:(Replica.applied_lsn r) tail);
+  Alcotest.(check int) "applied through the primary's durable end"
+    (Wal.durable_end wal) (Replica.applied_lsn r);
+  Alcotest.(check bool) "commits were replayed" true
+    (Replica.n_commits_applied r > 0);
+  Alcotest.(check bool) "replica view converged to the primary" true
+    (view_rows (Strip_db.catalog db) = view_rows (Replica.catalog r))
+
+let test_replica_duplicate_and_reordered_apply () =
+  let db, durable = primary_with_tail () in
+  let r = bootstrap_replica durable in
+  let wal = Durable.wal durable in
+  let base = Replica.applied_lsn r in
+  (* cut the tail at a frame boundary *)
+  let mid =
+    match (Wal.read_from wal ~lsn:base).Wal.records with
+    | _ :: (l, _) :: _ -> l
+    | _ -> Alcotest.fail "expected at least two tail records"
+  in
+  let tail = Wal.durable_slice wal ~from_lsn:base in
+  let s1 = String.sub tail 0 (mid - base) in
+  let s2 = String.sub tail (mid - base) (String.length tail - (mid - base)) in
+  (* the second half arrives first: a gap, buffered not applied *)
+  deliver r ~seq:1 ~sent_at:1.1 (seg ~from_lsn:mid s2);
+  Alcotest.(check int) "gap buffered, nothing applied" base
+    (Replica.applied_lsn r);
+  Alcotest.(check int) "reordering observed" 1 (Replica.n_reordered r);
+  (* the gap fills: both halves apply in order *)
+  deliver r ~seq:0 ~sent_at:1.0 (seg ~from_lsn:base s1);
+  Alcotest.(check int) "contiguous prefix applied through the end"
+    (Wal.durable_end wal) (Replica.applied_lsn r);
+  let commits = Replica.n_commits_applied r in
+  (* optimistic resend: the same bytes again are recognized and skipped *)
+  deliver r ~seq:2 ~sent_at:1.2 (seg ~from_lsn:base s1);
+  deliver r ~seq:3 ~sent_at:1.3 (seg ~from_lsn:mid s2);
+  Alcotest.(check int) "duplicates counted" 2 (Replica.n_duplicates r);
+  Alcotest.(check int) "no commit applied twice" commits
+    (Replica.n_commits_applied r);
+  Alcotest.(check bool) "state still equals the primary's" true
+    (view_rows (Strip_db.catalog db) = view_rows (Replica.catalog r))
+
+let test_replica_reseeds_after_truncation () =
+  let db, durable = primary_with_tail () in
+  let r = bootstrap_replica durable in
+  (* the primary checkpoints again and truncates its log: the bytes the
+     replica is missing no longer exist, so it must re-seed from the new
+     image *)
+  Strip_db.checkpoint db;
+  let wal = Durable.wal durable in
+  Alcotest.(check bool) "truncation outran the replica" true
+    (Wal.base_lsn wal > Replica.applied_lsn r);
+  let image = Option.get (Durable.snapshot durable) in
+  deliver r ~seq:0 ~sent_at:2.0
+    (Link.Bootstrap
+       { image; lsn = Durable.snapshot_lsn durable; time = 2.0 });
+  Alcotest.(check int) "re-seed counted" 1 (Replica.n_bootstraps r);
+  Alcotest.(check int) "caught up to the new image"
+    (Durable.snapshot_lsn durable) (Replica.applied_lsn r);
+  Alcotest.(check bool) "state equals the primary's" true
+    (view_rows (Strip_db.catalog db) = view_rows (Replica.catalog r));
+  (* a stale image (at or below the applied frontier) is a duplicate *)
+  deliver r ~seq:1 ~sent_at:2.1
+    (Link.Bootstrap
+       { image; lsn = Durable.snapshot_lsn durable; time = 2.0 });
+  Alcotest.(check int) "stale image skipped" 1 (Replica.n_bootstraps r)
+
+let test_replica_heartbeat_staleness () =
+  let _db, durable = primary_with_tail () in
+  let r = bootstrap_replica durable in
+  let wal = Durable.wal durable in
+  let tail = Wal.durable_slice wal ~from_lsn:(Replica.applied_lsn r) in
+  deliver r ~seq:0 ~sent_at:1.5 (seg ~from_lsn:(Replica.applied_lsn r) tail);
+  Alcotest.(check (float 1e-9)) "segment sets the horizon to its send time"
+    1.5 (Replica.horizon r);
+  (* an empty segment is a heartbeat: no bytes, fresher horizon *)
+  deliver r ~seq:1 ~sent_at:5.0 (seg ~from_lsn:(Replica.applied_lsn r) "");
+  Alcotest.(check (float 1e-9)) "heartbeat advances the horizon" 5.0
+    (Replica.horizon r);
+  Alcotest.(check (float 1e-9)) "staleness measures from the horizon" 0.1
+    (Replica.staleness r ~now:5.1);
+  Alcotest.(check bool) "staleness is positive under link latency" true
+    (Replica.staleness r ~now:(5.0 +. 0.02) > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: shipping convergence and deterministic promotion *)
+
+let test_promotion_tie_break () =
+  Task.reset_ids ();
+  let durable = Durable.create () in
+  let db = Test_recovery.setup_durable_db durable in
+  Strip_db.checkpoint db;
+  update_stock db ~at:0.0 "S1" 31.0;
+  update_stock db ~at:0.3 "S2" 38.0;
+  let cfg = { Cluster.default_config with n_replicas = 2 } in
+  let c =
+    Cluster.create cfg ~primary:db ~read_table:"comp_prices"
+      ~read_key_col:"comp" ~read_keys:[| "C1"; "C2" |] ~read_until:0.0
+  in
+  Cluster.schedule_shipping c ~until:3.0;
+  Strip_db.run db ~until:3.0;
+  Strip_db.crash db;
+  (* identical links, no drops: both replicas hold the same applied LSN,
+     so the election must break the tie toward the lowest id *)
+  Alcotest.(check int) "replicas tied"
+    (Replica.applied_lsn (Cluster.replica c 0))
+    (Replica.applied_lsn (Cluster.replica c 1));
+  let ndb, _rs, p =
+    Cluster.promote c ~now:3.0
+      ~mk_db:(fun dur -> Strip_db.create ~now:3.0 ~durable:dur ())
+      ~reinstall:(fun ndb -> Test_recovery.install_comp_rule ndb)
+  in
+  Alcotest.(check int) "lowest id wins the tie" 0 p.Cluster.promoted;
+  Alcotest.(check int) "nothing durable was lost" 0 p.Cluster.lost_bytes;
+  Alcotest.(check int) "one failover counted" 1 (Cluster.n_failovers c);
+  Alcotest.(check bool) "cluster repointed" true (Cluster.primary c == ndb);
+  Strip_db.run ndb;
+  Alcotest.(check int) "promoted primary audits clean" 0
+    (List.length (Auditor.audit ndb).Auditor.divergences);
+  Alcotest.(check bool) "promoted view matches the old primary's" true
+    (view_rows (Strip_db.catalog db) = view_rows (Strip_db.catalog ndb))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: experiment failover loop, routing policies, determinism *)
+
+let with_repl ?(policy = Cluster.Bounded_staleness 0.5) ?(rate = 25.0)
+    (cfg : Experiment.config) : Experiment.config =
+  {
+    cfg with
+    Experiment.repl =
+      Some
+        ({
+           Experiment.default_repl with
+           Experiment.replicas = 2;
+           read_policy = policy;
+           read_rate = rate;
+         }
+          : Experiment.repl_cfg);
+  }
+
+let test_experiment_failover () =
+  Task.reset_ids ();
+  let m = Experiment.run (with_repl (Test_recovery.crashy_cfg ())) in
+  let r = Option.get m.Experiment.repl in
+  let rc = Option.get m.Experiment.recovery in
+  Alcotest.(check int) "the crash became a failover" 1 r.Experiment.n_failovers;
+  Alcotest.(check int) "both replicas reported" 2
+    (List.length r.Experiment.per_replica);
+  Alcotest.(check bool) "reads were served" true (r.Experiment.n_reads > 0);
+  Alcotest.(check bool) "replicas converged to the final primary" true
+    (List.for_all
+       (fun (pr : Experiment.replica_metrics) ->
+         pr.Experiment.r_applied_lsn > 0)
+       r.Experiment.per_replica);
+  Alcotest.(check bool) "audit clean without repairs" true
+    (rc.Experiment.audit_clean && rc.Experiment.repairs = 0);
+  Alcotest.(check (option bool)) "view verified against recomputation"
+    (Some true) m.Experiment.verified
+
+let test_experiment_failover_determinism () =
+  Task.reset_ids ();
+  let a = Experiment.run (with_repl (Test_recovery.crashy_cfg ())) in
+  Task.reset_ids ();
+  let b = Experiment.run (with_repl (Test_recovery.crashy_cfg ())) in
+  Alcotest.(check string) "same seed, same failover, byte-identical metrics"
+    (Strip_obs.Json.to_string (Report.metrics_json a))
+    (Strip_obs.Json.to_string (Report.metrics_json b))
+
+let quick_cfg () =
+  Experiment.quick
+    (Experiment.default_config
+       (Experiment.Comp_view Comp_rules.Unique_on_symbol) ~delay:1.0)
+    0.02
+
+let test_bounded_zero_always_primary () =
+  Task.reset_ids ();
+  let m =
+    Experiment.run
+      (with_repl ~policy:(Cluster.Bounded_staleness 0.0) (quick_cfg ()))
+  in
+  let r = Option.get m.Experiment.repl in
+  Alcotest.(check bool) "reads ran" true (r.Experiment.n_reads > 0);
+  Alcotest.(check int) "bounded:0 never elects a replica" 0
+    r.Experiment.reads_replica;
+  Alcotest.(check int) "every read fell through to the primary"
+    r.Experiment.n_reads r.Experiment.reads_primary
+
+let test_any_policy_spreads_reads () =
+  Task.reset_ids ();
+  let m = Experiment.run (with_repl ~policy:Cluster.Any (quick_cfg ())) in
+  let r = Option.get m.Experiment.repl in
+  Alcotest.(check bool) "replicas served reads" true
+    (r.Experiment.reads_replica > 0);
+  Alcotest.(check bool) "primary served its round-robin share" true
+    (r.Experiment.reads_primary > 0)
+
+let test_no_repl_surface_without_config () =
+  Task.reset_ids ();
+  let m = Experiment.run (quick_cfg ()) in
+  Alcotest.(check bool) "no repl block without a repl config" true
+    (m.Experiment.repl = None);
+  let json = Strip_obs.Json.to_string (Report.metrics_json m) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    nn = 0 || at 0
+  in
+  Alcotest.(check bool) "JSON carries no replication member" false
+    (contains json "\"replication\"");
+  Task.reset_ids ();
+  let mr = Experiment.run (with_repl (quick_cfg ())) in
+  Alcotest.(check bool) "JSON carries the member when configured" true
+    (contains
+       (Strip_obs.Json.to_string (Report.metrics_json mr))
+       "\"replication\"")
+
+let suite =
+  [
+    ( "repl/wal",
+      [
+        Alcotest.test_case "read_from cursor" `Quick test_wal_read_from;
+        Alcotest.test_case "slice/install round-trip" `Quick
+          test_wal_slice_install_roundtrip;
+      ] );
+    ( "repl/link",
+      [
+        Alcotest.test_case "delivery order under serialization" `Quick
+          test_link_delivery_order;
+        Alcotest.test_case "drops are deterministic" `Quick
+          test_link_drops_deterministic;
+      ] );
+    ( "repl/replica",
+      [
+        Alcotest.test_case "joins mid-stream from a checkpoint" `Quick
+          test_replica_joins_mid_stream;
+        Alcotest.test_case "duplicate/reordered delivery is idempotent"
+          `Quick test_replica_duplicate_and_reordered_apply;
+        Alcotest.test_case "re-seeds after checkpoint truncation" `Quick
+          test_replica_reseeds_after_truncation;
+        Alcotest.test_case "heartbeats advance the staleness horizon" `Quick
+          test_replica_heartbeat_staleness;
+      ] );
+    ( "repl/cluster",
+      [
+        Alcotest.test_case "promotion breaks LSN ties by lowest id" `Quick
+          test_promotion_tie_break;
+      ] );
+    ( "repl/experiment",
+      [
+        Alcotest.test_case "failover recovers and audits clean" `Slow
+          test_experiment_failover;
+        Alcotest.test_case "failover runs are deterministic" `Slow
+          test_experiment_failover_determinism;
+        Alcotest.test_case "bounded:0 always reads the primary" `Slow
+          test_bounded_zero_always_primary;
+        Alcotest.test_case "any policy spreads reads over all lanes" `Slow
+          test_any_policy_spreads_reads;
+        Alcotest.test_case "unreplicated runs expose no repl surface" `Slow
+          test_no_repl_surface_without_config;
+      ] );
+  ]
