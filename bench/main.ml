@@ -19,8 +19,11 @@
      STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
      STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_SWEEP /
      STRIP_BENCH_SKIP_ROBUSTNESS / STRIP_BENCH_SKIP_RECOVERY /
-     STRIP_BENCH_SKIP_REPLICATION
+     STRIP_BENCH_SKIP_REPLICATION / STRIP_BENCH_SKIP_CHAOS
                           set to skip a part
+     STRIP_BENCH_CHAOS_SCHEDULES / STRIP_BENCH_CHAOS_SEED /
+     STRIP_BENCH_CHAOS_SCALE
+                          chaos-lane sweep size (min 25), seed, and scale
 
    Flags:
      --trace FILE         merge every figure-sweep experiment's lifecycle
@@ -876,6 +879,58 @@ let replica_sweep () =
   close_out oc;
   Printf.printf "wrote replica-sweep results to BENCH_PR5.json\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* PR 6: the chaos lane.  A seeded sweep of fault schedules — crashes,
+   partitions, drop bursts, checkpoint races — each run as a full
+   replicated, durable experiment and checked against the explorer's
+   five invariants.  The gate is absolute: any violation fails the
+   bench.  BENCH_PR6.json captures the whole sweep for CI. *)
+
+let chaos_lane () =
+  let n_schedules =
+    max 25 (int_of_float (env_float "STRIP_BENCH_CHAOS_SCHEDULES" 25.0))
+  in
+  let seed = int_of_float (env_float "STRIP_BENCH_CHAOS_SEED" 7.0) in
+  let chaos_scale = env_float "STRIP_BENCH_CHAOS_SCALE" 0.05 in
+  Printf.printf
+    "\n== Chaos lane: %d seeded fault schedules (seed %d, scale %g) ==\n%!"
+    n_schedules seed chaos_scale;
+  let outcomes =
+    Strip_chaos.Explore.explore ~scale:chaos_scale ~seed
+      ~schedules:n_schedules ()
+  in
+  Strip_chaos.Explore.print_summary outcomes;
+  let open Strip_obs in
+  let doc = Strip_chaos.Explore.summary_json ~seed ~scale:chaos_scale outcomes in
+  let oc = open_out "BENCH_PR6.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote chaos-lane results to BENCH_PR6.json\n%!";
+  let violations = Strip_chaos.Explore.total_violations outcomes in
+  if violations > 0 then begin
+    Printf.printf
+      "CHAOS FAILED: %d invariant violation(s) across the sweep\n" violations;
+    List.iter
+      (fun (o : Strip_chaos.Explore.outcome) ->
+        if o.Strip_chaos.Explore.violations <> [] then begin
+          Printf.printf "  shrinking seed %d...\n%!"
+            o.Strip_chaos.Explore.schedule.Strip_chaos.Schedule.seed;
+          let shrunk = Strip_chaos.Explore.shrink o.Strip_chaos.Explore.schedule in
+          let file =
+            Printf.sprintf "chaos_failure_seed%d.json"
+              o.Strip_chaos.Explore.schedule.Strip_chaos.Schedule.seed
+          in
+          let oc = open_out file in
+          output_string oc
+            (Strip_chaos.Schedule.to_string
+               shrunk.Strip_chaos.Explore.schedule);
+          close_out oc;
+          Printf.printf "  reproducer: strip-cli chaos --replay %s\n%!" file
+        end)
+      outcomes;
+    exit 1
+  end
+
 let () =
   Printf.printf
     "STRIP reproduction benchmarks (paper: Adelberg, Garcia-Molina, Widom, \
@@ -887,4 +942,5 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_ROBUSTNESS" = None then robustness ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_RECOVERY" = None then recovery_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_REPLICATION" = None then replica_sweep ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_CHAOS" = None then chaos_lane ();
   if observing () then write_exports ()

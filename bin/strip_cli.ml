@@ -456,6 +456,111 @@ let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL and rule-DDL shell.") term
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                                *)
+
+let schedules_arg =
+  let doc = "Number of seeded schedules to generate and run." in
+  Arg.(value & opt int 25 & info [ "schedules" ] ~docv:"N" ~doc)
+
+let chaos_seed_arg =
+  let doc = "Base seed; schedule $(i,i) uses seed + i." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let chaos_scale_arg =
+  let doc = "Workload scale factor for each schedule's experiment." in
+  Arg.(value & opt float 0.05 & info [ "chaos-scale" ] ~docv:"F" ~doc)
+
+let replay_arg =
+  let doc = "Replay one saved schedule (JSON) instead of exploring." in
+  Arg.(
+    value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let failure_out_arg =
+  let doc = "Where to write the shrunk reproducer if a schedule fails." in
+  Arg.(
+    value
+    & opt string "chaos_failure.json"
+    & info [ "out" ] ~docv:"FILE" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_chaos schedules seed scale replay out json =
+  match replay with
+  | Some path ->
+    let s =
+      try Ok (Strip_chaos.Schedule.of_string (read_file path)) with
+      | Sys_error msg -> Error msg
+      | Invalid_argument msg | Strip_obs.Json.Parse_error msg ->
+        Error (Printf.sprintf "%s: %s" path msg)
+    in
+    (match s with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok s ->
+      let o = Strip_chaos.Explore.run_schedule s in
+      if json then
+        print_endline (Strip_obs.Json.to_string (Strip_chaos.Explore.outcome_json o))
+      else begin
+        Printf.printf "replaying %s (seed %d, scale %g):\n" path
+          s.Strip_chaos.Schedule.seed s.Strip_chaos.Schedule.scale;
+        Strip_chaos.Explore.print_outcome o
+      end;
+      if o.Strip_chaos.Explore.violations = [] then 0 else 1)
+  | None ->
+    let outcomes =
+      Strip_chaos.Explore.explore ~scale ~seed ~schedules ()
+    in
+    if json then
+      print_endline
+        (Strip_obs.Json.to_string
+           (Strip_chaos.Explore.summary_json ~seed ~scale outcomes))
+    else Strip_chaos.Explore.print_summary outcomes;
+    (match
+       List.find_opt
+         (fun (o : Strip_chaos.Explore.outcome) ->
+           o.Strip_chaos.Explore.violations <> [])
+         outcomes
+     with
+    | None -> 0
+    | Some o ->
+      let shrunk =
+        Strip_chaos.Explore.shrink o.Strip_chaos.Explore.schedule
+      in
+      let oc = open_out out in
+      Strip_obs.Json.to_channel oc
+        (Strip_chaos.Schedule.to_json shrunk.Strip_chaos.Explore.schedule);
+      close_out oc;
+      if not json then
+        Printf.printf
+          "shrunk failing schedule to %d event(s); reproducer written to \
+           %s (replay with: strip-cli chaos --replay %s)\n"
+          (List.length
+             shrunk.Strip_chaos.Explore.schedule.Strip_chaos.Schedule.events)
+          out out;
+      1)
+
+let chaos_cmd =
+  let term =
+    Term.(
+      const run_chaos $ schedules_arg $ chaos_seed_arg $ chaos_scale_arg
+      $ replay_arg $ failure_out_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Explore seeded fault schedules (crashes, partitions, drop \
+          bursts, checkpoint races) against a replicated durable run, \
+          check invariants, and shrink any failure to a minimal \
+          replayable reproducer.")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -464,4 +569,7 @@ let () =
         "STRIP rule system reproduction (Adelberg, Garcia-Molina, Widom, \
          SIGMOD 1997)."
   in
-  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; trace_cmd; rules_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ experiment_cmd; trace_cmd; rules_cmd; repl_cmd; chaos_cmd ]))

@@ -1,0 +1,76 @@
+(** The chaos explorer: run seeded fault schedules against a replicated,
+    durable STRIP experiment, check invariants, and shrink failures.
+
+    Each schedule drives one {!Strip_pta.Experiment.run} — two replicas,
+    a lossy shipping link, the unique-on-comp rule, verification on —
+    with the schedule's events armed as deterministic faults.  After the
+    run, five invariants are checked:
+
+    - [auditor_clean]: the final consistency audit finds no divergence
+      the repair pass could not fix;
+    - [recovery_converges]: the maintained view equals a from-scratch
+      recomputation, and every replica ends at the primary's final LSN;
+    - [single_primary_per_epoch]: the epoch history is strictly
+      increasing — no two primaries ever shared a term;
+    - [no_acked_commit_lost]: every promotion's acked frontier (the LSN
+      the elected winner had applied) is still inside the final log;
+    - [uq_exactly_once]: no unique transaction was dead-lettered.
+
+    A failing schedule can be {!shrink}ed to a 1-minimal reproducer and
+    serialized ({!Schedule.to_json}) for replay via
+    [strip-cli chaos --replay]. *)
+
+type violation = { invariant : string; detail : string }
+
+type outcome = {
+  schedule : Schedule.t;
+  violations : violation list;  (** empty = all invariants held *)
+  n_crashes : int;
+  n_partitions : int;
+  n_failovers : int;
+  final_epoch : int;
+  lost_bytes : int;
+  fenced_bytes : int;
+  makespan_s : float;
+}
+
+val check :
+  ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  Strip_pta.Experiment.metrics ->
+  violation list
+(** Evaluate the invariants against one run's metrics.  [extra] appends
+    caller-defined checks (used by tests to plant an unsatisfiable
+    invariant and watch the shrinker work). *)
+
+val run_schedule :
+  ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  Schedule.t ->
+  outcome
+(** One deterministic experiment under the schedule; task ids are reset
+    first so identical schedules replay byte-identically in-process. *)
+
+val shrink :
+  ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  Schedule.t ->
+  outcome
+(** Delta-debug a failing schedule down to a 1-minimal event list (every
+    remaining event is necessary for the violation) and return the final
+    reproducer's outcome.  A schedule that does not fail is returned
+    re-run but unshrunk. *)
+
+val explore :
+  ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  ?scale:float ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  outcome list
+(** Generate and run [schedules] schedules seeded [seed, seed+1, ...] at
+    [scale] (default 0.05). *)
+
+val total_violations : outcome list -> int
+
+val outcome_json : outcome -> Strip_obs.Json.t
+val summary_json : seed:int -> scale:float -> outcome list -> Strip_obs.Json.t
+val print_outcome : outcome -> unit
+val print_summary : outcome list -> unit

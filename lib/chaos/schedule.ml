@@ -1,0 +1,138 @@
+open Strip_pta
+open Strip_obs
+
+type t = {
+  seed : int;
+  scale : float;
+  events : Experiment.chaos_event list;
+}
+
+(* Event times live in the middle 80% of the scaled feed so every fault
+   has traffic before it (state worth breaking) and after it (time to
+   converge again). *)
+let generate ?(scale = 0.05) ~seed () =
+  if scale <= 0.0 then invalid_arg "Schedule.generate: scale <= 0";
+  let rng = Random.State.make [| seed; 0xc405 |] in
+  let duration = Strip_market.Feed.default_config.Strip_market.Feed.duration *. scale in
+  let at () = duration *. (0.1 +. (0.8 *. Random.State.float rng 1.0)) in
+  let n_events = 2 + Random.State.int rng 4 in
+  let events =
+    List.init n_events (fun _ ->
+        let u = Random.State.float rng 1.0 in
+        if u < 0.30 then Experiment.Crash_at (at ())
+        else if u < 0.60 then
+          (* Heals from 50 ms to ~2.5 s: some are blips shorter than the
+             detection timeout, most force an election over the cut. *)
+          Experiment.Partition_at
+            {
+              at = at ();
+              heal_after_s = 0.05 +. (2.5 *. Random.State.float rng 1.0);
+            }
+        else if u < 0.80 then
+          Experiment.Drop_burst
+            {
+              at = at ();
+              until_s = 0.5 +. (4.0 *. Random.State.float rng 1.0);
+              rate = 0.3 +. (0.6 *. Random.State.float rng 1.0);
+            }
+        else Experiment.Checkpoint_at (at ()))
+    |> List.map (fun ev ->
+           (* Bursts carry a duration; rewrite until_s as an absolute
+              endpoint now that the opening edge is known. *)
+           match ev with
+           | Experiment.Drop_burst { at; until_s; rate } ->
+             Experiment.Drop_burst { at; until_s = at +. until_s; rate }
+           | ev -> ev)
+    |> List.sort (fun a b ->
+           Float.compare
+             (Experiment.chaos_event_time a)
+             (Experiment.chaos_event_time b))
+  in
+  { seed; scale; events }
+
+let event_json ev =
+  match ev with
+  | Experiment.Crash_at at ->
+    Json.Obj [ ("kind", Json.Str "crash"); ("at", Json.Float at) ]
+  | Experiment.Partition_at { at; heal_after_s } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "partition");
+        ("at", Json.Float at);
+        ("heal_after_s", Json.Float heal_after_s);
+      ]
+  | Experiment.Drop_burst { at; until_s; rate } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "drop_burst");
+        ("at", Json.Float at);
+        ("until_s", Json.Float until_s);
+        ("rate", Json.Float rate);
+      ]
+  | Experiment.Checkpoint_at at ->
+    Json.Obj [ ("kind", Json.Str "checkpoint"); ("at", Json.Float at) ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("seed", Json.Int s.seed);
+      ("scale", Json.Float s.scale);
+      ("events", Json.List (List.map event_json s.events));
+    ]
+
+let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Schedule.of_json: " ^ m)) fmt
+
+let get_float j key =
+  match Option.bind (Json.member key j) Json.to_float with
+  | Some v -> v
+  | None -> fail "missing number %S" key
+
+let event_of_json j =
+  match Option.bind (Json.member "kind" j) (function
+      | Json.Str s -> Some s
+      | _ -> None)
+  with
+  | Some "crash" -> Experiment.Crash_at (get_float j "at")
+  | Some "partition" ->
+    Experiment.Partition_at
+      { at = get_float j "at"; heal_after_s = get_float j "heal_after_s" }
+  | Some "drop_burst" ->
+    Experiment.Drop_burst
+      {
+        at = get_float j "at";
+        until_s = get_float j "until_s";
+        rate = get_float j "rate";
+      }
+  | Some "checkpoint" -> Experiment.Checkpoint_at (get_float j "at")
+  | Some k -> fail "unknown event kind %S" k
+  | None -> fail "event without kind"
+
+let of_json j =
+  let seed =
+    match Option.bind (Json.member "seed" j) Json.to_int with
+    | Some v -> v
+    | None -> fail "missing seed"
+  in
+  let scale = get_float j "scale" in
+  let events =
+    match Json.member "events" j with
+    | Some (Json.List l) -> List.map event_of_json l
+    | _ -> fail "missing events"
+  in
+  { seed; scale; events }
+
+let of_string s = of_json (Json.parse s)
+let to_string s = Json.to_string (to_json s)
+
+let describe_event ev =
+  match ev with
+  | Experiment.Crash_at at -> Printf.sprintf "crash@%.2fs" at
+  | Experiment.Partition_at { at; heal_after_s } ->
+    Printf.sprintf "partition@%.2fs(heal %.2fs)" at heal_after_s
+  | Experiment.Drop_burst { at; until_s; rate } ->
+    Printf.sprintf "burst@%.2f-%.2fs(%.0f%%)" at until_s (100.0 *. rate)
+  | Experiment.Checkpoint_at at -> Printf.sprintf "checkpoint@%.2fs" at
+
+let describe s =
+  if s.events = [] then "(empty)"
+  else String.concat " " (List.map describe_event s.events)

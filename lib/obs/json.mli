@@ -21,3 +21,22 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** Compact (single-line) output, trailing newline included. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse the dialect {!to_buffer} emits (standard JSON restricted to
+    single-byte \u escapes) — the replay path for saved chaos schedules
+    and reports.  Numbers without fraction or exponent parse as [Int].
+    @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} — small helpers for consuming parsed trees. *)
+
+val member : string -> t -> t option
+(** Object member by key; [None] on missing key or non-object. *)
+
+val to_int : t -> int option
+(** [Int] directly, or an integral [Float]. *)
+
+val to_float : t -> float option
+(** [Float] directly, or a widened [Int]. *)

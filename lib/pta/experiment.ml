@@ -23,6 +23,7 @@ type repl_cfg = {
   read_cost_s : float;
   link : Strip_repl.Link.config;
   ship_every : float;
+  partition_detect_s : float;
 }
 
 let default_repl =
@@ -33,7 +34,24 @@ let default_repl =
     read_cost_s = 0.0;
     link = Strip_repl.Link.default_config;
     ship_every = 0.05;
+    partition_detect_s = 0.1;
   }
+
+(* One deterministic fault in a chaos schedule, in absolute simulated
+   time.  Crash and partition events are armed as scheduled engine tasks
+   (re-armed on whatever instance is live after each escape); drop
+   bursts are installed on the shipping links at cluster creation;
+   checkpoint events force an extra checkpoint to race the surrounding
+   faults. *)
+type chaos_event =
+  | Crash_at of float
+  | Partition_at of { at : float; heal_after_s : float }
+  | Drop_burst of { at : float; until_s : float; rate : float }
+  | Checkpoint_at of float
+
+let chaos_event_time = function
+  | Crash_at at | Checkpoint_at at -> at
+  | Partition_at { at; _ } | Drop_burst { at; _ } -> at
 
 type config = {
   rule : rule_choice;
@@ -50,6 +68,7 @@ type config = {
   trace : Strip_obs.Trace.t option;
   recovery : recovery_cfg option;
   repl : repl_cfg option;
+  chaos : chaos_event list;
 }
 
 let default_config rule ~delay =
@@ -68,6 +87,7 @@ let default_config rule ~delay =
     trace = None;
     recovery = None;
     repl = None;
+    chaos = [];
   }
 
 let with_faults ?seed ?(retry = Strip_sim.Engine.default_retry) ~abort_rate cfg =
@@ -121,6 +141,14 @@ type repl_metrics = {
   read_throughput_per_s : float;
   n_failovers : int;
   promotion_lost_bytes : int;
+  epoch : int;
+  epochs : (int * int) list;
+  promotions : (int * int * int) list;
+  final_lsn : int;
+  fenced_bytes : int;
+  n_partitions : int;
+  partition_drops : int;
+  fenced_messages : int;
   segments_sent : int;
   segments_dropped : int;
   bytes_shipped : int;
@@ -264,12 +292,32 @@ let accumulate acc db =
 (* Running totals of recovery work across all crashes of one run. *)
 type rec_totals = {
   mutable t_crashes : int;
+  mutable t_partitions : int;
+  mutable t_promotions : (int * int * int) list;
+      (* (epoch, promoted id, promoted lsn), newest first *)
   mutable t_redo_commits : int;
   mutable t_redo_ops : int;
   mutable t_requeued : int;
   mutable t_restored_rows : int;
   mutable t_recovery_s : float;
 }
+
+(* (Re-)arm the chaos events still strictly in the future on the live
+   instance — called at the start of the drive and after every crash or
+   failover, so a schedule keeps firing across instance boundaries
+   (events inside an outage window are consumed by it). *)
+let arm_chaos cfg db ~now =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Crash_at at -> if at > now then Strip_db.schedule_crash db ~at
+      | Partition_at { at; heal_after_s } ->
+        if at > now then Strip_db.schedule_partition db ~at ~heal_after_s
+      | Checkpoint_at at ->
+        if at > now then
+          Strip_db.schedule_checkpoints db ~every:at ~start:at ~until:at ()
+      | Drop_burst _ -> ())
+    cfg.chaos
 
 (* Interleave policy-routed read-only queries with the engine: run to the
    next read's release time, serve it at that instant against whichever
@@ -319,8 +367,24 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
   (match rcfg.crash_at with
   | Some at -> Strip_db.schedule_crash db0 ~at
   | None -> ());
+  arm_chaos cfg db0 ~now:(Strip_db.now db0);
   let db = ref db0 and h = ref h0 in
   let finished = ref false in
+  (* Crashes and partitions share one budget: past [max_crashes] total
+     escapes, both rates are zeroed so a hostile seed cannot prevent
+     convergence (scheduled events fire once by construction). *)
+  let budget_fault () =
+    if totals.t_crashes + totals.t_partitions >= rcfg.max_crashes then
+      Option.map
+        (fun (c : Fault.config) ->
+          {
+            c with
+            Fault.rates =
+              { c.Fault.rates with Fault.crash = 0.0; partition = 0.0 };
+          })
+        cfg.fault
+    else cfg.fault
+  in
   while not !finished do
     match run_with_reads ~cluster !db with
     | () -> finished := true
@@ -331,12 +395,7 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
       let before = Meter.snapshot () in
       let next_fault () =
         totals.t_crashes <- totals.t_crashes + 1;
-        if totals.t_crashes >= rcfg.max_crashes then
-          Option.map
-            (fun (c : Fault.config) ->
-              { c with Fault.rates = { c.Fault.rates with Fault.crash = 0.0 } })
-            cfg.fault
-        else cfg.fault
+        budget_fault ()
       in
       (* A rate-based crash can also hit mid-recovery (the post-recovery
          checkpoint is a crash site); retry on yet another fresh instance —
@@ -370,7 +429,13 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
               nh := Some hh;
               install_rules cfg ndb hh)
         with
-        | _ndb, rs, _info -> (Strip_repl.Cluster.primary c, Option.get !nh, rs)
+        | _ndb, rs, info ->
+          totals.t_promotions <-
+            ( info.Strip_repl.Cluster.epoch,
+              info.Strip_repl.Cluster.promoted,
+              info.Strip_repl.Cluster.promoted_lsn )
+            :: totals.t_promotions;
+          (Strip_repl.Cluster.primary c, Option.get !nh, rs)
         | exception Fault.Crashed _ -> failover c
       in
       let failing_over =
@@ -422,8 +487,121 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
       (match rcfg.checkpoint_every with
       | Some every -> Strip_db.schedule_checkpoints ndb ~every ~until:cp_until ()
       | None -> ());
+      arm_chaos cfg ndb ~now:(Strip_db.now ndb);
       db := ndb;
       h := nh
+    | exception Fault.Partitioned { heal_after_s; _ } -> (
+      let t_part = Strip_db.now !db in
+      let detect_s =
+        match cfg.repl with Some r -> r.partition_detect_s | None -> 0.1
+      in
+      match cluster with
+      | Some c
+        when Strip_repl.Cluster.n_replicas c > 0 && heal_after_s > detect_s ->
+        let module C = Strip_repl.Cluster in
+        let heal_at = t_part +. heal_after_s in
+        let detect_at = t_part +. detect_s in
+        totals.t_partitions <- totals.t_partitions + 1;
+        C.begin_partition c ~now:t_part ~heal_at;
+        (* The isolated primary is alive, not dead: it keeps committing
+           and its surviving shipping chain keeps sending in the old
+           term, but every send dies on the epoch-tagged partition
+           windows.  A nested crash fells it for good; a nested
+           partition of an already-cut node changes nothing. *)
+        let old_db = !db in
+        let old_alive = ref true in
+        let rec run_doomed until =
+          match Strip_db.run ~until old_db with
+          | () -> ()
+          | exception Fault.Crashed _ -> old_alive := false
+          | exception Fault.Partitioned _ -> run_doomed until
+        in
+        run_doomed detect_at;
+        (* Detection timeout expired: the majority side elects a new
+           primary over the partition.  Mid-recovery crashes of the
+           candidate retry the election, spending crash budget. *)
+        let before = Meter.snapshot () in
+        let attempt = ref 0 in
+        let rec failover_isolated () =
+          if !attempt > 0 then totals.t_crashes <- totals.t_crashes + 1;
+          incr attempt;
+          let fault = budget_fault () in
+          let nh = ref None in
+          match
+            C.promote_isolated c ~now:detect_at
+              ~mk_db:(fun dur -> mk_db ~now:detect_at ~durable:dur ?fault cfg)
+              ~reinstall:(fun ndb ->
+                let hh = Pta_tables.reattach ndb in
+                nh := Some hh;
+                install_rules cfg ndb hh)
+          with
+          | _ndb, rs, info -> (C.primary c, Option.get !nh, rs, info)
+          | exception Fault.Crashed _ -> failover_isolated ()
+        in
+        let ndb, nh, rs, info = failover_isolated () in
+        totals.t_promotions <-
+          (info.C.epoch, info.C.promoted, info.C.promoted_lsn)
+          :: totals.t_promotions;
+        let recovery_work = Meter.diff before (Meter.snapshot ()) in
+        let rec_s =
+          1e-6 *. Strip_sim.Cost_model.charge cfg.cost recovery_work
+        in
+        Clock.advance_by (Strip_db.clock ndb) rec_s;
+        totals.t_redo_commits <-
+          totals.t_redo_commits + rs.Recovery.redo_commits;
+        totals.t_redo_ops <- totals.t_redo_ops + rs.Recovery.redo_ops;
+        totals.t_requeued <- totals.t_requeued + rs.Recovery.requeued;
+        totals.t_restored_rows <-
+          totals.t_restored_rows + rs.Recovery.restored_rows;
+        totals.t_recovery_s <- totals.t_recovery_s +. rec_s;
+        (* The new term opens immediately: shipping and reads resume on
+           the promoted primary while the deposed one rides out the
+           partition on the other side. *)
+        C.resume c ~now:(Clock.now (Strip_db.clock ndb)) ~ship_until:cp_until;
+        C.register_metrics c (Strip_db.metrics ndb);
+        (* Split brain, contained: run the old primary to the heal point
+           so it accumulates a divergent tail nobody will ever see, then
+           fence it — it discards that tail and stands by to rejoin as a
+           replica at the next re-seed. *)
+        if !old_alive then run_doomed heal_at;
+        accumulate acc old_db;
+        Strip_db.crash old_db;
+        ignore (C.heal c ~now:heal_at);
+        (* Quotes after the cut belong to the new timeline; the doomed
+           instance's work on them was fenced away with its tail. *)
+        let rest =
+          Array.of_seq
+            (Seq.filter
+               (fun (q : Feed.quote) -> q.Feed.time > t_part)
+               (Array.to_seq quotes))
+        in
+        ignore
+          (Strip_ingest.Import.replay ndb
+             {
+               Strip_ingest.Import.stocks = nh.Pta_tables.stocks;
+               by_symbol = nh.Pta_tables.stocks_by_symbol;
+             }
+             rest);
+        (match rcfg.checkpoint_every with
+        | Some every ->
+          Strip_db.schedule_checkpoints ndb ~every ~until:cp_until ()
+        | None -> ());
+        arm_chaos cfg ndb ~now:(Strip_db.now ndb);
+        db := ndb;
+        h := nh
+      | _ ->
+        (* No cluster to fail over to, or a blip shorter than the
+           detection timeout: the node keeps running (volatile state is
+           intact — only the raising task was discarded).  With a
+           cluster attached, the blip still drops its sends for the
+           window; the shipper re-covers the gap on later ticks. *)
+        (match cluster with
+        | Some c
+          when Strip_repl.Cluster.n_replicas c > 0 && heal_after_s > 0.0 ->
+          totals.t_partitions <- totals.t_partitions + 1;
+          Strip_repl.Cluster.begin_partition c ~now:t_part
+            ~heal_at:(t_part +. heal_after_s)
+        | _ -> ()))
   done;
   (!db, !h, cluster)
 
@@ -434,6 +612,10 @@ let run (cfg : config) =
   let cfg =
     match (cfg.recovery, cfg.repl) with
     | None, Some r when r.replicas > 0 ->
+      { cfg with recovery = Some default_recovery }
+    (* A chaos schedule needs the durability layer and the crash-restart
+       drive loop to make sense of its events. *)
+    | None, _ when cfg.chaos <> [] ->
       { cfg with recovery = Some default_recovery }
     | _ -> cfg
   in
@@ -463,6 +645,8 @@ let run (cfg : config) =
   let totals =
     {
       t_crashes = 0;
+      t_partitions = 0;
+      t_promotions = [];
       t_redo_commits = 0;
       t_redo_ops = 0;
       t_requeued = 0;
@@ -496,9 +680,22 @@ let run (cfg : config) =
           seed = 11;
         }
       in
-      Some
-        (Strip_repl.Cluster.create ccfg ~primary:db ~read_table ~read_key_col
-           ~read_keys ~read_until:cfg.feed.Feed.duration)
+      let c =
+        Strip_repl.Cluster.create ccfg ~primary:db ~read_table ~read_key_col
+          ~read_keys ~read_until:cfg.feed.Feed.duration
+      in
+      (* Drop bursts live on the links, which survive failovers. *)
+      List.iter
+        (function
+          | Drop_burst { at; until_s; rate } ->
+            for i = 0 to Strip_repl.Cluster.n_replicas c - 1 do
+              Strip_repl.Link.add_drop_burst
+                (Strip_repl.Cluster.link c i)
+                ~from_s:at ~until_s ~rate
+            done
+          | _ -> ())
+        cfg.chaos;
+      Some c
   in
   let db, h, cluster =
     match cfg.recovery with
@@ -644,6 +841,17 @@ let run (cfg : config) =
              else float_of_int n_reads /. last_done);
           n_failovers = C.n_failovers c;
           promotion_lost_bytes = C.lost_bytes_total c;
+          epoch = C.epoch c;
+          epochs = C.epoch_history c;
+          promotions = List.rev totals.t_promotions;
+          final_lsn =
+            (match Strip_db.durable db with
+            | Some d -> Wal.durable_end (Durable.wal d)
+            | None -> 0);
+          fenced_bytes = C.fenced_bytes_total c;
+          n_partitions = C.n_partitions c;
+          partition_drops = C.partition_drops_total c;
+          fenced_messages = C.fenced_messages_total c;
           segments_sent = C.segments_sent c;
           segments_dropped = C.segments_dropped c;
           bytes_shipped = C.bytes_shipped c;

@@ -36,10 +36,30 @@ type repl_cfg = {
           cost *)
   link : Strip_repl.Link.config;  (** shipping-link latency/bandwidth/drops *)
   ship_every : float;  (** segment/heartbeat shipping period, seconds *)
+  partition_detect_s : float;
+      (** how long a primary must stay partitioned before the cluster
+          declares it down and elects over the cut; a shorter partition
+          is a blip — sends drop for the window but nobody fails over *)
 }
 
 val default_repl : repl_cfg
-(** 1 replica, default link, 50 ms shipping, policy [Any], no reads. *)
+(** 1 replica, default link, 50 ms shipping, policy [Any], no reads,
+    100 ms partition detection. *)
+
+(** One deterministic fault in a chaos schedule, in absolute simulated
+    seconds.  Crashes and partitions are armed as scheduled engine tasks
+    and re-armed on whatever instance is live after each escape; drop
+    bursts are installed on the shipping links at cluster creation;
+    checkpoint events force an extra checkpoint to race the surrounding
+    faults. *)
+type chaos_event =
+  | Crash_at of float
+  | Partition_at of { at : float; heal_after_s : float }
+  | Drop_burst of { at : float; until_s : float; rate : float }
+  | Checkpoint_at of float
+
+val chaos_event_time : chaos_event -> float
+(** The instant the event fires (a burst's opening edge). *)
 
 type config = {
   rule : rule_choice;
@@ -77,6 +97,11 @@ type config = {
           {!default_recovery} when [recovery] is [None], and a primary
           crash is resolved by deterministic failover promotion instead
           of restart-in-place. *)
+  chaos : chaos_event list;
+      (** deterministic fault schedule (from {!Strip_chaos} or hand
+          written).  [[]] (the default) arms nothing and leaves the run
+          byte-identical to chaos-free builds; a non-empty schedule
+          implies {!default_recovery} when [recovery] is [None]. *)
 }
 
 val default_config : rule_choice -> delay:float -> config
@@ -141,6 +166,20 @@ type repl_metrics = {
   n_failovers : int;
   promotion_lost_bytes : int;
       (** durable primary bytes that never reached any elected replica *)
+  epoch : int;  (** final primary term (1 = no election ever ran) *)
+  epochs : (int * int) list;
+      (** [(epoch, primary id)] in opening order; id -1 is the founding
+          primary or a restart-in-place *)
+  promotions : (int * int * int) list;
+      (** every promotion as [(epoch, promoted id, promoted lsn)] in
+          order — the acked frontier each election preserved *)
+  final_lsn : int;  (** primary durable log end at end of run *)
+  fenced_bytes : int;
+      (** bytes deposed primaries discarded from their divergent tails
+          when their partitions healed *)
+  n_partitions : int;  (** partition windows the cluster lived through *)
+  partition_drops : int;  (** messages discarded by partition windows *)
+  fenced_messages : int;  (** stale-epoch messages replicas rejected *)
   segments_sent : int;
   segments_dropped : int;
   bytes_shipped : int;

@@ -76,12 +76,15 @@ let print_repl (m : Experiment.metrics) =
   | Some (r : Experiment.repl_metrics) ->
     Printf.printf
       "  replication: %d replicas, policy %s; %d segments shipped (%d \
-       bytes, %d dropped); %d failover(s)%s\n%!"
+       bytes, %d dropped); %d failover(s)%s; epoch %d; data loss: %d \
+       bytes lost, %d bytes fenced\n%!"
       r.n_replicas r.read_policy r.segments_sent r.bytes_shipped
       r.segments_dropped r.n_failovers
-      (if r.promotion_lost_bytes > 0 then
-         Printf.sprintf ", %d bytes lost" r.promotion_lost_bytes
-       else "");
+      (if r.n_partitions > 0 then
+         Printf.sprintf "; %d partition(s) (%d sends cut, %d msgs fenced)"
+           r.n_partitions r.partition_drops r.fenced_messages
+       else "")
+      r.epoch r.promotion_lost_bytes r.fenced_bytes;
     List.iter
       (fun (pr : Experiment.replica_metrics) ->
         match pr.r_lag with
@@ -170,6 +173,29 @@ let repl_json (r : Experiment.repl_metrics) =
       ("read_throughput_per_s", Json.Float r.read_throughput_per_s);
       ("n_failovers", Json.Int r.n_failovers);
       ("promotion_lost_bytes", Json.Int r.promotion_lost_bytes);
+      ("epoch", Json.Int r.epoch);
+      ( "epochs",
+        Json.List
+          (List.map
+             (fun (e, id) ->
+               Json.Obj [ ("epoch", Json.Int e); ("primary", Json.Int id) ])
+             r.epochs) );
+      ( "promotions",
+        Json.List
+          (List.map
+             (fun (e, id, lsn) ->
+               Json.Obj
+                 [
+                   ("epoch", Json.Int e);
+                   ("promoted", Json.Int id);
+                   ("promoted_lsn", Json.Int lsn);
+                 ])
+             r.promotions) );
+      ("final_lsn", Json.Int r.final_lsn);
+      ("fenced_bytes", Json.Int r.fenced_bytes);
+      ("n_partitions", Json.Int r.n_partitions);
+      ("partition_drops", Json.Int r.partition_drops);
+      ("fenced_messages", Json.Int r.fenced_messages);
       ("segments_sent", Json.Int r.segments_sent);
       ("segments_dropped", Json.Int r.segments_dropped);
       ("bytes_shipped", Json.Int r.bytes_shipped);

@@ -51,6 +51,14 @@ type t = {
   mutable last_done : float;
   mutable failovers : int;
   mutable lost : int;
+  mutable epoch : int;  (* current primary term, bumped at every election *)
+  mutable history : (int * int) list;  (* (epoch, primary id), newest first *)
+  mutable fenced : int;  (* bytes discarded from deposed primaries' tails *)
+  mutable partitions : int;
+  (* A partitioned-but-alive old primary awaiting its fencing at heal:
+     the db handle, the term it was deposed from, and the elected
+     winner's applied LSN at promotion (the fencing point). *)
+  mutable isolated : (Strip_db.t * int * int) option;
 }
 
 let primary_durable t =
@@ -103,12 +111,19 @@ let create cfg ~primary ~read_table ~read_key_col ~read_keys ~read_until =
     last_done = 0.0;
     failovers = 0;
     lost = 0;
+    epoch = 1;
+    history = [ (1, -1) ];  (* the founding primary is node -1 *)
+    fenced = 0;
+    partitions = 0;
+    isolated = None;
   }
 
 let primary t = t.primary
 let n_replicas t = Array.length t.replicas
 let replica t i = t.replicas.(i)
 let link t i = t.links.(i)
+let epoch t = t.epoch
+let epoch_history t = List.rev t.history
 
 let drain_one t i ~now =
   let rec go () =
@@ -126,8 +141,21 @@ let drain_all t ~now =
 (* ------------------------------------------------------------------ *)
 (* Shipping.                                                           *)
 
-let ship_tick t ~now =
-  let pwal = Durable.wal (primary_durable t) in
+(* One shipping round from [db]'s durable log in term [epoch], tracking
+   what has been covered in [cursor].  The live chain ships the cluster
+   primary with the shared [t.sent_end] cursor; a deposed primary's chain
+   (still running on its own engine during a partition) keeps shipping its
+   own divergent log in its old term through a private cursor, so it can
+   neither corrupt the live chain's bookkeeping nor — thanks to epoch
+   fencing at the replicas and epoch-tagged partition windows on the
+   links — rewrite anyone's state. *)
+let ship_tick_from t ~db ~cursor ~epoch ~now =
+  let d =
+    match Strip_db.durable db with
+    | Some d -> d
+    | None -> invalid_arg "Cluster: shipping source has no durability layer"
+  in
+  let pwal = Durable.wal d in
   let base = Wal.base_lsn pwal and dend = Wal.durable_end pwal in
   Array.iteri
     (fun i r ->
@@ -137,50 +165,61 @@ let ship_tick t ~now =
       if applied < base then begin
         (* The primary truncated past this replica: re-seed it with the
            current checkpoint image over the same link. *)
-        let d = primary_durable t in
         match Durable.snapshot d with
         | Some image ->
-          Link.send t.links.(i) ~now
+          Link.send ~epoch t.links.(i) ~now
             (Link.Bootstrap
                {
                  image;
                  lsn = Durable.snapshot_lsn d;
                  time = Durable.snapshot_time d;
                });
-          t.sent_end.(i) <- Durable.snapshot_lsn d
+          cursor.(i) <- Durable.snapshot_lsn d
         | None -> ()
       end
       else begin
         (* Resend from the replica's observed frontier if what we already
            shipped has not landed after a full period (drop recovery);
            otherwise ship only the new tail. *)
-        let from =
-          if applied < t.sent_end.(i) then applied else t.sent_end.(i)
-        in
-        let from = max from base in
+        let from = if applied < cursor.(i) then applied else cursor.(i) in
+        let from = max base (min from dend) in
         if from < dend then begin
-          Link.send t.links.(i) ~now
+          Link.send ~epoch t.links.(i) ~now
             (Link.Segment
                { from_lsn = from; bytes = Wal.durable_slice pwal ~from_lsn:from });
-          t.sent_end.(i) <- dend
+          cursor.(i) <- dend
         end
         else
           (* Nothing new: a heartbeat advances the freshness horizon. *)
-          Link.send t.links.(i) ~now (Link.Segment { from_lsn = dend; bytes = "" })
+          Link.send ~epoch t.links.(i) ~now
+            (Link.Segment { from_lsn = dend; bytes = "" })
       end)
     t.replicas
+
+let ship_tick t ~now =
+  ship_tick_from t ~db:t.primary ~cursor:t.sent_end ~epoch:t.epoch ~now
 
 let schedule_shipping t ~until =
   if Array.length t.replicas = 0 then ()
   else begin
     if t.cfg.ship_every <= 0.0 then
       invalid_arg "Cluster.schedule_shipping: period <= 0";
-    let eng = Strip_db.engine t.primary in
-    let clk = Strip_db.clock t.primary in
+    (* The chain belongs to the node that scheduled it, not to whoever is
+       primary when a tick fires: after a failover the deposed node's
+       surviving chain keeps shipping its own log in its frozen term
+       through a private cursor (split brain, contained by fencing). *)
+    let owner = t.primary in
+    let owner_epoch = t.epoch in
+    let stale_cursor = lazy (Array.copy t.sent_end) in
+    let eng = Strip_db.engine owner in
+    let clk = Strip_db.clock owner in
     let rec make at =
       Task.create ~klass:Task.Background ~func_name:"repl_ship"
         ~release_time:at ~created_at:(Clock.now clk) (fun _task ->
-          ship_tick t ~now:(Clock.now clk);
+          (if t.primary == owner then ship_tick t ~now:(Clock.now clk)
+           else
+             ship_tick_from t ~db:owner ~cursor:(Lazy.force stale_cursor)
+               ~epoch:owner_epoch ~now:(Clock.now clk));
           let next = at +. t.cfg.ship_every in
           if next <= until then Engine.submit eng (make next))
     in
@@ -260,31 +299,126 @@ let serve_read t ~now =
 (* ------------------------------------------------------------------ *)
 (* Failover.                                                           *)
 
-type promotion = { promoted : int; promoted_lsn : int; lost_bytes : int }
+type promotion = {
+  promoted : int;
+  promoted_lsn : int;
+  lost_bytes : int;
+  epoch : int;
+}
 
-let promote t ~now ~mk_db ~reinstall =
-  if Array.length t.replicas = 0 then
-    invalid_arg "Cluster.promote: no replicas";
-  (* Everything already delivered counts; bytes on the wire die with the
-     primary's connections. *)
-  drain_all t ~now;
-  Array.iter Link.clear_in_flight t.links;
+let elect t =
   let best = ref 0 in
   Array.iteri
     (fun i r ->
       if Replica.applied_lsn r > Replica.applied_lsn t.replicas.(!best) then
         best := i)
     t.replicas;
-  let winner = t.replicas.(!best) in
+  t.replicas.(!best)
+
+(* The election bumps the term and every voter adopts it, so any later
+   traffic from a deposed primary (still stamped with the old term) is
+   fenced at the replicas. *)
+let open_epoch (t : t) ~winner_id =
+  t.epoch <- t.epoch + 1;
+  t.history <- (t.epoch, winner_id) :: t.history;
+  Array.iter (fun r -> Replica.note_epoch r t.epoch) t.replicas
+
+let promote t ~now ~mk_db ~reinstall =
+  if Array.length t.replicas = 0 then begin
+    (* Graceful degradation: with no replica to elect, fall back to
+       crash-restart recovery from the dead primary's own durable store —
+       the same path an unreplicated run takes — instead of refusing. *)
+    let dur = primary_durable t in
+    let promoted_lsn = Wal.durable_end (Durable.wal dur) in
+    let ndb = mk_db dur in
+    let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
+    t.primary <- ndb;
+    open_epoch t ~winner_id:(-1);
+    (ndb, rs, { promoted = -1; promoted_lsn; lost_bytes = 0; epoch = t.epoch })
+  end
+  else begin
+    (* Everything already delivered counts; bytes on the wire die with the
+       primary's connections. *)
+    drain_all t ~now;
+    Array.iter Link.clear_in_flight t.links;
+    let winner = elect t in
+    let promoted_lsn = Replica.applied_lsn winner in
+    let old_end = Wal.durable_end (Durable.wal (primary_durable t)) in
+    let lost_bytes = max 0 (old_end - promoted_lsn) in
+    let ndb = mk_db (Replica.durable winner) in
+    let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
+    t.primary <- ndb;
+    t.failovers <- t.failovers + 1;
+    t.lost <- t.lost + lost_bytes;
+    open_epoch t ~winner_id:(Replica.id winner);
+    ( ndb,
+      rs,
+      {
+        promoted = Replica.id winner;
+        promoted_lsn;
+        lost_bytes;
+        epoch = t.epoch;
+      } )
+  end
+
+let begin_partition t ~now ~heal_at =
+  if heal_at <= now then invalid_arg "Cluster.begin_partition: empty window";
+  t.partitions <- t.partitions + 1;
+  Array.iter
+    (fun l ->
+      Link.add_partition_window ~only_epoch:t.epoch l ~from_s:now
+        ~until_s:heal_at)
+    t.links
+
+let promote_isolated t ~now ~mk_db ~reinstall =
+  if Array.length t.replicas = 0 then
+    invalid_arg "Cluster.promote_isolated: no replicas";
+  (* The old primary is alive behind the partition: messages it launched
+     before the cut still arrive (so drain, but keep the wire), and no
+     byte is lost yet — its divergent tail is fenced when the partition
+     heals, not counted as promotion loss. *)
+  drain_all t ~now;
+  let old_db = t.primary and old_epoch = t.epoch in
+  let winner = elect t in
   let promoted_lsn = Replica.applied_lsn winner in
-  let old_end = Wal.durable_end (Durable.wal (primary_durable t)) in
-  let lost_bytes = max 0 (old_end - promoted_lsn) in
   let ndb = mk_db (Replica.durable winner) in
   let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
   t.primary <- ndb;
   t.failovers <- t.failovers + 1;
-  t.lost <- t.lost + lost_bytes;
-  (ndb, rs, { promoted = Replica.id winner; promoted_lsn; lost_bytes })
+  open_epoch t ~winner_id:(Replica.id winner);
+  t.isolated <- Some (old_db, old_epoch, promoted_lsn);
+  ( ndb,
+    rs,
+    {
+      promoted = Replica.id winner;
+      promoted_lsn;
+      lost_bytes = 0;
+      epoch = t.epoch;
+    } )
+
+let heal t ~now =
+  match t.isolated with
+  | None -> 0
+  | Some (old_db, old_epoch, promoted_lsn) ->
+    t.isolated <- None;
+    (match Strip_db.durable old_db with
+    | None -> 0
+    | Some od ->
+      let owal = Durable.wal od in
+      (* On healing, the deposed primary announces itself once more in its
+         frozen term; every replica fences the message, which is how the
+         old primary discovers the higher epoch.  It then discards its
+         unshipped tail — everything it committed past what the elected
+         winner had applied — and rejoins as a replica (the winner's
+         vacated slot, re-seeded by {!resume}). *)
+      Array.iteri
+        (fun i _ ->
+          Link.send ~epoch:old_epoch t.links.(i) ~now
+            (Link.Segment { from_lsn = Wal.durable_end owal; bytes = "" }))
+        t.replicas;
+      let fenced = max 0 (Wal.durable_end owal - promoted_lsn) in
+      t.fenced <- t.fenced + fenced;
+      fenced)
 
 let resume t ~now ~ship_until =
   let d = primary_durable t in
@@ -295,6 +429,7 @@ let resume t ~now ~ship_until =
     Array.iteri
       (fun i r ->
         Replica.rebootstrap r ~image ~lsn ~time;
+        Replica.note_epoch r t.epoch;
         t.sent_end.(i) <- lsn)
       t.replicas);
   (* Reads routed to the primary during the outage queue behind it. *)
@@ -334,6 +469,8 @@ let final_sync t ~now =
 
 let n_failovers t = t.failovers
 let lost_bytes_total t = t.lost
+let fenced_bytes_total t = t.fenced
+let n_partitions t = t.partitions
 let reads_issued t = t.issued
 let reads_primary t = t.rd_primary
 let reads_replica t = t.rd_replica
@@ -343,13 +480,23 @@ let last_read_done t = t.last_done
 let sum f t = Array.fold_left (fun a l -> a + f l) 0 t.links
 let segments_sent t = sum Link.n_sent t
 let segments_dropped t = sum Link.n_dropped t
+let partition_drops_total t = sum Link.n_partition_drops t
 let bytes_shipped t = sum Link.bytes_sent t
+let fenced_messages_total t =
+  Array.fold_left (fun a r -> a + Replica.n_fenced r) 0 t.replicas
 
 let register_metrics t reg =
   let module M = Strip_obs.Metrics in
   M.probe_int reg "repl_replicas" (fun () -> Array.length t.replicas);
   M.probe_int reg "repl_failovers_total" (fun () -> t.failovers);
   M.probe_int reg "repl_lost_bytes_total" (fun () -> t.lost);
+  M.probe_int reg "repl_epoch" (fun () -> t.epoch);
+  M.probe_int reg "repl_fenced_bytes_total" (fun () -> t.fenced);
+  M.probe_int reg "repl_partitions_total" (fun () -> t.partitions);
+  M.probe_int reg "repl_partition_drops_total" (fun () ->
+      partition_drops_total t);
+  M.probe_int reg "repl_fenced_messages_total" (fun () ->
+      fenced_messages_total t);
   M.probe_int reg "repl_reads_primary_total" (fun () -> t.rd_primary);
   M.probe_int reg "repl_reads_replica_total" (fun () -> t.rd_replica);
   M.probe_hist reg "repl_read_latency_s" (fun () -> t.read_lat);

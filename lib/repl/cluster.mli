@@ -20,7 +20,17 @@
     tail, including the pending unique-transaction queue — and repoints
     the cluster at it; {!resume} then re-seeds every other node (and the
     demoted old primary's slot) from the promoted node's post-recovery
-    checkpoint. *)
+    checkpoint.
+
+    Every election opens a new {e epoch} (a monotonically increasing
+    term, starting at 1 for the founding primary).  The current epoch is
+    stamped into every shipped message; replicas fence anything from a
+    lower term, so a deposed primary that is still alive behind a
+    network partition ({!promote_isolated}) can keep committing locally
+    but can never rewrite the promoted timeline.  When the partition
+    {!heal}s, the old primary discovers the higher term, discards its
+    divergent unshipped tail (reported as fenced bytes, distinct from
+    crash-failover lost bytes), and rejoins as a replica. *)
 
 open Strip_core
 
@@ -67,6 +77,13 @@ val n_replicas : t -> int
 val replica : t -> int -> Replica.t
 val link : t -> int -> Link.t
 
+val epoch : t -> int
+(** Current primary term; starts at 1, bumped by every election. *)
+
+val epoch_history : t -> (int * int) list
+(** [(epoch, primary id)] in opening order; id -1 is the founding
+    primary (and any restart-in-place of a replica-less cluster). *)
+
 (** {1 Reads} *)
 
 val next_read_time : t -> float option
@@ -82,11 +99,14 @@ val serve_read : t -> now:float -> unit
 (** {1 Failover} *)
 
 type promotion = {
-  promoted : int;  (** elected replica id *)
+  promoted : int;  (** elected replica id; -1 = restart-in-place *)
   promoted_lsn : int;  (** its applied LSN at election *)
   lost_bytes : int;
       (** durable-on-primary bytes that never reached the elected
-          replica — lost to the cluster *)
+          replica — lost to the cluster (always 0 for
+          {!promote_isolated}: a partitioned primary's tail is fenced at
+          {!heal}, not lost at election) *)
+  epoch : int;  (** the term this promotion opened *)
 }
 
 val promote :
@@ -96,10 +116,40 @@ val promote :
   reinstall:(Strip_db.t -> unit) ->
   Strip_db.t * Recovery.stats * promotion
 (** Elect, rebuild a primary from the winner's durable state via
-    {!Recovery.recover}, and repoint the cluster.  In-flight link
-    messages die with the old primary.  Re-raises
-    {!Strip_txn.Fault.Crashed} if the fault injector fells the new
-    primary mid-recovery; the call may simply be retried. *)
+    {!Recovery.recover}, repoint the cluster, and open a new epoch.
+    In-flight link messages die with the old primary.  With zero
+    replicas this degrades gracefully to crash-restart recovery from the
+    dead primary's own durable store ([promoted = -1]) instead of
+    refusing.  Re-raises {!Strip_txn.Fault.Crashed} if the fault
+    injector fells the new primary mid-recovery; the call may simply be
+    retried. *)
+
+val begin_partition : t -> now:float -> heal_at:float -> unit
+(** Isolate the {e current} primary: add a partition window tagged with
+    the current epoch to every link, open over sends in
+    [[now, heal_at)].  The primary keeps running — its traffic just dies
+    on the wire — and a subsequently elected primary's higher-epoch
+    traffic flows over the same links untouched. *)
+
+val promote_isolated :
+  t ->
+  now:float ->
+  mk_db:(Strip_txn.Durable.t -> Strip_db.t) ->
+  reinstall:(Strip_db.t -> unit) ->
+  Strip_db.t * Recovery.stats * promotion
+(** Like {!promote}, but the old primary is partitioned rather than
+    dead: in-flight messages it launched before the cut still arrive,
+    nothing is counted lost at election, and the old db handle is
+    retained so {!heal} can fence its divergent tail.
+    @raise Invalid_argument with zero replicas. *)
+
+val heal : t -> now:float -> int
+(** End the split-brain window opened by {!promote_isolated}: the
+    deposed primary makes one last announcement in its frozen term
+    (fenced by every replica), discards its unshipped divergent tail,
+    and stands by to rejoin as a replica via {!resume}.  Returns the
+    fenced byte count (also accumulated in {!fenced_bytes_total}); 0 if
+    no primary is isolated. *)
 
 val resume : t -> now:float -> ship_until:float -> unit
 (** After {!promote} (and after downtime accounting): re-seed every
@@ -115,6 +165,15 @@ val final_sync : t -> now:float -> unit
 
 val n_failovers : t -> int
 val lost_bytes_total : t -> int
+
+val fenced_bytes_total : t -> int
+(** Bytes discarded from deposed primaries' divergent tails at {!heal} —
+    writes the old primary accepted during split brain that the promoted
+    timeline never acknowledged. *)
+
+val n_partitions : t -> int
+(** Partition windows opened via {!begin_partition}. *)
+
 val reads_issued : t -> int
 val reads_primary : t -> int
 val reads_replica : t -> int
@@ -125,6 +184,12 @@ val last_read_done : t -> float
 val segments_sent : t -> int
 val segments_dropped : t -> int
 val bytes_shipped : t -> int
+
+val partition_drops_total : t -> int
+(** Messages discarded by partition windows across all links. *)
+
+val fenced_messages_total : t -> int
+(** Stale-epoch messages rejected across all replicas. *)
 
 val register_metrics : t -> Strip_obs.Metrics.t -> unit
 (** Probe lag/routing/shipping counters into a registry under [repl_*];

@@ -16,8 +16,18 @@ type message = {
   sent_at : float;
   arrives_at : float;
   seq : int;
+  epoch : int;
   payload : payload;
 }
+
+(* A partition window blocks sends whose send time falls in
+   [[w_from, w_until)]; [w_epoch = Some e] isolates only the node sending
+   in epoch [e] (a fenced primary), [None] severs the link for everyone. *)
+type window = { w_from : float; w_until : float; w_epoch : int option }
+
+(* A drop burst raises the loss probability to [b_rate] inside the
+   window — a flaky patch cable rather than a full partition. *)
+type burst = { b_from : float; b_until : float; b_rate : float }
 
 (* In-flight messages ordered by (arrives_at, seq). *)
 module Mq = Set.Make (struct
@@ -36,6 +46,9 @@ type t = {
   mutable dropped : int;
   mutable delivered : int;
   mutable bytes : int;
+  mutable windows : window list;
+  mutable bursts : burst list;
+  mutable partition_drops : int;
 }
 
 let create ?(id = 0) cfg =
@@ -48,20 +61,69 @@ let create ?(id = 0) cfg =
     dropped = 0;
     delivered = 0;
     bytes = 0;
+    windows = [];
+    bursts = [];
+    partition_drops = 0;
   }
+
+let add_partition_window ?only_epoch t ~from_s ~until_s =
+  if until_s <= from_s then
+    invalid_arg "Link.add_partition_window: empty window";
+  t.windows <-
+    { w_from = from_s; w_until = until_s; w_epoch = only_epoch } :: t.windows
+
+let add_drop_burst t ~from_s ~until_s ~rate =
+  if until_s <= from_s then invalid_arg "Link.add_drop_burst: empty window";
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Link.add_drop_burst: rate outside [0, 1]";
+  t.bursts <- { b_from = from_s; b_until = until_s; b_rate = rate } :: t.bursts
+
+let partitioned t ~now ~epoch =
+  List.exists
+    (fun w ->
+      w.w_from <= now && now < w.w_until
+      && match w.w_epoch with None -> true | Some e -> e = epoch)
+    t.windows
+
+let effective_drop_rate t ~now =
+  List.fold_left
+    (fun r b ->
+      if b.b_from <= now && now < b.b_until then Float.max r b.b_rate else r)
+    t.cfg.drop_rate t.bursts
+
+(* Deterministic open/heal intervals for seeded chaos runs: exponential
+   gaps at [rate_per_s] and exponential durations with mean [mean_s],
+   drawn from a dedicated stream so the schedule depends only on the
+   seed.  Pure — callers install the result via {!add_partition_window}. *)
+let random_windows ~seed ~rate_per_s ~mean_s ~until =
+  if rate_per_s <= 0.0 || mean_s <= 0.0 then []
+  else begin
+    let rng = Random.State.make [| seed; 0xf109; 0x77 |] in
+    let exp mean = -.mean *. log1p (-.Random.State.float rng 1.0) in
+    let rec go at acc =
+      let start = at +. exp (1.0 /. rate_per_s) in
+      if start >= until then List.rev acc
+      else
+        let stop = Float.min until (start +. exp mean_s) in
+        go stop ((start, stop) :: acc)
+    in
+    go 0.0 []
+  end
 
 let payload_bytes = function
   | Segment { bytes; _ } -> String.length bytes
   | Bootstrap { image; _ } -> String.length image
 
-let send t ~now payload =
+let send ?(epoch = 0) t ~now payload =
   let size = payload_bytes payload in
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
-  (* Draw even for dropped messages so the RNG stream depends only on the
-     send sequence, keeping runs deterministic. *)
+  (* Draw even for dropped and partitioned messages so the RNG stream
+     depends only on the send sequence, keeping runs deterministic. *)
   let u = Random.State.float t.rng 1.0 in
-  if u < t.cfg.drop_rate then t.dropped <- t.dropped + 1
+  if partitioned t ~now ~epoch then
+    t.partition_drops <- t.partition_drops + 1
+  else if u < effective_drop_rate t ~now then t.dropped <- t.dropped + 1
   else begin
     let ser =
       if t.cfg.bandwidth_bps = infinity then 0.0
@@ -70,7 +132,7 @@ let send t ~now payload =
     let arrives_at = now +. t.cfg.latency_s +. ser in
     let seq = t.seq in
     t.seq <- t.seq + 1;
-    let msg = { sent_at = now; arrives_at; seq; payload } in
+    let msg = { sent_at = now; arrives_at; seq; epoch; payload } in
     t.in_flight <- Mq.add (arrives_at, seq, msg) t.in_flight
   end
 
@@ -86,5 +148,6 @@ let clear_in_flight t = t.in_flight <- Mq.empty
 let n_sent t = t.sent
 let n_dropped t = t.dropped
 let n_delivered t = t.delivered
+let n_partition_drops t = t.partition_drops
 let bytes_sent t = t.bytes
 let in_flight t = Mq.cardinal t.in_flight

@@ -33,6 +33,9 @@ type message = {
   sent_at : float;
   arrives_at : float;
   seq : int;  (** send order, the arrival-time tie-break *)
+  epoch : int;
+      (** the sender's primary term; receivers fence anything below the
+          highest epoch they have seen (0 = unstamped test traffic) *)
   payload : payload;
 }
 
@@ -41,8 +44,10 @@ type t
 val create : ?id:int -> config -> t
 (** [id] perturbs the seed so each replica's link drops independently. *)
 
-val send : t -> now:float -> payload -> unit
-(** Enqueue a message; it may be dropped (never delivered). *)
+val send : ?epoch:int -> t -> now:float -> payload -> unit
+(** Enqueue a message; it may be dropped (never delivered).  [epoch]
+    (default 0) stamps the sender's term into the message and selects
+    which partition windows apply to it. *)
 
 val pop_arrived : t -> now:float -> message option
 (** Earliest message with [arrives_at <= now], removed; [None] if none. *)
@@ -50,8 +55,45 @@ val pop_arrived : t -> now:float -> message option
 val clear_in_flight : t -> unit
 (** Drop every undelivered message — the sender died mid-flight. *)
 
+(** {1 Chaos: partitions and drop bursts}
+
+    Windows are half-open [[from_s, until_s)] intervals over {e send}
+    time.  A message sent inside a partition window is silently
+    discarded, modelling an isolated sender (asymmetry comes free: each
+    link is unidirectional, so partitioning primary→replica links leaves
+    any other direction untouched).  Windows tagged with an epoch only
+    isolate that term's sender — after a failover promotion the fenced
+    old primary stays cut off while the new primary's traffic flows over
+    the same links. *)
+
+val add_partition_window : ?only_epoch:int -> t -> from_s:float -> until_s:float -> unit
+(** Sends in [[from_s, until_s)] are discarded (and counted as partition
+    drops); [only_epoch] restricts the window to one sender term. *)
+
+val add_drop_burst : t -> from_s:float -> until_s:float -> rate:float -> unit
+(** Raise the loss probability to [rate] inside the window (the
+    configured base rate still applies outside, and whichever is higher
+    wins inside).  The RNG stream is unchanged: bursts only reinterpret
+    the same per-send draw. *)
+
+val partitioned : t -> now:float -> epoch:int -> bool
+(** Would a message sent at [now] in [epoch] be discarded by a window? *)
+
+val random_windows :
+  seed:int -> rate_per_s:float -> mean_s:float -> until:float ->
+  (float * float) list
+(** Deterministic open/heal intervals for seeded chaos schedules:
+    exponential gaps at [rate_per_s] and exponential durations with mean
+    [mean_s], clipped to [until].  Pure — install the result with
+    {!add_partition_window}. *)
+
 val n_sent : t -> int
 val n_dropped : t -> int
 val n_delivered : t -> int
+
+val n_partition_drops : t -> int
+(** Messages discarded by partition windows (not counted in
+    {!n_dropped}, which remains random loss only). *)
+
 val bytes_sent : t -> int
 val in_flight : t -> int

@@ -10,12 +10,14 @@ type t = {
   mutable dur : Durable.t;
   mutable applied : int;
   mutable horizon_t : float;
+  mutable epoch : int;  (* highest primary term seen; lower terms fence *)
   mutable pending : Link.message list;  (* out-of-order segments, buffered *)
   lag_h : Strip_obs.Histogram.t;
   mutable segments : int;
   mutable duplicates : int;
   mutable reordered : int;
   mutable bootstraps : int;
+  mutable fenced : int;
   mutable commits : int;
   mutable ops : int;
   mutable busy : float;
@@ -42,12 +44,14 @@ let bootstrap ~id ~image ~lsn ~time =
     dur;
     applied = lsn;
     horizon_t = taken_at;
+    epoch = 0;
     pending = [];
     lag_h = Strip_obs.Histogram.create ();
     segments = 0;
     duplicates = 0;
     reordered = 0;
     bootstraps = 0;
+    fenced = 0;
     commits = 0;
     ops = 0;
     busy = 0.0;
@@ -89,6 +93,17 @@ let ingest t bytes ~horizon =
   t.horizon_t <- max t.horizon_t horizon
 
 let rec receive t (msg : Link.message) =
+  (* Epoch fencing: a message from a lower term than the highest this
+     replica has seen comes from a deposed primary — drop it outright so a
+     partitioned-but-alive old primary can never rewrite a promoted
+     timeline.  Higher terms are adopted on sight. *)
+  if msg.Link.epoch < t.epoch then t.fenced <- t.fenced + 1
+  else begin
+    if msg.Link.epoch > t.epoch then t.epoch <- msg.Link.epoch;
+    receive_unfenced t msg
+  end
+
+and receive_unfenced t (msg : Link.message) =
   match msg.Link.payload with
   | Link.Bootstrap { image; lsn; time } ->
     if lsn > t.applied then rebootstrap t ~image ~lsn ~time
@@ -155,6 +170,9 @@ let catalog t = t.cat
 let durable t = t.dur
 let applied_lsn t = t.applied
 let horizon t = t.horizon_t
+let epoch t = t.epoch
+let note_epoch t e = if e > t.epoch then t.epoch <- e
+let n_fenced t = t.fenced
 let staleness t ~now = now -. t.horizon_t
 let lag t = t.lag_h
 let n_segments t = t.segments

@@ -30,7 +30,9 @@ val rebootstrap : t -> image:string -> lsn:int -> time:float -> unit
     every surviving node after a failover. *)
 
 val receive : t -> Link.message -> unit
-(** Deliver one message.  Applies, buffers, or skips as appropriate. *)
+(** Deliver one message.  Applies, buffers, or skips as appropriate.  A
+    message stamped with a lower epoch than the highest seen is fenced
+    (counted, otherwise ignored); a higher epoch is adopted on sight. *)
 
 val ingest : t -> string -> horizon:float -> unit
 (** Graft framed bytes starting exactly at [applied_lsn] and apply them,
@@ -43,6 +45,17 @@ val durable : t -> Strip_txn.Durable.t
 val applied_lsn : t -> int
 val horizon : t -> float
 val staleness : t -> now:float -> float
+
+val epoch : t -> int
+(** Highest primary term observed (0 until any stamped traffic lands). *)
+
+val note_epoch : t -> int -> unit
+(** Administratively adopt a term if it is higher than the current one —
+    the election path, where the replica learns the new epoch directly
+    rather than from link traffic. *)
+
+val n_fenced : t -> int
+(** Messages rejected for carrying a stale epoch. *)
 
 val lag : t -> Strip_obs.Histogram.t
 (** Per-applied-segment replication lag (arrival − send), seconds. *)

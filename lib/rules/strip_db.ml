@@ -139,7 +139,8 @@ let create ?policy ?cost ?now ?fault ?durable ?retry ?overload ?servers
   Engine.set_requeue_hook eng (Rule_manager.reregister_task mgr);
   Engine.set_shed_hook eng (Rule_manager.log_shed mgr);
   Engine.set_fatal_filter eng (function
-    | Rule_manager.Rule_error _ | Fault.Crashed _ -> true
+    | Rule_manager.Rule_error _ | Fault.Crashed _ | Fault.Partitioned _ ->
+      true
     | _ -> false);
   (* Staleness sampling (paper §7): when a rule action commits, every table
      it wrote has just caught up with base changes first fired at the
@@ -207,7 +208,8 @@ let with_txn_injected t ~detail f =
         Fault.fire fi ~site:Fault.Lock_conflict ~txid ~detail;
         Fault.fire fi ~site:Fault.Deadlock ~txid ~detail;
         Fault.fire fi ~site:Fault.Txn_abort ~txid ~detail;
-        Fault.fire fi ~site:Fault.Crash ~txid ~detail);
+        Fault.fire fi ~site:Fault.Crash ~txid ~detail;
+        Fault.fire fi ~site:Fault.Partition ~txid ~detail);
       v)
 
 let on_view t name ast = t.views <- (name, ast) :: t.views
@@ -395,6 +397,14 @@ let schedule_crash t ~at =
     Task.create ~klass:Task.Background ~func_name:"crash" ~release_time:at
       ~created_at:(Clock.now t.clk) (fun _task ->
         raise (Fault.Crashed { at = "scheduled" }))
+  in
+  Engine.submit t.eng task
+
+let schedule_partition t ~at ~heal_after_s =
+  let task =
+    Task.create ~klass:Task.Background ~func_name:"partition" ~release_time:at
+      ~created_at:(Clock.now t.clk) (fun _task ->
+        raise (Fault.Partitioned { at = "scheduled"; heal_after_s }))
   in
   Engine.submit t.eng task
 

@@ -183,6 +183,13 @@ val schedule_crash : t -> at:float -> unit
     the clock reaches [at] — a deterministic crash point for tests and
     benchmarks (rate-based crashes come from the [fault] config). *)
 
+val schedule_partition : t -> at:float -> heal_after_s:float -> unit
+(** Arrange for {!Strip_txn.Fault.Partitioned} to be raised out of {!run}
+    when the clock reaches [at].  Unlike a crash, the node survives —
+    volatile state is intact and the engine can keep running; only its
+    network traffic is cut until the partition heals [heal_after_s]
+    later (the driver isolates it via {!Cluster.begin_partition}). *)
+
 val crash : t -> unit
 (** Condemn all volatile state after a {!Strip_txn.Fault.Crashed} escape:
     discard the engine's queued/parked/in-flight tasks and drop unfsynced

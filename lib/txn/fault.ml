@@ -1,6 +1,6 @@
 open Strip_relational
 
-type site = Txn_abort | Lock_conflict | Deadlock | User_fun | Crash
+type site = Txn_abort | Lock_conflict | Deadlock | User_fun | Crash | Partition
 
 let site_name = function
   | Txn_abort -> "txn_abort"
@@ -8,15 +8,19 @@ let site_name = function
   | Deadlock -> "deadlock"
   | User_fun -> "user_fun"
   | Crash -> "crash"
+  | Partition -> "partition"
 
 exception Injected of { site : site; detail : string }
 exception Crashed of { at : string }
+exception Partitioned of { at : string; heal_after_s : float }
 
 let () =
   Printexc.register_printer (function
     | Injected { site; detail } ->
       Some (Printf.sprintf "Fault.Injected(%s, %s)" (site_name site) detail)
     | Crashed { at } -> Some (Printf.sprintf "Fault.Crashed(%s)" at)
+    | Partitioned { at; heal_after_s } ->
+      Some (Printf.sprintf "Fault.Partitioned(%s, heal %.3fs)" at heal_after_s)
     | _ -> None)
 
 type rates = {
@@ -25,6 +29,7 @@ type rates = {
   deadlock : float;
   user_fun : float;
   crash : float;
+  partition : float;
 }
 
 let no_faults =
@@ -34,17 +39,19 @@ let no_faults =
     deadlock = 0.0;
     user_fun = 0.0;
     crash = 0.0;
+    partition = 0.0;
   }
 
 type config = {
   seed : int;
   rates : rates;
+  partition_heal_s : float;
 }
 
-let default_config = { seed = 2025; rates = no_faults }
+let default_config = { seed = 2025; rates = no_faults; partition_heal_s = 1.0 }
 
 let abort_only ?(seed = 2025) rate =
-  { seed; rates = { no_faults with txn_abort = rate } }
+  { default_config with seed; rates = { no_faults with txn_abort = rate } }
 
 type t = {
   cfg : config;
@@ -54,6 +61,7 @@ type t = {
   mutable n_deadlock : int;
   mutable n_user : int;
   mutable n_crash : int;
+  mutable n_partition : int;
 }
 
 let create cfg =
@@ -65,6 +73,7 @@ let create cfg =
     n_deadlock = 0;
     n_user = 0;
     n_crash = 0;
+    n_partition = 0;
   }
 
 let config t = t.cfg
@@ -75,11 +84,12 @@ let rate_of t = function
   | Deadlock -> t.cfg.rates.deadlock
   | User_fun -> t.cfg.rates.user_fun
   | Crash -> t.cfg.rates.crash
+  | Partition -> t.cfg.rates.partition
 
 let active t =
   let r = t.cfg.rates in
   r.txn_abort > 0.0 || r.lock_conflict > 0.0 || r.deadlock > 0.0
-  || r.user_fun > 0.0 || r.crash > 0.0
+  || r.user_fun > 0.0 || r.crash > 0.0 || r.partition > 0.0
 
 let count t = function
   | Txn_abort -> t.n_abort <- t.n_abort + 1
@@ -87,6 +97,7 @@ let count t = function
   | Deadlock -> t.n_deadlock <- t.n_deadlock + 1
   | User_fun -> t.n_user <- t.n_user + 1
   | Crash -> t.n_crash <- t.n_crash + 1
+  | Partition -> t.n_partition <- t.n_partition + 1
 
 let injected t = function
   | Txn_abort -> t.n_abort
@@ -94,9 +105,11 @@ let injected t = function
   | Deadlock -> t.n_deadlock
   | User_fun -> t.n_user
   | Crash -> t.n_crash
+  | Partition -> t.n_partition
 
 let total_injected t =
   t.n_abort + t.n_conflict + t.n_deadlock + t.n_user + t.n_crash
+  + t.n_partition
 
 let fire t ~site ~txid ~detail =
   let rate = rate_of t site in
@@ -112,4 +125,7 @@ let fire t ~site ~txid ~detail =
       raise (Transaction.Lock_conflict { txid; blockers = []; deadlock = true })
     | Txn_abort | User_fun -> raise (Injected { site; detail })
     | Crash -> raise (Crashed { at = detail })
+    | Partition ->
+      raise
+        (Partitioned { at = detail; heal_after_s = t.cfg.partition_heal_s })
   end

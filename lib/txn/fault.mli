@@ -20,6 +20,9 @@ type site =
   | Deadlock  (** the transaction is chosen as a deadlock victim *)
   | User_fun  (** the rule action's user function raises *)
   | Crash  (** the whole engine dies, losing all volatile state *)
+  | Partition
+      (** the node is cut off from its peers but keeps running — its
+          volatile state survives, only its network traffic dies *)
 
 val site_name : site -> string
 
@@ -32,12 +35,19 @@ exception Crashed of { at : string }
     faults above this is not recoverable in-place: the catcher must discard
     every volatile structure and restart from {!Durable.t}. *)
 
+exception Partitioned of { at : string; heal_after_s : float }
+(** Raised for [Partition] hits (and by scheduled partitions).  The node is
+    isolated from its peers for [heal_after_s] simulated seconds but stays
+    alive: the catcher must open partition windows on its links, keep the
+    node running, and fence it when a peer is promoted in a higher epoch. *)
+
 type rates = {
   txn_abort : float;
   lock_conflict : float;
   deadlock : float;
   user_fun : float;
   crash : float;
+  partition : float;
 }
 (** Per-site firing probabilities in [0, 1]. *)
 
@@ -46,10 +56,12 @@ val no_faults : rates
 type config = {
   seed : int;  (** PRNG seed; fixed seed => identical injection decisions *)
   rates : rates;
+  partition_heal_s : float;
+      (** how long a rate-injected partition stays open before healing *)
 }
 
 val default_config : config
-(** Seed 2025, all rates zero. *)
+(** Seed 2025, all rates zero, 1 s partition heal. *)
 
 val abort_only : ?seed:int -> float -> config
 (** [abort_only rate] injects transaction aborts at [rate] and nothing

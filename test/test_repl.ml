@@ -110,6 +110,67 @@ let test_link_drops_deterministic () =
   Alcotest.(check bool) "some messages dropped" true (d1 > 0 && d1 < 100);
   Alcotest.(check (pair int int)) "same seed, same drops" (s1, d1) (s2, d2)
 
+let test_link_partition_window () =
+  let l = Link.create { Link.default_config with drop_rate = 0.0 } in
+  Link.add_partition_window l ~from_s:1.0 ~until_s:2.0;
+  Link.send l ~now:0.5 (seg ~from_lsn:0 "a");
+  Link.send l ~now:1.0 (seg ~from_lsn:1 "b");
+  Link.send l ~now:1.99 (seg ~from_lsn:2 "c");
+  Link.send l ~now:2.0 (seg ~from_lsn:3 "d");
+  Alcotest.(check int) "sends inside the window are cut" 2
+    (Link.n_partition_drops l);
+  Alcotest.(check int) "partition drops are not random loss" 0
+    (Link.n_dropped l);
+  Alcotest.(check int) "sends outside the window survive" 2 (Link.in_flight l);
+  Alcotest.(check bool) "window queryable while open" true
+    (Link.partitioned l ~now:1.5 ~epoch:0);
+  Alcotest.(check bool) "healed at the right (open) edge" false
+    (Link.partitioned l ~now:2.0 ~epoch:0)
+
+let test_link_epoch_tagged_window () =
+  let l = Link.create { Link.default_config with drop_rate = 0.0 } in
+  (* fence only term 1: the deposed primary's traffic dies on the wire
+     while the new term flows over the same link *)
+  Link.add_partition_window ~only_epoch:1 l ~from_s:0.0 ~until_s:10.0;
+  Link.send ~epoch:1 l ~now:1.0 (seg ~from_lsn:0 "old");
+  Link.send ~epoch:2 l ~now:1.0 (seg ~from_lsn:0 "new");
+  Alcotest.(check int) "the old term is cut" 1 (Link.n_partition_drops l);
+  Alcotest.(check int) "the new term flows" 1 (Link.in_flight l);
+  Alcotest.(check bool) "window holds for the tagged epoch" true
+    (Link.partitioned l ~now:5.0 ~epoch:1);
+  Alcotest.(check bool) "window ignores other epochs" false
+    (Link.partitioned l ~now:5.0 ~epoch:2)
+
+let test_link_drop_burst () =
+  let l = Link.create { Link.default_config with drop_rate = 0.0 } in
+  Link.add_drop_burst l ~from_s:10.0 ~until_s:20.0 ~rate:1.0;
+  for i = 0 to 29 do
+    Link.send l ~now:(float_of_int i) (seg ~from_lsn:i "x")
+  done;
+  Alcotest.(check int) "only sends inside the burst were dropped" 10
+    (Link.n_dropped l);
+  Alcotest.(check int) "bursts are random loss, not partition drops" 0
+    (Link.n_partition_drops l);
+  Alcotest.(check int) "the rest are in flight" 20 (Link.in_flight l);
+  Alcotest.(check bool) "burst rate is validated" true
+    (match Link.add_drop_burst l ~from_s:0.0 ~until_s:1.0 ~rate:1.5 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_link_random_windows () =
+  let gen seed =
+    Link.random_windows ~seed ~rate_per_s:0.2 ~mean_s:1.0 ~until:60.0
+  in
+  let a = gen 5 in
+  Alcotest.(check bool) "pure in the seed" true (a = gen 5);
+  Alcotest.(check bool) "some windows generated" true (a <> []);
+  List.iter
+    (fun (f, u) ->
+      Alcotest.(check bool) "ordered and clipped to the horizon" true
+        (0.0 <= f && f < u && u <= 60.0))
+    a;
+  Alcotest.(check bool) "a different seed draws differently" true (a <> gen 6)
+
 (* ------------------------------------------------------------------ *)
 (* Replica: bootstrap + apply, idempotent under duplication/reordering *)
 
@@ -145,9 +206,9 @@ let bootstrap_replica durable =
   in
   Replica.bootstrap ~id:0 ~image ~lsn:(Durable.snapshot_lsn durable) ~time:0.0
 
-let deliver r ~seq ~sent_at payload =
+let deliver ?(epoch = 0) r ~seq ~sent_at payload =
   Replica.receive r
-    { Link.sent_at; arrives_at = sent_at +. 0.02; seq; payload }
+    { Link.sent_at; arrives_at = sent_at +. 0.02; seq; epoch; payload }
 
 let test_replica_joins_mid_stream () =
   let db, durable = primary_with_tail () in
@@ -241,6 +302,85 @@ let test_replica_heartbeat_staleness () =
   Alcotest.(check bool) "staleness is positive under link latency" true
     (Replica.staleness r ~now:(5.0 +. 0.02) > 0.0)
 
+let test_replica_fencing () =
+  let _db, durable = primary_with_tail () in
+  let r = bootstrap_replica durable in
+  let wal = Durable.wal durable in
+  let base = Replica.applied_lsn r in
+  let tail = Wal.durable_slice wal ~from_lsn:base in
+  Alcotest.(check int) "bootstrap starts unstamped" 0 (Replica.epoch r);
+  (* the replica learns term 2 through the election path, then the
+     deposed term-1 primary's segment arrives: fenced, not applied *)
+  Replica.note_epoch r 2;
+  deliver ~epoch:1 r ~seq:0 ~sent_at:1.0 (seg ~from_lsn:base tail);
+  Alcotest.(check int) "stale term fenced" 1 (Replica.n_fenced r);
+  Alcotest.(check int) "fenced bytes were not applied" base
+    (Replica.applied_lsn r);
+  (* a higher term is adopted on sight and its bytes apply *)
+  deliver ~epoch:3 r ~seq:1 ~sent_at:1.1 (seg ~from_lsn:base tail);
+  Alcotest.(check int) "higher term adopted" 3 (Replica.epoch r);
+  Alcotest.(check int) "current-term bytes applied" (Wal.durable_end wal)
+    (Replica.applied_lsn r);
+  (* note_epoch never regresses *)
+  Replica.note_epoch r 2;
+  Alcotest.(check int) "terms are monotone" 3 (Replica.epoch r)
+
+(* Satellite: seeded property sweep — replica apply converges to the
+   primary's state under arbitrary duplication, reordering, and lossy
+   first deliveries followed by a post-heal in-order resend. *)
+let test_replica_convergence_property () =
+  let db, durable = primary_with_tail () in
+  let wal = Durable.wal durable in
+  let expected = view_rows (Strip_db.catalog db) in
+  let probe = bootstrap_replica durable in
+  let base = Replica.applied_lsn probe in
+  let tail = Wal.durable_slice wal ~from_lsn:base in
+  let starts = List.map fst (Wal.read_from wal ~lsn:base).Wal.records in
+  let rec bounds = function
+    | [ last ] -> [ (last, Wal.durable_end wal) ]
+    | a :: (b :: _ as rest) -> (a, b) :: bounds rest
+    | [] -> []
+  in
+  let chunks =
+    List.map
+      (fun (a, b) -> (a, String.sub tail (a - base) (b - a)))
+      (bounds starts)
+  in
+  Alcotest.(check bool) "enough frames to permute" true
+    (List.length chunks >= 2);
+  for seed = 0 to 19 do
+    let rng = Random.State.make [| seed; 0x5eed |] in
+    let r = bootstrap_replica durable in
+    let seq = ref 0 in
+    let send (a, bytes) =
+      deliver r ~seq:!seq
+        ~sent_at:(1.0 +. (0.01 *. float_of_int !seq))
+        (seg ~from_lsn:a bytes);
+      incr seq
+    in
+    (* partition-flavored first pass: a shuffled subset, some duplicated *)
+    let shuffled =
+      List.map (fun c -> (Random.State.bits rng, c)) chunks
+      |> List.sort compare |> List.map snd
+    in
+    List.iter
+      (fun c ->
+        if Random.State.float rng 1.0 < 0.7 then begin
+          send c;
+          if Random.State.bool rng then send c
+        end)
+      shuffled;
+    (* heal: the shipper re-covers the whole tail in order *)
+    List.iter send chunks;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: applied through the end" seed)
+      (Wal.durable_end wal) (Replica.applied_lsn r);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: view converged to the primary" seed)
+      true
+      (view_rows (Replica.catalog r) = expected)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Cluster: shipping convergence and deterministic promotion *)
 
@@ -278,6 +418,71 @@ let test_promotion_tie_break () =
     (List.length (Auditor.audit ndb).Auditor.divergences);
   Alcotest.(check bool) "promoted view matches the old primary's" true
     (view_rows (Strip_db.catalog db) = view_rows (Strip_db.catalog ndb))
+
+let test_promotion_opens_new_epoch () =
+  Task.reset_ids ();
+  let durable = Durable.create () in
+  let db = Test_recovery.setup_durable_db durable in
+  Strip_db.checkpoint db;
+  update_stock db ~at:0.0 "S1" 31.0;
+  let cfg = { Cluster.default_config with n_replicas = 2 } in
+  let c =
+    Cluster.create cfg ~primary:db ~read_table:"comp_prices"
+      ~read_key_col:"comp" ~read_keys:[| "C1" |] ~read_until:0.0
+  in
+  Alcotest.(check int) "the founding primary opens term 1" 1
+    (Cluster.epoch c);
+  Alcotest.(check (list (pair int int))) "founding history"
+    [ (1, -1) ]
+    (Cluster.epoch_history c);
+  Cluster.schedule_shipping c ~until:3.0;
+  Strip_db.run db ~until:3.0;
+  Strip_db.crash db;
+  let _ndb, _rs, p =
+    Cluster.promote c ~now:3.0
+      ~mk_db:(fun dur -> Strip_db.create ~now:3.0 ~durable:dur ())
+      ~reinstall:(fun ndb -> Test_recovery.install_comp_rule ndb)
+  in
+  Alcotest.(check int) "the election opened term 2" 2 p.Cluster.epoch;
+  Alcotest.(check int) "cluster term advanced" 2 (Cluster.epoch c);
+  Alcotest.(check (list (pair int int))) "history records the winner"
+    [ (1, -1); (2, p.Cluster.promoted) ]
+    (Cluster.epoch_history c);
+  Alcotest.(check int) "replicas adopted the new term" 2
+    (Replica.epoch (Cluster.replica c 0))
+
+(* Satellite: a cluster with no replicas no longer refuses promotion —
+   it degrades to PR 4 crash-restart recovery from its own durable
+   store, still opening a fresh term. *)
+let test_promote_without_replicas_degrades () =
+  Task.reset_ids ();
+  let durable = Durable.create () in
+  let db = Test_recovery.setup_durable_db durable in
+  Strip_db.checkpoint db;
+  update_stock db ~at:0.0 "S1" 31.0;
+  update_stock db ~at:0.3 "S2" 38.0;
+  Strip_db.run db;
+  let expected = view_rows (Strip_db.catalog db) in
+  let cfg = { Cluster.default_config with n_replicas = 0 } in
+  let c =
+    Cluster.create cfg ~primary:db ~read_table:"comp_prices"
+      ~read_key_col:"comp" ~read_keys:[| "C1" |] ~read_until:0.0
+  in
+  Strip_db.crash db;
+  let ndb, _rs, p =
+    Cluster.promote c ~now:3.0
+      ~mk_db:(fun dur -> Strip_db.create ~now:3.0 ~durable:dur ())
+      ~reinstall:(fun ndb -> Test_recovery.install_comp_rule ndb)
+  in
+  Alcotest.(check int) "restart-in-place: no winner id" (-1) p.Cluster.promoted;
+  Alcotest.(check int) "nothing durable was lost" 0 p.Cluster.lost_bytes;
+  Alcotest.(check int) "a fresh term still opens" 2 p.Cluster.epoch;
+  Alcotest.(check bool) "cluster repointed" true (Cluster.primary c == ndb);
+  Strip_db.run ndb;
+  Alcotest.(check int) "recovered engine audits clean" 0
+    (List.length (Auditor.audit ndb).Auditor.divergences);
+  Alcotest.(check bool) "recovered view equals the pre-crash view" true
+    (view_rows (Strip_db.catalog ndb) = expected)
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: experiment failover loop, routing policies, determinism *)
@@ -373,6 +578,67 @@ let test_no_repl_surface_without_config () =
        (Strip_obs.Json.to_string (Report.metrics_json mr))
        "\"replication\"")
 
+(* Acceptance: partition the primary mid-feed, elect over the cut, heal,
+   fence the deposed primary's divergent tail, and end converged with no
+   acked commit lost. *)
+let split_brain_cfg () =
+  {
+    (with_repl (quick_cfg ())) with
+    Experiment.verify = true;
+    recovery = Some Experiment.default_recovery;
+    chaos = [ Experiment.Partition_at { at = 9.0; heal_after_s = 1.5 } ];
+  }
+
+let test_split_brain_failover () =
+  Task.reset_ids ();
+  let m = Experiment.run (split_brain_cfg ()) in
+  let r = Option.get m.Experiment.repl in
+  let rc = Option.get m.Experiment.recovery in
+  Alcotest.(check int) "one partition window" 1 r.Experiment.n_partitions;
+  Alcotest.(check int) "the cut forced an election" 1 r.Experiment.n_failovers;
+  Alcotest.(check int) "a new term opened" 2 r.Experiment.epoch;
+  Alcotest.(check bool) "the deposed primary's tail was fenced" true
+    (r.Experiment.fenced_bytes > 0);
+  Alcotest.(check int) "fencing is not election data loss" 0
+    r.Experiment.promotion_lost_bytes;
+  Alcotest.(check bool) "replicas rejected stale-epoch traffic" true
+    (r.Experiment.fenced_messages > 0);
+  (* no acked commit lost: every promotion's applied frontier is still
+     inside the final log *)
+  List.iter
+    (fun (e, _, lsn) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d acked frontier inside the final log" e)
+        true
+        (lsn <= r.Experiment.final_lsn))
+    r.Experiment.promotions;
+  (* exactly one primary per epoch: history (in opening order) strictly
+     increases *)
+  let rec strictly_increasing = function
+    | (e1, _) :: ((e2, _) :: _ as rest) ->
+      e1 < e2 && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "single primary per epoch" true
+    (strictly_increasing r.Experiment.epochs);
+  Alcotest.(check bool) "both replicas converged to the final primary" true
+    (List.for_all
+       (fun (pr : Experiment.replica_metrics) ->
+         pr.Experiment.r_applied_lsn = r.Experiment.final_lsn)
+       r.Experiment.per_replica);
+  Alcotest.(check bool) "audit clean after heal" true rc.Experiment.audit_clean;
+  Alcotest.(check (option bool)) "view verified against recomputation"
+    (Some true) m.Experiment.verified
+
+let test_split_brain_determinism () =
+  let run () =
+    Task.reset_ids ();
+    Strip_obs.Json.to_string
+      (Report.metrics_json (Experiment.run (split_brain_cfg ())))
+  in
+  Alcotest.(check string) "same partition schedule, byte-identical metrics"
+    (run ()) (run ())
+
 let suite =
   [
     ( "repl/wal",
@@ -387,6 +653,14 @@ let suite =
           test_link_delivery_order;
         Alcotest.test_case "drops are deterministic" `Quick
           test_link_drops_deterministic;
+        Alcotest.test_case "partition windows cut sends while open" `Quick
+          test_link_partition_window;
+        Alcotest.test_case "epoch-tagged windows fence one term" `Quick
+          test_link_epoch_tagged_window;
+        Alcotest.test_case "drop bursts raise loss inside the window" `Quick
+          test_link_drop_burst;
+        Alcotest.test_case "random windows are pure in the seed" `Quick
+          test_link_random_windows;
       ] );
     ( "repl/replica",
       [
@@ -398,11 +672,19 @@ let suite =
           test_replica_reseeds_after_truncation;
         Alcotest.test_case "heartbeats advance the staleness horizon" `Quick
           test_replica_heartbeat_staleness;
+        Alcotest.test_case "stale epochs are fenced, higher adopted" `Quick
+          test_replica_fencing;
+        Alcotest.test_case "apply converges under seeded chaos delivery"
+          `Quick test_replica_convergence_property;
       ] );
     ( "repl/cluster",
       [
         Alcotest.test_case "promotion breaks LSN ties by lowest id" `Quick
           test_promotion_tie_break;
+        Alcotest.test_case "every election opens a new epoch" `Quick
+          test_promotion_opens_new_epoch;
+        Alcotest.test_case "promotion without replicas degrades to restart"
+          `Quick test_promote_without_replicas_degrades;
       ] );
     ( "repl/experiment",
       [
@@ -416,5 +698,9 @@ let suite =
           test_any_policy_spreads_reads;
         Alcotest.test_case "unreplicated runs expose no repl surface" `Slow
           test_no_repl_surface_without_config;
+        Alcotest.test_case "split-brain: partition, fence, heal, converge"
+          `Slow test_split_brain_failover;
+        Alcotest.test_case "split-brain runs are deterministic" `Slow
+          test_split_brain_determinism;
       ] );
   ]
