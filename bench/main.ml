@@ -31,7 +31,10 @@
                           chrome://tracing or ui.perfetto.dev)
      --metrics FILE       write every experiment's metrics-registry
                           snapshot (latency percentiles per task class,
-                          per-table staleness, failure counters) as JSON *)
+                          per-table staleness, failure counters) as JSON
+     --wallclock          time representative end-to-end scenarios in real
+                          wall-clock nanoseconds per transaction (median of
+                          5 runs each) and write BENCH_WALLCLOCK.json *)
 
 open Strip_relational
 open Strip_txn
@@ -58,6 +61,7 @@ let scale = env_float "STRIP_BENCH_SCALE" 1.0
    one artifact per kind. *)
 let trace_file = ref None
 let metrics_file = ref None
+let wallclock = ref false
 
 let () =
   let rec parse = function
@@ -66,6 +70,9 @@ let () =
       parse rest
     | "--metrics" :: f :: rest ->
       metrics_file := Some f;
+      parse rest
+    | "--wallclock" :: rest ->
+      wallclock := true;
       parse rest
     | _ :: rest -> parse rest
     | [] -> ()
@@ -931,6 +938,122 @@ let chaos_lane () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* --wallclock: real elapsed time per simulated transaction for
+   representative end-to-end scenarios.  The simulator reports virtual
+   seconds everywhere else; this lane answers the orthogonal question
+   "how fast does the harness itself run on this machine", so perf
+   regressions in the engine/WAL/shipping code paths show up even though
+   every simulated metric is deterministic.  Median of 5 runs per
+   scenario; each trial rebuilds its config (fresh trace/monitor state)
+   and resets the task/span counters, so trials are identical work. *)
+
+let wallclock_lane () =
+  section "Wall-clock scenarios (real ns per transaction, median of 5)";
+  let wc_scale = Float.min scale 0.02 in
+  let trials = 5 in
+  let base rule delay =
+    let cfg = Experiment.default_config rule ~delay in
+    let cfg = Experiment.quick cfg wc_scale in
+    { cfg with Experiment.verify = false }
+  in
+  let symbol = Experiment.Comp_view Comp_rules.Unique_on_symbol in
+  let scenarios =
+    [
+      ( "non-unique",
+        fun () -> base (Experiment.Comp_view Comp_rules.Non_unique) 0.0 );
+      ("unique-on-symbol", fun () -> base symbol 1.0);
+      ( "crash-recovery",
+        fun () ->
+          let cfg = base symbol 1.0 in
+          let half = cfg.Experiment.feed.Strip_market.Feed.duration /. 2.0 in
+          {
+            cfg with
+            Experiment.recovery =
+              Some
+                {
+                  Experiment.default_recovery with
+                  Experiment.crash_at = Some half;
+                };
+          } );
+      ( "replicated-2",
+        fun () ->
+          {
+            (base symbol 1.0) with
+            Experiment.repl =
+              Some { Experiment.default_repl with Experiment.replicas = 2 };
+          } );
+      ( "traced+slo",
+        fun () ->
+          {
+            (base symbol 1.0) with
+            Experiment.trace = Some (Strip_obs.Trace.create ());
+            slo =
+              Some
+                (Strip_obs.Slo.create
+                   [ { Strip_obs.Slo.view = "comp_prices"; bound_s = 5.0 } ]);
+          } );
+    ]
+  in
+  let time_one mk_cfg =
+    Strip_txn.Task.reset_ids ();
+    let cfg = mk_cfg () in
+    let t0 = Unix.gettimeofday () in
+    let m = Experiment.run cfg in
+    let elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (elapsed_ns, m.Experiment.n_updates + m.Experiment.n_recompute)
+  in
+  let median l =
+    match List.sort compare l with
+    | [] -> nan
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  Printf.printf "%-20s %8s %14s %14s\n" "scenario" "txns" "median ns/op"
+    "median ms/run";
+  let points =
+    List.map
+      (fun (name, mk_cfg) ->
+        let runs = List.init trials (fun _ -> time_one mk_cfg) in
+        let ops = snd (List.hd runs) in
+        let ns_per_op =
+          List.map
+            (fun (ns, n) -> if n = 0 then nan else ns /. float_of_int n)
+            runs
+        in
+        let med = median ns_per_op in
+        let med_run_ms = median (List.map fst runs) /. 1e6 in
+        Printf.printf "%-20s %8d %14.0f %14.1f\n%!" name ops med med_run_ms;
+        (name, ops, med, ns_per_op))
+      scenarios
+  in
+  let open Strip_obs in
+  let doc =
+    Json.Obj
+      [
+        ("benchmark", Json.Str "wall-clock scenario timings");
+        ("scale", Json.Float wc_scale);
+        ("trials", Json.Int trials);
+        ( "scenarios",
+          Json.List
+            (List.map
+               (fun (name, ops, med, ns_per_op) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ("transactions", Json.Int ops);
+                     ("median_ns_per_op", Json.Float med);
+                     ( "ns_per_op",
+                       Json.List (List.map (fun v -> Json.Float v) ns_per_op)
+                     );
+                   ])
+               points) );
+      ]
+  in
+  let oc = open_out "BENCH_WALLCLOCK.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote wall-clock timings to BENCH_WALLCLOCK.json\n%!"
+
 let () =
   Printf.printf
     "STRIP reproduction benchmarks (paper: Adelberg, Garcia-Molina, Widom, \
@@ -943,4 +1066,5 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_RECOVERY" = None then recovery_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_REPLICATION" = None then replica_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_CHAOS" = None then chaos_lane ();
+  if !wallclock then wallclock_lane ();
   if observing () then write_exports ()

@@ -2,9 +2,11 @@
 
    Subcommands:
      experiment   run one PTA experiment configuration and print its metrics
+     explain      print the provenance lineage tree behind one derived row
      trace        generate a TAQ-style quote file
      rules        print the paper's rule definitions (Figures 3/6/7/8)
-     repl         interactive SQL + rule-DDL shell on a fresh database *)
+     repl         interactive SQL + rule-DDL shell on a fresh database
+     chaos        explore seeded fault schedules and shrink failures *)
 
 open Cmdliner
 open Strip_pta
@@ -108,6 +110,16 @@ let trace_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let slo_arg =
+  let doc =
+    "Staleness SLO objective $(docv) (repeatable), e.g. \
+     $(b,comp_prices:2.0).  Every maintenance commit's staleness is \
+     checked against the bound; the report gains per-view verdict lines \
+     with violation windows, and any violated objective fails the run \
+     (exit 1)."
+  in
+  Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"VIEW:BOUND" ~doc)
+
 let metrics_file_arg =
   let doc =
     "Write the post-run metrics-registry snapshot (latency percentiles per \
@@ -175,17 +187,26 @@ let rule_of_strings view variant =
     Ok (Experiment.Option_view Option_rules.Unique_on_option)
   | _ -> Error (Printf.sprintf "unknown view/variant: %s/%s" view variant)
 
+let parse_slos specs =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun os ->
+          Result.map (fun o -> o :: os) (Strip_obs.Slo.parse spec)))
+    (Ok []) specs
+  |> Result.map List.rev
+
 let run_experiment view variant delay scale verify seed abort_rate fault_seed
     retries servers watermark crash_rate crash_at checkpoint_interval replicas
-    read_policy read_rate trace_file metrics_file json =
+    read_policy read_rate slo_specs trace_file metrics_file json =
   match
     Result.bind (rule_of_strings view variant) (fun rule ->
-        Result.map (fun p -> (rule, p)) (parse_read_policy read_policy))
+        Result.bind (parse_read_policy read_policy) (fun p ->
+            Result.map (fun os -> (rule, p, os)) (parse_slos slo_specs)))
   with
   | Error msg ->
     prerr_endline msg;
     1
-  | Ok (rule, policy) ->
+  | Ok (rule, policy, objectives) ->
     let cfg = Experiment.default_config rule ~delay in
     let cfg =
       { cfg with Experiment.feed = { cfg.Experiment.feed with Feed.seed } }
@@ -269,7 +290,12 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       else cfg
     in
     let tr = Option.map (fun _ -> Strip_obs.Trace.create ()) trace_file in
-    let cfg = { cfg with Experiment.trace = tr } in
+    let slo =
+      match objectives with
+      | [] -> None
+      | os -> Some (Strip_obs.Slo.create os)
+    in
+    let cfg = { cfg with Experiment.trace = tr; slo } in
     let m = Experiment.run cfg in
     if json then Report.print_metrics_json [ m ]
     else begin
@@ -280,6 +306,8 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       Report.print_recovery m;
       Report.print_repl m;
       Report.print_staleness m;
+      Report.print_slo m;
+      Report.print_trace m;
       Printf.printf
         "updates: %d; firings: %d; fanout E[rows/update]: %.1f; busy \
          update/recompute: %.1fs/%.1fs\n"
@@ -290,11 +318,26 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
     (match (trace_file, tr) with
     | Some path, Some tr ->
       let oc = open_out path in
-      Strip_obs.Json.to_channel oc (Strip_obs.Trace.chrome_json tr);
-      close_out oc;
-      if not json then
-        Printf.printf "wrote Chrome trace (%d events) to %s\n"
-          (Strip_obs.Trace.length tr) path
+      (* A replicated traced run merges every node's buffer into one
+         cluster-wide tree (one pid per node); otherwise the single
+         primary buffer exports exactly as before. *)
+      (match m.Experiment.cluster_traces with
+      | [] ->
+        Strip_obs.Json.to_channel oc (Strip_obs.Trace.chrome_json tr);
+        close_out oc;
+        if not json then
+          Printf.printf "wrote Chrome trace (%d events) to %s\n"
+            (Strip_obs.Trace.length tr) path
+      | nodes ->
+        Strip_obs.Json.to_channel oc (Strip_obs.Trace.merge_chrome_json nodes);
+        close_out oc;
+        if not json then
+          Printf.printf
+            "wrote merged cluster trace (%d events across %d nodes) to %s\n"
+            (List.fold_left
+               (fun a (_, t) -> a + Strip_obs.Trace.length t)
+               0 nodes)
+            (List.length nodes) path)
     | _ -> ());
     (match metrics_file with
     | None -> ()
@@ -312,9 +355,14 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       | Some r -> not r.Experiment.audit_clean
       | None -> false
     in
+    let slo_failed =
+      List.exists
+        (fun (r : Strip_obs.Slo.view_report) -> not r.Strip_obs.Slo.r_met)
+        m.Experiment.slo
+    in
     (match m.Experiment.verified with
     | Some false -> 1
-    | _ -> if audit_failed then 1 else 0)
+    | _ -> if audit_failed || slo_failed then 1 else 0)
 
 let experiment_cmd =
   let term =
@@ -323,11 +371,93 @@ let experiment_cmd =
       $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg
       $ servers_arg $ watermark_arg $ crash_rate_arg $ crash_at_arg
       $ checkpoint_interval_arg $ replicas_arg $ read_policy_arg
-      $ read_rate_arg $ trace_file_arg $ metrics_file_arg $ json_arg)
+      $ read_rate_arg $ slo_arg $ trace_file_arg $ metrics_file_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Run one program-trading experiment (a Figure 9-14 curve point).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                              *)
+
+let explain_table_arg =
+  let doc = "Derived table (view) to explain, e.g. comp_prices." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE" ~doc)
+
+let explain_key_arg =
+  let doc =
+    "Derived-row key, e.g. a composite name.  List recorded keys by \
+     passing a key that matches nothing."
+  in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY" ~doc)
+
+let explain_limit_arg =
+  let doc = "Most recent firings to show (0 = all)." in
+  Arg.(value & opt int 5 & info [ "limit" ] ~docv:"N" ~doc)
+
+let run_explain view variant delay scale seed table key limit json =
+  match rule_of_strings view variant with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok rule ->
+    let cfg = Experiment.default_config rule ~delay in
+    let cfg =
+      { cfg with Experiment.feed = { cfg.Experiment.feed with Feed.seed } }
+    in
+    let cfg = if scale <> 1.0 then Experiment.quick cfg scale else cfg in
+    let prov = Strip_obs.Provenance.create () in
+    (* Tracing on too, so every lineage entry carries the trace/span ids
+       of the firing that wrote it and can be cross-referenced against a
+       --trace export of the same seed. *)
+    let cfg =
+      {
+        cfg with
+        Experiment.verify = false;
+        provenance = Some prov;
+        trace = Some (Strip_obs.Trace.create ());
+      }
+    in
+    ignore (Experiment.run cfg);
+    (match Strip_obs.Provenance.query prov ~view:table ~key with
+    | [] ->
+      Printf.eprintf "no provenance recorded for %s[%s]\n" table key;
+      (match Strip_obs.Provenance.views prov with
+      | [] -> ()
+      | views ->
+        Printf.eprintf "views with recorded lineage: %s\n"
+          (String.concat ", " views);
+        if List.mem table views then begin
+          let keys = Strip_obs.Provenance.keys prov ~view:table in
+          let shown = List.filteri (fun i _ -> i < 10) keys in
+          Printf.eprintf "%s keys (%d recorded): %s%s\n" table
+            (List.length keys) (String.concat ", " shown)
+            (if List.length keys > List.length shown then ", ..." else "")
+        end);
+      1
+    | _ ->
+      if json then
+        print_endline
+          (Strip_obs.Json.to_string
+             (Strip_obs.Provenance.json prov ~view:table ~key))
+      else print_string (Strip_obs.Provenance.render ~limit prov ~view:table ~key);
+      0)
+
+let explain_cmd =
+  let term =
+    Term.(
+      const run_explain $ view_arg $ variant_arg $ delay_arg $ scale_arg
+      $ seed_arg $ explain_table_arg $ explain_key_arg $ explain_limit_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run one experiment with the derived-row provenance store armed \
+          and print the lineage tree behind TABLE[KEY]: each rule firing \
+          with its transaction, trace span, commit time, and the base \
+          deltas it consumed.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -489,9 +619,15 @@ let read_file path =
   close_in ic;
   s
 
-let run_chaos schedules seed scale replay out json =
-  match replay with
-  | Some path ->
+let run_chaos schedules seed scale replay out slo_specs json =
+  match parse_slos slo_specs with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok objectives -> (
+    let slo = match objectives with [] -> None | os -> Some os in
+    match replay with
+    | Some path ->
     let s =
       try Ok (Strip_chaos.Schedule.of_string (read_file path)) with
       | Sys_error msg -> Error msg
@@ -503,7 +639,7 @@ let run_chaos schedules seed scale replay out json =
       prerr_endline msg;
       1
     | Ok s ->
-      let o = Strip_chaos.Explore.run_schedule s in
+      let o = Strip_chaos.Explore.run_schedule ?slo s in
       if json then
         print_endline (Strip_obs.Json.to_string (Strip_chaos.Explore.outcome_json o))
       else begin
@@ -512,9 +648,9 @@ let run_chaos schedules seed scale replay out json =
         Strip_chaos.Explore.print_outcome o
       end;
       if o.Strip_chaos.Explore.violations = [] then 0 else 1)
-  | None ->
+    | None ->
     let outcomes =
-      Strip_chaos.Explore.explore ~scale ~seed ~schedules ()
+      Strip_chaos.Explore.explore ?slo ~scale ~seed ~schedules ()
     in
     if json then
       print_endline
@@ -530,7 +666,7 @@ let run_chaos schedules seed scale replay out json =
     | None -> 0
     | Some o ->
       let shrunk =
-        Strip_chaos.Explore.shrink o.Strip_chaos.Explore.schedule
+        Strip_chaos.Explore.shrink ?slo o.Strip_chaos.Explore.schedule
       in
       let oc = open_out out in
       Strip_obs.Json.to_channel oc
@@ -543,13 +679,21 @@ let run_chaos schedules seed scale replay out json =
           (List.length
              shrunk.Strip_chaos.Explore.schedule.Strip_chaos.Schedule.events)
           out out;
-      1)
+      1))
+
+let chaos_slo_arg =
+  let doc =
+    "Staleness SLO objective $(docv) (repeatable), armed as an extra \
+     invariant: a schedule under which any objective is violated fails \
+     and shrinks like any other violation."
+  in
+  Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"VIEW:BOUND" ~doc)
 
 let chaos_cmd =
   let term =
     Term.(
       const run_chaos $ schedules_arg $ chaos_seed_arg $ chaos_scale_arg
-      $ replay_arg $ failure_out_arg $ json_arg)
+      $ replay_arg $ failure_out_arg $ chaos_slo_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -572,4 +716,11 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ experiment_cmd; trace_cmd; rules_cmd; repl_cmd; chaos_cmd ]))
+          [
+            experiment_cmd;
+            explain_cmd;
+            trace_cmd;
+            rules_cmd;
+            repl_cmd;
+            chaos_cmd;
+          ]))

@@ -20,7 +20,7 @@ type outcome = {
    policy-routed reads, a slightly lossy link so the optimistic resend
    path stays warm, and the unique-on-comp rule so the pending queue is
    live state that crashes and failovers must preserve. *)
-let cfg_of (s : Schedule.t) =
+let cfg_of ?(slo = []) (s : Schedule.t) =
   let base =
     Experiment.default_config
       (Experiment.Comp_view Comp_rules.Unique_on_comp)
@@ -30,6 +30,9 @@ let cfg_of (s : Schedule.t) =
   {
     cfg with
     Experiment.verify = true;
+    (* A fresh monitor per run: schedules (and shrinker trials) must not
+       share violation state. *)
+    slo = (match slo with [] -> None | os -> Some (Slo.create os));
     recovery = Some Experiment.default_recovery;
     repl =
       Some
@@ -97,14 +100,25 @@ let check ?extra (m : Experiment.metrics) =
     add "uq_exactly_once"
       (Printf.sprintf "%d unique transactions dead-lettered"
          m.Experiment.n_dead_letters);
+  (* Armed only when the run carried an SLO monitor (m.slo is empty
+     otherwise), so SLO-free schedules check exactly the classic five. *)
+  List.iter
+    (fun (r : Slo.view_report) ->
+      if not r.Slo.r_met then
+        add "staleness_slo"
+          (Printf.sprintf
+             "%s over %.3fs bound: %d/%d samples in %d window(s), worst %.3fs"
+             r.Slo.r_view r.Slo.r_bound_s r.Slo.r_violations r.Slo.r_samples
+             r.Slo.r_windows r.Slo.r_worst_s))
+    m.Experiment.slo;
   let base = List.rev !v in
   match extra with None -> base | Some f -> base @ f m
 
-let run_schedule ?extra (s : Schedule.t) =
+let run_schedule ?extra ?slo (s : Schedule.t) =
   (* Deterministic task ids across in-process runs: every schedule (and
      every shrinker trial) starts from the same counter. *)
   Strip_txn.Task.reset_ids ();
-  let m = Experiment.run (cfg_of s) in
+  let m = Experiment.run (cfg_of ?slo s) in
   let violations = check ?extra m in
   let n_crashes =
     match m.Experiment.recovery with
@@ -136,9 +150,9 @@ let run_schedule ?extra (s : Schedule.t) =
 (* Delta-debugging-lite: drop event halves while the failure survives,
    then greedily remove single events until no removal keeps it failing.
    The result is 1-minimal — every remaining event is necessary. *)
-let shrink ?extra (s : Schedule.t) =
+let shrink ?extra ?slo (s : Schedule.t) =
   let fails events =
-    (run_schedule ?extra { s with Schedule.events }).violations <> []
+    (run_schedule ?extra ?slo { s with Schedule.events }).violations <> []
   in
   let rec halve events =
     let n = List.length events in
@@ -169,11 +183,11 @@ let shrink ?extra (s : Schedule.t) =
     if fails s.Schedule.events then greedy (halve s.Schedule.events)
     else s.Schedule.events
   in
-  run_schedule ?extra { s with Schedule.events }
+  run_schedule ?extra ?slo { s with Schedule.events }
 
-let explore ?extra ?(scale = 0.05) ~seed ~schedules () =
+let explore ?extra ?slo ?(scale = 0.05) ~seed ~schedules () =
   List.init schedules (fun i ->
-      run_schedule ?extra (Schedule.generate ~scale ~seed:(seed + i) ()))
+      run_schedule ?extra ?slo (Schedule.generate ~scale ~seed:(seed + i) ()))
 
 let total_violations outcomes =
   List.fold_left (fun a o -> a + List.length o.violations) 0 outcomes

@@ -16,6 +16,11 @@
       the elected winner had applied) is still inside the final log;
     - [uq_exactly_once]: no unique transaction was dead-lettered.
 
+    A sixth, opt-in invariant — [staleness_slo] — arms when the run
+    carries staleness SLO objectives ([?slo]): any view whose objective
+    was violated fails the schedule, so SLO regressions shrink to minimal
+    fault reproducers like any other violation.
+
     A failing schedule can be {!shrink}ed to a 1-minimal reproducer and
     serialized ({!Schedule.to_json}) for replay via
     [strip-cli chaos --replay]. *)
@@ -38,19 +43,24 @@ val check :
   ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
   Strip_pta.Experiment.metrics ->
   violation list
-(** Evaluate the invariants against one run's metrics.  [extra] appends
+(** Evaluate the invariants against one run's metrics, including
+    [staleness_slo] for any SLO report the run produced.  [extra] appends
     caller-defined checks (used by tests to plant an unsatisfiable
     invariant and watch the shrinker work). *)
 
 val run_schedule :
   ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  ?slo:Strip_obs.Slo.objective list ->
   Schedule.t ->
   outcome
 (** One deterministic experiment under the schedule; task ids are reset
-    first so identical schedules replay byte-identically in-process. *)
+    first so identical schedules replay byte-identically in-process.
+    [slo] arms a fresh staleness monitor for the run (fresh per call, so
+    shrinker trials never share violation state). *)
 
 val shrink :
   ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  ?slo:Strip_obs.Slo.objective list ->
   Schedule.t ->
   outcome
 (** Delta-debug a failing schedule down to a 1-minimal event list (every
@@ -60,6 +70,7 @@ val shrink :
 
 val explore :
   ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  ?slo:Strip_obs.Slo.objective list ->
   ?scale:float ->
   seed:int ->
   schedules:int ->

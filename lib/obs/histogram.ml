@@ -116,6 +116,13 @@ let merge_into ~dst src =
     if src.hi > dst.hi then dst.hi <- src.hi
   end
 
+let merge = function
+  | [] -> create ()
+  | first :: _ as hs ->
+    let dst = create ~gamma:first.gamma () in
+    List.iter (fun h -> merge_into ~dst h) hs;
+    dst
+
 type summary = {
   n : int;
   sum : float;

@@ -45,6 +45,13 @@ val merge_into : dst:t -> t -> unit
 (** Add every bucket of the source into [dst] (same [gamma] required).
     @raise Invalid_argument on mismatched [gamma]. *)
 
+val merge : t list -> t
+(** A fresh histogram holding every source's samples — per-node
+    histograms (replica apply lag, lock waits) aggregate into one
+    cluster distribution.  Sources are untouched; the empty list yields
+    an empty default-[gamma] histogram.
+    @raise Invalid_argument on mismatched [gamma]s. *)
+
 type summary = {
   n : int;
   sum : float;

@@ -1,0 +1,155 @@
+(* Derived-row provenance: which base deltas and rule firings produced
+   each derived value.
+
+   Opt-in and bounded: each view keeps its own ring of the most recent
+   [capacity] entries; older entries are overwritten and counted as
+   truncated, so recording a long run has fixed memory.  One entry is
+   recorded per (rule transaction, derived row) pair at commit time,
+   carrying the firing's identity, its trace context (0s when tracing is
+   off), and the base-delta rows the bound transition table held. *)
+
+type input = { src_table : string; src_desc : string }
+
+type entry = {
+  view : string;
+  key : string;
+  rule : string;
+  task_id : int;
+  txid : int;
+  trace : int;
+  span : int;
+  committed_at : float;
+  inputs : input list;
+}
+
+type ring = {
+  buf : entry option array;
+  mutable total : int;  (* entries ever recorded for this view *)
+}
+
+type t = {
+  capacity : int;
+  views : (string, ring) Hashtbl.t;
+  mutable recorded : int;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Provenance.create: capacity must be >= 1";
+  { capacity; views = Hashtbl.create 8; recorded = 0 }
+
+let ring_of t view =
+  match Hashtbl.find_opt t.views view with
+  | Some r -> r
+  | None ->
+    let r = { buf = Array.make t.capacity None; total = 0 } in
+    Hashtbl.add t.views view r;
+    r
+
+let record t e =
+  let r = ring_of t e.view in
+  r.buf.(r.total mod t.capacity) <- Some e;
+  r.total <- r.total + 1;
+  t.recorded <- t.recorded + 1
+
+let entries_of_ring t r =
+  let n = min r.total t.capacity in
+  let first = r.total - n in
+  List.init n (fun i ->
+      match r.buf.((first + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let query t ~view ~key =
+  match Hashtbl.find_opt t.views view with
+  | None -> []
+  | Some r ->
+    List.rev (List.filter (fun e -> e.key = key) (entries_of_ring t r))
+
+let views t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.views []
+  |> List.sort String.compare
+
+let keys t ~view =
+  match Hashtbl.find_opt t.views view with
+  | None -> []
+  | Some r ->
+    List.sort_uniq String.compare
+      (List.map (fun e -> e.key) (entries_of_ring t r))
+
+let total t = t.recorded
+
+let truncated t =
+  Hashtbl.fold
+    (fun _ r acc -> acc + max 0 (r.total - t.capacity))
+    t.views 0
+
+let capacity t = t.capacity
+
+(* A lineage tree for one derived row: the row at the root, one branch
+   per recorded firing (newest first), one leaf per base-delta input. *)
+let render ?(limit = 5) t ~view ~key =
+  let buf = Buffer.create 256 in
+  let es = query t ~view ~key in
+  let shown = if limit > 0 then List.filteri (fun i _ -> i < limit) es else es in
+  Buffer.add_string buf (Printf.sprintf "%s[%s]\n" view key);
+  (match es with
+  | [] -> Buffer.add_string buf "└─ (no recorded provenance)\n"
+  | _ ->
+    let n = List.length shown in
+    List.iteri
+      (fun i e ->
+        let last = i = n - 1 && List.length es <= n in
+        let head = if last then "└─" else "├─" in
+        let stem = if last then "   " else "│  " in
+        Buffer.add_string buf
+          (Printf.sprintf "%s firing %s (task %d, txn %d%s, committed %.3fs)\n"
+             head e.rule e.task_id e.txid
+             (if e.trace > 0 then
+                Printf.sprintf ", trace %d span %d" e.trace e.span
+              else "")
+             e.committed_at);
+        let m = List.length e.inputs in
+        List.iteri
+          (fun j inp ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s input %s: %s\n" stem
+                 (if j = m - 1 then "└─" else "├─")
+                 inp.src_table inp.src_desc))
+          e.inputs)
+      shown;
+    if List.length es > n then
+      Buffer.add_string buf
+        (Printf.sprintf "└─ … %d older firing(s) not shown\n"
+           (List.length es - n)));
+  Buffer.contents buf
+
+let entry_json e =
+  Json.Obj
+    [
+      ("view", Json.Str e.view);
+      ("key", Json.Str e.key);
+      ("rule", Json.Str e.rule);
+      ("task", Json.Int e.task_id);
+      ("txn", Json.Int e.txid);
+      ("trace", Json.Int e.trace);
+      ("span", Json.Int e.span);
+      ("committed_at_s", Json.Float e.committed_at);
+      ( "inputs",
+        Json.List
+          (List.map
+             (fun i ->
+               Json.Obj
+                 [
+                   ("table", Json.Str i.src_table);
+                   ("row", Json.Str i.src_desc);
+                 ])
+             e.inputs) );
+    ]
+
+let json t ~view ~key =
+  Json.Obj
+    [
+      ("view", Json.Str view);
+      ("key", Json.Str key);
+      ("lineage", Json.List (List.map entry_json (query t ~view ~key)));
+    ]

@@ -1,0 +1,50 @@
+(** Derived-row provenance store: which base deltas and rule firings
+    produced each derived value.
+
+    Opt-in and bounded — each view keeps a ring of its most recent
+    [capacity] entries (default 512); overwritten entries are counted by
+    {!truncated}.  Queryable as a lineage tree ([strip-cli explain]). *)
+
+type input = {
+  src_table : string;  (** transition (delta) table the firing was bound to *)
+  src_desc : string;  (** rendered base-delta row *)
+}
+
+type entry = {
+  view : string;
+  key : string;  (** derived row key, rendered *)
+  rule : string;  (** rule action / function name *)
+  task_id : int;
+  txid : int;
+  trace : int;  (** trace context of the firing; 0 when tracing off *)
+  span : int;
+  committed_at : float;  (** simulated seconds *)
+  inputs : input list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Per-view ring capacity, default 512.  @raise Invalid_argument if < 1. *)
+
+val record : t -> entry -> unit
+
+val query : t -> view:string -> key:string -> entry list
+(** Recorded firings behind [view[key]], newest first. *)
+
+val views : t -> string list
+val keys : t -> view:string -> string list
+
+val total : t -> int
+(** Entries ever recorded. *)
+
+val truncated : t -> int
+(** Entries lost to ring bounds, summed over views. *)
+
+val capacity : t -> int
+
+val render : ?limit:int -> t -> view:string -> key:string -> string
+(** The lineage tree as text, newest firing first, at most [limit]
+    firings (default 5; [limit <= 0] shows all). *)
+
+val json : t -> view:string -> key:string -> Json.t

@@ -1,0 +1,137 @@
+(* Staleness SLOs: turn sampled per-view staleness into objectives with
+   violation-window tracking.
+
+   An objective bounds one view's staleness ("comp_prices must be under
+   2 s behind its base data").  Every staleness sample (taken at rule
+   transaction commit) is checked; consecutive violating samples form a
+   violation window that opens at the first offending sample and closes
+   at the next compliant one (or when the run ends).  Windows, violating
+   samples, time in violation, and the worst staleness seen are tracked
+   per view, cheap enough to stay on for every sample. *)
+
+type objective = { view : string; bound_s : float }
+
+let parse s =
+  match String.rindex_opt s ':' with
+  | None ->
+    Error (Printf.sprintf "bad SLO %S (expected VIEW:BOUND_SECONDS)" s)
+  | Some i ->
+    let view = String.sub s 0 i in
+    let bound = String.sub s (i + 1) (String.length s - i - 1) in
+    if view = "" then Error (Printf.sprintf "bad SLO %S (empty view)" s)
+    else (
+      match float_of_string_opt bound with
+      | Some b when b >= 0.0 -> Ok { view; bound_s = b }
+      | _ -> Error (Printf.sprintf "bad staleness bound in SLO %S" s))
+
+type state = {
+  obj : objective;
+  mutable samples : int;
+  mutable violations : int;  (* samples over the bound *)
+  mutable windows : int;  (* violation windows, closed or open *)
+  mutable open_since : float option;  (* first offending sample's time *)
+  mutable last_violation_at : float;
+  mutable violation_s : float;  (* closed windows' spans *)
+  mutable worst_s : float;
+}
+
+type t = { states : state list }
+
+let create objectives =
+  {
+    states =
+      List.map
+        (fun obj ->
+          {
+            obj;
+            samples = 0;
+            violations = 0;
+            windows = 0;
+            open_since = None;
+            last_violation_at = 0.0;
+            violation_s = 0.0;
+            worst_s = 0.0;
+          })
+        objectives;
+  }
+
+let objectives t = List.map (fun s -> s.obj) t.states
+
+let close_window st =
+  match st.open_since with
+  | None -> ()
+  | Some from ->
+    st.violation_s <- st.violation_s +. (st.last_violation_at -. from);
+    st.open_since <- None
+
+let observe t ~view ~staleness_s ~now =
+  List.iter
+    (fun st ->
+      if st.obj.view = view then begin
+        st.samples <- st.samples + 1;
+        if staleness_s > st.worst_s then st.worst_s <- staleness_s;
+        if staleness_s > st.obj.bound_s then begin
+          st.violations <- st.violations + 1;
+          st.last_violation_at <- now;
+          if st.open_since = None then begin
+            st.open_since <- Some now;
+            st.windows <- st.windows + 1
+          end
+        end
+        else close_window st
+      end)
+    t.states
+
+let finish t = List.iter close_window t.states
+
+type view_report = {
+  r_view : string;
+  r_bound_s : float;
+  r_samples : int;
+  r_violations : int;
+  r_windows : int;
+  r_violation_s : float;  (* span of closed windows *)
+  r_worst_s : float;
+  r_met : bool;
+}
+
+let report t =
+  List.map
+    (fun st ->
+      {
+        r_view = st.obj.view;
+        r_bound_s = st.obj.bound_s;
+        r_samples = st.samples;
+        r_violations = st.violations;
+        r_windows = st.windows;
+        r_violation_s =
+          (st.violation_s
+          +.
+          match st.open_since with
+          | Some from -> st.last_violation_at -. from
+          | None -> 0.0);
+        r_worst_s = st.worst_s;
+        r_met = st.violations = 0;
+      })
+    t.states
+
+let met t = List.for_all (fun r -> r.r_met) (report t)
+
+let total_violations t =
+  List.fold_left (fun acc st -> acc + st.violations) 0 t.states
+
+let total_windows t =
+  List.fold_left (fun acc st -> acc + st.windows) 0 t.states
+
+let report_json r =
+  Json.Obj
+    [
+      ("view", Json.Str r.r_view);
+      ("bound_s", Json.Float r.r_bound_s);
+      ("samples", Json.Int r.r_samples);
+      ("violations", Json.Int r.r_violations);
+      ("windows", Json.Int r.r_windows);
+      ("violation_s", Json.Float r.r_violation_s);
+      ("worst_s", Json.Float r.r_worst_s);
+      ("met", Json.Bool r.r_met);
+    ]

@@ -1,0 +1,46 @@
+(** Staleness SLO monitor: configurable per-view staleness objectives
+    with violation-window tracking.
+
+    Feed it every staleness sample ({!observe}); consecutive violating
+    samples form a violation window opening at the first offending
+    sample and closing at the next compliant one (call {!finish} at the
+    end of a run to close a window still open).  All state is
+    deterministic under fixed-seed runs. *)
+
+type objective = { view : string; bound_s : float }
+
+val parse : string -> (objective, string) result
+(** ["VIEW:BOUND_SECONDS"], e.g. ["comp_prices:2.0"].  The last [':']
+    splits, so view names may not end in a colon-digit suffix. *)
+
+type t
+
+val create : objective list -> t
+val objectives : t -> objective list
+
+val observe : t -> view:string -> staleness_s:float -> now:float -> unit
+(** Check one staleness sample for [view] against every objective naming
+    it (other views' objectives are untouched). *)
+
+val finish : t -> unit
+(** Close any still-open violation windows. *)
+
+type view_report = {
+  r_view : string;
+  r_bound_s : float;
+  r_samples : int;
+  r_violations : int;  (** samples over the bound *)
+  r_windows : int;  (** violation windows (closed + open) *)
+  r_violation_s : float;  (** summed window spans, first→last offender *)
+  r_worst_s : float;  (** worst staleness sampled *)
+  r_met : bool;  (** no violating sample *)
+}
+
+val report : t -> view_report list
+(** One report per objective, in objective order. *)
+
+val met : t -> bool
+val total_violations : t -> int
+val total_windows : t -> int
+
+val report_json : view_report -> Json.t

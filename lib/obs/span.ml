@@ -1,0 +1,57 @@
+(* Causal trace contexts.
+
+   A context names one causal story: [trace] is the id of the root span
+   (minted when a base update enters the system) and [span] is this
+   step's own id; [parent] is the span that caused it (0 for a root).
+   Contexts ride on tasks, WAL trace notes, and replication messages, so
+   a base write on the primary, the rule firings it triggers, the WAL
+   commit, and the apply on every replica all share one [trace] id and
+   form a parent-linked tree.
+
+   Ids come from one global counter (like [Task]'s), so fixed-seed runs
+   mint identical contexts; [reset_ids] restores byte-identical
+   in-process re-runs. *)
+
+type ctx = { trace : int; span : int; parent : int }
+
+let next_id = ref 1
+
+let reset_ids () = next_id := 1
+
+let fresh () =
+  let id = !next_id in
+  incr next_id;
+  id
+
+let mint () =
+  let id = fresh () in
+  { trace = id; span = id; parent = 0 }
+
+let child ctx =
+  let id = fresh () in
+  { trace = ctx.trace; span = id; parent = ctx.span }
+
+(* A child of a span we only know by id (e.g. decoded from a WAL trace
+   note or a shipped segment's annotation). *)
+let child_of ~trace ~parent =
+  let id = fresh () in
+  { trace; span = id; parent }
+
+let args ctx =
+  [
+    ("trace", Trace.Int ctx.trace);
+    ("span", Trace.Int ctx.span);
+    ("parent", Trace.Int ctx.parent);
+  ]
+
+let of_args args =
+  let find k =
+    match List.assoc_opt k args with
+    | Some (Trace.Int i) -> Some i
+    | _ -> None
+  in
+  match (find "trace", find "span") with
+  | Some trace, Some span ->
+    let parent = Option.value ~default:0 (find "parent") in
+    Some { trace; span; parent }
+  | _ -> None

@@ -1,0 +1,36 @@
+(** Causal trace contexts for cross-node span trees.
+
+    A context is minted when a base update enters the system and derived
+    (parent-linked) at every causal hop: rule firing, unique-batch merge,
+    WAL commit, link shipping, replica apply, failover.  All spans of one
+    story share the root's [trace] id, so a merged cluster trace can be
+    reassembled into one tree.
+
+    Ids come from a global counter; call {!reset_ids} (alongside
+    [Task.reset_ids]) before a run that must be byte-identical to an
+    earlier in-process run. *)
+
+type ctx = {
+  trace : int;  (** id of the root span (the ingested base update) *)
+  span : int;  (** this step's own span id *)
+  parent : int;  (** causing span id; 0 for a root *)
+}
+
+val reset_ids : unit -> unit
+
+val mint : unit -> ctx
+(** A fresh root context ([parent = 0], [trace = span]). *)
+
+val child : ctx -> ctx
+(** A new span caused by [ctx], in the same trace. *)
+
+val child_of : trace:int -> parent:int -> ctx
+(** A child of a span known only by id — e.g. decoded from a WAL trace
+    note on a replica. *)
+
+val args : ctx -> (string * Trace.arg) list
+(** [("trace", _); ("span", _); ("parent", _)] — appended to trace-event
+    args so exported spans carry their causal links. *)
+
+val of_args : (string * Trace.arg) list -> ctx option
+(** Recover a context from event args written by {!args}. *)

@@ -125,3 +125,19 @@ let chrome_json ?pid ?process_name t =
       ("traceEvents", Json.List (chrome_events ?pid ?process_name t));
       ("displayTimeUnit", Json.Str "ms");
     ]
+
+(* Several per-node buffers as one trace file: pid i+1 for the i-th
+   node, in caller order (primary first by convention), so a cluster-wide
+   span tree renders each node as its own process. *)
+let merge_chrome_json traces =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.concat
+             (List.mapi
+                (fun i (name, t) ->
+                  chrome_events ~pid:(i + 1) ~process_name:name t)
+                traces)) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]

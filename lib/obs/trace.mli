@@ -77,3 +77,9 @@ val chrome_events : ?pid:int -> ?process_name:string -> t -> Json.t list
 val chrome_json : ?pid:int -> ?process_name:string -> t -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ms"}] — a complete Chrome
     trace file. *)
+
+val merge_chrome_json : (string * t) list -> Json.t
+(** Several per-node buffers merged into one deterministic trace file:
+    the i-th [(name, trace)] pair becomes pid [i+1] named [name] (put
+    the primary first).  Cross-node spans stay linked through the
+    [trace]/[span]/[parent] args {!Span} stamps on events. *)

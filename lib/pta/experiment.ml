@@ -66,6 +66,8 @@ type config = {
   retry : Strip_sim.Engine.retry option;
   overload : Strip_sim.Engine.overload option;
   trace : Strip_obs.Trace.t option;
+  slo : Strip_obs.Slo.t option;
+  provenance : Strip_obs.Provenance.t option;
   recovery : recovery_cfg option;
   repl : repl_cfg option;
   chaos : chaos_event list;
@@ -85,6 +87,8 @@ let default_config rule ~delay =
     retry = None;
     overload = None;
     trace = None;
+    slo = None;
+    provenance = None;
     recovery = None;
     repl = None;
     chaos = [];
@@ -152,6 +156,11 @@ type repl_metrics = {
   segments_sent : int;
   segments_dropped : int;
   bytes_shipped : int;
+  cluster_lag : Strip_obs.Histogram.summary option;
+      (* replication lag merged across every replica's histogram — a
+         cluster-level percentile row instead of primary-only *)
+  cluster_lock_wait : Strip_obs.Histogram.summary option;
+      (* lock waits merged across all primary incarnations (epochs) *)
   per_replica : replica_metrics list;
 }
 
@@ -192,6 +201,14 @@ type metrics = {
   registry : Strip_obs.Metrics.row list;
   recovery : recovery_metrics option;
   repl : repl_metrics option;
+  slo : Strip_obs.Slo.view_report list;
+      (* one report per objective; empty when no SLO monitor is attached *)
+  trace_spans : (string * int * int) list;
+      (* (node, events buffered, events dropped) per traced node; empty
+         when tracing is off *)
+  cluster_traces : (string * Strip_obs.Trace.t) list;
+      (* per-node span buffers for a merged cluster trace export, primary
+         first; empty unless tracing a replicated run *)
 }
 
 let label_of = function
@@ -220,9 +237,13 @@ let install_rules cfg db h =
   | Option_view v -> Option_rules.install db h v ~delay:cfg.delay
 
 let mk_db ?now ?durable ?fault cfg =
+  (* The trace buffer, SLO monitor and provenance store are caller-owned
+     and shared across every instance a crashy run burns through, so one
+     causal story spans restarts and failovers. *)
   Strip_db.create ~cost:cfg.cost ?now ?durable ?fault ?retry:cfg.retry
     ?overload:cfg.overload ~servers:cfg.servers
-    ~lock_timeout_s:cfg.lock_timeout_s ?trace:cfg.trace ()
+    ~lock_timeout_s:cfg.lock_timeout_s ?trace:cfg.trace ?slo:cfg.slo
+    ?provenance:cfg.provenance ()
 
 (* Counters accumulated from the instances a crashy run burns through —
    the final instance's {!Strip_sim.Stats} only covers the last epoch.
@@ -242,6 +263,8 @@ type acc = {
   mutable a_lock_timeouts : int;
   mutable a_busy_update_us : float;
   mutable a_busy_recompute_us : float;
+  a_lock_h : Strip_obs.Histogram.t;
+      (* lock waits of dead instances, merged for the cluster-wide row *)
 }
 
 let zero_acc () =
@@ -260,6 +283,7 @@ let zero_acc () =
     a_lock_timeouts = 0;
     a_busy_update_us = 0.0;
     a_busy_recompute_us = 0.0;
+    a_lock_h = Strip_obs.Histogram.create ();
   }
 
 let accumulate acc db =
@@ -287,7 +311,9 @@ let accumulate acc db =
   acc.a_busy_update_us <-
     acc.a_busy_update_us +. Strip_sim.Stats.busy_us_of st Task.Update;
   acc.a_busy_recompute_us <-
-    acc.a_busy_recompute_us +. Strip_sim.Stats.busy_us_of st Task.Recompute
+    acc.a_busy_recompute_us +. Strip_sim.Stats.busy_us_of st Task.Recompute;
+  Strip_obs.Histogram.merge_into ~dst:acc.a_lock_h
+    (Strip_sim.Stats.lock_wait_hist st)
 
 (* Running totals of recovery work across all crashes of one run. *)
 type rec_totals = {
@@ -654,6 +680,16 @@ let run (cfg : config) =
       t_recovery_s = 0.0;
     }
   in
+  (* Per-replica span buffers are owned here rather than by the cluster so
+     they survive failover re-seeding; they merge with the primary buffer
+     into one cluster-wide trace export. *)
+  let replica_traces =
+    match (cfg.trace, cfg.repl) with
+    | Some _, Some r when r.replicas > 0 ->
+      List.init r.replicas (fun i ->
+          (Printf.sprintf "replica-%d" i, Strip_obs.Trace.create ()))
+    | _ -> []
+  in
   let mk_cluster db =
     match cfg.repl with
     | None -> None
@@ -681,8 +717,10 @@ let run (cfg : config) =
         }
       in
       let c =
-        Strip_repl.Cluster.create ccfg ~primary:db ~read_table ~read_key_col
-          ~read_keys ~read_until:cfg.feed.Feed.duration
+        Strip_repl.Cluster.create
+          ~trace_for:(fun i -> Option.map snd (List.nth_opt replica_traces i))
+          ccfg ~primary:db ~read_table ~read_key_col ~read_keys
+          ~read_until:cfg.feed.Feed.duration
       in
       (* Drop bursts live on the links, which survive failovers. *)
       List.iter
@@ -751,6 +789,9 @@ let run (cfg : config) =
       let final = if repairs = 0 then first else Auditor.audit ~eps ~views db in
       Some (first, final, repairs)
   in
+  (* Close any violation window still open at end of run (audit repairs
+     above were the last possible staleness samples). *)
+  Option.iter Strip_obs.Slo.finish cfg.slo;
   let stats = Strip_db.stats db in
   let duration_s = cfg.feed.Feed.duration in
   let verified, max_abs_error =
@@ -855,6 +896,14 @@ let run (cfg : config) =
           segments_sent = C.segments_sent c;
           segments_dropped = C.segments_dropped c;
           bytes_shipped = C.bytes_shipped c;
+          cluster_lag =
+            hist_summary
+              (Strip_obs.Histogram.merge
+                 (List.init (C.n_replicas c) (fun i -> R.lag (C.replica c i))));
+          cluster_lock_wait =
+            hist_summary
+              (Strip_obs.Histogram.merge
+                 [ acc.a_lock_h; Strip_sim.Stats.lock_wait_hist stats ]);
           per_replica =
             List.init (C.n_replicas c) (fun i ->
                 let r = C.replica c i in
@@ -931,4 +980,18 @@ let run (cfg : config) =
     registry = Strip_obs.Metrics.snapshot (Strip_db.metrics db);
     recovery;
     repl;
+    slo = (match cfg.slo with None -> [] | Some s -> Strip_obs.Slo.report s);
+    trace_spans =
+      (match cfg.trace with
+      | None -> []
+      | Some tr ->
+        ("primary", Strip_obs.Trace.length tr, Strip_obs.Trace.dropped tr)
+        :: List.map
+             (fun (name, t) ->
+               (name, Strip_obs.Trace.length t, Strip_obs.Trace.dropped t))
+             replica_traces);
+    cluster_traces =
+      (match cfg.trace with
+      | Some tr when replica_traces <> [] -> ("primary", tr) :: replica_traces
+      | _ -> []);
   }

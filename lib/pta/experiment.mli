@@ -82,7 +82,16 @@ type config = {
   overload : Strip_sim.Engine.overload option;
       (** shed delayed rule tasks past the watermark *)
   trace : Strip_obs.Trace.t option;
-      (** record task/transaction lifecycle events into this ring buffer *)
+      (** record task/transaction lifecycle events into this ring buffer;
+          with a replicated run, per-replica buffers are created too and
+          returned in [cluster_traces] for a merged cluster export *)
+  slo : Strip_obs.Slo.t option;
+      (** staleness SLO monitor; observed at every maintenance commit,
+          reported per view in [slo].  [None] reports nothing. *)
+  provenance : Strip_obs.Provenance.t option;
+      (** derived-row provenance store; each maintenance commit records
+          the base deltas and rule firing behind the derived values it
+          wrote.  [None] records nothing. *)
   recovery : recovery_cfg option;
       (** enable the durability layer (WAL + checkpoints), drive the run
           through the crash-restart loop, and audit/repair derived data at
@@ -183,6 +192,14 @@ type repl_metrics = {
   segments_sent : int;
   segments_dropped : int;
   bytes_shipped : int;
+  cluster_lag : Strip_obs.Histogram.summary option;
+      (** replication lag merged across {e all} replicas — the cluster-wide
+          distribution, not any single node's ([None] when no segment ever
+          recorded lag) *)
+  cluster_lock_wait : Strip_obs.Histogram.summary option;
+      (** lock-wait distribution merged across every instance the run
+          burned through (crash epochs included), not just the final
+          primary's ([None] when no task ever waited) *)
   per_replica : replica_metrics list;
 }
 
@@ -242,6 +259,16 @@ type metrics = {
   repl : repl_metrics option;
       (** present iff the run had a [repl] config; cluster-owned counters
           survive failover epochs. *)
+  slo : Strip_obs.Slo.view_report list;
+      (** per-view staleness SLO verdicts; empty unless the run had an
+          [slo] config *)
+  trace_spans : (string * int * int) list;
+      (** [(node, buffered, dropped)] per traced span buffer, primary
+          first; empty unless tracing was on *)
+  cluster_traces : (string * Strip_obs.Trace.t) list;
+      (** per-node span buffers for a merged cluster export
+          ({!Strip_obs.Trace.merge_chrome_json}), primary first; empty
+          unless the run was both traced and replicated *)
 }
 
 val run : config -> metrics

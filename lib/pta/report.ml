@@ -85,6 +85,21 @@ let print_repl (m : Experiment.metrics) =
            r.n_partitions r.partition_drops r.fenced_messages
        else "")
       r.epoch r.promotion_lost_bytes r.fenced_bytes;
+    (* Cluster-wide distributions, merged across nodes / crash epochs —
+       the percentile rows a primary-only report would understate. *)
+    (match r.cluster_lag with
+    | None -> ()
+    | Some (s : Strip_obs.Histogram.summary) ->
+      Printf.printf
+        "  cluster lag: n=%d p50 %.1fms p99 %.1fms max %.1fms (all replicas)\n%!"
+        s.n (1e3 *. s.p50) (1e3 *. s.p99) (1e3 *. s.max));
+    (match r.cluster_lock_wait with
+    | None -> ()
+    | Some (s : Strip_obs.Histogram.summary) ->
+      Printf.printf
+        "  cluster lock waits: n=%d p50 %.2fms p99 %.2fms max %.2fms (all \
+         epochs)\n%!"
+        s.n (1e3 *. s.p50) (1e3 *. s.p99) (1e3 *. s.max));
     List.iter
       (fun (pr : Experiment.replica_metrics) ->
         match pr.r_lag with
@@ -113,6 +128,24 @@ let print_repl (m : Experiment.metrics) =
           Printf.sprintf "p50 %.2fms p99 %.2fms max %.2fms;" (1e3 *. s.p50)
             (1e3 *. s.p99) (1e3 *. s.max))
         r.read_throughput_per_s
+
+let print_slo (m : Experiment.metrics) =
+  List.iter
+    (fun (r : Strip_obs.Slo.view_report) ->
+      Printf.printf
+        "  slo %-16s bound=%.3fs %s: %d/%d samples over bound in %d \
+         window(s) (%.3fs violating, worst %.3fs)\n%!"
+        r.r_view r.r_bound_s
+        (if r.r_met then "met" else "VIOLATED")
+        r.r_violations r.r_samples r.r_windows r.r_violation_s r.r_worst_s)
+    m.slo
+
+let print_trace (m : Experiment.metrics) =
+  List.iter
+    (fun (node, buffered, dropped) ->
+      Printf.printf "  trace %-16s %d span event(s) buffered, %d dropped\n%!"
+        node buffered dropped)
+    m.trace_spans
 
 let print_staleness (m : Experiment.metrics) =
   List.iter
@@ -199,6 +232,8 @@ let repl_json (r : Experiment.repl_metrics) =
       ("segments_sent", Json.Int r.segments_sent);
       ("segments_dropped", Json.Int r.segments_dropped);
       ("bytes_shipped", Json.Int r.bytes_shipped);
+      ("cluster_lag_s", opt_summary r.cluster_lag);
+      ("cluster_lock_wait_s", opt_summary r.cluster_lock_wait);
       ( "replicas",
         Json.List
           (List.map
@@ -230,6 +265,31 @@ let metrics_json (m : Experiment.metrics) =
     match m.repl with
     | None -> []
     | Some r -> [ ("replication", repl_json r) ]
+  in
+  (* Likewise "slo" and "trace" appear only when those opt-in surfaces
+     were armed. *)
+  let slo_field =
+    match m.slo with
+    | [] -> []
+    | rs -> [ ("slo", Json.List (List.map Strip_obs.Slo.report_json rs)) ]
+  in
+  let trace_field =
+    match m.trace_spans with
+    | [] -> []
+    | spans ->
+      [
+        ( "trace",
+          Json.List
+            (List.map
+               (fun (node, buffered, dropped) ->
+                 Json.Obj
+                   [
+                     ("node", Json.Str node);
+                     ("buffered", Json.Int buffered);
+                     ("dropped", Json.Int dropped);
+                   ])
+               spans) );
+      ]
   in
   Json.Obj
     ([
@@ -275,7 +335,7 @@ let metrics_json (m : Experiment.metrics) =
         Json.Obj (List.map (fun (t, s) -> (t, summary_to_json s)) m.staleness)
       );
      ]
-    @ recovery_field @ repl_field)
+    @ recovery_field @ repl_field @ slo_field @ trace_field)
 
 let print_metrics_json ms =
   print_string

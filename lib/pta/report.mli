@@ -32,6 +32,15 @@ val print_repl : Experiment.metrics -> unit
     and throughput.  Silent for runs without a [repl] config, so
     historical reports are unchanged. *)
 
+val print_slo : Experiment.metrics -> unit
+(** One indented verdict line per staleness SLO objective (samples over
+    bound, violation windows, violating seconds, worst sample); silent
+    for runs without an [slo] config. *)
+
+val print_trace : Experiment.metrics -> unit
+(** One indented line per traced span buffer (node, events buffered,
+    events dropped by the ring); silent when tracing was off. *)
+
 val print_staleness : Experiment.metrics -> unit
 (** One indented line per derived table: count, mean, p50/p90/p99 and max
     staleness in seconds (paper §7); silent when no maintenance

@@ -2,6 +2,7 @@ open Strip_relational
 open Strip_txn
 open Strip_sim
 open Strip_core
+module Trace = Strip_obs.Trace
 
 type read_policy = Any | Bounded_staleness of float | Primary_only
 
@@ -66,7 +67,8 @@ let primary_durable t =
   | Some d -> d
   | None -> invalid_arg "Cluster: primary has no durability layer"
 
-let create cfg ~primary ~read_table ~read_key_col ~read_keys ~read_until =
+let create ?(trace_for = fun _ -> None) cfg ~primary ~read_table ~read_key_col
+    ~read_keys ~read_until =
   if cfg.n_replicas < 0 then invalid_arg "Cluster.create: n_replicas < 0";
   let replicas =
     if cfg.n_replicas = 0 then [||]
@@ -84,7 +86,7 @@ let create cfg ~primary ~read_table ~read_key_col ~read_keys ~read_until =
       in
       let lsn = Durable.snapshot_lsn d and time = Durable.snapshot_time d in
       Array.init cfg.n_replicas (fun i ->
-          Replica.bootstrap ~id:i ~image ~lsn ~time)
+          Replica.bootstrap ?trace:(trace_for i) ~id:i ~image ~lsn ~time ())
     end
   in
   let snap_lsn =
@@ -155,6 +157,23 @@ let ship_tick_from t ~db ~cursor ~epoch ~now =
     | Some d -> d
     | None -> invalid_arg "Cluster: shipping source has no durability layer"
   in
+  let tr = Strip_db.trace db in
+  (* Epoch-stamped ship events land in the shipping node's own buffer, so
+     a merged cluster trace shows which term each segment left under. *)
+  let trace_ship ~replica ~from_lsn ~bytes name =
+    match tr with
+    | None -> ()
+    | Some tr ->
+      Trace.instant tr ~ts:now ~tid:Trace.tid_background
+        ~args:
+          [
+            ("replica", Trace.Int replica);
+            ("from_lsn", Trace.Int from_lsn);
+            ("bytes", Trace.Int bytes);
+            ("epoch", Trace.Int epoch);
+          ]
+        name
+  in
   let pwal = Durable.wal d in
   let base = Wal.base_lsn pwal and dend = Wal.durable_end pwal in
   Array.iteri
@@ -174,6 +193,8 @@ let ship_tick_from t ~db ~cursor ~epoch ~now =
                  lsn = Durable.snapshot_lsn d;
                  time = Durable.snapshot_time d;
                });
+          trace_ship ~replica:i ~from_lsn:(Durable.snapshot_lsn d)
+            ~bytes:(String.length image) "ship_bootstrap";
           cursor.(i) <- Durable.snapshot_lsn d
         | None -> ()
       end
@@ -187,10 +208,13 @@ let ship_tick_from t ~db ~cursor ~epoch ~now =
           Link.send ~epoch t.links.(i) ~now
             (Link.Segment
                { from_lsn = from; bytes = Wal.durable_slice pwal ~from_lsn:from });
+          trace_ship ~replica:i ~from_lsn:from ~bytes:(dend - from)
+            "ship_segment";
           cursor.(i) <- dend
         end
         else
-          (* Nothing new: a heartbeat advances the freshness horizon. *)
+          (* Nothing new: a heartbeat advances the freshness horizon
+             (no trace event — heartbeats would flood the ring). *)
           Link.send ~epoch t.links.(i) ~now
             (Link.Segment { from_lsn = dend; bytes = "" })
       end)
@@ -323,6 +347,20 @@ let open_epoch (t : t) ~winner_id =
   t.history <- (t.epoch, winner_id) :: t.history;
   Array.iter (fun r -> Replica.note_epoch r t.epoch) t.replicas
 
+let trace_promote t ~now ~(p : promotion) name =
+  match Strip_db.trace t.primary with
+  | None -> ()
+  | Some tr ->
+    Trace.instant tr ~ts:now ~tid:Trace.tid_engine
+      ~args:
+        [
+          ("promoted", Trace.Int p.promoted);
+          ("promoted_lsn", Trace.Int p.promoted_lsn);
+          ("lost_bytes", Trace.Int p.lost_bytes);
+          ("epoch", Trace.Int p.epoch);
+        ]
+      name
+
 let promote t ~now ~mk_db ~reinstall =
   if Array.length t.replicas = 0 then begin
     (* Graceful degradation: with no replica to elect, fall back to
@@ -334,7 +372,9 @@ let promote t ~now ~mk_db ~reinstall =
     let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
     t.primary <- ndb;
     open_epoch t ~winner_id:(-1);
-    (ndb, rs, { promoted = -1; promoted_lsn; lost_bytes = 0; epoch = t.epoch })
+    let p = { promoted = -1; promoted_lsn; lost_bytes = 0; epoch = t.epoch } in
+    trace_promote t ~now ~p "promote";
+    (ndb, rs, p)
   end
   else begin
     (* Everything already delivered counts; bytes on the wire die with the
@@ -351,14 +391,16 @@ let promote t ~now ~mk_db ~reinstall =
     t.failovers <- t.failovers + 1;
     t.lost <- t.lost + lost_bytes;
     open_epoch t ~winner_id:(Replica.id winner);
-    ( ndb,
-      rs,
+    let p =
       {
         promoted = Replica.id winner;
         promoted_lsn;
         lost_bytes;
         epoch = t.epoch;
-      } )
+      }
+    in
+    trace_promote t ~now ~p "promote";
+    (ndb, rs, p)
   end
 
 let begin_partition t ~now ~heal_at =
@@ -387,14 +429,16 @@ let promote_isolated t ~now ~mk_db ~reinstall =
   t.failovers <- t.failovers + 1;
   open_epoch t ~winner_id:(Replica.id winner);
   t.isolated <- Some (old_db, old_epoch, promoted_lsn);
-  ( ndb,
-    rs,
+  let p =
     {
       promoted = Replica.id winner;
       promoted_lsn;
       lost_bytes = 0;
       epoch = t.epoch;
-    } )
+    }
+  in
+  trace_promote t ~now ~p "promote_isolated";
+  (ndb, rs, p)
 
 let heal t ~now =
   match t.isolated with
@@ -418,6 +462,17 @@ let heal t ~now =
         t.replicas;
       let fenced = max 0 (Wal.durable_end owal - promoted_lsn) in
       t.fenced <- t.fenced + fenced;
+      (match Strip_db.trace t.primary with
+      | None -> ()
+      | Some tr ->
+        Trace.instant tr ~ts:now ~tid:Trace.tid_engine
+          ~args:
+            [
+              ("old_epoch", Trace.Int old_epoch);
+              ("epoch", Trace.Int t.epoch);
+              ("fenced_bytes", Trace.Int fenced);
+            ]
+          "heal");
       fenced)
 
 let resume t ~now ~ship_until =

@@ -57,6 +57,7 @@ val default_config : config
 type t
 
 val create :
+  ?trace_for:(int -> Strip_obs.Trace.t option) ->
   config ->
   primary:Strip_db.t ->
   read_table:string ->
@@ -65,7 +66,12 @@ val create :
   read_until:float ->
   t
 (** Bootstrap [n_replicas] replicas from the primary's installed
-    checkpoint.  @raise Invalid_argument if [n_replicas > 0] and the
+    checkpoint.  [trace_for i] supplies replica [i]'s span buffer (default
+    none): the caller owns the buffers so they survive re-seeding and can
+    be merged into one cluster trace with
+    {!Strip_obs.Trace.merge_chrome_json}.  Ship, promote and heal events
+    land in the shipping / promoted node's own buffer, epoch-stamped.
+    @raise Invalid_argument if [n_replicas > 0] and the
     primary has no durability layer or no checkpoint installed. *)
 
 val schedule_shipping : t -> until:float -> unit

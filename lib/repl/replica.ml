@@ -1,6 +1,8 @@
 open Strip_relational
 open Strip_txn
 open Strip_core
+module Trace = Strip_obs.Trace
+module Span = Strip_obs.Span
 
 type t = {
   rid : int;
@@ -22,6 +24,10 @@ type t = {
   mutable ops : int;
   mutable busy : float;
   mutable reads : int;
+  trace : Trace.t option;  (* this node's span buffer, when tracing *)
+  (* primary trace contexts by txid, harvested from Trace_note records in
+     the shipped log; consumed when the matching Commit is applied *)
+  txn_ctx : (int, int * int) Hashtbl.t;
 }
 
 let restore_image ~image ~lsn ~time =
@@ -34,7 +40,7 @@ let restore_image ~image ~lsn ~time =
   Durable.install_checkpoint dur ~encoded:image ~lsn ~time;
   (cat, wal, dur, cp.Checkpoint.taken_at)
 
-let bootstrap ~id ~image ~lsn ~time =
+let bootstrap ?trace ~id ~image ~lsn ~time () =
   let cat, wal, dur, taken_at = restore_image ~image ~lsn ~time in
   {
     rid = id;
@@ -56,6 +62,8 @@ let bootstrap ~id ~image ~lsn ~time =
     ops = 0;
     busy = 0.0;
     reads = 0;
+    trace;
+    txn_ctx = Hashtbl.create 16;
   }
 
 let rebootstrap t ~image ~lsn ~time =
@@ -67,18 +75,48 @@ let rebootstrap t ~image ~lsn ~time =
   t.applied <- lsn;
   t.horizon_t <- max t.horizon_t taken_at;
   t.pending <- [];
+  Hashtbl.reset t.txn_ctx;
   t.bootstraps <- t.bootstraps + 1
 
-(* Decode and apply everything newly grafted onto the local log copy. *)
-let apply_tail t =
+(* Decode and apply everything newly grafted onto the local log copy.
+   [at] is the apply wall-time (simulated) stamped on trace events. *)
+let apply_tail t ~at =
   let rd = Wal.read_from t.wal ~lsn:t.applied in
   List.iter
     (fun (_lsn, record) ->
       match record with
-      | Wal.Commit { ops; _ } ->
+      | Wal.Commit { txid; ops; _ } ->
         t.commits <- t.commits + 1;
         t.ops <- t.ops + List.length ops;
-        Redo.apply_commit t.redo ops
+        Redo.apply_commit t.redo ops;
+        (match t.trace with
+        | None -> ()
+        | Some tr ->
+          (* The apply span is a child of the primary's commit span when
+             its Trace_note preceded this Commit in the shipped log; the
+             epoch tag shows which primary term shipped it. *)
+          let link_args =
+            match Hashtbl.find_opt t.txn_ctx txid with
+            | None -> []
+            | Some (trace, parent) ->
+              Hashtbl.remove t.txn_ctx txid;
+              Span.args (Span.child_of ~trace ~parent)
+          in
+          Trace.instant tr ~ts:at ~tid:Trace.tid_engine
+            ~args:
+              ([
+                 ("replica", Trace.Int t.rid);
+                 ("txid", Trace.Int txid);
+                 ("ops", Trace.Int (List.length ops));
+                 ("epoch", Trace.Int t.epoch);
+               ]
+              @ link_args)
+            "apply")
+      | Wal.Trace_note { subject = Wal.For_txn txid; trace; span } ->
+        if t.trace <> None then Hashtbl.replace t.txn_ctx txid (trace, span)
+      | Wal.Trace_note { subject = Wal.For_uq _; _ } ->
+        (* queued-batch contexts matter to crash recovery at promotion *)
+        ()
       | Wal.Uq_enqueue _ | Wal.Uq_merge _ | Wal.Uq_release _
       | Wal.Checkpoint_mark _ ->
         (* Queue transitions matter only at promotion, when Recovery
@@ -89,7 +127,7 @@ let apply_tail t =
 
 let ingest t bytes ~horizon =
   Wal.install_bytes t.wal bytes;
-  apply_tail t;
+  apply_tail t ~at:horizon;
   t.horizon_t <- max t.horizon_t horizon
 
 let rec receive t (msg : Link.message) =
@@ -97,7 +135,20 @@ let rec receive t (msg : Link.message) =
      replica has seen comes from a deposed primary — drop it outright so a
      partitioned-but-alive old primary can never rewrite a promoted
      timeline.  Higher terms are adopted on sight. *)
-  if msg.Link.epoch < t.epoch then t.fenced <- t.fenced + 1
+  if msg.Link.epoch < t.epoch then begin
+    t.fenced <- t.fenced + 1;
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+      Trace.instant tr ~ts:msg.Link.arrives_at ~tid:Trace.tid_engine
+        ~args:
+          [
+            ("replica", Trace.Int t.rid);
+            ("msg_epoch", Trace.Int msg.Link.epoch);
+            ("epoch", Trace.Int t.epoch);
+          ]
+        "fence"
+  end
   else begin
     if msg.Link.epoch > t.epoch then t.epoch <- msg.Link.epoch;
     receive_unfenced t msg
@@ -128,9 +179,11 @@ and receive_unfenced t (msg : Link.message) =
     end
     else begin
       let skip = t.applied - from_lsn in
-      ingest t
-        (String.sub bytes skip (String.length bytes - skip))
-        ~horizon:msg.Link.sent_at;
+      Wal.install_bytes t.wal
+        (String.sub bytes skip (String.length bytes - skip));
+      (* applies happen at arrival, but freshness only reaches send time *)
+      apply_tail t ~at:msg.Link.arrives_at;
+      t.horizon_t <- max t.horizon_t msg.Link.sent_at;
       t.segments <- t.segments + 1;
       Strip_obs.Histogram.add t.lag_h (msg.Link.arrives_at -. msg.Link.sent_at);
       retry_pending t

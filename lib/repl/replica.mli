@@ -20,9 +20,23 @@ open Strip_relational
 
 type t
 
-val bootstrap : id:int -> image:string -> lsn:int -> time:float -> t
+val bootstrap :
+  ?trace:Strip_obs.Trace.t ->
+  id:int ->
+  image:string ->
+  lsn:int ->
+  time:float ->
+  unit ->
+  t
 (** Restore from checkpoint [image] consistent up to [lsn], captured at
-    simulated [time].  Ticks ["repl_bootstrap_row"] per restored row. *)
+    simulated [time].  Ticks ["repl_bootstrap_row"] per restored row.
+
+    [trace] is this node's span buffer: each applied [Commit] emits an
+    epoch-tagged [apply] event, parent-linked (via {!Strip_obs.Span})
+    under the primary's commit span when the shipped log carries the
+    matching {!Strip_txn.Wal.Trace_note}; fenced messages emit [fence]
+    events.  The buffer survives {!rebootstrap} — it describes the node,
+    not one incarnation of its state. *)
 
 val rebootstrap : t -> image:string -> lsn:int -> time:float -> unit
 (** Throw away this replica's state and restore from a newer image —

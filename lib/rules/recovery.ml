@@ -83,6 +83,8 @@ let recover db ~reinstall =
   let redo = Redo.create cat in
   let n_commits = ref 0 and released = ref 0 in
   let queue = QT.create 64 in
+  (* trace contexts of queued batches, rebuilt from Trace_note riders *)
+  let ctxs = QT.create 16 in
   let order = ref [] in
   let enqueue key entry =
     if not (QT.mem queue key) then order := key :: !order;
@@ -115,7 +117,13 @@ let recover db ~reinstall =
             (Printf.sprintf "Recovery: merge into unknown queue entry %s" func))
       | Wal.Uq_release { func; key } ->
         incr released;
-        QT.remove queue (func, key)
+        QT.remove queue (func, key);
+        QT.remove ctxs (func, key)
+      | Wal.Trace_note { subject = Wal.For_uq { func; key }; trace; span } ->
+        QT.replace ctxs (func, key) (trace, span)
+      | Wal.Trace_note { subject = Wal.For_txn _; _ } ->
+        (* commit annotations matter to replicas, not to redo *)
+        ()
       | Wal.Checkpoint_mark _ -> ())
     rd.Wal.records;
   (* 5. Resubmit the surviving queue in original enqueue order.  The
@@ -134,7 +142,16 @@ let recover db ~reinstall =
         requeued_rows :=
           !requeued_rows
           + List.fold_left (fun a (_, rs) -> a + List.length rs) 0 e.q_bound;
-        Rule_manager.resubmit_recovered mgr ~func ~key
+        (* Reattach the batch's pre-crash trace context as the parent of a
+           fresh span: the resubmitted task is a new scheduling life, but
+           causally it continues the original enqueue. *)
+        let ctx =
+          Option.map
+            (fun (trace, span) ->
+              Strip_obs.Span.child_of ~trace ~parent:span)
+            (QT.find_opt ctxs k)
+        in
+        Rule_manager.resubmit_recovered mgr ~ctx ~func ~key
           ~release_time:e.q_release ~created_at:e.q_created ~bound:e.q_bound)
     (List.rev !order);
   (* 6. A fresh checkpoint makes the recovered state the new durable

@@ -1,6 +1,8 @@
 open Strip_relational
 open Strip_txn
 module Trace = Strip_obs.Trace
+module Span = Strip_obs.Span
+module Provenance = Strip_obs.Provenance
 
 type action_ctx = {
   txn : Transaction.t;
@@ -38,11 +40,16 @@ type t = {
   mutable created : int;
   mutable merges : int;
   trace : Trace.t option;
+  prov : Provenance.t option;
+  (* trace context of the transaction currently committing through this
+     manager — set from the running task so [fire] can parent-link the
+     rule tasks it creates and [commit_txn] can annotate the WAL *)
+  mutable cur_ctx : Span.ctx option;
   mutable on_commit :
     (task:Task.t -> tables:string list -> now:float -> unit) option;
 }
 
-let create ~cat ~locks ~clock ?fault ?durable ?trace () =
+let create ~cat ~locks ~clock ?fault ?durable ?trace ?provenance () =
   {
     cat;
     locks;
@@ -58,10 +65,17 @@ let create ~cat ~locks ~clock ?fault ?durable ?trace () =
     created = 0;
     merges = 0;
     trace;
+    prov = provenance;
+    cur_ctx = None;
     on_commit = None;
   }
 
 let set_commit_hook t f = t.on_commit <- Some f
+
+let set_current_ctx t ctx = t.cur_ctx <- ctx
+
+let ctx_args (task : Task.t) =
+  match task.Task.ctx with None -> [] | Some c -> Span.args c
 
 let fault t = t.fault
 
@@ -255,6 +269,75 @@ let drop_rule t name =
 let rules t = List.map (fun c -> c.rule) t.all_rules
 
 (* ------------------------------------------------------------------ *)
+(* Derived-row provenance.  At each rule-action commit, every written
+   derived row (keyed by its leading column) gets an entry linking it to
+   the firing — the task, transaction, trace context, and the bound-table
+   base deltas that drove it.  Inputs are capped per bound table so one
+   huge batch cannot bloat an entry; the ring itself bounds history. *)
+
+let max_prov_inputs = 8
+
+let render_row row =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string row)) ^ ")"
+
+let prov_inputs (task : Task.t) =
+  List.concat_map
+    (fun (name, tmp) ->
+      let rows = Temp_table.to_rows tmp in
+      let n = List.length rows in
+      let shown = List.filteri (fun i _ -> i < max_prov_inputs) rows in
+      List.map
+        (fun row -> { Provenance.src_table = name; src_desc = render_row row })
+        shown
+      @
+      if n > max_prov_inputs then
+        [
+          {
+            Provenance.src_table = name;
+            src_desc =
+              Printf.sprintf "... %d more row(s)" (n - max_prov_inputs);
+          };
+        ]
+      else [])
+    task.Task.bound
+
+let record_provenance p ~(task : Task.t) ~txid ~now ~ops =
+  let trace, span =
+    match task.Task.ctx with
+    | None -> (0, 0)
+    | Some c -> (c.Span.trace, c.Span.span)
+  in
+  let inputs = prov_inputs task in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let view = Wal.op_table op in
+      let key =
+        match op with
+        | Wal.Insert { values; _ } | Wal.Delete { values; _ } ->
+          if Array.length values > 0 then Value.to_string values.(0) else ""
+        | Wal.Update { new_values; _ } ->
+          if Array.length new_values > 0 then Value.to_string new_values.(0)
+          else ""
+      in
+      if not (Hashtbl.mem seen (view, key)) then begin
+        Hashtbl.add seen (view, key) ();
+        Provenance.record p
+          {
+            Provenance.view;
+            key;
+            rule = task.Task.func_name;
+            task_id = task.Task.task_id;
+            txid;
+            trace;
+            span;
+            committed_at = now;
+            inputs;
+          }
+      end)
+    ops
+
+(* ------------------------------------------------------------------ *)
 (* Action execution.                                                    *)
 
 let rec run_action t task =
@@ -266,6 +349,9 @@ let rec run_action t task =
     (match task.Task.unique_key with
     | Some key -> Unique.remove t.reg ~func ~key
     | None -> ());
+    (* The action's trace context is current while it runs: cascade
+       firings parent under it, and its commit note carries its span. *)
+    t.cur_ctx <- task.Task.ctx;
     let txn =
       Transaction.begin_ ~cat:t.cat ~locks:t.locks ~clock:t.clock
         ~env:task.Task.bound ()
@@ -285,10 +371,19 @@ let rec run_action t task =
      with e ->
        if Transaction.status txn = Transaction.Active then
          Transaction.abort txn;
+       t.cur_ctx <- None;
        raise e);
     if Transaction.status txn = Transaction.Active then begin
       (* the written-table set, captured before cleanup clears the log *)
       let tables = Tlog.tables_touched (Transaction.log txn) in
+      (* Redo images for provenance, captured likewise (the commit clears
+         the transaction log). *)
+      let prov_ops =
+        match t.prov with
+        | None -> []
+        | Some _ -> Wal.ops_of_tlog (Transaction.log txn)
+      in
+      let txid = Transaction.txid txn in
       (* A committing unique transaction durably releases its queue slot. *)
       let release =
         match task.Task.unique_key with
@@ -296,22 +391,28 @@ let rec run_action t task =
         | None -> None
       in
       commit_txn ?release t txn;
+      t.cur_ctx <- None;
       let now = Clock.now t.clock in
       (match t.trace with
       | None -> ()
       | Some tr ->
         Trace.instant tr ~ts:now ~tid:Trace.tid_recompute
           ~args:
-            [
-              ("task", Trace.Int task.Task.task_id);
-              ("func", Trace.Str func);
-              ("tables", Trace.Str (String.concat "," tables));
-            ]
+            ([
+               ("task", Trace.Int task.Task.task_id);
+               ("func", Trace.Str func);
+               ("tables", Trace.Str (String.concat "," tables));
+             ]
+            @ ctx_args task)
           "commit");
+      (match t.prov with
+      | None -> ()
+      | Some p -> record_provenance p ~task ~txid ~now ~ops:prov_ops);
       match t.on_commit with
       | Some f -> f ~task ~tables ~now
       | None -> ()
     end
+    else t.cur_ctx <- None
 
 (* ------------------------------------------------------------------ *)
 (* Firing: bind results, partition, merge-or-create tasks.              *)
@@ -340,15 +441,28 @@ and fire t compiled (named_results : (string * Query.result) list) =
       (match t.trace with
       | None -> ()
       | Some tr ->
+        (* The merge event carries the queued task's context plus the
+           incoming firing's span, so the merged trace shows both causal
+           parents of the batch. *)
+        let from_args =
+          match t.cur_ctx with
+          | None -> []
+          | Some c ->
+            [
+              ("from_trace", Trace.Int c.Span.trace);
+              ("from_span", Trace.Int c.Span.span);
+            ]
+        in
         Trace.instant tr ~ts:now ~tid:Trace.tid_recompute
           ~args:
-            [
-              ("task", Trace.Int queued.Task.task_id);
-              ("func", Trace.Str rule.Rule_ast.func);
-              ( "key",
-                Trace.Str
-                  (String.concat "," (List.map Value.to_string key)) );
-            ]
+            ([
+               ("task", Trace.Int queued.Task.task_id);
+               ("func", Trace.Str rule.Rule_ast.func);
+               ( "key",
+                 Trace.Str
+                   (String.concat "," (List.map Value.to_string key)) );
+             ]
+            @ ctx_args queued @ from_args)
           "merge");
       let fresh = bind_all named in
       if t.dur <> None then
@@ -368,7 +482,9 @@ and fire t compiled (named_results : (string * Query.result) list) =
     | None ->
       t.created <- t.created + 1;
       let bound = bind_all named in
-      if t.dur <> None then
+      (* The rule task is a child span of the transaction that fired it. *)
+      let ctx = Option.map Span.child t.cur_ctx in
+      if t.dur <> None then begin
         log_uq t
           (Wal.Uq_enqueue
              {
@@ -378,9 +494,22 @@ and fire t compiled (named_results : (string * Query.result) list) =
                created_at = now;
                bound = bound_rows_of bound;
              });
+        match ctx with
+        | None -> ()
+        | Some c ->
+          (* rides the enqueue's fsync; crash recovery reattaches the
+             context to the resubmitted batch *)
+          log_uq t
+            (Wal.Trace_note
+               {
+                 subject = Wal.For_uq { func = rule.Rule_ast.func; key };
+                 trace = c.Span.trace;
+                 span = c.Span.span;
+               })
+      end;
       let task =
         Task.create ~klass:Task.Recompute ~func_name:rule.Rule_ast.func
-          ~unique_key:key ~bound ~release_time:release ~created_at:now
+          ~unique_key:key ~bound ?ctx ~release_time:release ~created_at:now
           (fun task -> run_action t task)
       in
       Unique.register t.reg ~func:rule.Rule_ast.func ~key task;
@@ -389,9 +518,11 @@ and fire t compiled (named_results : (string * Query.result) list) =
   match rule.Rule_ast.uniqueness with
   | Rule_ast.Not_unique ->
     t.created <- t.created + 1;
+    let ctx = Option.map Span.child t.cur_ctx in
     let task =
       Task.create ~klass:Task.Recompute ~func_name:rule.Rule_ast.func
-        ~bound:(bind_all named_results) ~release_time:release ~created_at:now
+        ~bound:(bind_all named_results) ?ctx ~release_time:release
+        ~created_at:now
         (fun task -> run_action t task)
     in
     submit t task
@@ -530,7 +661,20 @@ and commit_txn ?release t txn =
   | None -> ()
   | Some d ->
     let w = Durable.wal d in
-    if ops <> [] then
+    if ops <> [] then begin
+      (* The trace note precedes its Commit record so a replica scanning
+         in order has the context before it applies the transaction. *)
+      (match t.cur_ctx with
+      | None -> ()
+      | Some c ->
+        ignore
+          (Wal.append w
+             (Wal.Trace_note
+                {
+                  subject = Wal.For_txn (Transaction.txid txn);
+                  trace = c.Span.trace;
+                  span = c.Span.span;
+                })));
       ignore
         (Wal.append w
            (Wal.Commit
@@ -538,7 +682,8 @@ and commit_txn ?release t txn =
                 txid = Transaction.txid txn;
                 time = Clock.now t.clock;
                 ops;
-              }));
+              }))
+    end;
     (match release with
     | Some (func, key) -> ignore (Wal.append w (Wal.Uq_release { func; key }))
     | None -> ());
@@ -561,7 +706,7 @@ let bound_schemas_for t ~func =
        (fun c -> String.lowercase_ascii c.rule.Rule_ast.func = lf)
        t.all_rules)
 
-let resubmit_recovered t ~func ~key ~release_time ~created_at
+let resubmit_recovered t ~ctx ~func ~key ~release_time ~created_at
     ~(bound : Wal.bound_rows) =
   match bound_schemas_for t ~func with
   | None -> rule_error "recovery: no rule executes user function %s" func
@@ -584,7 +729,7 @@ let resubmit_recovered t ~func ~key ~release_time ~created_at
     t.created <- t.created + 1;
     let task =
       Task.create ~klass:Task.Recompute ~func_name:func ~unique_key:key
-        ~bound:bound_tbls ~release_time ~created_at
+        ~bound:bound_tbls ?ctx ~release_time ~created_at
         (fun task -> run_action t task)
     in
     Unique.register t.reg ~func ~key task;

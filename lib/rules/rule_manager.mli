@@ -47,6 +47,7 @@ val create :
   ?fault:Strip_txn.Fault.t ->
   ?durable:Strip_txn.Durable.t ->
   ?trace:Strip_obs.Trace.t ->
+  ?provenance:Strip_obs.Provenance.t ->
   unit ->
   t
 (** [fault] installs a fault injector consulted around every rule-action
@@ -56,7 +57,19 @@ val create :
     and fsyncs; without it no durability work happens at all, keeping
     crash-free runs byte-identical.  [trace] records unique-batch [merge]
     events and action-transaction [commit] events (with the tables
-    written). *)
+    written); when the committing task carries a {!Strip_obs.Span} context,
+    rule tasks it creates get child contexts, and — with a durability layer
+    — {!Strip_txn.Wal.Trace_note} records annotate the enqueue and commit
+    so replicas and crash recovery can reattach the lineage.  [provenance]
+    records, at each rule-action commit, which firing wrote which derived
+    rows from which bound base deltas. *)
+
+val set_current_ctx : t -> Strip_obs.Span.ctx option -> unit
+(** Make [ctx] the ambient trace context for rule processing: firings
+    triggered by the next commit parent-link their tasks under it, and
+    the WAL commit annotation carries it.  {!Strip_core.Strip_db} sets it
+    around each update-task body (rule actions set it themselves from
+    their task). *)
 
 val set_commit_hook :
   t -> (task:Strip_txn.Task.t -> tables:string list -> now:float -> unit) -> unit
@@ -126,6 +139,7 @@ val bound_schemas_for :
 
 val resubmit_recovered :
   t ->
+  ctx:Strip_obs.Span.ctx option ->
   func:string ->
   key:Strip_relational.Value.t list ->
   release_time:float ->
@@ -134,7 +148,10 @@ val resubmit_recovered :
   unit
 (** Recreate a queued unique transaction from its logged image: rebuild
     fully-materialized bound tables against the rule's declared schemas,
-    register the task in the unique hash and submit it.
+    register the task in the unique hash and submit it.  [ctx] reattaches
+    the batch's pre-crash trace context (recovered from its
+    {!Strip_txn.Wal.Trace_note}), so the post-restart span tree stays
+    linked to the original base write.
     @raise Rule_error if no installed rule executes [func]. *)
 
 (** {1 Statistics} *)

@@ -13,6 +13,8 @@ type t = {
   dur : Durable.t option;
   reg : Metrics.t;
   tracer : Strip_obs.Trace.t option;
+  slo : Strip_obs.Slo.t option;
+  prov : Strip_obs.Provenance.t option;
   mutable views : (string * Sql_parser.select_ast) list;  (* newest first *)
   mutable view_sql : (string * string) list;  (* newest first *)
 }
@@ -21,7 +23,7 @@ type t = {
    registry — the single snapshot surface for the CLI/bench exporters.
    Sources that already maintain their own state are wired as probes
    (polled at snapshot time), so nothing is double-counted. *)
-let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi ~dur =
+let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi ~dur ~slo ~prov =
   let open Strip_sim in
   List.iter
     (fun (label, klass) ->
@@ -109,22 +111,47 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi ~dur =
         Stats.crash_recovery_hist stats);
     Metrics.probe_int reg "failovers_total" (fun () ->
         Stats.n_failovers stats));
-  match tracer with
+  (match tracer with
   | None -> ()
   | Some tr ->
     Metrics.probe_int reg "trace_events_buffered" (fun () ->
         Strip_obs.Trace.length tr);
-    Metrics.probe_int reg "trace_events_dropped_total" (fun () ->
-        Strip_obs.Trace.dropped tr)
+    Metrics.probe_int reg "trace_dropped_total" (fun () ->
+        Strip_obs.Trace.dropped tr));
+  (* SLO and provenance surfaces are opt-in like the durability ones, so
+     runs without them snapshot byte-identically to earlier releases. *)
+  (match slo with
+  | None -> ()
+  | Some s ->
+    Metrics.probe_family reg "slo_violations_total" (fun () ->
+        List.map
+          (fun (r : Strip_obs.Slo.view_report) ->
+            ( [ ("view", r.Strip_obs.Slo.r_view) ],
+              Metrics.Sample_int r.Strip_obs.Slo.r_violations ))
+          (Strip_obs.Slo.report s));
+    Metrics.probe_family reg "slo_windows_total" (fun () ->
+        List.map
+          (fun (r : Strip_obs.Slo.view_report) ->
+            ( [ ("view", r.Strip_obs.Slo.r_view) ],
+              Metrics.Sample_int r.Strip_obs.Slo.r_windows ))
+          (Strip_obs.Slo.report s)));
+  match prov with
+  | None -> ()
+  | Some p ->
+    Metrics.probe_int reg "provenance_recorded_total" (fun () ->
+        Strip_obs.Provenance.total p);
+    Metrics.probe_int reg "provenance_truncated_total" (fun () ->
+        Strip_obs.Provenance.truncated p)
 
 let create ?policy ?cost ?now ?fault ?durable ?retry ?overload ?servers
-    ?lock_timeout_s ?trace () =
+    ?lock_timeout_s ?trace ?slo ?provenance () =
   let cat = Catalog.create () in
   let lcks = Lock.create () in
   let clk = Clock.create ?now () in
   let fi = Option.map Fault.create fault in
   let mgr =
-    Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi ?durable ?trace ()
+    Rule_manager.create ~cat ~locks:lcks ~clock:clk ?fault:fi ?durable ?trace
+      ?provenance ()
   in
   let eng =
     Engine.create ~clock:clk ?policy ?cost ?retry ?overload ~locks:lcks
@@ -152,11 +179,16 @@ let create ?policy ?cost ?now ?fault ?durable ?retry ?overload ?servers
       | Task.Recompute | Task.Background ->
         List.iter
           (fun table ->
-            Stats.record_staleness stats ~table
-              ~seconds:(Float.max 0.0 (now -. task.Task.created_at)))
+            let seconds = Float.max 0.0 (now -. task.Task.created_at) in
+            Stats.record_staleness stats ~table ~seconds;
+            match slo with
+            | None -> ()
+            | Some s ->
+              Strip_obs.Slo.observe s ~view:table ~staleness_s:seconds ~now)
           tables);
   let reg = Metrics.create () in
-  register_metrics reg ~stats ~mgr ~eng ~clk ~tracer:trace ~fi ~dur:durable;
+  register_metrics reg ~stats ~mgr ~eng ~clk ~tracer:trace ~fi ~dur:durable
+    ~slo ~prov:provenance;
   {
     cat;
     lcks;
@@ -167,6 +199,8 @@ let create ?policy ?cost ?now ?fault ?durable ?retry ?overload ?servers
     dur = durable;
     reg;
     tracer = trace;
+    slo;
+    prov = provenance;
     views = [];
     view_sql = [];
   }
@@ -180,6 +214,8 @@ let fault_injector t = t.fi
 let durable t = t.dur
 let metrics t = t.reg
 let trace t = t.tracer
+let slo t = t.slo
+let provenance t = t.prov
 let now t = Clock.now t.clk
 
 let with_txn t f =
@@ -326,9 +362,20 @@ let register_function t name fn = Rule_manager.register_function t.mgr name fn
 let create_rule t s = Rule_manager.create_rule_text t.mgr s
 
 let submit_update t ~at ?(label = "update") f =
+  (* Base-update ingestion is where a causal story begins: mint a root
+     trace context here (tracing on only) and let it ride the task
+     through dispatch, rule firings, WAL commit, shipping and apply. *)
+  let ctx =
+    match t.tracer with None -> None | Some _ -> Some (Strip_obs.Span.mint ())
+  in
   let task =
-    Task.create ~klass:Task.Update ~func_name:label ~release_time:at
-      ~created_at:at (fun _task -> with_txn_injected t ~detail:label f)
+    Task.create ~klass:Task.Update ~func_name:label ?ctx ~release_time:at
+      ~created_at:at (fun task ->
+        (* the rule manager parents any firings under this task's span *)
+        Rule_manager.set_current_ctx t.mgr task.Task.ctx;
+        Fun.protect
+          ~finally:(fun () -> Rule_manager.set_current_ctx t.mgr None)
+          (fun () -> with_txn_injected t ~detail:label f))
   in
   Engine.submit t.eng task
 

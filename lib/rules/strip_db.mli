@@ -24,6 +24,8 @@ val create :
   ?servers:int ->
   ?lock_timeout_s:float ->
   ?trace:Strip_obs.Trace.t ->
+  ?slo:Strip_obs.Slo.t ->
+  ?provenance:Strip_obs.Provenance.t ->
   unit ->
   t
 (** [fault] installs a deterministic fault injector on every task
@@ -48,7 +50,20 @@ val create :
     [trace] turns on lifecycle tracing: the engine and rule manager emit
     enqueue/release/execution/commit/abort/retry/merge/shed/dead-letter
     events into the given ring buffer (export with
-    {!Strip_obs.Trace.chrome_json}).
+    {!Strip_obs.Trace.chrome_json}).  When tracing is on, every update
+    task minted by {!submit_update} carries a fresh {!Strip_obs.Span}
+    root context that rule firings, commits, WAL records and replica
+    applies parent-link under.
+
+    [slo] attaches a staleness-SLO monitor: each rule-transaction commit
+    feeds the per-view staleness sample into it, and violation windows
+    accumulate per objective (exported via registry probes
+    [slo_violations_total] / [slo_windows_total]).
+
+    [provenance] attaches a bounded derived-row provenance store: each
+    rule-transaction commit records which rule firing wrote which derived
+    keys from which base deltas (query with {!Strip_obs.Provenance.query}
+    or the [strip-cli explain] subcommand).
 
     Every database also carries a {!Strip_obs.Metrics} registry (see
     {!metrics}) into which the engine, rule manager, queues and fault
@@ -78,6 +93,12 @@ val metrics : t -> Strip_obs.Metrics.t
 
 val trace : t -> Strip_obs.Trace.t option
 (** The lifecycle tracer passed to {!create}, if any. *)
+
+val slo : t -> Strip_obs.Slo.t option
+(** The staleness-SLO monitor passed to {!create}, if any. *)
+
+val provenance : t -> Strip_obs.Provenance.t option
+(** The derived-row provenance store passed to {!create}, if any. *)
 
 val now : t -> float
 

@@ -89,7 +89,14 @@ let tid_of (task : Task.t) =
   | Task.Background -> Trace.tid_background
 
 (* Lifecycle instants share one argument vocabulary: the task id and its
-   user-function name, so any event can be joined back to its task. *)
+   user-function name, so any event can be joined back to its task; when
+   the task carries a causal context its trace/span/parent ids ride
+   along, linking the event into the cluster-wide span tree. *)
+let ctx_args (task : Task.t) =
+  match task.Task.ctx with
+  | None -> []
+  | Some ctx -> Strip_obs.Span.args ctx
+
 let trace_instant t ~ts ?(extra = []) name (task : Task.t) =
   match t.trace with
   | None -> ()
@@ -100,7 +107,7 @@ let trace_instant t ~ts ?(extra = []) name (task : Task.t) =
            ("task", Trace.Int task.Task.task_id);
            ("func", Trace.Str task.Task.func_name);
          ]
-        @ extra)
+        @ ctx_args task @ extra)
       name
 
 let clock t = t.eclock
@@ -523,13 +530,14 @@ let dispatch t task =
     | Some tr ->
       Trace.complete tr ~ts:start ~dur_us:!us ~tid:(tid_of task)
         ~args:
-          [
-            ("task", Trace.Int task.Task.task_id);
-            ("attempt", Trace.Int task.Task.attempts);
-            ("queue_us", Trace.Float queue_us);
-            ("server", Trace.Int s);
-            ("ok", Trace.Int (Bool.to_int (Option.is_none failure)));
-          ]
+          ([
+             ("task", Trace.Int task.Task.task_id);
+             ("attempt", Trace.Int task.Task.attempts);
+             ("queue_us", Trace.Float queue_us);
+             ("server", Trace.Int s);
+             ("ok", Trace.Int (Bool.to_int (Option.is_none failure)));
+           ]
+          @ ctx_args task)
         task.Task.func_name);
     match failure with
     | None ->

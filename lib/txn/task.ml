@@ -27,14 +27,20 @@ type t = {
       (* simulated instant of the first lock-blocked attempt of the current
          wait episode; NaN when not waiting.  The engine uses it for the
          presumed-deadlock wait timeout. *)
+  mutable ctx : Strip_obs.Span.ctx option;
+      (* causal trace context; None unless tracing is on *)
 }
 
 let next_id = ref 0
 
-let reset_ids () = next_id := 0
+let reset_ids () =
+  next_id := 0;
+  (* span ids appear in the same trace exports as task ids and need the
+     same treatment for byte-identical re-runs *)
+  Strip_obs.Span.reset_ids ()
 
 let create ~klass ~func_name ?unique_key ?deadline ?(value = 1.0) ?(bound = [])
-    ~release_time ~created_at body =
+    ?ctx ~release_time ~created_at body =
   incr next_id;
   {
     task_id = !next_id;
@@ -53,6 +59,7 @@ let create ~klass ~func_name ?unique_key ?deadline ?(value = 1.0) ?(bound = [])
     attempts = 0;
     first_failed_at = nan;
     first_blocked_at = nan;
+    ctx;
   }
 
 let priority t =

@@ -43,6 +43,10 @@ type t = {
       (** virtual time of the first lock-blocked attempt of the current
           wait episode ([nan] when not waiting); the engine's presumed-
           deadlock timeout measures against it *)
+  mutable ctx : Strip_obs.Span.ctx option;
+      (** causal trace context — minted at base-update ingestion,
+          parent-linked through rule firings and commits; [None] unless
+          tracing is on *)
 }
 
 val create :
@@ -52,6 +56,7 @@ val create :
   ?deadline:float ->
   ?value:float ->
   ?bound:(string * Strip_relational.Temp_table.t) list ->
+  ?ctx:Strip_obs.Span.ctx ->
   release_time:float ->
   created_at:float ->
   (t -> unit) ->
@@ -83,7 +88,8 @@ val started : t -> bool
     this point (paper §2). *)
 
 val reset_ids : unit -> unit
-(** Reset the global task-id counter.  Task ids appear in trace exports,
-    so byte-identical re-runs inside one process must reset the counter
-    first; never call it while tasks are still queued (ids would collide).
-    Used by tests and the determinism harness only. *)
+(** Reset the global task-id counter (and, for the same reason, the
+    {!Strip_obs.Span} id counter).  Task and span ids appear in trace
+    exports, so byte-identical re-runs inside one process must reset the
+    counters first; never call it while tasks are still queued (ids would
+    collide).  Used by tests and the determinism harness only. *)

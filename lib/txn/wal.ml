@@ -15,6 +15,14 @@ type op =
 
 type bound_rows = (string * Value.t array list) list
 
+(* What a trace note annotates: the commit with this txid (so a replica
+   can parent its apply span under the primary's commit span), or the
+   queued unique batch for (func, key) (so crash recovery can reattach
+   the context to the resubmitted task). *)
+type trace_subject =
+  | For_txn of int
+  | For_uq of { func : string; key : Value.t list }
+
 type record =
   | Commit of { txid : int; time : float; ops : op list }
   | Uq_enqueue of {
@@ -27,6 +35,10 @@ type record =
   | Uq_merge of { func : string; key : Value.t list; bound : bound_rows }
   | Uq_release of { func : string; key : Value.t list }
   | Checkpoint_mark of { time : float; lsn : int }
+  | Trace_note of { subject : trace_subject; trace : int; span : int }
+      (* written only when tracing is on, riding the same fsync as the
+         record it annotates; flag-off logs carry no notes and stay
+         byte-identical *)
 
 let op_table = function
   | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> table
@@ -146,7 +158,19 @@ let encode_record rec_ =
   | Checkpoint_mark { time; lsn } ->
     Codec.put_u8 b 4;
     Codec.put_float b time;
-    Codec.put_int b lsn);
+    Codec.put_int b lsn
+  | Trace_note { subject; trace; span } ->
+    Codec.put_u8 b 5;
+    (match subject with
+    | For_txn txid ->
+      Codec.put_u8 b 0;
+      Codec.put_int b txid
+    | For_uq { func; key } ->
+      Codec.put_u8 b 1;
+      Codec.put_string b func;
+      Codec.put_list b Codec.put_value key);
+    Codec.put_int b trace;
+    Codec.put_int b span);
   Buffer.contents b
 
 let decode_record r =
@@ -177,6 +201,20 @@ let decode_record r =
       let time = Codec.get_float r in
       let lsn = Codec.get_int r in
       Checkpoint_mark { time; lsn }
+    | 5 ->
+      let subject =
+        match Codec.get_u8 r with
+        | 0 -> For_txn (Codec.get_int r)
+        | 1 ->
+          let func = Codec.get_string r in
+          let key = Codec.get_list r Codec.get_value in
+          For_uq { func; key }
+        | tag ->
+          raise (Codec.Decode_error (Printf.sprintf "trace subject tag %d" tag))
+      in
+      let trace = Codec.get_int r in
+      let span = Codec.get_int r in
+      Trace_note { subject; trace; span }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "record tag %d" tag))
   in
   if Codec.remaining r > 0 then

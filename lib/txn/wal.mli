@@ -28,6 +28,14 @@ type bound_rows = (string * Value.t array list) list
 (** Bound temp-table contents of a queued unique transaction, keyed by the
     (unqualified) bound-table name. *)
 
+type trace_subject =
+  | For_txn of int
+      (** annotates the commit with this txid: a replica parents its
+          apply span under the primary's commit span *)
+  | For_uq of { func : string; key : Value.t list }
+      (** annotates the queued unique batch for [(func, key)]: crash
+          recovery reattaches the context to the resubmitted task *)
+
 type record =
   | Commit of { txid : int; time : float; ops : op list }
   | Uq_enqueue of {
@@ -40,6 +48,10 @@ type record =
   | Uq_merge of { func : string; key : Value.t list; bound : bound_rows }
   | Uq_release of { func : string; key : Value.t list }
   | Checkpoint_mark of { time : float; lsn : int }
+  | Trace_note of { subject : trace_subject; trace : int; span : int }
+      (** causal-trace annotation riding the same fsync as the record it
+          describes; written only when tracing is on, so flag-off logs
+          are byte-identical to earlier releases *)
 
 val op_table : op -> string
 val op_order : op -> int

@@ -201,6 +201,86 @@ let test_explore_smoke () =
   Alcotest.(check string) "summary JSON re-serializes identically" written
     (Json.to_string (Json.parse written))
 
+(* ------------------------------------------------------------------ *)
+(* Causal tracing across a partition-heal failover: the merged cluster
+   trace keeps applies parent-linked and epoch-stamped across terms *)
+
+let test_failover_spans_cross_epochs () =
+  Strip_txn.Task.reset_ids ();
+  let open Strip_obs in
+  let tr = Trace.create () in
+  let base =
+    Experiment.default_config
+      (Experiment.Comp_view Comp_rules.Unique_on_comp)
+      ~delay:0.5
+  in
+  let cfg = Experiment.quick base 0.02 in
+  let cfg =
+    {
+      cfg with
+      Experiment.verify = true;
+      trace = Some tr;
+      recovery = Some Experiment.default_recovery;
+      repl = Some { Experiment.default_repl with Experiment.replicas = 2 };
+      chaos = [ Experiment.Partition_at { at = 10.0; heal_after_s = 2.0 } ];
+    }
+  in
+  let m = Experiment.run cfg in
+  (match m.Experiment.repl with
+  | None -> Alcotest.fail "expected replication metrics"
+  | Some r ->
+    Alcotest.(check bool) "the partition elected a new primary" true
+      (r.Experiment.n_failovers >= 1);
+    Alcotest.(check bool) "a later epoch opened" true (r.Experiment.epoch >= 2));
+  Alcotest.(check (list string)) "primary + both replica buffers returned"
+    [ "primary"; "replica-0"; "replica-1" ]
+    (List.map fst m.Experiment.cluster_traces);
+  let all =
+    List.concat_map (fun (_, t) -> Trace.events t) m.Experiment.cluster_traces
+  in
+  let named n = List.filter (fun (e : Trace.event) -> e.Trace.name = n) all in
+  Alcotest.(check bool) "promotion traced, epoch-stamped" true
+    (List.exists
+       (fun (e : Trace.event) -> List.mem_assoc "epoch" e.Trace.args)
+       (named "promote" @ named "promote_isolated"));
+  Alcotest.(check bool) "heal traced with old and new terms" true
+    (List.exists
+       (fun (e : Trace.event) ->
+         List.mem_assoc "old_epoch" e.Trace.args
+         && List.mem_assoc "epoch" e.Trace.args)
+       (named "heal"));
+  let apply_epoch (e : Trace.event) =
+    match List.assoc_opt "epoch" e.Trace.args with
+    | Some (Trace.Int ep) -> Some ep
+    | _ -> None
+  in
+  let applies = named "apply" in
+  Alcotest.(check bool) "applies span more than one epoch" true
+    (List.length
+       (List.sort_uniq compare (List.filter_map apply_epoch applies))
+    >= 2);
+  (* parent-linked applies: the parent span id must exist as a span
+     emitted somewhere else in the merged trace (the write on the
+     primary of that term) *)
+  let span_ids =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match List.assoc_opt "span" e.Trace.args with
+        | Some (Trace.Int s) -> Some s
+        | _ -> None)
+      all
+  in
+  let resolved =
+    List.exists
+      (fun (e : Trace.event) ->
+        match List.assoc_opt "parent" e.Trace.args with
+        | Some (Trace.Int p) -> List.mem p span_ids
+        | _ -> false)
+      applies
+  in
+  Alcotest.(check bool) "an apply parent-links to its write's span" true
+    resolved
+
 let suite =
   [
     ( "chaos/json",
@@ -222,5 +302,7 @@ let suite =
         Alcotest.test_case "planted violations shrink to 1-minimal" `Slow
           test_shrink_to_minimal_reproducer;
         Alcotest.test_case "a small sweep runs clean" `Slow test_explore_smoke;
+        Alcotest.test_case "failover spans stay linked across epochs" `Slow
+          test_failover_spans_cross_epochs;
       ] );
   ]

@@ -92,6 +92,25 @@ let test_hist_merge () =
     (Invalid_argument "Histogram.merge_into: gamma mismatch") (fun () ->
       Histogram.merge_into ~dst:coarse a)
 
+let test_hist_merge_list () =
+  let mk vs =
+    let h = Histogram.create () in
+    List.iter (Histogram.add h) vs;
+    h
+  in
+  let a = mk [ 1.0; 2.0 ] and b = mk [ 10.0 ] and c = mk [] in
+  let m = Histogram.merge [ a; b; c ] in
+  Alcotest.(check int) "merged count" 3 (Histogram.count m);
+  Alcotest.(check (float 1e-6)) "merged max" 10.0 (Histogram.max_value m);
+  (* sources untouched *)
+  Alcotest.(check int) "source a untouched" 2 (Histogram.count a);
+  Alcotest.(check int) "empty merge is empty" 0
+    (Histogram.count (Histogram.merge []));
+  (* the cluster-percentile use case: merged p-quantiles bracket sources *)
+  Alcotest.(check bool) "merged p99 >= each source p99" true
+    (Histogram.percentile m 99.0 >= Histogram.percentile a 99.0
+    && Histogram.percentile m 99.0 >= Histogram.percentile b 99.0)
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring buffer *)
 
@@ -133,6 +152,153 @@ let test_trace_chrome_export () =
       "\"ph\":\"X\"";
       "\"dur\":250";
       "\"k\":7";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Span contexts *)
+
+let test_span_contexts () =
+  Span.reset_ids ();
+  let root = Span.mint () in
+  Alcotest.(check bool) "root: trace = span" true
+    (root.Span.trace = root.Span.span);
+  Alcotest.(check int) "root: no parent" 0 root.Span.parent;
+  let c1 = Span.child root in
+  let c2 = Span.child root in
+  Alcotest.(check int) "child keeps trace" root.Span.trace c1.Span.trace;
+  Alcotest.(check int) "child parents to root" root.Span.span c1.Span.parent;
+  Alcotest.(check bool) "sibling spans distinct" true
+    (c1.Span.span <> c2.Span.span);
+  let g = Span.child c1 in
+  Alcotest.(check int) "grandchild keeps trace" root.Span.trace g.Span.trace;
+  Alcotest.(check int) "grandchild parents to child" c1.Span.span g.Span.parent;
+  (* args round-trip: what a trace event carries reconstructs the ctx *)
+  (match Span.of_args (Span.args g) with
+  | Some back ->
+    Alcotest.(check bool) "args round-trip" true
+      (back.Span.trace = g.Span.trace
+      && back.Span.span = g.Span.span
+      && back.Span.parent = g.Span.parent)
+  | None -> Alcotest.fail "of_args lost the context");
+  Alcotest.(check (option reject)) "of_args on unrelated args" None
+    (Span.of_args [ ("k", Trace.Int 7) ]);
+  (* remote linkage (WAL note -> replica apply) *)
+  let r = Span.child_of ~trace:g.Span.trace ~parent:g.Span.span in
+  Alcotest.(check int) "child_of keeps trace" g.Span.trace r.Span.trace;
+  Alcotest.(check int) "child_of parents to span" g.Span.span r.Span.parent;
+  Span.reset_ids ();
+  let again = Span.mint () in
+  Alcotest.(check int) "reset restarts ids" root.Span.trace again.Span.trace
+
+(* ------------------------------------------------------------------ *)
+(* Staleness SLO monitor *)
+
+let test_slo_parse () =
+  (match Slo.parse "comp_prices:2.5" with
+  | Ok o ->
+    Alcotest.(check string) "view" "comp_prices" o.Slo.view;
+    Alcotest.(check (float 0.0)) "bound" 2.5 o.Slo.bound_s
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Slo.parse bad with
+      | Ok _ -> Alcotest.fail (bad ^ " should not parse")
+      | Error _ -> ())
+    [ ""; "comp_prices"; "comp_prices:"; ":1.0"; "comp_prices:-1"; "v:abc" ]
+
+let test_slo_windows () =
+  let t =
+    Slo.create
+      [
+        { Slo.view = "a"; bound_s = 1.0 }; { Slo.view = "b"; bound_s = 10.0 };
+      ]
+  in
+  (* a: ok, viol, viol, ok, viol (left open; finish closes it) *)
+  Slo.observe t ~view:"a" ~staleness_s:0.5 ~now:1.0;
+  Slo.observe t ~view:"a" ~staleness_s:2.0 ~now:2.0;
+  Slo.observe t ~view:"a" ~staleness_s:3.0 ~now:3.0;
+  Slo.observe t ~view:"a" ~staleness_s:0.2 ~now:4.0;
+  Slo.observe t ~view:"a" ~staleness_s:5.0 ~now:5.0;
+  (* b never violates; unknown views are ignored *)
+  Slo.observe t ~view:"b" ~staleness_s:1.0 ~now:1.0;
+  Slo.observe t ~view:"unmonitored" ~staleness_s:99.0 ~now:1.0;
+  Slo.finish t;
+  (match Slo.report t with
+  | [ ra; rb ] ->
+    Alcotest.(check string) "objective order" "a" ra.Slo.r_view;
+    Alcotest.(check int) "a samples" 5 ra.Slo.r_samples;
+    Alcotest.(check int) "a violations" 3 ra.Slo.r_violations;
+    Alcotest.(check int) "a windows" 2 ra.Slo.r_windows;
+    Alcotest.(check (float 1e-9)) "a worst" 5.0 ra.Slo.r_worst_s;
+    Alcotest.(check bool) "a not met" false ra.Slo.r_met;
+    Alcotest.(check int) "b samples" 1 rb.Slo.r_samples;
+    Alcotest.(check bool) "b met" true rb.Slo.r_met
+  | rs -> Alcotest.fail (Printf.sprintf "%d reports" (List.length rs)));
+  Alcotest.(check bool) "monitor not met overall" false (Slo.met t);
+  Alcotest.(check int) "total violations" 3 (Slo.total_violations t);
+  Alcotest.(check int) "total windows" 2 (Slo.total_windows t)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance ring *)
+
+let test_provenance_ring_truncation () =
+  let p = Provenance.create ~capacity:3 () in
+  let entry i key =
+    {
+      Provenance.view = "v";
+      key;
+      rule = "r";
+      task_id = i;
+      txid = i;
+      trace = 0;
+      span = 0;
+      committed_at = float_of_int i;
+      inputs = [ { Provenance.src_table = "d"; src_desc = "row" } ];
+    }
+  in
+  for i = 1 to 5 do
+    Provenance.record p (entry i "k")
+  done;
+  Alcotest.(check int) "total counts every record" 5 (Provenance.total p);
+  Alcotest.(check int) "ring truncated oldest" 2 (Provenance.truncated p);
+  let got = Provenance.query p ~view:"v" ~key:"k" in
+  Alcotest.(check (list int)) "newest first, bounded" [ 5; 4; 3 ]
+    (List.map (fun (e : Provenance.entry) -> e.Provenance.task_id) got);
+  (* per-view rings: another view does not steal capacity *)
+  Provenance.record p { (entry 6 "other") with Provenance.view = "w" };
+  Alcotest.(check int) "v ring untouched" 3
+    (List.length (Provenance.query p ~view:"v" ~key:"k"));
+  Alcotest.(check (list string)) "views listed" [ "v" ]
+    (List.filter (fun v -> v = "v") (Provenance.views p));
+  Alcotest.(check bool) "render shows the firing" true
+    (contains (Provenance.render p ~view:"v" ~key:"k") "task 5")
+
+(* ------------------------------------------------------------------ *)
+(* Merged cluster traces *)
+
+let test_trace_merge_chrome () =
+  let mk name ts =
+    let t = Trace.create () in
+    Trace.instant t ~ts ~args:[ ("n", Trace.Str name) ] ("ev-" ^ name);
+    t
+  in
+  let j =
+    Trace.merge_chrome_json
+      [ ("primary", mk "primary" 1.0); ("replica-0", mk "replica-0" 2.0) ]
+  in
+  let s = Json.to_string j in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "merged contains %s" needle) true
+        (contains s needle))
+    [
+      "\"traceEvents\"";
+      "\"primary\"";
+      "\"replica-0\"";
+      "\"pid\":1";
+      "\"pid\":2";
+      "ev-primary";
+      "ev-replica-0";
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -295,12 +461,31 @@ let suite =
         Alcotest.test_case "empty and underflow" `Quick
           test_hist_empty_and_underflow;
         Alcotest.test_case "merge" `Quick test_hist_merge;
+        Alcotest.test_case "merge list (cluster aggregation)" `Quick
+          test_hist_merge_list;
       ] );
     ( "obs/trace",
       [
         Alcotest.test_case "ring overflow and ordering" `Quick
           test_trace_ring_overflow_and_order;
         Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+        Alcotest.test_case "merged cluster export" `Quick
+          test_trace_merge_chrome;
+      ] );
+    ( "obs/span",
+      [
+        Alcotest.test_case "mint/child/args round-trip" `Quick
+          test_span_contexts;
+      ] );
+    ( "obs/slo",
+      [
+        Alcotest.test_case "parse VIEW:BOUND" `Quick test_slo_parse;
+        Alcotest.test_case "violation windows" `Quick test_slo_windows;
+      ] );
+    ( "obs/provenance",
+      [
+        Alcotest.test_case "ring truncation at bound" `Quick
+          test_provenance_ring_truncation;
       ] );
     ( "obs/metrics",
       [

@@ -514,6 +514,59 @@ let test_crash_free_run_has_no_recovery_surface () =
 (* Temp_table.absorb into a fully-materialized destination (recovered
    TCBs carry no record pointers) *)
 
+(* ------------------------------------------------------------------ *)
+(* Causal tracing: a queued batch's trace context survives crash+restart *)
+
+let test_trace_ctx_survives_recovery () =
+  Task.reset_ids ();
+  let durable = Durable.create () in
+  let tr1 = Strip_obs.Trace.create () in
+  let db1 = Strip_db.create ~durable ~trace:tr1 () in
+  Strip_db.exec_script db1 figure4_script;
+  Strip_db.declare_view db1 ~sql:comp_view_sql;
+  install_comp_rule db1;
+  (* checkpoint first: the enqueue and its WAL trace note land after the
+     checkpoint LSN, so recovery replays both *)
+  Strip_db.checkpoint db1;
+  Strip_db.submit_update db1 ~at:0.0 (fun txn ->
+      ignore
+        (Transaction.exec txn "update stocks set price = 31.0 where symbol = 'S1'"));
+  (* stop before the batch's 1 s release: it is still queued at the crash *)
+  Strip_db.run db1 ~until:0.5;
+  let uq_notes =
+    List.filter_map
+      (fun (_, r) ->
+        match r with
+        | Wal.Trace_note { subject = Wal.For_uq _; trace; span } ->
+          Some (trace, span)
+        | _ -> None)
+      (Wal.read (Durable.wal durable)).Wal.records
+  in
+  let otrace, ospan =
+    match uq_notes with
+    | [ x ] -> x
+    | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 For_uq trace note, got %d" (List.length l))
+  in
+  Strip_db.crash db1;
+  let tr2 = Strip_obs.Trace.create () in
+  let db2 = Strip_db.create ~now:0.5 ~durable ~trace:tr2 () in
+  ignore (Recovery.recover db2 ~reinstall:(fun () -> install_comp_rule db2));
+  Strip_db.run db2;
+  (* the resubmitted batch's events on the restarted node stay inside the
+     pre-crash trace, parent-linked to the original enqueue span *)
+  let linked =
+    List.exists
+      (fun (e : Strip_obs.Trace.event) ->
+        List.mem ("trace", Strip_obs.Trace.Int otrace) e.Strip_obs.Trace.args
+        && List.mem ("parent", Strip_obs.Trace.Int ospan) e.Strip_obs.Trace.args)
+      (Strip_obs.Trace.events tr2)
+  in
+  Alcotest.(check bool) "restart continues the pre-crash trace" true linked;
+  Alcotest.(check int) "and the recovered view is correct" 0
+    (List.length (Auditor.audit db2).Auditor.divergences)
+
 let test_absorb_into_materialized () =
   let schema = Schema.of_list [ ("k", Value.TInt); ("v", Value.TFloat) ] in
   let dst = Temp_table.create_materialized ~name:"dst" ~schema in
@@ -564,6 +617,8 @@ let suite =
           test_discard_all_drains_parked_waiters;
         Alcotest.test_case "absorb into a materialized TCB" `Quick
           test_absorb_into_materialized;
+        Alcotest.test_case "trace context survives crash+restart" `Quick
+          test_trace_ctx_survives_recovery;
       ] );
     ( "recovery/auditor",
       [

@@ -205,6 +205,7 @@ let bootstrap_replica durable =
     | None -> Alcotest.fail "no checkpoint installed"
   in
   Replica.bootstrap ~id:0 ~image ~lsn:(Durable.snapshot_lsn durable) ~time:0.0
+    ()
 
 let deliver ?(epoch = 0) r ~seq ~sent_at payload =
   Replica.receive r
