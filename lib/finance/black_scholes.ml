@@ -1,9 +1,11 @@
 open Strip_relational
 
+let c_bs_eval = Meter.counter "bs_eval"
+
 let default_rate = 0.05
 
 let call ~stock_price ~strike ~rate ~volatility ~expiry_years =
-  Meter.tick "bs_eval";
+  Meter.tick_c c_bs_eval;
   if stock_price <= 0.0 then
     invalid_arg "Black_scholes.call: non-positive stock price";
   if strike <= 0.0 then invalid_arg "Black_scholes.call: non-positive strike";

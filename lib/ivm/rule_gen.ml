@@ -1,6 +1,10 @@
 open Strip_relational
 open Strip_core
 
+let c_close_cursor = Meter.counter "close_cursor"
+let c_fetch_cursor = Meter.counter "fetch_cursor"
+let c_open_cursor = Meter.counter "open_cursor"
+let c_ugroup_row = Meter.counter "ugroup_row"
 let rule_names ~view =
   [ "ivm_" ^ view ^ "_upd"; "ivm_" ^ view ^ "_ins"; "ivm_" ^ view ^ "_del" ]
 
@@ -163,10 +167,10 @@ let install db ~view ~driver ?(uniqueness = Rule_ast.Not_unique) ?(delay = 0.0)
     (match List.assoc_opt "deltas" ctx.Rule_manager.task.Strip_txn.Task.bound with
     | None -> ()
     | Some tmp ->
-      Meter.tick "open_cursor";
+      Meter.tick_c c_open_cursor;
       Temp_table.iter tmp (fun row ->
-          Meter.tick "fetch_cursor";
-          Meter.tick "ugroup_row";
+          Meter.tick_c c_fetch_cursor;
+          Meter.tick_c c_ugroup_row;
           let values = Temp_table.row_values tmp row in
           let key = List.init nkeys (fun i -> values.(i)) in
           let sums, n =
@@ -185,7 +189,7 @@ let install db ~view ~driver ?(uniqueness = Rule_ast.Not_unique) ?(delay = 0.0)
               if not (Value.is_null v) then
                 sums.(i) <- sums.(i) +. Value.to_float v)
             specs);
-      Meter.tick "close_cursor");
+      Meter.tick_c c_close_cursor);
     (specs, groups, List.rev !order)
   in
   let apply_group txn ~mode key (sums : float array) n specs =

@@ -1,11 +1,33 @@
-let symbol i =
-  if i < 0 then invalid_arg "Taq.symbol: negative index";
+let compute_symbol i =
   let rec go i acc =
     let letter = Char.chr (Char.code 'A' + (i mod 26)) in
     let acc = String.make 1 letter ^ acc in
     if i < 26 then acc else go ((i / 26) - 1) acc
   in
   go i ""
+
+(* Symbols are interned: populate and feed import ask for the same few
+   thousand symbols tens of thousands of times, in a dense 0..n range. *)
+let symbol_cache = ref [||]
+
+let symbol i =
+  if i < 0 then invalid_arg "Taq.symbol: negative index";
+  let cache = !symbol_cache in
+  if i < Array.length cache && String.length cache.(i) > 0 then cache.(i)
+  else begin
+    let s = compute_symbol i in
+    let cache =
+      if i < Array.length cache then cache
+      else begin
+        let bigger = Array.make (max 1024 ((i + 1) * 2)) "" in
+        Array.blit cache 0 bigger 0 (Array.length cache);
+        symbol_cache := bigger;
+        bigger
+      end
+    in
+    cache.(i) <- s;
+    s
+  end
 
 let stock_of_symbol s =
   if s = "" then invalid_arg "Taq.stock_of_symbol: empty symbol";

@@ -49,8 +49,11 @@ let add t v =
 let count t = t.n
 let sum t = t.total
 let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
-let min_value t = if t.n = 0 then 0.0 else t.lo
-let max_value t = if t.n = 0 then 0.0 else t.hi
+
+(* [lo > hi] means no sample ever updated the bounds — the histogram is
+   empty or holds only NaN samples (which skip the bounds update). *)
+let min_value t = if t.n = 0 || t.lo > t.hi then 0.0 else t.lo
+let max_value t = if t.n = 0 || t.lo > t.hi then 0.0 else t.hi
 
 let sorted_indices t =
   Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.tbl []

@@ -25,10 +25,11 @@ val mean : t -> float
 (** 0.0 when empty (never NaN). *)
 
 val min_value : t -> float
-(** Smallest sample seen; 0.0 when empty. *)
+(** Smallest sample seen; 0.0 when empty or when every sample was NaN
+    (always finite unless an infinite sample was added). *)
 
 val max_value : t -> float
-(** Largest sample seen; 0.0 when empty. *)
+(** Largest sample seen; 0.0 when empty or when every sample was NaN. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0, 100], by nearest rank over the buckets;

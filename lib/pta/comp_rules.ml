@@ -1,6 +1,7 @@
 open Strip_relational
 open Strip_core
 
+let c_ugroup_row = Meter.counter "ugroup_row"
 type variant = Non_unique | Unique_coarse | Unique_on_symbol | Unique_on_comp
 
 let variant_name = function
@@ -80,7 +81,7 @@ let compute_comps2 h (ctx : Rule_manager.action_ctx) =
   let diffs : (Value.t, float) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
   Db_ops.iter_bound ctx "matches" (fun row ->
-      Meter.tick "ugroup_row";
+      Meter.tick_c c_ugroup_row;
       let diff =
         Strip_finance.Composite.delta
           ~weight:(Value.to_float row.(c_weight))

@@ -1,6 +1,8 @@
 open Strip_relational
 open Strip_core
 
+let c_dedupe_row = Meter.counter "dedupe_row"
+let c_ulast_row = Meter.counter "ulast_row"
 type variant = Non_unique | Unique_coarse | Unique_on_symbol | Unique_on_option
 
 let variant_name = function
@@ -104,7 +106,7 @@ let compute_options2 h (ctx : Rule_manager.action_ctx) =
   let order = ref [] in
   Db_ops.iter_bound ctx "matches" (fun row ->
       (* keep-last grouping over the whole mixed batch, in user code *)
-      Meter.tick "ulast_row";
+      Meter.tick_c c_ulast_row;
       if not (Hashtbl.mem last row.(c_opt)) then order := row.(c_opt) :: !order;
       Hashtbl.replace last row.(c_opt) row);
   let stdevs : (Value.t, float) Hashtbl.t = Hashtbl.create 64 in
@@ -134,7 +136,7 @@ let compute_options3 h (ctx : Rule_manager.action_ctx) =
   let order = ref [] in
   let stock = ref Value.Null in
   Db_ops.iter_bound ctx "matches" (fun row ->
-      Meter.tick "dedupe_row";
+      Meter.tick_c c_dedupe_row;
       stock := row.(c_stock);
       if not (Hashtbl.mem last row.(c_opt)) then order := row.(c_opt) :: !order;
       Hashtbl.replace last row.(c_opt) row);

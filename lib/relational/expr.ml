@@ -1,3 +1,5 @@
+let c_predicate_eval = Meter.counter "predicate_eval"
+
 type unop = Neg | Not | Is_null | Is_not_null
 
 type binop =
@@ -159,7 +161,7 @@ let rec eval_raw e row =
       e.fn vs)
 
 let eval e row =
-  Meter.tick "predicate_eval";
+  Meter.tick_c c_predicate_eval;
   eval_raw e row
 
 let eval_pred e row =

@@ -1,3 +1,6 @@
+let c_index_probe = Meter.counter "index_probe"
+let c_index_update = Meter.counter "index_update"
+
 type kind = Hash | Ordered
 
 module Key = struct
@@ -5,7 +8,10 @@ module Key = struct
 
   let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
 
-  let hash k = Hashtbl.hash (List.map Value.hash k)
+  (* Fold the per-value hashes instead of materializing a list of them;
+     keys equal under [equal] hash equal because [Value.hash] already
+     identifies numerically-equal Int/Float. *)
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 5381 k
 
   let compare a b =
     let rec loop a b =
@@ -23,7 +29,7 @@ end
 module KeyTbl = Hashtbl.Make (Key)
 
 type store =
-  | SHash of Record.t list KeyTbl.t
+  | SHash of Record.t list ref KeyTbl.t
   | STree of (Key.t, Record.t list) Rbtree.t ref
 
 type t = {
@@ -33,10 +39,10 @@ type t = {
   mutable count : int;
 }
 
-let create ~name ~kind ~cols =
+let create ?(size_hint = 256) ~name ~kind ~cols () =
   let store =
     match kind with
-    | Hash -> SHash (KeyTbl.create 256)
+    | Hash -> SHash (KeyTbl.create (max 256 size_hint))
     | Ordered -> STree (ref Rbtree.empty)
   in
   { iname = name; icols = cols; store; count = 0 }
@@ -48,24 +54,34 @@ let kind t = match t.store with SHash _ -> Hash | STree _ -> Ordered
 let key_cols t = t.icols
 
 let key_of_record t (r : Record.t) =
-  Array.to_list (Array.map (fun i -> Record.value r i) t.icols)
+  match t.icols with
+  | [| i |] -> [ Record.value r i ]
+  | icols ->
+    let n = Array.length icols in
+    let rec build j =
+      if j >= n then [] else Record.value r icols.(j) :: build (j + 1)
+    in
+    build 0
 
 let cmp = Key.compare
 
 let add t r =
-  Meter.tick "index_update";
+  Meter.tick_c c_index_update;
   let key = key_of_record t r in
   (match t.store with
-  | SHash h ->
-    let cur = match KeyTbl.find_opt h key with Some l -> l | None -> [] in
-    KeyTbl.replace h key (r :: cur)
+  | SHash h -> (
+    (* posting lists live in mutable cells, so the steady-state add is a
+       single probe with no rebinding *)
+    match KeyTbl.find_opt h key with
+    | Some cell -> cell := r :: !cell
+    | None -> KeyTbl.add h key (ref [ r ]))
   | STree tr ->
     let cur = match Rbtree.find ~cmp key !tr with Some l -> l | None -> [] in
     tr := Rbtree.insert ~cmp key (r :: cur) !tr);
   t.count <- t.count + 1
 
 let remove t r =
-  Meter.tick "index_update";
+  Meter.tick_c c_index_update;
   let key = key_of_record t r in
   let drop l =
     let found = ref false in
@@ -85,10 +101,10 @@ let remove t r =
   | SHash h -> (
     match KeyTbl.find_opt h key with
     | None -> ()
-    | Some l ->
-      let found, l' = drop l in
+    | Some cell ->
+      let found, l' = drop !cell in
       if found then t.count <- t.count - 1;
-      if l' = [] then KeyTbl.remove h key else KeyTbl.replace h key l')
+      if l' = [] then KeyTbl.remove h key else cell := l')
   | STree tr -> (
     match Rbtree.find ~cmp key !tr with
     | None -> ()
@@ -100,9 +116,10 @@ let remove t r =
          else Rbtree.insert ~cmp key l' !tr))
 
 let lookup t key =
-  Meter.tick "index_probe";
+  Meter.tick_c c_index_probe;
   match t.store with
-  | SHash h -> ( match KeyTbl.find_opt h key with Some l -> l | None -> [])
+  | SHash h -> (
+    match KeyTbl.find_opt h key with Some cell -> !cell | None -> [])
   | STree tr -> (
     match Rbtree.find ~cmp key !tr with Some l -> l | None -> [])
 
@@ -110,8 +127,19 @@ let range t ?lo ?hi f =
   match t.store with
   | SHash _ -> invalid_arg "Index.range: not an ordered index"
   | STree tr ->
-    Meter.tick "index_probe";
+    Meter.tick_c c_index_probe;
     Rbtree.range ~cmp ?lo ?hi (fun _ l -> List.iter f (List.rev l)) !tr
+
+let ordered_entries t =
+  match t.store with
+  | SHash _ -> invalid_arg "Index.ordered_entries: not an ordered index"
+  | STree tr ->
+    Meter.tick_c c_index_probe;
+    let acc = ref [] in
+    Rbtree.range ~cmp (fun k l -> acc := (k, List.rev l) :: !acc) !tr;
+    List.rev !acc
+
+let compare_keys = Key.compare
 
 let cardinal t = t.count
 

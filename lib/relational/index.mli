@@ -12,9 +12,11 @@ type kind = Hash | Ordered
 
 type t
 
-val create : name:string -> kind:kind -> cols:int array -> t
+val create : ?size_hint:int -> name:string -> kind:kind -> cols:int array -> unit -> t
 (** [cols] are the key column positions within the table schema, in key
-    order. *)
+    order.  [size_hint] pre-sizes a hash store (avoiding rehash churn when
+    the index is created over an already-populated table); it does not
+    affect behaviour. *)
 
 val name : t -> string
 val kind : t -> kind
@@ -34,6 +36,15 @@ val lookup : t -> Value.t list -> Record.t list
 val range : t -> ?lo:Value.t list -> ?hi:Value.t list -> (Record.t -> unit) -> unit
 (** Ordered-index range scan, inclusive bounds; ascending key order.
     @raise Invalid_argument on a hash index. *)
+
+val ordered_entries : t -> (Value.t list * Record.t list) list
+(** All (key, postings) pairs in ascending key order, postings oldest-first.
+    One ["index_probe"] tick for the whole scan (the merge-join access path).
+    @raise Invalid_argument on a hash index. *)
+
+val compare_keys : Value.t list -> Value.t list -> int
+(** The key ordering used by ordered indexes (lexicographic
+    {!Value.compare}). *)
 
 val cardinal : t -> int
 (** Number of indexed records. *)

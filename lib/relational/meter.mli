@@ -6,12 +6,26 @@
     into simulated CPU time through {!Strip_sim.Cost_model}, and the benchmark
     harness reports them directly.
 
-    Counters are global and intentionally cheap: one hashtable increment per
-    tick.  They carry no semantics of their own — the set of counter names in
-    use is documented by {!Strip_sim.Cost_model.default}. *)
+    Counters are global and intentionally cheap: hot paths resolve a name to
+    a {!cell} once and then tick by array index — no string hashing per
+    operation.  They carry no semantics of their own — the set of counter
+    names in use is documented by {!Strip_sim.Cost_model.default}. *)
 
 type snapshot
 (** Immutable snapshot of all counters at a point in time. *)
+
+type cell
+(** Pre-resolved handle to a named counter; ticking through a cell skips the
+    per-operation name lookup. *)
+
+val counter : string -> cell
+(** Resolve (registering if needed) the cell for counter [name]. *)
+
+val tick_c : cell -> unit
+(** Increment a pre-resolved counter by one; free when {!enabled} is off. *)
+
+val tick_cn : cell -> int -> unit
+(** Increment a pre-resolved counter by [n] ([n >= 0]). *)
 
 val tick : string -> unit
 (** [tick name] increments counter [name] by one. *)
@@ -31,6 +45,21 @@ val snapshot : unit -> snapshot
 val diff : snapshot -> snapshot -> (string * int) list
 (** [diff before after] lists counters whose value changed between the two
     snapshots, with the (positive) delta, sorted by counter name. *)
+
+val charge_diff : snapshot -> snapshot -> rate:(cell -> float) -> float
+(** [charge_diff before after ~rate] is
+    [List.fold_left (fun a (n, d) -> a +. rate n *. float d) 0.0 (diff before after)]
+    with [rate] keyed by cell instead of name, computed without building the
+    intermediate list.  The additions happen in the same (name-sorted) order
+    as the fold, so the result is bit-identical — this sits on the engine's
+    per-task accounting path. *)
+
+val name_of_cell : cell -> string
+(** The name a cell was registered under. *)
+
+val cell_id : cell -> int
+(** Dense small-integer id of a cell (registration order), for callers that
+    memoize per-cell data in arrays. *)
 
 val fold : (string -> int -> 'a -> 'a) -> 'a -> 'a
 (** Fold over all live counters. *)

@@ -1,3 +1,15 @@
+let c_agg_row = Meter.counter "agg_row"
+let c_group_init = Meter.counter "group_init"
+let c_hash_build = Meter.counter "hash_build"
+let c_hash_probe = Meter.counter "hash_probe"
+let c_index_probe = Meter.counter "index_probe"
+let c_join_row = Meter.counter "join_row"
+let c_merge_step = Meter.counter "merge_step"
+let c_partition_row = Meter.counter "partition_row"
+let c_row_construct = Meter.counter "row_construct"
+let c_seq_row = Meter.counter "seq_row"
+let c_sort_row = Meter.counter "sort_row"
+
 type order = Asc | Desc
 
 type agg =
@@ -202,14 +214,352 @@ end
 module VTbl = Hashtbl.Make (VKey)
 
 (* ------------------------------------------------------------------ *)
+(* Join strategy selection.
+
+   A pure function of the logical plan shape and the current catalog, so
+   that [explain], the compiled executor and any cached decision always
+   agree.  The choices, in priority order:
+
+   - merge join: both inputs are bare standard-table scans whose equi
+     columns are covered by [Ordered] indexes on both sides — stream the
+     two red-black trees in key order (a two-way leapfrog);
+   - index join: the right input is a bare standard-table scan with any
+     index exactly covering its equi columns — probe per left row;
+   - hash join: any other equi join;
+   - nested loop: no equi conjunct (cross products and pure theta joins). *)
+
+type strategy_pick =
+  | PMerge of (Table.t * Index.t) * (Table.t * Index.t)
+  | PIndex of Table.t * Index.t
+  | PHash
+  | PNested
+
+let equi_cols tb ~side equi =
+  List.map
+    (fun (i, j) ->
+      (Schema.col (Table.schema tb) (match side with `L -> i | `R -> j))
+        .Schema.cname)
+    equi
+
+let pick_strategy ~ltb ~rtb equi =
+  match (equi, rtb) with
+  | [], _ -> PNested
+  | _, None -> PHash
+  | _, Some rtb -> (
+    match Table.index_on rtb (equi_cols rtb ~side:`R equi) with
+    | None -> PHash
+    | Some ridx -> (
+      let lordered =
+        match ltb with
+        | None -> None
+        | Some ltb -> (
+          match Table.index_on ltb (equi_cols ltb ~side:`L equi) with
+          | Some lidx when Index.kind lidx = Index.Ordered -> Some (ltb, lidx)
+          | _ -> None)
+      in
+      match lordered with
+      | Some (ltb, lidx) when Index.kind ridx = Index.Ordered ->
+        PMerge ((ltb, lidx), (rtb, ridx))
+      | _ -> PIndex (rtb, ridx)))
+
+(* ------------------------------------------------------------------ *)
+(* Compiled plans.
+
+   [run] compiles each plan once into a mirror tree of nodes carrying
+   per-node memos: the computed descriptor, the predicates and select items
+   resolved against it, and the chosen join strategy.  A memo is validated
+   by physical identity on every execution — a scan is still valid when the
+   resolved relation carries the same schema and static map as before (so
+   transition tables, whose layouts are shared per base table, revalidate
+   in O(1)), and a join is still valid while its input descriptors are the
+   memoized ones and no index has been added to or dropped from the scanned
+   tables ({!Table.index_gen}).  On any mismatch the node silently
+   recompiles, which makes catalog rebuilds (crash recovery, failover)
+   transparent.  Only resolution work is cached; every execution re-runs
+   the physical operators, so meter ticks are unchanged. *)
+
+type scan_memo = {
+  sm_std : Table.t option;  (* [Some tb] iff the relation is standard *)
+  sm_schema : Schema.t;  (* resolved relation's schema (identity key) *)
+  sm_name : string;
+  sm_prov : Temp_table.provenance array;  (* [||] for standard tables *)
+  sm_desc : xdesc;
+}
+
+type jstrategy =
+  | JMerge of (Table.t * Index.t) * (Table.t * Index.t)
+  | JIndex of Table.t * Index.t
+  | JHash
+  | JNested
+
+type join_memo = {
+  jm_ldesc : xdesc;  (* identity keys: the input descriptors *)
+  jm_rdesc : xdesc;
+  jm_desc : xdesc;
+  jm_equi : (int * int) list;
+  jm_residual : Expr.t option;
+  jm_strategy : jstrategy;
+  jm_deps : (Table.t * int) list;  (* index generations the choice assumed *)
+}
+
+type agg_kind = [ `Count_star | `Count | `Sum | `Avg | `Min | `Max ]
+
+type group_memo = {
+  gm_in : xdesc;
+  gm_desc : xdesc;
+  gm_keys : Expr.t list;
+  gm_aggs : (agg_kind * Expr.t) list;
+  gm_having : Expr.t option;
+}
+
+type cnode =
+  | CScan of cscan
+  | CFilter of cfilter
+  | CJoin of cjoin
+  | CProject of cproject
+  | CGroup of cgroup
+  | COrder of corder
+  | CLimit of int * cnode
+  | CDistinct of cnode
+
+and cscan = { rel : string; alias : string option; mutable sm : scan_memo option }
+and cfilter = { fsub : cnode; fpred : Expr.t; mutable fm : (xdesc * Expr.t) option }
+and cjoin = { jl : cnode; jr : cnode; jpred : Expr.t option; mutable jm : join_memo option }
+
+and cproject = {
+  psub : cnode;
+  pitems : select_item list;
+  mutable pm : (xdesc * xdesc * Expr.t list) option;
+}
+
+and cgroup = {
+  gsub : cnode;
+  gkeys : select_item list;
+  gaggs : (agg * string) list;
+  ghaving : Expr.t option;
+  mutable gm : group_memo option;
+}
+
+and corder = {
+  osub : cnode;
+  ospecs : (Expr.t * order) list;
+  mutable om : (xdesc * (Expr.t * order) list) option;
+}
+
+let rec compile_node = function
+  | Scan { rel; alias } -> CScan { rel; alias; sm = None }
+  | Filter (pred, p) -> CFilter { fsub = compile_node p; fpred = pred; fm = None }
+  | Join (l, r, pred) ->
+    CJoin { jl = compile_node l; jr = compile_node r; jpred = pred; jm = None }
+  | Project (items, p) -> CProject { psub = compile_node p; pitems = items; pm = None }
+  | Group { keys; aggs; having; input } ->
+    CGroup
+      { gsub = compile_node input; gkeys = keys; gaggs = aggs; ghaving = having; gm = None }
+  | Order (specs, p) -> COrder { osub = compile_node p; ospecs = specs; om = None }
+  | Limit (n, p) -> CLimit (n, compile_node p)
+  | Distinct p -> CDistinct (compile_node p)
+
+let resolve_in schema e =
+  try Expr.resolve schema e
+  with Expr.Unknown_column c -> plan_error "unknown column %s" c
+
+let scan_valid m relation =
+  match (relation, m.sm_std) with
+  | Catalog.Std tb, Some tb' -> tb == tb'
+  | Catalog.Tmp tmp, None ->
+    Temp_table.schema tmp == m.sm_schema
+    && Temp_table.name tmp = m.sm_name
+    && Temp_table.same_static_map tmp m.sm_prov
+  | _ -> false
+
+let ensure_scan cat ~env (s : cscan) =
+  match Catalog.resolve cat ~env s.rel with
+  | None -> plan_error "unknown relation %s" s.rel
+  | Some relation -> (
+    match s.sm with
+    | Some m when scan_valid m relation -> (relation, m.sm_desc)
+    | _ ->
+      let desc = scan_desc relation s.alias in
+      s.sm <-
+        Some
+          {
+            sm_std = (match relation with Catalog.Std tb -> Some tb | _ -> None);
+            sm_schema = Catalog.relation_schema relation;
+            sm_name = Catalog.relation_name relation;
+            sm_prov =
+              (match relation with
+              | Catalog.Tmp t -> Temp_table.static_map t
+              | Catalog.Std _ -> [||]);
+            sm_desc = desc;
+          };
+      (relation, desc))
+
+let scan_std cat ~env = function
+  | CScan s -> (
+    match Catalog.resolve cat ~env s.rel with
+    | Some (Catalog.Std tb) -> Some tb
+    | _ -> None)
+  | _ -> None
+
+(* [censure] validates the memo chain and returns the node's descriptor
+   without executing anything (and without ticking any meter). *)
+let rec censure cat ~env = function
+  | CScan s -> snd (ensure_scan cat ~env s)
+  | CFilter f -> censure cat ~env f.fsub
+  | CJoin j -> (ensure_join cat ~env j).jm_desc
+  | CProject p ->
+    let _, desc, _ = ensure_project cat ~env p in
+    desc
+  | CGroup g -> (ensure_group cat ~env g).gm_desc
+  | COrder o -> censure cat ~env o.osub
+  | CLimit (_, sub) -> censure cat ~env sub
+  | CDistinct sub -> censure cat ~env sub
+
+and ensure_join cat ~env (j : cjoin) =
+  let ldesc = censure cat ~env j.jl in
+  let rdesc = censure cat ~env j.jr in
+  let valid m =
+    m.jm_ldesc == ldesc && m.jm_rdesc == rdesc
+    && List.for_all (fun (tb, g) -> Table.index_gen tb = g) m.jm_deps
+  in
+  match j.jm with
+  | Some m when valid m -> m
+  | _ ->
+    let desc = join_desc ldesc rdesc in
+    let la = Schema.arity ldesc.schema in
+    let resolved_pred = Option.map (resolve_in desc.schema) j.jpred in
+    let equi, residual =
+      match resolved_pred with
+      | None -> ([], [])
+      | Some p -> split_equi ~left_arity:la p
+    in
+    let residual_pred =
+      match residual with
+      | [] -> None
+      | c :: cs ->
+        Some (List.fold_left (fun acc c -> Expr.Binop (Expr.And, acc, c)) c cs)
+    in
+    let pick =
+      pick_strategy
+        ~ltb:(scan_std cat ~env j.jl)
+        ~rtb:(scan_std cat ~env j.jr)
+        equi
+    in
+    let strategy, deps =
+      match pick with
+      | PNested -> (JNested, [])
+      | PHash ->
+        (* a later CREATE INDEX on a scanned side can upgrade the choice *)
+        let deps =
+          List.filter_map
+            (Option.map (fun tb -> (tb, Table.index_gen tb)))
+            [ scan_std cat ~env j.jl; scan_std cat ~env j.jr ]
+        in
+        (JHash, deps)
+      | PIndex (tb, idx) ->
+        let deps =
+          List.filter_map
+            (Option.map (fun tb -> (tb, Table.index_gen tb)))
+            [ scan_std cat ~env j.jl; Some tb ]
+        in
+        (JIndex (tb, idx), deps)
+      | PMerge ((ltb, lidx), (rtb, ridx)) ->
+        ( JMerge ((ltb, lidx), (rtb, ridx)),
+          [ (ltb, Table.index_gen ltb); (rtb, Table.index_gen rtb) ] )
+    in
+    let m =
+      {
+        jm_ldesc = ldesc;
+        jm_rdesc = rdesc;
+        jm_desc = desc;
+        jm_equi = equi;
+        jm_residual = residual_pred;
+        jm_strategy = strategy;
+        jm_deps = deps;
+      }
+    in
+    j.jm <- Some m;
+    m
+
+and ensure_project cat ~env (p : cproject) =
+  let ind = censure cat ~env p.psub in
+  match p.pm with
+  | Some ((ind', _, _) as m) when ind' == ind -> m
+  | _ ->
+    let desc = project_desc ind p.pitems in
+    let resolved = List.map (fun it -> resolve_in ind.schema it.expr) p.pitems in
+    let m = (ind, desc, resolved) in
+    p.pm <- Some m;
+    m
+
+and ensure_group cat ~env (g : cgroup) =
+  let ind = censure cat ~env g.gsub in
+  match g.gm with
+  | Some m when m.gm_in == ind -> m
+  | _ ->
+    let desc = group_desc ind g.gkeys g.gaggs in
+    let resolve e = resolve_in ind.schema e in
+    let key_exprs = List.map (fun it -> resolve it.expr) g.gkeys in
+    let agg_specs =
+      List.map
+        (fun (a, _) ->
+          match a with
+          | Count_star -> ((`Count_star :> agg_kind), Expr.Const Value.Null)
+          | Count e -> (`Count, resolve e)
+          | Sum e -> (`Sum, resolve e)
+          | Avg e -> (`Avg, resolve e)
+          | Min e -> (`Min, resolve e)
+          | Max e -> (`Max, resolve e))
+        g.gaggs
+    in
+    let having = Option.map (resolve_in desc.schema) g.ghaving in
+    let m =
+      {
+        gm_in = ind;
+        gm_desc = desc;
+        gm_keys = key_exprs;
+        gm_aggs = agg_specs;
+        gm_having = having;
+      }
+    in
+    g.gm <- Some m;
+    m
+
+let ensure_filter cat ~env (f : cfilter) =
+  let ind = censure cat ~env f.fsub in
+  match f.fm with
+  | Some (ind', p) when ind' == ind -> p
+  | _ ->
+    let p = resolve_in ind.schema f.fpred in
+    f.fm <- Some (ind, p);
+    p
+
+let ensure_order cat ~env (o : corder) =
+  let ind = censure cat ~env o.osub in
+  match o.om with
+  | Some (ind', specs) when ind' == ind -> specs
+  | _ ->
+    let specs = List.map (fun (e, ord) -> (resolve_in ind.schema e, ord)) o.ospecs in
+    o.om <- Some (ind, specs);
+    specs
+
+(* ------------------------------------------------------------------ *)
 (* Execution.                                                           *)
+
+(* Testing knob: when [false], the indexed-probe physical path is replaced
+   by a hash-build fallback that reproduces the modeled path bit for bit —
+   same "index_probe"/"join_row" ticks, same output order (an index posting
+   list holds records newest-first, i.e. by descending rid).  Strategy
+   *selection* is unaffected, so simulated results must not change; the
+   differential tests assert exactly that. *)
+let physical_index_join = ref true
 
 let scan_rows relation desc =
   match relation with
   | Catalog.Std tb ->
     let acc = ref [] in
     Table.iter tb (fun r ->
-        Meter.tick "seq_row";
+        Meter.tick_c c_seq_row;
         acc := { vals = r.Record.values; srcs = [| r |] } :: !acc);
     ignore desc;
     List.rev !acc
@@ -217,72 +567,55 @@ let scan_rows relation desc =
     let nslots = Temp_table.slots tmp in
     let acc = ref [] in
     Temp_table.iter tmp (fun row ->
-        Meter.tick "seq_row";
+        Meter.tick_c c_seq_row;
         acc :=
           {
             vals = Temp_table.row_values tmp row;
-            srcs = Array.init nslots (fun s -> Temp_table.row_source row s);
+            srcs = Array.init nslots (fun s -> Temp_table.row_source tmp row s);
           }
           :: !acc);
     List.rev !acc
 
 let combine_rows lrow rrow =
-  Meter.tick "join_row";
+  Meter.tick_c c_join_row;
   {
     vals = Array.append lrow.vals rrow.vals;
     srcs = Array.append lrow.srcs rrow.srcs;
   }
 
-let rec exec cat ~env plan : result =
-  match plan with
-  | Scan { rel; alias } -> (
-    match Catalog.resolve cat ~env rel with
-    | None -> plan_error "unknown relation %s" rel
-    | Some relation ->
-      let desc = scan_desc relation alias in
-      { desc; xrows = scan_rows relation desc })
-  | Filter (pred, p) ->
-    let r = exec cat ~env p in
-    let pred =
-      try Expr.resolve r.desc.schema pred
-      with Expr.Unknown_column c -> plan_error "unknown column %s" c
-    in
+let record_row (r : Record.t) = { vals = r.Record.values; srcs = [| r |] }
+
+let rec cexec cat ~env node : result =
+  match node with
+  | CScan s ->
+    let relation, desc = ensure_scan cat ~env s in
+    { desc; xrows = scan_rows relation desc }
+  | CFilter f ->
+    let pred = ensure_filter cat ~env f in
+    let r = cexec cat ~env f.fsub in
     { r with xrows = List.filter (fun x -> Expr.eval_pred pred x.vals) r.xrows }
-  | Join (lp, rp, pred) -> exec_join cat ~env lp rp pred
-  | Project (items, p) ->
-    let r = exec cat ~env p in
-    let desc = project_desc r.desc items in
-    let resolved =
-      List.map
-        (fun it ->
-          try Expr.resolve r.desc.schema it.expr
-          with Expr.Unknown_column c -> plan_error "unknown column %s" c)
-        items
-    in
+  | CJoin j -> cexec_join cat ~env j
+  | CProject p ->
+    let _, desc, resolved = ensure_project cat ~env p in
+    let r = cexec cat ~env p.psub in
+    let exprs = Array.of_list resolved in
     let project x =
-      Meter.tick "row_construct";
+      Meter.tick_c c_row_construct;
       {
-        vals = Array.of_list (List.map (fun e -> Expr.eval e x.vals) resolved);
+        vals = Array.map (fun e -> Expr.eval e x.vals) exprs;
         srcs = x.srcs;
       }
     in
     { desc; xrows = List.map project r.xrows }
-  | Group { keys; aggs; having; input } -> exec_group cat ~env keys aggs having input
-  | Order (specs, p) ->
-    let r = exec cat ~env p in
-    let specs =
-      List.map
-        (fun (e, o) ->
-          ( (try Expr.resolve r.desc.schema e
-             with Expr.Unknown_column c -> plan_error "unknown column %s" c),
-            o ))
-        specs
-    in
+  | CGroup g -> cexec_group cat ~env g
+  | COrder o ->
+    let specs = ensure_order cat ~env o in
+    let r = cexec cat ~env o.osub in
     let keyed =
       List.map
         (fun x ->
-          Meter.tick "sort_row";
-          (List.map (fun (e, o) -> (Expr.eval e x.vals, o)) specs, x))
+          Meter.tick_c c_sort_row;
+          (List.map (fun (e, ord) -> (Expr.eval e x.vals, ord)) specs, x))
         r.xrows
     in
     let compare_keys (ka, _) (kb, _) =
@@ -298,21 +631,21 @@ let rec exec cat ~env plan : result =
       loop ka kb
     in
     { r with xrows = List.map snd (List.stable_sort compare_keys keyed) }
-  | Limit (n, p) ->
-    let r = exec cat ~env p in
+  | CLimit (n, sub) ->
+    let r = cexec cat ~env sub in
     let rec take n = function
       | [] -> []
       | _ when n <= 0 -> []
       | x :: rest -> x :: take (n - 1) rest
     in
     { r with xrows = take n r.xrows }
-  | Distinct p ->
-    let r = exec cat ~env p in
+  | CDistinct sub ->
+    let r = cexec cat ~env sub in
     let seen = VTbl.create 64 in
     let xrows =
       List.filter
         (fun x ->
-          Meter.tick "hash_probe";
+          Meter.tick_c c_hash_probe;
           let key = Array.to_list x.vals in
           if VTbl.mem seen key then false
           else begin
@@ -323,124 +656,138 @@ let rec exec cat ~env plan : result =
     in
     { r with xrows }
 
-and exec_join cat ~env lp rp pred =
-  let lres = exec cat ~env lp in
-  let ldesc = lres.desc in
-  let rdesc = desc_of cat ~env rp in
-  let desc = join_desc ldesc rdesc in
-  let la = Schema.arity ldesc.schema in
-  let resolved_pred =
-    Option.map
-      (fun p ->
-        try Expr.resolve desc.schema p
-        with Expr.Unknown_column c -> plan_error "unknown column %s" c)
-      pred
-  in
-  let equi, residual =
-    match resolved_pred with
-    | None -> ([], [])
-    | Some p -> split_equi ~left_arity:la p
-  in
-  let residual_pred =
-    match residual with
-    | [] -> None
-    | c :: cs ->
-      Some (List.fold_left (fun acc c -> Expr.Binop (Expr.And, acc, c)) c cs)
-  in
+and cexec_join cat ~env (j : cjoin) =
+  let m = ensure_join cat ~env j in
+  let equi = m.jm_equi in
   let keep combined =
-    match residual_pred with
+    match m.jm_residual with
     | None -> true
     | Some p -> Expr.eval_pred p combined.vals
   in
-  (* Index nested loop: right side is a standard-table scan with an index
-     exactly covering the right equi columns. *)
-  let index_path =
-    match (rp, equi) with
-    | Scan { rel; alias = _ }, _ :: _ -> (
-      match Catalog.resolve cat ~env rel with
-      | Some (Catalog.Std tb) -> (
-        let rcols =
-          List.map
-            (fun (_, j) -> (Schema.col (Table.schema tb) j).Schema.cname)
-            equi
-        in
-        match Table.index_on tb rcols with
-        | Some idx -> Some (tb, idx)
-        | None -> None)
-      | _ -> None)
-    | _ -> None
-  in
+  let probe_key lrow = List.map (fun (i, _) -> lrow.vals.(i)) equi in
   let xrows =
-    match index_path with
-    | Some (_tb, idx) ->
-      List.concat_map
-        (fun lrow ->
-          let key = List.map (fun (i, _) -> lrow.vals.(i)) equi in
-          Index.lookup idx key
-          |> List.filter_map (fun (rec_ : Record.t) ->
-                 let rrow = { vals = rec_.Record.values; srcs = [| rec_ |] } in
-                 let combined = combine_rows lrow rrow in
-                 if keep combined then Some combined else None))
-        lres.xrows
-    | None -> (
-      let rres = exec cat ~env rp in
-      match equi with
-      | [] ->
-        (* Nested loop over the cross product. *)
+    match m.jm_strategy with
+    | JIndex (tb, idx) ->
+      let lres = cexec cat ~env j.jl in
+      if !physical_index_join then begin
+        (* accumulator instead of concat_map/filter_map: this loop runs
+           once per probed posting on every rule check, so avoid the
+           per-match option and per-left-row list append *)
+        let acc = ref [] in
+        List.iter
+          (fun lrow ->
+            List.iter
+              (fun (rec_ : Record.t) ->
+                let combined = combine_rows lrow (record_row rec_) in
+                if keep combined then acc := combined :: !acc)
+              (Index.lookup idx (probe_key lrow)))
+          lres.xrows;
+        List.rev !acc
+      end
+      else begin
+        (* unmetered hash build, then per-left-row probes that replay the
+           modeled index path's ticks and posting order *)
+        let tbl = VTbl.create 256 in
+        Table.iter tb (fun r ->
+            let key = List.map (fun (_, jj) -> Record.value r jj) equi in
+            let cur =
+              match VTbl.find_opt tbl key with Some l -> l | None -> []
+            in
+            VTbl.replace tbl key (r :: cur));
         List.concat_map
           (fun lrow ->
+            Meter.tick_c c_index_probe;
+            let matches =
+              match VTbl.find_opt tbl (probe_key lrow) with
+              | Some l ->
+                List.sort
+                  (fun (a : Record.t) (b : Record.t) -> compare b.rid a.rid)
+                  l
+              | None -> []
+            in
             List.filter_map
+              (fun rec_ ->
+                let combined = combine_rows lrow (record_row rec_) in
+                if keep combined then Some combined else None)
+              matches)
+          lres.xrows
+      end
+    | JMerge ((_ltb, lidx), (_rtb, ridx)) ->
+      (* Neither side is scanned: stream both ordered indexes in key order
+         and intersect, one "merge_step" per pointer advance.  Output is in
+         ascending key order; within a key, left then right postings
+         oldest-first (ascending rid). *)
+      let acc = ref [] in
+      let rec merge ls rs =
+        match (ls, rs) with
+        | [], _ | _, [] -> ()
+        | (lk, lrecs) :: ls', (rk, rrecs) :: rs' ->
+          Meter.tick_c c_merge_step;
+          let c = Index.compare_keys lk rk in
+          if c < 0 then merge ls' rs
+          else if c > 0 then merge ls rs'
+          else begin
+            List.iter
+              (fun (lr : Record.t) ->
+                let lrow = record_row lr in
+                List.iter
+                  (fun (rr : Record.t) ->
+                    let combined = combine_rows lrow (record_row rr) in
+                    if keep combined then acc := combined :: !acc)
+                  rrecs)
+              lrecs;
+            merge ls' rs'
+          end
+      in
+      merge (Index.ordered_entries lidx) (Index.ordered_entries ridx);
+      List.rev !acc
+    | JHash ->
+      let lres = cexec cat ~env j.jl in
+      let rres = cexec cat ~env j.jr in
+      let tbl = VTbl.create 256 in
+      List.iter
+        (fun rrow ->
+          Meter.tick_c c_hash_build;
+          let key = List.map (fun (_, jj) -> rrow.vals.(jj)) equi in
+          let cur = match VTbl.find_opt tbl key with Some l -> l | None -> [] in
+          VTbl.replace tbl key (rrow :: cur))
+        rres.xrows;
+      let acc = ref [] in
+      List.iter
+        (fun lrow ->
+          Meter.tick_c c_hash_probe;
+          match VTbl.find_opt tbl (probe_key lrow) with
+          | None -> ()
+          | Some rrows ->
+            List.iter
               (fun rrow ->
                 let combined = combine_rows lrow rrow in
-                if keep combined then Some combined else None)
-              rres.xrows)
-          lres.xrows
-      | _ ->
-        (* Hash join. *)
-        let tbl = VTbl.create 256 in
-        List.iter
-          (fun rrow ->
-            Meter.tick "hash_build";
-            let key = List.map (fun (_, j) -> rrow.vals.(j)) equi in
-            let cur = match VTbl.find_opt tbl key with Some l -> l | None -> [] in
-            VTbl.replace tbl key (rrow :: cur))
-          rres.xrows;
-        List.concat_map
-          (fun lrow ->
-            Meter.tick "hash_probe";
-            let key = List.map (fun (i, _) -> lrow.vals.(i)) equi in
-            match VTbl.find_opt tbl key with
-            | None -> []
-            | Some rrows ->
-              List.rev rrows
-              |> List.filter_map (fun rrow ->
-                     let combined = combine_rows lrow rrow in
-                     if keep combined then Some combined else None))
-          lres.xrows)
+                if keep combined then acc := combined :: !acc)
+              (List.rev rrows))
+        lres.xrows;
+      List.rev !acc
+    | JNested ->
+      let lres = cexec cat ~env j.jl in
+      let rres = cexec cat ~env j.jr in
+      let acc = ref [] in
+      List.iter
+        (fun lrow ->
+          List.iter
+            (fun rrow ->
+              let combined = combine_rows lrow rrow in
+              if keep combined then acc := combined :: !acc)
+            rres.xrows)
+        lres.xrows;
+      List.rev !acc
   in
-  { desc; xrows }
+  { desc = m.jm_desc; xrows }
 
-and exec_group cat ~env keys aggs having input =
-  let r = exec cat ~env input in
-  let in_schema = r.desc.schema in
-  let desc = group_desc r.desc keys aggs in
-  let resolve e =
-    try Expr.resolve in_schema e
-    with Expr.Unknown_column c -> plan_error "unknown column %s" c
-  in
-  let key_exprs = List.map (fun it -> resolve it.expr) keys in
-  let agg_specs =
-    List.map
-      (fun (a, _) ->
-        match a with
-        | Count_star -> (`Count_star, Expr.Const Value.Null)
-        | Count e -> (`Count, resolve e)
-        | Sum e -> (`Sum, resolve e)
-        | Avg e -> (`Avg, resolve e)
-        | Min e -> (`Min, resolve e)
-        | Max e -> (`Max, resolve e))
-      aggs
-  in
+and cexec_group cat ~env (g : cgroup) =
+  let m = ensure_group cat ~env g in
+  let r = cexec cat ~env g.gsub in
+  let desc = m.gm_desc in
+  let key_exprs = m.gm_keys in
+  let agg_specs = m.gm_aggs in
   (* Accumulator per aggregate: (count, sum as float, current value). *)
   let module Acc = struct
     type t = {
@@ -455,13 +802,13 @@ and exec_group cat ~env keys aggs having input =
   let group_order = ref [] in
   List.iter
     (fun x ->
-      Meter.tick "agg_row";
+      Meter.tick_c c_agg_row;
       let key = List.map (fun e -> Expr.eval e x.vals) key_exprs in
       let accs =
         match VTbl.find_opt groups key with
         | Some a -> a
         | None ->
-          Meter.tick "group_init";
+          Meter.tick_c c_group_init;
           let a = Array.init (List.length agg_specs) (fun _ -> Acc.make ()) in
           VTbl.add groups key a;
           group_order := key :: !group_order;
@@ -518,25 +865,46 @@ and exec_group cat ~env keys aggs having input =
             else Value.Float (acc.Acc.fsum /. float_of_int acc.Acc.n))
         agg_specs
     in
-    Meter.tick "row_construct";
+    Meter.tick_c c_row_construct;
     { vals = Array.of_list (key @ agg_vals); srcs = [||] }
   in
   let xrows =
     List.rev_map (fun key -> finish key (VTbl.find groups key)) !group_order
   in
   let xrows =
-    match having with
+    match m.gm_having with
     | None -> xrows
-    | Some h ->
-      let h =
-        try Expr.resolve desc.schema h
-        with Expr.Unknown_column c -> plan_error "unknown column %s" c
-      in
-      List.filter (fun x -> Expr.eval_pred h x.vals) xrows
+    | Some h -> List.filter (fun x -> Expr.eval_pred h x.vals) xrows
   in
   { desc; xrows }
 
-let run cat ~env plan = exec cat ~env plan
+(* ------------------------------------------------------------------ *)
+(* Compilation cache, keyed on the plan value's physical identity.  The
+   rule system compiles a plan once per rule and re-runs the same value on
+   every check, so this turns all per-execution schema/expression
+   resolution into pointer comparisons.  Ad-hoc plans (fresh values) just
+   compile again; the table is reset when it grows past a bound so one-shot
+   plans cannot accumulate. *)
+
+module PTbl = Hashtbl.Make (struct
+  type t = plan
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let compiled : cnode PTbl.t = PTbl.create 64
+
+let compile plan =
+  match PTbl.find_opt compiled plan with
+  | Some c -> c
+  | None ->
+    if PTbl.length compiled > 512 then PTbl.reset compiled;
+    let c = compile_node plan in
+    PTbl.add compiled plan c;
+    c
+
+let run cat ~env plan = cexec cat ~env (compile plan)
 
 let schema_of cat ~env plan = (desc_of cat ~env plan).schema
 
@@ -558,7 +926,7 @@ let partition r ~cols =
   let order = ref [] in
   List.iter
     (fun x ->
-      Meter.tick "partition_row";
+      Meter.tick_c c_partition_row;
       let key = List.map (fun i -> x.vals.(i)) positions in
       match VTbl.find_opt tbl key with
       | Some l -> l := x :: !l
@@ -635,7 +1003,36 @@ let bind ?(overrides = []) ~name r =
 
 (* ------------------------------------------------------------------ *)
 
-let rec explain_at depth plan =
+(* When a catalog is supplied, annotate each join with the access path the
+   executor would choose right now (same selection function). *)
+let strategy_note cat ~env l r pred =
+  match
+    let ldesc = desc_of cat ~env l in
+    let rdesc = desc_of cat ~env r in
+    let desc = join_desc ldesc rdesc in
+    let la = Schema.arity ldesc.schema in
+    let equi =
+      match pred with
+      | None -> []
+      | Some p -> fst (split_equi ~left_arity:la (Expr.resolve desc.schema p))
+    in
+    let std = function
+      | Scan { rel; _ } -> (
+        match Catalog.resolve cat ~env rel with
+        | Some (Catalog.Std tb) -> Some tb
+        | _ -> None)
+      | _ -> None
+    in
+    pick_strategy ~ltb:(std l) ~rtb:(std r) equi
+  with
+  | PMerge ((_, lidx), (_, ridx)) ->
+    Printf.sprintf " [merge join via %s, %s]" (Index.name lidx) (Index.name ridx)
+  | PIndex (_, idx) -> Printf.sprintf " [index join via %s]" (Index.name idx)
+  | PHash -> " [hash join]"
+  | PNested -> " [nested loop]"
+  | exception _ -> ""
+
+let rec explain_at ?cat ?(env = []) depth plan =
   let pad = String.make (depth * 2) ' ' in
   let line = Printf.sprintf in
   match plan with
@@ -645,14 +1042,17 @@ let rec explain_at depth plan =
   | Filter (p, q) ->
     line "%sfilter %s\n%s" pad
       (Format.asprintf "%a" Expr.pp p)
-      (explain_at (depth + 1) q)
+      (explain_at ?cat ~env (depth + 1) q)
   | Join (l, r, p) ->
-    line "%sjoin%s\n%s\n%s" pad
+    line "%sjoin%s%s\n%s\n%s" pad
       (match p with
       | Some p -> " on " ^ Format.asprintf "%a" Expr.pp p
       | None -> " (cross)")
-      (explain_at (depth + 1) l)
-      (explain_at (depth + 1) r)
+      (match cat with
+      | Some cat -> strategy_note cat ~env l r p
+      | None -> "")
+      (explain_at ?cat ~env (depth + 1) l)
+      (explain_at ?cat ~env (depth + 1) r)
   | Project (items, q) ->
     line "%sproject %s\n%s" pad
       (String.concat ", "
@@ -660,7 +1060,7 @@ let rec explain_at depth plan =
             (fun i it ->
               Format.asprintf "%a as %s" Expr.pp it.expr (item_name i it))
             items))
-      (explain_at (depth + 1) q)
+      (explain_at ?cat ~env (depth + 1) q)
   | Group { keys; aggs; input; _ } ->
     line "%sgroup by %s aggs %s\n%s" pad
       (String.concat ", "
@@ -668,11 +1068,11 @@ let rec explain_at depth plan =
             (fun i it -> item_name i it)
             keys))
       (String.concat ", " (List.map snd aggs))
-      (explain_at (depth + 1) input)
+      (explain_at ?cat ~env (depth + 1) input)
   | Order (specs, q) ->
     line "%sorder by %d key(s)\n%s" pad (List.length specs)
-      (explain_at (depth + 1) q)
-  | Limit (n, q) -> line "%slimit %d\n%s" pad n (explain_at (depth + 1) q)
-  | Distinct q -> line "%sdistinct\n%s" pad (explain_at (depth + 1) q)
+      (explain_at ?cat ~env (depth + 1) q)
+  | Limit (n, q) -> line "%slimit %d\n%s" pad n (explain_at ?cat ~env (depth + 1) q)
+  | Distinct q -> line "%sdistinct\n%s" pad (explain_at ?cat ~env (depth + 1) q)
 
-let explain plan = explain_at 0 plan
+let explain ?cat ?env plan = explain_at ?cat ?env 0 plan

@@ -1,10 +1,20 @@
 (** Logical query plans and their executor.
 
     The planner side of the SQL subset STRIP v2.0 supports: scans,
-    selections, theta-joins (executed as index-nested-loop when an index on
-    the join key exists, hash join when the predicate has an equi-conjunct,
-    nested loop otherwise), projections, grouped aggregation, ordering and
-    limits.
+    selections, theta-joins, projections, grouped aggregation, ordering and
+    limits.  Equi-joins pick an access path per execution, in priority
+    order: merge join (both inputs are standard-table scans whose equi
+    columns are covered by [Ordered] indexes — the two trees stream in key
+    order), index join (the right input is a standard-table scan with any
+    exactly-covering index — probe per left row), hash join otherwise;
+    non-equi predicates fall back to a nested loop.
+
+    [run] compiles each plan value once (cached by physical identity) into
+    a tree whose schema/expression resolution and strategy choice are
+    memoized, then revalidated per execution by pointer comparison plus the
+    scanned tables' {!Table.index_gen} — so repeated rule checks skip all
+    name resolution while catalog rebuilds and later [CREATE INDEX]es are
+    still picked up.  Caching never changes meter ticks.
 
     Execution tracks provenance: a result column that is a verbatim copy of
     a standard-table attribute remembers which pointer slot and offset it
@@ -14,9 +24,10 @@
     in the paper.
 
     Work is metered: ["seq_row"] per scanned row, ["index_probe"] per index
-    probe, ["hash_probe"] per hash-join probe, ["join_row"] per joined row,
-    ["row_construct"] per output row, ["agg_row"] per aggregated input row,
-    ["group_init"] per group, ["sort_row"] per sorted row. *)
+    probe, ["merge_step"] per merge-join pointer advance, ["hash_probe"]
+    per hash-join probe, ["join_row"] per joined row, ["row_construct"] per
+    output row, ["agg_row"] per aggregated input row, ["group_init"] per
+    group, ["sort_row"] per sorted row. *)
 
 type order = Asc | Desc
 
@@ -60,6 +71,14 @@ exception Plan_error of string
 
 val run : Catalog.t -> env:Catalog.env -> plan -> result
 
+val physical_index_join : bool ref
+(** Testing knob, default [true].  When [false], the index join's physical
+    probe is replaced by a hash-build fallback that replays the modeled
+    path exactly — same ["index_probe"]/["join_row"] ticks, same output
+    order (index postings are newest-first).  Strategy selection is
+    unaffected, so all simulated results must be byte-identical; the
+    differential tests assert this. *)
+
 val schema_of : Catalog.t -> env:Catalog.env -> plan -> Schema.t
 (** Output schema without executing (used by the rule compiler). *)
 
@@ -79,5 +98,8 @@ val bind : ?overrides:(string * Value.t) list -> name:string -> result -> Temp_t
     where possible (§6.1).  [overrides] force named columns to a constant —
     the rule system uses this to stamp [commit_time] at bind time. *)
 
-val explain : plan -> string
-(** Multi-line plan rendering. *)
+val explain : ?cat:Catalog.t -> ?env:Catalog.env -> plan -> string
+(** Multi-line plan rendering.  With [?cat] (and optionally [?env]), each
+    join line is annotated with the access path the executor would choose
+    right now: [[merge join via i1, i2]], [[index join via i]],
+    [[hash join]] or [[nested loop]]. *)

@@ -18,6 +18,11 @@ let create_version ~base values =
   incr next_rid;
   { rid = !next_rid; base; values; refcount = 0; live = true }
 
+(* Arena filler for unused temp-table slots; never pinned, never linked,
+   and allocated without consuming a rid (rid assignment is part of the
+   deterministic surface). *)
+let dummy = { rid = min_int; base = min_int; values = [||]; refcount = 1; live = false }
+
 let pin r = r.refcount <- r.refcount + 1
 
 let reclaim r = if (not r.live) && r.refcount = 0 then incr reclaimed

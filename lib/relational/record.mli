@@ -28,6 +28,10 @@ val create_version : base:int -> Value.t array -> t
     (used by [Table.update], which carries the old record's [base]
     through). *)
 
+val dummy : t
+(** Inert filler record for preallocated arenas: no rid is consumed, it is
+    never live, and it must never be pinned, unpinned, or read. *)
+
 val pin : t -> unit
 (** Take a reference (called when a temporary tuple stores a pointer). *)
 

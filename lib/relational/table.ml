@@ -1,3 +1,12 @@
+let c_close_cursor = Meter.counter "close_cursor"
+let c_delete_cursor = Meter.counter "delete_cursor"
+let c_delete_record = Meter.counter "delete_record"
+let c_fetch_cursor = Meter.counter "fetch_cursor"
+let c_insert_record = Meter.counter "insert_record"
+let c_open_cursor = Meter.counter "open_cursor"
+let c_update_cursor = Meter.counter "update_cursor"
+let c_update_record = Meter.counter "update_record"
+
 type node = {
   record : Record.t;
   mutable prev : node option;
@@ -11,6 +20,7 @@ type t = {
   mutable last : node option;
   nodes : (int, node) Hashtbl.t;  (* rid -> node, for O(1) unlink *)
   mutable tindexes : Index.t list;
+  mutable ixgen : int;  (* bumped whenever the index list changes *)
   mutable count : int;
 }
 
@@ -29,6 +39,7 @@ let create ~name ~schema =
     last = None;
     nodes = Hashtbl.create 64;
     tindexes = [];
+    ixgen = 0;
     count = 0;
   }
 
@@ -52,9 +63,10 @@ let create_index t ~name ~kind ~cols =
   let positions =
     List.map (fun c -> Schema.find_exn t.tschema c) cols |> Array.of_list
   in
-  let idx = Index.create ~name ~kind ~cols:positions in
+  let idx = Index.create ~size_hint:t.count ~name ~kind ~cols:positions () in
   iter t (fun r -> Index.add idx r);
   t.tindexes <- t.tindexes @ [ idx ];
+  t.ixgen <- t.ixgen + 1;
   idx
 
 let find_index t name =
@@ -67,6 +79,7 @@ let index_on t cols =
   List.find_opt (fun i -> Index.key_cols i = want) t.tindexes
 
 let indexes t = t.tindexes
+let index_gen t = t.ixgen
 
 let check_row t values =
   match Schema.validate_row t.tschema values with
@@ -83,7 +96,8 @@ let link_last t node =
     l.next <- Some node;
     node.prev <- Some l;
     t.last <- Some node);
-  Hashtbl.replace t.nodes node.record.Record.rid node;
+  (* rids are unique, so the new binding cannot shadow an existing one *)
+  Hashtbl.add t.nodes node.record.Record.rid node;
   t.count <- t.count + 1
 
 (* Splice [node] into [old_node]'s list position; [old_node] is detached.
@@ -124,7 +138,7 @@ let node_of t (r : Record.t) =
 
 let insert t values =
   check_row t values;
-  Meter.tick "insert_record";
+  Meter.tick_c c_insert_record;
   let r = Record.create values in
   let node = { record = r; prev = None; next = None } in
   link_last t node;
@@ -133,7 +147,7 @@ let insert t values =
 
 let update t old values =
   check_row t values;
-  Meter.tick "update_record";
+  Meter.tick_c c_update_record;
   let old_node = node_of t old in
   let r = Record.create_version ~base:old.Record.base values in
   let node = { record = r; prev = None; next = None } in
@@ -147,23 +161,23 @@ let update t old values =
   r
 
 let delete t r =
-  Meter.tick "delete_record";
+  Meter.tick_c c_delete_record;
   let node = node_of t r in
   unlink t node;
   List.iter (fun idx -> Index.remove idx r) t.tindexes;
   Record.retire r
 
 let open_cursor t =
-  Meter.tick "open_cursor";
+  Meter.tick_c c_open_cursor;
   { table = t; pending = `List t.first; current = None; closed = false }
 
 let open_index_cursor t idx key =
-  Meter.tick "open_cursor";
+  Meter.tick_c c_open_cursor;
   let recs = Index.lookup idx key in
   { table = t; pending = `Recs recs; current = None; closed = false }
 
 let open_range_cursor t idx ?lo ?hi () =
-  Meter.tick "open_cursor";
+  Meter.tick_c c_open_cursor;
   let acc = ref [] in
   Index.range idx ?lo ?hi (fun r -> acc := r :: !acc);
   { table = t; pending = `Recs (List.rev !acc); current = None; closed = false }
@@ -176,7 +190,7 @@ let fetch c =
     c.current <- None;
     None
   | `List (Some n) ->
-    Meter.tick "fetch_cursor";
+    Meter.tick_c c_fetch_cursor;
     c.pending <- `List n.next;
     c.current <- Some n.record;
     Some n.record
@@ -184,7 +198,7 @@ let fetch c =
     c.current <- None;
     None
   | `Recs (r :: rest) ->
-    Meter.tick "fetch_cursor";
+    Meter.tick_c c_fetch_cursor;
     c.pending <- `Recs rest;
     c.current <- Some r;
     Some r
@@ -194,7 +208,7 @@ let cursor_update c values =
   match c.current with
   | None -> invalid_arg "Table.cursor_update: no current record"
   | Some r ->
-    Meter.tick "update_cursor";
+    Meter.tick_c c_update_cursor;
     let r' = update c.table r values in
     c.current <- Some r';
     r'
@@ -204,13 +218,13 @@ let cursor_delete c =
   match c.current with
   | None -> invalid_arg "Table.cursor_delete: no current record"
   | Some r ->
-    Meter.tick "delete_cursor";
+    Meter.tick_c c_delete_cursor;
     delete c.table r;
     c.current <- None
 
 let close_cursor c =
   if not c.closed then begin
-    Meter.tick "close_cursor";
+    Meter.tick_c c_close_cursor;
     c.closed <- true;
     c.current <- None;
     c.pending <- `Recs []

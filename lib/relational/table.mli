@@ -37,6 +37,10 @@ val index_on : t -> string list -> Index.t option
 
 val indexes : t -> Index.t list
 
+val index_gen : t -> int
+(** Generation counter, bumped whenever the set of indexes changes.  Lets
+    cached query plans validate their access-path choice in O(1). *)
+
 val insert : t -> Value.t array -> Record.t
 (** Append a record.  @raise Invalid_argument on schema mismatch. *)
 

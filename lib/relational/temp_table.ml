@@ -1,22 +1,30 @@
+let c_bound_append = Meter.counter "bound_append"
+
 type provenance =
   | From_record of int * int
   | Computed of int
 
-type row = {
-  srcs : Record.t array;
-  mats : Value.t array;
-}
+type row = int
 
+(* Columnar arena backing: tuple [i]'s source pointers live at
+   [srcs.(i * nslots + s)] and its materialized cells at
+   [mats.(i * nmats + m)].  Both arenas grow geometrically, so building a
+   transition or bound table allocates no per-row list cells; a row handle
+   is just the tuple's index. *)
 type t = {
   tname : string;
   tschema : Schema.t;
   nslots : int;
   nmats : int;
   prov : provenance array;
-  mutable rows_rev : row list;  (* newest first *)
+  mutable srcs : Record.t array;  (* nrows * nslots slots in use *)
+  mutable mats : Value.t array;  (* nrows * nmats cells in use *)
+  mutable cap : int;  (* rows the arenas can hold *)
   mutable nrows : int;
   mutable is_retired : bool;
 }
+
+let initial_cap = 8
 
 let create ~name ~schema ~nslots ~prov =
   if Array.length prov <> Schema.arity schema then
@@ -44,7 +52,9 @@ let create ~name ~schema ~nslots ~prov =
     nslots;
     nmats;
     prov;
-    rows_rev = [];
+    srcs = (if nslots = 0 then [||] else Array.make (initial_cap * nslots) Record.dummy);
+    mats = (if nmats = 0 then [||] else Array.make (initial_cap * nmats) Value.Null);
+    cap = initial_cap;
     nrows = 0;
     is_retired = false;
   }
@@ -59,68 +69,113 @@ let cardinal t = t.nrows
 let slots t = t.nslots
 let static_map t = Array.copy t.prov
 
+let reserve t extra =
+  let need = t.nrows + extra in
+  if need > t.cap then begin
+    let cap = ref (max t.cap initial_cap) in
+    while need > !cap do
+      cap := !cap * 2
+    done;
+    if t.nslots > 0 then begin
+      let srcs = Array.make (!cap * t.nslots) Record.dummy in
+      Array.blit t.srcs 0 srcs 0 (t.nrows * t.nslots);
+      t.srcs <- srcs
+    end;
+    if t.nmats > 0 then begin
+      let mats = Array.make (!cap * t.nmats) Value.Null in
+      Array.blit t.mats 0 mats 0 (t.nrows * t.nmats);
+      t.mats <- mats
+    end;
+    t.cap <- !cap
+  end
+
 let append t ~srcs ~mats =
   if t.is_retired then invalid_arg "Temp_table.append: table is retired";
   if Array.length srcs <> t.nslots || Array.length mats <> t.nmats then
     invalid_arg "Temp_table.append: slot/materialized arity mismatch";
   Array.iter Record.pin srcs;
-  Meter.tick "bound_append";
-  t.rows_rev <- { srcs; mats } :: t.rows_rev;
+  Meter.tick_c c_bound_append;
+  reserve t 1;
+  if t.nslots > 0 then Array.blit srcs 0 t.srcs (t.nrows * t.nslots) t.nslots;
+  if t.nmats > 0 then Array.blit mats 0 t.mats (t.nrows * t.nmats) t.nmats;
   t.nrows <- t.nrows + 1
 
 let append_values t values =
   if t.nslots <> 0 then
     invalid_arg "Temp_table.append_values: table has pointer slots";
-  (* Reorder the values into materialized-cell order. *)
-  let mats = Array.make t.nmats Value.Null in
+  if t.is_retired then invalid_arg "Temp_table.append: table is retired";
+  if Array.length values <> Array.length t.prov then
+    invalid_arg "Temp_table.append: slot/materialized arity mismatch";
+  Meter.tick_c c_bound_append;
+  reserve t 1;
+  (* Write the values directly into the arena in materialized-cell order. *)
+  let base = t.nrows * t.nmats in
   Array.iteri
     (fun col p ->
       match p with
-      | Computed m -> mats.(m) <- values.(col)
+      | Computed m -> t.mats.(base + m) <- values.(col)
       | From_record _ -> assert false)
     t.prov;
-  append t ~srcs:[||] ~mats
+  t.nrows <- t.nrows + 1
 
 let get t row col =
   match t.prov.(col) with
-  | From_record (slot, off) -> Record.value row.srcs.(slot) off
-  | Computed m -> row.mats.(m)
+  | From_record (slot, off) ->
+    Record.value t.srcs.((row * t.nslots) + slot) off
+  | Computed m -> t.mats.((row * t.nmats) + m)
 
 let row_values t row =
-  Array.init (Schema.arity t.tschema) (fun c -> get t row c)
+  Array.init (Array.length t.prov) (fun c -> get t row c)
 
-let row_source row slot = row.srcs.(slot)
+let row_source t row slot = t.srcs.((row * t.nslots) + slot)
 
-let iter t f = List.iter f (List.rev t.rows_rev)
+let iter t f =
+  for i = 0 to t.nrows - 1 do
+    f i
+  done
 
 let fold t ~init ~f =
-  List.fold_left f init (List.rev t.rows_rev)
+  let acc = ref init in
+  for i = 0 to t.nrows - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let same_static_map t prov = t.prov == prov || t.prov = prov
 
 let same_layout a b =
   Schema.equal_layout a.tschema b.tschema
   && a.nslots = b.nslots && a.prov = b.prov
 
+let clear_arena t =
+  if t.nslots > 0 then Array.fill t.srcs 0 (t.nrows * t.nslots) Record.dummy;
+  t.nrows <- 0
+
 let absorb dst src =
   if dst.is_retired then invalid_arg "Temp_table.absorb: destination retired";
   if same_layout dst src then begin
-    (* Move rows (pins move with them, so no repin/unpin). *)
-    Meter.tick_n "bound_append" src.nrows;
-    dst.rows_rev <- src.rows_rev @ dst.rows_rev;
+    (* Move rows by arena blit (pins move with them, so no repin/unpin). *)
+    Meter.tick_cn c_bound_append src.nrows;
+    reserve dst src.nrows;
+    if dst.nslots > 0 then
+      Array.blit src.srcs 0 dst.srcs (dst.nrows * dst.nslots)
+        (src.nrows * src.nslots);
+    if dst.nmats > 0 then
+      Array.blit src.mats 0 dst.mats (dst.nrows * dst.nmats)
+        (src.nrows * src.nmats);
     dst.nrows <- dst.nrows + src.nrows;
-    src.rows_rev <- [];
-    src.nrows <- 0
+    clear_arena src
   end
   else if dst.nslots = 0 && Schema.equal_layout dst.tschema src.tschema then begin
     (* Fully-materialized destination (a recovered TCB rebuilt from the
        checkpoint/log, which carries no record pointers): copy the source
        rows by value.  append_values ticks "bound_append" per row, matching
        the fast path's metering. *)
-    List.iter
-      (fun r -> append_values dst (row_values src r))
-      (List.rev src.rows_rev);
-    List.iter (fun r -> Array.iter Record.unpin r.srcs) src.rows_rev;
-    src.rows_rev <- [];
-    src.nrows <- 0
+    for i = 0 to src.nrows - 1 do
+      append_values dst (row_values src i)
+    done;
+    Array.iter Record.unpin (Array.sub src.srcs 0 (src.nrows * src.nslots));
+    clear_arena src
   end
   else
     invalid_arg
@@ -130,14 +185,13 @@ let absorb dst src =
 let retire t =
   if not t.is_retired then begin
     t.is_retired <- true;
-    List.iter (fun r -> Array.iter Record.unpin r.srcs) t.rows_rev;
-    t.rows_rev <- [];
-    t.nrows <- 0
+    for i = 0 to (t.nrows * t.nslots) - 1 do
+      Record.unpin t.srcs.(i)
+    done;
+    clear_arena t
   end
 
 let retired t = t.is_retired
 
 let to_rows t =
-  (* [rows_rev] is newest-first, so a single rev_map restores insertion
-     order. *)
-  List.rev_map (fun r -> row_values t r) t.rows_rev
+  List.init t.nrows (fun i -> row_values t i)

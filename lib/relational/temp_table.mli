@@ -34,8 +34,17 @@ val cardinal : t -> int
 val slots : t -> int
 val static_map : t -> provenance array
 
+val same_static_map : t -> provenance array -> bool
+(** Does this table's static map equal [prov]?  Physical equality is checked
+    first, so layouts shared via {!Strip_rules} transition caching compare in
+    O(1). *)
+
 type row
 (** One temporary tuple. *)
+
+val reserve : t -> int -> unit
+(** Pre-grow the backing arenas so the next [n] appends don't reallocate.
+    Purely a capacity hint; contents and metering are unaffected. *)
 
 val append : t -> srcs:Record.t array -> mats:Value.t array -> unit
 (** Add a tuple; pins each source record.
@@ -50,8 +59,10 @@ val get : t -> row -> int -> Value.t
 val row_values : t -> row -> Value.t array
 (** All column values of a tuple, materialized into a fresh array. *)
 
-val row_source : row -> int -> Record.t
-(** The record in pointer slot [slot] of this tuple. *)
+val row_source : t -> row -> int -> Record.t
+(** [row_source t row slot]: the record in pointer slot [slot] of this
+    tuple.  (Tuples live in their table's arena, so reading a slot needs
+    the table.) *)
 
 val iter : t -> (row -> unit) -> unit
 (** Iterate tuples in insertion order. *)

@@ -299,9 +299,11 @@ let serve_read t ~now =
   in
   let before = Meter.snapshot () in
   ignore (Sql_exec.exec_string cat ~env:[] sql);
-  let work = Meter.diff before (Meter.snapshot ()) in
+  let after = Meter.snapshot () in
   let cost = Engine.cost_model (Strip_db.engine t.primary) in
-  let service = (1e-6 *. Cost_model.charge cost work) +. t.cfg.read_cost_s in
+  let service =
+    (1e-6 *. Cost_model.charge_span cost ~before ~after) +. t.cfg.read_cost_s
+  in
   let busy =
     match target with
     | `Primary -> t.primary_busy

@@ -1,6 +1,9 @@
 open Strip_relational
 open Strip_txn
 
+let c_close_cursor = Meter.counter "close_cursor"
+let c_fetch_cursor = Meter.counter "fetch_cursor"
+let c_open_cursor = Meter.counter "open_cursor"
 type lock_error = exn
 
 let update_by_key txn tb idx key f =
@@ -53,8 +56,8 @@ let bound_table (ctx : Rule_manager.action_ctx) name =
 
 let iter_bound ctx name f =
   let tmp = bound_table ctx name in
-  Meter.tick "open_cursor";
+  Meter.tick_c c_open_cursor;
   Temp_table.iter tmp (fun row ->
-      Meter.tick "fetch_cursor";
+      Meter.tick_c c_fetch_cursor;
       f (Temp_table.row_values tmp row));
-  Meter.tick "close_cursor"
+  Meter.tick_c c_close_cursor

@@ -1,5 +1,6 @@
 open Strip_relational
 open Strip_txn
+let c_rule_check = Meter.counter "rule_check"
 module Trace = Strip_obs.Trace
 module Span = Strip_obs.Span
 module Provenance = Strip_obs.Provenance
@@ -609,7 +610,7 @@ and process_commit t txn =
           let env = Transition.env trans in
           List.iter
             (fun compiled ->
-              Meter.tick "rule_check";
+              Meter.tick_c c_rule_check;
               let triggered =
                 List.exists
                   (fun (e : Tlog.entry) ->
@@ -661,32 +662,35 @@ and commit_txn ?release t txn =
   | None -> ()
   | Some d ->
     let w = Durable.wal d in
-    if ops <> [] then begin
-      (* The trace note precedes its Commit record so a replica scanning
-         in order has the context before it applies the transaction. *)
-      (match t.cur_ctx with
-      | None -> ()
-      | Some c ->
-        ignore
-          (Wal.append w
-             (Wal.Trace_note
-                {
-                  subject = Wal.For_txn (Transaction.txid txn);
-                  trace = c.Span.trace;
-                  span = c.Span.span;
-                })));
-      ignore
-        (Wal.append w
-           (Wal.Commit
+    let commit_recs =
+      if ops = [] then []
+      else
+        (* The trace note precedes its Commit record so a replica scanning
+           in order has the context before it applies the transaction. *)
+        (match t.cur_ctx with
+        | None -> []
+        | Some c ->
+          [
+            Wal.Trace_note
               {
-                txid = Transaction.txid txn;
-                time = Clock.now t.clock;
-                ops;
-              }))
-    end;
-    (match release with
-    | Some (func, key) -> ignore (Wal.append w (Wal.Uq_release { func; key }))
-    | None -> ());
+                subject = Wal.For_txn (Transaction.txid txn);
+                trace = c.Span.trace;
+                span = c.Span.span;
+              };
+          ])
+        @ [
+            Wal.Commit
+              { txid = Transaction.txid txn; time = Clock.now t.clock; ops };
+          ]
+    in
+    let commit_recs =
+      commit_recs
+      @
+      match release with
+      | Some (func, key) -> [ Wal.Uq_release { func; key } ]
+      | None -> []
+    in
+    if commit_recs <> [] then ignore (Wal.append_batch w commit_recs);
     if Wal.pending_bytes w > 0 then begin
       (* The window between the in-memory commit and the log reaching
          stable storage: a crash here loses this transaction. *)

@@ -15,24 +15,39 @@ let transition_schema base =
     (Schema.columns (Schema.unqualify base)
     @ [ Schema.column execute_order_column Value.TInt ])
 
-let make_table ~schema ~base_arity name =
-  (* base columns point into the source record; execute_order is
-     materialized *)
-  let prov =
-    Array.init (base_arity + 1) (fun i ->
-        if i < base_arity then Temp_table.From_record (0, i)
-        else Temp_table.Computed 0)
-  in
-  Temp_table.create ~name ~schema ~nslots:1 ~prov
+(* Every commit against the same base table builds four transition tables
+   with the same derived schema and static map.  Cache the layout per base
+   schema (physical identity — schemas are created once per table) so the
+   per-commit cost is four small arena allocations, and so every transition
+   table over one base shares a physically-identical schema, which lets
+   downstream plan caches key on it. *)
+let layouts : (Schema.t * (Schema.t * Temp_table.provenance array)) list ref =
+  ref []
+
+let layout_for base =
+  match List.assq_opt base !layouts with
+  | Some l -> l
+  | None ->
+    let base_arity = Schema.arity base in
+    let prov =
+      (* base columns point into the source record; execute_order is
+         materialized *)
+      Array.init (base_arity + 1) (fun i ->
+          if i < base_arity then Temp_table.From_record (0, i)
+          else Temp_table.Computed 0)
+    in
+    let l = (transition_schema base, prov) in
+    layouts := (base, l) :: !layouts;
+    l
 
 let build ~schema ~table entries =
   ignore table;
-  let base_arity = Schema.arity schema in
-  let tschema = transition_schema schema in
-  let inserted = make_table ~schema:tschema ~base_arity "inserted" in
-  let deleted = make_table ~schema:tschema ~base_arity "deleted" in
-  let new_ = make_table ~schema:tschema ~base_arity "new" in
-  let old = make_table ~schema:tschema ~base_arity "old" in
+  let tschema, prov = layout_for schema in
+  let make_table name = Temp_table.create ~name ~schema:tschema ~nslots:1 ~prov in
+  let inserted = make_table "inserted" in
+  let deleted = make_table "deleted" in
+  let new_ = make_table "new" in
+  let old = make_table "old" in
   List.iter
     (fun (e : Tlog.entry) ->
       let seq = [| Value.Int e.execute_order |] in

@@ -1,6 +1,7 @@
 open Strip_relational
 open Strip_txn
 
+let c_unique_hash = Meter.counter "unique_hash"
 module Key = struct
   type t = string * Value.t list
 
@@ -19,7 +20,7 @@ type t = { tbl : Task.t Tbl.t }
 let create () = { tbl = Tbl.create 1024 }
 
 let find t ~func ~key =
-  Meter.tick "unique_hash";
+  Meter.tick_c c_unique_hash;
   match Tbl.find_opt t.tbl (func, key) with
   | None -> None
   | Some task ->
@@ -30,11 +31,11 @@ let find t ~func ~key =
     else Some task
 
 let register t ~func ~key task =
-  Meter.tick "unique_hash";
+  Meter.tick_c c_unique_hash;
   Tbl.replace t.tbl (func, key) task
 
 let remove t ~func ~key =
-  Meter.tick "unique_hash";
+  Meter.tick_c c_unique_hash;
   Tbl.remove t.tbl (func, key)
 
 (* Entries whose task has started (or was cancelled) are purged only lazily

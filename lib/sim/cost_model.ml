@@ -1,4 +1,12 @@
-type t = { costs : (string, float) Hashtbl.t }
+open Strip_relational
+
+type t = {
+  costs : (string, float) Hashtbl.t;
+  (* per-meter-cell memo of [cost_us]; nan marks an unresolved slot (no
+     real cost is nan).  Filled on first charge of a cell, so the unknown-
+     counter bookkeeping still only sees counters that were charged. *)
+  mutable rates : float array;
+}
 
 let unknown : (string, unit) Hashtbl.t = Hashtbl.create 8
 
@@ -49,6 +57,9 @@ let other_costs =
     ("predicate_eval", 4.0);
     ("hash_build", 15.0);
     ("hash_probe", 25.0);
+    (* one pointer advance of the ordered-index merge join; cheaper than a
+       full index probe because both sides stream in key order *)
+    ("merge_step", 20.0);
     ("join_row", 8.0);
     ("row_construct", 12.0);
     ("agg_row", 40.0);
@@ -102,14 +113,14 @@ let other_costs =
 let create entries =
   let costs = Hashtbl.create 64 in
   List.iter (fun (name, us) -> Hashtbl.replace costs name us) entries;
-  { costs }
+  { costs; rates = [||] }
 
 let default = create (table1_costs @ other_costs)
 
 let override t entries =
   let costs = Hashtbl.copy t.costs in
   List.iter (fun (name, us) -> Hashtbl.replace costs name us) entries;
-  { costs }
+  { costs; rates = [||] }
 
 let cost_us t name =
   match Hashtbl.find_opt t.costs name with
@@ -122,6 +133,25 @@ let charge t deltas =
   List.fold_left
     (fun acc (name, n) -> acc +. (cost_us t name *. float_of_int n))
     0.0 deltas
+
+let rate t cell =
+  let id = Meter.cell_id cell in
+  let n = Array.length t.rates in
+  if id >= n then begin
+    let grown = Array.make (max 64 (max (id + 1) (2 * n))) nan in
+    Array.blit t.rates 0 grown 0 n;
+    t.rates <- grown
+  end;
+  let v = t.rates.(id) in
+  if Float.is_nan v then begin
+    let us = cost_us t (Meter.name_of_cell cell) in
+    t.rates.(id) <- us;
+    us
+  end
+  else v
+
+let charge_span t ~before ~after =
+  Meter.charge_diff before after ~rate:(rate t)
 
 let entries t =
   Hashtbl.fold (fun name us acc -> (name, us) :: acc) t.costs []

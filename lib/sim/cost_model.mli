@@ -36,6 +36,15 @@ val charge : t -> (string * int) list -> float
 (** Total µs for a counter delta list (as produced by
     {!Strip_relational.Meter.diff}). *)
 
+val charge_span :
+  t ->
+  before:Strip_relational.Meter.snapshot ->
+  after:Strip_relational.Meter.snapshot ->
+  float
+(** [charge t (Meter.diff before after)], bit for bit, without building the
+    delta list — the engine's per-task accounting path.  Per-cell rates are
+    memoized on first use. *)
+
 val entries : t -> (string * float) list
 (** All (counter, µs) entries, sorted by name. *)
 

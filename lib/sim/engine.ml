@@ -1,5 +1,11 @@
 open Strip_relational
 open Strip_txn
+let c_context_switch = Meter.counter "context_switch"
+let c_sched_congestion = Meter.counter "sched_congestion"
+let c_task_dead_letter = Meter.counter "task_dead_letter"
+let c_task_dispatch = Meter.counter "task_dispatch"
+let c_task_retry = Meter.counter "task_retry"
+let c_task_shed = Meter.counter "task_shed"
 module Trace = Strip_obs.Trace
 
 type retry = {
@@ -233,7 +239,7 @@ let shed t ~incoming ov =
           | None -> false
         in
         Task.cancel victim;
-        Meter.tick "task_shed";
+        Meter.tick_c c_task_shed;
         trace_instant t ~ts:(Clock.now t.eclock)
           ~extra:[ ("coalesced", Trace.Int (Bool.to_int coalesced)) ]
           "shed" victim;
@@ -319,7 +325,7 @@ let congestion_us t now =
     Queue.push now t.recent_dispatches;
     let n = Queue.length t.recent_dispatches in
     let surcharge = unit *. float_of_int (n * n) in
-    if surcharge > 0.0 then Meter.tick_n "sched_congestion" (n * n);
+    if surcharge > 0.0 then Meter.tick_cn c_sched_congestion (n * n);
     surcharge
   end
 
@@ -348,7 +354,7 @@ let handle_failure t ~now task e =
           *. (2.0 ** float_of_int (task.Task.attempts - 1)))
       in
       task.Task.release_time <- now +. backoff;
-      Meter.tick "task_retry";
+      Meter.tick_c c_task_retry;
       trace_instant t ~ts:now
         ~extra:[ ("backoff_s", Trace.Float backoff) ]
         "retry" task;
@@ -359,7 +365,7 @@ let handle_failure t ~now task e =
     else begin
       Task.discard task;
       t.dead <- task :: t.dead;
-      Meter.tick "task_dead_letter";
+      Meter.tick_c c_task_dead_letter;
       trace_instant t ~ts:now
         ~extra:[ ("attempts", Trace.Int task.Task.attempts) ]
         "dead_letter" task;
@@ -446,13 +452,13 @@ let dispatch t task =
   task.Task.dispatched_at <- start;
   let queue_us = Float.max 0.0 (start -. task.Task.release_time) *. 1e6 in
   let before = Meter.snapshot () in
-  Meter.tick "task_dispatch";
+  Meter.tick_c c_task_dispatch;
   (match t.locks with Some lk -> Lock.begin_defer lk | None -> ());
   let failure =
     match Task.run task with () -> None | exception e -> Some e
   in
   let owners = match t.locks with Some lk -> Lock.end_defer lk | None -> [] in
-  let deltas = Meter.diff before (Meter.snapshot ()) in
+  let after = Meter.snapshot () in
   (* A lock-blocked attempt parks on the conflicting holder instead of
      charging: its partial work was undone by the abort, and the modeled
      executor would have blocked in place rather than burned its server.
@@ -497,7 +503,7 @@ let dispatch t task =
     | None -> ());
     park t task ~start ~blocker ~finish
   | None -> (
-    let us = ref (Cost_model.charge t.cost deltas) in
+    let us = ref (Cost_model.charge_span t.cost ~before ~after) in
     (* Only rule-triggered tasks contend on the task-management structures
        (updates bypass the delay queue and unique hash). *)
     (match task.Task.klass with
@@ -511,7 +517,7 @@ let dispatch t task =
       let span = !us *. 1e-6 in
       let ctx = arrivals_between t start (start +. span) in
       if ctx > 0 then begin
-        Meter.tick_n "context_switch" ctx;
+        Meter.tick_cn c_context_switch ctx;
         us :=
           !us +. (Cost_model.cost_us t.cost "context_switch" *. float_of_int ctx);
         Stats.record_context_switches t.estats ctx

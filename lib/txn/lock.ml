@@ -1,5 +1,8 @@
 open Strip_relational
 
+let c_get_lock = Meter.counter "get_lock"
+let c_release_lock = Meter.counter "release_lock"
+
 type mode = S | X
 
 type resource =
@@ -112,7 +115,7 @@ let acquire t ~owner res mode =
     in
     if conflicting = [] then begin
       (* Grant, possibly an upgrade. *)
-      Meter.tick "get_lock";
+      Meter.tick_c c_get_lock;
       (match held_opt with
       | Some _ ->
         e.lholders <-
@@ -160,7 +163,7 @@ let release_physical ~tick t ~owner =
           let before = List.length e.lholders in
           e.lholders <- List.filter (fun (o, _) -> o <> owner) e.lholders;
           if tick && List.length e.lholders < before then
-            Meter.tick "release_lock";
+            Meter.tick_c c_release_lock;
           if e.lholders = [] && e.lwaiters = [] then
             Hashtbl.remove t.entries res)
       !l;
@@ -178,7 +181,7 @@ let release_all t ~owner =
        engine flushes them at the simulated completion instant. *)
     (match Hashtbl.find_opt t.owned owner with
     | None -> ()
-    | Some l -> List.iter (fun _ -> Meter.tick "release_lock") !l);
+    | Some l -> List.iter (fun _ -> Meter.tick_c c_release_lock) !l);
     clear_waiters t ~owner;
     t.deferred <- owner :: t.deferred
   end

@@ -1,5 +1,6 @@
 open Strip_relational
 
+let c_sched_op = Meter.counter "sched_op"
 type policy = Fifo | Edf | Vdf
 
 (* Heap keys: lexicographic (class priority, policy key, arrival seq). *)
@@ -58,7 +59,7 @@ let pol_key t (task : Task.t) =
   | Vdf -> -.task.Task.value
 
 let enqueue t task =
-  Meter.tick "sched_op";
+  Meter.tick_c c_sched_op;
   let keyed =
     { kpri = Task.priority task; kpol = pol_key t task; kseq = t.next_seq; task }
   in
@@ -76,7 +77,7 @@ let enqueue t task =
 let rec dequeue t =
   if t.size = 0 then None
   else begin
-    Meter.tick "sched_op";
+    Meter.tick_c c_sched_op;
     let top = t.heap.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin

@@ -1,5 +1,8 @@
 open Strip_relational
 
+let c_begin_task = Meter.counter "begin_task"
+let c_end_task = Meter.counter "end_task"
+
 type klass =
   | Update
   | Recompute
@@ -76,14 +79,14 @@ let run t =
       (Printf.sprintf "Task.run: task %d already started" t.task_id));
   t.state <- Running;
   t.attempts <- t.attempts + 1;
-  Meter.tick "begin_task";
+  Meter.tick_c c_begin_task;
   match t.body t with
   | () ->
-    Meter.tick "end_task";
+    Meter.tick_c c_end_task;
     retire_bound t;
     t.state <- Done
   | exception e ->
-    Meter.tick "end_task";
+    Meter.tick_c c_end_task;
     (* The attempt failed: keep the bound tables and return to [Pending] so
        the scheduler can retry with the accumulated TCB intact (and unique
        merges can keep appending while the task waits out its backoff).  The

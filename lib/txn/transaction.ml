@@ -1,5 +1,9 @@
 open Strip_relational
 
+let c_abort_transaction = Meter.counter "abort_transaction"
+let c_begin_transaction = Meter.counter "begin_transaction"
+let c_commit_transaction = Meter.counter "commit_transaction"
+
 type status = Active | Committed | Aborted
 
 exception Lock_conflict of {
@@ -25,7 +29,7 @@ let next_txid = ref 0
 
 let begin_ ~cat ~locks ~clock ?(env = []) () =
   incr next_txid;
-  Meter.tick "begin_transaction";
+  Meter.tick_c c_begin_transaction;
   {
     id = !next_txid;
     cat;
@@ -118,7 +122,7 @@ let query_plan t plan =
 
 let commit t =
   require_active t "commit";
-  Meter.tick "commit_transaction";
+  Meter.tick_c c_commit_transaction;
   t.tcommit <- Some (Clock.now t.clock);
   t.st <- Committed;
   Lock.release_all t.locks ~owner:t.id
@@ -129,7 +133,7 @@ let cleanup t =
 
 let abort t =
   require_active t "abort";
-  Meter.tick "abort_transaction";
+  Meter.tick_c c_abort_transaction;
   (* Undo in reverse order.  Because updates version records, the record a
      log entry names may since have been superseded; [current] maps an
      original rid to the live record now standing for it. *)

@@ -3,6 +3,9 @@ open Strip_relational
 (* ------------------------------------------------------------------ *)
 (* Record vocabulary.                                                   *)
 
+let c_wal_append = Meter.counter "wal_append"
+let c_wal_fsync = Meter.counter "wal_fsync"
+
 type op =
   | Insert of { table : string; order : int; values : Value.t array }
   | Delete of { table : string; order : int; values : Value.t array }
@@ -131,8 +134,7 @@ let get_bound r : bound_rows =
       let rows = Codec.get_list r Codec.get_values in
       (name, rows))
 
-let encode_record rec_ =
-  let b = Buffer.create 128 in
+let encode_record_into b rec_ =
   (match rec_ with
   | Commit { txid; time; ops } ->
     Codec.put_u8 b 0;
@@ -170,8 +172,8 @@ let encode_record rec_ =
       Codec.put_string b func;
       Codec.put_list b Codec.put_value key);
     Codec.put_int b trace;
-    Codec.put_int b span);
-  Buffer.contents b
+    Codec.put_int b span)
+
 
 let decode_record r =
   let rec_ =
@@ -231,6 +233,7 @@ type t = {
   mutable base_lsn : int;  (* LSN of the first byte still retained *)
   durable : Buffer.t;
   pending : Buffer.t;
+  scratch : Buffer.t;  (* reused payload-encoding workspace *)
   mutable appends : int;
   mutable fsyncs : int;
   mutable truncations : int;
@@ -242,6 +245,7 @@ let create ?(base_lsn = 0) () =
     base_lsn;
     durable = Buffer.create 4096;
     pending = Buffer.create 512;
+    scratch = Buffer.create 512;
     appends = 0;
     fsyncs = 0;
     truncations = 0;
@@ -258,16 +262,43 @@ let n_fsyncs t = t.fsyncs
 let n_truncations t = t.truncations
 let appended_bytes t = t.appended_bytes
 
-let append t rec_ =
+(* Frame [data.(off..off+len)] as one log entry; the frame layout
+   ([u32 len][u32 crc][payload]) is what [scan] below decodes. *)
+let frame t data off len =
   let lsn = end_lsn t in
-  let payload = encode_record rec_ in
-  Codec.put_u32 t.pending (String.length payload);
-  Codec.put_u32 t.pending (Codec.crc32 payload);
-  Buffer.add_string t.pending payload;
+  Codec.put_u32 t.pending len;
+  Codec.put_u32 t.pending (Codec.crc32 ~pos:off ~len data);
+  Buffer.add_substring t.pending data off len;
   t.appends <- t.appends + 1;
-  t.appended_bytes <- t.appended_bytes + String.length payload + 8;
-  Meter.tick "wal_append";
+  t.appended_bytes <- t.appended_bytes + len + 8;
   lsn
+
+let append t rec_ =
+  Buffer.clear t.scratch;
+  encode_record_into t.scratch rec_;
+  let data = Buffer.contents t.scratch in
+  let lsn = frame t data 0 (String.length data) in
+  Meter.tick_c c_wal_append;
+  lsn
+
+let append_batch t recs =
+  (* One scratch encode and one [Buffer.contents] copy for the whole
+     transaction; each record still gets its own frame, so the byte stream
+     (and every reader) is identical to per-record [append]s. *)
+  Buffer.clear t.scratch;
+  let spans =
+    List.map
+      (fun rec_ ->
+        let off = Buffer.length t.scratch in
+        encode_record_into t.scratch rec_;
+        (off, Buffer.length t.scratch - off))
+      recs
+  in
+  let data = Buffer.contents t.scratch in
+  let lsns = List.map (fun (off, len) -> frame t data off len) spans in
+  let n = List.length lsns in
+  if n > 0 then Meter.tick_cn c_wal_append n;
+  lsns
 
 let fsync t =
   if Buffer.length t.pending > 0 then begin
@@ -275,7 +306,7 @@ let fsync t =
     Buffer.clear t.pending
   end;
   t.fsyncs <- t.fsyncs + 1;
-  Meter.tick "wal_fsync"
+  Meter.tick_c c_wal_fsync
 
 let lose_tail t = Buffer.clear t.pending
 

@@ -70,6 +70,13 @@ val append : t -> record -> int
 (** Frame and append a record to the pending (unsynced) tail; returns its
     LSN.  Ticks the ["wal_append"] meter. *)
 
+val append_batch : t -> record list -> int list
+(** Append a transaction's records in one pass: all payloads are encoded
+    into a single reused buffer and framed from it, instead of allocating
+    an encode buffer per record.  The resulting byte stream, LSNs and
+    ["wal_append"] tick count are exactly those of the equivalent
+    per-record {!append}s. *)
+
 val fsync : t -> unit
 (** Make all pending bytes durable.  Ticks the ["wal_fsync"] meter. *)
 

@@ -103,6 +103,59 @@ let test_schedule_roundtrip () =
        "{\"seed\": 1, \"scale\": 0.05, \"events\": [{\"kind\": \"meteor\", \
         \"at\": 1.0}]}")
 
+let test_schedule_window_boundary_roundtrip () =
+  (* Regression: fault windows are half-open [at, until).  A reproducer
+     that round-trips through JSON must keep its edges bit-exact, and a
+     link armed from the round-tripped schedule must still deliver the
+     send stamped exactly at the healing edge. *)
+  let open Strip_repl in
+  let s =
+    {
+      Schedule.seed = 1;
+      scale = 0.05;
+      events =
+        [
+          Experiment.Partition_at { at = 1.0; heal_after_s = 1.0 };
+          Experiment.Drop_burst { at = 3.0; until_s = 4.0; rate = 1.0 };
+        ];
+    }
+  in
+  let s' = Schedule.of_string (Schedule.to_string s) in
+  Alcotest.(check bool) "edges survive the round-trip bit-exact" true
+    (s'.Schedule.events = s.Schedule.events);
+  let arm events =
+    let l = Link.create { Link.default_config with drop_rate = 0.0 } in
+    List.iter
+      (function
+        | Experiment.Partition_at { at; heal_after_s } ->
+          Link.add_partition_window l ~from_s:at ~until_s:(at +. heal_after_s)
+        | Experiment.Drop_burst { at; until_s; rate } ->
+          Link.add_drop_burst l ~from_s:at ~until_s ~rate
+        | _ -> ())
+      events;
+    (* one send on each edge of each window *)
+    let fates =
+      List.map
+        (fun now ->
+          let d0 = Link.n_dropped l
+          and p0 = Link.n_partition_drops l
+          and f0 = Link.in_flight l in
+          Link.send l ~now (Link.Segment { from_lsn = 0; bytes = "x" });
+          if Link.n_partition_drops l > p0 then "cut"
+          else if Link.n_dropped l > d0 then "dropped"
+          else if Link.in_flight l > f0 then "delivered"
+          else "lost")
+        [ 1.0; 2.0; 3.0; 4.0 ]
+    in
+    fates
+  in
+  let expected = [ "cut"; "delivered"; "dropped"; "delivered" ] in
+  Alcotest.(check (list string)) "boundary fates as armed" expected
+    (arm s.Schedule.events);
+  Alcotest.(check (list string)) "identical after the JSON round-trip"
+    expected
+    (arm s'.Schedule.events)
+
 (* ------------------------------------------------------------------ *)
 (* Explorer: benign runs pass, runs are deterministic, planted
    violations shrink to 1-minimal replayable reproducers *)
@@ -292,6 +345,8 @@ let suite =
           test_generate_deterministic;
         Alcotest.test_case "serialized schedules round-trip" `Quick
           test_schedule_roundtrip;
+        Alcotest.test_case "window boundaries half-open across round-trip"
+          `Quick test_schedule_window_boundary_roundtrip;
       ] );
     ( "chaos/explore",
       [

@@ -3,7 +3,7 @@ open Strip_relational
 let rec_ vals = Record.create vals
 
 let test_hash_multi () =
-  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] () in
   let r1 = rec_ [| Value.Str "a"; Value.Int 1 |] in
   let r2 = rec_ [| Value.Str "a"; Value.Int 2 |] in
   let r3 = rec_ [| Value.Str "b"; Value.Int 3 |] in
@@ -25,7 +25,7 @@ let test_hash_multi () =
     (Index.lookup idx [ Value.Str "a" ])
 
 let test_composite_key () =
-  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 1; 0 |] in
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 1; 0 |] () in
   let r = rec_ [| Value.Str "x"; Value.Int 5 |] in
   Index.add idx r;
   Alcotest.(check int) "composite lookup" 1
@@ -34,7 +34,7 @@ let test_composite_key () =
     (List.length (Index.lookup idx [ Value.Str "x"; Value.Int 5 ]))
 
 let test_ordered_range () =
-  let idx = Index.create ~name:"i" ~kind:Index.Ordered ~cols:[| 0 |] in
+  let idx = Index.create ~name:"i" ~kind:Index.Ordered ~cols:[| 0 |] () in
   List.iter
     (fun i -> Index.add idx (rec_ [| Value.Int i |]))
     [ 5; 3; 9; 1; 7; 3 ];
@@ -47,7 +47,7 @@ let test_ordered_range () =
   Alcotest.(check int) "distinct" 5 (Index.distinct_keys idx)
 
 let test_range_on_hash_rejected () =
-  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] () in
   match Index.range idx (fun _ -> ()) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "range over hash index should be rejected"
@@ -55,14 +55,14 @@ let test_range_on_hash_rejected () =
 let test_numeric_coercion_in_keys () =
   (* Int and Float keys that are numerically equal must collide, matching
      Value.equal/hash. *)
-  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] () in
   Index.add idx (rec_ [| Value.Int 2 |]);
   Alcotest.(check int) "float probe finds int key" 1
     (List.length (Index.lookup idx [ Value.Float 2.0 ]))
 
 let test_meter_ticks () =
   Meter.reset ();
-  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] in
+  let idx = Index.create ~name:"i" ~kind:Index.Hash ~cols:[| 0 |] () in
   let r = rec_ [| Value.Int 1 |] in
   Index.add idx r;
   ignore (Index.lookup idx [ Value.Int 1 ]);

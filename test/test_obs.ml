@@ -79,6 +79,70 @@ let test_hist_empty_and_underflow () =
   Alcotest.(check (float 0.0)) "all-underflow p50 is 0" 0.0
     (Histogram.percentile h 50.0)
 
+let test_hist_percentile_edges () =
+  (* Empty: every percentile is 0, never NaN/inf. *)
+  let e = Histogram.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty p%.0f" p)
+        0.0
+        (Histogram.percentile e p))
+    [ 0.0; 50.0; 100.0 ];
+  (* Single sample: every percentile collapses onto it (clamped to the
+     observed range, so exact despite bucketing). *)
+  let s = Histogram.create () in
+  Histogram.add s 7.25;
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile s p in
+      Alcotest.(check bool)
+        (Printf.sprintf "single-sample p%.1f finite" p)
+        true (Float.is_finite v);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single-sample p%.1f" p)
+        7.25 v)
+    [ 0.0; 50.0; 99.9; 100.0 ];
+  (* p = 100.0 on a multi-sample histogram: finite and never above max. *)
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.001; 3.0; 9000.0 ];
+  let p100 = Histogram.percentile h 100.0 in
+  Alcotest.(check bool) "p100 finite" true (Float.is_finite p100);
+  Alcotest.(check bool) "p100 <= max" true (p100 <= Histogram.max_value h);
+  (* out-of-range p is clamped, not an excursion into garbage ranks *)
+  Alcotest.(check (float 1e-9)) "p>100 clamps to p100" p100
+    (Histogram.percentile h 150.0);
+  Alcotest.(check bool) "p<0 clamps to p0" true
+    (Float.is_finite (Histogram.percentile h (-5.0)))
+
+let test_hist_all_nan_bounds () =
+  (* Regression: a histogram fed only NaN used to report min = +inf and
+     max = -inf (n > 0 but the bounds never updated); summaries exported
+     non-finite JSON. *)
+  let h = Histogram.create () in
+  Histogram.add h Float.nan;
+  Histogram.add h Float.nan;
+  Alcotest.(check int) "NaN samples counted" 2 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "all-NaN min is 0" 0.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "all-NaN max is 0" 0.0 (Histogram.max_value h);
+  let s = Histogram.summary h in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v))
+    [
+      ("mean", s.Histogram.mean);
+      ("min", s.Histogram.min);
+      ("max", s.Histogram.max);
+      ("p50", s.Histogram.p50);
+      ("p99", s.Histogram.p99);
+    ];
+  (* once a real sample arrives the bounds recover *)
+  Histogram.add h 4.0;
+  Alcotest.(check (float 1e-9)) "real min after NaNs" 4.0
+    (Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "real max after NaNs" 4.0
+    (Histogram.max_value h)
+
 let test_hist_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   List.iter (Histogram.add a) [ 1.0; 2.0 ];
@@ -90,7 +154,24 @@ let test_hist_merge () =
   let coarse = Histogram.create ~gamma:2.0 () in
   Alcotest.check_raises "gamma mismatch"
     (Invalid_argument "Histogram.merge_into: gamma mismatch") (fun () ->
-      Histogram.merge_into ~dst:coarse a)
+      Histogram.merge_into ~dst:coarse a);
+  (* Regression: merging an empty histogram either way must not disturb
+     the non-empty side's bounds (the empty side's sentinels are
+     lo = +inf / hi = -inf). *)
+  let empty = Histogram.create () in
+  Histogram.merge_into ~dst:a empty;
+  Alcotest.(check int) "empty src adds nothing" 4 (Histogram.count a);
+  Alcotest.(check (float 1e-6)) "min survives empty merge" 1.0
+    (Histogram.min_value a);
+  Alcotest.(check (float 1e-6)) "max survives empty merge" 200.0
+    (Histogram.max_value a);
+  let fresh = Histogram.create () in
+  Histogram.merge_into ~dst:fresh a;
+  Alcotest.(check int) "merge into empty dst" 4 (Histogram.count fresh);
+  Alcotest.(check (float 1e-6)) "empty dst takes src min" 1.0
+    (Histogram.min_value fresh);
+  Alcotest.(check (float 1e-6)) "empty dst takes src max" 200.0
+    (Histogram.max_value fresh)
 
 let test_hist_merge_list () =
   let mk vs =
@@ -460,6 +541,10 @@ let suite =
           test_hist_percentiles_known;
         Alcotest.test_case "empty and underflow" `Quick
           test_hist_empty_and_underflow;
+        Alcotest.test_case "percentile edge cases" `Quick
+          test_hist_percentile_edges;
+        Alcotest.test_case "all-NaN bounds stay finite" `Quick
+          test_hist_all_nan_bounds;
         Alcotest.test_case "merge" `Quick test_hist_merge;
         Alcotest.test_case "merge list (cluster aggregation)" `Quick
           test_hist_merge_list;

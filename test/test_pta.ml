@@ -154,6 +154,38 @@ let test_multi_server_determinism () =
   Alcotest.(check string) "overloaded report byte-identical" (run overloaded)
     (run overloaded)
 
+let test_index_join_differential_reports () =
+  (* The physical index-probe path is a pure-speed rework: forcing the
+     executor onto the hash-build fallback must leave every scenario's
+     full JSON report byte-identical, across all batching variants. *)
+  let report rule =
+    Strip_txn.Task.reset_ids ();
+    let cfg =
+      Experiment.quick (Experiment.default_config rule ~delay:1.0) 0.02
+    in
+    Strip_obs.Json.to_string (Report.metrics_json (Experiment.run cfg))
+  in
+  let scenarios =
+    List.map (fun v -> Experiment.Comp_view v) Comp_rules.all_variants
+    @ List.map
+        (fun v -> Experiment.Option_view v)
+        (Option_rules.all_variants @ [ Option_rules.Unique_on_option ])
+  in
+  List.iteri
+    (fun i rule ->
+      let fast = report rule in
+      Strip_relational.Query.physical_index_join := false;
+      let slow =
+        Fun.protect
+          ~finally:(fun () ->
+            Strip_relational.Query.physical_index_join := true)
+          (fun () -> report rule)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "scenario %d report byte-identical" i)
+        fast slow)
+    scenarios
+
 let test_fanout_measures () =
   let db = Strip_db.create () in
   let feed = Feed.scaled Feed.default_config scale in
@@ -188,6 +220,8 @@ let suite =
           test_experiment_determinism;
         Alcotest.test_case "multi-server + overloaded runs deterministic" `Slow
           test_multi_server_determinism;
+        Alcotest.test_case "index-join fallback reports byte-identical" `Slow
+          test_index_join_differential_reports;
         Alcotest.test_case "fanout statistics" `Slow test_fanout_measures;
       ] );
   ]

@@ -232,6 +232,159 @@ let test_unknown_relation () =
   | exception Query.Plan_error _ -> ()
   | _ -> Alcotest.fail "unknown relation accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Join strategy selection: explain snapshots and physical paths *)
+
+(* Two three-row tables joined on [k]; index layout varies per test. *)
+let setup_kv ?(l_index = None) ?(r_index = None) () =
+  let cat = Catalog.create () in
+  let l =
+    Catalog.create_table cat ~name:"l"
+      ~schema:(Schema.of_list [ ("k", Value.TInt); ("a", Value.TStr) ])
+  in
+  let r =
+    Catalog.create_table cat ~name:"r"
+      ~schema:(Schema.of_list [ ("k", Value.TInt); ("b", Value.TStr) ])
+  in
+  (match l_index with
+  | Some kind -> ignore (Table.create_index l ~name:"l_k" ~kind ~cols:[ "k" ])
+  | None -> ());
+  (match r_index with
+  | Some kind -> ignore (Table.create_index r ~name:"r_k" ~kind ~cols:[ "k" ])
+  | None -> ());
+  List.iter
+    (fun (k, a) -> ignore (Table.insert l [| Value.Int k; Value.Str a |]))
+    [ (3, "x"); (1, "y"); (2, "z"); (1, "w") ];
+  List.iter
+    (fun (k, b) -> ignore (Table.insert r [| Value.Int k; Value.Str b |]))
+    [ (2, "p"); (1, "q"); (9, "s") ];
+  cat
+
+let join_on_k =
+  Query.Join
+    ( scan "l",
+      scan "r",
+      Some Expr.(col ~qual:"l" "k" =: col ~qual:"r" "k") )
+
+let test_explain_snapshots () =
+  let snap cat plan = Query.explain ~cat plan in
+  (* both sides tree-indexed on the equi column: merge join *)
+  let cat =
+    setup_kv ~l_index:(Some Index.Ordered) ~r_index:(Some Index.Ordered) ()
+  in
+  Alcotest.(check string) "merge join chosen"
+    "join on (l.k = r.k) [merge join via l_k, r_k]\n  scan l\n  scan r"
+    (snap cat join_on_k);
+  (* only the right side indexed (any kind): index join *)
+  let cat = setup_kv ~r_index:(Some Index.Hash) () in
+  Alcotest.(check string) "index join chosen"
+    "join on (l.k = r.k) [index join via r_k]\n  scan l\n  scan r"
+    (snap cat join_on_k);
+  (* equi join, no usable index: hash join *)
+  let cat = setup_kv () in
+  Alcotest.(check string) "hash join otherwise"
+    "join on (l.k = r.k) [hash join]\n  scan l\n  scan r"
+    (snap cat join_on_k);
+  (* non-equi predicate: nested loop, even with indexes present *)
+  let cat =
+    setup_kv ~l_index:(Some Index.Ordered) ~r_index:(Some Index.Ordered) ()
+  in
+  let nonequi =
+    Query.Join
+      ( scan "l",
+        scan "r",
+        Some Expr.(col ~qual:"l" "k" <: col ~qual:"r" "k") )
+  in
+  Alcotest.(check string) "nested loop for non-equi"
+    "join on (l.k < r.k) [nested loop]\n  scan l\n  scan r"
+    (Query.explain ~cat nonequi);
+  (* without ?cat there is no catalog to consult: no annotation *)
+  Alcotest.(check string) "no annotation without a catalog"
+    "join on (l.k = r.k)\n  scan l\n  scan r"
+    (Query.explain join_on_k);
+  (* a later CREATE INDEX upgrades the choice (plan cache revalidation) *)
+  let cat = setup_kv () in
+  ignore (Query.row_count (run cat join_on_k));
+  ignore
+    (Table.create_index (Catalog.table_exn cat "r") ~name:"r_k"
+       ~kind:Index.Hash ~cols:[ "k" ]);
+  Alcotest.(check string) "index created after first run is picked up"
+    "join on (l.k = r.k) [index join via r_k]\n  scan l\n  scan r"
+    (snap cat join_on_k)
+
+let test_merge_join_execution () =
+  let cat =
+    setup_kv ~l_index:(Some Index.Ordered) ~r_index:(Some Index.Ordered) ()
+  in
+  Meter.reset ();
+  let got =
+    List.map
+      (fun row -> Array.to_list (Array.map Value.to_string row))
+      (Query.rows (run cat join_on_k))
+  in
+  (* merge output streams in ascending key order; duplicate left keys fan
+     out over the matching right rows *)
+  Alcotest.(check (list (list string)))
+    "rows in key order"
+    [
+      [ "1"; "y"; "1"; "q" ]; [ "1"; "w"; "1"; "q" ]; [ "2"; "z"; "2"; "p" ];
+    ]
+    got;
+  Alcotest.(check int) "one ordered scan per side" 2 (Meter.get "index_probe");
+  Alcotest.(check bool) "merge steps ticked" true (Meter.get "merge_step" > 0);
+  Alcotest.(check int) "no hash build" 0 (Meter.get "hash_build");
+  Alcotest.(check int) "joined rows metered" 3 (Meter.get "join_row")
+
+(* The physical index-probe path and its hash-build fallback must be
+   observationally identical: same rows, same order, same meter ticks. *)
+let test_index_join_differential () =
+  let observe () =
+    let cat = setup_kv ~r_index:(Some Index.Hash) () in
+    Meter.reset ();
+    let before = Meter.snapshot () in
+    let rows =
+      List.map
+        (fun row -> Array.to_list (Array.map Value.to_string row))
+        (Query.rows (run cat join_on_k))
+    in
+    (rows, Meter.diff before (Meter.snapshot ()))
+  in
+  let rows_fast, ticks_fast = observe () in
+  Query.physical_index_join := false;
+  let rows_slow, ticks_slow =
+    Fun.protect
+      ~finally:(fun () -> Query.physical_index_join := true)
+      observe
+  in
+  Alcotest.(check (list (list string)))
+    "same rows, same order" rows_fast rows_slow;
+  Alcotest.(check (list (pair string int)))
+    "same meter deltas" ticks_fast ticks_slow;
+  Alcotest.(check bool) "the probe path really probed" true
+    (List.mem_assoc "index_probe" ticks_fast)
+
+(* Metering off = zero cost: no counter moves.  Metering on: the cell fast
+   path ticks exactly like the named path. *)
+let test_meter_join_row_zero_cost () =
+  let cat = setup_kv () in
+  Meter.reset ();
+  Meter.enabled := false;
+  let before = Meter.snapshot () in
+  ignore (Query.row_count (run cat join_on_k));
+  let silent = Meter.diff before (Meter.snapshot ()) in
+  Meter.enabled := true;
+  Alcotest.(check (list (pair string int)))
+    "no ticks while disabled" [] silent;
+  Alcotest.(check int) "join_row untouched" 0 (Meter.get "join_row");
+  (* re-enabled: the same query meters exactly as before the rework *)
+  let before = Meter.snapshot () in
+  ignore (Query.row_count (run cat join_on_k));
+  let ticks = Meter.diff before (Meter.snapshot ()) in
+  Alcotest.(check int) "join_row per joined row" 3
+    (List.assoc "join_row" ticks);
+  Alcotest.(check int) "hash probe per left row" 4
+    (List.assoc "hash_probe" ticks)
+
 let test_schema_of_matches_execution () =
   let cat = setup () in
   let plan =
@@ -268,5 +421,13 @@ let suite =
         Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
         Alcotest.test_case "schema_of agrees with execution" `Quick
           test_schema_of_matches_execution;
+        Alcotest.test_case "explain strategy snapshots" `Quick
+          test_explain_snapshots;
+        Alcotest.test_case "merge join execution" `Quick
+          test_merge_join_execution;
+        Alcotest.test_case "index join physical/fallback differential" `Quick
+          test_index_join_differential;
+        Alcotest.test_case "metering disabled is zero-cost" `Quick
+          test_meter_join_row_zero_cost;
       ] );
   ]

@@ -141,6 +141,64 @@ let test_wal_torn_tail () =
   Alcotest.(check (option int)) "torn tail reported" (Some lsn_b) r.Wal.torn_at;
   Alcotest.(check (option int)) "not corruption" None r.Wal.corrupt_at
 
+let test_wal_tail_cut_at_frame_boundary () =
+  (* A crash that lands exactly on a frame boundary leaves a clean log:
+     the last full record survives and nothing is reported torn.  One
+     byte either side of the boundary must still classify as torn. *)
+  let w = Wal.create () in
+  let a = Wal.Commit { txid = 1; time = 0.1; ops = sample_ops } in
+  let b = Wal.Commit { txid = 2; time = 0.2; ops = sample_ops } in
+  let lsn_a = Wal.append w a in
+  let lsn_b = Wal.append w b in
+  Wal.fsync w;
+  let s = Wal.durable_contents w in
+  let boundary = lsn_b - lsn_a in
+  (* exactly on the boundary: b never made it at all — clean *)
+  Wal.set_durable_for_test w (String.sub s 0 boundary);
+  let r = Wal.read w in
+  Alcotest.(check (option int)) "boundary cut is clean" None r.Wal.torn_at;
+  Alcotest.(check (option int)) "boundary cut is not corrupt" None
+    r.Wal.corrupt_at;
+  Alcotest.(check (list int)) "whole prefix read" [ lsn_a ]
+    (List.map fst r.Wal.records);
+  (* one byte past the boundary: a sliver of b's header — torn at b *)
+  Wal.set_durable_for_test w (String.sub s 0 (boundary + 1));
+  let r = Wal.read w in
+  Alcotest.(check (option int)) "boundary+1 torn at b" (Some lsn_b)
+    r.Wal.torn_at;
+  Alcotest.(check int) "a still read" 1 (List.length r.Wal.records);
+  (* one byte short of the boundary: a's frame is incomplete — torn at a *)
+  Wal.set_durable_for_test w (String.sub s 0 (boundary - 1));
+  let r = Wal.read w in
+  Alcotest.(check (option int)) "boundary-1 torn at a" (Some lsn_a)
+    r.Wal.torn_at;
+  Alcotest.(check int) "nothing read" 0 (List.length r.Wal.records)
+
+let test_wal_append_batch_equivalence () =
+  (* append_batch is a pure encoding optimisation: byte stream, LSNs and
+     meter ticks must match the per-record appends exactly. *)
+  let one = Wal.create () and batch = Wal.create () in
+  Meter.reset ();
+  let before = Meter.snapshot () in
+  let lsns_one = List.map (Wal.append one) sample_records in
+  let ticks_one = Meter.diff before (Meter.snapshot ()) in
+  let before = Meter.snapshot () in
+  let lsns_batch = Wal.append_batch batch sample_records in
+  let ticks_batch = Meter.diff before (Meter.snapshot ()) in
+  Wal.fsync one;
+  Wal.fsync batch;
+  Alcotest.(check (list int)) "same LSNs" lsns_one lsns_batch;
+  Alcotest.(check string) "same bytes" (Wal.durable_contents one)
+    (Wal.durable_contents batch);
+  Alcotest.(check (list (pair string int))) "same meter ticks" ticks_one
+    ticks_batch;
+  Alcotest.(check int) "same append count" (Wal.n_appends one)
+    (Wal.n_appends batch);
+  Alcotest.(check (list int)) "empty batch appends nothing" []
+    (Wal.append_batch batch []);
+  Alcotest.(check int) "volume accounted" (Wal.appended_bytes one)
+    (Wal.appended_bytes batch)
+
 let test_wal_mid_log_corruption () =
   let w = Wal.create () in
   let a = Wal.Commit { txid = 1; time = 0.1; ops = sample_ops } in
@@ -597,6 +655,10 @@ let suite =
         Alcotest.test_case "crash loses the unsynced tail" `Quick
           test_wal_lose_tail;
         Alcotest.test_case "torn tail dropped" `Quick test_wal_torn_tail;
+        Alcotest.test_case "tail cut at frame boundary is clean" `Quick
+          test_wal_tail_cut_at_frame_boundary;
+        Alcotest.test_case "append_batch equivalence" `Quick
+          test_wal_append_batch_equivalence;
         Alcotest.test_case "mid-log corruption stops the scan" `Quick
           test_wal_mid_log_corruption;
         Alcotest.test_case "truncation behind a checkpoint" `Quick

@@ -127,6 +127,47 @@ let test_link_partition_window () =
   Alcotest.(check bool) "healed at the right (open) edge" false
     (Link.partitioned l ~now:2.0 ~epoch:0)
 
+let test_link_window_boundary_and_rng () =
+  (* Regression: the window is half-open [from, until) — a send stamped
+     exactly at [until_s] is already healed and must be delivered, while
+     the opening edge [from_s] is inside the cut. *)
+  let l = Link.create { Link.default_config with drop_rate = 0.0 } in
+  Link.add_partition_window l ~from_s:1.0 ~until_s:2.0;
+  Link.send l ~now:1.0 (seg ~from_lsn:0 "open-edge");
+  Link.send l ~now:2.0 (seg ~from_lsn:1 "close-edge");
+  Alcotest.(check int) "from_s is cut" 1 (Link.n_partition_drops l);
+  Alcotest.(check int) "until_s is delivered" 1 (Link.in_flight l);
+  (match Link.pop_arrived l ~now:10.0 with
+  | Some { payload = Link.Segment { from_lsn; _ }; sent_at; _ } ->
+    Alcotest.(check int) "the boundary send got through" 1 from_lsn;
+    Alcotest.(check (float 0.0)) "stamped at the boundary" 2.0 sent_at
+  | _ -> Alcotest.fail "boundary send lost");
+  (* Partitioned sends must still consume their RNG draw: the loss
+     pattern after the window matches a windowless link send-for-send. *)
+  let cfg = { Link.default_config with drop_rate = 0.5; seed = 11 } in
+  let outcomes with_window =
+    let l = Link.create ~id:9 cfg in
+    if with_window then Link.add_partition_window l ~from_s:2.0 ~until_s:5.0;
+    List.init 10 (fun i ->
+        let d0 = Link.n_dropped l and f0 = Link.in_flight l in
+        Link.send l ~now:(float_of_int i) (seg ~from_lsn:i "r");
+        if Link.n_dropped l > d0 then "dropped"
+        else if Link.in_flight l > f0 then "delivered"
+        else "cut")
+  in
+  let windowless = outcomes false and windowed = outcomes true in
+  List.iteri
+    (fun i (a, b) ->
+      if float_of_int i < 2.0 || float_of_int i >= 5.0 then
+        Alcotest.(check string)
+          (Printf.sprintf "send %d: same fate with and without window" i)
+          a b
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "send %d: cut by the window" i)
+          "cut" b)
+    (List.combine windowless windowed)
+
 let test_link_epoch_tagged_window () =
   let l = Link.create { Link.default_config with drop_rate = 0.0 } in
   (* fence only term 1: the deposed primary's traffic dies on the wire
@@ -656,6 +697,8 @@ let suite =
           test_link_drops_deterministic;
         Alcotest.test_case "partition windows cut sends while open" `Quick
           test_link_partition_window;
+        Alcotest.test_case "window boundary half-open, RNG stream stable"
+          `Quick test_link_window_boundary_and_rng;
         Alcotest.test_case "epoch-tagged windows fence one term" `Quick
           test_link_epoch_tagged_window;
         Alcotest.test_case "drop bursts raise loss inside the window" `Quick
