@@ -19,11 +19,15 @@
      STRIP_BENCH_SKIP_TABLE1 / STRIP_BENCH_SKIP_FIGURES /
      STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_SWEEP /
      STRIP_BENCH_SKIP_ROBUSTNESS / STRIP_BENCH_SKIP_RECOVERY /
-     STRIP_BENCH_SKIP_REPLICATION / STRIP_BENCH_SKIP_CHAOS
+     STRIP_BENCH_SKIP_REPLICATION / STRIP_BENCH_SKIP_CHAOS /
+     STRIP_BENCH_SKIP_STORAGE
                           set to skip a part
      STRIP_BENCH_CHAOS_SCHEDULES / STRIP_BENCH_CHAOS_SEED /
      STRIP_BENCH_CHAOS_SCALE
                           chaos-lane sweep size (min 25), seed, and scale
+     STRIP_BENCH_STORAGE_SCHEDULES / STRIP_BENCH_STORAGE_SEED /
+     STRIP_BENCH_STORAGE_SCALE
+                          storage-fault lane sweep size (min 6), seed, scale
 
    Flags:
      --trace FILE         merge every figure-sweep experiment's lifecycle
@@ -939,6 +943,195 @@ let chaos_lane () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* PR 9: the storage-fault lane.  A seeded sweep of media-fault
+   schedules — at-rest bit rot on the WAL and checkpoint images, lying
+   fsyncs, disk-full backpressure, half of them racing a crash or a
+   partition — each run as a full replicated durable experiment and
+   checked against the explorer's invariants, now including
+   no_silent_corruption and salvage_converges.  Any violation writes a
+   quarantine report (the outcome's full media ledger plus a shrunk
+   reproducer) and fails the bench.
+
+   The lane then isolates the salvage ladder: the same WAL-bitrot run
+   with replicas (rung 1: re-fetch clean bytes and splice in place)
+   versus without (rung 2: emergency checkpoint and truncate the
+   retained log away).  The gate is the rungs' byte cost: replica-served
+   salvage must rewrite strictly fewer bytes than checkpoint-based
+   repair destroys, which is the whole reason the ladder tries replicas
+   first.  BENCH_PR9.json captures the sweep and the comparison. *)
+
+let storage_lane () =
+  let n_schedules =
+    max 6 (int_of_float (env_float "STRIP_BENCH_STORAGE_SCHEDULES" 6.0))
+  in
+  let seed = int_of_float (env_float "STRIP_BENCH_STORAGE_SEED" 11.0) in
+  let st_scale = env_float "STRIP_BENCH_STORAGE_SCALE" 0.05 in
+  Printf.printf
+    "\n== Storage-fault lane: %d seeded media-fault schedules (seed %d, \
+     scale %g) ==\n%!"
+    n_schedules seed st_scale;
+  let outcomes =
+    Strip_chaos.Explore.explore_storage ~scale:st_scale ~seed
+      ~schedules:n_schedules ()
+  in
+  Strip_chaos.Explore.print_summary outcomes;
+  let open Strip_obs in
+  let violations = Strip_chaos.Explore.total_violations outcomes in
+  if violations > 0 then begin
+    Printf.printf
+      "STORAGE FAILED: %d invariant violation(s) across the sweep\n"
+      violations;
+    List.iter
+      (fun (o : Strip_chaos.Explore.outcome) ->
+        if o.Strip_chaos.Explore.violations <> [] then begin
+          let sched_seed =
+            o.Strip_chaos.Explore.schedule.Strip_chaos.Schedule.seed
+          in
+          Printf.printf "  shrinking seed %d...\n%!" sched_seed;
+          let shrunk =
+            Strip_chaos.Explore.shrink o.Strip_chaos.Explore.schedule
+          in
+          let file = Printf.sprintf "quarantine_report_seed%d.json" sched_seed in
+          let oc = open_out file in
+          Json.to_channel oc
+            (Json.Obj
+               [
+                 ("outcome", Strip_chaos.Explore.outcome_json o);
+                 ( "reproducer",
+                   Strip_chaos.Schedule.to_json
+                     shrunk.Strip_chaos.Explore.schedule );
+               ]);
+          close_out oc;
+          Printf.printf "  quarantine report: %s (replay with: strip-cli \
+                         chaos --replay %s)\n%!" file file
+        end)
+      outcomes;
+    exit 1
+  end;
+  (* Salvage micro-comparison: one WAL bit-rot mid-run plus a crash later,
+     scrubber on.  With replicas the scrubber splices clean bytes back
+     (rung 1); without, it must take an emergency checkpoint and truncate
+     the retained log (rung 2). *)
+  let salvage_run replicas =
+    Strip_txn.Task.reset_ids ();
+    let cfg =
+      Experiment.quick
+        (Experiment.default_config
+           (Experiment.Comp_view Comp_rules.Unique_on_comp) ~delay:0.5)
+        st_scale
+    in
+    let dur = cfg.Experiment.feed.Strip_market.Feed.duration in
+    let cfg =
+      {
+        cfg with
+        Experiment.verify = true;
+        storage = Some { Experiment.scrub_every = Some 1.0; retain = 2 };
+        recovery = Some Experiment.default_recovery;
+        repl =
+          (if replicas > 0 then
+             Some { Experiment.default_repl with Experiment.replicas }
+           else None);
+        chaos =
+          [
+            Experiment.Bitrot_at
+              { at = 0.42 *. dur; target = `Wal; frac = 0.9 };
+            Experiment.Crash_at (0.7 *. dur);
+          ];
+      }
+    in
+    let m = Experiment.run cfg in
+    if m.Experiment.verified <> Some true then begin
+      Printf.printf
+        "STORAGE FAILED: salvage run (replicas %d) did not converge (max \
+         error %g)\n"
+        replicas m.Experiment.max_abs_error;
+      exit 1
+    end;
+    match m.Experiment.storage with
+    | None ->
+      Printf.printf
+        "STORAGE FAILED: salvage run (replicas %d) has no storage metrics\n"
+        replicas;
+      exit 1
+    | Some st ->
+      if st.Experiment.faults_outstanding > 0 || not st.Experiment.final_clean
+      then begin
+        Printf.printf
+          "STORAGE FAILED: salvage run (replicas %d) left media faults \
+           behind (%d outstanding, clean %b)\n"
+          replicas st.Experiment.faults_outstanding st.Experiment.final_clean;
+        exit 1
+      end;
+      st
+  in
+  Printf.printf
+    "\nsalvage comparison: WAL bit-rot + later crash, scrubber every 1s\n%!";
+  let with_replicas = salvage_run 2 in
+  let without = salvage_run 0 in
+  let describe tag (st : Experiment.storage_metrics) =
+    Printf.printf
+      "   %-16s repaired %d from replicas / %d from checkpoints; spliced \
+       %dB, expunged %dB; salvage cpu %.1fms\n%!"
+      tag st.Experiment.repaired_replica st.Experiment.repaired_checkpoint
+      st.Experiment.scrub_salvaged_bytes st.Experiment.scrub_expunged_bytes
+      (1e3 *. st.Experiment.salvage_s)
+  in
+  describe "replicas=2" with_replicas;
+  describe "replicas=0" without;
+  if with_replicas.Experiment.repaired_replica < 1 then begin
+    Printf.printf
+      "STORAGE FAILED: replicated salvage run never served a repair from a \
+       replica\n";
+    exit 1
+  end;
+  if without.Experiment.repaired_checkpoint < 1 then begin
+    Printf.printf
+      "STORAGE FAILED: replica-free salvage run never fell back to the \
+       checkpoint rung\n";
+    exit 1
+  end;
+  if
+    with_replicas.Experiment.scrub_salvaged_bytes
+    >= without.Experiment.scrub_expunged_bytes
+  then begin
+    Printf.printf
+      "STORAGE FAILED: replica-served salvage (%dB spliced) did not beat \
+       checkpoint-based repair (%dB of redo log destroyed)\n"
+      with_replicas.Experiment.scrub_salvaged_bytes
+      without.Experiment.scrub_expunged_bytes;
+    exit 1
+  end;
+  let doc =
+    Json.Obj
+      [
+        ( "benchmark",
+          Json.Str
+            "storage-fault lane (media-fault schedule sweep + salvage \
+             rung comparison)" );
+        ("seed", Json.Int seed);
+        ("scale", Json.Float st_scale);
+        ("schedules", Json.Int n_schedules);
+        ("violations", Json.Int violations);
+        ( "sweep",
+          Json.List (List.map Strip_chaos.Explore.outcome_json outcomes) );
+        ( "salvage_comparison",
+          Json.Obj
+            [
+              ("replicas_2", Report.storage_json with_replicas);
+              ("replicas_0", Report.storage_json without);
+              ( "replica_salvaged_bytes",
+                Json.Int with_replicas.Experiment.scrub_salvaged_bytes );
+              ( "checkpoint_expunged_bytes",
+                Json.Int without.Experiment.scrub_expunged_bytes );
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_PR9.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote storage-fault results to BENCH_PR9.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* --wallclock: real elapsed time per simulated transaction for
    representative end-to-end scenarios.  The simulator reports virtual
    seconds everywhere else; this lane answers the orthogonal question
@@ -1074,5 +1267,6 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_RECOVERY" = None then recovery_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_REPLICATION" = None then replica_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_CHAOS" = None then chaos_lane ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_STORAGE" = None then storage_lane ();
   if !wallclock then wallclock_lane ();
   if observing () then write_exports ()

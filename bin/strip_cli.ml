@@ -6,7 +6,8 @@
      trace        generate a TAQ-style quote file
      rules        print the paper's rule definitions (Figures 3/6/7/8)
      repl         interactive SQL + rule-DDL shell on a fresh database
-     chaos        explore seeded fault schedules and shrink failures *)
+     chaos        explore seeded fault schedules and shrink failures
+     scrub        run one storage-fault schedule and report the repair mix *)
 
 open Cmdliner
 open Strip_pta
@@ -619,7 +620,7 @@ let read_file path =
   close_in ic;
   s
 
-let run_chaos schedules seed scale replay out slo_specs json =
+let run_chaos schedules seed scale storage replay out slo_specs json =
   match parse_slos slo_specs with
   | Error msg ->
     prerr_endline msg;
@@ -650,7 +651,9 @@ let run_chaos schedules seed scale replay out slo_specs json =
       if o.Strip_chaos.Explore.violations = [] then 0 else 1)
     | None ->
     let outcomes =
-      Strip_chaos.Explore.explore ?slo ~scale ~seed ~schedules ()
+      if storage then
+        Strip_chaos.Explore.explore_storage ?slo ~scale ~seed ~schedules ()
+      else Strip_chaos.Explore.explore ?slo ~scale ~seed ~schedules ()
     in
     if json then
       print_endline
@@ -681,6 +684,15 @@ let run_chaos schedules seed scale replay out slo_specs json =
           out out;
       1))
 
+let chaos_storage_arg =
+  let doc =
+    "Explore storage-fault schedules (at-rest bit-rot, lying fsync, \
+     disk-full backpressure) instead of the classic crash/partition mix; \
+     arms the $(b,no_silent_corruption) and $(b,salvage_converges) \
+     invariants on every run."
+  in
+  Arg.(value & flag & info [ "storage" ] ~doc)
+
 let chaos_slo_arg =
   let doc =
     "Staleness SLO objective $(docv) (repeatable), armed as an extra \
@@ -693,7 +705,8 @@ let chaos_cmd =
   let term =
     Term.(
       const run_chaos $ schedules_arg $ chaos_seed_arg $ chaos_scale_arg
-      $ replay_arg $ failure_out_arg $ chaos_slo_arg $ json_arg)
+      $ chaos_storage_arg $ replay_arg $ failure_out_arg $ chaos_slo_arg
+      $ json_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -702,6 +715,66 @@ let chaos_cmd =
           bursts, checkpoint races) against a replicated durable run, \
           check invariants, and shrink any failure to a minimal \
           replayable reproducer.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* scrub                                                                *)
+
+let scrub_every_arg =
+  let doc =
+    "Background scrubber period in simulated seconds; 0 disables the \
+     scrubber so corruption is only found by ship-time verification or \
+     recovery (the silent-corruption demo)."
+  in
+  Arg.(value & opt float 0.5 & info [ "every" ] ~docv:"SECONDS" ~doc)
+
+let scrub_retain_arg =
+  let doc = "Checkpoint slots to retain for slot-CRC fallback." in
+  Arg.(value & opt int 2 & info [ "retain" ] ~docv:"N" ~doc)
+
+let run_scrub seed scale every retain json =
+  let s = Strip_chaos.Schedule.generate_storage ~scale ~seed () in
+  let storage =
+    {
+      Experiment.scrub_every = (if every > 0.0 then Some every else None);
+      retain = max 1 retain;
+    }
+  in
+  let o = Strip_chaos.Explore.run_schedule ~storage s in
+  if json then
+    print_endline
+      (Strip_obs.Json.to_string (Strip_chaos.Explore.outcome_json o))
+  else begin
+    Printf.printf "storage-fault schedule (seed %d, scale %g):\n" seed scale;
+    Strip_chaos.Explore.print_outcome o;
+    match o.Strip_chaos.Explore.storage with
+    | None -> ()
+    | Some st ->
+      Printf.printf
+        "  scrub: %d pass(es) over %d bytes; %d WAL + %d checkpoint \
+         corruption(s); repaired %d from replicas, %d from checkpoints; \
+         salvage cpu %.1fms\n"
+        st.Experiment.scrub_passes st.Experiment.scrub_bytes
+        st.Experiment.wal_corruptions st.Experiment.cp_corruptions
+        st.Experiment.repaired_replica st.Experiment.repaired_checkpoint
+        (1e3 *. st.Experiment.salvage_s)
+  end;
+  if o.Strip_chaos.Explore.violations = [] then 0 else 1
+
+let scrub_cmd =
+  let term =
+    Term.(
+      const run_scrub $ chaos_seed_arg $ chaos_scale_arg $ scrub_every_arg
+      $ scrub_retain_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Run one seeded storage-fault schedule (bit-rot, lying fsync, \
+          disk-full) against a replicated durable run with the background \
+          scrubber armed, and report the media-fault ledger: what was \
+          injected, what was detected, and how each fault was repaired \
+          (replica fetch, checkpoint fallback, or quarantine).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -723,4 +796,5 @@ let () =
             rules_cmd;
             repl_cmd;
             chaos_cmd;
+            scrub_cmd;
           ]))

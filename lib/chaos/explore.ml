@@ -13,6 +13,8 @@ type outcome = {
   lost_bytes : int;
   fenced_bytes : int;
   makespan_s : float;
+  storage : Experiment.storage_metrics option;
+      (* present iff the run armed the storage-fault substrate *)
 }
 
 (* Every schedule drives the same replicated, durable, unique-rule
@@ -20,7 +22,7 @@ type outcome = {
    policy-routed reads, a slightly lossy link so the optimistic resend
    path stays warm, and the unique-on-comp rule so the pending queue is
    live state that crashes and failovers must preserve. *)
-let cfg_of ?(slo = []) (s : Schedule.t) =
+let cfg_of ?(slo = []) ?storage (s : Schedule.t) =
   let base =
     Experiment.default_config
       (Experiment.Comp_view Comp_rules.Unique_on_comp)
@@ -33,6 +35,11 @@ let cfg_of ?(slo = []) (s : Schedule.t) =
     (* A fresh monitor per run: schedules (and shrinker trials) must not
        share violation state. *)
     slo = (match slo with [] -> None | os -> Some (Slo.create os));
+    (* [None] defers to the run's auto-enable: a schedule with storage
+       events gets {!Experiment.default_storage}.  An explicit override
+       (e.g. scrubber off) is how the planted-bug hunt de-arms
+       detection. *)
+    storage;
     recovery = Some Experiment.default_recovery;
     repl =
       Some
@@ -100,6 +107,20 @@ let check ?extra (m : Experiment.metrics) =
     add "uq_exactly_once"
       (Printf.sprintf "%d unique transactions dead-lettered"
          m.Experiment.n_dead_letters);
+  (* Armed only for storage-fault runs (m.storage is None otherwise). *)
+  (match m.Experiment.storage with
+  | None -> ()
+  | Some s ->
+    if s.Experiment.faults_outstanding > 0 then
+      add "no_silent_corruption"
+        (Printf.sprintf
+           "%d injected media fault(s) outstanding — never detected by \
+            scrub, shipping or recovery"
+           s.Experiment.faults_outstanding);
+    if not s.Experiment.final_clean then
+      add "salvage_converges"
+        "durable media still corrupt at end of run (WAL chain or a \
+         retained checkpoint slot fails verification)");
   (* Armed only when the run carried an SLO monitor (m.slo is empty
      otherwise), so SLO-free schedules check exactly the classic five. *)
   List.iter
@@ -114,11 +135,11 @@ let check ?extra (m : Experiment.metrics) =
   let base = List.rev !v in
   match extra with None -> base | Some f -> base @ f m
 
-let run_schedule ?extra ?slo (s : Schedule.t) =
+let run_schedule ?extra ?slo ?storage (s : Schedule.t) =
   (* Deterministic task ids across in-process runs: every schedule (and
      every shrinker trial) starts from the same counter. *)
   Strip_txn.Task.reset_ids ();
-  let m = Experiment.run (cfg_of ?slo s) in
+  let m = Experiment.run (cfg_of ?slo ?storage s) in
   let violations = check ?extra m in
   let n_crashes =
     match m.Experiment.recovery with
@@ -145,14 +166,16 @@ let run_schedule ?extra ?slo (s : Schedule.t) =
     lost_bytes;
     fenced_bytes;
     makespan_s = m.Experiment.makespan_s;
+    storage = m.Experiment.storage;
   }
 
 (* Delta-debugging-lite: drop event halves while the failure survives,
    then greedily remove single events until no removal keeps it failing.
    The result is 1-minimal — every remaining event is necessary. *)
-let shrink ?extra ?slo (s : Schedule.t) =
+let shrink ?extra ?slo ?storage (s : Schedule.t) =
   let fails events =
-    (run_schedule ?extra ?slo { s with Schedule.events }).violations <> []
+    (run_schedule ?extra ?slo ?storage { s with Schedule.events }).violations
+    <> []
   in
   let rec halve events =
     let n = List.length events in
@@ -183,11 +206,16 @@ let shrink ?extra ?slo (s : Schedule.t) =
     if fails s.Schedule.events then greedy (halve s.Schedule.events)
     else s.Schedule.events
   in
-  run_schedule ?extra ?slo { s with Schedule.events }
+  run_schedule ?extra ?slo ?storage { s with Schedule.events }
 
 let explore ?extra ?slo ?(scale = 0.05) ~seed ~schedules () =
   List.init schedules (fun i ->
       run_schedule ?extra ?slo (Schedule.generate ~scale ~seed:(seed + i) ()))
+
+let explore_storage ?extra ?slo ?storage ?(scale = 0.05) ~seed ~schedules () =
+  List.init schedules (fun i ->
+      run_schedule ?extra ?slo ?storage
+        (Schedule.generate_storage ~scale ~seed:(seed + i) ()))
 
 let total_violations outcomes =
   List.fold_left (fun a o -> a + List.length o.violations) 0 outcomes
@@ -201,18 +229,24 @@ let violation_json v =
 
 let outcome_json o =
   Json.Obj
-    [
-      ("schedule", Schedule.to_json o.schedule);
-      ("events", Json.Str (Schedule.describe o.schedule));
-      ("violations", Json.List (List.map violation_json o.violations));
-      ("n_crashes", Json.Int o.n_crashes);
-      ("n_partitions", Json.Int o.n_partitions);
-      ("n_failovers", Json.Int o.n_failovers);
-      ("final_epoch", Json.Int o.final_epoch);
-      ("lost_bytes", Json.Int o.lost_bytes);
-      ("fenced_bytes", Json.Int o.fenced_bytes);
-      ("makespan_s", Json.Float o.makespan_s);
-    ]
+    ([
+       ("schedule", Schedule.to_json o.schedule);
+       ("events", Json.Str (Schedule.describe o.schedule));
+       ("violations", Json.List (List.map violation_json o.violations));
+       ("n_crashes", Json.Int o.n_crashes);
+       ("n_partitions", Json.Int o.n_partitions);
+       ("n_failovers", Json.Int o.n_failovers);
+       ("final_epoch", Json.Int o.final_epoch);
+       ("lost_bytes", Json.Int o.lost_bytes);
+       ("fenced_bytes", Json.Int o.fenced_bytes);
+       ("makespan_s", Json.Float o.makespan_s);
+     ]
+    (* present only for storage-fault runs, so classic chaos JSON stays
+       byte-identical *)
+    @
+    match o.storage with
+    | None -> []
+    | Some s -> [ ("storage", Report.storage_json s) ])
 
 let summary_json ~seed ~scale outcomes =
   Json.Obj
@@ -232,7 +266,16 @@ let print_outcome o =
     (Schedule.describe o.schedule)
     o.n_crashes o.n_partitions o.n_failovers o.final_epoch o.lost_bytes
     o.fenced_bytes
-    (match o.violations with
+    ((match o.storage with
+     | None -> ""
+     | Some s ->
+       Printf.sprintf "media %d/%d/%d/%d/%d (inj/rep/quar/exp/out)  "
+         (s.Experiment.injected_bitrot_wal + s.Experiment.injected_bitrot_cp
+        + s.Experiment.injected_fsync_lie)
+         s.Experiment.faults_repaired s.Experiment.faults_quarantined
+         s.Experiment.faults_expunged s.Experiment.faults_outstanding)
+    ^
+    match o.violations with
     | [] -> "ok"
     | vs ->
       "VIOLATED "

@@ -21,6 +21,16 @@
     was violated fails the schedule, so SLO regressions shrink to minimal
     fault reproducers like any other violation.
 
+    Storage-fault schedules ({!Schedule.generate_storage}, or any
+    schedule carrying media events) arm two more:
+
+    - [no_silent_corruption]: every injected media fault left the
+      [Outstanding] ledger state — something (scrub, ship-time
+      verification, or recovery) detected it before the end of the run;
+    - [salvage_converges]: the durable media verifies clean at the end —
+      the WAL frame chain parses end-to-end and every retained
+      checkpoint slot passes its CRC.
+
     A failing schedule can be {!shrink}ed to a 1-minimal reproducer and
     serialized ({!Schedule.to_json}) for replay via
     [strip-cli chaos --replay]. *)
@@ -37,6 +47,8 @@ type outcome = {
   lost_bytes : int;
   fenced_bytes : int;
   makespan_s : float;
+  storage : Strip_pta.Experiment.storage_metrics option;
+      (** present iff the run armed the storage-fault substrate *)
 }
 
 val check :
@@ -51,16 +63,23 @@ val check :
 val run_schedule :
   ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
   ?slo:Strip_obs.Slo.objective list ->
+  ?storage:Strip_pta.Experiment.storage_cfg ->
   Schedule.t ->
   outcome
 (** One deterministic experiment under the schedule; task ids are reset
     first so identical schedules replay byte-identically in-process.
     [slo] arms a fresh staleness monitor for the run (fresh per call, so
-    shrinker trials never share violation state). *)
+    shrinker trials never share violation state).  [storage] overrides
+    the storage substrate config — e.g. a scrubber-free
+    [{ scrub_every = None; retain = 2 }] de-arms detection, which is how
+    the planted-bug hunt makes [no_silent_corruption] fire; without it a
+    schedule carrying media events auto-enables
+    {!Strip_pta.Experiment.default_storage}. *)
 
 val shrink :
   ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
   ?slo:Strip_obs.Slo.objective list ->
+  ?storage:Strip_pta.Experiment.storage_cfg ->
   Schedule.t ->
   outcome
 (** Delta-debug a failing schedule down to a 1-minimal event list (every
@@ -78,6 +97,19 @@ val explore :
   outcome list
 (** Generate and run [schedules] schedules seeded [seed, seed+1, ...] at
     [scale] (default 0.05). *)
+
+val explore_storage :
+  ?extra:(Strip_pta.Experiment.metrics -> violation list) ->
+  ?slo:Strip_obs.Slo.objective list ->
+  ?storage:Strip_pta.Experiment.storage_cfg ->
+  ?scale:float ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  outcome list
+(** Like {!explore} but over {!Schedule.generate_storage} schedules, so
+    every run carries at least one at-rest media fault and the storage
+    invariants are armed. *)
 
 val total_violations : outcome list -> int
 

@@ -50,6 +50,63 @@ let generate ?(scale = 0.05) ~seed () =
   in
   { seed; scale; events }
 
+(* Storage-fault schedules: the classic fault mix plus at-rest media
+   events (bit rot in the durable WAL or the newest checkpoint image,
+   lying fsyncs, disk-full windows).  A separate generator — rather than
+   new arms in {!generate} — keeps every historical seed's classic
+   schedule byte-stable. *)
+let generate_storage ?(scale = 0.05) ~seed () =
+  if scale <= 0.0 then invalid_arg "Schedule.generate_storage: scale <= 0";
+  let rng = Random.State.make [| seed; 0x57a6 |] in
+  let duration =
+    Strip_market.Feed.default_config.Strip_market.Feed.duration *. scale
+  in
+  let at () = duration *. (0.1 +. (0.8 *. Random.State.float rng 1.0)) in
+  let n_storage = 1 + Random.State.int rng 3 in
+  let storage_events =
+    List.init n_storage (fun _ ->
+        let u = Random.State.float rng 1.0 in
+        if u < 0.45 then
+          Experiment.Bitrot_at
+            {
+              at = at ();
+              target = (if Random.State.bool rng then `Wal else `Checkpoint);
+              frac = Random.State.float rng 1.0;
+            }
+        else if u < 0.70 then Experiment.Fsync_lie_at (at ())
+        else
+          Experiment.Disk_full_at
+            {
+              at = at ();
+              free_bytes = 64 + Random.State.int rng 512;
+              heal_after_s = 0.2 +. Random.State.float rng 1.0;
+            })
+  in
+  (* Half the schedules also race a crash or partition against the media
+     faults, so salvage regularly runs as a double fault (corruption
+     discovered during crash recovery). *)
+  let classic =
+    if Random.State.bool rng then
+      [
+        (if Random.State.bool rng then Experiment.Crash_at (at ())
+         else
+           Experiment.Partition_at
+             {
+               at = at ();
+               heal_after_s = 0.05 +. (2.5 *. Random.State.float rng 1.0);
+             });
+      ]
+    else []
+  in
+  let events =
+    storage_events @ classic
+    |> List.sort (fun a b ->
+           Float.compare
+             (Experiment.chaos_event_time a)
+             (Experiment.chaos_event_time b))
+  in
+  { seed; scale; events }
+
 let event_json ev =
   match ev with
   | Experiment.Crash_at at ->
@@ -71,6 +128,26 @@ let event_json ev =
       ]
   | Experiment.Checkpoint_at at ->
     Json.Obj [ ("kind", Json.Str "checkpoint"); ("at", Json.Float at) ]
+  | Experiment.Bitrot_at { at; target; frac } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "bitrot");
+        ("at", Json.Float at);
+        ( "target",
+          Json.Str (match target with `Wal -> "wal" | `Checkpoint -> "checkpoint")
+        );
+        ("frac", Json.Float frac);
+      ]
+  | Experiment.Fsync_lie_at at ->
+    Json.Obj [ ("kind", Json.Str "fsync_lie"); ("at", Json.Float at) ]
+  | Experiment.Disk_full_at { at; free_bytes; heal_after_s } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "disk_full");
+        ("at", Json.Float at);
+        ("free_bytes", Json.Int free_bytes);
+        ("heal_after_s", Json.Float heal_after_s);
+      ]
 
 let to_json s =
   Json.Obj
@@ -104,6 +181,32 @@ let event_of_json j =
         rate = get_float j "rate";
       }
   | Some "checkpoint" -> Experiment.Checkpoint_at (get_float j "at")
+  | Some "bitrot" ->
+    Experiment.Bitrot_at
+      {
+        at = get_float j "at";
+        target =
+          (match Option.bind (Json.member "target" j) (function
+               | Json.Str s -> Some s
+               | _ -> None)
+           with
+          | Some "wal" -> `Wal
+          | Some "checkpoint" -> `Checkpoint
+          | Some k -> fail "unknown bitrot target %S" k
+          | None -> fail "bitrot without target");
+        frac = get_float j "frac";
+      }
+  | Some "fsync_lie" -> Experiment.Fsync_lie_at (get_float j "at")
+  | Some "disk_full" ->
+    Experiment.Disk_full_at
+      {
+        at = get_float j "at";
+        free_bytes =
+          (match Option.bind (Json.member "free_bytes" j) Json.to_int with
+          | Some v -> v
+          | None -> fail "missing number %S" "free_bytes");
+        heal_after_s = get_float j "heal_after_s";
+      }
   | Some k -> fail "unknown event kind %S" k
   | None -> fail "event without kind"
 
@@ -132,6 +235,14 @@ let describe_event ev =
   | Experiment.Drop_burst { at; until_s; rate } ->
     Printf.sprintf "burst@%.2f-%.2fs(%.0f%%)" at until_s (100.0 *. rate)
   | Experiment.Checkpoint_at at -> Printf.sprintf "checkpoint@%.2fs" at
+  | Experiment.Bitrot_at { at; target; frac } ->
+    Printf.sprintf "bitrot:%s@%.2fs(%.0f%%)"
+      (match target with `Wal -> "wal" | `Checkpoint -> "cp")
+      at (100.0 *. frac)
+  | Experiment.Fsync_lie_at at -> Printf.sprintf "fsync-lie@%.2fs" at
+  | Experiment.Disk_full_at { at; free_bytes; heal_after_s } ->
+    Printf.sprintf "disk-full@%.2fs(%dB free, heal %.2fs)" at free_bytes
+      heal_after_s
 
 let describe s =
   if s.events = [] then "(empty)"

@@ -19,6 +19,13 @@ val generate : ?scale:float -> seed:int -> unit -> t
     and checkpoint races — landing in the middle 80% of the scaled feed.
     Default scale 0.05. *)
 
+val generate_storage : ?scale:float -> seed:int -> unit -> t
+(** 1-3 at-rest media events (WAL/checkpoint bit rot, lying fsyncs,
+    disk-full windows), with a racing crash or partition in about half
+    the schedules so salvage regularly runs as a double fault.  A
+    separate seeded stream: {!generate}'s historical seeds stay
+    byte-stable.  Default scale 0.05. *)
+
 val to_json : t -> Strip_obs.Json.t
 val of_json : Strip_obs.Json.t -> t
 (** @raise Invalid_argument on a malformed tree. *)

@@ -37,6 +37,15 @@ let default_repl =
     partition_detect_s = 0.1;
   }
 
+type storage_cfg = {
+  scrub_every : float option;
+      (* None = no background scrubber: at-rest faults are only found if
+         something reads them (the planted-bug configuration) *)
+  retain : int;  (* checkpoint slots kept for CRC-failure fallback *)
+}
+
+let default_storage = { scrub_every = Some 0.5; retain = 2 }
+
 (* One deterministic fault in a chaos schedule, in absolute simulated
    time.  Crash and partition events are armed as scheduled engine tasks
    (re-armed on whatever instance is live after each escape); drop
@@ -48,10 +57,21 @@ type chaos_event =
   | Partition_at of { at : float; heal_after_s : float }
   | Drop_burst of { at : float; until_s : float; rate : float }
   | Checkpoint_at of float
+  | Bitrot_at of { at : float; target : [ `Wal | `Checkpoint ]; frac : float }
+  | Fsync_lie_at of float
+  | Disk_full_at of { at : float; free_bytes : int; heal_after_s : float }
 
 let chaos_event_time = function
-  | Crash_at at | Checkpoint_at at -> at
-  | Partition_at { at; _ } | Drop_burst { at; _ } -> at
+  | Crash_at at | Checkpoint_at at | Fsync_lie_at at -> at
+  | Partition_at { at; _ }
+  | Drop_burst { at; _ }
+  | Bitrot_at { at; _ }
+  | Disk_full_at { at; _ } ->
+    at
+
+let is_storage_event = function
+  | Bitrot_at _ | Fsync_lie_at _ | Disk_full_at _ -> true
+  | Crash_at _ | Partition_at _ | Drop_burst _ | Checkpoint_at _ -> false
 
 type config = {
   rule : rule_choice;
@@ -70,6 +90,7 @@ type config = {
   provenance : Strip_obs.Provenance.t option;
   recovery : recovery_cfg option;
   repl : repl_cfg option;
+  storage : storage_cfg option;
   chaos : chaos_event list;
 }
 
@@ -91,6 +112,7 @@ let default_config rule ~delay =
     provenance = None;
     recovery = None;
     repl = None;
+    storage = None;
     chaos = [];
   }
 
@@ -164,6 +186,41 @@ type repl_metrics = {
   per_replica : replica_metrics list;
 }
 
+(* End-of-run storage-fault accounting: the media-fault ledger unioned
+   over every durable store the run touched (the live one plus any
+   abandoned at failover), scrubber work, salvage outcomes, and the
+   final cleanliness verdict the chaos invariants check. *)
+type storage_metrics = {
+  injected_bitrot_wal : int;
+  injected_bitrot_cp : int;
+  injected_fsync_lie : int;
+  faults_detected : int;
+  faults_repaired : int;
+  faults_quarantined : int;
+  faults_expunged : int;
+  faults_outstanding : int;
+  scrub_passes : int;
+  scrub_bytes : int;
+  wal_corruptions : int;
+  cp_corruptions : int;
+  repaired_replica : int;
+  repaired_checkpoint : int;
+  scrub_salvaged_bytes : int;
+  scrub_expunged_bytes : int;
+  cp_fallbacks : int;
+  salvaged_ranges : int;
+  salvaged_bytes : int;
+  quarantined_bytes : int;
+  orphan_merges : int;
+  disk_fulls : int;
+  lied_bytes : int;
+  ship_verify_skips : int;
+  salvage_s : float;  (* modeled seconds spent on detection + repair *)
+  final_clean : bool;
+      (* end of run: WAL frame chain verifies and every retained
+         checkpoint slot passes its CRC *)
+}
+
 type metrics = {
   label : string;
   delay : float;
@@ -201,6 +258,7 @@ type metrics = {
   registry : Strip_obs.Metrics.row list;
   recovery : recovery_metrics option;
   repl : repl_metrics option;
+  storage : storage_metrics option;
   slo : Strip_obs.Slo.view_report list;
       (* one report per objective; empty when no SLO monitor is attached *)
   trace_spans : (string * int * int) list;
@@ -236,7 +294,14 @@ let install_rules cfg db h =
   | Comp_view v -> Comp_rules.install db h v ~delay:cfg.delay
   | Option_view v -> Option_rules.install db h v ~delay:cfg.delay
 
-let mk_db ?now ?durable ?fault cfg =
+let mk_db ?now ?durable ?fault (cfg : config) =
+  (* Storage-fault runs arm every durable store a primary incarnation
+     uses — including a promoted replica's copy — before the instance
+     registers its metrics, so the media probes exist on every registry
+     and ship-time verification covers every term. *)
+  (match (cfg.storage, durable) with
+  | Some _, Some d -> Strip_txn.Durable.arm_media d
+  | _ -> ());
   (* The trace buffer, SLO monitor and provenance store are caller-owned
      and shared across every instance a crashy run burns through, so one
      causal story spans restarts and failovers. *)
@@ -326,7 +391,21 @@ type rec_totals = {
   mutable t_requeued : int;
   mutable t_restored_rows : int;
   mutable t_recovery_s : float;
+  mutable t_cp_fallbacks : int;
+  mutable t_salvaged_ranges : int;
+  mutable t_salvaged_bytes : int;
+  mutable t_quarantined_bytes : int;
+  mutable t_orphan_merges : int;
 }
+
+let add_salvage_totals totals (rs : Recovery.stats) =
+  totals.t_cp_fallbacks <- totals.t_cp_fallbacks + rs.Recovery.cp_fallbacks;
+  totals.t_salvaged_ranges <-
+    totals.t_salvaged_ranges + rs.Recovery.salvaged_ranges;
+  totals.t_salvaged_bytes <- totals.t_salvaged_bytes + rs.Recovery.salvaged_bytes;
+  totals.t_quarantined_bytes <-
+    totals.t_quarantined_bytes + rs.Recovery.quarantined_bytes;
+  totals.t_orphan_merges <- totals.t_orphan_merges + rs.Recovery.orphan_merges
 
 (* (Re-)arm the chaos events still strictly in the future on the live
    instance — called at the start of the drive and after every crash or
@@ -342,6 +421,20 @@ let arm_chaos cfg db ~now =
       | Checkpoint_at at ->
         if at > now then
           Strip_db.schedule_checkpoints db ~every:at ~start:at ~until:at ()
+      | Bitrot_at { at; target; frac } ->
+        if at > now then Strip_db.schedule_bitrot db ~at ~target ~frac
+      | Fsync_lie_at at -> if at > now then Strip_db.schedule_fsync_lie db ~at
+      | Disk_full_at { at; free_bytes; heal_after_s } ->
+        (* The capacity clamp lives on the WAL, which survives restarts:
+           a post-crash instance re-arms only the heal still due, so a
+           crash inside the full window cannot leave the disk full
+           forever. *)
+        if at > now then begin
+          Strip_db.schedule_disk_full db ~at ~free_bytes;
+          Strip_db.schedule_disk_heal db ~at:(at +. heal_after_s)
+        end
+        else if at +. heal_after_s > now then
+          Strip_db.schedule_disk_heal db ~at:(at +. heal_after_s)
       | Drop_burst _ -> ())
     cfg.chaos
 
@@ -372,7 +465,8 @@ let run_with_reads ~cluster db =
    highest applied LSN and recovery replays {e its} durable copy.  After
    [max_crashes] the crash {e rate} is zeroed (a scheduled [crash_at]
    fires once by construction) so a hostile seed cannot loop forever. *)
-let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
+let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster ~arm_scrub
+    ~abandoned db0 h0 =
   let open Strip_txn in
   Strip_db.checkpoint db0;
   (* Bound the checkpoint schedule by the feed: an unbounded schedule would
@@ -394,6 +488,7 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
   | Some at -> Strip_db.schedule_crash db0 ~at
   | None -> ());
   arm_chaos cfg db0 ~now:(Strip_db.now db0);
+  arm_scrub db0 cluster;
   let db = ref db0 and h = ref h0 in
   let finished = ref false in
   (* Crashes and partitions share one budget: past [max_crashes] total
@@ -469,6 +564,14 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
         | Some c when Strip_repl.Cluster.n_replicas c > 0 -> Some c
         | _ -> None
       in
+      (* Failing over abandons the dead primary's durable store: nothing
+         in it can influence a served read anymore, but its media-fault
+         ledger still counts toward the run's silent-corruption audit. *)
+      (match (failing_over, Strip_db.durable !db) with
+      | Some _, Some od when not (List.memq od !abandoned) ->
+        Durable.note_abandoned od;
+        abandoned := od :: !abandoned
+      | _ -> ());
       let ndb, nh, rs =
         match failing_over with Some c -> failover c | None -> restart ()
       in
@@ -493,6 +596,7 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
       totals.t_restored_rows <-
         totals.t_restored_rows + rs.Recovery.restored_rows;
       totals.t_recovery_s <- totals.t_recovery_s +. rec_s;
+      add_salvage_totals totals rs;
       (* Quotes at or before the crash are consumed or lost input; the rest
          of the feed resumes against the recovered instance.  Re-running a
          quote would be harmless (prices are absolute), so the conservative
@@ -514,6 +618,7 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
       | Some every -> Strip_db.schedule_checkpoints ndb ~every ~until:cp_until ()
       | None -> ());
       arm_chaos cfg ndb ~now:(Strip_db.now ndb);
+      arm_scrub ndb cluster;
       db := ndb;
       h := nh
     | exception Fault.Partitioned { heal_after_s; _ } -> (
@@ -580,6 +685,7 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
         totals.t_restored_rows <-
           totals.t_restored_rows + rs.Recovery.restored_rows;
         totals.t_recovery_s <- totals.t_recovery_s +. rec_s;
+        add_salvage_totals totals rs;
         (* The new term opens immediately: shipping and reads resume on
            the promoted primary while the deposed one rides out the
            partition on the other side. *)
@@ -593,6 +699,11 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
         accumulate acc old_db;
         Strip_db.crash old_db;
         ignore (C.heal c ~now:heal_at);
+        (match Strip_db.durable old_db with
+        | Some od when not (List.memq od !abandoned) ->
+          Durable.note_abandoned od;
+          abandoned := od :: !abandoned
+        | _ -> ());
         (* Quotes after the cut belong to the new timeline; the doomed
            instance's work on them was fenced away with its tail. *)
         let rest =
@@ -613,6 +724,7 @@ let drive cfg rcfg ~durable ~quotes ~acc ~totals ~mk_cluster db0 h0 =
           Strip_db.schedule_checkpoints ndb ~every ~until:cp_until ()
         | None -> ());
         arm_chaos cfg ndb ~now:(Strip_db.now ndb);
+        arm_scrub ndb cluster;
         db := ndb;
         h := nh
       | _ ->
@@ -645,7 +757,22 @@ let run (cfg : config) =
       { cfg with recovery = Some default_recovery }
     | _ -> cfg
   in
-  let durable = Option.map (fun _ -> Strip_txn.Durable.create ()) cfg.recovery in
+  (* Storage-fault events imply the storage substrate (scrubber +
+     retained checkpoint slots), exactly as chaos implies recovery. *)
+  let cfg =
+    if cfg.storage = None && List.exists is_storage_event cfg.chaos then
+      { cfg with storage = Some default_storage }
+    else cfg
+  in
+  let durable =
+    Option.map
+      (fun _ ->
+        let retain =
+          match cfg.storage with Some s -> max 1 s.retain | None -> 1
+        in
+        Strip_txn.Durable.create ~retain ())
+      cfg.recovery
+  in
   let db = mk_db ?durable ?fault:cfg.fault cfg in
   let h = Pta_tables.populate db ~feed:cfg.feed cfg.sizes in
   let weights = Feed.activity_weights cfg.feed in
@@ -678,7 +805,32 @@ let run (cfg : config) =
       t_requeued = 0;
       t_restored_rows = 0;
       t_recovery_s = 0.0;
+      t_cp_fallbacks = 0;
+      t_salvaged_ranges = 0;
+      t_salvaged_bytes = 0;
+      t_quarantined_bytes = 0;
+      t_orphan_merges = 0;
     }
+  in
+  let scrub_stats =
+    match cfg.storage with Some _ -> Some (Scrub.create ()) | None -> None
+  in
+  let abandoned : Strip_txn.Durable.t list ref = ref [] in
+  let fetch_of cluster =
+    Option.map
+      (fun c ~from_lsn ~len -> Strip_repl.Cluster.fetch_clean c ~from_lsn ~len)
+      cluster
+  in
+  (* (Re-)schedule the background scrubber on the live instance — like
+     checkpoints, the chain dies with its engine at a crash and must be
+     re-armed on every incarnation. *)
+  let arm_scrub db cluster =
+    match (cfg.storage, scrub_stats) with
+    | Some { scrub_every = Some every; _ }, Some st
+      when Strip_db.durable db <> None ->
+      Scrub.schedule st db ~every ~until:cfg.feed.Feed.duration
+        ?fetch:(fetch_of cluster) ()
+    | _ -> ()
   in
   (* Per-replica span buffers are owned here rather than by the cluster so
      they survive failover re-seeding; they merge with the primary buffer
@@ -750,8 +902,17 @@ let run (cfg : config) =
         (db, h, Some c))
     | Some rcfg ->
       drive cfg rcfg ~durable:(Option.get durable) ~quotes ~acc ~totals
-        ~mk_cluster db h
+        ~mk_cluster ~arm_scrub ~abandoned db h
   in
+  (* One last scrub pass before the administrative catch-up, so a fault
+     injected after the final periodic tick is still detected and
+     repaired before the run is judged (and before replicas converge on
+     the final log). *)
+  (match (cfg.storage, scrub_stats) with
+  | Some { scrub_every = Some _; _ }, Some st when Strip_db.durable db <> None
+    ->
+    Scrub.scrub ?fetch:(fetch_of cluster) st db
+  | _ -> ());
   (* Converge the replicas administratively so end-of-run lag/LSN metrics
      (and the tests) compare equals against the final primary. *)
   (match cluster with
@@ -919,6 +1080,65 @@ let run (cfg : config) =
                 });
         }
   in
+  let storage =
+    match (cfg.storage, Strip_db.durable db) with
+    | Some _, Some d ->
+      let stores = d :: !abandoned in
+      let counts =
+        List.fold_left
+          (fun c od -> Durable.add_counts od c)
+          Durable.zero_counts stores
+      in
+      let sum_wal f =
+        List.fold_left (fun a od -> a + f (Durable.wal od)) 0 stores
+      in
+      let sget f = match scrub_stats with Some s -> f s | None -> 0 in
+      let salvage_s =
+        1e-6
+        *. Strip_sim.Cost_model.charge cfg.cost
+             [
+               ("scrub_pass", Meter.get "scrub_pass");
+               ("scrub_byte", Meter.get "scrub_byte");
+               ("salvage_attempt", Meter.get "salvage_attempt");
+               ("salvage_byte", Meter.get "salvage_byte");
+               ("quarantine_byte", Meter.get "quarantine_byte");
+             ]
+      in
+      Some
+        {
+          injected_bitrot_wal = counts.Durable.injected_bitrot_wal;
+          injected_bitrot_cp = counts.Durable.injected_bitrot_cp;
+          injected_fsync_lie = counts.Durable.injected_fsync_lie;
+          faults_detected = counts.Durable.detected;
+          faults_repaired = counts.Durable.repaired;
+          faults_quarantined = counts.Durable.quarantined;
+          faults_expunged = counts.Durable.expunged;
+          faults_outstanding = counts.Durable.outstanding;
+          scrub_passes = sget Scrub.passes;
+          scrub_bytes = sget Scrub.bytes_scanned;
+          wal_corruptions = sget Scrub.wal_corruptions;
+          cp_corruptions = sget Scrub.cp_corruptions;
+          repaired_replica = sget Scrub.repaired_replica;
+          repaired_checkpoint = sget Scrub.repaired_checkpoint;
+          scrub_salvaged_bytes = sget Scrub.salvaged_bytes;
+          scrub_expunged_bytes = sget Scrub.expunged_bytes;
+          cp_fallbacks = totals.t_cp_fallbacks;
+          salvaged_ranges = totals.t_salvaged_ranges;
+          salvaged_bytes = totals.t_salvaged_bytes;
+          quarantined_bytes = totals.t_quarantined_bytes;
+          orphan_merges = totals.t_orphan_merges;
+          disk_fulls = sum_wal Wal.n_disk_fulls;
+          lied_bytes = sum_wal Wal.lied_bytes;
+          ship_verify_skips =
+            (match cluster with
+            | Some c -> Strip_repl.Cluster.ship_verify_skips c
+            | None -> 0);
+          salvage_s;
+          final_clean =
+            Wal.verify (Durable.wal d) = [] && Durable.slots_valid d;
+        }
+    | _ -> None
+  in
   {
     label = label_of cfg.rule;
     delay = cfg.delay;
@@ -980,6 +1200,7 @@ let run (cfg : config) =
     registry = Strip_obs.Metrics.snapshot (Strip_db.metrics db);
     recovery;
     repl;
+    storage;
     slo = (match cfg.slo with None -> [] | Some s -> Strip_obs.Slo.report s);
     trace_spans =
       (match cfg.trace with

@@ -46,6 +46,19 @@ val default_repl : repl_cfg
 (** 1 replica, default link, 50 ms shipping, policy [Any], no reads,
     100 ms partition detection. *)
 
+type storage_cfg = {
+  scrub_every : float option;
+      (** background-scrubber period in simulated seconds; [None] runs no
+          scrubber, so at-rest faults are only found when something reads
+          the bytes (the configuration the planted-bug hunt uses) *)
+  retain : int;
+      (** checkpoint slots kept (≥ 1); extra slots let recovery fall back
+          past a CRC-failing image instead of refusing *)
+}
+
+val default_storage : storage_cfg
+(** 0.5 s scrub period, 2 retained checkpoint slots. *)
+
 (** One deterministic fault in a chaos schedule, in absolute simulated
     seconds.  Crashes and partitions are armed as scheduled engine tasks
     and re-armed on whatever instance is live after each escape; drop
@@ -57,9 +70,22 @@ type chaos_event =
   | Partition_at of { at : float; heal_after_s : float }
   | Drop_burst of { at : float; until_s : float; rate : float }
   | Checkpoint_at of float
+  | Bitrot_at of { at : float; target : [ `Wal | `Checkpoint ]; frac : float }
+      (** flip one at-rest byte at fraction [frac] of the durable WAL
+          (respectively the newest checkpoint image) *)
+  | Fsync_lie_at of float
+      (** the next fsync acknowledges its pending bytes but silently
+          writes zeros — a mid-log gap discovered only when read *)
+  | Disk_full_at of { at : float; free_bytes : int; heal_after_s : float }
+      (** clamp WAL capacity to [free_bytes] headroom at [at]; appends
+          past it raise typed backpressure until the heal *)
 
 val chaos_event_time : chaos_event -> float
 (** The instant the event fires (a burst's opening edge). *)
+
+val is_storage_event : chaos_event -> bool
+(** True for the at-rest media events ([Bitrot_at] / [Fsync_lie_at] /
+    [Disk_full_at]). *)
 
 type config = {
   rule : rule_choice;
@@ -106,6 +132,12 @@ type config = {
           {!default_recovery} when [recovery] is [None], and a primary
           crash is resolved by deterministic failover promotion instead
           of restart-in-place. *)
+  storage : storage_cfg option;
+      (** arm the storage-fault substrate: media-fault ledger, background
+          scrubber, retained checkpoint slots, ship-time verification.
+          [None] (the default) leaves every run byte-identical to builds
+          without the subsystem; a chaos schedule containing storage
+          events implies {!default_storage}. *)
   chaos : chaos_event list;
       (** deterministic fault schedule (from {!Strip_chaos} or hand
           written).  [[]] (the default) arms nothing and leaves the run
@@ -203,6 +235,54 @@ type repl_metrics = {
   per_replica : replica_metrics list;
 }
 
+type storage_metrics = {
+  injected_bitrot_wal : int;  (** at-rest WAL byte flips injected *)
+  injected_bitrot_cp : int;  (** checkpoint-image byte flips injected *)
+  injected_fsync_lie : int;  (** lying fsyncs (acked bytes zeroed) *)
+  faults_detected : int;
+      (** noticed (scrub / ship verify / recovery) but not yet fixed *)
+  faults_repaired : int;  (** clean bytes restored in place *)
+  faults_quarantined : int;  (** corrupt ranges dropped, never served *)
+  faults_expunged : int;
+      (** left the system unread (truncated behind a checkpoint, or the
+          whole store was abandoned at failover) *)
+  faults_outstanding : int;
+      (** injected and never noticed — any nonzero value is silent
+          corruption, and the [no_silent_corruption] chaos invariant
+          fails the run *)
+  scrub_passes : int;
+  scrub_bytes : int;  (** durable bytes re-read and re-verified *)
+  wal_corruptions : int;  (** corrupt WAL ranges the scrubber found *)
+  cp_corruptions : int;  (** checkpoint slots that failed their CRC *)
+  repaired_replica : int;  (** ranges healed by replica re-fetch *)
+  repaired_checkpoint : int;  (** repairs via emergency checkpoint *)
+  scrub_salvaged_bytes : int;  (** bytes spliced back from replicas *)
+  scrub_expunged_bytes : int;
+      (** log bytes whose redo capability the checkpoint rung destroyed
+          (the whole truncated span, not just the rotten ranges) *)
+  cp_fallbacks : int;
+      (** recoveries that skipped a CRC-failing slot for an older one *)
+  salvaged_ranges : int;  (** corrupt ranges found during recovery redo *)
+  salvaged_bytes : int;  (** bytes replica-fetched during recovery *)
+  quarantined_bytes : int;
+      (** log tail dropped by recovery when no replica could serve;
+          the audit repairs whatever the lost records maintained *)
+  orphan_merges : int;
+      (** orphan [Uq_merge] records re-rooted as synthetic enqueues
+          instead of refusing recovery *)
+  disk_fulls : int;  (** appends refused by the capacity clamp *)
+  lied_bytes : int;  (** acked bytes silently zeroed by lying fsyncs *)
+  ship_verify_skips : int;
+      (** outgoing segments cut at a corrupt frame by ship-time
+          verification (rot never propagates to replicas) *)
+  salvage_s : float;
+      (** modeled seconds charged to scrubbing, salvage and quarantine *)
+  final_clean : bool;
+      (** end of run: the durable WAL frame chain verifies end-to-end and
+          every retained checkpoint slot passes its CRC — the
+          [salvage_converges] chaos invariant *)
+}
+
 type metrics = {
   label : string;
   delay : float;
@@ -259,6 +339,11 @@ type metrics = {
   repl : repl_metrics option;
       (** present iff the run had a [repl] config; cluster-owned counters
           survive failover epochs. *)
+  storage : storage_metrics option;
+      (** present iff the run had a [storage] config (explicit or implied
+          by storage chaos events); the fault ledger is unioned over
+          every durable store the run touched, including stores abandoned
+          at failover. *)
   slo : Strip_obs.Slo.view_report list;
       (** per-view staleness SLO verdicts; empty unless the run had an
           [slo] config *)

@@ -129,6 +129,45 @@ let print_repl (m : Experiment.metrics) =
             (1e3 *. s.p99) (1e3 *. s.max))
         r.read_throughput_per_s
 
+let print_storage (m : Experiment.metrics) =
+  match m.storage with
+  | None -> ()
+  | Some (s : Experiment.storage_metrics) ->
+    Printf.printf
+      "  storage faults: %d injected (%d wal rot, %d cp rot, %d fsync \
+       lies); ledger: %d repaired, %d quarantined, %d expunged, %d \
+       outstanding%s\n%!"
+      (s.injected_bitrot_wal + s.injected_bitrot_cp + s.injected_fsync_lie)
+      s.injected_bitrot_wal s.injected_bitrot_cp s.injected_fsync_lie
+      s.faults_repaired s.faults_quarantined s.faults_expunged
+      s.faults_outstanding
+      (if s.faults_outstanding > 0 then " [SILENT CORRUPTION]" else "");
+    Printf.printf
+      "  scrub: %d pass(es) over %d bytes; %d wal + %d checkpoint \
+       corruption(s); repaired %d via replica (%d bytes), %d via \
+       checkpoint (%d bytes expunged)\n%!"
+      s.scrub_passes s.scrub_bytes s.wal_corruptions s.cp_corruptions
+      s.repaired_replica s.scrub_salvaged_bytes s.repaired_checkpoint
+      s.scrub_expunged_bytes;
+    if
+      s.salvaged_ranges + s.cp_fallbacks + s.orphan_merges > 0
+      || s.quarantined_bytes > 0
+    then
+      Printf.printf
+        "  salvage recovery: %d range(s) hit during redo (%d bytes \
+         replica-fetched, %d quarantined); %d checkpoint fallback(s); %d \
+         orphan merge(s)\n%!"
+        s.salvaged_ranges s.salvaged_bytes s.quarantined_bytes s.cp_fallbacks
+        s.orphan_merges;
+    if s.disk_fulls + s.lied_bytes + s.ship_verify_skips > 0 then
+      Printf.printf
+        "  backpressure: %d disk-full stall(s); %d bytes zeroed by lying \
+         fsyncs; %d shipped segment(s) cut at corruption\n%!"
+        s.disk_fulls s.lied_bytes s.ship_verify_skips;
+    Printf.printf "  media: %s (%.3fs salvage cpu)\n%!"
+      (if s.final_clean then "clean" else "CORRUPT AT END OF RUN")
+      s.salvage_s
+
 let print_slo (m : Experiment.metrics) =
   List.iter
     (fun (r : Strip_obs.Slo.view_report) ->
@@ -252,6 +291,37 @@ let repl_json (r : Experiment.repl_metrics) =
              r.per_replica) );
     ]
 
+let storage_json (s : Experiment.storage_metrics) =
+  Json.Obj
+    [
+      ("injected_bitrot_wal", Json.Int s.injected_bitrot_wal);
+      ("injected_bitrot_cp", Json.Int s.injected_bitrot_cp);
+      ("injected_fsync_lie", Json.Int s.injected_fsync_lie);
+      ("faults_detected", Json.Int s.faults_detected);
+      ("faults_repaired", Json.Int s.faults_repaired);
+      ("faults_quarantined", Json.Int s.faults_quarantined);
+      ("faults_expunged", Json.Int s.faults_expunged);
+      ("faults_outstanding", Json.Int s.faults_outstanding);
+      ("scrub_passes", Json.Int s.scrub_passes);
+      ("scrub_bytes", Json.Int s.scrub_bytes);
+      ("wal_corruptions", Json.Int s.wal_corruptions);
+      ("cp_corruptions", Json.Int s.cp_corruptions);
+      ("repaired_replica", Json.Int s.repaired_replica);
+      ("repaired_checkpoint", Json.Int s.repaired_checkpoint);
+      ("scrub_salvaged_bytes", Json.Int s.scrub_salvaged_bytes);
+      ("scrub_expunged_bytes", Json.Int s.scrub_expunged_bytes);
+      ("cp_fallbacks", Json.Int s.cp_fallbacks);
+      ("salvaged_ranges", Json.Int s.salvaged_ranges);
+      ("salvaged_bytes", Json.Int s.salvaged_bytes);
+      ("quarantined_bytes", Json.Int s.quarantined_bytes);
+      ("orphan_merges", Json.Int s.orphan_merges);
+      ("disk_fulls", Json.Int s.disk_fulls);
+      ("lied_bytes", Json.Int s.lied_bytes);
+      ("ship_verify_skips", Json.Int s.ship_verify_skips);
+      ("salvage_s", Json.Float s.salvage_s);
+      ("final_clean", Json.Bool s.final_clean);
+    ]
+
 let metrics_json (m : Experiment.metrics) =
   (* The "recovery" member appears only for durable runs, and the
      "replication" member only for replicated runs, so crash-free /
@@ -265,6 +335,13 @@ let metrics_json (m : Experiment.metrics) =
     match m.repl with
     | None -> []
     | Some r -> [ ("replication", repl_json r) ]
+  in
+  (* "storage" appears only for storage-fault runs, keeping every other
+     report byte-identical. *)
+  let storage_field =
+    match m.storage with
+    | None -> []
+    | Some s -> [ ("storage", storage_json s) ]
   in
   (* Likewise "slo" and "trace" appear only when those opt-in surfaces
      were armed. *)
@@ -335,7 +412,7 @@ let metrics_json (m : Experiment.metrics) =
         Json.Obj (List.map (fun (t, s) -> (t, summary_to_json s)) m.staleness)
       );
      ]
-    @ recovery_field @ repl_field @ slo_field @ trace_field)
+    @ recovery_field @ repl_field @ storage_field @ slo_field @ trace_field)
 
 let print_metrics_json ms =
   print_string

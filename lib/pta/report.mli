@@ -32,6 +32,14 @@ val print_repl : Experiment.metrics -> unit
     and throughput.  Silent for runs without a [repl] config, so
     historical reports are unchanged. *)
 
+val print_storage : Experiment.metrics -> unit
+(** Indented storage-fault rows: injected-fault census and ledger
+    outcomes (with a [SILENT CORRUPTION] marker on any outstanding
+    fault), scrubber volume and repair-source mix, salvage-recovery
+    work, backpressure counters, and the final media verdict.  Silent
+    for runs without a [storage] config, so historical reports are
+    unchanged. *)
+
 val print_slo : Experiment.metrics -> unit
 (** One indented verdict line per staleness SLO objective (samples over
     bound, violation windows, violating seconds, worst sample); silent
@@ -45,6 +53,10 @@ val print_staleness : Experiment.metrics -> unit
 (** One indented line per derived table: count, mean, p50/p90/p99 and max
     staleness in seconds (paper §7); silent when no maintenance
     transaction committed. *)
+
+val storage_json : Experiment.storage_metrics -> Strip_obs.Json.t
+(** The storage-fault block alone — the chaos explorer embeds it in
+    outcome and quarantine reports. *)
 
 val metrics_json : Experiment.metrics -> Strip_obs.Json.t
 (** The full metrics record as a JSON object, including recompute-latency

@@ -60,6 +60,8 @@ type t = {
      the db handle, the term it was deposed from, and the elected
      winner's applied LSN at promotion (the fencing point). *)
   mutable isolated : (Strip_db.t * int * int) option;
+  mutable ship_skips : int;
+      (* shipped segments cut short by ship-time verification *)
 }
 
 let primary_durable t =
@@ -67,11 +69,24 @@ let primary_durable t =
   | Some d -> d
   | None -> invalid_arg "Cluster: primary has no durability layer"
 
+(* The image replicas are (re-)seeded from.  Under storage-fault
+   injection the newest slot may have rotted, so pick the newest slot
+   that still verifies; fault-free stores behave exactly as before. *)
+let seed_image d =
+  if Durable.media_armed d then
+    Option.map
+      (fun (image, lsn, time, _) -> (image, lsn, time))
+      (Durable.verified_slot d)
+  else
+    Option.map
+      (fun image -> (image, Durable.snapshot_lsn d, Durable.snapshot_time d))
+      (Durable.snapshot d)
+
 let create ?(trace_for = fun _ -> None) cfg ~primary ~read_table ~read_key_col
     ~read_keys ~read_until =
   if cfg.n_replicas < 0 then invalid_arg "Cluster.create: n_replicas < 0";
-  let replicas =
-    if cfg.n_replicas = 0 then [||]
+  let replicas, snap_lsn =
+    if cfg.n_replicas = 0 then ([||], 0)
     else begin
       let d =
         match Strip_db.durable primary with
@@ -79,19 +94,15 @@ let create ?(trace_for = fun _ -> None) cfg ~primary ~read_table ~read_key_col
         | None ->
           invalid_arg "Cluster.create: replicas need a durable primary"
       in
-      let image =
-        match Durable.snapshot d with
+      let image, lsn, time =
+        match seed_image d with
         | Some s -> s
         | None -> invalid_arg "Cluster.create: no checkpoint to bootstrap from"
       in
-      let lsn = Durable.snapshot_lsn d and time = Durable.snapshot_time d in
-      Array.init cfg.n_replicas (fun i ->
-          Replica.bootstrap ?trace:(trace_for i) ~id:i ~image ~lsn ~time ())
+      ( Array.init cfg.n_replicas (fun i ->
+            Replica.bootstrap ?trace:(trace_for i) ~id:i ~image ~lsn ~time ()),
+        lsn )
     end
-  in
-  let snap_lsn =
-    if cfg.n_replicas = 0 then 0
-    else Durable.snapshot_lsn (Option.get (Strip_db.durable primary))
   in
   {
     cfg;
@@ -118,6 +129,7 @@ let create ?(trace_for = fun _ -> None) cfg ~primary ~read_table ~read_key_col
     fenced = 0;
     partitions = 0;
     isolated = None;
+    ship_skips = 0;
   }
 
 let primary t = t.primary
@@ -184,18 +196,13 @@ let ship_tick_from t ~db ~cursor ~epoch ~now =
       if applied < base then begin
         (* The primary truncated past this replica: re-seed it with the
            current checkpoint image over the same link. *)
-        match Durable.snapshot d with
-        | Some image ->
+        match seed_image d with
+        | Some (image, lsn, time) ->
           Link.send ~epoch t.links.(i) ~now
-            (Link.Bootstrap
-               {
-                 image;
-                 lsn = Durable.snapshot_lsn d;
-                 time = Durable.snapshot_time d;
-               });
-          trace_ship ~replica:i ~from_lsn:(Durable.snapshot_lsn d)
-            ~bytes:(String.length image) "ship_bootstrap";
-          cursor.(i) <- Durable.snapshot_lsn d
+            (Link.Bootstrap { image; lsn; time });
+          trace_ship ~replica:i ~from_lsn:lsn ~bytes:(String.length image)
+            "ship_bootstrap";
+          cursor.(i) <- lsn
         | None -> ()
       end
       else begin
@@ -205,12 +212,34 @@ let ship_tick_from t ~db ~cursor ~epoch ~now =
         let from = if applied < cursor.(i) then applied else cursor.(i) in
         let from = max base (min from dend) in
         if from < dend then begin
-          Link.send ~epoch t.links.(i) ~now
-            (Link.Segment
-               { from_lsn = from; bytes = Wal.durable_slice pwal ~from_lsn:from });
-          trace_ship ~replica:i ~from_lsn:from ~bytes:(dend - from)
-            "ship_segment";
-          cursor.(i) <- dend
+          let bytes = Wal.durable_slice pwal ~from_lsn:from in
+          (* Ship-time verification: never propagate rot.  A corrupt
+             frame in the outgoing slice cuts the segment down to its
+             clean prefix; the cursor stays at the corruption point so
+             the tail is retried after the scrubber (or recovery) has
+             repaired it. *)
+          let bytes, upto =
+            if not (Durable.media_armed d) then (bytes, dend)
+            else
+              let rd = Wal.scan_bytes ~base:from bytes in
+              match
+                match rd.Wal.corrupt_at with
+                | Some _ as c -> c
+                | None -> rd.Wal.torn_at
+              with
+              | None -> (bytes, dend)
+              | Some l ->
+                t.ship_skips <- t.ship_skips + 1;
+                Durable.note_wal_detected d ~lsn:l ~len:1;
+                (String.sub bytes 0 (l - from), l)
+          in
+          if String.length bytes > 0 then begin
+            Link.send ~epoch t.links.(i) ~now
+              (Link.Segment { from_lsn = from; bytes });
+            trace_ship ~replica:i ~from_lsn:from ~bytes:(upto - from)
+              "ship_segment"
+          end;
+          cursor.(i) <- upto
         end
         else
           (* Nothing new: a heartbeat advances the freshness horizon
@@ -222,6 +251,44 @@ let ship_tick_from t ~db ~cursor ~epoch ~now =
 
 let ship_tick t ~now =
   ship_tick_from t ~db:t.primary ~cursor:t.sent_end ~epoch:t.epoch ~now
+
+(* ------------------------------------------------------------------ *)
+(* Salvage source.                                                     *)
+
+(* Serve [len] clean bytes at [from_lsn] from any replica whose log copy
+   covers the range.  Replicas hold byte-identical copies of the shipped
+   log (ship-time verification keeps rot out of the wire), so a covering
+   slice that still frames cleanly is exactly the bytes the primary lost
+   to media corruption. *)
+let fetch_clean t ~from_lsn ~len =
+  if len <= 0 then None
+  else begin
+    let found = ref None in
+    Array.iter
+      (fun r ->
+        if !found = None then begin
+          let rwal = Durable.wal (Replica.durable r) in
+          if
+            Wal.base_lsn rwal <= from_lsn
+            && from_lsn + len <= Wal.durable_end rwal
+          then begin
+            let bytes =
+              String.sub (Wal.durable_slice rwal ~from_lsn) 0 len
+            in
+            let rd = Wal.scan_bytes ~base:from_lsn bytes in
+            if
+              rd.Wal.corrupt_at = None
+              && rd.Wal.torn_at = None
+              && rd.Wal.records <> []
+            then found := Some bytes
+          end
+        end)
+      t.replicas;
+    (match !found with
+    | Some _ -> Meter.tick "repl_salvage_served"
+    | None -> ());
+    !found
+  end
 
 let schedule_shipping t ~until =
   if Array.length t.replicas = 0 then ()
@@ -371,7 +438,11 @@ let promote t ~now ~mk_db ~reinstall =
     let dur = primary_durable t in
     let promoted_lsn = Wal.durable_end (Durable.wal dur) in
     let ndb = mk_db dur in
-    let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
+    let rs =
+      Recovery.recover ndb
+        ~salvage:(fun ~from_lsn ~len -> fetch_clean t ~from_lsn ~len)
+        ~reinstall:(fun () -> reinstall ndb)
+    in
     t.primary <- ndb;
     open_epoch t ~winner_id:(-1);
     let p = { promoted = -1; promoted_lsn; lost_bytes = 0; epoch = t.epoch } in
@@ -388,7 +459,11 @@ let promote t ~now ~mk_db ~reinstall =
     let old_end = Wal.durable_end (Durable.wal (primary_durable t)) in
     let lost_bytes = max 0 (old_end - promoted_lsn) in
     let ndb = mk_db (Replica.durable winner) in
-    let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
+    let rs =
+      Recovery.recover ndb
+        ~salvage:(fun ~from_lsn ~len -> fetch_clean t ~from_lsn ~len)
+        ~reinstall:(fun () -> reinstall ndb)
+    in
     t.primary <- ndb;
     t.failovers <- t.failovers + 1;
     t.lost <- t.lost + lost_bytes;
@@ -426,7 +501,11 @@ let promote_isolated t ~now ~mk_db ~reinstall =
   let winner = elect t in
   let promoted_lsn = Replica.applied_lsn winner in
   let ndb = mk_db (Replica.durable winner) in
-  let rs = Recovery.recover ndb ~reinstall:(fun () -> reinstall ndb) in
+  let rs =
+    Recovery.recover ndb
+      ~salvage:(fun ~from_lsn ~len -> fetch_clean t ~from_lsn ~len)
+      ~reinstall:(fun () -> reinstall ndb)
+  in
   t.primary <- ndb;
   t.failovers <- t.failovers + 1;
   open_epoch t ~winner_id:(Replica.id winner);
@@ -479,10 +558,9 @@ let heal t ~now =
 
 let resume t ~now ~ship_until =
   let d = primary_durable t in
-  (match Durable.snapshot d with
+  (match seed_image d with
   | None -> ()
-  | Some image ->
-    let lsn = Durable.snapshot_lsn d and time = Durable.snapshot_time d in
+  | Some (image, lsn, time) ->
     Array.iteri
       (fun i r ->
         Replica.rebootstrap r ~image ~lsn ~time;
@@ -509,10 +587,8 @@ let final_sync t ~now =
         in
         go ();
         (if Replica.applied_lsn r < Wal.base_lsn pwal then
-           match Durable.snapshot d with
-           | Some image ->
-             Replica.rebootstrap r ~image ~lsn:(Durable.snapshot_lsn d)
-               ~time:(Durable.snapshot_time d)
+           match seed_image d with
+           | Some (image, lsn, time) -> Replica.rebootstrap r ~image ~lsn ~time
            | None -> ());
         if Replica.applied_lsn r < Wal.durable_end pwal then
           Replica.ingest r
@@ -525,6 +601,7 @@ let final_sync t ~now =
 (* Accounting.                                                         *)
 
 let n_failovers t = t.failovers
+let ship_verify_skips t = t.ship_skips
 let lost_bytes_total t = t.lost
 let fenced_bytes_total t = t.fenced
 let n_partitions t = t.partitions
@@ -557,6 +634,10 @@ let register_metrics t reg =
   M.probe_int reg "repl_reads_primary_total" (fun () -> t.rd_primary);
   M.probe_int reg "repl_reads_replica_total" (fun () -> t.rd_replica);
   M.probe_hist reg "repl_read_latency_s" (fun () -> t.read_lat);
+  (match Strip_db.durable t.primary with
+  | Some d when Durable.media_armed d ->
+    M.probe_int reg "repl_ship_verify_skips_total" (fun () -> t.ship_skips)
+  | _ -> ());
   M.probe_int reg "repl_segments_sent_total" (fun () -> segments_sent t);
   M.probe_int reg "repl_segments_dropped_total" (fun () -> segments_dropped t);
   M.probe_int reg "repl_bytes_shipped_total" (fun () -> bytes_shipped t);

@@ -102,6 +102,16 @@ val serve_read : t -> now:float -> unit
     primary lane models a read endpoint), and account latency as
     queueing-plus-service on the chosen node's lane. *)
 
+(** {1 Salvage} *)
+
+val fetch_clean : t -> from_lsn:int -> len:int -> string option
+(** Serve [len] clean log bytes at [from_lsn] from any replica whose
+    copy covers that range and still frames cleanly, or [None] when no
+    replica can.  This is the first rung of the salvage ladder: the
+    primary's scrubber (and salvage recovery) splices the returned bytes
+    over a corrupt range in place, because shipped copies are
+    byte-identical to what the primary originally logged. *)
+
 (** {1 Failover} *)
 
 type promotion = {
@@ -196,6 +206,11 @@ val partition_drops_total : t -> int
 
 val fenced_messages_total : t -> int
 (** Stale-epoch messages rejected across all replicas. *)
+
+val ship_verify_skips : t -> int
+(** Outgoing segments cut short because ship-time verification found a
+    corrupt frame in the slice (storage-fault injection only — clean
+    runs never scan). *)
 
 val register_metrics : t -> Strip_obs.Metrics.t -> unit
 (** Probe lag/routing/shipping counters into a registry under [repl_*];

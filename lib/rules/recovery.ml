@@ -12,7 +12,14 @@ type stats = {
   released : int;
   torn_tail : bool;
   corrupt_tail : bool;
+  cp_fallbacks : int;
+  salvaged_ranges : int;
+  salvaged_bytes : int;
+  quarantined_bytes : int;
+  orphan_merges : int;
 }
+
+type salvage = from_lsn:int -> len:int -> string option
 
 (* ------------------------------------------------------------------ *)
 (* Unique-queue reconstruction: start from the checkpoint's queue image,
@@ -47,16 +54,28 @@ let merge_bound entry (name, rows) =
         entry.q_bound
   else entry.q_bound <- entry.q_bound @ [ (name, rows) ]
 
-let recover db ~reinstall =
+let recover ?salvage db ~reinstall =
   let d =
     match Strip_db.durable db with
     | Some d -> d
     | None -> invalid_arg "Recovery.recover: database has no durability layer"
   in
-  let cp =
-    match Durable.snapshot d with
-    | Some s -> Checkpoint.decode s
-    | None -> invalid_arg "Recovery.recover: no checkpoint image installed"
+  let cp, cp_fallbacks =
+    match Durable.verified_slot d with
+    | Some (s, _lsn, _time, skipped) ->
+      if skipped > 0 then begin
+        (* newer slot(s) failed their CRC: note the detection, fall back
+           to the older verified image and redo its longer tail *)
+        Durable.note_cp_detected d;
+        Meter.tick_n "recovery_cp_fallback" skipped
+      end;
+      (Checkpoint.decode s, skipped)
+    | None ->
+      if Durable.snapshot d = None then
+        invalid_arg "Recovery.recover: no checkpoint image installed"
+      else
+        invalid_arg
+          "Recovery.recover: every retained checkpoint slot failed its CRC"
   in
   let cat = Strip_db.catalog db in
   (* 1. Restore every table (base and view) from the image. *)
@@ -78,10 +97,53 @@ let recover db ~reinstall =
      every maintenance action that committed left its own Commit record,
      and every one that did not is represented in the rebuilt queue.  The
      cursor read starts at the checkpoint LSN: truncation keeps
-     [base_lsn <= wal_lsn], so nothing before it is re-decoded. *)
-  let rd = Wal.read_from (Durable.wal d) ~lsn:cp.Checkpoint.wal_lsn in
+     [base_lsn <= wal_lsn], so nothing before it is re-decoded.
+
+     Mid-log corruption is not fatal: the salvage ladder first tries to
+     re-fetch clean bytes for the exact corrupt range from a replica
+     whose log covers it ([?salvage]), and otherwise quarantines the
+     tail from the corruption point — the checkpoint image plus audit
+     repair then restore fidelity.  Redo only starts once the scan is
+     clean, so corrupt bytes never influence the rebuilt state. *)
+  let w = Durable.wal d in
+  let salvaged_ranges = ref 0
+  and salvaged_bytes = ref 0
+  and quarantined_bytes = ref 0
+  and saw_corruption = ref false in
+  let rec clean_read () =
+    let rd = Wal.read_from w ~lsn:cp.Checkpoint.wal_lsn in
+    match rd.Wal.corrupt_at with
+    | None -> rd
+    | Some l ->
+      saw_corruption := true;
+      let r = Wal.next_valid_lsn w ~after:l in
+      Durable.note_wal_detected d ~lsn:l ~len:(max 1 (r - l));
+      Meter.tick "salvage_attempt";
+      let fetched =
+        match salvage with
+        | Some fetch -> fetch ~from_lsn:l ~len:(r - l)
+        | None -> None
+      in
+      (match fetched with
+      | Some bytes ->
+        Wal.splice w ~lsn:l ~bytes;
+        Durable.note_wal_repaired d ~lsn:l ~len:(r - l);
+        Meter.tick_n "salvage_byte" (r - l);
+        incr salvaged_ranges;
+        salvaged_bytes := !salvaged_bytes + (r - l)
+      | None ->
+        (* no replica covers the range: quarantine the tail from the
+           corruption point; anything lost is restored by audit repair
+           and quote resubmission *)
+        let dropped = Wal.drop_from w ~lsn:l in
+        Durable.note_wal_quarantined d ~from_lsn:l;
+        Meter.tick_n "quarantine_byte" dropped;
+        quarantined_bytes := !quarantined_bytes + dropped);
+      clean_read ()
+  in
+  let rd = clean_read () in
   let redo = Redo.create cat in
-  let n_commits = ref 0 and released = ref 0 in
+  let n_commits = ref 0 and released = ref 0 and orphan_merges = ref 0 in
   let queue = QT.create 64 in
   (* trace contexts of queued batches, rebuilt from Trace_note riders *)
   let ctxs = QT.create 16 in
@@ -113,8 +175,18 @@ let recover db ~reinstall =
         match QT.find_opt queue (func, key) with
         | Some e -> List.iter (merge_bound e) bound
         | None ->
-          failwith
-            (Printf.sprintf "Recovery: merge into unknown queue entry %s" func))
+          (* the enqueue this merge extends is gone (its range was
+             quarantined, or the image predates a lost log segment):
+             synthesize an immediately-releasable entry carrying the
+             merged rows instead of aborting recovery *)
+          incr orphan_merges;
+          Meter.tick "recovery_orphan_merge";
+          enqueue (func, key)
+            {
+              q_release = cp.Checkpoint.taken_at;
+              q_created = cp.Checkpoint.taken_at;
+              q_bound = bound;
+            })
       | Wal.Uq_release { func; key } ->
         incr released;
         QT.remove queue (func, key);
@@ -167,14 +239,32 @@ let recover db ~reinstall =
     requeued_rows = !requeued_rows;
     released = !released;
     torn_tail = rd.Wal.torn_at <> None;
-    corrupt_tail = rd.Wal.corrupt_at <> None;
+    corrupt_tail = !saw_corruption;
+    cp_fallbacks;
+    salvaged_ranges = !salvaged_ranges;
+    salvaged_bytes = !salvaged_bytes;
+    quarantined_bytes = !quarantined_bytes;
+    orphan_merges = !orphan_merges;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "restored %d tables / %d rows; redo %d commits / %d ops; requeued %d \
-     (%d rows), released %d%s%s"
+     (%d rows), released %d%s%s%s%s%s%s"
     s.restored_tables s.restored_rows s.redo_commits s.redo_ops s.requeued
     s.requeued_rows s.released
     (if s.torn_tail then "; torn tail dropped" else "")
     (if s.corrupt_tail then "; CORRUPT mid-log entry" else "")
+    (if s.cp_fallbacks > 0 then
+       Printf.sprintf "; fell back %d checkpoint slot(s)" s.cp_fallbacks
+     else "")
+    (if s.salvaged_ranges > 0 then
+       Printf.sprintf "; salvaged %d range(s) / %d B from replicas"
+         s.salvaged_ranges s.salvaged_bytes
+     else "")
+    (if s.quarantined_bytes > 0 then
+       Printf.sprintf "; quarantined %d B" s.quarantined_bytes
+     else "")
+    (if s.orphan_merges > 0 then
+       Printf.sprintf "; synthesized %d orphan merge(s)" s.orphan_merges
+     else "")

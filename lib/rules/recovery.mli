@@ -36,13 +36,28 @@ type stats = {
   requeued_rows : int;  (** bound rows carried by the resubmissions *)
   released : int;  (** queue slots retired by logged releases *)
   torn_tail : bool;  (** an incomplete final entry was discarded *)
-  corrupt_tail : bool;  (** a damaged mid-log entry stopped replay *)
+  corrupt_tail : bool;  (** mid-log corruption was found (and salvaged) *)
+  cp_fallbacks : int;
+      (** checkpoint slots that failed their CRC and were passed over *)
+  salvaged_ranges : int;  (** corrupt ranges re-fetched from a replica *)
+  salvaged_bytes : int;
+  quarantined_bytes : int;
+      (** tail bytes dropped because no replica covered the range *)
+  orphan_merges : int;
+      (** [Uq_merge] records whose enqueue was lost; a synthetic entry
+          was created instead of aborting recovery *)
 }
 
-val recover : Strip_db.t -> reinstall:(unit -> unit) -> stats
+type salvage = from_lsn:int -> len:int -> string option
+(** Fetch [len] clean bytes starting at [from_lsn] from any replica
+    whose log copy covers the range; [None] when no replica can serve
+    (recovery then quarantines the tail). *)
+
+val recover : ?salvage:salvage -> Strip_db.t -> reinstall:(unit -> unit) -> stats
 (** @raise Invalid_argument if [db] has no durability layer or no
     checkpoint image is installed (take an initial checkpoint right after
-    population, before the feed starts).
+    population, before the feed starts), or if every retained checkpoint
+    slot fails its CRC.
     @raise Failure if a redo image does not match the restored state. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -113,10 +113,20 @@ let reregister_task t (task : Task.t) =
    queue transition is appended to the WAL (pending until the enclosing
    commit's fsync), so queued batches can be rebuilt after a crash. *)
 
+(* Disk-full on an append is typed backpressure: the device refused the
+   bytes, so the acked-but-unlogged work cannot be made durable.  Treat
+   it as a crash — the restart driver recovers from the last checkpoint,
+   whose truncation reclaims log space. *)
+let wal_guard f =
+  try f ()
+  with Wal.Disk_full _ ->
+    Meter.tick "disk_full_stall";
+    raise (Fault.Crashed { at = "disk_full" })
+
 let log_uq t record =
   match t.dur with
   | None -> ()
-  | Some d -> ignore (Wal.append (Durable.wal d) record)
+  | Some d -> wal_guard (fun () -> ignore (Wal.append (Durable.wal d) record))
 
 let bound_rows_of (bound : (string * Temp_table.t) list) : Wal.bound_rows =
   List.map (fun (name, tmp) -> (name, Temp_table.to_rows tmp)) bound
@@ -690,7 +700,8 @@ and commit_txn ?release t txn =
       | Some (func, key) -> [ Wal.Uq_release { func; key } ]
       | None -> []
     in
-    if commit_recs <> [] then ignore (Wal.append_batch w commit_recs);
+    if commit_recs <> [] then
+      wal_guard (fun () -> ignore (Wal.append_batch w commit_recs));
     if Wal.pending_bytes w > 0 then begin
       (* The window between the in-memory commit and the log reaching
          stable storage: a crash here loses this transaction. *)

@@ -1,0 +1,130 @@
+open Strip_relational
+open Strip_txn
+open Strip_sim
+
+type fetch = from_lsn:int -> len:int -> string option
+
+type t = {
+  mutable passes : int;
+  mutable bytes_scanned : int;
+  mutable wal_corruptions : int;
+  mutable cp_corruptions : int;
+  mutable repaired_replica : int;
+  mutable repaired_checkpoint : int;
+  mutable salvaged_bytes : int;
+  mutable expunged_bytes : int;
+}
+
+let create () =
+  {
+    passes = 0;
+    bytes_scanned = 0;
+    wal_corruptions = 0;
+    cp_corruptions = 0;
+    repaired_replica = 0;
+    repaired_checkpoint = 0;
+    salvaged_bytes = 0;
+    expunged_bytes = 0;
+  }
+
+let passes t = t.passes
+let bytes_scanned t = t.bytes_scanned
+let wal_corruptions t = t.wal_corruptions
+let cp_corruptions t = t.cp_corruptions
+let repaired_replica t = t.repaired_replica
+let repaired_checkpoint t = t.repaired_checkpoint
+let salvaged_bytes t = t.salvaged_bytes
+let expunged_bytes t = t.expunged_bytes
+
+let report_corruption db ~what ~lsn ~len =
+  match Strip_db.trace db with
+  | None -> ()
+  | Some tr ->
+    Strip_obs.Trace.instant tr ~ts:(Strip_db.now db) ~cat:"storage"
+      ~args:[ ("lsn", Strip_obs.Trace.Int lsn); ("len", Strip_obs.Trace.Int len) ]
+      what
+
+let scrub ?fetch t db =
+  match Strip_db.durable db with
+  | None -> ()
+  | Some d ->
+    let w = Durable.wal d in
+    t.passes <- t.passes + 1;
+    Meter.tick "scrub_pass";
+    let nbytes = Wal.durable_bytes w in
+    t.bytes_scanned <- t.bytes_scanned + nbytes;
+    Meter.tick_n "scrub_byte" nbytes;
+    (* Ladder rung 1: re-fetch clean bytes for each corrupt range from a
+       replica whose log copy covers it, splicing them in place. *)
+    let unrepaired =
+      List.filter
+        (fun (l, r) ->
+          let len = max 1 (r - l) in
+          t.wal_corruptions <- t.wal_corruptions + 1;
+          Durable.note_wal_detected d ~lsn:l ~len;
+          report_corruption db ~what:"wal_corruption" ~lsn:l ~len;
+          match Option.bind fetch (fun f -> f ~from_lsn:l ~len:(r - l)) with
+          | Some bytes ->
+            Wal.splice w ~lsn:l ~bytes;
+            Durable.note_wal_repaired d ~lsn:l ~len;
+            Meter.tick_n "salvage_byte" (r - l);
+            t.repaired_replica <- t.repaired_replica + 1;
+            t.salvaged_bytes <- t.salvaged_bytes + (r - l);
+            false
+          | None -> true)
+        (Wal.verify w)
+    in
+    let bad_slots = Durable.scrub_slots d in
+    if bad_slots > 0 then begin
+      t.cp_corruptions <- t.cp_corruptions + bad_slots;
+      report_corruption db ~what:"checkpoint_corruption"
+        ~lsn:(Durable.snapshot_lsn d) ~len:bad_slots
+    end;
+    (* Ladder rung 2: checkpoint-based repair.  The live in-memory state
+       is clean (corrupt at-rest bytes never influenced it), so a fresh
+       checkpoint both replaces any rotted slot and lets the corrupt log
+       ranges be truncated away. *)
+    if unrepaired <> [] || bad_slots > 0 then begin
+      Strip_db.checkpoint db;
+      if unrepaired <> [] then begin
+        (* drop the retained history down to the fresh image: the
+           corrupt ranges leave the log for good.  The cost of this rung
+           is the whole truncated span — every byte below the new image
+           loses its redo capability, not just the rotten range — which
+           is what makes replica-served splicing the preferred rung. *)
+        let old_base = Wal.base_lsn w in
+        let lsn = Durable.snapshot_lsn d in
+        if lsn > old_base then Wal.truncate_to w ~lsn;
+        Durable.note_truncated d ~below:lsn;
+        t.expunged_bytes <- t.expunged_bytes + max 0 (lsn - old_base);
+        List.iter
+          (fun (l, r) ->
+            Meter.tick_n "quarantine_byte" (r - l);
+            t.repaired_checkpoint <- t.repaired_checkpoint + 1)
+          unrepaired
+      end;
+      if bad_slots > 0 then begin
+        t.repaired_checkpoint <- t.repaired_checkpoint + bad_slots;
+        Durable.note_cp_repaired d
+      end
+    end
+
+let schedule t db ~every ?start ?(until = infinity) ?fetch () =
+  if every <= 0.0 then invalid_arg "Scrub.schedule: period <= 0";
+  if Strip_db.durable db = None then
+    invalid_arg "Scrub.schedule: no durability layer";
+  let eng = Strip_db.engine db and clk = Strip_db.clock db in
+  let first =
+    match start with Some s -> s | None -> Clock.now clk +. every
+  in
+  let rec make at =
+    (* A plain background task, like fuzzy checkpointing: it runs
+       between transactions, never inside one, and reschedules itself
+       only on success so a retried tick cannot double-schedule. *)
+    Task.create ~klass:Task.Background ~func_name:"scrub" ~release_time:at
+      ~created_at:(Clock.now clk) (fun _task ->
+        scrub ?fetch t db;
+        let next = at +. every in
+        if next <= until then Engine.submit eng (make next))
+  in
+  if first <= until then Engine.submit eng (make first)

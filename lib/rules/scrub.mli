@@ -1,0 +1,66 @@
+(** Background media scrubber: periodic re-verification of durable bytes
+    and checkpoint slots, with in-place repair.
+
+    Real storage rots at rest, so detection cannot wait for the next
+    crash: a scrub pass re-reads every durable WAL byte, re-verifies the
+    frame chain ({!Strip_txn.Wal.verify}) and every retained checkpoint
+    slot's CRC, and reports each corruption with its exact LSN range
+    (["wal_corruption"] / ["checkpoint_corruption"] trace instants, the
+    store's media-fault ledger, and the ["scrub_*"] meters).
+
+    Repair ladder, per corrupt WAL range:
+    + {b replica fetch} — re-fetch clean bytes for exactly that range
+      from any replica whose log copy covers it ([?fetch], usually
+      [Cluster.fetch_clean]) and splice them in place;
+    + {b checkpoint} — when no replica can serve, take a fresh
+      checkpoint: the live in-memory state is clean (at-rest corruption
+      never influenced it), and truncating down to the fresh image
+      expunges the corrupt range from the log;
+
+    and a rotted checkpoint slot is dropped and replaced by a fresh
+    checkpoint the same way.  A scheduled scrub runs as a background
+    task (never inside a transaction); its work is metered
+    (["scrub_pass"], ["scrub_byte"], ["salvage_byte"],
+    ["quarantine_byte"]) so the cost model can charge it. *)
+
+type t
+(** Scrub statistics, owned by the driver so they survive restarts. *)
+
+type fetch = from_lsn:int -> len:int -> string option
+(** Fetch [len] clean bytes at [from_lsn] from a replica covering the
+    range; [None] when no replica can serve. *)
+
+val create : unit -> t
+
+val scrub : ?fetch:fetch -> t -> Strip_db.t -> unit
+(** One pass over [db]'s durable store.  No-op without a durability
+    layer. *)
+
+val schedule :
+  t ->
+  Strip_db.t ->
+  every:float ->
+  ?start:float ->
+  ?until:float ->
+  ?fetch:fetch ->
+  unit ->
+  unit
+(** Run {!scrub} every [every] simulated seconds (first at [start],
+    default [every] from now) until [until].
+    @raise Invalid_argument if [every <= 0] or [db] has no durability
+    layer. *)
+
+(** {1 Counters} *)
+
+val passes : t -> int
+val bytes_scanned : t -> int
+val wal_corruptions : t -> int
+val cp_corruptions : t -> int
+val repaired_replica : t -> int
+val repaired_checkpoint : t -> int
+val salvaged_bytes : t -> int
+
+val expunged_bytes : t -> int
+(** Log bytes truncated away by the checkpoint rung — the whole span
+    below the emergency image, whose redo capability is destroyed, not
+    just the rotten ranges inside it. *)

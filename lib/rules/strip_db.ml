@@ -110,7 +110,24 @@ let register_metrics reg ~stats ~mgr ~eng ~clk ~tracer ~fi ~dur ~slo ~prov =
     Metrics.probe_hist reg "crash_recovery_s" (fun () ->
         Stats.crash_recovery_hist stats);
     Metrics.probe_int reg "failovers_total" (fun () ->
-        Stats.n_failovers stats));
+        Stats.n_failovers stats);
+    (* Media-fault surfaces appear only when storage-fault injection is
+       armed, keeping fault-free registry snapshots byte-identical. *)
+    if Durable.media_armed d then begin
+      Metrics.probe_int reg "media_faults_injected_total" (fun () ->
+          let c = Durable.media_counts d in
+          c.Durable.injected_bitrot_wal + c.Durable.injected_bitrot_cp
+          + c.Durable.injected_fsync_lie);
+      Metrics.probe_int reg "media_faults_outstanding" (fun () ->
+          Durable.outstanding d);
+      Metrics.probe_int reg "media_faults_repaired_total" (fun () ->
+          (Durable.media_counts d).Durable.repaired);
+      Metrics.probe_int reg "media_faults_quarantined_total" (fun () ->
+          (Durable.media_counts d).Durable.quarantined);
+      Metrics.probe_int reg "wal_disk_fulls_total" (fun () ->
+          Wal.n_disk_fulls w);
+      Metrics.probe_int reg "wal_lied_bytes_total" (fun () -> Wal.lied_bytes w)
+    end);
   (match tracer with
   | None -> ()
   | Some tr ->
@@ -396,6 +413,17 @@ let schedule_periodic t ~every ?start ?(until = infinity) ?(label = "periodic") 
 (* ------------------------------------------------------------------ *)
 (* Durability: checkpoints and crashes.                                 *)
 
+(* Disk-full is typed backpressure, not an abort: the device refused the
+   bytes, so the commit (or checkpoint mark) never became durable.  The
+   engine treats it as a crash — volatile state is condemned and the
+   restart driver recovers from the last checkpoint, whose truncation
+   reclaims log space and lets progress resume. *)
+let wal_guard f =
+  try f ()
+  with Wal.Disk_full _ ->
+    Meter.tick "disk_full_stall";
+    raise (Fault.Crashed { at = "disk_full" })
+
 let checkpoint t =
   match t.dur with
   | None -> invalid_arg "Strip_db.checkpoint: no durability layer"
@@ -418,10 +446,20 @@ let checkpoint t =
     | None -> ()
     | Some fi -> Fault.fire fi ~site:Fault.Crash ~txid:0 ~detail:"checkpoint");
     Durable.install_checkpoint d ~encoded ~lsn ~time:snap.Checkpoint.taken_at;
-    ignore
-      (Wal.append w (Wal.Checkpoint_mark { time = snap.Checkpoint.taken_at; lsn }));
-    Wal.fsync w;
-    Wal.truncate_to w ~lsn
+    (* Truncate before appending the mark — the byte stream is identical
+       (the mark's LSN was fixed above), and reclaiming first means a
+       disk-full clamp cannot livelock checkpointing: by the time the
+       mark needs space, the replayed log is already gone.  With
+       [retain >= 2] slots, truncation stops at the oldest retained
+       slot's LSN so CRC-failure fallback keeps its redo tail. *)
+    let cut = Durable.truncation_floor d in
+    Wal.truncate_to w ~lsn:cut;
+    Durable.note_truncated d ~below:cut;
+    wal_guard (fun () ->
+        ignore
+          (Wal.append w
+             (Wal.Checkpoint_mark { time = snap.Checkpoint.taken_at; lsn })));
+    Wal.fsync w
 
 let schedule_checkpoints t ~every ?start ?(until = infinity) () =
   if every <= 0.0 then invalid_arg "Strip_db.schedule_checkpoints: period <= 0";
@@ -454,6 +492,76 @@ let schedule_partition t ~at ~heal_after_s =
         raise (Fault.Partitioned { at = "scheduled"; heal_after_s }))
   in
   Engine.submit t.eng task
+
+(* Scheduled storage faults.  Unlike crash/partition these raise nothing
+   at injection time — the damage is silent by design and must be found
+   by the scrubber, ship-time verification or recovery. *)
+
+let note_storage_fault t site =
+  match t.fi with None -> () | Some fi -> Fault.note fi site
+
+let schedule_bitrot t ~at ~target ~frac =
+  match t.dur with
+  | None -> invalid_arg "Strip_db.schedule_bitrot: no durability layer"
+  | Some d ->
+    let task =
+      Task.create ~klass:Task.Background ~func_name:"bitrot" ~release_time:at
+        ~created_at:(Clock.now t.clk) (fun _task ->
+          match target with
+          | `Wal ->
+            let w = Durable.wal d in
+            let n = Wal.durable_bytes w in
+            if n > 0 then begin
+              let off = min (int_of_float (frac *. float_of_int n)) (n - 1) in
+              let lsn = Wal.base_lsn w + off in
+              Wal.flip_byte w ~lsn;
+              Durable.note_injected d ~kind:Durable.Bitrot_wal ~lsn ~len:1;
+              note_storage_fault t Fault.Bitrot
+            end
+          | `Checkpoint ->
+            if Durable.flip_snapshot_byte d ~frac then
+              note_storage_fault t Fault.Bitrot)
+    in
+    Engine.submit t.eng task
+
+let schedule_fsync_lie t ~at =
+  match t.dur with
+  | None -> invalid_arg "Strip_db.schedule_fsync_lie: no durability layer"
+  | Some d ->
+    let task =
+      Task.create ~klass:Task.Background ~func_name:"fsync_lie"
+        ~release_time:at ~created_at:(Clock.now t.clk) (fun _task ->
+          let w = Durable.wal d in
+          Wal.arm_fsync_lie w ~notify:(fun ~lsn ~len ->
+              Durable.note_injected d ~kind:Durable.Fsync_lie ~lsn ~len;
+              note_storage_fault t Fault.Fsync_lie))
+    in
+    Engine.submit t.eng task
+
+let schedule_disk_full t ~at ~free_bytes =
+  match t.dur with
+  | None -> invalid_arg "Strip_db.schedule_disk_full: no durability layer"
+  | Some d ->
+    let task =
+      Task.create ~klass:Task.Background ~func_name:"disk_full"
+        ~release_time:at ~created_at:(Clock.now t.clk) (fun _task ->
+          let w = Durable.wal d in
+          Wal.set_capacity w
+            (Some (Wal.durable_bytes w + Wal.pending_bytes w + free_bytes));
+          note_storage_fault t Fault.Disk_full)
+    in
+    Engine.submit t.eng task
+
+let schedule_disk_heal t ~at =
+  match t.dur with
+  | None -> invalid_arg "Strip_db.schedule_disk_heal: no durability layer"
+  | Some d ->
+    let task =
+      Task.create ~klass:Task.Background ~func_name:"disk_heal"
+        ~release_time:at ~created_at:(Clock.now t.clk) (fun _task ->
+          Wal.set_capacity (Durable.wal d) None)
+    in
+    Engine.submit t.eng task
 
 (* Condemn all volatile state: the engine's queues and in-flight work, and
    any WAL bytes appended but not yet fsynced.  Durable state (stable log,

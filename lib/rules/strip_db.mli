@@ -211,6 +211,33 @@ val schedule_partition : t -> at:float -> heal_after_s:float -> unit
     network traffic is cut until the partition heals [heal_after_s]
     later (the driver isolates it via {!Cluster.begin_partition}). *)
 
+val schedule_bitrot :
+  t -> at:float -> target:[ `Wal | `Checkpoint ] -> frac:float -> unit
+(** Arrange for at-rest bit rot at simulated time [at]: flip one durable
+    byte at relative offset [frac] (0..1) of the WAL, or one byte of the
+    newest checkpoint image.  Nothing is raised — the damage is silent
+    until the scrubber, ship-time verification or recovery finds it.
+    The injection is recorded in the store's media-fault ledger.
+    @raise Invalid_argument without a durability layer. *)
+
+val schedule_fsync_lie : t -> at:float -> unit
+(** Arrange for the next fsync after [at] to lie: the write is
+    acknowledged but the bytes are silently replaced by a zero gap of
+    the same length ({!Strip_txn.Wal.arm_fsync_lie}).
+    @raise Invalid_argument without a durability layer. *)
+
+val schedule_disk_full : t -> at:float -> free_bytes:int -> unit
+(** Arrange for the log device to clamp at [at], leaving only
+    [free_bytes] of headroom: once exhausted, appends raise
+    {!Strip_txn.Wal.Disk_full}, which the engine translates into a
+    crash-and-recover cycle (typed backpressure, counted as a
+    ["disk_full_stall"]).  @raise Invalid_argument without a durability
+    layer. *)
+
+val schedule_disk_heal : t -> at:float -> unit
+(** Remove the disk-full capacity clamp at [at].
+    @raise Invalid_argument without a durability layer. *)
+
 val crash : t -> unit
 (** Condemn all volatile state after a {!Strip_txn.Fault.Crashed} escape:
     discard the engine's queued/parked/in-flight tasks and drop unfsynced

@@ -95,6 +95,19 @@ let other_costs =
     ("repl_ship_segment", 25.0);
     ("repl_apply_op", 40.0);
     ("repl_bootstrap_row", 2.0);
+    (* storage faults: the scrubber's sequential re-read is cheap per
+       byte; a salvage attempt pays a replica round trip plus the splice,
+       and quarantine/truncation is local byte shuffling.  Disk-full
+       stalls and recovery-side fallbacks charge their bookkeeping. *)
+    ("scrub_pass", 20.0);
+    ("scrub_byte", 0.02);
+    ("salvage_attempt", 50.0);
+    ("salvage_byte", 0.1);
+    ("quarantine_byte", 0.02);
+    ("repl_salvage_served", 25.0);
+    ("disk_full_stall", 30.0);
+    ("recovery_cp_fallback", 25.0);
+    ("recovery_orphan_merge", 40.0);
     (* per (tasks dispatched in the trailing second)², charged per
        recompute dispatch — the §5.1 critical-region congestion *)
     ("sched_congestion", 0.005);

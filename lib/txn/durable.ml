@@ -1,31 +1,219 @@
-type t = {
-  wal : Wal.t;
-  mutable snapshot : string option;
-  mutable snapshot_lsn : int;
-  mutable snapshot_time : float;
-  mutable checkpoints : int;
+(* Stable storage: WAL + retained checkpoint slots + media-fault ledger. *)
+
+type slot = {
+  s_image : string;
+  s_crc : int;  (* CRC32 of [s_image], computed at install time *)
+  s_lsn : int;
+  s_time : float;
 }
 
-let create ?wal () =
+type fault_kind = Bitrot_wal | Bitrot_checkpoint | Fsync_lie
+
+type fault_state =
+  | Outstanding  (* injected, not yet noticed by anything *)
+  | Detected  (* noticed (scrub / ship verify / recovery), not yet fixed *)
+  | Repaired  (* clean bytes restored (replica splice or fresh checkpoint) *)
+  | Quarantined  (* corrupt range dropped from the log; never served *)
+  | Expunged
+      (* left the system without ever being read: truncated behind a
+         checkpoint, or the whole store was abandoned at failover *)
+
+type media_fault = {
+  f_kind : fault_kind;
+  f_lsn : int;
+  f_len : int;
+  mutable f_state : fault_state;
+}
+
+type t = {
+  wal : Wal.t;
+  mutable slots : slot list;  (* newest first, at most [retain] *)
+  retain : int;
+  mutable checkpoints : int;
+  mutable media_armed : bool;
+  mutable ledger : media_fault list;  (* newest first *)
+}
+
+let create ?wal ?(retain = 1) () =
   {
     wal = (match wal with Some w -> w | None -> Wal.create ());
-    snapshot = None;
-    snapshot_lsn = 0;
-    snapshot_time = 0.0;
+    slots = [];
+    retain = max 1 retain;
     checkpoints = 0;
+    media_armed = false;
+    ledger = [];
   }
 
 let wal t = t.wal
-let snapshot t = t.snapshot
-let snapshot_lsn t = t.snapshot_lsn
-let snapshot_time t = t.snapshot_time
+let retain t = t.retain
+let snapshot t = match t.slots with [] -> None | s :: _ -> Some s.s_image
+let snapshot_lsn t = match t.slots with [] -> 0 | s :: _ -> s.s_lsn
+let snapshot_time t = match t.slots with [] -> 0.0 | s :: _ -> s.s_time
 let n_checkpoints t = t.checkpoints
 
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
 let install_checkpoint t ~encoded ~lsn ~time =
-  t.snapshot <- Some encoded;
-  t.snapshot_lsn <- lsn;
-  t.snapshot_time <- time;
+  let s =
+    { s_image = encoded; s_crc = Codec.crc32 encoded; s_lsn = lsn; s_time = time }
+  in
+  t.slots <- take t.retain (s :: t.slots);
   t.checkpoints <- t.checkpoints + 1
 
 let last_checkpoint_bytes t =
-  match t.snapshot with None -> 0 | Some s -> String.length s
+  match t.slots with [] -> 0 | s :: _ -> String.length s.s_image
+
+let slot_valid s = Codec.crc32 s.s_image = s.s_crc
+
+let verified_slot t =
+  (* a usable slot must pass its CRC *and* still have its redo tail: a
+     slot whose LSN fell behind the log's base (an emergency scrub
+     checkpoint truncated aggressively) cannot be replayed from *)
+  let base = Wal.base_lsn t.wal in
+  let rec go skipped = function
+    | [] -> None
+    | s :: rest ->
+      if slot_valid s && s.s_lsn >= base then
+        Some (s.s_image, s.s_lsn, s.s_time, skipped)
+      else go (skipped + 1) rest
+  in
+  go 0 t.slots
+
+let truncation_floor t =
+  match List.rev t.slots with [] -> 0 | oldest :: _ -> oldest.s_lsn
+
+(* ------------------------------------------------------------------ *)
+(* Media-fault ledger.  Every injected at-rest fault is recorded here
+   and must leave the [Outstanding] state before the run ends — the
+   chaos invariant [no_silent_corruption] checks exactly that. *)
+
+let arm_media t = t.media_armed <- true
+let media_armed t = t.media_armed
+
+let note_injected t ~kind ~lsn ~len =
+  t.ledger <- { f_kind = kind; f_lsn = lsn; f_len = len; f_state = Outstanding }
+              :: t.ledger
+
+let wal_kind = function Bitrot_wal | Fsync_lie -> true | Bitrot_checkpoint -> false
+
+let overlaps f ~lsn ~len = f.f_lsn < lsn + len && lsn < f.f_lsn + f.f_len
+
+let transition t ~select ~from ~to_ =
+  List.iter
+    (fun f -> if List.mem f.f_state from && select f then f.f_state <- to_)
+    t.ledger
+
+let note_wal_detected t ~lsn ~len =
+  transition t
+    ~select:(fun f -> wal_kind f.f_kind && overlaps f ~lsn ~len)
+    ~from:[ Outstanding ] ~to_:Detected
+
+let note_wal_repaired t ~lsn ~len =
+  transition t
+    ~select:(fun f -> wal_kind f.f_kind && overlaps f ~lsn ~len)
+    ~from:[ Outstanding; Detected ] ~to_:Repaired
+
+let note_wal_quarantined t ~from_lsn =
+  transition t
+    ~select:(fun f -> wal_kind f.f_kind && f.f_lsn + f.f_len > from_lsn)
+    ~from:[ Outstanding; Detected ] ~to_:Quarantined
+
+let note_truncated t ~below =
+  (* bytes behind a checkpoint leave the log without ever being read:
+     an undetected fault there is benign and an already-detected one is
+     fixed by construction (the checkpoint captured clean live state) *)
+  transition t
+    ~select:(fun f -> wal_kind f.f_kind && f.f_lsn + f.f_len <= below)
+    ~from:[ Outstanding; Detected ] ~to_:Expunged
+
+let note_cp_detected t =
+  transition t
+    ~select:(fun f -> f.f_kind = Bitrot_checkpoint)
+    ~from:[ Outstanding ] ~to_:Detected
+
+let note_cp_repaired t =
+  transition t
+    ~select:(fun f -> f.f_kind = Bitrot_checkpoint)
+    ~from:[ Outstanding; Detected ] ~to_:Repaired
+
+let note_abandoned t =
+  (* the whole store left service (failover elected another node);
+     nothing in it can influence a read anymore *)
+  transition t ~select:(fun _ -> true) ~from:[ Outstanding; Detected ]
+    ~to_:Expunged
+
+let flip_snapshot_byte t ~frac =
+  match t.slots with
+  | [] -> false
+  | s :: rest ->
+    let n = String.length s.s_image in
+    if n = 0 then false
+    else begin
+      let off = min (int_of_float (frac *. float_of_int n)) (n - 1) in
+      let b = Bytes.of_string s.s_image in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+      (* the stored CRC is kept: it was computed over the clean image,
+         so verification now fails — that is the point *)
+      t.slots <- { s with s_image = Bytes.to_string b } :: rest;
+      note_injected t ~kind:Bitrot_checkpoint ~lsn:s.s_lsn ~len:1;
+      true
+    end
+
+let scrub_slots t =
+  (* drop (quarantine) every slot whose image no longer matches its CRC;
+     returns how many were dropped *)
+  let bad, good = List.partition (fun s -> not (slot_valid s)) t.slots in
+  if bad <> [] then begin
+    t.slots <- good;
+    note_cp_detected t
+  end;
+  List.length bad
+
+let slots_valid t = List.for_all slot_valid t.slots
+
+type media_counts = {
+  injected_bitrot_wal : int;
+  injected_bitrot_cp : int;
+  injected_fsync_lie : int;
+  detected : int;
+  repaired : int;
+  quarantined : int;
+  expunged : int;
+  outstanding : int;
+}
+
+let zero_counts =
+  {
+    injected_bitrot_wal = 0;
+    injected_bitrot_cp = 0;
+    injected_fsync_lie = 0;
+    detected = 0;
+    repaired = 0;
+    quarantined = 0;
+    expunged = 0;
+    outstanding = 0;
+  }
+
+let add_counts t c =
+  List.fold_left
+    (fun c f ->
+      let c =
+        match f.f_kind with
+        | Bitrot_wal -> { c with injected_bitrot_wal = c.injected_bitrot_wal + 1 }
+        | Bitrot_checkpoint ->
+          { c with injected_bitrot_cp = c.injected_bitrot_cp + 1 }
+        | Fsync_lie -> { c with injected_fsync_lie = c.injected_fsync_lie + 1 }
+      in
+      match f.f_state with
+      | Outstanding -> { c with outstanding = c.outstanding + 1 }
+      | Detected -> { c with detected = c.detected + 1 }
+      | Repaired -> { c with repaired = c.repaired + 1 }
+      | Quarantined -> { c with quarantined = c.quarantined + 1 }
+      | Expunged -> { c with expunged = c.expunged + 1 })
+    c t.ledger
+
+let media_counts t = add_counts t zero_counts
+let outstanding t = (media_counts t).outstanding

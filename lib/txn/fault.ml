@@ -1,6 +1,15 @@
 open Strip_relational
 
-type site = Txn_abort | Lock_conflict | Deadlock | User_fun | Crash | Partition
+type site =
+  | Txn_abort
+  | Lock_conflict
+  | Deadlock
+  | User_fun
+  | Crash
+  | Partition
+  | Bitrot
+  | Fsync_lie
+  | Disk_full
 
 let site_name = function
   | Txn_abort -> "txn_abort"
@@ -9,6 +18,9 @@ let site_name = function
   | User_fun -> "user_fun"
   | Crash -> "crash"
   | Partition -> "partition"
+  | Bitrot -> "bitrot"
+  | Fsync_lie -> "fsync_lie"
+  | Disk_full -> "disk_full"
 
 exception Injected of { site : site; detail : string }
 exception Crashed of { at : string }
@@ -30,6 +42,9 @@ type rates = {
   user_fun : float;
   crash : float;
   partition : float;
+  bitrot : float;
+  fsync_lie : float;
+  disk_full : float;
 }
 
 let no_faults =
@@ -40,6 +55,9 @@ let no_faults =
     user_fun = 0.0;
     crash = 0.0;
     partition = 0.0;
+    bitrot = 0.0;
+    fsync_lie = 0.0;
+    disk_full = 0.0;
   }
 
 type config = {
@@ -62,6 +80,9 @@ type t = {
   mutable n_user : int;
   mutable n_crash : int;
   mutable n_partition : int;
+  mutable n_bitrot : int;
+  mutable n_fsync_lie : int;
+  mutable n_disk_full : int;
 }
 
 let create cfg =
@@ -74,6 +95,9 @@ let create cfg =
     n_user = 0;
     n_crash = 0;
     n_partition = 0;
+    n_bitrot = 0;
+    n_fsync_lie = 0;
+    n_disk_full = 0;
   }
 
 let config t = t.cfg
@@ -85,11 +109,15 @@ let rate_of t = function
   | User_fun -> t.cfg.rates.user_fun
   | Crash -> t.cfg.rates.crash
   | Partition -> t.cfg.rates.partition
+  | Bitrot -> t.cfg.rates.bitrot
+  | Fsync_lie -> t.cfg.rates.fsync_lie
+  | Disk_full -> t.cfg.rates.disk_full
 
 let active t =
   let r = t.cfg.rates in
   r.txn_abort > 0.0 || r.lock_conflict > 0.0 || r.deadlock > 0.0
   || r.user_fun > 0.0 || r.crash > 0.0 || r.partition > 0.0
+  || r.bitrot > 0.0 || r.fsync_lie > 0.0 || r.disk_full > 0.0
 
 let count t = function
   | Txn_abort -> t.n_abort <- t.n_abort + 1
@@ -98,6 +126,9 @@ let count t = function
   | User_fun -> t.n_user <- t.n_user + 1
   | Crash -> t.n_crash <- t.n_crash + 1
   | Partition -> t.n_partition <- t.n_partition + 1
+  | Bitrot -> t.n_bitrot <- t.n_bitrot + 1
+  | Fsync_lie -> t.n_fsync_lie <- t.n_fsync_lie + 1
+  | Disk_full -> t.n_disk_full <- t.n_disk_full + 1
 
 let injected t = function
   | Txn_abort -> t.n_abort
@@ -106,10 +137,17 @@ let injected t = function
   | User_fun -> t.n_user
   | Crash -> t.n_crash
   | Partition -> t.n_partition
+  | Bitrot -> t.n_bitrot
+  | Fsync_lie -> t.n_fsync_lie
+  | Disk_full -> t.n_disk_full
 
 let total_injected t =
   t.n_abort + t.n_conflict + t.n_deadlock + t.n_user + t.n_crash
-  + t.n_partition
+  + t.n_partition + t.n_bitrot + t.n_fsync_lie + t.n_disk_full
+
+let note t site =
+  count t site;
+  Meter.tick "fault_injected"
 
 let fire t ~site ~txid ~detail =
   let rate = rate_of t site in
@@ -123,7 +161,8 @@ let fire t ~site ~txid ~detail =
       raise (Transaction.Lock_conflict { txid; blockers = []; deadlock = false })
     | Deadlock ->
       raise (Transaction.Lock_conflict { txid; blockers = []; deadlock = true })
-    | Txn_abort | User_fun -> raise (Injected { site; detail })
+    | Txn_abort | User_fun | Bitrot | Fsync_lie | Disk_full ->
+      raise (Injected { site; detail })
     | Crash -> raise (Crashed { at = detail })
     | Partition ->
       raise

@@ -23,6 +23,10 @@ type site =
   | Partition
       (** the node is cut off from its peers but keeps running — its
           volatile state survives, only its network traffic dies *)
+  | Bitrot  (** at-rest byte flip in durable WAL bytes or a checkpoint image *)
+  | Fsync_lie
+      (** an fsync acknowledges the write but silently drops the bytes *)
+  | Disk_full  (** an append is refused by the device's byte budget *)
 
 val site_name : site -> string
 
@@ -48,8 +52,14 @@ type rates = {
   user_fun : float;
   crash : float;
   partition : float;
+  bitrot : float;
+  fsync_lie : float;
+  disk_full : float;
 }
-(** Per-site firing probabilities in [0, 1]. *)
+(** Per-site firing probabilities in [0, 1].  The storage sites
+    ([bitrot], [fsync_lie], [disk_full]) are normally driven by
+    scheduled chaos events rather than rates; their rates default to
+    zero and, like every zero-rate site, consume no randomness. *)
 
 val no_faults : rates
 
@@ -79,6 +89,10 @@ val fire : t -> site:site -> txid:int -> detail:string -> unit
 (** Draw from the injector's PRNG stream for [site] (no draw is consumed
     when the site's rate is zero).  On a hit, tick ["fault_injected"],
     record the site, and raise the site's exception. *)
+
+val note : t -> site -> unit
+(** Record a fault injected by a scheduled event (not a PRNG draw):
+    count the site and tick ["fault_injected"], raising nothing. *)
 
 val injected : t -> site -> int
 (** Faults injected so far at a site. *)

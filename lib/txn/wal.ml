@@ -229,6 +229,24 @@ let decode_record r =
    byte offset of its frame start since log creation.  [truncate_to]
    drops durable bytes behind a checkpoint without renumbering. *)
 
+exception
+  Out_of_range of { fn : string; lsn : int; base_lsn : int; durable_end : int }
+
+exception Disk_full of { need : int; capacity : int; used : int }
+
+let () =
+  Printexc.register_printer (function
+    | Out_of_range { fn; lsn; base_lsn; durable_end } ->
+      Some
+        (Printf.sprintf "%s: lsn %d outside the durable log [%d, %d]" fn lsn
+           base_lsn durable_end)
+    | Disk_full { need; capacity; used } ->
+      Some
+        (Printf.sprintf
+           "Wal.Disk_full: append of %d B refused (capacity %d B, used %d B)"
+           need capacity used)
+    | _ -> None)
+
 type t = {
   mutable base_lsn : int;  (* LSN of the first byte still retained *)
   durable : Buffer.t;
@@ -238,6 +256,13 @@ type t = {
   mutable fsyncs : int;
   mutable truncations : int;
   mutable appended_bytes : int;
+  mutable capacity : int option;
+      (* byte budget for durable+pending; None = unbounded (default) *)
+  mutable lie_notify : (lsn:int -> len:int -> unit) option;
+      (* armed lying fsync: the next fsync discards the acked pending
+         bytes, leaving a zero gap of the same length *)
+  mutable disk_fulls : int;
+  mutable lied_bytes : int;
 }
 
 let create ?(base_lsn = 0) () =
@@ -250,6 +275,10 @@ let create ?(base_lsn = 0) () =
     fsyncs = 0;
     truncations = 0;
     appended_bytes = 0;
+    capacity = None;
+    lie_notify = None;
+    disk_fulls = 0;
+    lied_bytes = 0;
   }
 
 let base_lsn t = t.base_lsn
@@ -261,10 +290,30 @@ let n_appends t = t.appends
 let n_fsyncs t = t.fsyncs
 let n_truncations t = t.truncations
 let appended_bytes t = t.appended_bytes
+let n_disk_fulls t = t.disk_fulls
+let lied_bytes t = t.lied_bytes
+let set_capacity t c = t.capacity <- c
+let capacity t = t.capacity
+let arm_fsync_lie t ~notify = t.lie_notify <- Some notify
+let fsync_lie_armed t = t.lie_notify <> None
+
+let check_range t fn lsn =
+  if lsn < t.base_lsn || lsn > durable_end t then
+    raise
+      (Out_of_range
+         { fn; lsn; base_lsn = t.base_lsn; durable_end = durable_end t })
 
 (* Frame [data.(off..off+len)] as one log entry; the frame layout
    ([u32 len][u32 crc][payload]) is what [scan] below decodes. *)
 let frame t data off len =
+  (match t.capacity with
+  | Some cap ->
+    let used = Buffer.length t.durable + Buffer.length t.pending in
+    if used + len + 8 > cap then begin
+      t.disk_fulls <- t.disk_fulls + 1;
+      raise (Disk_full { need = len + 8; capacity = cap; used })
+    end
+  | None -> ());
   let lsn = end_lsn t in
   Codec.put_u32 t.pending len;
   Codec.put_u32 t.pending (Codec.crc32 ~pos:off ~len data);
@@ -301,18 +350,29 @@ let append_batch t recs =
   lsns
 
 let fsync t =
-  if Buffer.length t.pending > 0 then begin
-    Buffer.add_buffer t.durable t.pending;
-    Buffer.clear t.pending
-  end;
+  (if Buffer.length t.pending > 0 then
+     match t.lie_notify with
+     | Some notify ->
+       (* lying fsync: ack the write but silently drop the bytes.  A
+          zero gap of the same length keeps later LSNs honest; the gap
+          surfaces as mid-log corruption when anything re-reads it. *)
+       let lsn = durable_end t in
+       let len = Buffer.length t.pending in
+       t.lie_notify <- None;
+       Buffer.add_string t.durable (String.make len '\000');
+       Buffer.clear t.pending;
+       t.lied_bytes <- t.lied_bytes + len;
+       notify ~lsn ~len
+     | None ->
+       Buffer.add_buffer t.durable t.pending;
+       Buffer.clear t.pending);
   t.fsyncs <- t.fsyncs + 1;
   Meter.tick_c c_wal_fsync
 
 let lose_tail t = Buffer.clear t.pending
 
 let truncate_to t ~lsn =
-  if lsn < t.base_lsn || lsn > durable_end t then
-    invalid_arg "Wal.truncate_to: lsn outside the durable log";
+  check_range t "Wal.truncate_to" lsn;
   if lsn > t.base_lsn then begin
     let drop = lsn - t.base_lsn in
     let keep = Buffer.sub t.durable drop (Buffer.length t.durable - drop) in
@@ -382,20 +442,108 @@ let scan ~base data =
   go 0 []
 
 let read t = scan ~base:t.base_lsn (Buffer.contents t.durable)
+let scan_bytes ~base data = scan ~base data
 
 let read_from t ~lsn =
-  if lsn < t.base_lsn || lsn > durable_end t then
-    invalid_arg "Wal.read_from: lsn outside the durable log";
+  check_range t "Wal.read_from" lsn;
   let off = lsn - t.base_lsn in
   scan ~base:lsn (Buffer.sub t.durable off (Buffer.length t.durable - off))
 
 let durable_slice t ~from_lsn =
-  if from_lsn < t.base_lsn || from_lsn > durable_end t then
-    invalid_arg "Wal.durable_slice: lsn outside the durable log";
+  check_range t "Wal.durable_slice" from_lsn;
   let off = from_lsn - t.base_lsn in
   Buffer.sub t.durable off (Buffer.length t.durable - off)
 
 let install_bytes t s = Buffer.add_string t.durable s
+
+(* ------------------------------------------------------------------ *)
+(* Media faults and salvage.  [flip_byte] models at-rest bit rot;
+   [next_valid_lsn]/[verify] find the exact corrupt LSN ranges by
+   re-synchronizing on the first offset from which the frame chain
+   parses cleanly to the end of the log; [splice] overwrites a corrupt
+   range with clean bytes fetched from a replica; [drop_from]
+   quarantines an unsalvageable tail. *)
+
+let flip_byte t ~lsn =
+  if lsn < t.base_lsn || lsn >= durable_end t then
+    raise
+      (Out_of_range
+         {
+           fn = "Wal.flip_byte";
+           lsn;
+           base_lsn = t.base_lsn;
+           durable_end = durable_end t;
+         });
+  let b = Buffer.to_bytes t.durable in
+  let off = lsn - t.base_lsn in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+  Buffer.clear t.durable;
+  Buffer.add_bytes t.durable b
+
+let next_valid_lsn t ~after =
+  let dend = durable_end t in
+  let data = Buffer.contents t.durable in
+  let n = String.length data in
+  let rec go lsn =
+    if lsn >= dend then dend
+    else begin
+      let off = lsn - t.base_lsn in
+      let rd = scan ~base:lsn (String.sub data off (n - off)) in
+      (* a genuine resync point parses a frame right here and stays
+         clean to the end of the log (a torn tail is fine) *)
+      if rd.corrupt_at = None && rd.records <> [] then lsn else go (lsn + 1)
+    end
+  in
+  go (after + 1)
+
+let verify t =
+  let dend = durable_end t in
+  let rec go from acc =
+    if from >= dend then List.rev acc
+    else
+      let rd = read_from t ~lsn:from in
+      match (rd.corrupt_at, rd.torn_at) with
+      | Some l, _ ->
+        let r = next_valid_lsn t ~after:l in
+        go r ((l, r) :: acc)
+      | None, Some l ->
+        (* A frame that parses past the end of the log looks torn — but a
+           genuine torn write can only be the final append.  If the chain
+           re-synchronizes at a valid frame strictly before the end, the
+           "torn" frame is really rot (e.g. a flipped length header that
+           swallowed the rest of the log). *)
+        let r = next_valid_lsn t ~after:l in
+        if r >= dend then List.rev acc else go r ((l, r) :: acc)
+      | None, None -> List.rev acc
+  in
+  go t.base_lsn []
+
+let splice t ~lsn ~bytes =
+  let len = String.length bytes in
+  if lsn < t.base_lsn || lsn + len > durable_end t then
+    raise
+      (Out_of_range
+         {
+           fn = "Wal.splice";
+           lsn;
+           base_lsn = t.base_lsn;
+           durable_end = durable_end t;
+         });
+  let b = Buffer.to_bytes t.durable in
+  Bytes.blit_string bytes 0 b (lsn - t.base_lsn) len;
+  Buffer.clear t.durable;
+  Buffer.add_bytes t.durable b
+
+let drop_from t ~lsn =
+  check_range t "Wal.drop_from" lsn;
+  let keep = lsn - t.base_lsn in
+  let dropped = Buffer.length t.durable - keep in
+  if dropped > 0 then begin
+    let s = Buffer.sub t.durable 0 keep in
+    Buffer.clear t.durable;
+    Buffer.add_string t.durable s
+  end;
+  dropped
 
 (* Test hooks: the recovery tests simulate torn writes and media
    corruption by mangling the durable bytes directly. *)

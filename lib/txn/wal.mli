@@ -62,6 +62,16 @@ val ops_of_tlog : Tlog.t -> op list
 
 type t
 
+exception
+  Out_of_range of { fn : string; lsn : int; base_lsn : int; durable_end : int }
+(** An LSN argument lies outside the durable log.  [fn] names the
+    operation that refused it. *)
+
+exception Disk_full of { need : int; capacity : int; used : int }
+(** An append would exceed the configured {!set_capacity} byte budget.
+    Typed backpressure: the engine translates this into a crash-and-recover
+    cycle instead of growing without bound. *)
+
 val create : ?base_lsn:int -> unit -> t
 (** [base_lsn] (default 0) is the LSN of the first byte this log will hold
     — a replica's log copy starts at its bootstrap checkpoint's LSN. *)
@@ -85,7 +95,7 @@ val lose_tail : t -> unit
 
 val truncate_to : t -> lsn:int -> unit
 (** Drop durable bytes strictly before [lsn] (a checkpoint boundary).
-    @raise Invalid_argument if [lsn] is outside the durable log. *)
+    @raise Out_of_range if [lsn] is outside the durable log. *)
 
 (** {1 Positions and volume} *)
 
@@ -119,21 +129,83 @@ val read_from : t -> lsn:int -> read_result
 (** Cursor-style tail read: scan durable entries starting at [lsn],
     without re-decoding anything before it.  [lsn] must be an entry
     boundary previously returned by {!append} (or {!base_lsn} /
-    {!durable_end}).  @raise Invalid_argument if [lsn] lies outside
+    {!durable_end}).  @raise Out_of_range if [lsn] lies outside
     [[base_lsn, durable_end]]. *)
+
+val scan_bytes : base:int -> string -> read_result
+(** Scan already-framed bytes whose first byte has LSN [base] without
+    installing them anywhere — integrity verification of a shipped
+    segment or a salvage candidate before it is grafted onto a log. *)
 
 (** {1 Log shipping} *)
 
 val durable_slice : t -> from_lsn:int -> string
 (** Raw framed bytes of the durable log from [from_lsn] (an entry
     boundary) to {!durable_end} — the segment a primary ships to a
-    replica.  @raise Invalid_argument if [from_lsn] lies outside
+    replica.  @raise Out_of_range if [from_lsn] lies outside
     [[base_lsn, durable_end]]. *)
 
 val install_bytes : t -> string -> unit
 (** Append already-framed bytes directly to the durable buffer.  Used by
     a replica to graft a shipped segment onto its local log copy; the
     bytes must start exactly at {!durable_end}. *)
+
+(** {1 Media faults} *)
+
+val set_capacity : t -> int option -> unit
+(** Cap the bytes the device will hold (durable + pending); appends that
+    would exceed it raise {!Disk_full}.  [None] (the default) removes
+    the cap — the heal side of a disk-full fault. *)
+
+val capacity : t -> int option
+
+val arm_fsync_lie : t -> notify:(lsn:int -> len:int -> unit) -> unit
+(** Arm a lying fsync: the next {!fsync} with pending bytes acknowledges
+    the write but silently replaces the acked bytes with a zero gap of
+    the same length (LSN accounting is unchanged).  [notify] fires with
+    the gap's position when the lie happens.  The gap surfaces as
+    mid-log corruption whenever the range is re-read. *)
+
+val fsync_lie_armed : t -> bool
+
+val flip_byte : t -> lsn:int -> unit
+(** At-rest bit rot: XOR the durable byte at [lsn] with [0xff].
+    @raise Out_of_range if [lsn] is not a durable byte position. *)
+
+val n_disk_fulls : t -> int
+(** Appends refused by the capacity cap. *)
+
+val lied_bytes : t -> int
+(** Total bytes silently discarded by lying fsyncs. *)
+
+(** {1 Scrub and salvage} *)
+
+val verify : t -> (int * int) list
+(** Re-read the durable log and return the corrupt LSN ranges
+    [(start, resync)] — [start] is where frame verification first
+    failed, [resync] the first later offset from which the frame chain
+    parses cleanly to the end of the log ({!durable_end} if none).
+    A frame that merely parses past the end of the log counts as
+    corruption only when the chain re-synchronizes strictly before the
+    end — otherwise it is a genuine torn tail (an interrupted final
+    append), which recovery truncates as usual and scrubbing must not
+    flag.  Empty means the log is clean. *)
+
+val next_valid_lsn : t -> after:int -> int
+(** First LSN strictly after [after] at which the durable frame chain
+    re-synchronizes (parses cleanly to the end of the log), or
+    {!durable_end} if the rest of the log is unusable. *)
+
+val splice : t -> lsn:int -> bytes:string -> unit
+(** Overwrite the durable range starting at [lsn] with clean bytes
+    (typically fetched from a replica whose log covers the corrupt
+    range).  @raise Out_of_range if the range does not fit inside the
+    durable log. *)
+
+val drop_from : t -> lsn:int -> int
+(** Quarantine: discard the durable tail from [lsn] onwards and return
+    the number of bytes dropped.  Used when no replica can serve clean
+    bytes for a corrupt range.  @raise Out_of_range on a bad [lsn]. *)
 
 (** {1 Test hooks} *)
 

@@ -236,7 +236,7 @@ let test_wal_truncate () =
     (snd (List.hd r.Wal.records) = b);
   Alcotest.(check bool) "LSN outside the durable log rejected" true
     (match Wal.truncate_to w ~lsn:(Wal.durable_end w + 1) with
-    | exception Invalid_argument _ -> true
+    | exception Wal.Out_of_range _ -> true
     | () -> false)
 
 (* ------------------------------------------------------------------ *)

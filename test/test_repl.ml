@@ -34,7 +34,7 @@ let test_wal_read_from () =
     (List.length (Wal.read_from w ~lsn:(Wal.durable_end w)).Wal.records);
   let rejected lsn =
     match Wal.read_from w ~lsn with
-    | exception Invalid_argument _ -> true
+    | exception Wal.Out_of_range _ -> true
     | _ -> false
   in
   Alcotest.(check bool) "cursor before the base rejected" true (rejected (-1));

@@ -1,0 +1,495 @@
+(* Storage-fault survival: at-rest corruption detection in every frame
+   region, torn-tail vs. rot disambiguation, checkpoint-slot CRC
+   fallback, the salvage ladder under a double fault (corruption found
+   during crash recovery), the planted silent-corruption bug shrinking
+   to a 1-minimal reproducer, and flag-off byte-identity. *)
+
+open Strip_relational
+open Strip_txn
+open Strip_core
+open Strip_pta
+open Strip_chaos
+
+(* ------------------------------------------------------------------ *)
+(* WAL frame regions: a flip anywhere inside a mid-log frame must be
+   reported by [Wal.verify], with a resync point that re-parses cleanly *)
+
+let commit i = Wal.Commit { txid = i; time = 0.01 *. float_of_int i; ops = [] }
+
+let filled_wal n =
+  let w = Wal.create () in
+  let lsns = List.map (fun i -> Wal.append w (commit i)) (List.init n Fun.id) in
+  Wal.fsync w;
+  (w, Array.of_list lsns)
+
+let check_flip_detected w ~flip_at ~frame_start label =
+  Wal.flip_byte w ~lsn:flip_at;
+  (match Wal.verify w with
+  | [ (l, r) ] ->
+    Alcotest.(check int) (label ^ ": range starts at the frame") frame_start l;
+    Alcotest.(check bool) (label ^ ": resync strictly later") true (r > l);
+    Alcotest.(check bool)
+      (label ^ ": resync inside the log") true
+      (r <= Wal.durable_end w);
+    (* the chain really does parse cleanly from the resync point *)
+    let rd = Wal.read_from w ~lsn:r in
+    Alcotest.(check (option int)) (label ^ ": clean past resync") None
+      rd.Wal.corrupt_at
+  | ranges ->
+    Alcotest.fail
+      (Printf.sprintf "%s: expected 1 corrupt range, got %d" label
+         (List.length ranges)));
+  (* flipping the same byte again restores the original *)
+  Wal.flip_byte w ~lsn:flip_at;
+  Alcotest.(check bool) (label ^ ": unflip restores a clean log") true
+    (Wal.verify w = [])
+
+let test_frame_region_flips () =
+  let w, lsns = filled_wal 50 in
+  Alcotest.(check bool) "clean log verifies empty" true (Wal.verify w = []);
+  let l = lsns.(20) and next = lsns.(21) in
+  (* frame layout: [u32 len][u32 crc][payload] *)
+  check_flip_detected w ~flip_at:l ~frame_start:l "len header";
+  check_flip_detected w ~flip_at:(l + 4) ~frame_start:l "crc field";
+  check_flip_detected w ~flip_at:(l + 8) ~frame_start:l "payload first byte";
+  check_flip_detected w ~flip_at:(next - 1) ~frame_start:l "payload last byte"
+
+let test_torn_tail_not_flagged () =
+  (* A flipped len header in the FINAL frame makes the parse run past
+     end-of-log with no later resync — indistinguishable from a torn
+     final append, which recovery truncates.  The scrubber must not
+     flag it; [Wal.read] must report it as torn. *)
+  let w, lsns = filled_wal 10 in
+  let last = lsns.(9) in
+  Wal.flip_byte w ~lsn:last;
+  Alcotest.(check bool) "scrub does not flag the torn-looking tail" true
+    (Wal.verify w = []);
+  let rd = Wal.read w in
+  Alcotest.(check (option int)) "read drops it as a torn tail" (Some last)
+    rd.Wal.torn_at;
+  Alcotest.(check (option int)) "not as corruption" None rd.Wal.corrupt_at;
+  Alcotest.(check int) "every earlier record survives" 9
+    (List.length rd.Wal.records);
+  (* the same flip mid-log IS corruption: the chain resyncs before the
+     end, so a genuine torn write cannot explain the bytes *)
+  let w2, lsns2 = filled_wal 10 in
+  Wal.flip_byte w2 ~lsn:lsns2.(4);
+  (match Wal.verify w2 with
+  | [ (l, _) ] ->
+    Alcotest.(check int) "mid-log len flip is rot, not tear" lsns2.(4) l
+  | _ -> Alcotest.fail "expected exactly one corrupt range")
+
+let test_truncation_boundary_flip () =
+  (* Rot in the first frame after a checkpoint truncation: the range
+     must be reported relative to the (re-based) log, starting at the
+     new base LSN. *)
+  let w, lsns = filled_wal 30 in
+  Wal.truncate_to w ~lsn:lsns.(15);
+  Alcotest.(check int) "base moved" lsns.(15) (Wal.base_lsn w);
+  Wal.flip_byte w ~lsn:(lsns.(15) + 8);
+  (match Wal.verify w with
+  | [ (l, r) ] ->
+    Alcotest.(check int) "range starts at the new base" lsns.(15) l;
+    Alcotest.(check int) "resync at the next frame" lsns.(16) r
+  | _ -> Alcotest.fail "expected exactly one corrupt range");
+  (* a flip below the base is out of range — the bytes left the system *)
+  Alcotest.(check bool) "flip below the truncation floor rejected" true
+    (match Wal.flip_byte w ~lsn:lsns.(3) with
+    | exception Wal.Out_of_range _ -> true
+    | () -> false)
+
+let test_bound_rows_flip_and_splice () =
+  (* Rot inside a queued unique transaction's bound-rows payload, then
+     the replica rung of the salvage ladder: splicing the clean bytes
+     back restores the log byte-for-byte. *)
+  let w = Wal.create () in
+  let enq =
+    Wal.Uq_enqueue
+      {
+        func = "f";
+        key = [ Value.Str "S1" ];
+        release_time = 2.0;
+        created_at = 1.0;
+        bound =
+          [
+            ( "matches",
+              [
+                [| Value.Str "C1"; Value.Float 0.5 |];
+                [| Value.Str "C2"; Value.Float 0.25 |];
+              ] );
+          ];
+      }
+  in
+  ignore (Wal.append w (commit 0));
+  let enq_lsn = Wal.append w enq in
+  ignore (Wal.append w (commit 1));
+  Wal.fsync w;
+  let clean = Wal.durable_slice w ~from_lsn:0 in
+  (* deep inside the bound-rows payload *)
+  Wal.flip_byte w ~lsn:(enq_lsn + 24);
+  let l, r =
+    match Wal.verify w with
+    | [ range ] -> range
+    | _ -> Alcotest.fail "expected exactly one corrupt range"
+  in
+  Alcotest.(check int) "the enqueue frame is the corrupt one" enq_lsn l;
+  let rd = Wal.read w in
+  Alcotest.(check (option int)) "read stops at the rotten enqueue"
+    (Some enq_lsn) rd.Wal.corrupt_at;
+  (* replica splice: overwrite exactly the corrupt range with clean bytes *)
+  Wal.splice w ~lsn:l ~bytes:(String.sub clean l (r - l));
+  Alcotest.(check bool) "spliced log verifies clean" true (Wal.verify w = []);
+  Alcotest.(check string) "byte-identical to the pre-rot log" clean
+    (Wal.durable_slice w ~from_lsn:0);
+  let rd' = Wal.read w in
+  Alcotest.(check int) "all three records readable again" 3
+    (List.length rd'.Wal.records);
+  Alcotest.(check bool) "the bound rows round-trip" true
+    (List.exists (fun (_, rec_) -> rec_ = enq) rd'.Wal.records)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint slots: per-slot CRCs and fallback past a rotted image *)
+
+let test_slot_crc_fallback () =
+  let d = Durable.create ~retain:2 () in
+  Durable.arm_media d;
+  Durable.install_checkpoint d ~encoded:"older-image-aaaa" ~lsn:0 ~time:1.0;
+  Durable.install_checkpoint d ~encoded:"newer-image-bbbb" ~lsn:0 ~time:2.0;
+  Alcotest.(check bool) "both slots verify before the rot" true
+    (Durable.slots_valid d);
+  (match Durable.verified_slot d with
+  | Some (img, _, time, skipped) ->
+    Alcotest.(check string) "newest slot wins" "newer-image-bbbb" img;
+    Alcotest.(check (float 1e-9)) "with its install time" 2.0 time;
+    Alcotest.(check int) "nothing skipped" 0 skipped
+  | None -> Alcotest.fail "expected a verified slot");
+  Alcotest.(check bool) "flip lands" true (Durable.flip_snapshot_byte d ~frac:0.5);
+  Alcotest.(check bool) "slot set no longer valid" false (Durable.slots_valid d);
+  (* regression: recovery falls back to the older slot instead of
+     restoring from the rotted image *)
+  (match Durable.verified_slot d with
+  | Some (img, _, time, skipped) ->
+    Alcotest.(check string) "older slot served" "older-image-aaaa" img;
+    Alcotest.(check (float 1e-9)) "the older install time" 1.0 time;
+    Alcotest.(check int) "one CRC-failing slot passed over" 1 skipped
+  | None -> Alcotest.fail "expected fallback to the older slot");
+  let c = Durable.media_counts d in
+  Alcotest.(check int) "the flip was ledgered" 1 c.Durable.injected_bitrot_cp;
+  Alcotest.(check int) "still outstanding before the scrub" 1
+    c.Durable.outstanding;
+  (* scrubbing drops the bad slot and marks the fault detected *)
+  Alcotest.(check int) "scrub drops exactly the bad slot" 1
+    (Durable.scrub_slots d);
+  Alcotest.(check bool) "the survivor set verifies" true (Durable.slots_valid d);
+  let c' = Durable.media_counts d in
+  Alcotest.(check int) "fault detected, no longer silent" 0
+    c'.Durable.outstanding;
+  Alcotest.(check int) "exactly one detection" 1 c'.Durable.detected
+
+(* ------------------------------------------------------------------ *)
+(* Double fault: corruption discovered during crash recovery.  Rung 1
+   (replica bytes available) splices and loses nothing; rung 3 (no
+   replica) quarantines the tail and survives with the checkpoint. *)
+
+let figure4_script =
+  {|create table stocks (symbol string, price float);
+    create index stocks_sym on stocks (symbol);
+    create table comps_list (comp string, symbol string, weight float);
+    create index cl_sym on comps_list (symbol);
+    insert into stocks values ('S1', 30.0), ('S2', 40.0), ('S3', 50.0);
+    insert into comps_list values
+      ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7)|}
+
+let comp_view_sql =
+  "create view comp_prices as select comp, sum(price * weight) as price \
+   from stocks, comps_list where stocks.symbol = comps_list.symbol group by \
+   comp"
+
+let condition =
+  {|select comp, comps_list.symbol as symbol, weight,
+           old.price as old_price, new.price as new_price
+    from comps_list, new, old
+    where comps_list.symbol = new.symbol
+      and new.execute_order = old.execute_order
+    bind as matches|}
+
+let install_comp_rule db =
+  Strip_db.register_function db "f" (fun ctx ->
+      let r =
+        Transaction.query ctx.Rule_manager.txn
+          "select comp, sum((new_price - old_price) * weight) as diff from \
+           matches group by comp"
+      in
+      List.iter
+        (fun row ->
+          ignore
+            (Transaction.exec ctx.Rule_manager.txn
+               (Printf.sprintf
+                  "update comp_prices set price += %.17g where comp = '%s'"
+                  (Value.to_float row.(1))
+                  (Value.to_string row.(0)))))
+        (Query.rows r));
+  Strip_db.create_rule db
+    (Printf.sprintf
+       "create rule r on stocks when updated price if %s then execute f \
+        unique after 1.0 seconds"
+       condition)
+
+(* Run the figure-4 workload to a crash with one fsynced commit rotted;
+   returns the durable store, the pre-rot clean log copy (the replica's
+   view of the bytes) and the LSN whose frame was flipped. *)
+let crashed_with_rot () =
+  Task.reset_ids ();
+  let durable = Durable.create () in
+  let db1 = Strip_db.create ~durable () in
+  Strip_db.exec_script db1 figure4_script;
+  Strip_db.declare_view db1 ~sql:comp_view_sql;
+  install_comp_rule db1;
+  Strip_db.checkpoint db1;
+  Strip_db.submit_update db1 ~at:0.0 (fun txn ->
+      ignore
+        (Transaction.exec txn "update stocks set price = 31.0 where symbol = 'S1'"));
+  Strip_db.submit_update db1 ~at:0.3 (fun txn ->
+      ignore
+        (Transaction.exec txn "update stocks set price = 38.0 where symbol = 'S2'"));
+  Strip_db.run db1 ~until:0.5;
+  let w = Durable.wal durable in
+  let base = Wal.base_lsn w in
+  let clean = Wal.durable_slice w ~from_lsn:base in
+  Strip_db.crash db1;
+  (* rot the first redo frame after the checkpoint — mid-log, because a
+     later committed frame follows it *)
+  Durable.arm_media durable;
+  Wal.flip_byte w ~lsn:(base + 8);
+  Durable.note_injected durable ~kind:Durable.Bitrot_wal ~lsn:(base + 8) ~len:1;
+  (durable, clean, base)
+
+let test_recovery_salvage_from_replica () =
+  let durable, clean, base = crashed_with_rot () in
+  let salvage ~from_lsn ~len =
+    Some (String.sub clean (from_lsn - base) len)
+  in
+  let db2 = Strip_db.create ~now:0.5 ~durable () in
+  let rs =
+    Recovery.recover ~salvage db2 ~reinstall:(fun () -> install_comp_rule db2)
+  in
+  Alcotest.(check bool) "corruption was seen" true rs.Recovery.corrupt_tail;
+  Alcotest.(check int) "one range replica-salvaged" 1
+    rs.Recovery.salvaged_ranges;
+  Alcotest.(check bool) "clean bytes fetched" true (rs.Recovery.salvaged_bytes > 0);
+  Alcotest.(check int) "nothing quarantined" 0 rs.Recovery.quarantined_bytes;
+  Alcotest.(check int) "both commits redone despite the rot" 2
+    rs.Recovery.redo_commits;
+  Alcotest.(check int) "the queued unique batch survived" 1
+    rs.Recovery.requeued;
+  (* the salvage healed the ledger: no fault left outstanding *)
+  Alcotest.(check int) "fault repaired in the ledger" 0
+    (Durable.outstanding durable);
+  Strip_db.run db2;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "maintained view caught up losslessly"
+    [ ("C1", 40.5); ("C2", 35.9) ]
+    (List.map
+       (fun row -> (Value.to_string row.(0), Value.to_float row.(1)))
+       (Strip_db.query_rows db2
+          "select comp, price from comp_prices order by comp"));
+  Alcotest.(check int) "auditor agrees" 0
+    (List.length (Auditor.audit db2).Auditor.divergences)
+
+let test_recovery_quarantine_without_replica () =
+  let durable, _clean, _base = crashed_with_rot () in
+  let db2 = Strip_db.create ~now:0.5 ~durable () in
+  let rs = Recovery.recover db2 ~reinstall:(fun () -> install_comp_rule db2) in
+  Alcotest.(check bool) "corruption was seen" true rs.Recovery.corrupt_tail;
+  Alcotest.(check int) "no replica to salvage from" 0 rs.Recovery.salvaged_ranges;
+  Alcotest.(check bool) "the tail was quarantined" true
+    (rs.Recovery.quarantined_bytes > 0);
+  Alcotest.(check int) "no commit could be redone" 0 rs.Recovery.redo_commits;
+  Alcotest.(check int) "quarantine recorded in the ledger" 0
+    (Durable.outstanding durable);
+  (* the checkpoint base state survived; the audit's repair pass
+     restores whatever maintenance the quarantined records carried *)
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "checkpoint base state restored"
+    [ ("S1", 30.0); ("S2", 40.0); ("S3", 50.0) ]
+    (List.map
+       (fun row -> (Value.to_string row.(0), Value.to_float row.(1)))
+       (Strip_db.query_rows db2
+          "select symbol, price from stocks order by symbol"));
+  Strip_db.run db2;
+  let audit = Auditor.audit db2 in
+  Alcotest.(check int) "audit finds nothing broken after the drain" 0
+    (List.length audit.Auditor.divergences)
+
+(* ------------------------------------------------------------------ *)
+(* The planted bug: a checkpoint-image flip with the scrubber disabled
+   is never read, so nothing detects it — [no_silent_corruption] must
+   fire, and the shrinker must isolate the flip as a 1-minimal
+   replayable reproducer. *)
+
+let scrubless = { Experiment.scrub_every = None; retain = 2 }
+
+let test_planted_silent_corruption_shrinks () =
+  let rot = Experiment.Bitrot_at { at = 18.0; target = `Checkpoint; frac = 0.5 } in
+  let s =
+    {
+      Schedule.seed = 0;
+      scale = 0.02;
+      events =
+        [
+          Experiment.Checkpoint_at 6.0;
+          Experiment.Drop_burst { at = 8.0; until_s = 9.0; rate = 0.5 };
+          rot;
+        ];
+    }
+  in
+  let silent o =
+    List.exists
+      (fun v -> v.Explore.invariant = "no_silent_corruption")
+      o.Explore.violations
+  in
+  let o = Explore.run_schedule ~storage:scrubless s in
+  Alcotest.(check bool) "the de-armed scrubber misses the rot" true (silent o);
+  (match o.Explore.storage with
+  | Some sm ->
+    Alcotest.(check int) "the flip landed" 1 sm.Experiment.injected_bitrot_cp;
+    Alcotest.(check bool) "and stayed outstanding" true
+      (sm.Experiment.faults_outstanding >= 1)
+  | None -> Alcotest.fail "expected storage metrics");
+  (* the default scrubber catches the identical schedule *)
+  let o_scrubbed = Explore.run_schedule s in
+  Alcotest.(check bool) "the default scrubber detects it" false
+    (silent o_scrubbed);
+  (* shrink: the decoys fall away, the flip alone reproduces *)
+  let shrunk = Explore.shrink ~storage:scrubless s in
+  Alcotest.(check int) "1-minimal reproducer" 1
+    (List.length shrunk.Explore.schedule.Schedule.events);
+  (match shrunk.Explore.schedule.Schedule.events with
+  | [ Experiment.Bitrot_at { target = `Checkpoint; _ } ] -> ()
+  | _ -> Alcotest.fail "expected the checkpoint flip to survive shrinking");
+  Alcotest.(check bool) "the violation survives the shrink" true (silent shrunk);
+  (* the serialized reproducer replays the identical silent fault *)
+  let replayed =
+    Explore.run_schedule ~storage:scrubless
+      (Schedule.of_string (Schedule.to_string shrunk.Explore.schedule))
+  in
+  Alcotest.(check bool) "replay reproduces the violation" true (silent replayed)
+
+(* ------------------------------------------------------------------ *)
+(* Storage sweep smoke + flag-off identity *)
+
+let test_storage_sweep_smoke () =
+  let outcomes = Explore.explore_storage ~scale:0.02 ~seed:2 ~schedules:2 () in
+  Alcotest.(check int) "every schedule ran" 2 (List.length outcomes);
+  Alcotest.(check int) "no invariant violated" 0
+    (Explore.total_violations outcomes);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "every schedule carries a media event" true
+        (List.exists Experiment.is_storage_event
+           o.Explore.schedule.Schedule.events);
+      match o.Explore.storage with
+      | Some sm ->
+        Alcotest.(check int) "no silent corruption" 0
+          sm.Experiment.faults_outstanding;
+        Alcotest.(check bool) "the media converged" true
+          sm.Experiment.final_clean;
+        let open Strip_obs in
+        let j = Explore.outcome_json o in
+        Alcotest.(check bool) "outcome JSON carries the storage block" true
+          (Json.member "storage" j <> None)
+      | None -> Alcotest.fail "expected storage metrics on a storage schedule")
+    outcomes;
+  (* determinism: the identical sweep replays byte-identically *)
+  let outcomes' = Explore.explore_storage ~scale:0.02 ~seed:2 ~schedules:2 () in
+  Alcotest.(check bool) "the sweep is deterministic" true
+    (outcomes = outcomes')
+
+let test_flag_off_no_storage_surface () =
+  (* With no storage config and no media events, the substrate must not
+     arm: no metrics block, no JSON member, and the durable bytes are
+     identical to a run that never heard of storage faults. *)
+  Task.reset_ids ();
+  let base =
+    Experiment.default_config
+      (Experiment.Comp_view Comp_rules.Unique_on_comp)
+      ~delay:0.5
+  in
+  let cfg = Experiment.quick base 0.02 in
+  let cfg =
+    { cfg with Experiment.recovery = Some Experiment.default_recovery }
+  in
+  let m = Experiment.run cfg in
+  Alcotest.(check bool) "no storage metrics" true (m.Experiment.storage = None);
+  let open Strip_obs in
+  Alcotest.(check bool) "no storage member in the report JSON" true
+    (Json.member "storage" (Report.metrics_json m) = None);
+  (* arming the substrate without any fault must not change the run's
+     observable outcome: same makespan, same recompute count, same
+     maintained-view verification *)
+  Task.reset_ids ();
+  let m' =
+    Experiment.run
+      { cfg with Experiment.storage = Some Experiment.default_storage }
+  in
+  (match m'.Experiment.storage with
+  | Some sm ->
+    Alcotest.(check int) "nothing injected" 0
+      (sm.Experiment.injected_bitrot_wal + sm.Experiment.injected_bitrot_cp
+     + sm.Experiment.injected_fsync_lie);
+    Alcotest.(check int) "nothing outstanding" 0
+      sm.Experiment.faults_outstanding;
+    Alcotest.(check bool) "scrubber ran and found the media clean" true
+      (sm.Experiment.scrub_passes > 0 && sm.Experiment.wal_corruptions = 0);
+    Alcotest.(check bool) "final media clean" true sm.Experiment.final_clean
+  | None -> Alcotest.fail "expected storage metrics when armed");
+  (* the workload itself is untouched — the scrubber only adds its own
+     modeled scan time, it never changes what the engine computes *)
+  Alcotest.(check int) "same recompute count" m.Experiment.n_recompute
+    m'.Experiment.n_recompute;
+  Alcotest.(check int) "same update count" m.Experiment.n_updates
+    m'.Experiment.n_updates;
+  (* flag-off is bit-stable: two identical unarmed runs agree exactly *)
+  Task.reset_ids ();
+  let m'' = Experiment.run cfg in
+  Alcotest.(check (float 1e-9)) "flag-off runs are byte-stable"
+    m.Experiment.makespan_s m''.Experiment.makespan_s;
+  Alcotest.(check string) "flag-off reports are byte-identical"
+    (Json.to_string (Report.metrics_json m))
+    (Json.to_string (Report.metrics_json m''))
+
+let suite =
+  [
+    ( "storage/wal",
+      [
+        Alcotest.test_case "flips in every frame region detected" `Quick
+          test_frame_region_flips;
+        Alcotest.test_case "torn tail is not flagged as rot" `Quick
+          test_torn_tail_not_flagged;
+        Alcotest.test_case "rot at the truncation boundary" `Quick
+          test_truncation_boundary_flip;
+        Alcotest.test_case "bound-rows rot splices back byte-identically"
+          `Quick test_bound_rows_flip_and_splice;
+      ] );
+    ( "storage/checkpoint",
+      [
+        Alcotest.test_case "slot CRC fallback past a rotted image" `Quick
+          test_slot_crc_fallback;
+      ] );
+    ( "storage/recovery",
+      [
+        Alcotest.test_case "double fault: replica salvage during redo" `Slow
+          test_recovery_salvage_from_replica;
+        Alcotest.test_case "double fault: quarantine without a replica" `Slow
+          test_recovery_quarantine_without_replica;
+      ] );
+    ( "storage/chaos",
+      [
+        Alcotest.test_case "planted silent rot shrinks to 1-minimal" `Slow
+          test_planted_silent_corruption_shrinks;
+        Alcotest.test_case "storage sweep runs clean and deterministic" `Slow
+          test_storage_sweep_smoke;
+        Alcotest.test_case "flag-off leaves no storage surface" `Slow
+          test_flag_off_no_storage_surface;
+      ] );
+  ]
