@@ -20,7 +20,7 @@
      STRIP_BENCH_SKIP_ABLATIONS / STRIP_BENCH_SKIP_SWEEP /
      STRIP_BENCH_SKIP_ROBUSTNESS / STRIP_BENCH_SKIP_RECOVERY /
      STRIP_BENCH_SKIP_REPLICATION / STRIP_BENCH_SKIP_CHAOS /
-     STRIP_BENCH_SKIP_STORAGE
+     STRIP_BENCH_SKIP_STORAGE / STRIP_BENCH_SKIP_SHARD
                           set to skip a part
      STRIP_BENCH_CHAOS_SCHEDULES / STRIP_BENCH_CHAOS_SEED /
      STRIP_BENCH_CHAOS_SCALE
@@ -1132,6 +1132,135 @@ let storage_lane () =
   Printf.printf "wrote storage-fault results to BENCH_PR9.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* PR 10: the shard sweep.  Partition the write path across 1/2/4/8
+   shard primaries under the same de-rated CPU as the server sweep, so
+   a single primary cannot keep up with the feed.  Base rows are
+   hash-partitioned on symbol and every shard runs its own engine, WAL
+   and checkpoints; composites whose members live on other shards are
+   maintained through shipped weighted partial deltas, so the sweep
+   exercises the full cross-shard protocol at every point.  The
+   non-unique rule keeps total maintenance work fixed, so adding shard
+   primaries must raise write throughput (updates applied per simulated
+   second of makespan) monotonically — that is the gate — and the
+   cross-shard composite audit must come back clean at every point.
+   Every point, including shards=1, goes through Shard_exp.run, so all
+   pay identical durability and coordinator machinery and the sweep
+   isolates partitioning itself.  BENCH_PR10.json captures the curve
+   for CI. *)
+
+let shard_sweep () =
+  section "Shard sweep (partitioned write path, cross-shard composites)";
+  let sh_scale = Float.min scale 0.05 in
+  let slowdown = 250.0 in
+  let slow =
+    Cost_model.create
+      (List.map
+         (fun (name, us) -> (name, us *. slowdown))
+         (Cost_model.entries Cost_model.default))
+  in
+  let run_at shards =
+    let cfg =
+      Experiment.default_config (Experiment.Comp_view Comp_rules.Non_unique)
+        ~delay:0.0
+    in
+    let cfg = Experiment.quick cfg sh_scale in
+    let cfg =
+      {
+        cfg with
+        Experiment.cost = slow;
+        verify = true;
+        shard = Some (Experiment.default_shard ~shards);
+      }
+    in
+    let m = Shard_exp.run cfg in
+    Report.print_metrics m;
+    Report.print_shard m;
+    if m.Experiment.verified <> Some true then begin
+      Printf.printf
+        "SHARD SWEEP FAILED: %d-shard run did not converge (max error %g)\n"
+        shards m.Experiment.max_abs_error;
+      exit 1
+    end;
+    let s =
+      match m.Experiment.shard with
+      | Some s -> s
+      | None ->
+        Printf.printf "SHARD SWEEP FAILED: %d-shard run has no shard metrics\n"
+          shards;
+        exit 1
+    in
+    if s.Experiment.cross_divergences > 0 then begin
+      Printf.printf
+        "SHARD SWEEP FAILED: cross-shard audit divergent at %d shards (%d of \
+         %d composites)\n"
+        shards s.Experiment.cross_divergences s.Experiment.cross_checks;
+      exit 1
+    end;
+    (m, s)
+  in
+  Report.print_metrics_header ();
+  let points = List.map run_at [ 1; 2; 4; 8 ] in
+  let write_tput ((m : Experiment.metrics), _) =
+    float_of_int m.Experiment.n_updates /. m.Experiment.makespan_s
+  in
+  let rec check_monotone = function
+    | ((_, (sa : Experiment.shard_metrics)) as a)
+      :: ((_, (sb : Experiment.shard_metrics)) as b)
+      :: rest ->
+      if write_tput b <= write_tput a then begin
+        Printf.printf
+          "SHARD SWEEP FAILED: write throughput did not improve %d -> %d \
+           shards (%.2f/s -> %.2f/s)\n"
+          sa.Experiment.n_shards sb.Experiment.n_shards (write_tput a)
+          (write_tput b);
+        exit 1
+      end;
+      check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone points;
+  (* BENCH_PR10.json at the repo root: the sweep's headline numbers, one
+     point per shard count.  CI validates presence, shape, and the
+     monotone write-throughput property. *)
+  let open Strip_obs in
+  let point ((m : Experiment.metrics), (s : Experiment.shard_metrics)) =
+    Json.Obj
+      [
+        ("shards", Json.Int s.Experiment.n_shards);
+        ("makespan_s", Json.Float m.Experiment.makespan_s);
+        ( "write_throughput_per_s",
+          Json.Float
+            (float_of_int m.Experiment.n_updates /. m.Experiment.makespan_s) );
+        ("n_updates", Json.Int m.Experiment.n_updates);
+        ("partials_shipped", Json.Int s.Experiment.sh_partials);
+        ("msgs_sent", Json.Int s.Experiment.sh_msgs);
+        ("bytes_shipped", Json.Int s.Experiment.sh_bytes);
+        ("acks_sent", Json.Int s.Experiment.sh_acks);
+        ("reships", Json.Int s.Experiment.sh_reships);
+        ("cross_checks", Json.Int s.Experiment.cross_checks);
+        ("cross_divergences", Json.Int s.Experiment.cross_divergences);
+        ( "audit_clean",
+          Json.Bool (s.Experiment.cross_divergences = 0) );
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ( "benchmark",
+          Json.Str
+            "shard sweep (comp_prices/non-unique, hash-partitioned write \
+             path, overloaded)" );
+        ("scale", Json.Float sh_scale);
+        ("cost_slowdown", Json.Float slowdown);
+        ("sweep", Json.List (List.map point points));
+      ]
+  in
+  let oc = open_out "BENCH_PR10.json" in
+  Json.to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote shard-sweep results to BENCH_PR10.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* --wallclock: real elapsed time per simulated transaction for
    representative end-to-end scenarios.  The simulator reports virtual
    seconds everywhere else; this lane answers the orthogonal question
@@ -1268,5 +1397,6 @@ let () =
   if Sys.getenv_opt "STRIP_BENCH_SKIP_REPLICATION" = None then replica_sweep ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_CHAOS" = None then chaos_lane ();
   if Sys.getenv_opt "STRIP_BENCH_SKIP_STORAGE" = None then storage_lane ();
+  if Sys.getenv_opt "STRIP_BENCH_SKIP_SHARD" = None then shard_sweep ();
   if !wallclock then wallclock_lane ();
   if observing () then write_exports ()

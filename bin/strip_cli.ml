@@ -158,6 +158,41 @@ let read_rate_arg =
   in
   Arg.(value & opt float 0.0 & info [ "read-rate" ] ~docv:"RATE" ~doc)
 
+let shards_arg =
+  let doc =
+    "Partition the base tables across $(docv) shard primaries \
+     (hash-on-symbol), each with its own engine, WAL and checkpoints; \
+     cross-shard composite maintenance ships weighted partial deltas \
+     through the distributed unique-transaction queue.  1 (the default) \
+     keeps the single-primary path and leaves the run byte-identical to a \
+     shard-less one."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_crash_at_arg =
+  let doc =
+    "Crash shard $(b,SID) at $(b,SECONDS) simulated seconds (format \
+     $(b,SID:SECONDS)); the shard restarts in place from its own WAL and \
+     re-ships its unacknowledged partials.  Requires $(b,--shards) > 1."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard-crash-at" ] ~docv:"SID:SECONDS" ~doc)
+
+let parse_shard_crash_at = function
+  | None -> Ok None
+  | Some s -> (
+    match String.index_opt s ':' with
+    | Some i -> (
+      let sid = String.sub s 0 i
+      and at = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt sid, float_of_string_opt at) with
+      | Some sid, Some at when sid >= 0 && at >= 0.0 -> Ok (Some (sid, at))
+      | _ -> Error (Printf.sprintf "bad --shard-crash-at %S (want SID:SECONDS)" s))
+    | None ->
+      Error (Printf.sprintf "bad --shard-crash-at %S (want SID:SECONDS)" s))
+
 let parse_read_policy s =
   let open Strip_repl.Cluster in
   match s with
@@ -198,16 +233,23 @@ let parse_slos specs =
 
 let run_experiment view variant delay scale verify seed abort_rate fault_seed
     retries servers watermark crash_rate crash_at checkpoint_interval replicas
-    read_policy read_rate slo_specs trace_file metrics_file json =
+    read_policy read_rate shards shard_crash_at slo_specs trace_file
+    metrics_file json =
   match
     Result.bind (rule_of_strings view variant) (fun rule ->
         Result.bind (parse_read_policy read_policy) (fun p ->
-            Result.map (fun os -> (rule, p, os)) (parse_slos slo_specs)))
+            Result.bind (parse_shard_crash_at shard_crash_at) (fun sc ->
+                Result.map
+                  (fun os -> (rule, p, sc, os))
+                  (parse_slos slo_specs))))
   with
   | Error msg ->
     prerr_endline msg;
     1
-  | Ok (rule, policy, objectives) ->
+  | Ok (_, _, Some _, _) when shards < 2 ->
+    prerr_endline "--shard-crash-at requires --shards > 1";
+    1
+  | Ok (rule, policy, shard_crash, objectives) ->
     let cfg = Experiment.default_config rule ~delay in
     let cfg =
       { cfg with Experiment.feed = { cfg.Experiment.feed with Feed.seed } }
@@ -290,6 +332,19 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
         }
       else cfg
     in
+    let cfg =
+      if shards > 1 then
+        {
+          cfg with
+          Experiment.shard =
+            Some
+              {
+                (Experiment.default_shard ~shards) with
+                Experiment.shard_crash_at = shard_crash;
+              };
+        }
+      else cfg
+    in
     let tr = Option.map (fun _ -> Strip_obs.Trace.create ()) trace_file in
     let slo =
       match objectives with
@@ -297,7 +352,7 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       | os -> Some (Strip_obs.Slo.create os)
     in
     let cfg = { cfg with Experiment.trace = tr; slo } in
-    let m = Experiment.run cfg in
+    let m = Shard_exp.dispatch cfg in
     if json then Report.print_metrics_json [ m ]
     else begin
       Report.print_metrics_header ();
@@ -306,6 +361,7 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       Report.print_servers m;
       Report.print_recovery m;
       Report.print_repl m;
+      Report.print_shard m;
       Report.print_staleness m;
       Report.print_slo m;
       Report.print_trace m;
@@ -352,8 +408,12 @@ let run_experiment view variant delay scale verify seed abort_rate fault_seed
       close_out oc;
       if not json then Printf.printf "wrote metrics snapshot to %s\n" path);
     let audit_failed =
-      match m.Experiment.recovery with
+      (match m.Experiment.recovery with
       | Some r -> not r.Experiment.audit_clean
+      | None -> false)
+      ||
+      match m.Experiment.shard with
+      | Some s -> s.Experiment.cross_divergences > 0
       | None -> false
     in
     let slo_failed =
@@ -372,7 +432,8 @@ let experiment_cmd =
       $ verify_arg $ seed_arg $ abort_rate_arg $ fault_seed_arg $ retries_arg
       $ servers_arg $ watermark_arg $ crash_rate_arg $ crash_at_arg
       $ checkpoint_interval_arg $ replicas_arg $ read_policy_arg
-      $ read_rate_arg $ slo_arg $ trace_file_arg $ metrics_file_arg $ json_arg)
+      $ read_rate_arg $ shards_arg $ shard_crash_at_arg $ slo_arg
+      $ trace_file_arg $ metrics_file_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "experiment"

@@ -28,9 +28,42 @@ val install :
   Strip_core.Strip_db.t -> Pta_tables.handles -> variant -> delay:float -> unit
 (** Register the user function and create the rule. *)
 
+val install_routed :
+  Strip_core.Strip_db.t ->
+  Pta_tables.handles ->
+  sid:int ->
+  owner:(string -> int) ->
+  variant ->
+  delay:float ->
+  unit
+(** Sharded install for shard [sid]: the same rule body as {!install},
+    except each composite's total change is applied locally when
+    [owner comp = sid] and emitted as a cross-shard partial delta
+    ({!Strip_core.Rule_manager.emit_partial}) otherwise.  Partials are
+    stamped, WAL-logged and shipped by the enclosing commit. *)
+
+val apply_partial :
+  Pta_tables.handles ->
+  Strip_txn.Transaction.t ->
+  key:Strip_relational.Value.t list ->
+  delta:float ->
+  unit
+(** Owner-side apply of a merged cross-shard delta: fold [delta] into the
+    [comp_prices] row keyed by [key = [comp]].
+    @raise Invalid_argument on any other key shape. *)
+
 val recompute_from_scratch : Pta_tables.handles -> (string * float) list
 (** Ground truth: every composite's price recomputed from current stock
     prices (unmetered), for correctness checks. *)
 
 val maintained : Pta_tables.handles -> (string * float) list
 (** Current contents of the materialized [comp_prices]. *)
+
+val recompute_from_scratch_sharded :
+  Pta_tables.handles array -> (string * float) list
+(** Ground truth over a sharded deployment: stock prices and membership
+    rows are unioned across all shards before totalling (unmetered). *)
+
+val maintained_sharded : Pta_tables.handles array -> (string * float) list
+(** Union of every shard's materialized [comp_prices] partition, sorted —
+    comparable to {!recompute_from_scratch_sharded}. *)

@@ -46,6 +46,25 @@ type storage_cfg = {
 
 let default_storage = { scrub_every = Some 0.5; retain = 2 }
 
+type shard_cfg = {
+  shards : int;
+  shard_link : Strip_repl.Link.config;
+  shard_ship_every : float;
+  shard_resend_after : float;
+  shard_crash_at : (int * float) option;  (* (shard id, simulated time) *)
+  shard_checkpoint_every : float option;
+}
+
+let default_shard ~shards =
+  {
+    shards;
+    shard_link = Strip_repl.Link.default_config;
+    shard_ship_every = 0.05;
+    shard_resend_after = 0.25;
+    shard_crash_at = None;
+    shard_checkpoint_every = Some 5.0;
+  }
+
 (* One deterministic fault in a chaos schedule, in absolute simulated
    time.  Crash and partition events are armed as scheduled engine tasks
    (re-armed on whatever instance is live after each escape); drop
@@ -92,6 +111,7 @@ type config = {
   repl : repl_cfg option;
   storage : storage_cfg option;
   chaos : chaos_event list;
+  shard : shard_cfg option;
 }
 
 let default_config rule ~delay =
@@ -114,6 +134,7 @@ let default_config rule ~delay =
     repl = None;
     storage = None;
     chaos = [];
+    shard = None;
   }
 
 let with_faults ?seed ?(retry = Strip_sim.Engine.default_retry) ~abort_rate cfg =
@@ -221,6 +242,34 @@ type storage_metrics = {
          checkpoint slot passes its CRC *)
 }
 
+(* One shard primary's slice of a sharded run. *)
+type shard_row = {
+  sh_id : int;
+  sh_updates : int;
+  sh_recomputes : int;
+  sh_firings : int;
+  sh_partials_out : int;  (* weighted partials this shard emitted *)
+  sh_offered : int;  (* arrivals offered to this shard's queue *)
+  sh_duplicates : int;  (* resends the (src, seq) dedup collapsed *)
+  sh_merged : int;  (* arrivals folded into a pending entry *)
+  sh_applied : int;  (* merged entries applied and released *)
+  sh_crashes : int;
+  sh_final_lsn : int;
+}
+
+type shard_metrics = {
+  n_shards : int;
+  sh_rows : shard_row list;
+  sh_msgs : int;  (* shard-to-shard messages sent (partials + acks) *)
+  sh_bytes : int;
+  sh_partials : int;  (* first ships *)
+  sh_acks : int;
+  sh_reships : int;  (* resends past the ack deadline *)
+  sh_recovery_s : float;  (* downtime summed over shard restarts *)
+  cross_checks : int;  (* composites compared by the cross-shard audit *)
+  cross_divergences : int;  (* comparisons beyond tolerance *)
+}
+
 type metrics = {
   label : string;
   delay : float;
@@ -259,6 +308,8 @@ type metrics = {
   recovery : recovery_metrics option;
   repl : repl_metrics option;
   storage : storage_metrics option;
+  shard : shard_metrics option;
+      (* present iff the run went through the sharded write path *)
   slo : Strip_obs.Slo.view_report list;
       (* one report per objective; empty when no SLO monitor is attached *)
   trace_spans : (string * int * int) list;
@@ -276,6 +327,16 @@ let label_of = function
 let verify_tolerance = function
   | Comp_view _ -> 1e-6
   | Option_view _ -> 1e-9
+
+(* Cluster-level histogram rows merge per-node distributions into one
+   summary.  First wired for a single primary lineage (the live instance
+   plus its crashed epochs); the sharded driver folds N shard primaries'
+   histograms through this same helper, so single-shard output is
+   unchanged. *)
+let merged_summary hs =
+  let m = Strip_obs.Histogram.merge hs in
+  if Strip_obs.Histogram.count m = 0 then None
+  else Some (Strip_obs.Histogram.summary m)
 
 (* Compare two sorted (name, value) association lists. *)
 let max_error expected actual =
@@ -1058,13 +1119,11 @@ let run (cfg : config) =
           segments_dropped = C.segments_dropped c;
           bytes_shipped = C.bytes_shipped c;
           cluster_lag =
-            hist_summary
-              (Strip_obs.Histogram.merge
-                 (List.init (C.n_replicas c) (fun i -> R.lag (C.replica c i))));
+            merged_summary
+              (List.init (C.n_replicas c) (fun i -> R.lag (C.replica c i)));
           cluster_lock_wait =
-            hist_summary
-              (Strip_obs.Histogram.merge
-                 [ acc.a_lock_h; Strip_sim.Stats.lock_wait_hist stats ]);
+            merged_summary
+              [ acc.a_lock_h; Strip_sim.Stats.lock_wait_hist stats ];
           per_replica =
             List.init (C.n_replicas c) (fun i ->
                 let r = C.replica c i in
@@ -1201,6 +1260,7 @@ let run (cfg : config) =
     recovery;
     repl;
     storage;
+    shard = None;
     slo = (match cfg.slo with None -> [] | Some s -> Strip_obs.Slo.report s);
     trace_spans =
       (match cfg.trace with

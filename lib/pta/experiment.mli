@@ -59,6 +59,25 @@ type storage_cfg = {
 val default_storage : storage_cfg
 (** 0.5 s scrub period, 2 retained checkpoint slots. *)
 
+type shard_cfg = {
+  shards : int;  (** shard primaries; [1] is the unsharded path *)
+  shard_link : Strip_repl.Link.config;
+      (** shard-to-shard link model for partial/ack traffic *)
+  shard_ship_every : float;  (** coordinator tick, seconds *)
+  shard_resend_after : float;
+      (** unacked partials re-ship after this many seconds *)
+  shard_crash_at : (int * float) option;
+      (** schedule one deterministic crash of shard [fst] at time [snd];
+          the shard restarts in place from its own WAL + checkpoint *)
+  shard_checkpoint_every : float option;
+      (** per-shard fuzzy-checkpoint period, driven by the coordinator so
+          every log truncation is followed by a protocol-state snapshot *)
+}
+
+val default_shard : shards:int -> shard_cfg
+(** Default link, 50 ms ticks, 250 ms resend, no scheduled crash, 5 s
+    checkpoints. *)
+
 (** One deterministic fault in a chaos schedule, in absolute simulated
     seconds.  Crashes and partitions are armed as scheduled engine tasks
     and re-armed on whatever instance is live after each escape; drop
@@ -143,6 +162,11 @@ type config = {
           written).  [[]] (the default) arms nothing and leaves the run
           byte-identical to chaos-free builds; a non-empty schedule
           implies {!default_recovery} when [recovery] is [None]. *)
+  shard : shard_cfg option;
+      (** partition the write path across N shard primaries
+          ({!Shard_exp}).  [None] (the default) leaves {!run} untouched
+          and byte-identical to unsharded builds; {!run} itself never
+          consults this field — dispatch through {!Shard_exp.dispatch}. *)
 }
 
 val default_config : rule_choice -> delay:float -> config
@@ -283,6 +307,36 @@ type storage_metrics = {
           [salvage_converges] chaos invariant *)
 }
 
+(** One shard primary's slice of a sharded run. *)
+type shard_row = {
+  sh_id : int;
+  sh_updates : int;
+  sh_recomputes : int;
+  sh_firings : int;
+  sh_partials_out : int;  (** weighted partials this shard emitted *)
+  sh_offered : int;  (** arrivals offered to this shard's queue *)
+  sh_duplicates : int;  (** resends the [(src, seq)] dedup collapsed *)
+  sh_merged : int;  (** arrivals folded into a pending entry *)
+  sh_applied : int;  (** merged entries applied and released *)
+  sh_crashes : int;
+  sh_final_lsn : int;  (** shard WAL durable end *)
+}
+
+type shard_metrics = {
+  n_shards : int;
+  sh_rows : shard_row list;
+  sh_msgs : int;  (** shard-to-shard messages sent (partials + acks) *)
+  sh_bytes : int;
+  sh_partials : int;  (** first ships *)
+  sh_acks : int;
+  sh_reships : int;  (** resends past the ack deadline *)
+  sh_recovery_s : float;  (** downtime summed over shard restarts *)
+  cross_checks : int;
+      (** composites compared by the cross-shard audit (recomputed from
+          all shards' base tables against the owners' maintained rows) *)
+  cross_divergences : int;  (** comparisons beyond tolerance *)
+}
+
 type metrics = {
   label : string;
   delay : float;
@@ -344,6 +398,11 @@ type metrics = {
           by storage chaos events); the fault ledger is unioned over
           every durable store the run touched, including stores abandoned
           at failover. *)
+  shard : shard_metrics option;
+      (** present iff the run went through the sharded write path
+          ({!Shard_exp}); count fields elsewhere in this record then sum
+          over all shard primaries (crashed incarnations included), while
+          distributions cover each shard's final incarnation. *)
   slo : Strip_obs.Slo.view_report list;
       (** per-view staleness SLO verdicts; empty unless the run had an
           [slo] config *)
@@ -357,7 +416,65 @@ type metrics = {
 }
 
 val run : config -> metrics
+(** The single-primary driver; ignores [config.shard] (use
+    {!Shard_exp.dispatch} to honour it). *)
 
 val verify_tolerance : rule_choice -> float
 (** Comparison tolerance: composites accumulate float increments;
     options are recomputed exactly. *)
+
+(** {1 Shared driver machinery}
+
+    Exposed for {!Shard_exp}, which assembles the same {!metrics} record
+    from N shard primaries. *)
+
+val label_of : rule_choice -> string
+
+val max_error : (string * float) list -> (string * float) list -> float
+(** Worst absolute difference between two sorted [(name, value)]
+    association lists; [infinity] on a key or cardinality mismatch. *)
+
+val merged_summary :
+  Strip_obs.Histogram.t list -> Strip_obs.Histogram.summary option
+(** Merge per-node histograms into one cluster-level summary row; [None]
+    when the merged histogram is empty.  Folds any number of lineages —
+    one primary plus its crash epochs, or N shard primaries. *)
+
+val mk_db :
+  ?now:float ->
+  ?durable:Strip_txn.Durable.t ->
+  ?fault:Strip_txn.Fault.config ->
+  config ->
+  Strip_core.Strip_db.t
+(** One database instance wired per the config (cost model, servers,
+    fault injector, observability); crashy drivers call it for every
+    incarnation against the same durable store. *)
+
+(** Counters accumulated across the instances a crashy (or sharded) run
+    burns through — a final instance's {!Strip_sim.Stats} only covers
+    its own epoch.  Histograms and percentiles are not mergeable and
+    stay per-instance ([a_lock_h] is the exception: dead instances'
+    lock waits, merged for the cluster-wide row). *)
+type acc = {
+  mutable a_updates : int;
+  mutable a_recompute : int;
+  mutable a_firings : int;
+  mutable a_merges : int;
+  mutable a_injected : int;
+  mutable a_aborts : int;
+  mutable a_retries : int;
+  mutable a_sheds : int;
+  mutable a_dead : int;
+  mutable a_ctxsw : int;
+  mutable a_lock_waits : int;
+  mutable a_lock_timeouts : int;
+  mutable a_busy_update_us : float;
+  mutable a_busy_recompute_us : float;
+  a_lock_h : Strip_obs.Histogram.t;
+}
+
+val zero_acc : unit -> acc
+
+val accumulate : acc -> Strip_core.Strip_db.t -> unit
+(** Fold one instance's engine stats, rule-manager counters and fault
+    injections into [acc]. *)

@@ -159,6 +159,162 @@ let populate db ~feed sizes =
     option_by_symbol;
   }
 
+(* Sharded population: every shard gets the full schema, but each row
+   lives only on its owner — stocks, stock_stdev, comps_list and
+   options_list rows on the shard owning the stock symbol, comp_prices
+   rows on the shard owning the composite name.  The SAME single RNG and
+   draw sequence as [populate] runs here, so the union of all shards'
+   tables is byte-for-byte the unsharded dataset regardless of the shard
+   count (only the placement changes). *)
+let populate_sharded dbs ~owner_sym ~owner_comp ~feed sizes =
+  Strip_finance.Black_scholes.register_sql_function ();
+  let n = Array.length dbs in
+  if n = 0 then invalid_arg "Pta_tables.populate_sharded: no shards";
+  let cats = Array.map Strip_db.catalog dbs in
+  let mk cat name cols =
+    Catalog.create_table cat ~name ~schema:(Schema.of_list cols)
+  in
+  let stocks_a =
+    Array.map
+      (fun cat -> mk cat "stocks" [ ("symbol", Value.TStr); ("price", Value.TFloat) ])
+      cats
+  in
+  let stdev_a =
+    Array.map
+      (fun cat ->
+        mk cat "stock_stdev" [ ("symbol", Value.TStr); ("stdev", Value.TFloat) ])
+      cats
+  in
+  let comps_a =
+    Array.map
+      (fun cat ->
+        mk cat "comps_list"
+          [ ("comp", Value.TStr); ("symbol", Value.TStr); ("weight", Value.TFloat) ])
+      cats
+  in
+  let options_a =
+    Array.map
+      (fun cat ->
+        mk cat "options_list"
+          [
+            ("option_symbol", Value.TStr);
+            ("stock_symbol", Value.TStr);
+            ("strike", Value.TFloat);
+            ("expiration", Value.TFloat);
+          ])
+      cats
+  in
+  let rng = Random.State.make [| sizes.seed |] in
+  let weights = Feed.activity_weights feed in
+  let prices = Feed.initial_prices feed in
+  for s = 0 to feed.Feed.n_stocks - 1 do
+    let o = owner_sym (Taq.symbol s) in
+    let sym = Value.Str (Taq.symbol s) in
+    ignore (Table.insert stocks_a.(o) [| sym; Value.Float prices.(s) |]);
+    let stdev = 0.15 +. Random.State.float rng 0.45 in
+    ignore (Table.insert stdev_a.(o) [| sym; Value.Float stdev |])
+  done;
+  let member_sampler =
+    Zipf.sampler (Zipf.power weights sizes.membership_bias)
+  in
+  (* A shard's local stocks cannot price remote members, so each
+     composite's seed value accumulates here from the full data and is
+     installed on the composite's owner below. *)
+  let totals = Hashtbl.create 512 in
+  let comp_order = ref [] in
+  for cnum = 0 to sizes.n_comps - 1 do
+    let members =
+      Zipf.sample_distinct member_sampler rng ~k:sizes.comp_members
+        ~n:feed.Feed.n_stocks
+    in
+    let base_weight = 1.0 /. float_of_int sizes.comp_members in
+    let name = comp_name cnum in
+    comp_order := name :: !comp_order;
+    Array.iter
+      (fun s ->
+        let w = base_weight *. (0.5 +. Random.State.float rng 1.0) in
+        let o = owner_sym (Taq.symbol s) in
+        ignore
+          (Table.insert comps_a.(o)
+             [| Value.Str name; Value.Str (Taq.symbol s); Value.Float w |]);
+        let tl =
+          match Hashtbl.find_opt totals name with Some t -> t | None -> 0.0
+        in
+        Hashtbl.replace totals name (tl +. (w *. prices.(s))))
+      members
+  done;
+  let option_sampler = Zipf.sampler (Zipf.power weights sizes.option_bias) in
+  for onum = 0 to sizes.n_options - 1 do
+    let s = Zipf.sample option_sampler rng in
+    let sym = Taq.symbol s in
+    let strike =
+      Float.max 0.125
+        (Float.round (prices.(s) *. (0.8 +. Random.State.float rng 0.4) *. 8.0)
+        /. 8.0)
+    in
+    let expiration = 0.05 +. Random.State.float rng 0.70 in
+    let o = owner_sym sym in
+    ignore
+      (Table.insert options_a.(o)
+         [|
+           Value.Str (Printf.sprintf "%s_O%d" sym onum);
+           Value.Str sym;
+           Value.Float strike;
+           Value.Float expiration;
+         |])
+  done;
+  Array.init n (fun i ->
+      let db = dbs.(i) in
+      let idx tb name cols = Table.create_index tb ~name ~kind:Index.Hash ~cols in
+      let stocks = stocks_a.(i)
+      and stock_stdev = stdev_a.(i)
+      and comps_list = comps_a.(i)
+      and options_list = options_a.(i) in
+      let stocks_by_symbol = idx stocks "stocks_by_symbol" [ "symbol" ] in
+      let stdev_by_symbol = idx stock_stdev "stdev_by_symbol" [ "symbol" ] in
+      let comps_by_symbol = idx comps_list "comps_by_symbol" [ "symbol" ] in
+      let options_by_stock = idx options_list "options_by_stock" [ "stock_symbol" ] in
+      (* comp_prices is a plain partitioned table here, not a local view:
+         a composite's members span shards, so its row is seeded from the
+         full data on the owner and thereafter maintained by local writes
+         plus shipped partial deltas (docs/SHARDING.md). *)
+      let comp_prices =
+        mk cats.(i) "comp_prices" [ ("comp", Value.TStr); ("price", Value.TFloat) ]
+      in
+      List.iter
+        (fun name ->
+          if owner_comp name = i then
+            ignore
+              (Table.insert comp_prices
+                 [| Value.Str name; Value.Float (Hashtbl.find totals name) |]))
+        (List.rev !comp_order);
+      (* options are fully local — stocks, stock_stdev and options_list
+         are co-partitioned by symbol — so the paper view works per shard *)
+      Strip_db.declare_view db
+        ~sql:
+          "create view option_prices as select option_symbol, \
+           f_bs(price, strike, expiration, stdev) as price \
+           from stocks, stock_stdev, options_list \
+           where stocks.symbol = options_list.stock_symbol \
+           and stocks.symbol = stock_stdev.symbol";
+      let option_prices = Catalog.table_exn cats.(i) "option_prices" in
+      let comp_by_name = idx comp_prices "comp_by_name" [ "comp" ] in
+      let option_by_symbol = idx option_prices "option_by_symbol" [ "option_symbol" ] in
+      {
+        stocks;
+        stocks_by_symbol;
+        stock_stdev;
+        stdev_by_symbol;
+        comps_list;
+        comps_by_symbol;
+        comp_prices;
+        comp_by_name;
+        options_list;
+        options_by_stock;
+        option_prices;
+        option_by_symbol;
+      })
+
 (* Rebind handles against a recovered catalog: every table and index was
    restored from the checkpoint image under its original name. *)
 let reattach db =

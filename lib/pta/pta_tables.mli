@@ -57,6 +57,24 @@ val populate :
     (the [option_prices] view uses the registered [f_bs] function).
     Metering performed during population is the caller's to reset. *)
 
+val populate_sharded :
+  Strip_core.Strip_db.t array ->
+  owner_sym:(string -> int) ->
+  owner_comp:(string -> int) ->
+  feed:Strip_market.Feed.config ->
+  sizes ->
+  handles array
+(** Partitioned population for the sharded write path: every shard gets
+    the full schema, each row lives only on its owner ([owner_sym] for
+    stock-keyed rows, [owner_comp] for composite rows).  Runs the {e same}
+    single RNG draw sequence as {!populate}, so the union of all shards'
+    tables equals the unsharded dataset for any shard count.
+    [comp_prices] is a plain partitioned table (seeded from the full
+    data, maintained by local writes + shipped partial deltas), while
+    [option_prices] stays a per-shard view — options are fully local
+    because their three source tables are co-partitioned by symbol.
+    @raise Invalid_argument on an empty array. *)
+
 val reattach : Strip_core.Strip_db.t -> handles
 (** Rebind handles against a recovered catalog (tables and indexes were
     restored from a checkpoint image under their original names).

@@ -168,6 +168,33 @@ let print_storage (m : Experiment.metrics) =
       (if s.final_clean then "clean" else "CORRUPT AT END OF RUN")
       s.salvage_s
 
+let print_shard (m : Experiment.metrics) =
+  match m.shard with
+  | None -> ()
+  | Some (s : Experiment.shard_metrics) ->
+    Printf.printf
+      "  sharding: %d shards; %d partials shipped (%d msgs, %d bytes, %d \
+       acks, %d reships); cross-shard audit: %s (%d composites)%s\n%!"
+      s.n_shards s.sh_partials s.sh_msgs s.sh_bytes s.sh_acks s.sh_reships
+      (if s.cross_divergences = 0 then "clean" else "DIVERGENT")
+      s.cross_checks
+      (if s.cross_divergences > 0 then
+         Printf.sprintf " (%d divergences)" s.cross_divergences
+       else "");
+    if s.sh_recovery_s > 0.0 then
+      Printf.printf "  shard downtime: %.3fs total across restarts\n%!"
+        s.sh_recovery_s;
+    List.iter
+      (fun (r : Experiment.shard_row) ->
+        Printf.printf
+          "  shard %d: %d updates, %d recomputes, %d firings; %d partials \
+           out; queue %d offered (%d dup, %d merged, %d applied); %d \
+           crash(es); lsn %d\n%!"
+          r.sh_id r.sh_updates r.sh_recomputes r.sh_firings r.sh_partials_out
+          r.sh_offered r.sh_duplicates r.sh_merged r.sh_applied r.sh_crashes
+          r.sh_final_lsn)
+      s.sh_rows
+
 let print_slo (m : Experiment.metrics) =
   List.iter
     (fun (r : Strip_obs.Slo.view_report) ->
@@ -322,6 +349,39 @@ let storage_json (s : Experiment.storage_metrics) =
       ("final_clean", Json.Bool s.final_clean);
     ]
 
+let shard_json (s : Experiment.shard_metrics) =
+  Json.Obj
+    [
+      ("n_shards", Json.Int s.n_shards);
+      ("msgs_sent", Json.Int s.sh_msgs);
+      ("bytes_shipped", Json.Int s.sh_bytes);
+      ("partials_shipped", Json.Int s.sh_partials);
+      ("acks_sent", Json.Int s.sh_acks);
+      ("reships", Json.Int s.sh_reships);
+      ("recovery_s", Json.Float s.sh_recovery_s);
+      ("cross_checks", Json.Int s.cross_checks);
+      ("cross_divergences", Json.Int s.cross_divergences);
+      ( "shards",
+        Json.List
+          (List.map
+             (fun (r : Experiment.shard_row) ->
+               Json.Obj
+                 [
+                   ("id", Json.Int r.sh_id);
+                   ("updates", Json.Int r.sh_updates);
+                   ("recomputes", Json.Int r.sh_recomputes);
+                   ("firings", Json.Int r.sh_firings);
+                   ("partials_out", Json.Int r.sh_partials_out);
+                   ("offered", Json.Int r.sh_offered);
+                   ("duplicates", Json.Int r.sh_duplicates);
+                   ("merged", Json.Int r.sh_merged);
+                   ("applied", Json.Int r.sh_applied);
+                   ("crashes", Json.Int r.sh_crashes);
+                   ("final_lsn", Json.Int r.sh_final_lsn);
+                 ])
+             s.sh_rows) );
+    ]
+
 let metrics_json (m : Experiment.metrics) =
   (* The "recovery" member appears only for durable runs, and the
      "replication" member only for replicated runs, so crash-free /
@@ -342,6 +402,13 @@ let metrics_json (m : Experiment.metrics) =
     match m.storage with
     | None -> []
     | Some s -> [ ("storage", storage_json s) ]
+  in
+  (* "sharding" appears only for sharded runs, keeping single-primary
+     reports byte-identical. *)
+  let shard_field =
+    match m.shard with
+    | None -> []
+    | Some s -> [ ("sharding", shard_json s) ]
   in
   (* Likewise "slo" and "trace" appear only when those opt-in surfaces
      were armed. *)
@@ -412,7 +479,8 @@ let metrics_json (m : Experiment.metrics) =
         Json.Obj (List.map (fun (t, s) -> (t, summary_to_json s)) m.staleness)
       );
      ]
-    @ recovery_field @ repl_field @ storage_field @ slo_field @ trace_field)
+    @ recovery_field @ repl_field @ storage_field @ shard_field @ slo_field
+    @ trace_field)
 
 let print_metrics_json ms =
   print_string

@@ -40,6 +40,13 @@ val print_storage : Experiment.metrics -> unit
     for runs without a [storage] config, so historical reports are
     unchanged. *)
 
+val print_shard : Experiment.metrics -> unit
+(** Indented sharding rows: shard count and partial-delta protocol volume
+    (ships, acks, reships), the cross-shard composite audit verdict, and
+    one row per shard primary (local work, queue verdict counters, crash
+    count, final LSN).  Silent for single-primary runs, so historical
+    reports are unchanged. *)
+
 val print_slo : Experiment.metrics -> unit
 (** One indented verdict line per staleness SLO objective (samples over
     bound, violation windows, violating seconds, worst sample); silent
@@ -57,6 +64,10 @@ val print_staleness : Experiment.metrics -> unit
 val storage_json : Experiment.storage_metrics -> Strip_obs.Json.t
 (** The storage-fault block alone — the chaos explorer embeds it in
     outcome and quarantine reports. *)
+
+val shard_json : Experiment.shard_metrics -> Strip_obs.Json.t
+(** The sharding block alone (protocol counters, per-shard rows,
+    cross-shard audit verdict). *)
 
 val metrics_json : Experiment.metrics -> Strip_obs.Json.t
 (** The full metrics record as a JSON object, including recompute-latency

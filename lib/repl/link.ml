@@ -11,6 +11,9 @@ let default_config =
 type payload =
   | Segment of { from_lsn : int; bytes : string }
   | Bootstrap of { image : string; lsn : int; time : float }
+  | Blob of string
+      (* opaque application bytes — the shard layer ships encoded
+         partial-delta messages over the same simulated pipe *)
 
 type message = {
   sent_at : float;
@@ -113,6 +116,7 @@ let random_windows ~seed ~rate_per_s ~mean_s ~until =
 let payload_bytes = function
   | Segment { bytes; _ } -> String.length bytes
   | Bootstrap { image; _ } -> String.length image
+  | Blob bytes -> String.length bytes
 
 let send ?(epoch = 0) t ~now payload =
   let size = payload_bytes payload in

@@ -28,6 +28,10 @@ type payload =
   | Bootstrap of { image : string; lsn : int; time : float }
       (** A full checkpoint image for a replica that fell behind the
           primary's truncation horizon (or is joining mid-stream). *)
+  | Blob of string
+      (** Opaque application bytes riding the same latency/bandwidth/drop
+          model — the shard layer ships its encoded partial-delta and ack
+          messages this way ({!Strip_shard.Partial}). *)
 
 type message = {
   sent_at : float;

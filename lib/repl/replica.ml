@@ -121,6 +121,11 @@ let apply_tail t ~at =
       | Wal.Checkpoint_mark _ ->
         (* Queue transitions matter only at promotion, when Recovery
            rebuilds the pending queue from this same log copy. *)
+        ()
+      | Wal.Shard_out _ | Wal.Shard_in _ | Wal.Shard_release _
+      | Wal.Shard_state _ ->
+        (* Cross-shard protocol records matter only to the shard's own
+           coordinator; a replica replays just the data commits. *)
         ())
     rd.Wal.records;
   t.applied <- Wal.durable_end t.wal
@@ -156,6 +161,9 @@ let rec receive t (msg : Link.message) =
 
 and receive_unfenced t (msg : Link.message) =
   match msg.Link.payload with
+  | Link.Blob _ ->
+    (* shard-layer traffic; a replica is never its addressee *)
+    t.duplicates <- t.duplicates + 1
   | Link.Bootstrap { image; lsn; time } ->
     if lsn > t.applied then rebootstrap t ~image ~lsn ~time
     else t.duplicates <- t.duplicates + 1;
@@ -197,7 +205,7 @@ and retry_pending t =
         match m.Link.payload with
         | Link.Segment { from_lsn; bytes } ->
           from_lsn <= t.applied && from_lsn + String.length bytes > t.applied
-        | Link.Bootstrap _ -> false)
+        | Link.Bootstrap _ | Link.Blob _ -> false)
       t.pending
   in
   match ready with
@@ -209,7 +217,7 @@ and retry_pending t =
           match m.Link.payload with
           | Link.Segment { from_lsn; bytes } ->
             from_lsn + String.length bytes > t.applied
-          | Link.Bootstrap _ -> false)
+          | Link.Bootstrap _ | Link.Blob _ -> false)
         still
   | _ ->
     let ready =

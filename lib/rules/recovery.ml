@@ -196,7 +196,12 @@ let recover ?salvage db ~reinstall =
       | Wal.Trace_note { subject = Wal.For_txn _; _ } ->
         (* commit annotations matter to replicas, not to redo *)
         ()
-      | Wal.Checkpoint_mark _ -> ())
+      | Wal.Checkpoint_mark _ -> ()
+      | Wal.Shard_out _ | Wal.Shard_in _ | Wal.Shard_release _
+      | Wal.Shard_state _ ->
+        (* cross-shard protocol state is rebuilt by the shard coordinator
+           (Strip_shard.Coordinator), which scans the same log *)
+        ())
     rd.Wal.records;
   (* 5. Resubmit the surviving queue in original enqueue order.  The
      resubmission is not re-logged — the post-recovery checkpoint below

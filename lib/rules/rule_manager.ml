@@ -48,6 +48,26 @@ type t = {
   mutable cur_ctx : Span.ctx option;
   mutable on_commit :
     (task:Task.t -> tables:string list -> now:float -> unit) option;
+  (* Cross-shard partial deltas (lib/shard).  [emit_partial] buffers a
+     weighted contribution to a composite row owned by another shard while
+     the action transaction runs; at commit the buffer is stamped with
+     monotone ship sequence numbers, logged as [Wal.Shard_out] records in
+     the same append batch as the commit (atomicity), and handed to the
+     sink after the fsync.  All three stay empty outside sharded runs, so
+     single-primary behavior is byte-identical. *)
+  mutable partial_sink :
+    (seq:int ->
+    dst:int ->
+    key:Value.t list ->
+    delta:float ->
+    created_at:float ->
+    ctx:Span.ctx option ->
+    unit)
+    option;
+  mutable partial_buf : (int * Value.t list * float) list;  (* reversed *)
+  mutable release_buf : Value.t list list;  (* reversed *)
+  mutable partial_seq : int;
+  mutable release_sink : (key:Value.t list -> unit) option;
 }
 
 let create ~cat ~locks ~clock ?fault ?durable ?trace ?provenance () =
@@ -69,7 +89,27 @@ let create ~cat ~locks ~clock ?fault ?durable ?trace ?provenance () =
     prov = provenance;
     cur_ctx = None;
     on_commit = None;
+    partial_sink = None;
+    partial_buf = [];
+    release_buf = [];
+    partial_seq = 0;
+    release_sink = None;
   }
+
+let set_partial_sink t f = t.partial_sink <- Some f
+let set_release_sink t f = t.release_sink <- Some f
+
+let emit_partial t ~dst ~key ~delta =
+  t.partial_buf <- (dst, key, delta) :: t.partial_buf
+
+let note_shard_release t ~key = t.release_buf <- key :: t.release_buf
+
+let clear_partials t =
+  t.partial_buf <- [];
+  t.release_buf <- []
+
+let partial_seq t = t.partial_seq
+let set_partial_seq t n = t.partial_seq <- n
 
 let set_commit_hook t f = t.on_commit <- Some f
 
@@ -383,6 +423,7 @@ let rec run_action t task =
        if Transaction.status txn = Transaction.Active then
          Transaction.abort txn;
        t.cur_ctx <- None;
+       clear_partials t;
        raise e);
     if Transaction.status txn = Transaction.Active then begin
       (* the written-table set, captured before cleanup clears the log *)
@@ -423,7 +464,10 @@ let rec run_action t task =
       | Some f -> f ~task ~tables ~now
       | None -> ()
     end
-    else t.cur_ctx <- None
+    else begin
+      t.cur_ctx <- None;
+      clear_partials t
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Firing: bind results, partition, merge-or-create tasks.              *)
@@ -668,6 +712,19 @@ and commit_txn ?release t txn =
     | Some _ -> Wal.ops_of_tlog (Transaction.log txn)
   in
   Transaction.commit txn;
+  (* Stamp buffered cross-shard partials with ship sequence numbers in
+     emit order; their Shard_out records ride the commit's append batch
+     so the partial is durable iff the commit that produced it is. *)
+  let commit_time = Clock.now t.clock in
+  let partials =
+    List.map
+      (fun (dst, key, delta) ->
+        t.partial_seq <- t.partial_seq + 1;
+        (t.partial_seq, dst, key, delta))
+      (List.rev t.partial_buf)
+  in
+  let shard_releases = List.rev t.release_buf in
+  clear_partials t;
   (match t.dur with
   | None -> ()
   | Some d ->
@@ -690,15 +747,19 @@ and commit_txn ?release t txn =
           ])
         @ [
             Wal.Commit
-              { txid = Transaction.txid txn; time = Clock.now t.clock; ops };
+              { txid = Transaction.txid txn; time = commit_time; ops };
           ]
     in
     let commit_recs =
       commit_recs
-      @
-      match release with
-      | Some (func, key) -> [ Wal.Uq_release { func; key } ]
-      | None -> []
+      @ (match release with
+        | Some (func, key) -> [ Wal.Uq_release { func; key } ]
+        | None -> [])
+      @ List.map
+          (fun (seq, dst, key, delta) ->
+            Wal.Shard_out { seq; dst; key; delta; created_at = commit_time })
+          partials
+      @ List.map (fun key -> Wal.Shard_release { key }) shard_releases
     in
     if commit_recs <> [] then
       wal_guard (fun () -> ignore (Wal.append_batch w commit_recs));
@@ -708,6 +769,23 @@ and commit_txn ?release t txn =
       inject t ~txn ~site:Fault.Crash ~detail:"wal_flush";
       Wal.fsync w
     end);
+  (* Hand the now-durable partials to the shard coordinator for shipping.
+     The sink runs after the fsync: a crash before this point re-ships
+     from the WAL, a crash after it ships twice — both collapse to one
+     merge at the owner's dedup. *)
+  (match t.partial_sink with
+  | None -> ()
+  | Some sink ->
+    List.iter
+      (fun (seq, dst, key, delta) ->
+        sink ~seq ~dst ~key ~delta ~created_at:commit_time ~ctx:t.cur_ctx)
+      partials);
+  (* Releases likewise reach the coordinator only once durable: the apply
+     task peeks (never takes) the merged delta, so an abort after the body
+     leaves the queue entry intact for a clean re-apply. *)
+  (match t.release_sink with
+  | None -> ()
+  | Some f -> List.iter (fun key -> f ~key) shard_releases);
   Transaction.cleanup txn
 
 (* ------------------------------------------------------------------ *)

@@ -130,6 +130,62 @@ val log_shed :
     victim's durable enqueue survives, so replay after a crash restores
     the shed work instead of losing it. *)
 
+(** {1 Cross-shard partial deltas}
+
+    Hooks for the sharded write path ({!Strip_shard}).  A routed rule
+    action whose composite target row lives on another shard calls
+    {!emit_partial} instead of updating locally; the buffered partials
+    are stamped with monotone ship sequence numbers at commit, logged as
+    {!Strip_txn.Wal.Shard_out} records in the {e same append batch} as
+    the commit (so a partial is durable exactly when the commit that
+    produced it is), and handed to the registered sink after the fsync.
+    With no sink registered and nothing emitted, all of this is inert —
+    single-primary runs stay byte-identical. *)
+
+val set_partial_sink :
+  t ->
+  (seq:int ->
+  dst:int ->
+  key:Strip_relational.Value.t list ->
+  delta:float ->
+  created_at:float ->
+  ctx:Strip_obs.Span.ctx option ->
+  unit) ->
+  unit
+(** Where durable partials go — the shard coordinator's outbox.  Called
+    once per partial, after the emitting commit's fsync, with the
+    emitting transaction's trace context (for ship-path span
+    propagation). *)
+
+val emit_partial :
+  t -> dst:int -> key:Strip_relational.Value.t list -> delta:float -> unit
+(** Buffer a weighted partial delta for composite row [key] owned by
+    shard [dst]; flushed (stamped, logged, shipped) by the enclosing
+    commit, discarded if it aborts. *)
+
+val note_shard_release : t -> key:Strip_relational.Value.t list -> unit
+(** Record that the running action applies the merged partials for
+    [key]: a {!Strip_txn.Wal.Shard_release} rides the applying commit's
+    append batch, making apply + release atomic. *)
+
+val set_release_sink :
+  t -> (key:Strip_relational.Value.t list -> unit) -> unit
+(** Called once per released key after the applying commit's fsync — the
+    shard coordinator removes the key's merged entry from its
+    distributed queue here, so removal happens only when the release is
+    durable (aborts never reach it and the entry survives for a clean
+    re-apply). *)
+
+val clear_partials : t -> unit
+(** Drop buffered partials and releases (abort paths call this). *)
+
+val partial_seq : t -> int
+(** Highest ship sequence number stamped so far. *)
+
+val set_partial_seq : t -> int -> unit
+(** Restore the ship sequence counter after crash recovery so re-shipped
+    and fresh partials never collide. *)
+
 (** {1 Crash recovery} *)
 
 val bound_schemas_for :

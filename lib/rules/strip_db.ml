@@ -244,6 +244,7 @@ let with_txn t f =
     v
   | exception e ->
     if Transaction.status txn = Transaction.Active then Transaction.abort txn;
+    Rule_manager.clear_partials t.mgr;
     raise e
 
 (* Task-body variant of [with_txn]: consults the fault injector between the
@@ -389,6 +390,23 @@ let submit_update t ~at ?(label = "update") f =
     Task.create ~klass:Task.Update ~func_name:label ?ctx ~release_time:at
       ~created_at:at (fun task ->
         (* the rule manager parents any firings under this task's span *)
+        Rule_manager.set_current_ctx t.mgr task.Task.ctx;
+        Fun.protect
+          ~finally:(fun () -> Rule_manager.set_current_ctx t.mgr None)
+          (fun () -> with_txn_injected t ~detail:label f))
+  in
+  Engine.submit t.eng task
+
+(* Recompute-class variant for the shard coordinator: the task that
+   applies a merged cross-shard partial delta is maintenance work, not
+   base ingestion, so it is scheduled and accounted like a rule action.
+   [ctx] (when the shipping partial carried one) keeps the cross-shard
+   span tree connected instead of minting a fresh root. *)
+let submit_maintenance t ~at ?(label = "shard_apply") ?ctx f =
+  let ctx = match t.tracer with None -> None | Some _ -> ctx in
+  let task =
+    Task.create ~klass:Task.Recompute ~func_name:label ?ctx ~release_time:at
+      ~created_at:at (fun task ->
         Rule_manager.set_current_ctx t.mgr task.Task.ctx;
         Fun.protect
           ~finally:(fun () -> Rule_manager.set_current_ctx t.mgr None)

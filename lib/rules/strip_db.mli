@@ -141,6 +141,20 @@ val submit_update : t -> at:float -> ?label:string -> (Strip_txn.Transaction.t -
 (** Enqueue an update-class task that runs [f] in a transaction (committed
     through the rule manager) when the simulated clock reaches [at]. *)
 
+val submit_maintenance :
+  t ->
+  at:float ->
+  ?label:string ->
+  ?ctx:Strip_obs.Span.ctx ->
+  (Strip_txn.Transaction.t -> unit) ->
+  unit
+(** Enqueue a recompute-class task that runs [f] in a transaction when
+    the simulated clock reaches [at] — the shard coordinator uses this
+    to apply merged cross-shard partial deltas with rule-action
+    accounting.  [ctx] (honoured only when tracing is on) threads the
+    shipping partial's span context through the applying transaction so
+    cross-shard lineage stays connected. *)
+
 val schedule_periodic :
   t ->
   every:float ->

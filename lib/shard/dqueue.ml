@@ -1,0 +1,89 @@
+type entry = { mutable delta : float; created_at : float }
+
+type t = {
+  seen : (int * int, unit) Hashtbl.t;
+  pending : (Strip_relational.Value.t list, entry) Hashtbl.t;
+  mutable order : Strip_relational.Value.t list list;
+      (* first-arrival order, reversed *)
+  mutable offered : int;
+  mutable dups : int;
+  mutable merged : int;
+  mutable fresh : int;
+  mutable applied : int;
+}
+
+type verdict = Duplicate | Merged | Fresh
+
+let create () =
+  {
+    seen = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    order = [];
+    offered = 0;
+    dups = 0;
+    merged = 0;
+    fresh = 0;
+    applied = 0;
+  }
+
+let offer t ~src ~seq ~key ~delta ~created_at =
+  t.offered <- t.offered + 1;
+  if Hashtbl.mem t.seen (src, seq) then begin
+    t.dups <- t.dups + 1;
+    Duplicate
+  end
+  else begin
+    Hashtbl.replace t.seen (src, seq) ();
+    match Hashtbl.find_opt t.pending key with
+    | Some e ->
+      e.delta <- e.delta +. delta;
+      t.merged <- t.merged + 1;
+      Merged
+    | None ->
+      Hashtbl.replace t.pending key { delta; created_at };
+      t.order <- key :: t.order;
+      t.fresh <- t.fresh + 1;
+      Fresh
+  end
+
+let peek t ~key =
+  match Hashtbl.find_opt t.pending key with
+  | None -> None
+  | Some e -> Some (e.delta, e.created_at)
+
+let remove t ~key =
+  if Hashtbl.mem t.pending key then begin
+    Hashtbl.remove t.pending key;
+    t.order <- List.filter (fun k -> k <> key) t.order;
+    t.applied <- t.applied + 1
+  end
+
+let pending_keys t = List.rev t.order
+let n_pending t = Hashtbl.length t.pending
+
+let seen_list t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.seen [] |> List.sort compare
+
+let pending_list t =
+  List.map
+    (fun key ->
+      let e = Hashtbl.find t.pending key in
+      (key, e.delta, e.created_at))
+    (pending_keys t)
+
+let restore t ~seen ~pending =
+  Hashtbl.reset t.seen;
+  Hashtbl.reset t.pending;
+  t.order <- [];
+  List.iter (fun id -> Hashtbl.replace t.seen id ()) seen;
+  List.iter
+    (fun (key, delta, created_at) ->
+      Hashtbl.replace t.pending key { delta; created_at };
+      t.order <- key :: t.order)
+    pending
+
+let n_offered t = t.offered
+let n_duplicates t = t.dups
+let n_merged t = t.merged
+let n_fresh t = t.fresh
+let n_applied t = t.applied

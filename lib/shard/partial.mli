@@ -1,0 +1,32 @@
+(** Wire format of the cross-shard maintenance protocol.
+
+    Two message kinds travel over the shard-to-shard {!Strip_repl.Link}s
+    (as [Blob] payloads): a {e partial} — one emitting shard's weighted
+    contribution to a composite row owned by another shard — and the
+    owner's {e ack}.  [(src, seq)] identifies a partial for the life of
+    the system: [seq] is the emitter's monotone ship sequence number
+    (stamped at commit by {!Strip_core.Rule_manager}), which the owner
+    dedups on, turning at-least-once shipping into an exactly-once merge
+    effect. *)
+
+type t = {
+  src : int;  (** emitting shard *)
+  seq : int;  (** emitter's monotone ship sequence number *)
+  dst : int;  (** owning shard *)
+  key : Strip_relational.Value.t list;  (** composite row key *)
+  delta : float;  (** weighted contribution to the composite value *)
+  created_at : float;  (** emitting commit's virtual time *)
+  ctx : (int * int) option;
+      (** emitting transaction's (trace, span), when tracing *)
+}
+
+type msg =
+  | Partial of t
+  | Ack of { src : int; seq : int }
+      (** owner → emitter receipt for partial [(src, seq)]; the emitter
+          retires the matching unacked entry and stops resending *)
+
+val encode : msg -> string
+
+val decode : string -> msg
+(** @raise Strip_txn.Codec.Decode_error on truncation or unknown tag. *)

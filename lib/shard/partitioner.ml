@@ -1,0 +1,22 @@
+type t = { n : int }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Partitioner.create: shards < 1";
+  { n = shards }
+
+let n_shards t = t.n
+
+(* 32-bit FNV-1a.  Stable across platforms and OCaml versions — the
+   placement of every row is part of the durable format, so the hash must
+   never depend on the runtime's polymorphic hashing. *)
+let hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let shard_of_symbol t s = hash s mod t.n
+let shard_of_comp t s = hash s mod t.n

@@ -1,0 +1,23 @@
+(** Hash partitioning of the symbol space across shard primaries.
+
+    Base rows route by stock symbol, composite rows by composite name —
+    both through the same 32-bit FNV-1a hash, so placement depends only
+    on the name string and the shard count.  Every node (and every test)
+    computes the same owner without coordination, and a fixed-seed run is
+    reproducible because nothing here consults a clock or an RNG. *)
+
+type t
+
+val create : shards:int -> t
+(** @raise Invalid_argument if [shards < 1]. *)
+
+val n_shards : t -> int
+
+val shard_of_symbol : t -> string -> int
+(** Owner of a base (stock) row, in [0 .. shards-1]. *)
+
+val shard_of_comp : t -> string -> int
+(** Owner of a composite ([comp_prices]) row. *)
+
+val hash : string -> int
+(** The raw 32-bit FNV-1a value (exposed for tests). *)

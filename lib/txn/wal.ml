@@ -42,6 +42,39 @@ type record =
       (* written only when tracing is on, riding the same fsync as the
          record it annotates; flag-off logs carry no notes and stay
          byte-identical *)
+  | Shard_out of {
+      seq : int;
+      dst : int;
+      key : Value.t list;
+      delta : float;
+      created_at : float;
+    }
+      (* a weighted partial delta this shard owes the composite row [key]
+         on shard [dst]; rides the emitting commit's fsync, so recovery
+         re-ships exactly the partials the commit made durable *)
+  | Shard_in of {
+      src : int;
+      seq : int;
+      key : Value.t list;
+      delta : float;
+      created_at : float;
+    }
+      (* receipt of a shipped partial on the owning shard, fsynced before
+         it is merged; (src, seq) is the dedup identity that makes
+         at-least-once shipping an exactly-once effect *)
+  | Shard_release of { key : Value.t list }
+      (* the owning shard applied the merged partials for [key]; rides the
+         applying commit's batch so apply+release are atomic *)
+  | Shard_state of {
+      next_seq : int;
+      seen : (int * int) list;  (* (src, seq) receipts already merged *)
+      pending : (Value.t list * float * float) list;
+          (* unapplied merged partials: key, summed delta, first created_at *)
+      unacked : (int * int * Value.t list * float * float) list;
+          (* in-flight ships: dst, seq, key, delta, created_at *)
+    }
+      (* snapshot of the shard protocol state, re-appended after recovery's
+         checkpoint truncates the log so a second crash still recovers *)
 
 let op_table = function
   | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> table
@@ -172,7 +205,46 @@ let encode_record_into b rec_ =
       Codec.put_string b func;
       Codec.put_list b Codec.put_value key);
     Codec.put_int b trace;
-    Codec.put_int b span)
+    Codec.put_int b span
+  | Shard_out { seq; dst; key; delta; created_at } ->
+    Codec.put_u8 b 6;
+    Codec.put_int b seq;
+    Codec.put_int b dst;
+    Codec.put_list b Codec.put_value key;
+    Codec.put_float b delta;
+    Codec.put_float b created_at
+  | Shard_in { src; seq; key; delta; created_at } ->
+    Codec.put_u8 b 7;
+    Codec.put_int b src;
+    Codec.put_int b seq;
+    Codec.put_list b Codec.put_value key;
+    Codec.put_float b delta;
+    Codec.put_float b created_at
+  | Shard_release { key } ->
+    Codec.put_u8 b 8;
+    Codec.put_list b Codec.put_value key
+  | Shard_state { next_seq; seen; pending; unacked } ->
+    Codec.put_u8 b 9;
+    Codec.put_int b next_seq;
+    Codec.put_list b
+      (fun b (src, seq) ->
+        Codec.put_int b src;
+        Codec.put_int b seq)
+      seen;
+    Codec.put_list b
+      (fun b (key, delta, created_at) ->
+        Codec.put_list b Codec.put_value key;
+        Codec.put_float b delta;
+        Codec.put_float b created_at)
+      pending;
+    Codec.put_list b
+      (fun b (dst, seq, key, delta, created_at) ->
+        Codec.put_int b dst;
+        Codec.put_int b seq;
+        Codec.put_list b Codec.put_value key;
+        Codec.put_float b delta;
+        Codec.put_float b created_at)
+      unacked)
 
 
 let decode_record r =
@@ -217,6 +289,48 @@ let decode_record r =
       let trace = Codec.get_int r in
       let span = Codec.get_int r in
       Trace_note { subject; trace; span }
+    | 6 ->
+      let seq = Codec.get_int r in
+      let dst = Codec.get_int r in
+      let key = Codec.get_list r Codec.get_value in
+      let delta = Codec.get_float r in
+      let created_at = Codec.get_float r in
+      Shard_out { seq; dst; key; delta; created_at }
+    | 7 ->
+      let src = Codec.get_int r in
+      let seq = Codec.get_int r in
+      let key = Codec.get_list r Codec.get_value in
+      let delta = Codec.get_float r in
+      let created_at = Codec.get_float r in
+      Shard_in { src; seq; key; delta; created_at }
+    | 8 ->
+      let key = Codec.get_list r Codec.get_value in
+      Shard_release { key }
+    | 9 ->
+      let next_seq = Codec.get_int r in
+      let seen =
+        Codec.get_list r (fun r ->
+            let src = Codec.get_int r in
+            let seq = Codec.get_int r in
+            (src, seq))
+      in
+      let pending =
+        Codec.get_list r (fun r ->
+            let key = Codec.get_list r Codec.get_value in
+            let delta = Codec.get_float r in
+            let created_at = Codec.get_float r in
+            (key, delta, created_at))
+      in
+      let unacked =
+        Codec.get_list r (fun r ->
+            let dst = Codec.get_int r in
+            let seq = Codec.get_int r in
+            let key = Codec.get_list r Codec.get_value in
+            let delta = Codec.get_float r in
+            let created_at = Codec.get_float r in
+            (dst, seq, key, delta, created_at))
+      in
+      Shard_state { next_seq; seen; pending; unacked }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "record tag %d" tag))
   in
   if Codec.remaining r > 0 then

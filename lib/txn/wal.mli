@@ -52,6 +52,41 @@ type record =
       (** causal-trace annotation riding the same fsync as the record it
           describes; written only when tracing is on, so flag-off logs
           are byte-identical to earlier releases *)
+  | Shard_out of {
+      seq : int;
+      dst : int;
+      key : Value.t list;
+      delta : float;
+      created_at : float;
+    }
+      (** a weighted partial delta owed to composite row [key] on shard
+          [dst], logged atomically with the commit that produced it;
+          recovery re-ships every logged-but-unacknowledged partial
+          (at-least-once) *)
+  | Shard_in of {
+      src : int;
+      seq : int;
+      key : Value.t list;
+      delta : float;
+      created_at : float;
+    }
+      (** durable receipt of a shipped partial on the owning shard;
+          [(src, seq)] is the dedup identity that turns at-least-once
+          shipping into an exactly-once merge effect *)
+  | Shard_release of { key : Value.t list }
+      (** the owner applied the merged partials for [key]; rides the
+          applying commit's append batch so apply and release share one
+          fsync *)
+  | Shard_state of {
+      next_seq : int;
+      seen : (int * int) list;
+      pending : (Value.t list * float * float) list;
+      unacked : (int * int * Value.t list * float * float) list;
+    }
+      (** snapshot of a shard's cross-shard protocol state ([next_seq],
+          merged receipts, unapplied per-key deltas, in-flight ships),
+          re-appended after recovery because the recovery checkpoint
+          truncates the log the individual records lived in *)
 
 val op_table : op -> string
 val op_order : op -> int

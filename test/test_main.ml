@@ -12,4 +12,4 @@ let () =
    @ Test_obs.suite
    @ Test_pta.suite @ Test_ivm.suite @ Test_ingest.suite
    @ Test_recovery.suite @ Test_repl.suite @ Test_chaos.suite
-   @ Test_storage.suite @ Test_integration.suite)
+   @ Test_storage.suite @ Test_shard.suite @ Test_integration.suite)
